@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ABLATION: per-packet latency distribution under SecNDP.
+ *
+ * Recommendation serving cares about tail latency, not just
+ * throughput (the paper's RecNMP lineage reports P95 latencies).
+ * This ablation reports mean/P50/P95/P99 packet latency for native
+ * NDP and SecNDP-Enc across AES-engine counts and NDP_reg values:
+ * the decryption pipeline and register occupancy both stretch the
+ * tail before they dent the mean.
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+void
+report(const char *name, const std::vector<Cycle> &finish,
+       const std::vector<PacketTiming> &packets)
+{
+    Samples lat;
+    for (std::size_t q = 0; q < packets.size(); ++q)
+        lat.add(static_cast<double>(finish[q] - packets[q].issued));
+    std::printf("  %-22s %8.0f %8.0f %8.0f %8.0f\n", name, lat.mean(),
+                lat.percentile(0.50), lat.percentile(0.95),
+                lat.percentile(0.99));
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Ablation: per-packet latency distribution "
+           "(SLS fp32, PF=80, rank=8; cycles)");
+
+    const auto model = rmc1Small();
+    SlsTraceConfig tc;
+    tc.batch = 16;
+    tc.pf = 80;
+    const auto trace = buildSlsTrace(model, tc);
+
+    std::printf("  %-22s %8s %8s %8s %8s\n", "config", "mean", "P50",
+                "P95", "P99");
+    for (unsigned regs : {2u, 8u}) {
+        SystemConfig sys = defaultSystem(8, regs);
+        const auto sim = simulateNdpBatch(sys, trace);
+
+        char label[64];
+        std::snprintf(label, sizeof(label), "NDP reg=%u", regs);
+        std::vector<Cycle> native;
+        for (const auto &p : sim.batch.packets)
+            native.push_back(p.finished);
+        report(label, native, sim.batch.packets);
+
+        for (unsigned aes : {4u, 12u}) {
+            EngineConfig ec = sys.engine;
+            ec.nAesEngines = aes;
+            const auto ov = overlayEngine(ec, sys.dram.clock,
+                                          sim.batch.packets, sim.work,
+                                          false);
+            std::snprintf(label, sizeof(label),
+                          "SecNDP reg=%u aes=%u", regs, aes);
+            report(label, ov.finished, sim.batch.packets);
+        }
+    }
+
+    std::printf("\nshape: starved AES pools inflate the whole "
+                "distribution, tail first; enough\nengines collapse "
+                "SecNDP's distribution onto native NDP's. More "
+                "registers raise\nPER-PACKET latency (more in-flight "
+                "interference) while improving batch\nthroughput -- "
+                "the classic latency/throughput trade the NDP_reg "
+                "knob controls.\n");
+    return 0;
+}

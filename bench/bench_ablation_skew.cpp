@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ABLATION: rank-level load imbalance vs NDP speedup.
+ *
+ * The paper attributes the gap between SLS (irregular) and analytics
+ * (regular) NDP speedups to access-pattern regularity (section
+ * VII-A). This ablation sweeps the Zipf skew of embedding-row
+ * popularity and the pooling factor: hotter rows concentrate work on
+ * fewer pages/ranks, and the slowest-rank bound (plus NDP_reg
+ * occupancy) eats into the rank-parallel speedup.
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Ablation: access skew and pooling factor vs NDP speedup "
+           "(RMC1-small, rank=8, reg=8)");
+
+    const auto model = rmc1Small();
+
+    std::printf("Zipf skew sweep (PF=80):\n");
+    std::printf("  %-8s %-12s %-10s\n", "alpha", "NDP-speedup",
+                "lines/query");
+    for (double alpha : {0.0, 0.6, 0.9, 1.1, 1.4}) {
+        SystemConfig sys = defaultSystem(8, 8);
+        SlsTraceConfig tc;
+        tc.batch = 8;
+        tc.pf = 80;
+        tc.zipfAlpha = alpha;
+        const auto trace = buildSlsTrace(model, tc);
+        const Cycle base = cpuBaselineCycles(sys, trace);
+        const auto sim = simulateNdpBatch(sys, trace);
+        std::printf("  %-8.1f %11.2fx %-10.1f\n", alpha,
+                    static_cast<double>(base) / sim.batch.totalCycles,
+                    static_cast<double>(sim.batch.totalLines) /
+                        trace.queries.size());
+    }
+
+    std::printf("\nPooling-factor sweep (uniform rows):\n");
+    std::printf("  %-8s %-12s\n", "PF", "NDP-speedup");
+    for (unsigned pf : {10u, 20u, 40u, 80u, 160u}) {
+        SystemConfig sys = defaultSystem(8, 8);
+        SlsTraceConfig tc;
+        tc.batch = 8;
+        tc.pf = pf;
+        const auto trace = buildSlsTrace(model, tc);
+        const Cycle base = cpuBaselineCycles(sys, trace);
+        const auto sim = simulateNdpBatch(sys, trace);
+        std::printf("  %-8u %11.2fx\n", pf,
+                    static_cast<double>(base) /
+                        sim.batch.totalCycles);
+    }
+
+    std::printf("\nshape: higher skew concentrates lookups (fewer "
+                "distinct lines via dedup, hotter\nrows/banks) and "
+                "lowers the rank-parallel win; larger PF amortizes "
+                "per-packet\noverheads and fills all ranks, raising "
+                "speedup toward the rank count.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches. Each bench binary
+ * regenerates one table or figure of the paper's evaluation
+ * (section VII); see DESIGN.md's per-experiment index.
+ *
+ * Scaling note: the paper simulates full production batches; these
+ * benches run the same generators at a reduced batch/pooling scale
+ * (single-machine friendly) -- speedups are ratios of simulated
+ * cycle counts and are insensitive to batch size once the NDP
+ * pipeline is full. Scale knobs are printed with each run.
+ */
+
+#ifndef SECNDP_BENCH_BENCH_COMMON_HH
+#define SECNDP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/system.hh"
+#include "ndp/ndp_system.hh"
+#include "workloads/dlrm.hh"
+#include "workloads/medical.hh"
+
+namespace secndp::bench {
+
+/** Default experiment system: Table II DRAM, 8 ranks, 12 AES. */
+inline SystemConfig
+defaultSystem(unsigned ranks = 8, unsigned ndp_reg = 8,
+              unsigned n_aes = 12)
+{
+    SystemConfig cfg;
+    cfg.dram.geometry.ranks = ranks;
+    cfg.ndp.ndpReg = ndp_reg;
+    cfg.engine.nAesEngines = n_aes;
+    return cfg;
+}
+
+/**
+ * NDP batch simulated once so multiple engine configurations can be
+ * overlaid cheaply (the off-chip behaviour does not depend on the
+ * engine, paper section IV-D).
+ */
+struct SimulatedNdpBatch
+{
+    BatchResult batch;
+    std::vector<EngineWork> work;
+};
+
+inline SimulatedNdpBatch
+simulateNdpBatch(const SystemConfig &cfg, const WorkloadTrace &trace)
+{
+    PageMapper pages(cfg.dram.geometry.totalBytes(), 4096,
+                     cfg.pageSeed);
+    std::vector<NdpQuery> packets;
+    packets.reserve(trace.queries.size());
+    SimulatedNdpBatch out;
+    for (const auto &q : trace.queries) {
+        packets.push_back(buildQuery(pages, q.ranges,
+                                     cfg.dram.geometry.lineBytes));
+        out.work.push_back(q.engineWork);
+    }
+    NdpSimulation sim(cfg.dram, cfg.ndp);
+    out.batch = sim.run(packets);
+    return out;
+}
+
+/** Shared-bus CPU baseline cycles for the same trace. */
+inline Cycle
+cpuBaselineCycles(const SystemConfig &cfg, const WorkloadTrace &trace)
+{
+    return runWorkload(cfg, trace, ExecMode::CpuUnprotected).cycles;
+}
+
+inline void
+hr()
+{
+    std::printf("-------------------------------------------------"
+                "-----------------------------\n");
+}
+
+inline void
+banner(const char *what)
+{
+    std::printf("\n");
+    hr();
+    std::printf("%s\n", what);
+    std::printf("SecNDP reproduction -- paper values are shape "
+                "targets, not absolute-number targets.\n");
+    hr();
+}
+
+} // namespace secndp::bench
+
+#endif // SECNDP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: percentage of SLS NDP packets
+ * bottlenecked by decryption bandwidth under the verification-tag
+ * options, as AES engines vary (NDP_rank=8, NDP_reg=8).
+ *
+ * Paper shape target: verification (especially Ver-ECC, which adds
+ * no memory time for tags) raises the on-chip OTP work per packet,
+ * so each scheme needs more AES engines than Enc-only to stop being
+ * decrypt-bound; quantized variants need fewer.
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+const unsigned kAesCounts[] = {2, 4, 6, 8, 10, 12, 16};
+
+void
+sweep(const char *name, const WorkloadTrace &trace, bool verifying)
+{
+    SystemConfig sys = defaultSystem(8, 8);
+    const auto sim = simulateNdpBatch(sys, trace);
+    std::printf("  %-12s", name);
+    for (unsigned aes : kAesCounts) {
+        EngineConfig ec = sys.engine;
+        ec.nAesEngines = aes;
+        const auto ov =
+            overlayEngine(ec, sys.dram.clock, sim.batch.packets,
+                          sim.work, verifying);
+        std::printf(" %7.0f%%", 100.0 * ov.fractionDecryptBound);
+    }
+    std::printf("\n");
+}
+
+void
+group(const char *title, QuantScheme quant, bool ecc_applicable)
+{
+    std::printf("\n%s\n", title);
+    std::printf("  %-12s", "scheme");
+    for (unsigned aes : kAesCounts)
+        std::printf(" %5uAES", aes);
+    std::printf("\n");
+
+    const auto model = rmc1Small();
+    SlsTraceConfig tc;
+    tc.batch = 8;
+    tc.pf = 80;
+    tc.quant = quant;
+    sweep("Enc-only", buildSlsTrace(model, tc), false);
+    tc.layout = VerLayout::Coloc;
+    sweep("Ver-coloc", buildSlsTrace(model, tc), true);
+    tc.layout = VerLayout::Sep;
+    sweep("Ver-sep", buildSlsTrace(model, tc), true);
+    if (ecc_applicable) {
+        tc.layout = VerLayout::Ecc;
+        sweep("Ver-ECC", buildSlsTrace(model, tc), true);
+    } else {
+        std::printf("  %-12s %s\n", "Ver-ECC", "N/A (sub-line rows)");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 10: %% of SLS packets decryption-bottlenecked per "
+           "verification scheme\n(SecNDP, NDP_rank=8, NDP_reg=8)");
+
+    group("SLS fp32", QuantScheme::None,
+          verEccFits(slsRowBytes(rmc1Small(), QuantScheme::None)));
+    group("SLS 8-bit quant (column/table-wise)",
+          QuantScheme::ColumnWise,
+          verEccFits(slsRowBytes(rmc1Small(),
+                                 QuantScheme::ColumnWise)));
+
+    std::printf("\npaper shape: Ver-ECC needs the most AES engines "
+                "(tag pads with no extra memory\ntime to hide them); "
+                "quantization cuts engine demand.\n");
+    return 0;
+}

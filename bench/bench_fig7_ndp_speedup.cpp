@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: speedup of the NDP-offloaded kernels
+ * (SLS fp32, SLS 8-bit quantized, medical analytics) over the
+ * unprotected non-NDP baseline, across NDP settings
+ * (NDP_rank, NDP_reg) and, for SecNDP-Enc, numbers of AES engines.
+ *
+ * Paper shape targets: speedup grows with NDP_rank and (for SLS)
+ * with NDP_reg, up to 5.59x (fp32) / 6.89x (quantized) / 7.46x
+ * (analytics) at rank=8; with few AES engines SecNDP falls behind
+ * native NDP, and reaches it as engines are added ("the performance
+ * bottleneck eventually shifts to the memory bandwidth").
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+struct NdpSetting
+{
+    unsigned ranks, regs;
+};
+
+const NdpSetting kSettings[] = {{2, 4}, {4, 4}, {8, 4}, {8, 8}};
+const unsigned kAesCounts[] = {2, 4, 8, 12};
+
+/**
+ * Sweep one workload variant. All speedups are normalized to
+ * `base_trace`'s non-NDP time on the same hardware -- for quantized
+ * SLS variants that is the fp32 baseline, exactly as in the paper
+ * (where "quantization provides 17-27% speedup ... in both the NDP
+ * and non-NDP settings" relative to the fp32 bars).
+ */
+void
+sweep(const char *title, const WorkloadTrace &base_trace,
+      const WorkloadTrace &trace)
+{
+    std::printf("\n%s\n", title);
+    std::printf("  %-12s %-9s %-10s", "(rank,reg)", "non-NDP",
+                "unprot-NDP");
+    for (unsigned aes : kAesCounts)
+        std::printf(" enc@%-2uAES ", aes);
+    std::printf("\n");
+
+    for (const auto &setting : kSettings) {
+        SystemConfig sys = defaultSystem(setting.ranks, setting.regs);
+        const Cycle base = cpuBaselineCycles(sys, base_trace);
+        const Cycle own = &trace == &base_trace
+                              ? base
+                              : cpuBaselineCycles(sys, trace);
+        const auto sim = simulateNdpBatch(sys, trace);
+        std::printf("  (%u,%u)%6s %7.2fx %9.2fx", setting.ranks,
+                    setting.regs, "",
+                    static_cast<double>(base) / own,
+                    static_cast<double>(base) /
+                        sim.batch.totalCycles);
+        for (unsigned aes : kAesCounts) {
+            EngineConfig ec = sys.engine;
+            ec.nAesEngines = aes;
+            const auto ov = overlayEngine(ec, sys.dram.clock,
+                                          sim.batch.packets, sim.work,
+                                          false);
+            std::printf(" %8.2fx ",
+                        static_cast<double>(base) / ov.totalCycles);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 7: speedup of unprotected NDP (red) and "
+           "SecNDP-Enc vs #AES engines (green),\nnormalized to the "
+           "unprotected non-NDP baseline (blue) of each workload");
+
+    const auto model = rmc1Small();
+    SlsTraceConfig tc;
+    tc.batch = 8;
+    tc.pf = 80;
+
+    // SLS, fp32 rows (128 B) -- also the normalization baseline for
+    // the quantized variants, as in the paper's Figure 7.
+    const auto fp32_trace = buildSlsTrace(model, tc);
+    sweep("SLS fp32 (PF=80)", fp32_trace, fp32_trace);
+
+    // SLS, 8-bit column/table-wise quantization (32 B rows).
+    tc.quant = QuantScheme::ColumnWise;
+    sweep("SLS 8-bit quant, column/table-wise (vs fp32 baseline)",
+          fp32_trace, buildSlsTrace(model, tc));
+
+    // SLS, 8-bit row-wise quantization (40 B rows + in-row scale).
+    tc.quant = QuantScheme::RowWise;
+    sweep("SLS 8-bit quant, row-wise (row_quan, vs fp32 baseline)",
+          fp32_trace, buildSlsTrace(model, tc));
+
+    // Medical analytics (contiguous scans; one result per query, so
+    // NDP_reg does not matter -- visible below).
+    MedicalDbConfig db;
+    db.genes = 1024;
+    db.patients = 50000;
+    db.pf = 1500;
+    db.numQueries = 4;
+    const auto ana = buildMedicalTrace(db, VerLayout::None);
+    sweep("Medical data analytics", ana, ana);
+
+    std::printf("\npaper shape: fp32 up to 5.59x, quant up to 6.89x, "
+                "analytics 7.46x at (8,8);\nSecNDP-Enc approaches "
+                "unprotected NDP as AES engines increase; quantized "
+                "SLS\nneeds ~1/3 the AES engines of fp32.\n");
+    return 0;
+}

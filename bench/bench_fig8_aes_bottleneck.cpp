@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the percentage of NDP packets whose
+ * completion is bottlenecked by decryption (OTP-generation)
+ * bandwidth, as a function of the number of AES engines, for
+ * different NDP_rank counts, for SLS with and without quantization.
+ *
+ * Paper shape targets: with NDP_rank=8, ~8 engines still leave ~30%
+ * of fp32 packets decrypt-bound (10 engines match burst-mode
+ * throughput); quantization cuts the required engines to about a
+ * third.
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+const unsigned kAesCounts[] = {1, 2, 4, 6, 8, 10, 12, 16};
+
+void
+sweep(const char *title, QuantScheme quant)
+{
+    const auto model = rmc1Small();
+    std::printf("\n%s\n", title);
+    std::printf("  %-10s", "NDP_rank");
+    for (unsigned aes : kAesCounts)
+        std::printf(" %5uAES", aes);
+    std::printf("\n");
+
+    for (unsigned ranks : {2u, 4u, 8u}) {
+        SystemConfig sys = defaultSystem(ranks, 8);
+        SlsTraceConfig tc;
+        tc.batch = 8;
+        tc.pf = 80;
+        tc.quant = quant;
+        const auto trace = buildSlsTrace(model, tc);
+        const auto sim = simulateNdpBatch(sys, trace);
+
+        std::printf("  %-10u", ranks);
+        for (unsigned aes : kAesCounts) {
+            EngineConfig ec = sys.engine;
+            ec.nAesEngines = aes;
+            const auto ov = overlayEngine(ec, sys.dram.clock,
+                                          sim.batch.packets, sim.work,
+                                          false);
+            std::printf(" %7.0f%%", 100.0 * ov.fractionDecryptBound);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 8: %% of SLS NDP packets bottlenecked by "
+           "decryption bandwidth\n(SecNDP-Enc, NDP_reg=8, PF=80)");
+
+    sweep("SLS fp32", QuantScheme::None);
+    sweep("SLS 8-bit quant (column/table-wise)",
+          QuantScheme::ColumnWise);
+
+    std::printf("\npaper shape: more ranks need more AES engines; "
+                "~10 engines cover rank=8 fp32\nburst mode; "
+                "quantization needs roughly one third the engines.\n");
+    return 0;
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the cryptographic substrate:
+ * AES block encryption, counter-mode OTP generation, arithmetic
+ * encryption, linear checksums, F_q arithmetic, and the end-to-end
+ * weighted-summation protocol. These quantify the software cost of
+ * the scheme's primitives (the paper's hardware engine is modeled in
+ * src/engine; these numbers are for the functional library).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "crypto/cwc.hh"
+#include "crypto/gcm.hh"
+#include "secndp/arith_encrypt.hh"
+#include "secndp/checksum.hh"
+#include "secndp/integrity_tree.hh"
+#include "secndp/protocol.hh"
+
+namespace secndp {
+namespace {
+
+const Aes128::Key kKey{0x13, 0x37};
+
+void
+BM_AesBlock(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    Block128 block{};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesBlock);
+
+void
+BM_OtpFill(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    CounterModeEncryptor enc(aes);
+    std::vector<std::uint8_t> pad(state.range(0));
+    for (auto _ : state) {
+        enc.otpFill(0, 1, pad);
+        benchmark::DoNotOptimize(pad.data());
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OtpFill)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_ArithEncrypt(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    CounterModeEncryptor enc(aes);
+    Rng rng(1);
+    const std::size_t rows = state.range(0);
+    Matrix plain(rows, 32, ElemWidth::W32, 0);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < 32; ++j)
+            plain.set(i, j, rng.next());
+    std::uint64_t version = 0;
+    for (auto _ : state) {
+        Matrix c = arithEncrypt(enc, plain, ++version);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(state.iterations() * plain.sizeBytes());
+}
+BENCHMARK(BM_ArithEncrypt)->Arg(8)->Arg(128);
+
+void
+BM_Fq127Mul(benchmark::State &state)
+{
+    Rng rng(2);
+    Fq127 a = Fq127::fromHalves(rng.next(), rng.next());
+    const Fq127 b = Fq127::fromHalves(rng.next(), rng.next());
+    for (auto _ : state) {
+        a *= b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fq127Mul);
+
+void
+BM_LinearChecksum(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    CounterModeEncryptor enc(aes);
+    Rng rng(3);
+    const std::size_t m = state.range(0);
+    Matrix mat(1, m, ElemWidth::W32, 0);
+    for (std::size_t j = 0; j < m; ++j)
+        mat.set(0, j, rng.next());
+    const Fq127 s = enc.checksumSecret(0, 1);
+    for (auto _ : state) {
+        Fq127 t = linearChecksum(mat, 0, s);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_LinearChecksum)->Arg(32)->Arg(1024);
+
+void
+BM_WeightedSumProtocol(benchmark::State &state)
+{
+    Rng rng(4);
+    const std::size_t pf = state.range(0);
+    Matrix plain(256, 32, ElemWidth::W32, 0x10000);
+    for (std::size_t i = 0; i < 256; ++i)
+        for (std::size_t j = 0; j < 32; ++j)
+            plain.set(i, j, rng.nextBounded(1 << 10));
+    SecNdpClient client(kKey);
+    UntrustedNdpDevice device;
+    client.provision(plain, device);
+    std::vector<std::size_t> rows(pf);
+    std::vector<std::uint64_t> weights(pf, 1);
+    for (auto &r : rows)
+        r = rng.nextBounded(256);
+    for (auto _ : state) {
+        auto res = client.weightedSumRows(device, rows, weights);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * pf * 32);
+}
+BENCHMARK(BM_WeightedSumProtocol)->Arg(8)->Arg(80);
+
+void
+BM_VerificationOnly(benchmark::State &state)
+{
+    // Cost of the verify step relative to the unverified protocol.
+    Rng rng(5);
+    Matrix plain(256, 32, ElemWidth::W32, 0x10000);
+    for (std::size_t i = 0; i < 256; ++i)
+        for (std::size_t j = 0; j < 32; ++j)
+            plain.set(i, j, rng.nextBounded(1 << 8));
+    SecNdpClient client(kKey);
+    UntrustedNdpDevice device;
+    client.provision(plain, device);
+    std::vector<std::size_t> rows(40);
+    std::vector<std::uint64_t> weights(40, 1);
+    for (auto &r : rows)
+        r = rng.nextBounded(256);
+    const bool verify = state.range(0) != 0;
+    for (auto _ : state) {
+        auto res = client.weightedSumRows(device, rows, weights,
+                                          verify);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_VerificationOnly)->Arg(0)->Arg(1);
+
+void
+BM_GcmSeal(benchmark::State &state)
+{
+    AesGcm gcm(kKey);
+    Rng rng(6);
+    std::vector<std::uint8_t> pt(state.range(0));
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next());
+    AesGcm::Iv iv{};
+    for (auto _ : state) {
+        auto sealed = gcm.seal(iv, pt);
+        benchmark::DoNotOptimize(sealed);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(64)->Arg(4096);
+
+void
+BM_CwcSeal(benchmark::State &state)
+{
+    AesCwc cwc(kKey);
+    Rng rng(7);
+    std::vector<std::uint8_t> pt(state.range(0));
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.next());
+    AesCwc::Nonce nonce{};
+    for (auto _ : state) {
+        auto sealed = cwc.seal(nonce, pt);
+        benchmark::DoNotOptimize(sealed);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CwcSeal)->Arg(64)->Arg(4096);
+
+void
+BM_IntegrityTreeRead(benchmark::State &state)
+{
+    CounterIntegrityTree tree(kKey, state.range(0), 8);
+    Rng rng(8);
+    for (auto _ : state) {
+        auto r = tree.verifiedRead(rng.nextBounded(tree.size()));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntegrityTreeRead)->Arg(64)->Arg(4096);
+
+void
+BM_IntegrityTreeIncrement(benchmark::State &state)
+{
+    CounterIntegrityTree tree(kKey, 4096, 8);
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.increment(rng.nextBounded(tree.size())));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntegrityTreeIncrement);
+
+} // namespace
+} // namespace secndp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Reproduces paper Table III: end-to-end speedup of unprotected NDP,
+ * SGX-CFL, SGX-ICL, and SecNDP (Ver-ECC tags) against the
+ * unprotected non-NDP baseline, for the four DLRM configurations
+ * (batch inference, PF=80, NDP_rank=8, NDP_reg=8) and the medical
+ * data analytics workload (m=1024 genes, PF patients per query).
+ *
+ * Paper reference values (Table III):
+ *   unprotected NDP : 2.46x / 3.11x / 4.05x / 4.44x / 7.46x
+ *   SGX-CFL         : 0.0038x / 0.0037x / N/A / N/A / 0.1738x
+ *   SGX-ICL         : 0.59x / 0.60x / N/A / N/A / 0.57x
+ *   SecNDP          : 2.36x / 3.02x / 3.95x / 4.33x / 7.46x
+ */
+
+#include "arch/sgx_model.hh"
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double ndp = 0, sgx_cfl = 0, sgx_icl = 0, secndp = 0;
+    bool sgx_na = false;
+};
+
+Row
+dlrmRow(const DlrmModelConfig &model)
+{
+    Row row;
+    row.name = model.name;
+    const unsigned batch = 8; // scaled batch; speedups are ratios
+    SystemConfig sys = defaultSystem();
+
+    SlsTraceConfig tc;
+    tc.batch = batch;
+    tc.pf = 80;
+    const auto plain_trace = buildSlsTrace(model, tc);
+    tc.layout = VerLayout::Ecc;
+    const auto ver_trace = buildSlsTrace(model, tc);
+
+    // NDP portion under each mode.
+    const double sls_cpu =
+        runWorkload(sys, plain_trace, ExecMode::CpuUnprotected).ns;
+    const double sls_ndp =
+        runWorkload(sys, plain_trace, ExecMode::NdpUnprotected).ns;
+    const double sls_secndp =
+        runWorkload(sys, ver_trace, ExecMode::SecNdpEncVer).ns;
+
+    // CPU (MLP) portion: roofline model; under a TEE it pays the
+    // cache-resident tax (paper: ~5% on ICL).
+    const double fc = fcComputeNs(model, batch);
+    const double tee_fc = fc * 1.05;
+
+    const double base = fc + sls_cpu;
+    row.ndp = base / (fc + sls_ndp);
+    row.secndp = base / (tee_fc + sls_secndp);
+
+    // SGX rows: whole model inside the enclave; the paper could only
+    // run RMC1 under SGX (malloc limits) -- report N/A for RMC2.
+    if (model.totalEmbBytes <= (2ULL << 30)) {
+        const auto pages = uniquePagesTouched(plain_trace);
+        row.sgx_cfl =
+            1.0 / sgxEndToEndSlowdown(sgxCoffeeLake(), fc, sls_cpu,
+                                      model.totalEmbBytes, pages);
+        row.sgx_icl =
+            1.0 / sgxEndToEndSlowdown(sgxIceLake(), fc, sls_cpu,
+                                      model.totalEmbBytes, pages);
+    } else {
+        row.sgx_na = true;
+    }
+    return row;
+}
+
+Row
+analyticsRow()
+{
+    Row row;
+    row.name = "Data Analytics";
+    SystemConfig sys = defaultSystem();
+
+    MedicalDbConfig db;
+    db.genes = 1024;
+    db.patients = 100000;
+    db.pf = 2500;  // scaled from 10,000 (single query, regular scan)
+    db.numQueries = 4;
+    const auto plain_trace = buildMedicalTrace(db, VerLayout::None);
+    const auto ver_trace = buildMedicalTrace(db, VerLayout::Ecc);
+
+    const double cpu =
+        runWorkload(sys, plain_trace, ExecMode::CpuUnprotected).ns;
+    const double ndp =
+        runWorkload(sys, plain_trace, ExecMode::NdpUnprotected).ns;
+    const double sec =
+        runWorkload(sys, ver_trace, ExecMode::SecNdpEncVer).ns;
+
+    row.ndp = cpu / ndp;
+    row.secndp = cpu / sec;
+    // Analytics is all memory phase; its 40 MB working set fits the
+    // CFL EPC (tree-walk tax only).
+    const std::uint64_t ws = db.pf * db.numQueries * 4096ull;
+    row.sgx_cfl = 1.0 / sgxMemoryPhaseSlowdown(
+                            sgxCoffeeLake(), ws,
+                            uniquePagesTouched(plain_trace), cpu);
+    row.sgx_icl = 1.0 / sgxMemoryPhaseSlowdown(
+                            sgxIceLake(), ws,
+                            uniquePagesTouched(plain_trace), cpu);
+    return row;
+}
+
+void
+printRow(const char *name, const std::vector<Row> &rows,
+         double Row::*field, const char *fmt)
+{
+    std::printf("%-24s", name);
+    for (const auto &r : rows) {
+        if (r.sgx_na &&
+            (field == &Row::sgx_cfl || field == &Row::sgx_icl))
+            std::printf(" %11s", "N/A");
+        else
+            std::printf(fmt, r.*field);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Table III: SecNDP speedup against unsecured baseline "
+           "and SGX (NDP_rank=8, NDP_reg=8, PF=80, batch scaled)");
+
+    std::vector<Row> rows;
+    for (const auto &model :
+         {rmc1Small(), rmc1Large(), rmc2Small(), rmc2Large()})
+        rows.push_back(dlrmRow(model));
+    rows.push_back(analyticsRow());
+
+    std::printf("%-24s", "");
+    for (const auto &r : rows)
+        std::printf(" %11s", r.name.c_str());
+    std::printf("\n");
+    hr();
+    std::printf("%-24s", "unprotected non-NDP");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf(" %10.2fx", 1.0);
+    std::printf("\n");
+    printRow("unprotected NDP", rows, &Row::ndp, " %10.2fx");
+    printRow("SGX-CFL", rows, &Row::sgx_cfl, " %10.4fx");
+    printRow("SGX-ICL (no int. tree)", rows, &Row::sgx_icl,
+             " %10.2fx");
+    printRow("SecNDP (Ver-ECC)", rows, &Row::secndp, " %10.2fx");
+    hr();
+    std::printf("paper:  NDP 2.46/3.11/4.05/4.44/7.46; SecNDP "
+                "2.36/3.02/3.95/4.33/7.46;\n        SGX-CFL "
+                "0.0038/0.0037/NA/NA/0.1738; SGX-ICL "
+                "0.59/0.60/NA/NA/0.57\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Table V: memory energy consumption of SecNDP in
+ * pJ per result bit for the SLS workload at PF=80, and the SecNDP
+ * engine area estimate of section VII-C.
+ *
+ * Paper reference (pJ/bit, PF = pooling factor):
+ *   unprotected non-NDP : DIMM 27.42xPF, IO 7.3xPF, engine 0, 100%
+ *   unprotected NDP     : DIMM 27.42xPF, IO 7.3,    engine 0, 79.2%
+ *   non-NDP Enc         : DIMM 27.42xPF, IO 7.3xPF, 0.5xPF,  101.5%
+ *   SecNDP Enc          : DIMM 27.42xPF, IO 7.3,    0.9xPF,  81.83%
+ *   SecNDP Enc+ver      : DIMM 30.85xPF, IO 8.2,    1.01xPF+1.72,
+ *                                                            92.09%
+ *   Area: 1.625 mm^2 at 45 nm with 10 AES engines.
+ */
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Table V: memory energy consumption of SecNDP "
+           "(SLS fp32, PF=80, per result bit)");
+
+    const unsigned pf = 80;
+    SystemConfig sys = defaultSystem(8, 8, 12);
+    const auto model = rmc1Small();
+    SlsTraceConfig tc;
+    tc.batch = 8;
+    tc.pf = pf;
+    const auto trace = buildSlsTrace(model, tc);
+    tc.layout = VerLayout::Ecc;
+    const auto ver_trace = buildSlsTrace(model, tc);
+
+    const double result_bits =
+        static_cast<double>(trace.queries.size()) * 32 * 32;
+
+    const EnergyParams ep;
+    struct Line
+    {
+        const char *name;
+        EnergyBreakdown e;
+    };
+    std::vector<Line> lines;
+
+    auto add = [&](const char *name, const WorkloadTrace &t,
+                   ExecMode mode, double dimm_factor) {
+        const auto m = runWorkload(sys, t, mode);
+        lines.push_back({name, computeEnergy(ep, m, dimm_factor)});
+    };
+
+    add("unprotected non-NDP", trace, ExecMode::CpuUnprotected, 1.0);
+    add("unprotected NDP", trace, ExecMode::NdpUnprotected, 1.0);
+    add("non-NDP Enc", trace, ExecMode::CpuTee, 1.0);
+    add("SecNDP Enc", trace, ExecMode::SecNdpEnc, 1.0);
+    // Ver-ECC: 16 B tag rides the ECC chip per 128 B row => 1.125x
+    // device/interface bits.
+    add("SecNDP Enc+ver", ver_trace, ExecMode::SecNdpEncVer,
+        1.0 + 16.0 / 128.0);
+
+    const double base_total = lines[0].e.totalPj();
+    std::printf("  %-22s %11s %9s %13s %10s\n", "", "DIMM", "DIMM IO",
+                "SecNDP Engine", "Normd.Mem");
+    std::printf("  %-22s %11s %9s %13s %10s\n", "(pJ/result-bit)", "",
+                "", "", "(PF=80)");
+    hr();
+    for (const auto &l : lines) {
+        std::printf("  %-22s %11.1f %9.2f %13.2f %9.2f%%\n", l.name,
+                    l.e.dimmPj / result_bits, l.e.ioPj / result_bits,
+                    l.e.enginePj / result_bits,
+                    100.0 * l.e.totalPj() / base_total);
+    }
+    hr();
+    std::printf("paper (pJ/result-bit): DIMM 27.42xPF=2194; IO "
+                "7.3xPF=584 (non-NDP) or 7.3 (NDP);\nengine 0.5xPF=40 "
+                "(non-NDP Enc), 0.9xPF=72 (SecNDP Enc), "
+                "1.01xPF+1.72=82.5 (Enc+ver);\nnormalized 100 / 79.2 "
+                "/ 101.5 / 81.83 / 92.09 %%\n");
+
+    std::printf("\nSecNDP engine area at 45 nm:\n");
+    for (unsigned aes : {8u, 10u, 12u}) {
+        std::printf("  %2u AES engines + OTP PU + verifier: %.3f "
+                    "mm^2\n", aes, engineAreaMm2(ep, aes, true));
+    }
+    std::printf("paper: 1.625 mm^2 with 10 AES engines\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+# Bench targets are defined at the top level (include()d from the root
+# CMakeLists) with RUNTIME_OUTPUT_DIRECTORY set to build/bench, so that
+# directory contains ONLY runnable experiment binaries and
+# `for b in build/bench/*; do $b; done` regenerates every table/figure
+# without tripping over CMake-generated files.
+
+function(secndp_bench name)
+    add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cpp)
+    target_link_libraries(${name} PRIVATE secndp_workloads
+        secndp_energy)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${PROJECT_BINARY_DIR}/bench)
+endfunction()
+
+secndp_bench(bench_table3_endtoend)
+secndp_bench(bench_fig7_ndp_speedup)
+secndp_bench(bench_fig8_aes_bottleneck)
+secndp_bench(bench_fig9_verification)
+secndp_bench(bench_fig10_ver_bottleneck)
+secndp_bench(bench_fig11_breakdown)
+secndp_bench(bench_table4_accuracy)
+secndp_bench(bench_table5_energy)
+secndp_bench(bench_ablation_checksum)
+secndp_bench(bench_ablation_skew)
+secndp_bench(bench_ablation_latency)
+secndp_bench(bench_ablation_channels)
+secndp_bench(bench_ablation_provisioning)
+
+secndp_bench(bench_ext_storage)
+target_link_libraries(bench_ext_storage PRIVATE secndp_storage)
+
+add_executable(bench_micro_crypto
+    ${PROJECT_SOURCE_DIR}/bench/bench_micro_crypto.cpp)
+target_link_libraries(bench_micro_crypto PRIVATE secndp_core
+    benchmark::benchmark)
+set_target_properties(bench_micro_crypto PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${PROJECT_BINARY_DIR}/bench)

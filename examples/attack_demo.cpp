@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Adversary's tour of SecNDP (threat model of paper section II):
+ * what an attacker who fully controls the memory/NDP side can see
+ * and do, and why each attack fails.
+ *
+ *  1. Cold-boot snooping: the memory image is indistinguishable from
+ *     random -- no plaintext structure survives encryption.
+ *  2. Data tampering: flipping ciphertext bits corrupts results, but
+ *     the linear-checksum tag catches it.
+ *  3. Relocation: swapping two (row, tag) pairs is caught because
+ *     pads and tags are address-bound.
+ *  4. Replay: serving yesterday's (validly encrypted!) data after a
+ *     re-encryption is caught because versions changed.
+ *  5. Malicious compute: an NDP that returns garbage (or subtly
+ *     scaled) results cannot forge a matching tag.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.hh"
+#include "secndp/protocol.hh"
+
+using namespace secndp;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool cond, const char *what)
+{
+    std::printf("  [%s] %s\n", cond ? "DEFENDED" : "BREACHED!", what);
+    if (!cond)
+        ++failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Aes128::Key key{0xa7, 0x7a, 0xcc};
+    Rng rng(1337);
+
+    Matrix secret(16, 8, ElemWidth::W32, 0x20000);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            secret.set(i, j, rng.nextBounded(1000));
+
+    SecNdpClient client(key);
+    UntrustedNdpDevice device;
+    client.provision(secret, device);
+
+    const std::vector<std::size_t> rows{2, 5, 7, 11};
+    const std::vector<std::uint64_t> weights{1, 3, 1, 1};
+
+    std::printf("attack 1: cold-boot memory dump\n");
+    {
+        // Entropy sniff test: byte histogram of the ciphertext image
+        // should be flat-ish; the plaintext image (small ints) is
+        // heavily concentrated.
+        auto peak = [](std::span<const std::uint8_t> bytes) {
+            std::map<std::uint8_t, std::size_t> hist;
+            for (auto b : bytes)
+                ++hist[b];
+            std::size_t best = 0;
+            for (const auto &kv : hist)
+                best = std::max(best, kv.second);
+            return static_cast<double>(best) / bytes.size();
+        };
+        const double plain_peak = peak(secret.buffer().byteSpan());
+        const double cipher_peak =
+            peak(device.cipher().buffer().byteSpan());
+        std::printf("  plaintext image peak byte freq: %.2f; "
+                    "ciphertext: %.3f\n", plain_peak, cipher_peak);
+        check(cipher_peak < plain_peak / 5,
+              "memory dump reveals no value distribution");
+        // And re-encrypting identical data yields a fresh image.
+        UntrustedNdpDevice device2;
+        client.provision(secret, device2);
+        check(device.cipher().buffer() != device2.cipher().buffer(),
+              "re-encryption is unlinkable (fresh version)");
+        // Restore the original provisioning for the next attacks.
+        client.provision(secret, device);
+    }
+
+    std::printf("attack 2: tamper with stored ciphertext\n");
+    {
+        UntrustedNdpDevice evil = device;
+        evil.tamperCipher().set(5, 3, evil.cipher().get(5, 3) ^ 0x10);
+        const auto r = client.weightedSumRows(evil, rows, weights);
+        check(!r.verified, "bit-flipped row detected");
+    }
+
+    std::printf("attack 3: relocate rows (swap data + tags)\n");
+    {
+        UntrustedNdpDevice evil = device;
+        auto &c = evil.tamperCipher();
+        for (std::size_t j = 0; j < c.cols(); ++j) {
+            const auto tmp = c.get(2, j);
+            c.set(2, j, c.get(5, j));
+            c.set(5, j, tmp);
+        }
+        std::swap(evil.tamperTags()[2], evil.tamperTags()[5]);
+        const auto r = client.weightedSumRows(evil, rows, weights);
+        check(!r.verified, "row relocation detected");
+    }
+
+    std::printf("attack 4: replay stale (validly encrypted) data\n");
+    {
+        UntrustedNdpDevice stale = device; // snapshot v1
+        Matrix updated = secret;
+        updated.set(5, 0, 999999);
+        client.provision(updated, device); // re-encrypt under v2
+        const auto r = client.weightedSumRows(stale, rows, weights);
+        check(!r.verified, "replay of old snapshot detected");
+    }
+
+    std::printf("attack 5: malicious NDP computation\n");
+    {
+        // The NDP returns a scaled result and the matching scaled
+        // tag -- the strongest cheap forgery available to it.
+        const auto honest = device.weightedSumRows(rows, weights, true);
+        UntrustedNdpDevice evil = device;
+        // Emulate by tampering every queried row by doubling its
+        // ciphertext (=> result share doubles) and doubling tags.
+        auto &c = evil.tamperCipher();
+        for (auto i : rows) {
+            for (std::size_t j = 0; j < c.cols(); ++j)
+                c.set(i, j, 2 * c.get(i, j));
+            evil.tamperTags()[i] =
+                evil.tamperTags()[i] * Fq127(2);
+        }
+        const auto r = client.weightedSumRows(evil, rows, weights);
+        check(!r.verified, "scaled-result forgery detected");
+        (void)honest;
+    }
+
+    std::printf("attack 6: brute tag guessing (sampled)\n");
+    {
+        // Randomly perturbing the tag must never validate: success
+        // probability is m/q ~ 2^-124 per try.
+        bool any_pass = false;
+        for (int t = 0; t < 200; ++t) {
+            UntrustedNdpDevice evil = device;
+            evil.tamperCipher().set(rows[0], 0,
+                                    evil.cipher().get(rows[0], 0) + 1);
+            evil.tamperTags()[rows[0]] +=
+                Fq127::fromHalves(rng.next(), rng.next());
+            any_pass |=
+                client.weightedSumRows(evil, rows, weights).verified;
+        }
+        check(!any_pass, "no random tag forgery passed (200 tries)");
+    }
+
+    std::printf("\n%s\n", failures == 0
+                              ? "all attacks defended."
+                              : "SECURITY FAILURE -- see above");
+    return failures == 0 ? 0 : 1;
+}

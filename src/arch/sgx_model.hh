@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic CPU-TEE (Intel SGX) reference model for the Table III
+ * comparison rows.
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper measures two real SGX
+ * machines; we model the two mechanisms it attributes the slowdowns
+ * to (paper footnotes 6 and 7):
+ *
+ *  - Coffee Lake (client SGX): a Memory Encryption Engine with an
+ *    integrity tree and a small (168 MB) EPC. Working sets beyond the
+ *    EPC page-swap constantly (6-300x slowdowns); even EPC-resident
+ *    streaming suffers the MEE + counter-tree walk tax.
+ *  - Ice Lake (scalable SGX): huge EPC (96 GB), memory encryption
+ *    without an integrity tree -- a moderate bandwidth/latency tax on
+ *    memory-bound phases (1.8-2.6x), ~5% on cache-resident compute.
+ */
+
+#ifndef SECNDP_ARCH_SGX_MODEL_HH
+#define SECNDP_ARCH_SGX_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secndp {
+
+/** Parameters of one SGX machine generation. */
+struct SgxMachine
+{
+    std::string name;
+    double epcBytes;
+    /** Slowdown of memory-bound phases that fit in the EPC (MEE and,
+     *  on CFL, counter-tree walks). */
+    double streamSlowdown;
+    /** Cost of one EPC page swap (encrypt+evict+fetch+verify). */
+    double pageSwapNs;
+    /** Slowdown of cache-resident compute (enclave transitions etc). */
+    double computeSlowdown;
+    bool hasIntegrityTree;
+};
+
+/** Intel Xeon E-2288G Coffee Lake, 168 MB EPC (paper section VI-B). */
+SgxMachine sgxCoffeeLake();
+
+/** Intel Xeon Platinum 8370C Ice Lake, 96 GB EPC, no integrity tree. */
+SgxMachine sgxIceLake();
+
+/**
+ * Slowdown factor of a memory-bound phase under SGX relative to its
+ * unprotected execution.
+ *
+ * @param machine the SGX generation
+ * @param working_set_bytes enclave-resident data the phase touches
+ * @param unique_pages_touched distinct 4 KB pages the phase reads
+ * @param baseline_ns unprotected execution time of the phase
+ */
+double sgxMemoryPhaseSlowdown(const SgxMachine &machine,
+                              std::uint64_t working_set_bytes,
+                              std::uint64_t unique_pages_touched,
+                              double baseline_ns);
+
+/**
+ * End-to-end slowdown combining a compute phase (cache-resident) and
+ * a memory phase, given their unprotected times.
+ */
+double sgxEndToEndSlowdown(const SgxMachine &machine,
+                           double compute_ns, double memory_ns,
+                           std::uint64_t working_set_bytes,
+                           std::uint64_t unique_pages_touched);
+
+} // namespace secndp
+
+#endif // SECNDP_ARCH_SGX_MODEL_HH

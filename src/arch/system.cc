@@ -1,0 +1,93 @@
+#include "arch/system.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::CpuUnprotected: return "cpu-unprotected";
+      case ExecMode::CpuTee: return "cpu-tee";
+      case ExecMode::NdpUnprotected: return "ndp-unprotected";
+      case ExecMode::SecNdpEnc: return "secndp-enc";
+      case ExecMode::SecNdpEncVer: return "secndp-enc+ver";
+    }
+    return "?";
+}
+
+RunMetrics
+runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
+            ExecMode mode)
+{
+    const bool is_ndp = mode == ExecMode::NdpUnprotected ||
+                        mode == ExecMode::SecNdpEnc ||
+                        mode == ExecMode::SecNdpEncVer;
+    const bool is_secndp = mode == ExecMode::SecNdpEnc ||
+                           mode == ExecMode::SecNdpEncVer;
+
+    // Translate queries to physical line sets. A fresh page mapper
+    // per run keeps experiments independent yet reproducible.
+    PageMapper pages(cfg.dram.geometry.totalBytes(), 4096,
+                     cfg.pageSeed);
+    std::vector<NdpQuery> packets;
+    packets.reserve(trace.queries.size());
+    std::uint64_t result_bits = 0;
+    for (const auto &q : trace.queries) {
+        packets.push_back(buildQuery(pages, q.ranges,
+                                     cfg.dram.geometry.lineBytes));
+        result_bits += std::uint64_t{q.resultBytes} * 8;
+    }
+
+    RunMetrics metrics;
+    const unsigned line_bits = cfg.dram.geometry.lineBytes * 8;
+
+    BatchResult batch;
+    if (is_ndp) {
+        NdpSimulation sim(cfg.dram, cfg.ndp);
+        batch = sim.run(packets);
+        // Only results cross the DIMM interface.
+        metrics.ioBits = result_bits;
+    } else {
+        batch = runCpuBatch(cfg.dram, packets);
+        // Every fetched line crosses the DIMM interface.
+        metrics.ioBits = batch.totalLines * line_bits;
+    }
+    metrics.cycles = batch.totalCycles;
+    metrics.lines = batch.totalLines;
+    metrics.acts = batch.acts;
+
+    if (is_secndp) {
+        std::vector<EngineWork> work;
+        work.reserve(trace.queries.size());
+        for (const auto &q : trace.queries) {
+            EngineWork w = q.engineWork;
+            if (mode == ExecMode::SecNdpEnc) {
+                w.tagOtpBlocks = 0;
+                w.verifyOps = 0;
+            }
+            work.push_back(w);
+        }
+        const auto overlay =
+            overlayEngine(cfg.engine, cfg.dram.clock, batch.packets,
+                          work, mode == ExecMode::SecNdpEncVer);
+        metrics.cycles = std::max(metrics.cycles, overlay.totalCycles);
+        metrics.fracDecryptBound = overlay.fractionDecryptBound;
+        metrics.aesBlocks = overlay.totalAesBlocks;
+        metrics.otpPuOps = overlay.totalOtpPuOps;
+        metrics.verifyOps = overlay.totalVerifyOps;
+    } else if (mode == ExecMode::CpuTee) {
+        // The whole fetched stream is counter-mode decrypted on-chip.
+        const std::uint64_t blocks = batch.totalLines *
+                                     (cfg.dram.geometry.lineBytes / 16);
+        metrics.cycles = teeDecryptFinish(cfg.engine, cfg.dram.clock,
+                                          blocks, metrics.cycles);
+        metrics.aesBlocks = blocks;
+    }
+
+    metrics.ns = metrics.cycles * cfg.dram.clock.nsPerCycle();
+    return metrics;
+}
+
+} // namespace secndp

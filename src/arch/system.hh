@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Whole-system composition: run a workload trace under one of the
+ * paper's five execution modes and collect the metrics every
+ * table/figure needs.
+ *
+ *   CpuUnprotected -- the non-NDP insecure baseline (speedup = 1x ref)
+ *   CpuTee         -- non-NDP with counter-mode memory protection
+ *   NdpUnprotected -- native rank-NDP, no protection
+ *   SecNdpEnc      -- SecNDP, encryption only
+ *   SecNdpEncVer   -- SecNDP, encryption + verification (tag layout
+ *                     is encoded in the trace's access ranges)
+ *
+ * The SGX CPU-TEE reference of Table III lives in arch/sgx_model.
+ */
+
+#ifndef SECNDP_ARCH_SYSTEM_HH
+#define SECNDP_ARCH_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine_model.hh"
+#include "ndp/ndp_config.hh"
+#include "ndp/packet_gen.hh"
+
+namespace secndp {
+
+/** Execution modes of the evaluation. */
+enum class ExecMode
+{
+    CpuUnprotected,
+    CpuTee,
+    NdpUnprotected,
+    SecNdpEnc,
+    SecNdpEncVer,
+};
+
+const char *execModeName(ExecMode mode);
+
+/** One query of a workload trace, mode-agnostic. */
+struct TraceQuery
+{
+    /** Byte ranges read off-chip (data, plus tags if the layout
+     *  stores them in regular memory). */
+    std::vector<AccessRange> ranges;
+    /** On-chip engine work for the SecNDP modes. */
+    EngineWork engineWork;
+    /** Result bytes returned to the processor by NDPLd. */
+    std::uint32_t resultBytes = 0;
+};
+
+/** A full workload trace. */
+struct WorkloadTrace
+{
+    std::vector<TraceQuery> queries;
+};
+
+/** Hardware configuration of one experiment. */
+struct SystemConfig
+{
+    DramConfig dram;
+    NdpConfig ndp;
+    EngineConfig engine;
+    std::uint64_t pageSeed = 1;
+};
+
+/** Metrics of one run (inputs to speedup/energy computations). */
+struct RunMetrics
+{
+    Cycle cycles = 0;
+    double ns = 0.0;
+    std::uint64_t lines = 0; ///< line reads issued to DRAM
+    std::uint64_t acts = 0;  ///< row activations
+    std::uint64_t ioBits = 0; ///< bits crossing the DIMM interface
+    std::uint64_t aesBlocks = 0;
+    std::uint64_t otpPuOps = 0;
+    std::uint64_t verifyOps = 0;
+    double fracDecryptBound = 0.0;
+};
+
+/** Execute `trace` under `mode` on the configured system. */
+RunMetrics runWorkload(const SystemConfig &cfg,
+                       const WorkloadTrace &trace, ExecMode mode);
+
+} // namespace secndp
+
+#endif // SECNDP_ARCH_SYSTEM_HH

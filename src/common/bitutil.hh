@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across modules.
+ */
+
+#ifndef SECNDP_COMMON_BITUTIL_HH
+#define SECNDP_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace secndp {
+
+/** Mask with the low `bits` bits set (bits in [0, 64]). */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~0ULL : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** True iff v is a power of two (v > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** ceil(a / b) for b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of b (b > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t a, std::uint64_t b)
+{
+    return divCeil(a, b) * b;
+}
+
+/** Extract bits [lo, hi) of v (hi > lo, hi <= 64). */
+constexpr std::uint64_t
+bitSlice(std::uint64_t v, unsigned lo, unsigned hi)
+{
+    return (v >> lo) & lowMask(hi - lo);
+}
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_BITUTIL_HH

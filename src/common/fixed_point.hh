@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fixed-point conversion helpers.
+ *
+ * SecNDP (like arithmetic secret sharing generally) computes in the
+ * integer ring Z(2^we), so floating-point workloads quantize to
+ * fixed-point first (paper section III-C). These helpers convert between
+ * float/double and two's-complement fixed point with a runtime number of
+ * fractional bits, with round-to-nearest and saturation.
+ */
+
+#ifndef SECNDP_COMMON_FIXED_POINT_HH
+#define SECNDP_COMMON_FIXED_POINT_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace secndp {
+
+/** Parameters of a fixed-point representation. */
+struct FixedPointFormat
+{
+    /** Total bit width (values live in Z(2^totalBits)). */
+    unsigned totalBits = 32;
+    /** Number of fractional bits. */
+    unsigned fracBits = 16;
+
+    double scale() const { return std::ldexp(1.0, fracBits); }
+    std::int64_t maxRaw() const
+    {
+        return (std::int64_t{1} << (totalBits - 1)) - 1;
+    }
+    std::int64_t minRaw() const
+    {
+        return -(std::int64_t{1} << (totalBits - 1));
+    }
+};
+
+/**
+ * Quantize a real value to fixed point (round-to-nearest-even,
+ * saturating), returned as the two's-complement raw integer.
+ */
+inline std::int64_t
+toFixed(double v, const FixedPointFormat &fmt)
+{
+    const double scaled = v * fmt.scale();
+    double rounded = std::nearbyint(scaled);
+    if (rounded > static_cast<double>(fmt.maxRaw()))
+        rounded = static_cast<double>(fmt.maxRaw());
+    if (rounded < static_cast<double>(fmt.minRaw()))
+        rounded = static_cast<double>(fmt.minRaw());
+    return static_cast<std::int64_t>(rounded);
+}
+
+/** Reinterpret a raw fixed-point integer as a real value. */
+inline double
+fromFixed(std::int64_t raw, const FixedPointFormat &fmt)
+{
+    return static_cast<double>(raw) / fmt.scale();
+}
+
+/**
+ * Encode a signed raw value into the unsigned ring Z(2^we) (two's
+ * complement truncation), the representation stored in memory and
+ * operated on by the scheme.
+ */
+inline std::uint64_t
+toRing(std::int64_t raw, unsigned we)
+{
+    const std::uint64_t mask =
+        we >= 64 ? ~0ULL : ((std::uint64_t{1} << we) - 1);
+    return static_cast<std::uint64_t>(raw) & mask;
+}
+
+/** Decode a ring element back to a signed value (sign-extend we bits). */
+inline std::int64_t
+fromRing(std::uint64_t v, unsigned we)
+{
+    if (we >= 64)
+        return static_cast<std::int64_t>(v);
+    const std::uint64_t sign_bit = std::uint64_t{1} << (we - 1);
+    const std::uint64_t mask = (std::uint64_t{1} << we) - 1;
+    v &= mask;
+    if (v & sign_bit)
+        return static_cast<std::int64_t>(v | ~mask);
+    return static_cast<std::int64_t>(v);
+}
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_FIXED_POINT_HH

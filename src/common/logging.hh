@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-reporting helpers.
+ *
+ * panic()  -- an internal invariant was violated (a simulator bug);
+ *             aborts so the failure can be debugged.
+ * fatal()  -- the user asked for something impossible (bad config);
+ *             exits with an error code.
+ * warn() / inform() -- non-fatal status messages.
+ */
+
+#ifndef SECNDP_COMMON_LOGGING_HH
+#define SECNDP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace secndp {
+
+/** Print a formatted message and abort(). Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** Whether inform() output is currently enabled. */
+bool verboseEnabled();
+
+/** Implementation detail of SECNDP_ASSERT. Never returns. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * panic() unless the condition holds. Used for internal invariants that
+ * must hold regardless of user input.
+ */
+#define SECNDP_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::secndp::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__); \
+        }                                                                  \
+    } while (0)
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_LOGGING_HH

@@ -1,0 +1,157 @@
+#include "common/rng.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    SECNDP_ASSERT(bound > 0, "nextBounded(0)");
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    SECNDP_ASSERT(lo <= hi, "bad range [%ld, %ld]", lo, hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(
+        span == 0 ? next() : nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGauss_) {
+        haveGauss_ = false;
+        return gaussSpare_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    gaussSpare_ = r * std::sin(theta);
+    haveGauss_ = true;
+    return r * std::cos(theta);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double alpha)
+{
+    SECNDP_ASSERT(n > 0, "nextZipf(0)");
+    if (alpha <= 0.0)
+        return nextBounded(n);
+
+    // Inverse-CDF on the continuous approximation; accurate enough for
+    // workload skew synthesis and O(1) per draw.
+    const double s = 1.0 - alpha;
+    const double nd = static_cast<double>(n);
+    double u = nextDouble();
+    double x;
+    if (std::abs(s) < 1e-9) {
+        x = std::exp(u * std::log(nd + 1.0));
+    } else {
+        const double top = std::pow(nd + 1.0, s);
+        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / s);
+    }
+    std::uint64_t idx = static_cast<std::uint64_t>(x) - 1;
+    return idx >= n ? n - 1 : idx;
+}
+
+std::vector<std::uint64_t>
+Rng::sampleDistinct(std::uint64_t n, std::size_t k)
+{
+    SECNDP_ASSERT(k <= n, "cannot draw %zu distinct from %lu", k, n);
+    std::vector<std::uint64_t> out;
+    out.reserve(k);
+    if (k * 2 >= n) {
+        // Dense case: partial Fisher-Yates over an index array.
+        std::vector<std::uint64_t> pool(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            pool[i] = i;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::uint64_t j = i + nextBounded(n - i);
+            std::swap(pool[i], pool[j]);
+            out.push_back(pool[i]);
+        }
+    } else {
+        std::unordered_set<std::uint64_t> seen;
+        while (out.size() < k) {
+            const std::uint64_t v = nextBounded(n);
+            if (seen.insert(v).second)
+                out.push_back(v);
+        }
+    }
+    return out;
+}
+
+} // namespace secndp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation and
+ * workload synthesis.
+ *
+ * We use xoshiro256** (public domain, Blackman & Vigna): fast, high
+ * quality, and trivially seedable, so every experiment in the repo is
+ * reproducible bit-for-bit from its seed. NOT a CSPRNG -- key material
+ * in tests is fine, but the crypto module never uses this for pads.
+ */
+
+#ifndef SECNDP_COMMON_RNG_HH
+#define SECNDP_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace secndp {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = defaultSeed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface (usable with <random>). */
+    result_type operator()() { return next(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /**
+     * Zipf-distributed index in [0, n) with exponent alpha, via
+     * rejection-inversion (Hormann & Derflinger). alpha == 0 degrades
+     * to uniform. Used to synthesise skewed embedding-row popularity.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double alpha);
+
+    /** k distinct uniform indices from [0, n) (k <= n). */
+    std::vector<std::uint64_t> sampleDistinct(std::uint64_t n,
+                                              std::size_t k);
+
+  public:
+    /** Repo-wide default seed ("secndp" leetspeak). */
+    static constexpr std::uint64_t defaultSeed = 0x5ec0d9d15ec0d9d1ULL;
+
+  private:
+    std::uint64_t state_[4];
+    bool haveGauss_ = false;
+    double gaussSpare_ = 0.0;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_RNG_HH

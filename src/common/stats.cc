@@ -1,0 +1,112 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace secndp {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Samples::percentile(double p) const
+{
+    if (values_.empty())
+        return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    p = std::min(1.0, std::max(0.0, p));
+    const std::size_t rank = static_cast<std::size_t>(
+        p * (sorted.size() - 1) + 0.5);
+    return sorted[rank];
+}
+
+double
+Samples::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values_)
+        acc += v;
+    return acc / values_.size();
+}
+
+std::uint64_t &
+StatGroup::counter(const std::string &stat)
+{
+    return counters_[stat];
+}
+
+double &
+StatGroup::scalar(const std::string &stat)
+{
+    return scalars_[stat];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &stat)
+{
+    return distributions_[stat];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat) const
+{
+    auto it = counters_.find(stat);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::scalarValue(const std::string &stat) const
+{
+    auto it = scalars_.find(stat);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+    for (auto &kv : scalars_)
+        kv.second = 0.0;
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << "." << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : scalars_)
+        os << name_ << "." << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : distributions_) {
+        os << name_ << "." << kv.first << ".count " << kv.second.count()
+           << "\n";
+        os << name_ << "." << kv.first << ".mean " << kv.second.mean()
+           << "\n";
+        os << name_ << "." << kv.first << ".min " << kv.second.minValue()
+           << "\n";
+        os << name_ << "." << kv.first << ".max " << kv.second.maxValue()
+           << "\n";
+    }
+}
+
+} // namespace secndp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A tiny statistics registry in the spirit of gem5's stats package.
+ *
+ * Components register named counters/scalars in a StatGroup; groups can
+ * be dumped together for an experiment report. Everything is plain
+ * double/uint64 -- no sampling, no histograms beyond a simple
+ * Distribution that tracks min/max/mean.
+ */
+
+#ifndef SECNDP_COMMON_STATS_HH
+#define SECNDP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secndp {
+
+/** An accumulating distribution: count / min / max / mean / sum. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A value collection with exact quantiles (stores every sample; use
+ * for per-packet metrics, not per-cycle ones).
+ */
+class Samples
+{
+  public:
+    void add(double v) { values_.push_back(v); }
+    std::size_t count() const { return values_.size(); }
+
+    /** Exact p-quantile, p in [0, 1] (nearest-rank). Empty -> 0. */
+    double percentile(double p) const;
+
+    double mean() const;
+
+  private:
+    std::vector<double> values_;
+};
+
+/**
+ * A named collection of scalar statistics. Scalars are created lazily
+ * on first access, so callers can just bump `group.counter("reads")++`.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Integral counter (created at 0 on first use). */
+    std::uint64_t &counter(const std::string &stat);
+
+    /** Floating-point scalar (created at 0.0 on first use). */
+    double &scalar(const std::string &stat);
+
+    /** Distribution (created empty on first use). */
+    Distribution &distribution(const std::string &stat);
+
+    /** Value lookups that do not create entries (0 when absent). */
+    std::uint64_t counterValue(const std::string &stat) const;
+    double scalarValue(const std::string &stat) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Zero every statistic in this group. */
+    void reset();
+
+    /** Pretty-print `name.stat value` lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_STATS_HH

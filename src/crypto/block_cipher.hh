@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract block-cipher interface.
+ *
+ * The SecNDP scheme is defined over any w_c-bit block cipher E(K, X)
+ * (paper section IV-A). The repo ships AES-128 (crypto/aes.hh); tests
+ * also use a trivially-invertible TestCipher to exercise scheme algebra
+ * independently of AES.
+ */
+
+#ifndef SECNDP_CRYPTO_BLOCK_CIPHER_HH
+#define SECNDP_CRYPTO_BLOCK_CIPHER_HH
+
+#include <array>
+#include <cstdint>
+
+namespace secndp {
+
+/** 128-bit block type used throughout the crypto layer. */
+using Block128 = std::array<std::uint8_t, 16>;
+
+/** A 128-bit-block cipher (encryption direction only). */
+class BlockCipher
+{
+  public:
+    virtual ~BlockCipher() = default;
+
+    /** Block size in bytes (always 16 here; kept for clarity). */
+    static constexpr unsigned blockBytes = 16;
+
+    /** Encrypt one block. in and out may alias. */
+    virtual void encryptBlock(const Block128 &in, Block128 &out) const = 0;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_CRYPTO_BLOCK_CIPHER_HH

@@ -1,0 +1,103 @@
+#include "crypto/counter_mode.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+Block128
+buildCounterBlock(TweakDomain domain, std::uint64_t addr,
+                  std::uint64_t version)
+{
+    SECNDP_ASSERT(addr < (std::uint64_t{1} << 56),
+                  "address %lu exceeds 56-bit tweak field", addr);
+    Block128 block{};
+    block[0] = static_cast<std::uint8_t>(domain);
+    for (unsigned i = 0; i < 7; ++i)
+        block[1 + i] = static_cast<std::uint8_t>(addr >> (8 * i));
+    for (unsigned i = 0; i < 8; ++i)
+        block[8 + i] = static_cast<std::uint8_t>(version >> (8 * i));
+    return block;
+}
+
+Block128
+CounterModeEncryptor::otpBlock(std::uint64_t addr,
+                               std::uint64_t version) const
+{
+    SECNDP_ASSERT(addr % BlockCipher::blockBytes == 0,
+                  "OTP chunk address %lu not block aligned", addr);
+    const Block128 in = buildCounterBlock(TweakDomain::Data, addr,
+                                          version);
+    Block128 out;
+    cipher_.encryptBlock(in, out);
+    return out;
+}
+
+std::uint64_t
+CounterModeEncryptor::otpElement(std::uint64_t paddr, ElemWidth we,
+                                 std::uint64_t version) const
+{
+    const std::uint64_t chunk_addr =
+        paddr & ~std::uint64_t{BlockCipher::blockBytes - 1};
+    const Block128 pad = otpBlock(chunk_addr, version);
+    const unsigned offset =
+        static_cast<unsigned>(paddr - chunk_addr);
+    SECNDP_ASSERT(offset % bytes(we) == 0,
+                  "element address %lu not aligned to %u-bit width",
+                  paddr, bits(we));
+    std::uint64_t v = 0;
+    std::memcpy(&v, pad.data() + offset, bytes(we));
+    return v;
+}
+
+void
+CounterModeEncryptor::otpFill(std::uint64_t addr, std::uint64_t version,
+                              std::span<std::uint8_t> out) const
+{
+    SECNDP_ASSERT(addr % BlockCipher::blockBytes == 0,
+                  "OTP fill address %lu not block aligned", addr);
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Block128 pad = otpBlock(addr + done, version);
+        const std::size_t n =
+            std::min<std::size_t>(BlockCipher::blockBytes,
+                                  out.size() - done);
+        std::memcpy(out.data() + done, pad.data(), n);
+        done += n;
+    }
+}
+
+Fq127
+CounterModeEncryptor::first127(const Block128 &block)
+{
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, block.data(), 8);
+    std::memcpy(&hi, block.data() + 8, 8);
+    hi &= 0x7fffffffffffffffULL; // keep the first w_t = 127 bits
+    return Fq127::fromHalves(lo, hi);
+}
+
+Fq127
+CounterModeEncryptor::checksumSecret(std::uint64_t paddr_matrix,
+                                     std::uint64_t version) const
+{
+    const Block128 in = buildCounterBlock(TweakDomain::Checksum,
+                                          paddr_matrix, version);
+    Block128 out;
+    cipher_.encryptBlock(in, out);
+    return first127(out);
+}
+
+Fq127
+CounterModeEncryptor::tagOtp(std::uint64_t paddr_row,
+                             std::uint64_t version) const
+{
+    const Block128 in = buildCounterBlock(TweakDomain::Tag, paddr_row,
+                                          version);
+    Block128 out;
+    cipher_.encryptBlock(in, out);
+    return first127(out);
+}
+
+} // namespace secndp

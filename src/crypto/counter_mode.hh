@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tweaked counter-mode one-time-pad generation.
+ *
+ * Implements the randomized encryption systems E_00(), E_01(), E_10()
+ * of paper Definition A.2: a block cipher evaluated over
+ * (domain || address || version || zero padding). Domain '00' pads the
+ * arithmetic-encrypted data (Alg. 1), '01' derives the checksum secret
+ * s (Alg. 2), and '10' pads the verification tags (Alg. 3). Domain
+ * separation is what keeps the three uses independent.
+ *
+ * Block input layout (128 bits, little-endian fields):
+ *   byte 0       : domain tag (2 significant bits)
+ *   bytes 1..7   : byte address (56 bits; the paper's w_A = 38 fits)
+ *   bytes 8..15  : version number v (64 bits)
+ * Injective over (domain, addr, v), which is all the proofs require.
+ */
+
+#ifndef SECNDP_CRYPTO_COUNTER_MODE_HH
+#define SECNDP_CRYPTO_COUNTER_MODE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/block_cipher.hh"
+#include "ring/mersenne.hh"
+#include "ring/ring_buffer.hh"
+
+namespace secndp {
+
+/** Tweak domains of Definition A.2. */
+enum class TweakDomain : std::uint8_t
+{
+    Data = 0b00,     ///< E_00: OTPs for arithmetic encryption (Alg. 1)
+    Checksum = 0b01, ///< E_01: the checksum secret s (Alg. 2)
+    Tag = 0b10,      ///< E_10: OTPs for encrypted tags (Alg. 3)
+};
+
+/** Assemble the counter block for (domain, addr, version). */
+Block128 buildCounterBlock(TweakDomain domain, std::uint64_t addr,
+                           std::uint64_t version);
+
+/**
+ * Counter-mode pad generator bound to one block cipher instance.
+ * Stateless beyond the cipher; all methods are const and thread-safe
+ * given a thread-safe cipher.
+ */
+class CounterModeEncryptor
+{
+  public:
+    /** cipher must outlive this object. */
+    explicit CounterModeEncryptor(const BlockCipher &cipher)
+        : cipher_(cipher)
+    {}
+
+    /**
+     * OTP block for the w_c-aligned 16-byte chunk at byte address
+     * `addr` (Alg. 1 line 7). addr must be 16-byte aligned.
+     */
+    Block128 otpBlock(std::uint64_t addr, std::uint64_t version) const;
+
+    /**
+     * OTP for the single w_e-bit element located at byte address
+     * `paddr` (Alg. 4 lines 9-11): encrypt the containing chunk and
+     * slice out this element's substring.
+     */
+    std::uint64_t otpElement(std::uint64_t paddr, ElemWidth we,
+                             std::uint64_t version) const;
+
+    /**
+     * Fill `out` with OTP bytes for the byte range starting at the
+     * 16-byte-aligned address `addr` (bulk form of Alg. 1).
+     * out.size() need not be a multiple of 16.
+     */
+    void otpFill(std::uint64_t addr, std::uint64_t version,
+                 std::span<std::uint8_t> out) const;
+
+    /**
+     * Checksum secret s: first w_t = 127 bits of
+     * E(K, 01 || paddr(P) || v), as a field element (Alg. 2 line 4).
+     */
+    Fq127 checksumSecret(std::uint64_t paddr_matrix,
+                         std::uint64_t version) const;
+
+    /**
+     * Tag pad E_Ti: first w_t bits of E(K, 10 || paddr(P_i) || v)
+     * (Alg. 3 line 4).
+     */
+    Fq127 tagOtp(std::uint64_t paddr_row, std::uint64_t version) const;
+
+    const BlockCipher &cipher() const { return cipher_; }
+
+  private:
+    /** Low 127 bits of a cipher output block, reduced into F_q. */
+    static Fq127 first127(const Block128 &block);
+
+    const BlockCipher &cipher_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_CRYPTO_COUNTER_MODE_HH

@@ -1,0 +1,129 @@
+#include "crypto/cwc.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+Block128
+AesCwc::block(std::uint8_t domain, const Nonce &nonce,
+              std::uint32_t counter) const
+{
+    Block128 in{};
+    in[0] = domain;
+    std::memcpy(in.data() + 1, nonce.data(), nonceBytes);
+    for (unsigned i = 0; i < 3; ++i)
+        in[13 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    Block128 out;
+    aes_.encryptBlock(in, out);
+    return out;
+}
+
+void
+AesCwc::ctrCrypt(const Nonce &nonce, std::span<const std::uint8_t> in,
+                 std::vector<std::uint8_t> &out) const
+{
+    out.resize(in.size());
+    std::uint32_t counter = 2;
+    std::size_t off = 0;
+    while (off < in.size()) {
+        const Block128 pad = block(0x00, nonce, counter++);
+        const std::size_t n =
+            std::min<std::size_t>(16, in.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = in[off + i] ^ pad[i];
+        off += n;
+    }
+}
+
+Fq127
+AesCwc::hash127(Fq127 s, std::span<const std::uint8_t> aad,
+                std::span<const std::uint8_t> data) const
+{
+    // Polynomial hash over 96-bit message chunks (< q, so injective
+    // per chunk), Horner form, with a final length block.
+    Fq127 acc(0);
+    auto absorb = [&](std::span<const std::uint8_t> bytes) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            std::uint8_t chunk[12] = {};
+            const std::size_t n =
+                std::min<std::size_t>(12, bytes.size() - off);
+            std::memcpy(chunk, bytes.data() + off, n);
+            std::uint64_t lo = 0;
+            std::uint32_t hi = 0;
+            std::memcpy(&lo, chunk, 8);
+            std::memcpy(&hi, chunk + 8, 4);
+            acc = acc * s + Fq127::fromHalves(lo, hi);
+            off += n;
+        }
+    };
+    absorb(aad);
+    absorb(data);
+    const Fq127 lengths = Fq127::fromHalves(
+        static_cast<std::uint64_t>(aad.size()),
+        static_cast<std::uint64_t>(data.size()));
+    return acc * s + lengths;
+}
+
+AesCwc::Tag
+AesCwc::computeTag(const Nonce &nonce,
+                   std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext) const
+{
+    // Hash point (domain 0x01) and tag pad (domain 0x02), both
+    // nonce-bound.
+    const Block128 sb = block(0x01, nonce, 1);
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, sb.data(), 8);
+    std::memcpy(&hi, sb.data() + 8, 8);
+    const Fq127 s =
+        Fq127::fromHalves(lo, hi & 0x7fffffffffffffffULL);
+
+    const Fq127 t = hash127(s, aad, ciphertext);
+
+    const Block128 pb = block(0x02, nonce, 1);
+    std::memcpy(&lo, pb.data(), 8);
+    std::memcpy(&hi, pb.data() + 8, 8);
+    const Fq127 pad =
+        Fq127::fromHalves(lo, hi & 0x7fffffffffffffffULL);
+
+    const Fq127 sealed = t + pad;
+    Tag tag{};
+    const std::uint64_t tlo = sealed.lo64();
+    const std::uint64_t thi = sealed.hi64();
+    std::memcpy(tag.data(), &tlo, 8);
+    std::memcpy(tag.data() + 8, &thi, 8);
+    return tag;
+}
+
+AesCwc::Sealed
+AesCwc::seal(const Nonce &nonce,
+             std::span<const std::uint8_t> plaintext,
+             std::span<const std::uint8_t> aad) const
+{
+    Sealed out;
+    ctrCrypt(nonce, plaintext, out.ciphertext);
+    out.tag = computeTag(nonce, aad, out.ciphertext);
+    return out;
+}
+
+AesCwc::Opened
+AesCwc::open(const Nonce &nonce,
+             std::span<const std::uint8_t> ciphertext, const Tag &tag,
+             std::span<const std::uint8_t> aad) const
+{
+    Opened out;
+    const Tag expect = computeTag(nonce, aad, ciphertext);
+    std::uint8_t diff = 0;
+    for (unsigned i = 0; i < tagBytes; ++i)
+        diff |= static_cast<std::uint8_t>(expect[i] ^ tag[i]);
+    if (diff != 0)
+        return out;
+    out.ok = true;
+    ctrCrypt(nonce, ciphertext, out.plaintext);
+    return out;
+}
+
+} // namespace secndp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A CWC-style AEAD (Kohno-Viega-Whiting, paper ref [42]) built from
+ * the repo's own primitives: AES counter-mode encryption + the
+ * 127-bit linear modular hash over q = 2^127 - 1 as the MAC.
+ *
+ * This is the mode whose hash SecNDP borrows (section III-B "Linear
+ * Checksum and MACs": CWC uses linear modular hashing "not only for
+ * its performance but also to leverage its linearity"). Having it in
+ * the repo closes the loop: the same Fq127 polynomial MAC serves both
+ * a conventional per-block AEAD (this file) and SecNDP's computable
+ * verification tags (secndp/checksum).
+ *
+ * Construction (MAC-then-encrypt over CTR, simplified CWC):
+ *   keystream  = AES-CTR(K, nonce, counter >= 2)
+ *   ciphertext = plaintext XOR keystream
+ *   hash point s = first 127 bits of E(K, 01 || nonce || 1)
+ *   T = hash127_s(aad || ct || lengths) + E(K, 10 || nonce || 1) mod q
+ */
+
+#ifndef SECNDP_CRYPTO_CWC_HH
+#define SECNDP_CRYPTO_CWC_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "ring/mersenne.hh"
+
+namespace secndp {
+
+/** AES-CWC-style AEAD with 96-bit nonces and 16-byte tags. */
+class AesCwc
+{
+  public:
+    static constexpr unsigned nonceBytes = 12;
+    static constexpr unsigned tagBytes = 16;
+    using Nonce = std::array<std::uint8_t, nonceBytes>;
+    using Tag = std::array<std::uint8_t, tagBytes>;
+
+    explicit AesCwc(const Aes128::Key &key) : aes_(key) {}
+
+    struct Sealed
+    {
+        std::vector<std::uint8_t> ciphertext;
+        Tag tag;
+    };
+    Sealed seal(const Nonce &nonce,
+                std::span<const std::uint8_t> plaintext,
+                std::span<const std::uint8_t> aad = {}) const;
+
+    struct Opened
+    {
+        bool ok = false;
+        std::vector<std::uint8_t> plaintext;
+    };
+    Opened open(const Nonce &nonce,
+                std::span<const std::uint8_t> ciphertext,
+                const Tag &tag,
+                std::span<const std::uint8_t> aad = {}) const;
+
+    /** The keyed 127-bit polynomial hash (exposed for tests). */
+    Fq127 hash127(Fq127 s, std::span<const std::uint8_t> aad,
+                  std::span<const std::uint8_t> data) const;
+
+  private:
+    Block128 block(std::uint8_t domain, const Nonce &nonce,
+                   std::uint32_t counter) const;
+    void ctrCrypt(const Nonce &nonce,
+                  std::span<const std::uint8_t> in,
+                  std::vector<std::uint8_t> &out) const;
+    Tag computeTag(const Nonce &nonce,
+                   std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext) const;
+
+    Aes128 aes_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_CRYPTO_CWC_HH

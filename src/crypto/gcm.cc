@@ -1,0 +1,164 @@
+#include "crypto/gcm.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+using u128 = unsigned __int128;
+
+Gf128
+Gf128::fromBytes(const Block128 &block)
+{
+    Gf128 g;
+    u128 v = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        v = (v << 8) | block[i];
+    g.value_ = v;
+    return g;
+}
+
+Block128
+Gf128::toBytes() const
+{
+    Block128 out;
+    u128 v = value_;
+    for (int i = 15; i >= 0; --i) {
+        out[i] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+    }
+    return out;
+}
+
+Gf128
+Gf128::operator*(Gf128 o) const
+{
+    // SP 800-38D algorithm 1. GCM bit 0 is the MSB of value_, so
+    // "multiply by x" is a right shift with reduction by
+    // R = 11100001 || 0^120.
+    const u128 reduction = static_cast<u128>(0xe1ULL) << 120;
+    u128 z = 0;
+    u128 v = o.value_;
+    u128 x = value_;
+    for (int i = 0; i < 128; ++i) {
+        if (x & (static_cast<u128>(1) << 127))
+            z ^= v;
+        x <<= 1;
+        const bool lsb = v & 1;
+        v >>= 1;
+        if (lsb)
+            v ^= reduction;
+    }
+    Gf128 r;
+    r.value_ = z;
+    return r;
+}
+
+Gf128
+ghash(Gf128 h, std::span<const std::uint8_t> aad,
+      std::span<const std::uint8_t> data)
+{
+    Gf128 y;
+    auto absorb = [&](std::span<const std::uint8_t> bytes) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            Block128 block{};
+            const std::size_t n =
+                std::min<std::size_t>(16, bytes.size() - off);
+            std::memcpy(block.data(), bytes.data() + off, n);
+            y = (y ^ Gf128::fromBytes(block)) * h;
+            off += n;
+        }
+    };
+    absorb(aad);
+    absorb(data);
+    // Length block: bit lengths of AAD and data, big-endian 64 each.
+    Block128 lens{};
+    const std::uint64_t aad_bits = aad.size() * 8ull;
+    const std::uint64_t data_bits = data.size() * 8ull;
+    for (unsigned i = 0; i < 8; ++i) {
+        lens[7 - i] = static_cast<std::uint8_t>(aad_bits >> (8 * i));
+        lens[15 - i] = static_cast<std::uint8_t>(data_bits >> (8 * i));
+    }
+    return (y ^ Gf128::fromBytes(lens)) * h;
+}
+
+AesGcm::AesGcm(const Aes128::Key &key) : aes_(key)
+{
+    Block128 zero{}, hbytes;
+    aes_.encryptBlock(zero, hbytes);
+    h_ = Gf128::fromBytes(hbytes);
+}
+
+Block128
+AesGcm::counterBlock(const Iv &iv, std::uint32_t counter) const
+{
+    Block128 block{};
+    std::memcpy(block.data(), iv.data(), ivBytes);
+    for (unsigned i = 0; i < 4; ++i)
+        block[12 + i] = static_cast<std::uint8_t>(counter >>
+                                                  (8 * (3 - i)));
+    return block;
+}
+
+void
+AesGcm::ctrCrypt(const Iv &iv, std::span<const std::uint8_t> in,
+                 std::vector<std::uint8_t> &out) const
+{
+    out.resize(in.size());
+    std::uint32_t counter = 2; // counter 1 is reserved for the tag
+    std::size_t off = 0;
+    while (off < in.size()) {
+        Block128 pad;
+        aes_.encryptBlock(counterBlock(iv, counter++), pad);
+        const std::size_t n =
+            std::min<std::size_t>(16, in.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = in[off + i] ^ pad[i];
+        off += n;
+    }
+}
+
+AesGcm::Tag
+AesGcm::computeTag(const Iv &iv, std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext) const
+{
+    const Gf128 s = ghash(h_, aad, ciphertext);
+    Block128 ektr0;
+    aes_.encryptBlock(counterBlock(iv, 1), ektr0);
+    const Block128 sb = s.toBytes();
+    Tag tag;
+    for (unsigned i = 0; i < tagBytes; ++i)
+        tag[i] = sb[i] ^ ektr0[i];
+    return tag;
+}
+
+AesGcm::Sealed
+AesGcm::seal(const Iv &iv, std::span<const std::uint8_t> plaintext,
+             std::span<const std::uint8_t> aad) const
+{
+    Sealed out;
+    ctrCrypt(iv, plaintext, out.ciphertext);
+    out.tag = computeTag(iv, aad, out.ciphertext);
+    return out;
+}
+
+AesGcm::Opened
+AesGcm::open(const Iv &iv, std::span<const std::uint8_t> ciphertext,
+             const Tag &tag, std::span<const std::uint8_t> aad) const
+{
+    Opened out;
+    const Tag expect = computeTag(iv, aad, ciphertext);
+    // Constant-time-ish comparison.
+    std::uint8_t diff = 0;
+    for (unsigned i = 0; i < tagBytes; ++i)
+        diff |= static_cast<std::uint8_t>(expect[i] ^ tag[i]);
+    if (diff != 0)
+        return out; // ok = false, no plaintext released
+    out.ok = true;
+    ctrCrypt(iv, ciphertext, out.plaintext);
+    return out;
+}
+
+} // namespace secndp

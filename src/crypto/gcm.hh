@@ -1,0 +1,112 @@
+/**
+ * @file
+ * AES-GCM authenticated encryption (NIST SP 800-38D), from scratch.
+ *
+ * This is the conventional memory-protection AEAD the paper contrasts
+ * SecNDP with (section III-B): GCM gives confidentiality + a MAC, but
+ * its GHASH tag is keyed on the *ciphertext bits*, so an untrusted
+ * NDP cannot combine tags of rows into the tag of a weighted sum --
+ * the property SecNDP's linear modular hash adds. The TEE (non-NDP)
+ * baseline uses exactly this kind of scheme per cache line.
+ *
+ * Pinned to the classic NIST GCM test vectors in tests/test_gcm.cc.
+ */
+
+#ifndef SECNDP_CRYPTO_GCM_HH
+#define SECNDP_CRYPTO_GCM_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace secndp {
+
+/** An element of GF(2^128) in GCM's bit order. */
+class Gf128
+{
+  public:
+    constexpr Gf128() : value_(0) {}
+
+    /** From 16 big-endian bytes (GCM block convention). */
+    static Gf128 fromBytes(const Block128 &block);
+    Block128 toBytes() const;
+
+    Gf128 operator^(Gf128 o) const
+    {
+        Gf128 r;
+        r.value_ = value_ ^ o.value_;
+        return r;
+    }
+    Gf128 &operator^=(Gf128 o)
+    {
+        value_ ^= o.value_;
+        return *this;
+    }
+
+    /** Carry-less multiply modulo x^128 + x^7 + x^2 + x + 1. */
+    Gf128 operator*(Gf128 o) const;
+
+    bool operator==(const Gf128 &o) const = default;
+    bool isZero() const { return value_ == 0; }
+
+  private:
+    /** Bit i of the GCM block is bit (127 - i) here. */
+    unsigned __int128 value_;
+};
+
+/** GHASH_H over a byte string (zero-padded to blocks). */
+Gf128 ghash(Gf128 h, std::span<const std::uint8_t> aad,
+            std::span<const std::uint8_t> data);
+
+/** AES-128-GCM with 96-bit IVs. */
+class AesGcm
+{
+  public:
+    static constexpr unsigned ivBytes = 12;
+    static constexpr unsigned tagBytes = 16;
+    using Iv = std::array<std::uint8_t, ivBytes>;
+    using Tag = std::array<std::uint8_t, tagBytes>;
+
+    explicit AesGcm(const Aes128::Key &key);
+
+    /** Encrypt + authenticate. IVs must never repeat under one key. */
+    struct Sealed
+    {
+        std::vector<std::uint8_t> ciphertext;
+        Tag tag;
+    };
+    Sealed seal(const Iv &iv, std::span<const std::uint8_t> plaintext,
+                std::span<const std::uint8_t> aad = {}) const;
+
+    /**
+     * Verify + decrypt.
+     * @return plaintext, or std::nullopt-like empty + false on tag
+     *         mismatch (plaintext is only released on success)
+     */
+    struct Opened
+    {
+        bool ok = false;
+        std::vector<std::uint8_t> plaintext;
+    };
+    Opened open(const Iv &iv,
+                std::span<const std::uint8_t> ciphertext,
+                const Tag &tag,
+                std::span<const std::uint8_t> aad = {}) const;
+
+  private:
+    Block128 counterBlock(const Iv &iv, std::uint32_t counter) const;
+    void ctrCrypt(const Iv &iv, std::span<const std::uint8_t> in,
+                  std::vector<std::uint8_t> &out) const;
+    Tag computeTag(const Iv &iv, std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext) const;
+
+    Aes128 aes_;
+    Gf128 h_; ///< hash subkey E(K, 0^128)
+};
+
+} // namespace secndp
+
+#endif // SECNDP_CRYPTO_GCM_HH

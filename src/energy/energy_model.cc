@@ -1,0 +1,30 @@
+#include "energy/energy_model.hh"
+
+namespace secndp {
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, const RunMetrics &metrics,
+              double dimm_bit_factor)
+{
+    EnergyBreakdown e;
+    e.dimmPj = (metrics.acts * params.actPj +
+                metrics.lines * params.rdLinePj) *
+               dimm_bit_factor;
+    e.ioPj = metrics.ioBits * params.ioPjPerBit * dimm_bit_factor;
+    e.enginePj = metrics.aesBlocks * params.aesBlockPj +
+                 metrics.otpPuOps * params.otpMacPj +
+                 metrics.verifyOps * params.verifyOpPj;
+    return e;
+}
+
+double
+engineAreaMm2(const EnergyParams &params, unsigned n_aes,
+              bool with_verifier)
+{
+    double area = n_aes * params.aesAreaMm2 + params.otpPuAreaMm2;
+    if (with_verifier)
+        area += params.verifierAreaMm2;
+    return area;
+}
+
+} // namespace secndp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory-system and SecNDP-engine energy/area model
+ * (paper section VI-B "Power and Area", Table V, section VII-C).
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper feeds simulated traces to
+ * DRAMPower [18] and CACTI-IO [34]. We use per-event energies with
+ * the same structure -- energy is linear in activations, bursts, and
+ * interface bits -- with constants calibrated so the canonical SLS
+ * pattern (random 128 B rows => ~1 ACT + 2 line bursts per row)
+ * reproduces the paper's per-bit figures:
+ *
+ *   DIMM core   27.42 pJ/bit  = (actPj + 2*rdLinePj) / 1024
+ *   DIMM IO      7.3  pJ/bit  (CACTI-IO-class DDR4 interface)
+ *   AES          0.5  pJ/bit  = aesBlockPj / 128   ([22] @ 45 nm)
+ *   OTP PU       0.4  pJ/bit  = otpMacPj per 32-bit MAC / 32
+ *
+ * Everything downstream (Table V's rows, including the 79.2% /
+ * 81.83% / 92.09% normalized energies) then follows from simulated
+ * event counts, not from hardcoded row values.
+ */
+
+#ifndef SECNDP_ENERGY_ENERGY_MODEL_HH
+#define SECNDP_ENERGY_ENERGY_MODEL_HH
+
+#include "arch/system.hh"
+
+namespace secndp {
+
+/** Per-event energy and per-block area constants. */
+struct EnergyParams
+{
+    // DRAM device core.
+    double actPj = 17800.0;  ///< per ACT(+PRE) pair
+    double rdLinePj = 5150.0; ///< per 64 B read burst
+    double wrLinePj = 5400.0; ///< per 64 B write burst
+    // DIMM interface.
+    double ioPjPerBit = 7.3;
+    // SecNDP engine.
+    double aesBlockPj = 64.0;  ///< per 128-bit AES block
+    double otpMacPj = 12.8;    ///< per OTP PU multiply-accumulate
+    double verifyOpPj = 25.0;  ///< per F_q op in the verifier
+    // Area at 45 nm (mm^2), section VII-C.
+    double aesAreaMm2 = 0.13;
+    double otpPuAreaMm2 = 0.20;
+    double verifierAreaMm2 = 0.125;
+};
+
+/** Energy of one run, by component. */
+struct EnergyBreakdown
+{
+    double dimmPj = 0.0;   ///< device core (ACT + bursts)
+    double ioPj = 0.0;     ///< DIMM interface crossings
+    double enginePj = 0.0; ///< AES + OTP PU + verifier
+
+    double totalPj() const { return dimmPj + ioPj + enginePj; }
+};
+
+/**
+ * Energy from run metrics.
+ *
+ * @param dimm_bit_factor extra device+interface bits moved per data
+ *        bit (Ver-ECC tags ride the ECC chip: 1.125 for 16 B tags on
+ *        128 B rows; 1.0 otherwise)
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const RunMetrics &metrics,
+                              double dimm_bit_factor = 1.0);
+
+/** SecNDP engine area at 45 nm (section VII-C: 1.625 mm^2 at 10 AES). */
+double engineAreaMm2(const EnergyParams &params, unsigned n_aes,
+                     bool with_verifier);
+
+} // namespace secndp
+
+#endif // SECNDP_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,68 @@
+#include "engine/engine_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+EngineOverlayResult
+overlayEngine(const EngineConfig &cfg, const DramClock &clock,
+              const std::vector<PacketTiming> &ndp,
+              const std::vector<EngineWork> &work, bool verifying)
+{
+    SECNDP_ASSERT(ndp.size() == work.size(),
+                  "packet/work size mismatch (%zu vs %zu)", ndp.size(),
+                  work.size());
+    const double blocks_per_cycle = cfg.blocksPerCycle(clock);
+    SECNDP_ASSERT(blocks_per_cycle > 0, "zero AES throughput");
+
+    EngineOverlayResult result;
+    result.finished.resize(ndp.size());
+    result.decryptBound.resize(ndp.size());
+
+    // The AES pool serves packets FIFO; generation for packet q can
+    // start once the packet is issued (addresses known) and the pool
+    // has drained packet q-1's work.
+    double pool_free = 0.0;
+    std::size_t bound = 0;
+    for (std::size_t q = 0; q < ndp.size(); ++q) {
+        const double start =
+            std::max(pool_free, static_cast<double>(ndp[q].issued));
+        const double otp_done =
+            start + work[q].totalBlocks() / blocks_per_cycle;
+        pool_free = otp_done;
+
+        const Cycle otp_cycle =
+            static_cast<Cycle>(std::ceil(otp_done));
+        const bool decrypt_bound = otp_cycle > ndp[q].finished;
+        result.decryptBound[q] = decrypt_bound;
+        Cycle fin = std::max(otp_cycle, ndp[q].finished) +
+                    cfg.adderCycles;
+        if (verifying)
+            fin += cfg.verifyCheckCycles;
+        result.finished[q] = fin;
+        result.totalCycles = std::max(result.totalCycles, fin);
+        bound += decrypt_bound;
+        result.totalAesBlocks += work[q].totalBlocks();
+        result.totalOtpPuOps += work[q].otpPuOps;
+        result.totalVerifyOps += work[q].verifyOps;
+    }
+    result.fractionDecryptBound =
+        ndp.empty() ? 0.0
+                    : static_cast<double>(bound) / ndp.size();
+    return result;
+}
+
+Cycle
+teeDecryptFinish(const EngineConfig &cfg, const DramClock &clock,
+                 std::uint64_t total_blocks, Cycle mem_finish)
+{
+    const double blocks_per_cycle = cfg.blocksPerCycle(clock);
+    const Cycle otp = static_cast<Cycle>(
+        std::ceil(total_blocks / blocks_per_cycle));
+    return std::max(mem_finish, otp) + cfg.adderCycles;
+}
+
+} // namespace secndp

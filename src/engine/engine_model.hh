@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Performance model of the on-chip SecNDP engine (paper section V-C):
+ * a pool of pipelined AES engines generating OTPs, the OTP PU that
+ * replays NDP commands on the pads, and the verification engine.
+ *
+ * The engine works packet by packet, overlapped with the NDP's
+ * off-chip work: a packet's OTP generation starts when the packet
+ * issues and proceeds at the pool's aggregate throughput
+ * (n_aes x 111.3 Gbps, [22]); the decrypted result is ready one adder
+ * delay after BOTH shares are ready. A packet is
+ * "decryption-bottlenecked" when its OTP share finishes after its NDP
+ * share -- the quantity plotted in paper Figures 8 and 10.
+ */
+
+#ifndef SECNDP_ENGINE_ENGINE_MODEL_HH
+#define SECNDP_ENGINE_ENGINE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/dram_params.hh"
+#include "ndp/ndp_system.hh"
+
+namespace secndp {
+
+/** SecNDP engine provisioning. */
+struct EngineConfig
+{
+    /** Number of parallel AES engines (swept in Figures 7/8). */
+    unsigned nAesEngines = 10;
+
+    /** Per-engine throughput, Gbit/s (45 nm design of [22]). */
+    double aesGbpsPerEngine = 111.3;
+
+    /** Final decrypt adder latency, cycles (section V-E3). */
+    unsigned adderCycles = 1;
+
+    /** Extra verification-check latency, cycles (1-2 per V-E3). */
+    unsigned verifyCheckCycles = 2;
+
+    /** Pool throughput in AES blocks per DRAM cycle. */
+    double
+    blocksPerCycle(const DramClock &clock) const
+    {
+        const double bits_per_ns = nAesEngines * aesGbpsPerEngine;
+        return bits_per_ns * clock.nsPerCycle() / 128.0;
+    }
+};
+
+/** Per-packet on-chip work the engine must perform. */
+struct EngineWork
+{
+    /** AES blocks of OTP for the data share (touched elements). */
+    std::uint64_t dataOtpBlocks = 0;
+    /** AES blocks for tag pads + checksum secret when verifying. */
+    std::uint64_t tagOtpBlocks = 0;
+    /** OTP PU multiply-accumulate ops (energy accounting). */
+    std::uint64_t otpPuOps = 0;
+    /** Verification engine field ops (energy accounting). */
+    std::uint64_t verifyOps = 0;
+
+    std::uint64_t totalBlocks() const
+    {
+        return dataOtpBlocks + tagOtpBlocks;
+    }
+};
+
+/** Outcome of overlaying engine timing on an NDP batch. */
+struct EngineOverlayResult
+{
+    /** Final per-packet completion (max of shares + adder). */
+    std::vector<Cycle> finished;
+    /** Per-packet: was the OTP share the late one? */
+    std::vector<bool> decryptBound;
+    Cycle totalCycles = 0;
+    double fractionDecryptBound = 0.0;
+    std::uint64_t totalAesBlocks = 0;
+    std::uint64_t totalOtpPuOps = 0;
+    std::uint64_t totalVerifyOps = 0;
+};
+
+/**
+ * Overlay the engine pipeline on NDP packet timings. `ndp` and `work`
+ * must be index-aligned per packet.
+ */
+EngineOverlayResult overlayEngine(const EngineConfig &cfg,
+                                  const DramClock &clock,
+                                  const std::vector<PacketTiming> &ndp,
+                                  const std::vector<EngineWork> &work,
+                                  bool verifying);
+
+/**
+ * Timing of a CPU-TEE (non-NDP, counter-mode protected) stream: the
+ * whole data stream must be decrypted at the pool rate; returns the
+ * cycle at which decryption of `total_blocks` finishes if it starts
+ * at 0 and can never outrun `mem_finish`.
+ */
+Cycle teeDecryptFinish(const EngineConfig &cfg, const DramClock &clock,
+                       std::uint64_t total_blocks, Cycle mem_finish);
+
+} // namespace secndp
+
+#endif // SECNDP_ENGINE_ENGINE_MODEL_HH

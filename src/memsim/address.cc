@@ -1,0 +1,74 @@
+#include "memsim/address.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace secndp {
+
+AddressMapper::AddressMapper(const DramGeometry &geo) : geo_(geo)
+{
+    SECNDP_ASSERT(isPowerOfTwo(geo.lineBytes) &&
+                      isPowerOfTwo(geo.rowBytes) &&
+                      isPowerOfTwo(geo.bankGroups) &&
+                      isPowerOfTwo(geo.banksPerGroup) &&
+                      isPowerOfTwo(geo.ranks) &&
+                      isPowerOfTwo(geo.channels) &&
+                      isPowerOfTwo(geo.rankBytes),
+                  "DRAM geometry fields must be powers of two");
+    offsetBits_ = floorLog2(geo.lineBytes);
+    channelBits_ = floorLog2(geo.channels);
+    columnBits_ = floorLog2(geo.linesPerRow());
+    bgBits_ = floorLog2(geo.bankGroups);
+    bankBits_ = floorLog2(geo.banksPerGroup);
+    rankBits_ = floorLog2(geo.ranks);
+    rowBits_ = floorLog2(geo.rowsPerBank());
+}
+
+DramCoord
+AddressMapper::decode(std::uint64_t addr) const
+{
+    SECNDP_ASSERT(addr < geo_.totalBytes(),
+                  "address %lu beyond capacity", addr);
+    DramCoord c;
+    unsigned shift = offsetBits_;
+    c.column = static_cast<unsigned>(
+        bitSlice(addr, shift, shift + columnBits_));
+    shift += columnBits_;
+    c.bankGroup = static_cast<unsigned>(
+        bitSlice(addr, shift, shift + bgBits_));
+    shift += bgBits_;
+    c.bank = static_cast<unsigned>(
+        bitSlice(addr, shift, shift + bankBits_));
+    shift += bankBits_;
+    c.rank = static_cast<unsigned>(
+        rankBits_ == 0 ? 0 : bitSlice(addr, shift, shift + rankBits_));
+    shift += rankBits_;
+    c.channel = static_cast<unsigned>(
+        channelBits_ == 0
+            ? 0
+            : bitSlice(addr, shift, shift + channelBits_));
+    shift += channelBits_;
+    c.row = bitSlice(addr, shift, shift + rowBits_);
+    return c;
+}
+
+std::uint64_t
+AddressMapper::encode(const DramCoord &coord) const
+{
+    std::uint64_t addr = 0;
+    unsigned shift = offsetBits_;
+    addr |= static_cast<std::uint64_t>(coord.column) << shift;
+    shift += columnBits_;
+    addr |= static_cast<std::uint64_t>(coord.bankGroup) << shift;
+    shift += bgBits_;
+    addr |= static_cast<std::uint64_t>(coord.bank) << shift;
+    shift += bankBits_;
+    addr |= static_cast<std::uint64_t>(coord.rank) << shift;
+    shift += rankBits_;
+    addr |= static_cast<std::uint64_t>(coord.channel) << shift;
+    shift += channelBits_;
+    addr |= coord.row << shift;
+    return addr;
+}
+
+} // namespace secndp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical address <-> DRAM coordinate mapping.
+ *
+ * Bit layout (low to high):
+ *   [0, lg(line))               line offset
+ *   [.., +lg(linesPerRow))      column (line index within a row)
+ *   [.., +lg(bankGroups))       bank group
+ *   [.., +lg(banksPerGroup))    bank
+ *   [.., +lg(ranks))            rank
+ *   [.., +lg(channels))         channel
+ *   [.., +lg(rowsPerBank))      row
+ *
+ * Rank and channel bits sit above the 4 KB page offset, so each OS
+ * page lives entirely in one (channel, rank): that is what gives
+ * rank-NDP PUs page-local work and makes the OS page mapper
+ * (memsim/page_mapper) the source of rank-level load (im)balance, as
+ * in the paper's methodology. (Coarse channel striping also keeps
+ * multi-line rows on one channel; fine per-line channel interleave
+ * would split every 128 B embedding row across channels and double
+ * its activations.)
+ */
+
+#ifndef SECNDP_MEMSIM_ADDRESS_HH
+#define SECNDP_MEMSIM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "memsim/dram_params.hh"
+
+namespace secndp {
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0;      ///< within the bank group
+    std::uint64_t row = 0;
+    unsigned column = 0;    ///< line index within the row
+
+    /** Flat bank index within the rank. */
+    unsigned
+    flatBank(const DramGeometry &geo) const
+    {
+        return bankGroup * geo.banksPerGroup + bank;
+    }
+
+    bool operator==(const DramCoord &o) const = default;
+};
+
+/** Maps physical byte addresses to DRAM coordinates and back. */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const DramGeometry &geo);
+
+    /** Decode a physical byte address. */
+    DramCoord decode(std::uint64_t addr) const;
+
+    /** Encode coordinates back to the line-aligned byte address. */
+    std::uint64_t encode(const DramCoord &coord) const;
+
+    /** Line-align an address. */
+    std::uint64_t lineAddr(std::uint64_t addr) const
+    {
+        return addr & ~std::uint64_t{geo_.lineBytes - 1};
+    }
+
+    const DramGeometry &geometry() const { return geo_; }
+
+  private:
+    DramGeometry geo_;
+    unsigned offsetBits_;
+    unsigned channelBits_;
+    unsigned columnBits_;
+    unsigned bgBits_;
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned rowBits_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_ADDRESS_HH

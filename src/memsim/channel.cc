@@ -1,0 +1,234 @@
+#include "memsim/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+DramChannel::DramChannel(const DramConfig &cfg)
+    : cfg_(cfg), stats_("dram")
+{
+    const auto &geo = cfg_.geometry;
+    ranks_.resize(geo.ranks);
+    for (auto &r : ranks_) {
+        r.lastActByBg.assign(geo.bankGroups, kFarPast);
+        r.lastRdByBg.assign(geo.bankGroups, kFarPast);
+        r.lastWrByBg.assign(geo.bankGroups, kFarPast);
+        r.refreshDue = cfg_.timings.tREFI;
+    }
+    banks_.resize(static_cast<std::size_t>(geo.ranks) *
+                  geo.banksPerRank());
+}
+
+DramChannel::BankState &
+DramChannel::bank(const DramCoord &c)
+{
+    return banks_[c.rank * cfg_.geometry.banksPerRank() +
+                  c.flatBank(cfg_.geometry)];
+}
+
+const DramChannel::BankState &
+DramChannel::bank(const DramCoord &c) const
+{
+    return banks_[c.rank * cfg_.geometry.banksPerRank() +
+                  c.flatBank(cfg_.geometry)];
+}
+
+bool
+DramChannel::rowOpen(const DramCoord &c) const
+{
+    const auto &b = bank(c);
+    return b.open && b.openRow == c.row;
+}
+
+bool
+DramChannel::anyRowOpen(const DramCoord &c) const
+{
+    return bank(c).open;
+}
+
+Cycle
+DramChannel::earliestAct(const DramCoord &c, Cycle now) const
+{
+    const auto &t = cfg_.timings;
+    const auto &b = bank(c);
+    SECNDP_ASSERT(!b.open, "ACT to open bank");
+    const auto &r = ranks_[c.rank];
+
+    Cycle ready = now;
+    ready = std::max(ready, b.lastAct + t.tRC);
+    ready = std::max(ready, b.lastPre + t.tRP);
+    ready = std::max(ready, r.lastActByBg[c.bankGroup] + t.tRRD_L);
+    ready = std::max(ready, r.lastActAny + t.tRRD_S);
+    ready = std::max(ready, r.refreshUntil);
+    // FAW: at most 4 ACTs per rank in any tFAW window.
+    if (r.actWindow.size() >= 4)
+        ready = std::max(ready, r.actWindow.front() + t.tFAW);
+    return ready;
+}
+
+Cycle
+DramChannel::earliestPre(const DramCoord &c, Cycle now) const
+{
+    const auto &t = cfg_.timings;
+    const auto &b = bank(c);
+    SECNDP_ASSERT(b.open, "PRE to closed bank");
+
+    Cycle ready = now;
+    ready = std::max(ready, b.lastAct + t.tRAS);
+    ready = std::max(ready, b.lastRd + t.tRTP);
+    ready = std::max(ready, b.lastWrDataEnd + t.tWR);
+    return ready;
+}
+
+Cycle
+DramChannel::earliestRd(const DramCoord &c, Cycle now) const
+{
+    const auto &t = cfg_.timings;
+    const auto &b = bank(c);
+    SECNDP_ASSERT(rowOpen(c), "RD to wrong/closed row");
+    const auto &r = ranks_[c.rank];
+
+    Cycle ready = now;
+    ready = std::max(ready, b.lastAct + t.tRCD);
+    ready = std::max(ready, r.lastRdByBg[c.bankGroup] + t.tCCD_L);
+    ready = std::max(ready, r.lastRdAny + t.tCCD_S);
+    ready = std::max(ready, r.lastWrByBg[c.bankGroup] + t.tCCD_L);
+    ready = std::max(ready, r.lastWrAny + t.tCCD_S);
+    ready = std::max(ready, r.lastWrDataEnd + t.tWTR);
+    return ready;
+}
+
+Cycle
+DramChannel::earliestWr(const DramCoord &c, Cycle now) const
+{
+    const auto &t = cfg_.timings;
+    const auto &b = bank(c);
+    SECNDP_ASSERT(rowOpen(c), "WR to wrong/closed row");
+    const auto &r = ranks_[c.rank];
+
+    Cycle ready = now;
+    ready = std::max(ready, b.lastAct + t.tRCD);
+    ready = std::max(ready, r.lastWrByBg[c.bankGroup] + t.tCCD_L);
+    ready = std::max(ready, r.lastWrAny + t.tCCD_S);
+    ready = std::max(ready, r.lastRdByBg[c.bankGroup] + t.tCCD_L);
+    ready = std::max(ready, r.lastRdAny + t.tCCD_S);
+    return ready;
+}
+
+void
+DramChannel::issueAct(const DramCoord &c, Cycle at)
+{
+    SECNDP_ASSERT(at >= earliestAct(c, at), "illegal ACT at %ld", at);
+    auto &b = bank(c);
+    auto &r = ranks_[c.rank];
+    b.open = true;
+    b.openRow = c.row;
+    b.lastAct = at;
+    r.lastActAny = at;
+    r.lastActByBg[c.bankGroup] = at;
+    r.actWindow.push_back(at);
+    if (r.actWindow.size() > 4)
+        r.actWindow.pop_front();
+    ++stats_.counter("acts");
+}
+
+void
+DramChannel::issuePre(const DramCoord &c, Cycle at)
+{
+    SECNDP_ASSERT(at >= earliestPre(c, at), "illegal PRE at %ld", at);
+    auto &b = bank(c);
+    b.open = false;
+    b.lastPre = at;
+    ++stats_.counter("pres");
+}
+
+Cycle
+DramChannel::issueRd(const DramCoord &c, Cycle at)
+{
+    SECNDP_ASSERT(at >= earliestRd(c, at), "illegal RD at %ld", at);
+    const auto &t = cfg_.timings;
+    auto &b = bank(c);
+    auto &r = ranks_[c.rank];
+    b.lastRd = at;
+    r.lastRdAny = at;
+    r.lastRdByBg[c.bankGroup] = at;
+    ++stats_.counter("reads");
+    return at + t.tCL + t.tBL;
+}
+
+bool
+DramChannel::refreshDue(unsigned rank, Cycle now) const
+{
+    return now >= ranks_[rank].refreshDue;
+}
+
+std::optional<DramCoord>
+DramChannel::openBankIn(unsigned rank) const
+{
+    const auto &geo = cfg_.geometry;
+    for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
+        const auto &b = banks_[rank * geo.banksPerRank() + fb];
+        if (b.open) {
+            DramCoord c;
+            c.rank = rank;
+            c.bankGroup = fb / geo.banksPerGroup;
+            c.bank = fb % geo.banksPerGroup;
+            c.row = b.openRow;
+            return c;
+        }
+    }
+    return std::nullopt;
+}
+
+Cycle
+DramChannel::earliestRefresh(unsigned rank, Cycle now) const
+{
+    const auto &t = cfg_.timings;
+    const auto &geo = cfg_.geometry;
+    Cycle ready = now;
+    for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
+        const auto &b = banks_[rank * geo.banksPerRank() + fb];
+        ready = std::max(ready, b.lastPre + t.tRP);
+        // RAS/RTP/WR constraints end in PRE; banks must be closed.
+    }
+    return ready;
+}
+
+void
+DramChannel::issueRefresh(unsigned rank, Cycle at)
+{
+    const auto &t = cfg_.timings;
+    SECNDP_ASSERT(!openBankIn(rank).has_value(),
+                  "REF with open banks in rank %u", rank);
+    auto &r = ranks_[rank];
+    // Respect precharge recovery of every bank in the rank.
+    const auto &geo = cfg_.geometry;
+    for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
+        const auto &b = banks_[rank * geo.banksPerRank() + fb];
+        SECNDP_ASSERT(at >= b.lastPre + t.tRP,
+                      "REF inside tRP of bank %u", fb);
+    }
+    r.refreshUntil = at + t.tRFC;
+    r.refreshDue = at + t.tREFI;
+    ++stats_.counter("refreshes");
+}
+
+Cycle
+DramChannel::issueWr(const DramCoord &c, Cycle at)
+{
+    SECNDP_ASSERT(at >= earliestWr(c, at), "illegal WR at %ld", at);
+    const auto &t = cfg_.timings;
+    auto &b = bank(c);
+    auto &r = ranks_[c.rank];
+    const Cycle data_end = at + t.tCWL + t.tBL;
+    b.lastWrDataEnd = data_end;
+    r.lastWrAny = at;
+    r.lastWrByBg[c.bankGroup] = at;
+    r.lastWrDataEnd = data_end;
+    ++stats_.counter("writes");
+    return data_end;
+}
+
+} // namespace secndp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cycle-level DDR4 channel state: per-bank FSMs plus rank-level
+ * constraint tracking (tCCD, tRRD, tFAW). This class owns *device*
+ * legality; bus scheduling and request queues live in the controller.
+ *
+ * All methods take/return absolute cycle numbers. The `earliest*`
+ * queries are side-effect free; `issue*` asserts legality and updates
+ * state, so an illegal schedule is a simulator bug, not a silent
+ * mis-simulation (the trace checker in tests re-validates
+ * independently).
+ */
+
+#ifndef SECNDP_MEMSIM_CHANNEL_HH
+#define SECNDP_MEMSIM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "memsim/address.hh"
+#include "memsim/dram_params.hh"
+
+namespace secndp {
+
+/** Simulation time in memory-clock cycles (signed for -inf init). */
+using Cycle = std::int64_t;
+
+/** DRAM command types. */
+enum class DramCmd
+{
+    Act,
+    Pre,
+    Rd,
+    Wr,
+    Ref, ///< per-rank auto-refresh
+};
+
+/** Cycle-level DDR4 channel device model. */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const DramConfig &cfg);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** @name Row-buffer queries */
+    /// @{
+    bool rowOpen(const DramCoord &c) const;
+    bool anyRowOpen(const DramCoord &c) const;
+    /// @}
+
+    /**
+     * @name Earliest legal issue cycles (>= now). earliestRd/Wr
+     * require the target row to be open; earliestAct requires the
+     * bank to be closed; earliestPre requires it open.
+     */
+    /// @{
+    Cycle earliestAct(const DramCoord &c, Cycle now) const;
+    Cycle earliestPre(const DramCoord &c, Cycle now) const;
+    Cycle earliestRd(const DramCoord &c, Cycle now) const;
+    Cycle earliestWr(const DramCoord &c, Cycle now) const;
+    /// @}
+
+    /** @name Issue commands (assert legality, update state). */
+    /// @{
+    void issueAct(const DramCoord &c, Cycle at);
+    void issuePre(const DramCoord &c, Cycle at);
+    /** @return cycle at which the read burst completes on the bus. */
+    Cycle issueRd(const DramCoord &c, Cycle at);
+    /** @return cycle at which the write burst completes on the bus. */
+    Cycle issueWr(const DramCoord &c, Cycle at);
+    /// @}
+
+    /**
+     * @name Refresh (per-rank auto-refresh every tREFI; the rank is
+     * unavailable for tRFC). Controllers refresh the ranks they
+     * serve; ranks nobody touches are skipped, which cannot change
+     * any result.
+     */
+    /// @{
+    /** Is this rank's refresh interval due at `now`? */
+    bool refreshDue(unsigned rank, Cycle now) const;
+    /** Coordinates of some open bank in the rank, if any. */
+    std::optional<DramCoord> openBankIn(unsigned rank) const;
+    /** Earliest legal REF cycle >= now (all banks must be closed). */
+    Cycle earliestRefresh(unsigned rank, Cycle now) const;
+    /** Issue REF (all banks must be closed; respects tRP). */
+    void issueRefresh(unsigned rank, Cycle at);
+    /// @}
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        std::uint64_t openRow = 0;
+        Cycle lastAct = kFarPast;
+        Cycle lastPre = kFarPast;
+        Cycle lastRd = kFarPast;
+        Cycle lastWrDataEnd = kFarPast;
+    };
+
+    struct RankState
+    {
+        std::deque<Cycle> actWindow; ///< last ACT cycles (FAW)
+        std::vector<Cycle> lastActByBg;
+        Cycle lastActAny = kFarPast;
+        std::vector<Cycle> lastRdByBg;
+        Cycle lastRdAny = kFarPast;
+        std::vector<Cycle> lastWrByBg;
+        Cycle lastWrAny = kFarPast;
+        Cycle lastWrDataEnd = kFarPast;
+        Cycle refreshDue = 0;           ///< next REF deadline
+        Cycle refreshUntil = kFarPast;  ///< rank blocked during tRFC
+    };
+
+    static constexpr Cycle kFarPast = -(Cycle{1} << 40);
+
+    BankState &bank(const DramCoord &c);
+    const BankState &bank(const DramCoord &c) const;
+
+    DramConfig cfg_;
+    std::vector<RankState> ranks_;
+    std::vector<BankState> banks_; ///< [rank][flatBank] flattened
+    StatGroup stats_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_CHANNEL_HH

@@ -1,0 +1,232 @@
+#include "memsim/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+MemoryController::MemoryController(DramChannel &channel, unsigned window)
+    : channel_(channel), window_(window), stats_("ctrl")
+{
+    SECNDP_ASSERT(window > 0, "zero scheduling window");
+    mapper_ = std::make_unique<AddressMapper>(channel.config().geometry);
+    servedRanks_.assign(channel.config().geometry.ranks, 0);
+}
+
+void
+MemoryController::enqueue(const MemRequest &req)
+{
+    Entry e;
+    e.req = req;
+    e.coord = mapper_->decode(mapper_->lineAddr(req.addr));
+    e.arrived = 0;
+    servedRanks_[e.coord.rank] = 1;
+    if (queue_.size() < window_)
+        queue_.push_back(e);
+    else
+        backlog_.push_back(e);
+    ++pendingCount_;
+    ++stats_.counter("requests");
+}
+
+void
+MemoryController::refillWindow()
+{
+    while (queue_.size() < window_ && !backlog_.empty()) {
+        queue_.push_back(backlog_.front());
+        backlog_.pop_front();
+    }
+}
+
+Cycle
+MemoryController::busReadyFor(const DramCoord &c, Cycle cmd_cycle,
+                              bool write) const
+{
+    const auto &t = channel_.config().timings;
+    const Cycle data_lat = write ? t.tCWL : t.tCL;
+    Cycle data_start = cmd_cycle + data_lat;
+    Cycle bus_ok = busFreeAt_;
+    if (lastBurstRank_ >= 0 &&
+        lastBurstRank_ != static_cast<int>(c.rank))
+        bus_ok += t.tRTRS;
+    if (data_start >= bus_ok)
+        return cmd_cycle;
+    // Delay the command so its burst starts when the bus frees.
+    return bus_ok - data_lat;
+}
+
+bool
+MemoryController::tryIssue(Entry &e, Cycle now, Cycle &next_hint)
+{
+    const auto &t = channel_.config().timings;
+
+    if (channel_.rowOpen(e.coord)) {
+        // Row hit: issue the column command when device + bus allow.
+        const Cycle dev_ready =
+            e.req.write ? channel_.earliestWr(e.coord, now)
+                        : channel_.earliestRd(e.coord, now);
+        const Cycle ready =
+            std::max(dev_ready, busReadyFor(e.coord, dev_ready,
+                                            e.req.write));
+        if (ready > now) {
+            next_hint = std::min(next_hint, ready);
+            return false;
+        }
+        const Cycle done = e.req.write ? channel_.issueWr(e.coord, now)
+                                       : channel_.issueRd(e.coord, now);
+        busFreeAt_ = done;
+        lastBurstRank_ = static_cast<int>(e.coord.rank);
+        stats_.counter(e.req.write ? "wr_bursts" : "rd_bursts") += 1;
+        stats_.counter("bus_busy_cycles") += t.tBL;
+        if (trace_) {
+            trace_->push_back({e.req.write ? DramCmd::Wr : DramCmd::Rd,
+                               e.coord, now});
+        }
+        if (complete_)
+            complete_(e.req, done);
+        --pendingCount_;
+        issuedColumn_ = true;
+        return true;
+    }
+
+    if (channel_.anyRowOpen(e.coord)) {
+        // Row conflict: precharge.
+        const Cycle ready = channel_.earliestPre(e.coord, now);
+        if (ready > now) {
+            next_hint = std::min(next_hint, ready);
+            return false;
+        }
+        channel_.issuePre(e.coord, now);
+        ++stats_.counter("row_conflicts");
+        if (trace_)
+            trace_->push_back({DramCmd::Pre, e.coord, now});
+        return true;
+    }
+
+    // Bank closed: activate.
+    const Cycle ready = channel_.earliestAct(e.coord, now);
+    if (ready > now) {
+        next_hint = std::min(next_hint, ready);
+        return false;
+    }
+    channel_.issueAct(e.coord, now);
+    if (trace_)
+        trace_->push_back({DramCmd::Act, e.coord, now});
+    return true;
+}
+
+bool
+MemoryController::serviceRefresh(unsigned rank, Cycle now,
+                                 Cycle &next_hint)
+{
+    if (const auto open = channel_.openBankIn(rank)) {
+        // Close the rank first (one PRE per tick).
+        const Cycle ready = channel_.earliestPre(*open, now);
+        if (ready > now) {
+            next_hint = std::min(next_hint, ready);
+            return false;
+        }
+        channel_.issuePre(*open, now);
+        if (trace_)
+            trace_->push_back({DramCmd::Pre, *open, now});
+        return true;
+    }
+    const Cycle ready = channel_.earliestRefresh(rank, now);
+    if (ready > now) {
+        next_hint = std::min(next_hint, ready);
+        return false;
+    }
+    channel_.issueRefresh(rank, now);
+    ++stats_.counter("refreshes");
+    if (trace_) {
+        DramCoord c;
+        c.rank = rank;
+        trace_->push_back({DramCmd::Ref, c, now});
+    }
+    return true;
+}
+
+Cycle
+MemoryController::tick(Cycle now)
+{
+    refillWindow();
+    if (queue_.empty())
+        return idleForever;
+
+    Cycle next_hint = idleForever;
+    issuedColumn_ = false;
+
+    // Refresh duty comes first: an overdue rank blocks new work until
+    // its REF is in flight.
+    for (unsigned r = 0; r < servedRanks_.size(); ++r) {
+        if (!servedRanks_[r] || !channel_.refreshDue(r, now))
+            continue;
+        if (serviceRefresh(r, now, next_hint))
+            return now + 1;
+        return next_hint == idleForever ? now + 1 : next_hint;
+    }
+
+    // Pass 1 (FR): row hits, oldest first.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (!channel_.rowOpen(queue_[i].coord))
+            continue;
+        if (tryIssue(queue_[i], now, next_hint)) {
+            if (issuedColumn_)
+                queue_.erase(queue_.begin() + i);
+            return now + 1;
+        }
+    }
+
+    // Pass 2 (FCFS): oldest request drives ACT/PRE; also allow younger
+    // requests targeting *other* banks to open their rows (bank-level
+    // parallelism), as real schedulers do.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (channel_.rowOpen(queue_[i].coord))
+            continue; // handled in pass 1
+        // Avoid thrashing: only the oldest request per bank may
+        // precharge/activate.
+        bool oldest_for_bank = true;
+        for (std::size_t k = 0; k < i; ++k) {
+            if (queue_[k].coord.rank == queue_[i].coord.rank &&
+                queue_[k].coord.flatBank(channel_.config().geometry) ==
+                    queue_[i].coord.flatBank(channel_.config().geometry)) {
+                oldest_for_bank = false;
+                break;
+            }
+        }
+        if (!oldest_for_bank)
+            continue;
+        if (tryIssue(queue_[i], now, next_hint))
+            return now + 1;
+    }
+
+    return next_hint == idleForever ? now + 1 : next_hint;
+}
+
+Cycle
+MemoryController::drain(Cycle from)
+{
+    Cycle now = from;
+    Cycle last_data = from;
+    // Track the true completion (end of last burst), not just the
+    // last command issue.
+    auto prev_cb = complete_;
+    Cycle finish = from;
+    complete_ = [&](const MemRequest &req, Cycle done) {
+        finish = std::max(finish, done);
+        if (prev_cb)
+            prev_cb(req, done);
+    };
+    while (busy()) {
+        const Cycle next = tick(now);
+        SECNDP_ASSERT(next > now || next == idleForever,
+                      "controller made no progress at %ld", now);
+        now = (next == idleForever) ? now + 1 : next;
+    }
+    complete_ = prev_cb;
+    (void)last_data;
+    return std::max(finish, now);
+}
+
+} // namespace secndp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FR-FCFS open-page memory controller.
+ *
+ * One controller owns one command bus and one data bus and serves the
+ * requests routed to it:
+ *
+ *  - CPU (non-NDP) mode: a single controller serves all ranks of the
+ *    channel -- the shared 64-bit channel bus is the bottleneck, with
+ *    a tRTRS turnaround between bursts from different ranks.
+ *  - Rank-NDP mode: one controller per rank (each NDP PU accesses its
+ *    own rank internally), giving the aggregate bandwidth that makes
+ *    NDP win (paper section V, Figure 5).
+ *
+ * Scheduling: FR-FCFS over a bounded transaction window (row hits
+ * first, then oldest), open-page row policy with precharge on
+ * conflict. Every issued command is validated by DramChannel's
+ * legality asserts, and tests re-validate whole traces independently.
+ */
+
+#ifndef SECNDP_MEMSIM_CONTROLLER_HH
+#define SECNDP_MEMSIM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "memsim/channel.hh"
+
+namespace secndp {
+
+/** One line-sized memory request. */
+struct MemRequest
+{
+    std::uint64_t addr = 0;
+    bool write = false;
+    std::uint64_t tag = 0; ///< caller-defined (e.g. query id)
+};
+
+/** Optional hook recording every issued command (trace checking). */
+struct CmdTraceEntry
+{
+    DramCmd cmd;
+    DramCoord coord;
+    Cycle cycle;
+};
+
+/** FR-FCFS controller over one command bus + one data bus. */
+class MemoryController
+{
+  public:
+    using CompletionFn =
+        std::function<void(const MemRequest &, Cycle done)>;
+
+    /**
+     * @param channel shared device state (may be shared with other
+     *        controllers serving disjoint ranks)
+     * @param window FR-FCFS visible transaction window
+     */
+    MemoryController(DramChannel &channel, unsigned window = 32);
+
+    /** Register the completion callback (may stay unset). */
+    void onComplete(CompletionFn fn) { complete_ = std::move(fn); }
+
+    /** Optionally record every command for later validation. */
+    void recordTrace(std::vector<CmdTraceEntry> *trace)
+    {
+        trace_ = trace;
+    }
+
+    /** Add a request (unbounded backlog behind the window). */
+    void enqueue(const MemRequest &req);
+
+    bool busy() const { return pendingCount_ != 0; }
+    std::size_t pending() const { return pendingCount_; }
+
+    /**
+     * Try to issue at most one command at `now`.
+     * @return the next cycle at which calling again can make progress
+     *         (== now + 1 if a command was issued; the earliest
+     *         feasible time otherwise; max() when idle).
+     */
+    Cycle tick(Cycle now);
+
+    /** Run until drained, starting at `from`; returns finish cycle. */
+    Cycle drain(Cycle from = 0);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    static constexpr Cycle idleForever =
+        std::numeric_limits<Cycle>::max();
+
+  private:
+    struct Entry
+    {
+        MemRequest req;
+        DramCoord coord;
+        Cycle arrived;
+    };
+
+    /** Earliest cycle >= now the data bus allows a burst issue. */
+    Cycle busReadyFor(const DramCoord &c, Cycle cmd_cycle,
+                      bool write) const;
+
+    void refillWindow();
+    bool tryIssue(Entry &e, Cycle now, Cycle &next_hint);
+
+    DramChannel &channel_;
+    unsigned window_;
+    std::deque<Entry> queue_;   ///< visible window
+    std::deque<Entry> backlog_; ///< overflow behind the window
+    std::size_t pendingCount_ = 0;
+    CompletionFn complete_;
+    std::vector<CmdTraceEntry> *trace_ = nullptr;
+
+    /** Refresh housekeeping for one served rank; true if a command
+     *  was issued (caller must stop for this cycle). */
+    bool serviceRefresh(unsigned rank, Cycle now, Cycle &next_hint);
+
+    std::unique_ptr<AddressMapper> mapper_;
+    std::vector<std::uint8_t> servedRanks_; ///< ranks we refresh
+    Cycle busFreeAt_ = 0;    ///< end of last burst on this data bus
+    int lastBurstRank_ = -1; ///< for tRTRS
+    bool issuedColumn_ = false;
+
+    StatGroup stats_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_CONTROLLER_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DDR4 device timing and geometry parameters.
+ *
+ * Defaults reproduce paper Table II: DDR4-2400, 8 GB ranks, and the
+ * listed timing constraints (all in memory-clock cycles at 1200 MHz,
+ * tCK = 0.8333 ns; the data bus moves 8 bytes per beat, 2 beats per
+ * cycle, so one 64-byte line takes tBL = 4 cycles).
+ */
+
+#ifndef SECNDP_MEMSIM_DRAM_PARAMS_HH
+#define SECNDP_MEMSIM_DRAM_PARAMS_HH
+
+#include <cstdint>
+
+namespace secndp {
+
+/** Timing constraints, in memory-clock cycles (Table II). */
+struct DramTimings
+{
+    unsigned tRC = 55;   ///< ACT -> ACT, same bank
+    unsigned tRCD = 16;  ///< ACT -> RD/WR, same bank
+    unsigned tCL = 16;   ///< RD -> data start
+    unsigned tRP = 16;   ///< PRE -> ACT, same bank
+    unsigned tBL = 4;    ///< burst duration on the data bus
+    unsigned tCCD_S = 4; ///< RD -> RD, same rank, different bank group
+    unsigned tCCD_L = 6; ///< RD -> RD, same rank, same bank group
+    unsigned tRRD_S = 4; ///< ACT -> ACT, same rank, diff bank group
+    unsigned tRRD_L = 6; ///< ACT -> ACT, same rank, same bank group
+    unsigned tFAW = 26;  ///< window for at most 4 ACTs per rank
+
+    // Derived / auxiliary constraints (standard DDR4 values; not in
+    // Table II but required for a legal command stream).
+    unsigned tRAS = 39;  ///< ACT -> PRE, same bank (tRC - tRP)
+    unsigned tRTP = 8;   ///< RD -> PRE, same bank
+    unsigned tRTRS = 2;  ///< rank-to-rank data bus turnaround
+    unsigned tCWL = 12;  ///< WR -> data start
+    unsigned tWR = 18;   ///< end of write data -> PRE
+    unsigned tWTR = 9;   ///< end of write data -> RD, same rank
+
+    // Refresh (DDR4 8 Gb devices at 1200 MHz memory clock).
+    unsigned tREFI = 9360; ///< average refresh interval (7.8 us)
+    unsigned tRFC = 420;   ///< refresh cycle time (~350 ns)
+};
+
+/** Channel / rank / bank organization. */
+struct DramGeometry
+{
+    unsigned channels = 1;     ///< memory channels (Table II uses 1)
+    unsigned ranks = 8;        ///< NDP_rank in the paper's sweeps
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rowBytes = 8192;  ///< row buffer (page) size
+    unsigned lineBytes = 64;   ///< cache line / burst size
+    std::uint64_t rankBytes = 8ULL << 30; ///< 8 GB per rank
+
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+    unsigned linesPerRow() const { return rowBytes / lineBytes; }
+    std::uint64_t rowsPerBank() const
+    {
+        return rankBytes / banksPerRank() / rowBytes;
+    }
+    /** Capacity of one channel. */
+    std::uint64_t channelBytes() const { return rankBytes * ranks; }
+    std::uint64_t totalBytes() const
+    {
+        return channelBytes() * channels;
+    }
+};
+
+/** Clocking: DDR4-2400 -> 1200 MHz memory clock. */
+struct DramClock
+{
+    double freqGhz = 1.2;
+
+    double nsPerCycle() const { return 1.0 / freqGhz; }
+    double cyclesFromNs(double ns) const { return ns * freqGhz; }
+
+    /** Peak data bandwidth of one 64-bit bus, in GB/s. */
+    double peakGBps() const { return freqGhz * 2.0 * 8.0; }
+};
+
+/** Everything a channel model needs. */
+struct DramConfig
+{
+    DramTimings timings;
+    DramGeometry geometry;
+    DramClock clock;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_DRAM_PARAMS_HH

@@ -1,0 +1,51 @@
+#include "memsim/page_mapper.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+PageMapper::PageMapper(std::uint64_t phys_bytes, std::uint64_t page_bytes,
+                       std::uint64_t seed)
+    : pageBytes_(page_bytes), totalPages_(phys_bytes / page_bytes),
+      rng_(seed)
+{
+    SECNDP_ASSERT(phys_bytes % page_bytes == 0,
+                  "physical size not page aligned");
+    SECNDP_ASSERT(totalPages_ <= UINT32_MAX,
+                  "too many pages for 32-bit free list");
+    freeList_.resize(totalPages_);
+    for (std::uint64_t i = 0; i < totalPages_; ++i)
+        freeList_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::uint64_t
+PageMapper::allocPhysPage()
+{
+    SECNDP_ASSERT(drawn_ < totalPages_, "out of physical pages");
+    // Incremental Fisher-Yates: uniform over remaining free pages.
+    const std::uint64_t j =
+        drawn_ + rng_.nextBounded(totalPages_ - drawn_);
+    std::swap(freeList_[drawn_], freeList_[j]);
+    return freeList_[drawn_++];
+}
+
+std::uint64_t
+PageMapper::translate(std::uint64_t vaddr)
+{
+    const std::uint64_t vpage = vaddr / pageBytes_;
+    auto it = pageTable_.find(vpage);
+    if (it == pageTable_.end())
+        it = pageTable_.emplace(vpage, allocPhysPage()).first;
+    return it->second * pageBytes_ + vaddr % pageBytes_;
+}
+
+void
+PageMapper::populate(std::uint64_t vaddr, std::uint64_t len)
+{
+    const std::uint64_t first = vaddr / pageBytes_;
+    const std::uint64_t last = (vaddr + len - 1) / pageBytes_;
+    for (std::uint64_t p = first; p <= last; ++p)
+        translate(p * pageBytes_);
+}
+
+} // namespace secndp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * OS-style virtual-to-physical page mapping (paper section VI-B).
+ *
+ * The paper's methodology applies "a standard page mapping method" in
+ * which the OS picks a random free physical page for each logical
+ * page frame. Because rank bits sit above the page offset, this
+ * randomization is what scatters embedding-table rows across ranks
+ * and creates the rank-level load imbalance that caps NDP speedup on
+ * irregular workloads.
+ */
+
+#ifndef SECNDP_MEMSIM_PAGE_MAPPER_HH
+#define SECNDP_MEMSIM_PAGE_MAPPER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace secndp {
+
+/** Random-free-page virtual memory mapper. */
+class PageMapper
+{
+  public:
+    /**
+     * @param phys_bytes size of simulated physical memory
+     * @param page_bytes page size (default 4 KB)
+     * @param seed RNG seed for the free-list shuffle order
+     */
+    PageMapper(std::uint64_t phys_bytes, std::uint64_t page_bytes = 4096,
+               std::uint64_t seed = Rng::defaultSeed);
+
+    /**
+     * Translate a virtual address; allocates a random free physical
+     * page on first touch of each virtual page (demand paging).
+     */
+    std::uint64_t translate(std::uint64_t vaddr);
+
+    /** Pre-touch a contiguous virtual range. */
+    void populate(std::uint64_t vaddr, std::uint64_t len);
+
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::uint64_t mappedPages() const { return pageTable_.size(); }
+    std::uint64_t freePages() const
+    {
+        return totalPages_ - pageTable_.size();
+    }
+
+  private:
+    std::uint64_t allocPhysPage();
+
+    std::uint64_t pageBytes_;
+    std::uint64_t totalPages_;
+    Rng rng_;
+    /** Lazily-shuffled free list (Fisher-Yates as we draw). */
+    std::vector<std::uint32_t> freeList_;
+    std::uint64_t drawn_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> pageTable_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_PAGE_MAPPER_HH

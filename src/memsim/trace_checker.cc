@@ -1,0 +1,172 @@
+#include "memsim/trace_checker.hh"
+
+#include <cstdio>
+#include <map>
+
+namespace secndp {
+
+namespace {
+
+struct Key
+{
+    unsigned rank, bank; // flat bank
+    bool operator<(const Key &o) const
+    {
+        return rank != o.rank ? rank < o.rank : bank < o.bank;
+    }
+};
+
+std::string
+fmt(const char *rule, const CmdTraceEntry &e, Cycle prev, unsigned need)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s violated at cycle %lld (rank %u bg %u bank %u "
+                  "row %llu): prev %lld, need +%u",
+                  rule, static_cast<long long>(e.cycle), e.coord.rank,
+                  e.coord.bankGroup, e.coord.bank,
+                  static_cast<unsigned long long>(e.coord.row),
+                  static_cast<long long>(prev), need);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+checkCommandTrace(const DramConfig &cfg,
+                  const std::vector<CmdTraceEntry> &trace,
+                  bool shared_bus)
+{
+    const auto &t = cfg.timings;
+    const auto &geo = cfg.geometry;
+    std::vector<std::string> bad;
+
+    struct BankHist
+    {
+        std::vector<Cycle> acts, pres, rds;
+        std::vector<Cycle> wrDataEnds;
+        bool open = false;
+        std::uint64_t row = 0;
+    };
+    std::map<Key, BankHist> banks;
+    // Per (rank, bg) and per rank command histories.
+    std::map<std::pair<unsigned, unsigned>, std::vector<Cycle>> actsByBg,
+        colByBg;
+    std::map<unsigned, std::vector<Cycle>> actsByRank, colByRank;
+    std::map<unsigned, Cycle> refreshUntil; ///< rank -> REF end
+    // Data bus bursts: (start, end, rank).
+    struct Burst
+    {
+        Cycle start, end;
+        unsigned rank;
+    };
+    std::vector<Burst> bursts;
+
+    Cycle prev_cycle = -(Cycle{1} << 40);
+    auto checkGap = [&](const char *rule, const std::vector<Cycle> &hist,
+                        Cycle now, unsigned need,
+                        const CmdTraceEntry &e) {
+        if (!hist.empty() && now - hist.back() < static_cast<Cycle>(need))
+            bad.push_back(fmt(rule, e, hist.back(), need));
+    };
+
+    for (const auto &e : trace) {
+        if (e.cycle < prev_cycle)
+            bad.push_back(fmt("cycle-order", e, prev_cycle, 0));
+        prev_cycle = e.cycle;
+
+        const Key key{e.coord.rank, e.coord.flatBank(geo)};
+        auto &b = banks[key];
+        const auto bg_key = std::make_pair(e.coord.rank,
+                                           e.coord.bankGroup);
+
+        switch (e.cmd) {
+          case DramCmd::Act: {
+            if (b.open)
+                bad.push_back(fmt("ACT-on-open-bank", e, 0, 0));
+            if (auto it = refreshUntil.find(e.coord.rank);
+                it != refreshUntil.end() && e.cycle < it->second)
+                bad.push_back(fmt("tRFC", e, it->second, t.tRFC));
+            checkGap("tRC", b.acts, e.cycle, t.tRC, e);
+            checkGap("tRP", b.pres, e.cycle, t.tRP, e);
+            checkGap("tRRD_L", actsByBg[bg_key], e.cycle, t.tRRD_L, e);
+            checkGap("tRRD_S", actsByRank[e.coord.rank], e.cycle,
+                     t.tRRD_S, e);
+            auto &ra = actsByRank[e.coord.rank];
+            if (ra.size() >= 4 &&
+                e.cycle - ra[ra.size() - 4] < static_cast<Cycle>(t.tFAW))
+                bad.push_back(fmt("tFAW", e, ra[ra.size() - 4], t.tFAW));
+            b.acts.push_back(e.cycle);
+            actsByBg[bg_key].push_back(e.cycle);
+            ra.push_back(e.cycle);
+            b.open = true;
+            b.row = e.coord.row;
+            break;
+          }
+          case DramCmd::Pre: {
+            if (!b.open)
+                bad.push_back(fmt("PRE-on-closed-bank", e, 0, 0));
+            checkGap("tRAS", b.acts, e.cycle, t.tRAS, e);
+            checkGap("tRTP", b.rds, e.cycle, t.tRTP, e);
+            if (!b.wrDataEnds.empty() &&
+                e.cycle - b.wrDataEnds.back() <
+                    static_cast<Cycle>(t.tWR))
+                bad.push_back(fmt("tWR", e, b.wrDataEnds.back(), t.tWR));
+            b.pres.push_back(e.cycle);
+            b.open = false;
+            break;
+          }
+          case DramCmd::Rd:
+          case DramCmd::Wr: {
+            const bool is_wr = (e.cmd == DramCmd::Wr);
+            if (!b.open || b.row != e.coord.row)
+                bad.push_back(fmt("COL-on-wrong-row", e, 0, 0));
+            checkGap("tRCD", b.acts, e.cycle, t.tRCD, e);
+            checkGap("tCCD_L", colByBg[bg_key], e.cycle, t.tCCD_L, e);
+            checkGap("tCCD_S", colByRank[e.coord.rank], e.cycle,
+                     t.tCCD_S, e);
+            const Cycle data_start =
+                e.cycle + (is_wr ? t.tCWL : t.tCL);
+            const Cycle data_end = data_start + t.tBL;
+            if (shared_bus && !bursts.empty()) {
+                const auto &last = bursts.back();
+                Cycle need = last.end;
+                if (last.rank != e.coord.rank)
+                    need += t.tRTRS;
+                if (data_start < need)
+                    bad.push_back(fmt("data-bus-overlap", e, last.end,
+                                      t.tRTRS));
+            }
+            bursts.push_back({data_start, data_end, e.coord.rank});
+            colByBg[bg_key].push_back(e.cycle);
+            colByRank[e.coord.rank].push_back(e.cycle);
+            if (is_wr)
+                b.wrDataEnds.push_back(data_end);
+            else
+                b.rds.push_back(e.cycle);
+            break;
+          }
+          case DramCmd::Ref: {
+            // Every bank in the rank must be precharged (and past
+            // its tRP recovery).
+            for (const auto &kv : banks) {
+                if (kv.first.rank != e.coord.rank)
+                    continue;
+                if (kv.second.open)
+                    bad.push_back(fmt("REF-with-open-bank", e, 0, 0));
+                if (!kv.second.pres.empty() &&
+                    e.cycle - kv.second.pres.back() <
+                        static_cast<Cycle>(t.tRP))
+                    bad.push_back(
+                        fmt("REF-inside-tRP", e,
+                            kv.second.pres.back(), t.tRP));
+            }
+            refreshUntil[e.coord.rank] = e.cycle + t.tRFC;
+            break;
+          }
+        }
+    }
+    return bad;
+}
+
+} // namespace secndp

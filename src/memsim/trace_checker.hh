@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Independent DDR4 command-trace validator.
+ *
+ * Re-checks a recorded command stream against every timing rule using
+ * a deliberately separate (brute-force) implementation from
+ * DramChannel, so scheduler bugs cannot hide behind a shared legality
+ * routine. Used by tests to certify that the controller emits only
+ * legal schedules under random workloads.
+ */
+
+#ifndef SECNDP_MEMSIM_TRACE_CHECKER_HH
+#define SECNDP_MEMSIM_TRACE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "memsim/controller.hh"
+
+namespace secndp {
+
+/**
+ * Validate a per-controller command trace.
+ *
+ * @param cfg the DRAM configuration the trace was generated under
+ * @param trace commands in non-decreasing cycle order
+ * @param shared_bus whether all commands share one data bus (CPU
+ *        mode); per-rank (NDP) traces should be checked per rank
+ * @return human-readable violations (empty == legal trace)
+ */
+std::vector<std::string> checkCommandTrace(
+    const DramConfig &cfg, const std::vector<CmdTraceEntry> &trace,
+    bool shared_bus = true);
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_TRACE_CHECKER_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Configuration of the rank-NDP subsystem (paper section V, Fig. 5).
+ */
+
+#ifndef SECNDP_NDP_NDP_CONFIG_HH
+#define SECNDP_NDP_NDP_CONFIG_HH
+
+namespace secndp {
+
+/** Rank-NDP PU and packet-protocol parameters. */
+struct NdpConfig
+{
+    /**
+     * Registers per NDP PU (NDP_reg). Each in-flight packet holds one
+     * register in every PU it touches, so this bounds packet-level
+     * concurrency -- the knob swept in paper Figure 7.
+     */
+    unsigned ndpReg = 8;
+
+    /**
+     * DRAM cycles to configure memory-mapped control registers before
+     * a packet's commands can issue (paper section VI-B).
+     */
+    unsigned packetInitCycles = 12;
+
+    /**
+     * Cycles for the final NDPLd that moves a PU register's partial
+     * result back to the processor (paper: "a cycle in the final
+     * stage"; we charge a small fixed cost per packet).
+     */
+    unsigned packetLdCycles = 4;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_NDP_NDP_CONFIG_HH

@@ -1,0 +1,228 @@
+#include "ndp/ndp_system.hh"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+NdpSimulation::NdpSimulation(const DramConfig &dram_cfg,
+                             const NdpConfig &ndp_cfg)
+    : dramCfg_(dram_cfg), ndpCfg_(ndp_cfg)
+{
+}
+
+BatchResult
+NdpSimulation::run(const std::vector<NdpQuery> &queries)
+{
+    const unsigned n_ranks = dramCfg_.geometry.ranks;
+    const unsigned n_channels = dramCfg_.geometry.channels;
+    const unsigned n_pus = n_ranks * n_channels;
+
+    // Fresh device + per-(channel, rank) controller state per batch.
+    channels_.clear();
+    for (unsigned c = 0; c < n_channels; ++c)
+        channels_.push_back(std::make_unique<DramChannel>(dramCfg_));
+    mapper_ = std::make_unique<AddressMapper>(dramCfg_.geometry);
+    rankCtrls_.clear();
+    for (unsigned c = 0; c < n_channels; ++c) {
+        for (unsigned r = 0; r < n_ranks; ++r) {
+            (void)r;
+            rankCtrls_.push_back(
+                std::make_unique<MemoryController>(*channels_[c]));
+        }
+    }
+    auto pu_of = [&](const DramCoord &coord) {
+        return coord.channel * n_ranks + coord.rank;
+    };
+
+    struct QState
+    {
+        std::size_t outstanding = 0;
+        Cycle lastDone = 0;
+        std::vector<std::uint8_t> touches;
+        unsigned pusTouched = 0;
+    };
+
+    BatchResult result;
+    result.packets.resize(queries.size());
+    std::vector<QState> qstate(queries.size());
+
+    // Pre-compute per-query PU footprints.
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        qstate[q].touches.assign(n_pus, 0);
+        for (const auto addr : queries[q].lineAddrs) {
+            const unsigned pu = pu_of(mapper_->decode(addr));
+            if (!qstate[q].touches[pu]) {
+                qstate[q].touches[pu] = 1;
+                ++qstate[q].pusTouched;
+            }
+        }
+        qstate[q].outstanding = queries[q].lineAddrs.size();
+        result.packets[q].lines = queries[q].lineAddrs.size();
+        result.packets[q].ranksTouched = qstate[q].pusTouched;
+        result.totalLines += queries[q].lineAddrs.size();
+    }
+
+    // Register occupancy per PU; min-heap of packet-finish events.
+    std::vector<unsigned> free_regs(n_pus, ndpCfg_.ndpReg);
+    using FinishEvent = std::pair<Cycle, std::size_t>;
+    std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                        std::greater<>> finish_events;
+
+    // Completion wiring: a line read done -> count down its packet.
+    for (auto &ctrl : rankCtrls_) {
+        ctrl->onComplete([&](const MemRequest &req, Cycle done) {
+            auto &qs = qstate[req.tag];
+            SECNDP_ASSERT(qs.outstanding > 0, "double completion");
+            qs.lastDone = std::max(qs.lastDone, done);
+            if (--qs.outstanding == 0) {
+                const Cycle fin = qs.lastDone + ndpCfg_.packetLdCycles;
+                result.packets[req.tag].finished = fin;
+                finish_events.emplace(fin, req.tag);
+            }
+        });
+    }
+
+    Cycle now = 0;
+    std::size_t next_q = 0;
+    std::size_t completed = 0;
+
+    auto can_issue = [&](std::size_t q) {
+        for (unsigned pu = 0; pu < n_pus; ++pu)
+            if (qstate[q].touches[pu] && free_regs[pu] == 0)
+                return false;
+        return true;
+    };
+
+    while (completed < queries.size() || next_q < queries.size()) {
+        // Release registers of packets that finished by `now`.
+        while (!finish_events.empty() &&
+               finish_events.top().first <= now) {
+            const std::size_t q = finish_events.top().second;
+            finish_events.pop();
+            for (unsigned pu = 0; pu < n_pus; ++pu)
+                if (qstate[q].touches[pu])
+                    ++free_regs[pu];
+            ++completed;
+        }
+
+        // Issue packets in order while registers allow.
+        while (next_q < queries.size() && can_issue(next_q)) {
+            const std::size_t q = next_q++;
+            result.packets[q].issued = now;
+            for (unsigned pu = 0; pu < n_pus; ++pu)
+                if (qstate[q].touches[pu])
+                    --free_regs[pu];
+            if (queries[q].lineAddrs.empty()) {
+                // Degenerate packet: only the NDPLd remains here
+                // (init is charged uniformly after the loop).
+                const Cycle fin = now + ndpCfg_.packetLdCycles;
+                result.packets[q].finished = fin;
+                qstate[q].lastDone = fin;
+                finish_events.emplace(fin, q);
+                continue;
+            }
+            for (const auto addr : queries[q].lineAddrs) {
+                const unsigned pu = pu_of(mapper_->decode(addr));
+                rankCtrls_[pu]->enqueue({addr, false, q});
+            }
+            // Charge packet-init latency by construction: the finish
+            // below adds packetInitCycles once per packet.
+        }
+
+        // Advance: tick every busy controller at `now`, find the next
+        // interesting cycle.
+        Cycle next = MemoryController::idleForever;
+        for (auto &ctrl : rankCtrls_) {
+            if (!ctrl->busy())
+                continue;
+            const Cycle hint = ctrl->tick(now);
+            next = std::min(next, hint);
+        }
+        if (!finish_events.empty())
+            next = std::min(next, finish_events.top().first);
+
+        if (next == MemoryController::idleForever) {
+            // Nothing in flight: if packets remain unissued we are
+            // stalled on registers, which requires a pending finish
+            // event -- so this means we are done.
+            SECNDP_ASSERT(next_q >= queries.size() &&
+                              finish_events.empty(),
+                          "NDP scheduler deadlock at cycle %lld",
+                          static_cast<long long>(now));
+            break;
+        }
+        now = std::max(now + 1, next);
+    }
+
+    // Account per-packet init latency and the batch makespan.
+    for (auto &p : result.packets) {
+        p.finished += ndpCfg_.packetInitCycles;
+        result.totalCycles = std::max(result.totalCycles, p.finished);
+    }
+    for (const auto &ch : channels_) {
+        result.acts += ch->stats().counterValue("acts");
+        result.reads += ch->stats().counterValue("reads");
+    }
+    return result;
+}
+
+BatchResult
+runCpuBatch(const DramConfig &dram_cfg,
+            const std::vector<NdpQuery> &queries)
+{
+    const unsigned n_channels = dram_cfg.geometry.channels;
+    AddressMapper mapper(dram_cfg.geometry);
+
+    // One shared-bus controller per channel (as in a real CPU).
+    std::vector<std::unique_ptr<DramChannel>> channels;
+    std::vector<std::unique_ptr<MemoryController>> ctrls;
+    for (unsigned c = 0; c < n_channels; ++c) {
+        channels.push_back(std::make_unique<DramChannel>(dram_cfg));
+        ctrls.push_back(
+            std::make_unique<MemoryController>(*channels[c]));
+    }
+
+    BatchResult result;
+    result.packets.resize(queries.size());
+    std::vector<std::size_t> outstanding(queries.size());
+
+    for (auto &ctrl : ctrls) {
+        ctrl->onComplete([&](const MemRequest &req, Cycle done) {
+            auto &p = result.packets[req.tag];
+            p.finished = std::max(p.finished, done);
+            SECNDP_ASSERT(outstanding[req.tag] > 0,
+                          "double completion");
+            --outstanding[req.tag];
+        });
+    }
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        outstanding[q] = queries[q].lineAddrs.size();
+        result.packets[q].lines = queries[q].lineAddrs.size();
+        result.packets[q].issued = 0;
+        result.totalLines += queries[q].lineAddrs.size();
+        for (const auto addr : queries[q].lineAddrs) {
+            ctrls[mapper.decode(addr).channel]->enqueue(
+                {addr, false, q});
+        }
+    }
+    for (auto &ctrl : ctrls) {
+        result.totalCycles =
+            std::max(result.totalCycles, ctrl->drain(0));
+    }
+    for (const auto &p : result.packets) {
+        SECNDP_ASSERT(p.lines == 0 || p.finished > 0,
+                      "unfinished packet");
+    }
+    for (const auto &ch : channels) {
+        result.acts += ch->stats().counterValue("acts");
+        result.reads += ch->stats().counterValue("reads");
+    }
+    return result;
+}
+
+} // namespace secndp

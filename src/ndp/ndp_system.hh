@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-level execution model of rank-level NDP (and of the non-NDP
+ * CPU baseline over the same work).
+ *
+ * A *packet* (NdpQuery) is the unit the memory controller dispatches
+ * to the rank PUs: the set of line reads one pooling operation needs,
+ * plus any tag lines when verification fetches tags from memory. The
+ * PU's multiply-accumulate datapath keeps up with the burst rate
+ * (paper: a lightweight integer ALU suffices), so packet latency is
+ * read-stream-bound:
+ *
+ *   - every rank serves its own lines through a private controller
+ *     (rank-internal bandwidth),
+ *   - a packet finishes when its slowest rank finishes (+ NDPLd),
+ *   - a packet may only start when every PU has a free register
+ *     (NDP_reg bounds in-flight packets).
+ *
+ * The CPU baseline (`runCpuBatch`) pushes the identical line stream
+ * through ONE controller -- the shared channel bus -- which is exactly
+ * the bandwidth wall NDP removes.
+ */
+
+#ifndef SECNDP_NDP_NDP_SYSTEM_HH
+#define SECNDP_NDP_NDP_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsim/controller.hh"
+#include "ndp/ndp_config.hh"
+
+namespace secndp {
+
+/** One NDP packet: the physical line addresses one query touches. */
+struct NdpQuery
+{
+    std::vector<std::uint64_t> lineAddrs; ///< line-aligned, physical
+};
+
+/** Timing record of one executed packet. */
+struct PacketTiming
+{
+    Cycle issued = 0;    ///< when registers were acquired
+    Cycle finished = 0;  ///< last read done + NDPLd
+    std::uint64_t lines = 0;
+    unsigned ranksTouched = 0;
+
+    Cycle latency() const { return finished - issued; }
+};
+
+/** Result of running a batch of packets. */
+struct BatchResult
+{
+    std::vector<PacketTiming> packets;
+    Cycle totalCycles = 0;
+    std::uint64_t totalLines = 0;
+    std::uint64_t acts = 0;
+    std::uint64_t reads = 0;
+};
+
+/** Rank-NDP cycle-level simulator. */
+class NdpSimulation
+{
+  public:
+    NdpSimulation(const DramConfig &dram_cfg, const NdpConfig &ndp_cfg);
+
+    /**
+     * Execute a batch of packets in order with NDP_reg-bounded
+     * overlap; returns per-packet timings and the batch makespan.
+     */
+    BatchResult run(const std::vector<NdpQuery> &queries);
+
+    /** Device state of one channel (valid after run()). */
+    const DramChannel &channel(unsigned c = 0) const
+    {
+        return *channels_[c];
+    }
+
+  private:
+    DramConfig dramCfg_;
+    NdpConfig ndpCfg_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    std::unique_ptr<AddressMapper> mapper_;
+    /** One controller per (channel, rank) PU. */
+    std::vector<std::unique_ptr<MemoryController>> rankCtrls_;
+};
+
+/**
+ * Non-NDP baseline: the same line reads, one shared-bus controller,
+ * no packet windowing (the CPU's request stream is limited by the
+ * channel, not by PU registers). Returns per-packet completion as the
+ * time the packet's last line arrives on-chip.
+ */
+BatchResult runCpuBatch(const DramConfig &dram_cfg,
+                        const std::vector<NdpQuery> &queries);
+
+} // namespace secndp
+
+#endif // SECNDP_NDP_NDP_SYSTEM_HH

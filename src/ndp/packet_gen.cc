@@ -1,0 +1,42 @@
+#include "ndp/packet_gen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+NdpQuery
+buildQuery(PageMapper &mapper, std::span<const AccessRange> ranges,
+           unsigned line_bytes)
+{
+    NdpQuery query;
+    const std::uint64_t page = mapper.pageBytes();
+    for (const auto &range : ranges) {
+        SECNDP_ASSERT(range.bytes > 0, "empty access range");
+        std::uint64_t v = range.vaddr;
+        std::uint64_t remaining = range.bytes;
+        while (remaining > 0) {
+            // Stay within one page per translation step.
+            const std::uint64_t in_page =
+                std::min<std::uint64_t>(remaining,
+                                        page - (v % page));
+            const std::uint64_t pbase = mapper.translate(v);
+            const std::uint64_t first = pbase / line_bytes;
+            const std::uint64_t last =
+                (pbase + in_page - 1) / line_bytes;
+            for (std::uint64_t line = first; line <= last; ++line)
+                query.lineAddrs.push_back(line * line_bytes);
+            v += in_page;
+            remaining -= in_page;
+        }
+    }
+    // Deduplicate shared lines (e.g. two sub-line rows in one line).
+    std::sort(query.lineAddrs.begin(), query.lineAddrs.end());
+    query.lineAddrs.erase(
+        std::unique(query.lineAddrs.begin(), query.lineAddrs.end()),
+        query.lineAddrs.end());
+    return query;
+}
+
+} // namespace secndp

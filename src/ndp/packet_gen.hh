@@ -1,0 +1,44 @@
+/**
+ * @file
+ * NDP packet generation: translate a query's virtual byte ranges into
+ * the deduplicated physical line set the rank PUs must read
+ * (paper section VI-B: "the packet generator divides the physical
+ * memory requests into packets of NDP commands").
+ */
+
+#ifndef SECNDP_NDP_PACKET_GEN_HH
+#define SECNDP_NDP_PACKET_GEN_HH
+
+#include <cstdint>
+#include <span>
+
+#include "memsim/page_mapper.hh"
+#include "ndp/ndp_system.hh"
+
+namespace secndp {
+
+/** A contiguous virtual byte range one query touches. */
+struct AccessRange
+{
+    std::uint64_t vaddr = 0;
+    std::uint32_t bytes = 0;
+};
+
+/**
+ * Build one NDP packet from a query's access ranges.
+ *
+ * Each range is translated page-by-page (ranges may cross page
+ * boundaries, e.g. tag-colocated rows), expanded to line granularity,
+ * and deduplicated: a line shared by two ranges is read once.
+ *
+ * @param mapper demand-paging translator (allocates on first touch)
+ * @param ranges the query's byte ranges
+ * @param line_bytes cache-line size
+ */
+NdpQuery buildQuery(PageMapper &mapper,
+                    std::span<const AccessRange> ranges,
+                    unsigned line_bytes = 64);
+
+} // namespace secndp
+
+#endif // SECNDP_NDP_PACKET_GEN_HH

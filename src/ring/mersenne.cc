@@ -1,0 +1,137 @@
+#include "ring/mersenne.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+using u128 = Fq127::u128;
+
+/**
+ * Reduce v (< 2^128) modulo q = 2^127 - 1.
+ *
+ * Mersenne fold: v = hi * 2^127 + lo  =>  v mod q = hi + lo (mod q),
+ * since 2^127 = 1 (mod q). After one fold the value fits in 128 bits
+ * and is at most q + 1, so one conditional subtraction finishes.
+ */
+u128
+Fq127::reduce(u128 v)
+{
+    const u128 q = modulus();
+    v = (v & q) + (v >> 127);
+    if (v >= q)
+        v -= q;
+    return v;
+}
+
+Fq127
+Fq127::fromRaw(u128 v)
+{
+    Fq127 r;
+    r.value_ = reduce(v);
+    return r;
+}
+
+Fq127
+Fq127::fromHalves(std::uint64_t lo, std::uint64_t hi)
+{
+    return fromRaw((static_cast<u128>(hi) << 64) | lo);
+}
+
+Fq127
+Fq127::operator+(Fq127 o) const
+{
+    // Both operands < q < 2^127, so the sum fits in 128 bits.
+    return fromRaw(value_ + o.value_);
+}
+
+Fq127
+Fq127::operator-(Fq127 o) const
+{
+    Fq127 r;
+    r.value_ = value_ >= o.value_ ? value_ - o.value_
+                                  : value_ + modulus() - o.value_;
+    return r;
+}
+
+Fq127
+Fq127::operator-() const
+{
+    Fq127 r;
+    r.value_ = value_ == 0 ? 0 : modulus() - value_;
+    return r;
+}
+
+Fq127
+Fq127::operator*(Fq127 o) const
+{
+    // 128x128 -> 256-bit schoolbook product via 64-bit limbs.
+    const std::uint64_t a0 = static_cast<std::uint64_t>(value_);
+    const std::uint64_t a1 = static_cast<std::uint64_t>(value_ >> 64);
+    const std::uint64_t b0 = static_cast<std::uint64_t>(o.value_);
+    const std::uint64_t b1 = static_cast<std::uint64_t>(o.value_ >> 64);
+
+    const u128 p00 = static_cast<u128>(a0) * b0;
+    const u128 p01 = static_cast<u128>(a0) * b1;
+    const u128 p10 = static_cast<u128>(a1) * b0;
+    const u128 p11 = static_cast<u128>(a1) * b1;
+
+    // mid = p01 + p10 contributes at bit 64; track its carry into hi.
+    u128 mid = p01 + p10;
+    u128 carry_mid = mid < p01 ? (u128{1} << 64) : 0;
+
+    u128 lo = p00 + (mid << 64);
+    const u128 carry_lo = lo < p00 ? 1 : 0;
+    u128 hi = p11 + (mid >> 64) + carry_mid + carry_lo;
+
+    // product = hi * 2^128 + lo; 2^128 = 2 (mod q), and hi < 2^126 so
+    // 2*hi fits. Fold twice.
+    const u128 q = modulus();
+    u128 acc = (lo & q) + (lo >> 127) + ((hi << 1) & q) + (hi >> 126);
+    // acc < 4q, fold once more then at most one subtraction.
+    acc = (acc & q) + (acc >> 127);
+    if (acc >= q)
+        acc -= q;
+    Fq127 r;
+    r.value_ = acc;
+    return r;
+}
+
+Fq127
+Fq127::pow(u128 e) const
+{
+    Fq127 base = *this;
+    Fq127 acc = Fq127(1);
+    while (e != 0) {
+        if (e & 1)
+            acc *= base;
+        base *= base;
+        e >>= 1;
+    }
+    return acc;
+}
+
+Fq127
+Fq127::inverse() const
+{
+    SECNDP_ASSERT(!isZero(), "inverse of zero in F_q");
+    return pow(modulus() - 2);
+}
+
+std::string
+Fq127::toString() const
+{
+    if (value_ == 0)
+        return "0";
+    std::string digits;
+    u128 v = value_;
+    while (v != 0) {
+        digits.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+        v /= 10;
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+} // namespace secndp

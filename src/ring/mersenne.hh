@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Arithmetic in the Mersenne prime field F_q with q = 2^127 - 1.
+ *
+ * SecNDP's verification tags are linear-modular-hash checksums
+ * (Halevi-Krawczyk MMH / CWC style) computed in this field (paper
+ * sections IV-F and V-D; Bernstein's hash127 uses the same prime).
+ * Mersenne reduction keeps the tag arithmetic close to plain integer
+ * arithmetic, which is why the paper picks this q for the NDP PUs.
+ *
+ * Representation: a value v with 0 <= v < q stored in an
+ * unsigned __int128. The redundant encoding q itself is never stored
+ * (reduce() maps it to 0).
+ */
+
+#ifndef SECNDP_RING_MERSENNE_HH
+#define SECNDP_RING_MERSENNE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secndp {
+
+/** An element of F_q, q = 2^127 - 1. */
+class Fq127
+{
+  public:
+    using u128 = unsigned __int128;
+
+    /** The field modulus 2^127 - 1. */
+    static constexpr u128 modulus()
+    {
+        return (u128{1} << 127) - 1;
+    }
+
+    constexpr Fq127() : value_(0) {}
+
+    /** From a 64-bit unsigned integer (always already reduced). */
+    constexpr Fq127(std::uint64_t v) : value_(v) {}
+
+    /** From a raw 128-bit value (reduced mod q). */
+    static Fq127 fromRaw(u128 v);
+
+    /** From the low/high 64-bit halves of a 128-bit value. */
+    static Fq127 fromHalves(std::uint64_t lo, std::uint64_t hi);
+
+    u128 raw() const { return value_; }
+    std::uint64_t lo64() const
+    {
+        return static_cast<std::uint64_t>(value_);
+    }
+    std::uint64_t hi64() const
+    {
+        return static_cast<std::uint64_t>(value_ >> 64);
+    }
+
+    Fq127 operator+(Fq127 o) const;
+    Fq127 operator-(Fq127 o) const;
+    Fq127 operator*(Fq127 o) const;
+    Fq127 operator-() const;
+
+    Fq127 &operator+=(Fq127 o) { return *this = *this + o; }
+    Fq127 &operator-=(Fq127 o) { return *this = *this - o; }
+    Fq127 &operator*=(Fq127 o) { return *this = *this * o; }
+
+    bool operator==(const Fq127 &o) const = default;
+
+    /** this^e by square-and-multiply. */
+    Fq127 pow(u128 e) const;
+
+    /** Multiplicative inverse (Fermat); panics on zero. */
+    Fq127 inverse() const;
+
+    bool isZero() const { return value_ == 0; }
+
+    /** Decimal string, for diagnostics and golden tests. */
+    std::string toString() const;
+
+  private:
+    static u128 reduce(u128 v);
+
+    u128 value_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_RING_MERSENNE_HH

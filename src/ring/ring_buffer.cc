@@ -1,0 +1,52 @@
+#include "ring/ring_buffer.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+ElemWidth
+elemWidthFromBits(unsigned bits)
+{
+    switch (bits) {
+      case 8: return ElemWidth::W8;
+      case 16: return ElemWidth::W16;
+      case 32: return ElemWidth::W32;
+      case 64: return ElemWidth::W64;
+      default:
+        panic("unsupported element width %u", bits);
+    }
+}
+
+RingBuffer::RingBuffer(std::size_t count, ElemWidth width)
+    : data_(count * bytes(width), 0), count_(count), width_(width)
+{
+}
+
+std::uint64_t
+RingBuffer::get(std::size_t i) const
+{
+    SECNDP_ASSERT(i < count_, "index %zu out of %zu", i, count_);
+    const unsigned nb = bytes(width_);
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + i * nb, nb);
+    return v;
+}
+
+void
+RingBuffer::set(std::size_t i, std::uint64_t v)
+{
+    SECNDP_ASSERT(i < count_, "index %zu out of %zu", i, count_);
+    const unsigned nb = bytes(width_);
+    v &= elemMask(width_);
+    std::memcpy(data_.data() + i * nb, &v, nb);
+}
+
+void
+RingBuffer::addTo(std::size_t i, std::uint64_t v)
+{
+    set(i, get(i) + v);
+}
+
+} // namespace secndp

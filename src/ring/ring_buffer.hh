@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flat storage of ring elements with a runtime element width.
+ *
+ * SecNDP parameterizes the scheme by the element width w_e (8/16/32/64
+ * bits; paper section IV-A requires a power of two no larger than a
+ * cache line). A RingBuffer stores elements of Z(2^we) packed
+ * little-endian in a byte array -- exactly the layout the (simulated)
+ * memory sees -- and exposes uint64-valued accessors.
+ */
+
+#ifndef SECNDP_RING_RING_BUFFER_HH
+#define SECNDP_RING_RING_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace secndp {
+
+/** Supported element widths, in bits. */
+enum class ElemWidth : unsigned
+{
+    W8 = 8,
+    W16 = 16,
+    W32 = 32,
+    W64 = 64,
+};
+
+/** Width in bits as an unsigned. */
+constexpr unsigned
+bits(ElemWidth w)
+{
+    return static_cast<unsigned>(w);
+}
+
+/** Width in bytes. */
+constexpr unsigned
+bytes(ElemWidth w)
+{
+    return bits(w) / 8;
+}
+
+/** Mask selecting the low bits of one element. */
+constexpr std::uint64_t
+elemMask(ElemWidth w)
+{
+    return bits(w) >= 64 ? ~0ULL
+                         : ((std::uint64_t{1} << bits(w)) - 1);
+}
+
+/** Parse a bit width (8/16/32/64) into an ElemWidth; panics otherwise. */
+ElemWidth elemWidthFromBits(unsigned bits);
+
+/** Packed little-endian array of Z(2^we) elements. */
+class RingBuffer
+{
+  public:
+    RingBuffer() : width_(ElemWidth::W32) {}
+    RingBuffer(std::size_t count, ElemWidth width);
+
+    std::size_t size() const { return count_; }
+    ElemWidth width() const { return width_; }
+    std::size_t sizeBytes() const { return data_.size(); }
+
+    /** Element i as an unsigned ring value (zero-extended). */
+    std::uint64_t get(std::size_t i) const;
+
+    /** Store v mod 2^we into element i. */
+    void set(std::size_t i, std::uint64_t v);
+
+    /** Raw byte view (the exact memory image). */
+    std::span<const std::uint8_t> byteSpan() const { return data_; }
+    std::span<std::uint8_t> byteSpan() { return data_; }
+
+    /** Ring addition into element i: elem[i] = elem[i] + v mod 2^we. */
+    void addTo(std::size_t i, std::uint64_t v);
+
+    bool operator==(const RingBuffer &o) const = default;
+
+  private:
+    std::vector<std::uint8_t> data_;
+    std::size_t count_ = 0;
+    ElemWidth width_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_RING_RING_BUFFER_HH

@@ -1,0 +1,73 @@
+#include "secndp/arith_encrypt.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace secndp {
+
+namespace {
+
+/**
+ * Shared body of encrypt/decrypt: out = in -/+ E mod 2^we, walking the
+ * matrix chunk by chunk exactly as Alg. 1 does.
+ */
+Matrix
+applyPad(const CounterModeEncryptor &enc, const Matrix &in,
+         std::uint64_t version, bool subtract)
+{
+    Matrix out(in.rows(), in.cols(), in.width(), in.baseAddr());
+    const std::uint64_t mask = elemMask(in.width());
+    const std::size_t total = in.rows() * in.cols();
+    const unsigned per_block = 16 / bytes(in.width());
+
+    std::size_t flat = 0;
+    while (flat < total) {
+        const std::size_t i = flat / in.cols();
+        const std::size_t j = flat % in.cols();
+        const std::uint64_t addr = in.elemAddr(i, j);
+        SECNDP_ASSERT(addr % 16 == 0,
+                      "chunk walk desynced at element %zu", flat);
+        const Block128 pad = enc.otpBlock(addr, version);
+        for (unsigned k = 0; k < per_block && flat < total; ++k, ++flat) {
+            std::uint64_t e = 0;
+            std::memcpy(&e, pad.data() + k * bytes(in.width()),
+                        bytes(in.width()));
+            const std::size_t r = flat / in.cols();
+            const std::size_t c = flat % in.cols();
+            const std::uint64_t p = in.get(r, c);
+            const std::uint64_t v =
+                subtract ? (p - e) & mask : (p + e) & mask;
+            out.set(r, c, v);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Matrix
+arithEncrypt(const CounterModeEncryptor &enc, const Matrix &plain,
+             std::uint64_t version)
+{
+    return applyPad(enc, plain, version, /*subtract=*/true);
+}
+
+Matrix
+arithDecrypt(const CounterModeEncryptor &enc, const Matrix &cipher,
+             std::uint64_t version)
+{
+    return applyPad(enc, cipher, version, /*subtract=*/false);
+}
+
+std::uint64_t
+otpShare(const CounterModeEncryptor &enc, const Matrix &geometry,
+         std::size_t i, std::size_t j, std::uint64_t version)
+{
+    return enc.otpElement(geometry.elemAddr(i, j), geometry.width(),
+                          version);
+}
+
+} // namespace secndp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Arithmetic encryption, Arith-E (paper Algorithm 1), and its inverse.
+ *
+ * Ciphertext element c_j = p_j - e_j mod 2^we, where e_j is the j-th
+ * w_e-bit substring of the counter-mode OTP for the containing
+ * w_c-bit chunk. The ciphertext and the OTP are arithmetic shares of
+ * the plaintext: C + E = P element-wise in Z(2^we), which is what lets
+ * the untrusted NDP compute on C while the processor computes on E.
+ */
+
+#ifndef SECNDP_SECNDP_ARITH_ENCRYPT_HH
+#define SECNDP_SECNDP_ARITH_ENCRYPT_HH
+
+#include <cstdint>
+
+#include "crypto/counter_mode.hh"
+#include "secndp/matrix.hh"
+
+namespace secndp {
+
+/**
+ * Encrypt a plaintext matrix (Alg. 1). The ciphertext inherits the
+ * plaintext's geometry and base address.
+ *
+ * @param enc pad generator bound to the processor key
+ * @param plain plaintext matrix P
+ * @param version version number v drawn for this encryption
+ * @return ciphertext matrix C with C = P - E mod 2^we
+ */
+Matrix arithEncrypt(const CounterModeEncryptor &enc, const Matrix &plain,
+                    std::uint64_t version);
+
+/** Invert Alg. 1: P = C + E mod 2^we. */
+Matrix arithDecrypt(const CounterModeEncryptor &enc, const Matrix &cipher,
+                    std::uint64_t version);
+
+/**
+ * The processor's share of one element: the OTP substring e for the
+ * element at (i, j) of a matrix with this geometry (Alg. 4 lines 8-12).
+ */
+std::uint64_t otpShare(const CounterModeEncryptor &enc,
+                       const Matrix &geometry, std::size_t i,
+                       std::size_t j, std::uint64_t version);
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_ARITH_ENCRYPT_HH

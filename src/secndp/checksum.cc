@@ -1,0 +1,134 @@
+#include "secndp/checksum.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+namespace {
+
+/**
+ * Horner evaluation of sum_j v_j * s^(m-j) =
+ * s * (v_{m-1} + s * (v_{m-2} + ... )) ... built from index 0 forward:
+ * acc = (acc + v_j) ... careful -- expanding:
+ * T = ((v_0 * s + v_1) * s + v_2) ... * s + v_{m-1}) * s
+ * since exponents run m, m-1, ..., 1.
+ */
+template <typename GetElem>
+Fq127
+hornerChecksum(std::size_t m, Fq127 s, GetElem get)
+{
+    Fq127 acc(0);
+    for (std::size_t j = 0; j < m; ++j)
+        acc = acc * s + Fq127(get(j));
+    return acc * s;
+}
+
+template <typename GetElem>
+Fq127
+multiSecret(std::size_t m, const std::vector<Fq127> &secrets, GetElem get)
+{
+    SECNDP_ASSERT(!secrets.empty(), "no checksum secrets");
+    const std::size_t cnt_s = secrets.size();
+    if (cnt_s == 1) {
+        // Degenerates to Algorithm 2: use the O(m) Horner form.
+        return hornerChecksum(m, secrets[0], get);
+    }
+    // Walk exponents e = 1..m (j = m-1 .. 0). Within residue class
+    // k = e mod cnt_s, the needed power s_k^(e / cnt_s) increases by
+    // exactly one multiplication per visit, so the whole sum costs
+    // O(m) field multiplies instead of O(m log m).
+    std::vector<Fq127> power(cnt_s, Fq127(1));
+    std::vector<bool> seen(cnt_s, false);
+    Fq127 acc(0);
+    for (std::size_t e = 1; e <= m; ++e) {
+        const std::size_t k = e % cnt_s;
+        if (!seen[k]) {
+            seen[k] = true;
+            power[k] = secrets[k].pow(e / cnt_s); // exp 0 or 1
+        } else {
+            power[k] *= secrets[k];
+        }
+        acc += Fq127(get(m - e)) * power[k];
+    }
+    return acc;
+}
+
+} // namespace
+
+Fq127
+linearChecksum(const Matrix &mat, std::size_t row, Fq127 s)
+{
+    SECNDP_ASSERT(row < mat.rows(), "row %zu out of %zu", row,
+                  mat.rows());
+    return hornerChecksum(mat.cols(), s,
+                          [&](std::size_t j) { return mat.get(row, j); });
+}
+
+Fq127
+linearChecksum(const std::vector<std::uint64_t> &vec, Fq127 s)
+{
+    return hornerChecksum(vec.size(), s,
+                          [&](std::size_t j) { return vec[j]; });
+}
+
+Fq127
+multiSecretChecksum(const Matrix &mat, std::size_t row,
+                    const std::vector<Fq127> &secrets)
+{
+    SECNDP_ASSERT(row < mat.rows(), "row %zu out of %zu", row,
+                  mat.rows());
+    return multiSecret(mat.cols(), secrets,
+                       [&](std::size_t j) { return mat.get(row, j); });
+}
+
+Fq127
+multiSecretChecksum(const std::vector<std::uint64_t> &vec,
+                    const std::vector<Fq127> &secrets)
+{
+    return multiSecret(vec.size(), secrets,
+                       [&](std::size_t j) { return vec[j]; });
+}
+
+std::vector<Fq127>
+deriveChecksumSecrets(const CounterModeEncryptor &enc,
+                      std::uint64_t paddr_matrix, std::uint64_t version,
+                      unsigned cnt_s)
+{
+    SECNDP_ASSERT(cnt_s >= 1, "cnt_s must be positive");
+    std::vector<Fq127> secrets;
+    secrets.reserve(cnt_s);
+    for (unsigned k = 0; k < cnt_s; ++k) {
+        // Distinct tweaks per point: offset the (zero-padded) version
+        // field. Version draws are spaced by the caller's manager, and
+        // cnt_s is tiny, so tweak uniqueness is preserved.
+        secrets.push_back(
+            enc.checksumSecret(paddr_matrix,
+                               version + (std::uint64_t{k} << 56)));
+    }
+    return secrets;
+}
+
+std::vector<Fq127>
+encryptedTags(const CounterModeEncryptor &enc, const Matrix &plain,
+              std::uint64_t version, unsigned cnt_s)
+{
+    const auto secrets =
+        deriveChecksumSecrets(enc, plain.baseAddr(), version, cnt_s);
+    std::vector<Fq127> tags;
+    tags.reserve(plain.rows());
+    for (std::size_t i = 0; i < plain.rows(); ++i) {
+        const Fq127 t = multiSecretChecksum(plain, i, secrets);
+        const Fq127 pad = enc.tagOtp(plain.rowAddr(i), version);
+        tags.push_back(t - pad);
+    }
+    return tags;
+}
+
+Fq127
+decryptTag(const CounterModeEncryptor &enc, Fq127 cipher_tag,
+           std::uint64_t paddr_row, std::uint64_t version)
+{
+    return cipher_tag + enc.tagOtp(paddr_row, version);
+}
+
+} // namespace secndp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Linear modular checksums and encrypted verification tags
+ * (paper Algorithms 2, 3, and 8).
+ *
+ * The checksum of a row vector P_i is the Halevi-Krawczyk-style
+ * polynomial hash T_i = sum_j P_{i,j} * s^(m-j) mod q over the
+ * Mersenne field q = 2^127 - 1, with the secret point s derived from
+ * the block cipher in tweak domain '01'. Linearity in P is the key
+ * property: h(a x P) = a x h(P), which lets the NDP compute the tag of
+ * a weighted-summation *result* from the per-row tags.
+ *
+ * Tags are stored encrypted (MAC-then-encrypt): C_Ti = T_i - E_Ti
+ * mod q with the pad E_Ti from tweak domain '10' (Alg. 3).
+ *
+ * Algorithm 8 (appendix D) generalizes h to cnt_s independent secret
+ * points, tightening the forgery bound from m/q to m/(cnt_s * q).
+ */
+
+#ifndef SECNDP_SECNDP_CHECKSUM_HH
+#define SECNDP_SECNDP_CHECKSUM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/counter_mode.hh"
+#include "ring/mersenne.hh"
+#include "secndp/matrix.hh"
+
+namespace secndp {
+
+/**
+ * Linear checksum h_K of one row (Alg. 2):
+ * T_i = sum_{j=0}^{m-1} P_{i,j} * s^(m-j) mod q.
+ *
+ * (Alg. 5 line 10 of the paper writes s^j; Alg. 2 and the appendix
+ * correctness proof use s^(m-j) -- we follow the latter everywhere.)
+ */
+Fq127 linearChecksum(const Matrix &mat, std::size_t row, Fq127 s);
+
+/** Checksum of an arbitrary result vector (processor side, Alg. 5). */
+Fq127 linearChecksum(const std::vector<std::uint64_t> &vec, Fq127 s);
+
+/**
+ * Multi-secret checksum of Algorithm 8:
+ * T_i = sum_j P_{i,j} * s_{(m-j) mod cnt_s} ^ floor((m-j)/cnt_s) mod q.
+ */
+Fq127 multiSecretChecksum(const Matrix &mat, std::size_t row,
+                          const std::vector<Fq127> &secrets);
+
+/** Multi-secret checksum of a result vector. */
+Fq127 multiSecretChecksum(const std::vector<std::uint64_t> &vec,
+                          const std::vector<Fq127> &secrets);
+
+/**
+ * Derive the cnt_s secret points of Alg. 8 from the cipher. With
+ * cnt_s == 1 this is exactly the single s of Alg. 2. Each point comes
+ * from an independent tweak (version offset in the '01' domain), a
+ * generalization of "use all w_c bits" that stays non-degenerate for
+ * w_t = 127 ~ w_c = 128.
+ */
+std::vector<Fq127> deriveChecksumSecrets(const CounterModeEncryptor &enc,
+                                         std::uint64_t paddr_matrix,
+                                         std::uint64_t version,
+                                         unsigned cnt_s);
+
+/**
+ * Per-row encrypted tags for a whole matrix (Alg. 3):
+ * C_Ti = h_K(P_i) - E_Ti mod q. With cnt_s > 1 the checksums use the
+ * Algorithm 8 construction.
+ */
+std::vector<Fq127> encryptedTags(const CounterModeEncryptor &enc,
+                                 const Matrix &plain,
+                                 std::uint64_t version,
+                                 unsigned cnt_s = 1);
+
+/** Recover T_i from an encrypted tag: T = C_T + E_T mod q. */
+Fq127 decryptTag(const CounterModeEncryptor &enc, Fq127 cipher_tag,
+                 std::uint64_t paddr_row, std::uint64_t version);
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_CHECKSUM_HH

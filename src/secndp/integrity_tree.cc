@@ -1,0 +1,120 @@
+#include "secndp/integrity_tree.hh"
+
+#include <cstring>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace secndp {
+
+CounterIntegrityTree::CounterIntegrityTree(const Aes128::Key &key,
+                                           std::size_t num_counters,
+                                           unsigned arity)
+    : gcm_(key), arity_(arity)
+{
+    SECNDP_ASSERT(arity >= 2, "tree arity must be >= 2");
+    SECNDP_ASSERT(num_counters > 0, "empty tree");
+    counters_.assign(roundUp(num_counters, arity), 0);
+
+    // Build stored tag levels bottom-up until one node remains; the
+    // MAC over that last level is the on-chip root.
+    std::size_t nodes = counters_.size() / arity_;
+    while (true) {
+        levels_.emplace_back(nodes);
+        if (nodes == 1)
+            break;
+        nodes = divCeil(nodes, arity_);
+    }
+    // Fill tags bottom-up.
+    for (std::size_t level = 0; level < levels_.size(); ++level)
+        for (std::size_t n = 0; n < levels_[level].size(); ++n)
+            levels_[level][n] = nodeTag(level, n);
+    root_ = nodeTag(levels_.size(), 0);
+}
+
+std::vector<std::uint8_t>
+CounterIntegrityTree::childBytes(std::size_t level,
+                                 std::size_t node) const
+{
+    std::vector<std::uint8_t> bytes;
+    if (level == 0) {
+        bytes.resize(arity_ * sizeof(std::uint64_t));
+        std::memcpy(bytes.data(), counters_.data() + node * arity_,
+                    bytes.size());
+    } else {
+        const auto &children = levels_[level - 1];
+        const std::size_t first = node * arity_;
+        const std::size_t last =
+            std::min<std::size_t>(first + arity_, children.size());
+        bytes.resize((last - first) * sizeof(Tag));
+        std::memcpy(bytes.data(), children[first].data(),
+                    bytes.size());
+    }
+    return bytes;
+}
+
+CounterIntegrityTree::Tag
+CounterIntegrityTree::nodeTag(std::size_t level, std::size_t node) const
+{
+    // GMAC with a (level, node)-unique nonce: position binding stops
+    // cross-node splicing. No two (level, node) pairs collide.
+    AesGcm::Iv iv{};
+    iv[0] = static_cast<std::uint8_t>(level);
+    for (unsigned i = 0; i < 8; ++i)
+        iv[4 + i] = static_cast<std::uint8_t>(node >> (8 * i));
+    const auto bytes = childBytes(level, node);
+    return gcm_.seal(iv, {}, bytes).tag;
+}
+
+CounterIntegrityTree::ReadResult
+CounterIntegrityTree::verifiedRead(std::size_t idx) const
+{
+    SECNDP_ASSERT(idx < counters_.size(), "counter %zu out of %zu",
+                  idx, counters_.size());
+    ReadResult out;
+    // Recompute the path bottom-up; every recomputed tag must match
+    // the stored one, and the top one must match the on-chip root.
+    std::size_t node = idx / arity_;
+    for (std::size_t level = 0; level < levels_.size(); ++level) {
+        if (nodeTag(level, node) != levels_[level][node])
+            return out;
+        node /= arity_;
+    }
+    if (nodeTag(levels_.size(), 0) != root_)
+        return out;
+    out.ok = true;
+    out.value = counters_[idx];
+    return out;
+}
+
+void
+CounterIntegrityTree::rebuildPath(std::size_t idx)
+{
+    std::size_t node = idx / arity_;
+    for (std::size_t level = 0; level < levels_.size(); ++level) {
+        levels_[level][node] = nodeTag(level, node);
+        node /= arity_;
+    }
+    root_ = nodeTag(levels_.size(), 0);
+}
+
+void
+CounterIntegrityTree::write(std::size_t idx, std::uint64_t value)
+{
+    SECNDP_ASSERT(idx < counters_.size(), "counter %zu out of %zu",
+                  idx, counters_.size());
+    counters_[idx] = value;
+    rebuildPath(idx);
+}
+
+bool
+CounterIntegrityTree::increment(std::size_t idx)
+{
+    const auto read = verifiedRead(idx);
+    if (!read.ok)
+        return false;
+    write(idx, read.value + 1);
+    return true;
+}
+
+} // namespace secndp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MAC tree (Bonsai-Merkle-counter-tree style, paper refs [62], [72])
+ * protecting version counters stored in untrusted memory.
+ *
+ * SecNDP's default is software-managed versions inside the TEE
+ * (section V-A); this module implements the alternative the paper
+ * cites for designs whose version store does not fit on-chip: an
+ * arity-k tree of GMAC tags over counter blocks, with only the root
+ * tag held on-chip. Any tampering or replay of the off-chip counter
+ * array or of interior tags is detected on the next verified read.
+ *
+ * The SGX-CFL reference model's "integrity tree walk" tax is exactly
+ * the per-access hash count this structure exposes via hashesPerRead.
+ */
+
+#ifndef SECNDP_SECNDP_INTEGRITY_TREE_HH
+#define SECNDP_SECNDP_INTEGRITY_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/gcm.hh"
+
+namespace secndp {
+
+/** Keyed MAC tree over an untrusted counter array. */
+class CounterIntegrityTree
+{
+  public:
+    using Tag = AesGcm::Tag;
+
+    /**
+     * @param key processor secret key (on-chip)
+     * @param num_counters leaves (rounded up to a full block)
+     * @param arity children per node (counters per leaf block)
+     */
+    CounterIntegrityTree(const Aes128::Key &key,
+                         std::size_t num_counters, unsigned arity = 8);
+
+    std::size_t size() const { return counters_.size(); }
+    unsigned arity() const { return arity_; }
+    /** Number of tag levels (>= 1; excludes the on-chip root). */
+    std::size_t levels() const { return levels_.size(); }
+
+    /** Verified read: checks the whole path against the root. */
+    struct ReadResult
+    {
+        bool ok = false;
+        std::uint64_t value = 0;
+    };
+    ReadResult verifiedRead(std::size_t idx) const;
+
+    /** Update a counter and re-MAC its path (root changes). */
+    void write(std::size_t idx, std::uint64_t value);
+
+    /** Convenience: verified read-increment-write. ok=false on
+     *  detected tampering (value not incremented). */
+    bool increment(std::size_t idx);
+
+    /** MACs recomputed per verified read (tree-walk cost). */
+    std::size_t hashesPerRead() const { return levels_.size() + 1; }
+
+    /** @name Adversary hooks (untrusted storage) */
+    /// @{
+    std::vector<std::uint64_t> &tamperCounters() { return counters_; }
+    /** level 0 = leaf tags ... back = highest stored level. */
+    std::vector<std::vector<Tag>> &tamperTags() { return levels_; }
+    /// @}
+
+  private:
+    /** MAC of a node's children (level, index bound into the IV). */
+    Tag nodeTag(std::size_t level, std::size_t node) const;
+    /** Raw child bytes of a node. */
+    std::vector<std::uint8_t> childBytes(std::size_t level,
+                                         std::size_t node) const;
+    void rebuildPath(std::size_t idx);
+
+    AesGcm gcm_;
+    unsigned arity_;
+    /** Untrusted: the counters themselves. */
+    std::vector<std::uint64_t> counters_;
+    /** Untrusted: stored tags per level (level 0 over counters). */
+    std::vector<std::vector<Tag>> levels_;
+    /** Trusted (on-chip): MAC over the highest stored level. */
+    Tag root_{};
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_INTEGRITY_TREE_HH

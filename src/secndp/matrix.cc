@@ -1,0 +1,18 @@
+#include "secndp/matrix.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, ElemWidth we,
+               std::uint64_t base_addr)
+    : rows_(rows), cols_(cols), baseAddr_(base_addr),
+      data_(rows * cols, we)
+{
+    SECNDP_ASSERT(rows > 0 && cols > 0, "empty matrix");
+    SECNDP_ASSERT(base_addr % 16 == 0,
+                  "matrix base address %lu not cipher-block aligned",
+                  base_addr);
+}
+
+} // namespace secndp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The 2-D matrix container used by the scheme.
+ *
+ * A Matrix is n rows x m columns of w_e-bit ring elements, packed
+ * row-major at a (simulated) physical base address. The same container
+ * holds plaintext P and ciphertext C -- the scheme is share-symmetric.
+ * Addresses matter: OTPs are bound to element addresses (Alg. 1), the
+ * checksum secret to paddr(P) (Alg. 2), and tag pads to paddr(P_i)
+ * (Alg. 3).
+ */
+
+#ifndef SECNDP_SECNDP_MATRIX_HH
+#define SECNDP_SECNDP_MATRIX_HH
+
+#include <cstdint>
+
+#include "ring/ring_buffer.hh"
+#include "secndp/params.hh"
+
+namespace secndp {
+
+/**
+ * Shape and placement of a matrix, without its payload. The trusted
+ * client keeps only this (plus the version) after provisioning -- the
+ * whole point of SecNDP is that the processor does not hold the data.
+ */
+struct MatrixGeometry
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    ElemWidth we = ElemWidth::W32;
+    std::uint64_t baseAddr = 0;
+
+    std::size_t rowBytes() const { return cols * bytes(we); }
+    std::size_t sizeBytes() const { return rows * rowBytes(); }
+
+    std::uint64_t rowAddr(std::size_t i) const
+    {
+        return baseAddr + i * rowBytes();
+    }
+
+    std::uint64_t elemAddr(std::size_t i, std::size_t j) const
+    {
+        return rowAddr(i) + j * bytes(we);
+    }
+
+    bool operator==(const MatrixGeometry &o) const = default;
+};
+
+/** Row-major matrix of ring elements with an attached base address. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /**
+     * @param rows number of row vectors n
+     * @param cols elements per row m
+     * @param we element width
+     * @param base_addr simulated physical byte address of element (0,0);
+     *        must be 16-byte (cipher block) aligned
+     */
+    Matrix(std::size_t rows, std::size_t cols, ElemWidth we,
+           std::uint64_t base_addr);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    ElemWidth width() const { return data_.width(); }
+    std::uint64_t baseAddr() const { return baseAddr_; }
+
+    /** Shape + placement, as retained by the trusted side. */
+    MatrixGeometry geometry() const
+    {
+        return {rows_, cols_, width(), baseAddr_};
+    }
+
+    /** Total payload size in bytes. */
+    std::size_t sizeBytes() const { return data_.sizeBytes(); }
+
+    /** Bytes per row. */
+    std::size_t rowBytes() const { return cols_ * bytes(width()); }
+
+    /** Physical byte address of row i. */
+    std::uint64_t rowAddr(std::size_t i) const
+    {
+        return baseAddr_ + i * rowBytes();
+    }
+
+    /** Physical byte address of element (i, j). */
+    std::uint64_t elemAddr(std::size_t i, std::size_t j) const
+    {
+        return rowAddr(i) + j * bytes(width());
+    }
+
+    std::uint64_t get(std::size_t i, std::size_t j) const
+    {
+        return data_.get(i * cols_ + j);
+    }
+
+    void set(std::size_t i, std::size_t j, std::uint64_t v)
+    {
+        data_.set(i * cols_ + j, v);
+    }
+
+    /** The flat element store (memory image). */
+    const RingBuffer &buffer() const { return data_; }
+    RingBuffer &buffer() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::uint64_t baseAddr_ = 0;
+    RingBuffer data_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_MATRIX_HH

@@ -1,0 +1,57 @@
+#include "secndp/oracles.hh"
+
+#include "common/logging.hh"
+#include "secndp/checksum.hh"
+
+namespace secndp {
+
+WsOracles::WsOracles(const Aes128::Key &key, const Matrix &plain,
+                     std::vector<std::size_t> rows,
+                     std::vector<std::uint64_t> weights)
+    : client_(key), rows_(std::move(rows)), weights_(std::move(weights))
+{
+    SECNDP_ASSERT(rows_.size() == weights_.size(),
+                  "index/weight length mismatch");
+    client_.provision(plain, device_, /*with_tags=*/true);
+}
+
+WsResponse
+WsOracles::sign() const
+{
+    ++signQueries_;
+    const auto share = device_.weightedSumRows(rows_, weights_,
+                                               /*with_tag=*/true);
+    return WsResponse{share.values, *share.cipherTag};
+}
+
+bool
+WsOracles::verify(const WsResponse &response) const
+{
+    ++verifyQueries_;
+    SECNDP_ASSERT(response.values.size() == client_.geometry().cols,
+                  "response arity %zu != m %zu", response.values.size(),
+                  client_.geometry().cols);
+
+    const std::uint64_t mask = elemMask(client_.geometry().we);
+    const auto otp_share = client_.otpRowShare(rows_, weights_);
+
+    std::vector<std::uint64_t> res(response.values.size());
+    for (std::size_t j = 0; j < res.size(); ++j)
+        res[j] = (response.values[j] + otp_share[j]) & mask;
+
+    // E_Tres.
+    Fq127 e_tag(0);
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+        e_tag += Fq127(weights_[k]) *
+                 client_.encryptor().tagOtp(
+                     client_.geometry().rowAddr(rows_[k]),
+                     client_.version());
+    }
+
+    const Fq127 s = client_.encryptor().checksumSecret(
+        client_.geometry().baseAddr, client_.version());
+    const Fq127 recomputed = linearChecksum(res, s);
+    return recomputed == response.cipherTag + e_tag;
+}
+
+} // namespace secndp

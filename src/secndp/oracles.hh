@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The weighted-summation sign/verify oracles of paper Algorithms 6
+ * and 7, used to play the standard MAC forgery game (Definition A.4)
+ * in tests.
+ *
+ * ws-MAC signs a matrix by running the honest protocol end to end and
+ * returning the NDP-visible response (C_res_0..m-1, C_Tres). ws-Verify
+ * accepts an (adversary-chosen) response of the same shape and runs
+ * the processor's verification against it. A MAC adversary wins by
+ * making ws-Verify pass on a response no sign query produced.
+ */
+
+#ifndef SECNDP_SECNDP_ORACLES_HH
+#define SECNDP_SECNDP_ORACLES_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "secndp/protocol.hh"
+
+namespace secndp {
+
+/** A signed weighted-summation response (what crosses the bus). */
+struct WsResponse
+{
+    /** C_res_j for j in [0, m). */
+    std::vector<std::uint64_t> values;
+    /** C_Tres. */
+    Fq127 cipherTag;
+
+    bool operator==(const WsResponse &o) const = default;
+};
+
+/** Sign + verification oracles bound to one provisioned matrix. */
+class WsOracles
+{
+  public:
+    /**
+     * Provision `plain` under `key` and fix the query shape
+     * (row index set + weights, per Definition A.4's constant
+     * sequences).
+     */
+    WsOracles(const Aes128::Key &key, const Matrix &plain,
+              std::vector<std::size_t> rows,
+              std::vector<std::uint64_t> weights);
+
+    /** ws-MAC: honest protocol run; returns the bus response. */
+    WsResponse sign() const;
+
+    /**
+     * ws-Verify: run the processor's check against a supplied
+     * response.
+     * @return true iff verification passes
+     */
+    bool verify(const WsResponse &response) const;
+
+    /** Count oracle calls (for advantage bookkeeping in tests). */
+    std::uint64_t signQueries() const { return signQueries_; }
+    std::uint64_t verifyQueries() const { return verifyQueries_; }
+
+    /** The device, so adversarial tests can inspect ciphertext. */
+    const UntrustedNdpDevice &device() const { return device_; }
+
+  private:
+    SecNdpClient client_;
+    UntrustedNdpDevice device_;
+    std::vector<std::size_t> rows_;
+    std::vector<std::uint64_t> weights_;
+    mutable std::uint64_t signQueries_ = 0;
+    mutable std::uint64_t verifyQueries_ = 0;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_ORACLES_HH

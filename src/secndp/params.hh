@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Scheme-level parameters (paper section IV-A, Table VI).
+ */
+
+#ifndef SECNDP_SECNDP_PARAMS_HH
+#define SECNDP_SECNDP_PARAMS_HH
+
+#include "ring/ring_buffer.hh"
+
+namespace secndp {
+
+/** Parameters of one SecNDP instantiation. */
+struct SchemeParams
+{
+    /** Element width w_e: data lives in Z(2^we). */
+    ElemWidth we = ElemWidth::W32;
+
+    /** Block cipher width w_c in bits (128 for AES). */
+    static constexpr unsigned wc = 128;
+
+    /** Verification tag width w_t; q = 2^wt - 1 is the tag field. */
+    static constexpr unsigned wt = 127;
+
+    /** Elements per cipher block: l = wc / we. */
+    unsigned elemsPerBlock() const { return wc / bits(we); }
+
+    /** Tag size in bytes as stored in memory (rounded to 16). */
+    static constexpr unsigned tagBytes = 16;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_PARAMS_HH

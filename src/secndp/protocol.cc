@@ -1,0 +1,229 @@
+#include "secndp/protocol.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "secndp/arith_encrypt.hh"
+#include "secndp/checksum.hh"
+
+namespace secndp {
+
+//
+// UntrustedNdpDevice
+//
+
+void
+UntrustedNdpDevice::store(Matrix cipher, std::vector<Fq127> cipher_tags)
+{
+    SECNDP_ASSERT(cipher_tags.empty() ||
+                      cipher_tags.size() == cipher.rows(),
+                  "tag count %zu != row count %zu", cipher_tags.size(),
+                  cipher.rows());
+    cipher_ = std::move(cipher);
+    cipherTags_ = std::move(cipher_tags);
+}
+
+std::uint64_t
+UntrustedNdpDevice::weightedSumElems(
+    std::span<const std::size_t> row_idx,
+    std::span<const std::size_t> col_idx,
+    std::span<const std::uint64_t> weights) const
+{
+    SECNDP_ASSERT(row_idx.size() == col_idx.size() &&
+                      row_idx.size() == weights.size(),
+                  "index/weight length mismatch");
+    const std::uint64_t mask = elemMask(cipher_.width());
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < row_idx.size(); ++k) {
+        acc += weights[k] * cipher_.get(row_idx[k], col_idx[k]);
+        acc &= mask;
+    }
+    return acc;
+}
+
+UntrustedNdpDevice::RowSumShare
+UntrustedNdpDevice::weightedSumRows(std::span<const std::size_t> rows,
+                                    std::span<const std::uint64_t> weights,
+                                    bool with_tag) const
+{
+    SECNDP_ASSERT(rows.size() == weights.size(),
+                  "index/weight length mismatch");
+    const std::uint64_t mask = elemMask(cipher_.width());
+    RowSumShare share;
+    share.values.assign(cipher_.cols(), 0);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        SECNDP_ASSERT(rows[k] < cipher_.rows(), "row %zu out of %zu",
+                      rows[k], cipher_.rows());
+        for (std::size_t j = 0; j < cipher_.cols(); ++j) {
+            share.values[j] =
+                (share.values[j] + weights[k] * cipher_.get(rows[k], j)) &
+                mask;
+        }
+    }
+    if (with_tag) {
+        SECNDP_ASSERT(hasTags(), "tag requested but none provisioned");
+        Fq127 tag(0);
+        for (std::size_t k = 0; k < rows.size(); ++k)
+            tag += Fq127(weights[k]) * cipherTags_[rows[k]];
+        share.cipherTag = tag;
+    }
+    return share;
+}
+
+//
+// SecNdpClient
+//
+
+SecNdpClient::SecNdpClient(const Aes128::Key &key,
+                           VersionManager *versions,
+                           unsigned checksum_secrets)
+    : cipher_(key), encryptor_(cipher_),
+      versions_(versions ? versions : &ownVersions_),
+      checksumSecretCount_(checksum_secrets)
+{
+    SECNDP_ASSERT(checksum_secrets >= 1, "cnt_s must be >= 1");
+}
+
+std::vector<Fq127>
+SecNdpClient::checksumSecrets() const
+{
+    return deriveChecksumSecrets(encryptor_, geometry_.baseAddr,
+                                 version_, checksumSecretCount_);
+}
+
+void
+SecNdpClient::provision(const Matrix &plain, UntrustedNdpDevice &device,
+                        bool with_tags,
+                        std::optional<std::uint64_t> region_id)
+{
+    geometry_ = plain.geometry();
+    version_ =
+        versions_->freshVersion(region_id.value_or(plain.baseAddr()));
+    withTags_ = with_tags;
+
+    Matrix cipher = arithEncrypt(encryptor_, plain, version_);
+    std::vector<Fq127> tags;
+    if (with_tags) {
+        tags = encryptedTags(encryptor_, plain, version_,
+                             checksumSecretCount_);
+    }
+    device.store(std::move(cipher), std::move(tags));
+    provisioned_ = true;
+}
+
+std::uint64_t
+SecNdpClient::weightedSumElems(
+    const UntrustedNdpDevice &device,
+    std::span<const std::size_t> row_idx,
+    std::span<const std::size_t> col_idx,
+    std::span<const std::uint64_t> weights) const
+{
+    SECNDP_ASSERT(provisioned_, "client not provisioned");
+    const std::uint64_t mask = elemMask(geometry_.we);
+
+    // NDP share (over the bus).
+    const std::uint64_t c_res =
+        device.weightedSumElems(row_idx, col_idx, weights);
+
+    // Processor share: OTPs regenerated on-chip (Alg. 4 lines 8-14).
+    std::uint64_t e_res = 0;
+    for (std::size_t k = 0; k < row_idx.size(); ++k) {
+        const std::uint64_t pad = encryptor_.otpElement(
+            geometry_.elemAddr(row_idx[k], col_idx[k]), geometry_.we,
+            version_);
+        e_res = (e_res + weights[k] * pad) & mask;
+    }
+    return (c_res + e_res) & mask;
+}
+
+std::vector<std::uint64_t>
+SecNdpClient::otpRowShare(std::span<const std::size_t> rows,
+                          std::span<const std::uint64_t> weights) const
+{
+    SECNDP_ASSERT(provisioned_, "client not provisioned");
+    const std::uint64_t mask = elemMask(geometry_.we);
+    const unsigned nb = bytes(geometry_.we);
+
+    std::vector<std::uint64_t> e_res(geometry_.cols, 0);
+    std::vector<std::uint8_t> row_pad(geometry_.rowBytes());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        // One pass of the encryption engine over the row's OTP. The
+        // row address is block aligned whenever rowBytes % 16 == 0;
+        // otherwise fall back to per-element pads.
+        const std::uint64_t row_addr = geometry_.rowAddr(rows[k]);
+        if (row_addr % 16 == 0 && geometry_.rowBytes() % 16 == 0) {
+            encryptor_.otpFill(row_addr, version_, row_pad);
+            for (std::size_t j = 0; j < geometry_.cols; ++j) {
+                std::uint64_t pad = 0;
+                std::memcpy(&pad, row_pad.data() + j * nb, nb);
+                e_res[j] = (e_res[j] + weights[k] * pad) & mask;
+            }
+        } else {
+            for (std::size_t j = 0; j < geometry_.cols; ++j) {
+                const std::uint64_t pad = encryptor_.otpElement(
+                    geometry_.elemAddr(rows[k], j), geometry_.we,
+                    version_);
+                e_res[j] = (e_res[j] + weights[k] * pad) & mask;
+            }
+        }
+    }
+    return e_res;
+}
+
+Fq127
+SecNdpClient::otpTagShare(std::span<const std::size_t> rows,
+                          std::span<const std::uint64_t> weights) const
+{
+    Fq127 acc(0);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        acc += Fq127(weights[k]) *
+               encryptor_.tagOtp(geometry_.rowAddr(rows[k]), version_);
+    }
+    return acc;
+}
+
+VerifiedResult
+SecNdpClient::weightedSumRows(const UntrustedNdpDevice &device,
+                              std::span<const std::size_t> rows,
+                              std::span<const std::uint64_t> weights,
+                              bool verify) const
+{
+    SECNDP_ASSERT(provisioned_, "client not provisioned");
+    const std::uint64_t mask = elemMask(geometry_.we);
+    const bool with_tag = verify && withTags_;
+
+    // NDP computes on ciphertext; processor on OTPs, in parallel.
+    const auto ndp_share = device.weightedSumRows(rows, weights,
+                                                  with_tag);
+    const auto otp_share = otpRowShare(rows, weights);
+
+    VerifiedResult result;
+    result.values.resize(geometry_.cols);
+    for (std::size_t j = 0; j < geometry_.cols; ++j) {
+        result.values[j] =
+            (ndp_share.values[j] + otp_share[j]) & mask;
+    }
+
+    if (with_tag) {
+        result.verificationPerformed = true;
+        // Retrieved MAC: C_Tres + E_Tres (Alg. 5; note the paper's
+        // line 16 typo writes '-', the proof and Alg. 3 require '+').
+        const Fq127 retrieved =
+            *ndp_share.cipherTag + otpTagShare(rows, weights);
+        // Recomputed MAC of the assembled result (with cnt_s == 1
+        // this is exactly Algorithm 2's single-point hash).
+        const Fq127 recomputed =
+            multiSecretChecksum(result.values, checksumSecrets());
+        result.verified = (recomputed == retrieved);
+    }
+    return result;
+}
+
+Matrix
+SecNdpClient::fetchAll(const UntrustedNdpDevice &device) const
+{
+    SECNDP_ASSERT(provisioned_, "client not provisioned");
+    return arithDecrypt(encryptor_, device.cipher(), version_);
+}
+
+} // namespace secndp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The SecNDP weighted-summation protocol (paper Algorithms 4 and 5,
+ * Figure 4), split along the trust boundary:
+ *
+ *   UntrustedNdpDevice -- memory + NDP PU. Holds only ciphertext and
+ *       encrypted tags; computes weighted sums over them. Identical to
+ *       what an unprotected NDP PU would execute (the paper's central
+ *       deployment claim). Exposes tamper hooks so tests and the attack
+ *       demo can play the adversary.
+ *
+ *   SecNdpClient -- the trusted processor (TEE + SecNDP engine,
+ *       functional view). Encrypts/provisions data, computes the OTP
+ *       share of every result, reassembles res = C_res + E_res, and
+ *       verifies results against the encrypted linear-checksum tags.
+ *
+ * This module is the *functional* scheme; cycle-level performance lives
+ * in src/memsim + src/ndp + src/engine.
+ */
+
+#ifndef SECNDP_SECNDP_PROTOCOL_HH
+#define SECNDP_SECNDP_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/counter_mode.hh"
+#include "ring/mersenne.hh"
+#include "secndp/matrix.hh"
+#include "secndp/version.hh"
+
+namespace secndp {
+
+/** Untrusted memory + NDP processing unit (functional model). */
+class UntrustedNdpDevice
+{
+  public:
+    /** Initialization step T0: store ciphertext (and optional tags). */
+    void store(Matrix cipher, std::vector<Fq127> cipher_tags = {});
+
+    /** Whether tags were provisioned. */
+    bool hasTags() const { return !cipherTags_.empty(); }
+
+    /**
+     * NDP side of Alg. 4: C_res = sum_k a_k * C_{i_k, j_k} mod 2^we
+     * over arbitrary element coordinates.
+     */
+    std::uint64_t weightedSumElems(
+        std::span<const std::size_t> row_idx,
+        std::span<const std::size_t> col_idx,
+        std::span<const std::uint64_t> weights) const;
+
+    /** NDP-side result of a row-granular weighted summation. */
+    struct RowSumShare
+    {
+        /** C_res_j for every column j (Alg. 5 line 5). */
+        std::vector<std::uint64_t> values;
+        /** C_Tres = sum_k a_k * C_Tk mod q (Alg. 5 line 15). */
+        std::optional<Fq127> cipherTag;
+    };
+
+    /**
+     * NDP side of Alg. 5 (the SLS kernel): weighted sum of whole rows,
+     * plus the matching tag combination when requested.
+     */
+    RowSumShare weightedSumRows(std::span<const std::size_t> rows,
+                                std::span<const std::uint64_t> weights,
+                                bool with_tag) const;
+
+    const Matrix &cipher() const { return cipher_; }
+    const std::vector<Fq127> &cipherTags() const { return cipherTags_; }
+
+    /** @name Adversary hooks (tests / attack demo only) */
+    /// @{
+    Matrix &tamperCipher() { return cipher_; }
+    std::vector<Fq127> &tamperTags() { return cipherTags_; }
+    /// @}
+
+  private:
+    Matrix cipher_;
+    std::vector<Fq127> cipherTags_;
+};
+
+/** Result of a verified weighted summation on the trusted side. */
+struct VerifiedResult
+{
+    /** res_j = C_res_j + E_res_j mod 2^we. */
+    std::vector<std::uint64_t> values;
+    /** Whether a verification tag was checked at all. */
+    bool verificationPerformed = false;
+    /** Tag check outcome (true when not performed -- nothing failed). */
+    bool verified = true;
+};
+
+/** The trusted processor side of SecNDP. */
+class SecNdpClient
+{
+  public:
+    /**
+     * @param key processor secret key K (stays on-chip)
+     * @param versions optional shared version manager; a private one is
+     *        created when null
+     * @param checksum_secrets cnt_s of Algorithm 8: number of secret
+     *        points in the linear checksum. 1 (default) is the
+     *        plain Algorithm 2; larger values tighten the forgery
+     *        bound from m/q to m/(cnt_s * q) at the cost of extra
+     *        field exponentiations. Only the trusted side changes --
+     *        NDP tag combination is identical either way.
+     */
+    explicit SecNdpClient(const Aes128::Key &key,
+                          VersionManager *versions = nullptr,
+                          unsigned checksum_secrets = 1);
+
+    /**
+     * T0: draw a fresh version, arithmetic-encrypt `plain`, generate
+     * per-row encrypted tags when `with_tags`, and upload everything to
+     * the device. Only geometry + version are retained locally.
+     *
+     * @param region_id version-manager region (defaults to baseAddr)
+     */
+    void provision(const Matrix &plain, UntrustedNdpDevice &device,
+                   bool with_tags = true,
+                   std::optional<std::uint64_t> region_id = std::nullopt);
+
+    /**
+     * Run the full Alg. 4 protocol for scattered elements:
+     * res = sum_k a_k * P_{i_k, j_k} mod 2^we.
+     */
+    std::uint64_t weightedSumElems(
+        const UntrustedNdpDevice &device,
+        std::span<const std::size_t> row_idx,
+        std::span<const std::size_t> col_idx,
+        std::span<const std::uint64_t> weights) const;
+
+    /**
+     * Run the full Alg. 4 + Alg. 5 protocol for row-granular weighted
+     * summation (the SLS / pooling kernel):
+     * res_j = sum_k a_k * P_{i_k, j} for all j, verified when `verify`.
+     *
+     * Verification fails on any tampering of ciphertext, tags, or on
+     * arithmetic overflow past 2^we (paper footnote 1).
+     */
+    VerifiedResult weightedSumRows(const UntrustedNdpDevice &device,
+                                   std::span<const std::size_t> rows,
+                                   std::span<const std::uint64_t> weights,
+                                   bool verify = true) const;
+
+    /**
+     * Processor-side OTP share of a row weighted sum (Alg. 4 lines
+     * 8-14 for every column): E_res_j = sum_k a_k * E_{i_k, j}.
+     * Exposed for the oracles and for the engine model.
+     */
+    std::vector<std::uint64_t> otpRowShare(
+        std::span<const std::size_t> rows,
+        std::span<const std::uint64_t> weights) const;
+
+    /** Fetch + decrypt the whole matrix (TEE baseline data path). */
+    Matrix fetchAll(const UntrustedNdpDevice &device) const;
+
+    const MatrixGeometry &geometry() const { return geometry_; }
+    std::uint64_t version() const { return version_; }
+    const CounterModeEncryptor &encryptor() const { return encryptor_; }
+
+  private:
+    /** E_Tres = sum_k a_k * E_Tk mod q (Alg. 5 lines 11-14). */
+    Fq127 otpTagShare(std::span<const std::size_t> rows,
+                      std::span<const std::uint64_t> weights) const;
+
+    /** The checksum secrets for the current provisioning. */
+    std::vector<Fq127> checksumSecrets() const;
+
+    Aes128 cipher_;
+    CounterModeEncryptor encryptor_;
+    VersionManager ownVersions_;
+    VersionManager *versions_;
+    MatrixGeometry geometry_;
+    std::uint64_t version_ = 0;
+    unsigned checksumSecretCount_ = 1;
+    bool provisioned_ = false;
+    bool withTags_ = false;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_PROTOCOL_HH

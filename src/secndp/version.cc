@@ -1,0 +1,37 @@
+#include "secndp/version.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+std::uint64_t
+VersionManager::freshVersion(std::uint64_t region_id)
+{
+    auto it = versions_.find(region_id);
+    if (it == versions_.end()) {
+        if (versions_.size() >= capacity_) {
+            fatal("version manager capacity (%zu regions) exceeded",
+                  capacity_);
+        }
+        it = versions_.emplace(region_id, 0).first;
+    }
+    it->second = nextVersion_++;
+    return it->second;
+}
+
+std::uint64_t
+VersionManager::currentVersion(std::uint64_t region_id) const
+{
+    auto it = versions_.find(region_id);
+    SECNDP_ASSERT(it != versions_.end(),
+                  "unknown region %lu", region_id);
+    return it->second;
+}
+
+void
+VersionManager::release(std::uint64_t region_id)
+{
+    versions_.erase(region_id);
+}
+
+} // namespace secndp

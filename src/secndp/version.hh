@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Software-managed version numbers (paper section V-A).
+ *
+ * SecNDP lets trusted software inside the TEE manage counter-mode
+ * version numbers: one version per data region (e.g. per embedding
+ * table), re-drawn on every (re-)encryption of that region so no
+ * version is ever reused for the same address. The TEE protects the
+ * manager's state, so no off-chip integrity tree is needed.
+ *
+ * The paper's enclave software manages at most 64 versions
+ * (section VI-A); the manager enforces a configurable capacity to
+ * model that limit.
+ */
+
+#ifndef SECNDP_SECNDP_VERSION_HH
+#define SECNDP_SECNDP_VERSION_HH
+
+#include <cstdint>
+#include <map>
+
+namespace secndp {
+
+/** Region-granular version-number manager living inside the TEE. */
+class VersionManager
+{
+  public:
+    /** @param capacity maximum number of live regions (paper: 64). */
+    explicit VersionManager(std::size_t capacity = 64)
+        : capacity_(capacity)
+    {}
+
+    /**
+     * Register a region (or re-encrypt an existing one) and draw a
+     * fresh version for it. Monotonic draw => never reused.
+     * fatal()s when capacity would be exceeded.
+     *
+     * @param region_id caller-chosen region identifier
+     * @return the fresh version number
+     */
+    std::uint64_t freshVersion(std::uint64_t region_id);
+
+    /** Current version of a region; panics if unknown. */
+    std::uint64_t currentVersion(std::uint64_t region_id) const;
+
+    /** Drop a region, freeing capacity. */
+    void release(std::uint64_t region_id);
+
+    std::size_t liveRegions() const { return versions_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Total versions ever drawn (uniqueness witness for tests). */
+    std::uint64_t drawCount() const { return nextVersion_ - 1; }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t nextVersion_ = 1; // 0 reserved as "never versioned"
+    std::map<std::uint64_t, std::uint64_t> versions_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_VERSION_HH

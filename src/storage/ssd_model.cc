@@ -1,0 +1,108 @@
+#include "storage/ssd_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+SsdBatchResult
+runSsdBatch(const SsdConfig &cfg, const std::vector<SsdQuery> &queries,
+            bool near_storage, unsigned result_bytes_per_packet)
+{
+    const unsigned n_dies = cfg.channels * cfg.diesPerChannel;
+    // Greedy resource timelines (all in ns).
+    std::vector<double> die_free(n_dies, 0.0);
+    std::vector<double> channel_free(cfg.channels, 0.0);
+    double host_free = 0.0;
+
+    SsdBatchResult result;
+    result.packets.resize(queries.size());
+
+    double issue_clock = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        auto &pkt = result.packets[q];
+        pkt.issuedNs = issue_clock;
+        pkt.pages = queries[q].pages.size();
+        result.totalPages += pkt.pages;
+        double finish = issue_clock + cfg.packetOverheadNs;
+
+        for (const auto page : queries[q].pages) {
+            // Static striping: page -> (channel, die).
+            const unsigned ch =
+                static_cast<unsigned>(page % cfg.channels);
+            const unsigned die = static_cast<unsigned>(
+                ch * cfg.diesPerChannel +
+                (page / cfg.channels) % cfg.diesPerChannel);
+
+            // Die senses the page, then the channel moves it.
+            const double sense_start =
+                std::max(die_free[die], pkt.issuedNs);
+            const double sense_end = sense_start + cfg.pageReadNs;
+            die_free[die] = sense_end;
+
+            const double xfer_start =
+                std::max(channel_free[ch], sense_end);
+            double xfer_end = xfer_start + cfg.channelXferNs();
+            channel_free[ch] = xfer_end;
+
+            if (!near_storage) {
+                // Page continues over the shared host link.
+                const double host_start =
+                    std::max(host_free, xfer_end);
+                xfer_end = host_start + cfg.hostXferNs();
+                host_free = xfer_end;
+                result.hostBytes += cfg.pageBytes;
+            }
+            finish = std::max(finish, xfer_end);
+        }
+        if (near_storage) {
+            // Only the result crosses the host link.
+            const double host_start = std::max(host_free, finish);
+            finish = host_start +
+                     result_bytes_per_packet / cfg.hostGBps;
+            host_free = finish;
+            result.hostBytes += result_bytes_per_packet;
+        }
+        pkt.finishedNs = finish;
+        result.totalNs = std::max(result.totalNs, finish);
+        // Packets stream in; the next can start immediately (the SSD
+        // queues commands), so issue_clock stays put. Firmware
+        // serialization is captured by packetOverheadNs above.
+    }
+    return result;
+}
+
+SsdEngineOverlay
+overlaySsdEngine(const SsdBatchResult &batch,
+                 const std::vector<std::uint64_t> &otp_blocks,
+                 unsigned n_aes, double aes_gbps)
+{
+    SECNDP_ASSERT(batch.packets.size() == otp_blocks.size(),
+                  "packet/work size mismatch");
+    SsdEngineOverlay out;
+    out.finishedNs.resize(batch.packets.size());
+    const double blocks_per_ns = n_aes * aes_gbps / 128.0;
+    double pool_free = 0.0;
+    std::size_t bound = 0;
+    for (std::size_t q = 0; q < batch.packets.size(); ++q) {
+        const double start =
+            std::max(pool_free, batch.packets[q].issuedNs);
+        const double otp_done =
+            start + otp_blocks[q] / blocks_per_ns;
+        pool_free = otp_done;
+        const bool decrypt_bound =
+            otp_done > batch.packets[q].finishedNs;
+        bound += decrypt_bound;
+        out.finishedNs[q] =
+            std::max(otp_done, batch.packets[q].finishedNs);
+        out.totalNs = std::max(out.totalNs, out.finishedNs[q]);
+    }
+    out.fractionDecryptBound =
+        batch.packets.empty()
+            ? 0.0
+            : static_cast<double>(bound) / batch.packets.size();
+    return out;
+}
+
+} // namespace secndp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Near-storage processing substrate (paper refs [45], [64], [76]).
+ *
+ * The paper's scheme applies unchanged to NDP in storage ("offloading
+ * computation to main memory or even storage"); this module provides
+ * the SSD-side analogue of memsim+ndp: a multi-channel, multi-die
+ * flash timing model and a near-storage execution mode where an
+ * in-SSD PU consumes pages locally so only results cross the host
+ * link (RecSSD-style SLS offload).
+ *
+ * Timing model per page read:
+ *   die:     tR (array -> page register), dies operate in parallel
+ *   channel: page transfer, serialized per channel (ONFI bus)
+ *   host:    page transfer over the host link, serialized --
+ *            SKIPPED in near-storage mode (results only)
+ *
+ * SecNDP on storage: the host engine generates the OTP share for the
+ * touched bytes exactly as in the DRAM case; overlaySsdEngine mirrors
+ * engine/engine_model for nanosecond-domain storage packets.
+ */
+
+#ifndef SECNDP_STORAGE_SSD_MODEL_HH
+#define SECNDP_STORAGE_SSD_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace secndp {
+
+/** SSD geometry and timing. */
+struct SsdConfig
+{
+    unsigned channels = 8;
+    unsigned diesPerChannel = 4;
+    unsigned pageBytes = 16384;
+    double pageReadNs = 25000.0;     ///< tR (TLC-class read)
+    double channelGBps = 1.2;        ///< ONFI transfer per channel
+    double hostGBps = 3.5;           ///< PCIe host link
+    /** In-SSD PU compute keeps up with channel rate (like the
+     *  rank-NDP PU); extra per-packet firmware overhead: */
+    double packetOverheadNs = 2000.0;
+
+    double channelXferNs() const
+    {
+        return pageBytes / channelGBps;
+    }
+    double hostXferNs() const
+    {
+        return pageBytes / hostGBps;
+    }
+};
+
+/** One storage packet: flash page indices one query touches. */
+struct SsdQuery
+{
+    std::vector<std::uint64_t> pages;
+};
+
+/** Per-packet timing. */
+struct SsdPacketTiming
+{
+    double issuedNs = 0.0;
+    double finishedNs = 0.0;
+    std::uint64_t pages = 0;
+};
+
+/** Batch outcome. */
+struct SsdBatchResult
+{
+    std::vector<SsdPacketTiming> packets;
+    double totalNs = 0.0;
+    std::uint64_t totalPages = 0;
+    std::uint64_t hostBytes = 0; ///< bytes crossing the host link
+};
+
+/**
+ * Execute a batch of storage packets.
+ *
+ * @param near_storage true = in-SSD PU (pages stay inside; only
+ *        results cross the host link), false = host processing
+ *        (every page crosses the host link)
+ * @param result_bytes_per_packet host-link bytes per packet result
+ */
+SsdBatchResult runSsdBatch(const SsdConfig &cfg,
+                           const std::vector<SsdQuery> &queries,
+                           bool near_storage,
+                           unsigned result_bytes_per_packet = 128);
+
+/** Engine work for secure near-storage packets (AES blocks). */
+struct SsdEngineOverlay
+{
+    std::vector<double> finishedNs;
+    double totalNs = 0.0;
+    double fractionDecryptBound = 0.0;
+};
+
+/**
+ * Overlay host-side OTP generation (n_aes x aes_gbps) on a
+ * near-storage batch; otp_blocks is per packet.
+ */
+SsdEngineOverlay overlaySsdEngine(const SsdBatchResult &batch,
+                                  const std::vector<std::uint64_t>
+                                      &otp_blocks,
+                                  unsigned n_aes,
+                                  double aes_gbps = 111.3);
+
+} // namespace secndp
+
+#endif // SECNDP_STORAGE_SSD_MODEL_HH

@@ -1,0 +1,142 @@
+#include "workloads/ctr_model.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace secndp {
+
+namespace {
+
+double
+sigmoid(double z)
+{
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+/** Clamp probabilities away from 0/1 for a finite LogLoss. */
+double
+clampP(double p)
+{
+    return std::min(1.0 - 1e-12, std::max(1e-12, p));
+}
+
+} // namespace
+
+const char *
+numericFormatName(NumericFormat fmt)
+{
+    switch (fmt) {
+      case NumericFormat::Fp32: return "32-bit floating point";
+      case NumericFormat::Fixed32: return "32-bit fixed point";
+      case NumericFormat::Int8TableWise:
+        return "table-wise quantization (8-bit)";
+      case NumericFormat::Int8ColumnWise:
+        return "column-wise quantization (8-bit)";
+    }
+    return "?";
+}
+
+double
+evalCtrLogLoss(const CtrModelConfig &cfg, NumericFormat fmt)
+{
+    Rng rng(cfg.seed);
+    const std::size_t rows = cfg.rowsPerTable;
+    const std::size_t dim = cfg.dim;
+
+    // Heterogeneous per-column variances: early columns are "dense
+    // counters" with small spread, late columns wide -- a table-wide
+    // min/max then over-quantizes the narrow columns.
+    std::vector<double> col_sigma(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+        col_sigma[j] = 0.01 + 0.25 * static_cast<double>(j) / dim;
+
+    // One shared table prototype per experiment keeps memory modest:
+    // tables differ only by RNG stream position.
+    std::vector<std::vector<float>> tables(cfg.numTables);
+    for (auto &t : tables) {
+        t.resize(rows * dim);
+        for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                double v = rng.nextGaussian() * col_sigma[j];
+                // Rare heavy-tailed outliers in the last column.
+                if (j == dim - 1 && rng.nextBounded(64) == 0) {
+                    v += (rng.nextBounded(2) ? 1.0 : -1.0) *
+                         cfg.outlierMagnitude;
+                }
+                t[i * dim + j] = static_cast<float>(v);
+            }
+        }
+    }
+
+    // Quantized views when needed.
+    std::vector<QuantizedTable> quant;
+    if (fmt == NumericFormat::Int8TableWise ||
+        fmt == NumericFormat::Int8ColumnWise) {
+        const QuantScheme scheme = fmt == NumericFormat::Int8TableWise
+                                       ? QuantScheme::TableWise
+                                       : QuantScheme::ColumnWise;
+        quant.reserve(tables.size());
+        for (const auto &t : tables)
+            quant.push_back(quantizeTable(t, rows, dim, scheme));
+    }
+
+    // Scoring head: one weight per (table, dim) feature.
+    std::vector<double> head(cfg.numTables * dim);
+    for (auto &w : head)
+        w = rng.nextGaussian();
+
+    // Pre-scale so logits have roughly cfg.logitScale std: each
+    // pooled feature is a sum of pf ~ N(0, sigma_j^2) draws.
+    double feat_var = 0.0;
+    for (std::size_t j = 0; j < dim; ++j)
+        feat_var += cfg.pf * col_sigma[j] * col_sigma[j];
+    feat_var *= cfg.numTables;
+    const double head_scale =
+        cfg.logitScale / std::sqrt(feat_var);
+
+    double loss = 0.0;
+    std::vector<double> pooled_true(dim), pooled_eval(dim);
+    for (unsigned s = 0; s < cfg.numSamples; ++s) {
+        double z_true = 0.0, z_eval = 0.0;
+        for (unsigned t = 0; t < cfg.numTables; ++t) {
+            std::fill(pooled_true.begin(), pooled_true.end(), 0.0);
+            std::fill(pooled_eval.begin(), pooled_eval.end(), 0.0);
+            for (unsigned k = 0; k < cfg.pf; ++k) {
+                const std::uint64_t row = rng.nextBounded(rows);
+                for (std::size_t j = 0; j < dim; ++j) {
+                    const float v = tables[t][row * dim + j];
+                    pooled_true[j] += v;
+                    switch (fmt) {
+                      case NumericFormat::Fp32:
+                        pooled_eval[j] += v;
+                        break;
+                      case NumericFormat::Fixed32:
+                        pooled_eval[j] +=
+                            fromFixed(toFixed(v, cfg.fixedFmt),
+                                      cfg.fixedFmt);
+                        break;
+                      default:
+                        pooled_eval[j] += quant[t].dequant(row, j);
+                        break;
+                    }
+                }
+            }
+            for (std::size_t j = 0; j < dim; ++j) {
+                const double w = head[t * dim + j] * head_scale;
+                z_true += w * pooled_true[j];
+                z_eval += w * pooled_eval[j];
+            }
+        }
+        // Label drawn from the TRUE fp32 model (well calibrated).
+        const double p_true = sigmoid(z_true);
+        const int y = rng.nextDouble() < p_true ? 1 : 0;
+        const double p = clampP(sigmoid(z_eval));
+        loss += y ? -std::log(p) : -std::log(1.0 - p);
+    }
+    return loss / cfg.numSamples;
+}
+
+} // namespace secndp

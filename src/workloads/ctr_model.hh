@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic production-scale click-through-rate model for the
+ * arithmetic-precision study (paper Table IV).
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper evaluates LogLoss of a
+ * proprietary recommendation model on a production dataset. We build
+ * a calibrated generative substitute -- embedding tables pooled per
+ * sample, a linear scoring head, labels drawn from the model's own
+ * probability -- so the fp32 LogLoss sits near the paper's 0.64 and
+ * the quantization deltas depend only on how number-format error
+ * propagates through SLS pooling, which is the property under study.
+ * Columns are given heterogeneous variances so column-wise
+ * quantization genuinely beats table-wise, as in the paper.
+ */
+
+#ifndef SECNDP_WORKLOADS_CTR_MODEL_HH
+#define SECNDP_WORKLOADS_CTR_MODEL_HH
+
+#include <cstdint>
+
+#include "common/fixed_point.hh"
+#include "workloads/quantization.hh"
+
+namespace secndp {
+
+/** Numeric formats compared in Table IV. */
+enum class NumericFormat
+{
+    Fp32,
+    Fixed32,        ///< 32-bit fixed point (the SecNDP ring format)
+    Int8TableWise,
+    Int8ColumnWise,
+};
+
+const char *numericFormatName(NumericFormat fmt);
+
+/** Synthetic CTR model + dataset configuration. */
+struct CtrModelConfig
+{
+    unsigned numTables = 16;
+    std::uint64_t rowsPerTable = 2000;
+    unsigned dim = 32;          ///< embedding dimension m
+    unsigned pf = 20;           ///< pooled rows per table per sample
+    unsigned numSamples = 40000; ///< paper: 40K evaluation samples
+    double logitScale = 0.50;   ///< calibrated: base LogLoss ~0.64
+    /**
+     * Magnitude of rare outlier values injected into the last
+     * column (about one per 64 rows). Production tables have such
+     * outliers -- they are why a single table-wide min/max range
+     * over-quantizes everything else, the effect Table IV measures.
+     */
+    double outlierMagnitude = 4.0;
+    FixedPointFormat fixedFmt{32, 16};
+    std::uint64_t seed = 20220402; // HPCA'22 vintage
+};
+
+/** LogLoss of the model evaluated under one numeric format. */
+double evalCtrLogLoss(const CtrModelConfig &cfg, NumericFormat fmt);
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_CTR_MODEL_HH

@@ -1,0 +1,209 @@
+#include "workloads/dlrm.hh"
+
+#include <unordered_set>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace secndp {
+
+namespace {
+
+/** Bytes of tag stored per row in memory-resident layouts. */
+constexpr unsigned kTagBytes = 16;
+
+/** MACs of one 2-layer MLP stack given its widths. */
+constexpr std::uint64_t
+mlpMacs(unsigned a, unsigned b, unsigned c)
+{
+    return std::uint64_t{a} * b + std::uint64_t{b} * c;
+}
+
+DlrmModelConfig
+makeConfig(const char *name, unsigned tables, std::uint64_t bytes,
+           unsigned top_hidden)
+{
+    DlrmModelConfig cfg;
+    cfg.name = name;
+    cfg.numTables = tables;
+    cfg.totalEmbBytes = bytes;
+    cfg.rowElems = 32;
+    // bottom FC 256-128-32 + top FC 256-<hidden>-1 (Table I).
+    cfg.fcMacsPerSample =
+        mlpMacs(256, 128, 32) + mlpMacs(256, top_hidden, 1);
+    return cfg;
+}
+
+} // namespace
+
+const char *
+quantSchemeName(QuantScheme q)
+{
+    switch (q) {
+      case QuantScheme::None: return "fp32";
+      case QuantScheme::RowWise: return "int8-row";
+      case QuantScheme::ColumnWise: return "int8-col";
+      case QuantScheme::TableWise: return "int8-table";
+    }
+    return "?";
+}
+
+const char *
+verLayoutName(VerLayout layout)
+{
+    switch (layout) {
+      case VerLayout::None: return "enc-only";
+      case VerLayout::Coloc: return "ver-coloc";
+      case VerLayout::Sep: return "ver-sep";
+      case VerLayout::Ecc: return "ver-ecc";
+    }
+    return "?";
+}
+
+DlrmModelConfig
+rmc1Small()
+{
+    return makeConfig("RMC1-small", 8, 1ULL << 30, 64);
+}
+
+DlrmModelConfig
+rmc1Large()
+{
+    return makeConfig("RMC1-large", 12, 3ULL << 29, 64); // 1.5 GB
+}
+
+DlrmModelConfig
+rmc2Small()
+{
+    return makeConfig("RMC2-small", 24, 3ULL << 30, 128);
+}
+
+DlrmModelConfig
+rmc2Large()
+{
+    return makeConfig("RMC2-large", 64, 8ULL << 30, 128);
+}
+
+unsigned
+slsRowBytes(const DlrmModelConfig &model, QuantScheme quant)
+{
+    switch (quant) {
+      case QuantScheme::None:
+        return model.rowElems * 4;
+      case QuantScheme::RowWise:
+        // int8 elements + fp32 scale and bias stored with the row
+        // ("2 cache lines into about 0.5 cache line per vector").
+        return model.rowElems + 8;
+      case QuantScheme::ColumnWise:
+      case QuantScheme::TableWise:
+        // int8 elements; scale/bias cached in the processor.
+        return model.rowElems;
+    }
+    return model.rowElems * 4;
+}
+
+bool
+verEccFits(unsigned data_bytes)
+{
+    // x8 ECC DIMM budget: 1 ECC byte per 8 data bytes.
+    return data_bytes / 8 >= kTagBytes;
+}
+
+WorkloadTrace
+buildSlsTrace(const DlrmModelConfig &model, const SlsTraceConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const unsigned data_bytes = slsRowBytes(model, cfg.quant);
+    const bool verifying = cfg.layout != VerLayout::None;
+    const unsigned stride = cfg.layout == VerLayout::Coloc
+                                ? data_bytes + kTagBytes
+                                : data_bytes;
+    const std::uint64_t rows_per_table = model.rowsPerTable(data_bytes);
+    SECNDP_ASSERT(rows_per_table > 0, "empty embedding table");
+
+    // Virtual layout: tables back to back (4 KB aligned); the Ver-sep
+    // tag region follows all tables.
+    const std::uint64_t table_span =
+        roundUp(rows_per_table * stride, 4096);
+    const std::uint64_t tag_region_base = table_span * model.numTables;
+
+    const unsigned elem_bytes = cfg.quant == QuantScheme::None ? 4 : 1;
+    const unsigned result_bytes =
+        model.rowElems * 4 + (verifying ? kTagBytes : 0);
+
+    WorkloadTrace trace;
+    trace.queries.reserve(std::size_t{cfg.batch} * model.numTables);
+
+    for (unsigned sample = 0; sample < cfg.batch; ++sample) {
+        for (unsigned table = 0; table < model.numTables; ++table) {
+            const unsigned pf =
+                cfg.productionPf
+                    ? 50 + static_cast<unsigned>(rng.nextBounded(51))
+                    : cfg.pf;
+            TraceQuery query;
+            query.ranges.reserve(pf * (cfg.layout == VerLayout::Sep
+                                           ? 2 : 1));
+            const std::uint64_t table_base = table * table_span;
+            for (unsigned k = 0; k < pf; ++k) {
+                const std::uint64_t row =
+                    rng.nextZipf(rows_per_table, cfg.zipfAlpha);
+                const std::uint64_t row_vaddr =
+                    table_base + row * stride;
+                // Ver-coloc fetches row+tag as one contiguous range.
+                const std::uint32_t fetch_bytes =
+                    cfg.layout == VerLayout::Coloc
+                        ? data_bytes + kTagBytes
+                        : data_bytes;
+                query.ranges.push_back({row_vaddr, fetch_bytes});
+                if (cfg.layout == VerLayout::Sep) {
+                    const std::uint64_t tag_vaddr =
+                        tag_region_base +
+                        (std::uint64_t{table} * rows_per_table + row) *
+                            kTagBytes;
+                    query.ranges.push_back({tag_vaddr, kTagBytes});
+                }
+            }
+
+            // On-chip engine work (section V-C/V-E).
+            EngineWork &w = query.engineWork;
+            w.dataOtpBlocks = std::uint64_t{pf} *
+                              divCeil(data_bytes, 16);
+            if (verifying) {
+                // One tag pad per touched row plus the checksum
+                // secret s; Ver-coloc/Sep also decrypt the fetched
+                // tags with the same pads (already counted).
+                w.tagOtpBlocks = pf + 1;
+            }
+            w.otpPuOps = std::uint64_t{pf} * model.rowElems;
+            if (verifying)
+                w.verifyOps = model.rowElems + pf;
+            query.resultBytes = result_bytes;
+            (void)elem_bytes;
+            trace.queries.push_back(std::move(query));
+        }
+    }
+    return trace;
+}
+
+std::uint64_t
+uniquePagesTouched(const WorkloadTrace &trace)
+{
+    std::unordered_set<std::uint64_t> pages;
+    for (const auto &q : trace.queries) {
+        for (const auto &r : q.ranges) {
+            const std::uint64_t first = r.vaddr / 4096;
+            const std::uint64_t last = (r.vaddr + r.bytes - 1) / 4096;
+            for (std::uint64_t p = first; p <= last; ++p)
+                pages.insert(p);
+        }
+    }
+    return pages.size();
+}
+
+double
+fcComputeNs(const DlrmModelConfig &model, unsigned batch, double gmacs)
+{
+    return model.fcMacsPerSample * batch / gmacs;
+}
+
+} // namespace secndp

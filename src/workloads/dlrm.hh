@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deep-learning recommendation (DLRM) workload generation
+ * (paper section VI-A, Table I, Figure 6).
+ *
+ * The NDP-offloaded kernel is the embedding-table lookup
+ * (SparseLengthsWeightedSum): a query gathers PF rows of one table
+ * and pools them with weights. We generate traces at the address
+ * level for the performance simulator (the scheme's *functional*
+ * behaviour is exercised separately on real matrices in tests and
+ * examples), supporting:
+ *
+ *  - the four model configurations of Table I,
+ *  - fp32 rows and 8-bit row-/column-/table-wise quantized rows,
+ *  - the three verification-tag layouts of section V-D,
+ *  - uniform PF or production-like PF ~ U[50, 100], and Zipf-skewed
+ *    row popularity.
+ */
+
+#ifndef SECNDP_WORKLOADS_DLRM_HH
+#define SECNDP_WORKLOADS_DLRM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/system.hh"
+#include "common/rng.hh"
+
+namespace secndp {
+
+/** Quantization schemes for embedding rows (section VI-A). */
+enum class QuantScheme
+{
+    None,       ///< fp32 (4 B/element)
+    RowWise,    ///< int8 + per-row scale/bias stored with the row
+    ColumnWise, ///< int8 + per-column scale/bias (cached on-chip)
+    TableWise,  ///< int8 + per-table scale/bias (cached on-chip)
+};
+
+const char *quantSchemeName(QuantScheme q);
+
+/** Verification-tag storage layouts (section V-D). */
+enum class VerLayout
+{
+    None,   ///< encryption only
+    Coloc,  ///< 16 B tag appended to each row (rows mis-align lines)
+    Sep,    ///< tags in a separate physical region
+    Ecc,    ///< tags ride in the ECC chip: no extra access
+};
+
+const char *verLayoutName(VerLayout layout);
+
+/** One DLRM configuration (Table I). */
+struct DlrmModelConfig
+{
+    std::string name;
+    unsigned numTables = 8;
+    std::uint64_t totalEmbBytes = 1ULL << 30;
+    unsigned rowElems = 32; ///< m
+    /** MACs per sample in the bottom + top MLPs. */
+    std::uint64_t fcMacsPerSample = 0;
+
+    std::uint64_t
+    rowsPerTable(unsigned row_bytes) const
+    {
+        return totalEmbBytes / numTables / row_bytes;
+    }
+};
+
+/** @name Table I presets */
+/// @{
+DlrmModelConfig rmc1Small();
+DlrmModelConfig rmc1Large();
+DlrmModelConfig rmc2Small();
+DlrmModelConfig rmc2Large();
+/// @}
+
+/** SLS trace-generation parameters. */
+struct SlsTraceConfig
+{
+    unsigned batch = 256;
+    unsigned pf = 80;
+    /** Draw PF per query from U[50, 100] (production-like). */
+    bool productionPf = false;
+    /** Zipf exponent of row popularity (0 = uniform). */
+    double zipfAlpha = 0.0;
+    QuantScheme quant = QuantScheme::None;
+    VerLayout layout = VerLayout::None;
+    std::uint64_t seed = Rng::defaultSeed;
+};
+
+/** Per-row byte cost of a scheme (data only, without tag). */
+unsigned slsRowBytes(const DlrmModelConfig &model, QuantScheme quant);
+
+/**
+ * Can Ver-ECC hold a 16 B tag for a row of `data_bytes`? The ECC
+ * chip carries 1 ECC byte per 8 data bytes (x8 ECC DIMM), so a row
+ * must span at least 128 B of data for its tag to ride along --
+ * which is why the paper's quantized (32 B) rows cannot use Ver-ECC
+ * ("the corresponding tags cannot fit in the ECC chip").
+ */
+bool verEccFits(unsigned data_bytes);
+
+/**
+ * Build the SLS trace: one TraceQuery per (sample, table) lookup,
+ * with access ranges laid out per the quantization scheme and tag
+ * layout, and the SecNDP engine work attached.
+ */
+WorkloadTrace buildSlsTrace(const DlrmModelConfig &model,
+                            const SlsTraceConfig &cfg);
+
+/** Distinct 4 KB pages a trace touches (for the SGX paging model). */
+std::uint64_t uniquePagesTouched(const WorkloadTrace &trace);
+
+/** Unprotected CPU time of the MLP portion, ns (roofline model). */
+double fcComputeNs(const DlrmModelConfig &model, unsigned batch,
+                   double gmacs = 20.0);
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_DLRM_HH

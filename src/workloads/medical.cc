@@ -1,0 +1,236 @@
+#include "workloads/medical.hh"
+
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace secndp {
+
+namespace {
+constexpr unsigned kTagBytes = 16;
+} // namespace
+
+WorkloadTrace
+buildMedicalTrace(const MedicalDbConfig &cfg, VerLayout layout)
+{
+    Rng rng(cfg.seed);
+    const unsigned data_bytes = cfg.genes * 4;
+    const bool verifying = layout != VerLayout::None;
+    const unsigned stride = layout == VerLayout::Coloc
+                                ? data_bytes + kTagBytes
+                                : data_bytes;
+    const std::uint64_t db_span = cfg.patients * std::uint64_t{stride};
+    const std::uint64_t tag_region_base = roundUp(db_span, 4096);
+
+    WorkloadTrace trace;
+    trace.queries.reserve(cfg.numQueries);
+    for (unsigned q = 0; q < cfg.numQueries; ++q) {
+        TraceQuery query;
+        std::uint64_t start_patient;
+        if (cfg.contiguousIds) {
+            start_patient =
+                rng.nextBounded(cfg.patients - cfg.pf + 1);
+        } else {
+            start_patient = 0; // scattered handled per row below
+        }
+        for (unsigned k = 0; k < cfg.pf; ++k) {
+            const std::uint64_t patient =
+                cfg.contiguousIds ? start_patient + k
+                                  : rng.nextBounded(cfg.patients);
+            const std::uint64_t row_vaddr = patient * stride;
+            const std::uint32_t fetch = layout == VerLayout::Coloc
+                                            ? data_bytes + kTagBytes
+                                            : data_bytes;
+            query.ranges.push_back({row_vaddr, fetch});
+            if (layout == VerLayout::Sep) {
+                query.ranges.push_back(
+                    {tag_region_base + patient * kTagBytes,
+                     kTagBytes});
+            }
+        }
+        EngineWork &w = query.engineWork;
+        w.dataOtpBlocks =
+            std::uint64_t{cfg.pf} * divCeil(data_bytes, 16);
+        if (verifying)
+            w.tagOtpBlocks = cfg.pf + 1;
+        w.otpPuOps = std::uint64_t{cfg.pf} * cfg.genes;
+        if (verifying)
+            w.verifyOps = cfg.genes + cfg.pf;
+        query.resultBytes =
+            cfg.genes * 4 + (verifying ? kTagBytes : 0);
+        trace.queries.push_back(std::move(query));
+    }
+    return trace;
+}
+
+//
+// Student / Welch statistics.
+//
+
+namespace {
+
+/** Continued fraction for the incomplete beta (Lentz's algorithm). */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iter = 300;
+    constexpr double eps = 3e-14;
+    constexpr double fpmin = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x /
+             ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < eps)
+            return h;
+    }
+    warn("incomplete beta did not converge (a=%g b=%g x=%g)", a, b, x);
+    return h;
+}
+
+} // namespace
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    SECNDP_ASSERT(a > 0 && b > 0, "beta parameters must be positive");
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                            std::lgamma(b) + a * std::log(x) +
+                            b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    // Use the symmetry relation for numerical stability.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 -
+           front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult
+welchTTest(double mean_a, double var_a, std::uint64_t n_a,
+           double mean_b, double var_b, std::uint64_t n_b)
+{
+    SECNDP_ASSERT(n_a >= 2 && n_b >= 2, "need at least 2 per group");
+    TTestResult r;
+    const double sa = var_a / n_a;
+    const double sb = var_b / n_b;
+    const double se2 = sa + sb;
+    if (se2 <= 0.0) {
+        r.t = mean_a == mean_b ? 0.0
+                               : std::numeric_limits<double>::infinity();
+        r.df = static_cast<double>(n_a + n_b - 2);
+        r.pValue = mean_a == mean_b ? 1.0 : 0.0;
+        return r;
+    }
+    r.t = (mean_a - mean_b) / std::sqrt(se2);
+    // Welch-Satterthwaite degrees of freedom.
+    r.df = se2 * se2 /
+           (sa * sa / (n_a - 1) + sb * sb / (n_b - 1));
+    // Two-sided p-value: P(|T| > t) = I_{df/(df+t^2)}(df/2, 1/2).
+    const double x = r.df / (r.df + r.t * r.t);
+    r.pValue = regularizedIncompleteBeta(r.df / 2.0, 0.5, x);
+    return r;
+}
+
+//
+// Secure gene database.
+//
+
+SecureGeneDb::SecureGeneDb(const Aes128::Key &key, std::size_t patients,
+                           std::size_t genes, unsigned frac_bits,
+                           Rng &rng)
+    : patients_(patients), genes_(genes), fracBits_(frac_bits),
+      clientX_(key), clientX2_(key)
+{
+    SECNDP_ASSERT(frac_bits <= 12, "frac_bits too large for x^2 sums");
+    truth_.resize(patients * genes);
+
+    const FixedPointFormat fmt{32,
+                               static_cast<unsigned>(fracBits_)};
+    Matrix x(patients, genes, ElemWidth::W32, 0x10000000);
+    Matrix x2(patients, genes, ElemWidth::W64, 0x40000000);
+    for (std::size_t i = 0; i < patients; ++i) {
+        for (std::size_t j = 0; j < genes; ++j) {
+            // Positive, skewed expression levels in [0, ~12).
+            const double level =
+                std::exp(rng.nextGaussian() * 0.5 + 0.5);
+            // Store the REPRESENTABLE value as ground truth so
+            // secure results can be checked exactly.
+            const std::int64_t raw = toFixed(level, fmt);
+            truth_[i * genes + j] = fromFixed(raw, fmt);
+            x.set(i, j, static_cast<std::uint64_t>(raw));
+            x2.set(i, j,
+                   static_cast<std::uint64_t>(raw) *
+                       static_cast<std::uint64_t>(raw));
+        }
+    }
+    clientX_.provision(x, deviceX_);
+    clientX2_.provision(x2, deviceX2_);
+}
+
+double
+SecureGeneDb::truth(std::size_t patient, std::size_t gene) const
+{
+    return truth_[patient * genes_ + gene];
+}
+
+GeneGroupStats
+SecureGeneDb::groupStats(const std::vector<std::size_t> &patients) const
+{
+    const std::vector<std::uint64_t> ones(patients.size(), 1);
+    const auto sum_x =
+        clientX_.weightedSumRows(deviceX_, patients, ones);
+    const auto sum_x2 =
+        clientX2_.weightedSumRows(deviceX2_, patients, ones);
+
+    GeneGroupStats stats;
+    stats.verified = sum_x.verified && sum_x2.verified;
+    stats.mean.resize(genes_);
+    stats.variance.resize(genes_);
+    const double n = static_cast<double>(patients.size());
+    const double scale = std::ldexp(1.0, fracBits_);
+    for (std::size_t j = 0; j < genes_; ++j) {
+        const double sx = sum_x.values[j] / scale;
+        const double sx2 = sum_x2.values[j] / (scale * scale);
+        stats.mean[j] = sx / n;
+        stats.variance[j] =
+            n > 1 ? (sx2 - n * stats.mean[j] * stats.mean[j]) /
+                        (n - 1)
+                  : 0.0;
+    }
+    return stats;
+}
+
+} // namespace secndp

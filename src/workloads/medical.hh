@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Medical data analytics workload (paper section VI-A, use case 2):
+ * statistical hypothesis tests over a private gene-expression
+ * database. The NDP computes group summations (a weighted summation
+ * with unit weights -- linear, so SecNDP applies); the processor
+ * derives means/variances and Student's t statistics.
+ *
+ * Variance needs sum(x^2), which is not linear in x, so the secure
+ * pipeline provisions TWO encrypted matrices: X and X.^2 (squared
+ * element-wise at encryption time inside the TEE). Both sums are then
+ * linear queries.
+ */
+
+#ifndef SECNDP_WORKLOADS_MEDICAL_HH
+#define SECNDP_WORKLOADS_MEDICAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/system.hh"
+#include "common/rng.hh"
+#include "secndp/protocol.hh"
+#include "workloads/dlrm.hh"
+
+namespace secndp {
+
+/** Database geometry (paper section VI-A-(2)). */
+struct MedicalDbConfig
+{
+    unsigned genes = 1024;        ///< m (performance-sim default)
+    std::uint64_t patients = 500000;
+    unsigned pf = 10000;          ///< patients aggregated per query
+    unsigned numQueries = 1;
+    /** Queried patient IDs are "not sparse": contiguous blocks. */
+    bool contiguousIds = true;
+    std::uint64_t seed = Rng::defaultSeed;
+};
+
+/**
+ * Address-level trace for the performance simulator: each query sums
+ * `pf` patient rows of `genes` 32-bit values.
+ */
+WorkloadTrace buildMedicalTrace(const MedicalDbConfig &cfg,
+                                VerLayout layout);
+
+/** Welch's t-test outcome. */
+struct TTestResult
+{
+    double t = 0.0;
+    double df = 0.0;
+    double pValue = 1.0; ///< two-sided
+};
+
+/** Welch's unequal-variance t-test from group moments. */
+TTestResult welchTTest(double mean_a, double var_a, std::uint64_t n_a,
+                       double mean_b, double var_b, std::uint64_t n_b);
+
+/** Regularized incomplete beta function I_x(a, b) (for Student t). */
+double regularizedIncompleteBeta(double a, double b, double x);
+
+/**
+ * Secure group-statistics query over an encrypted gene DB: sums X and
+ * X^2 rows for the given patients via the SecNDP protocol (verified),
+ * and returns per-gene mean/variance. Values are fixed-point encoded
+ * with `frac_bits` fractional bits.
+ */
+struct GeneGroupStats
+{
+    std::vector<double> mean;
+    std::vector<double> variance;
+    bool verified = false;
+};
+
+class SecureGeneDb
+{
+  public:
+    /**
+     * Provision a (synthetic) gene DB: patients x genes expression
+     * levels, plus the squared matrix, both encrypted under `key`.
+     */
+    SecureGeneDb(const Aes128::Key &key, std::size_t patients,
+                 std::size_t genes, unsigned frac_bits, Rng &rng);
+
+    /** Verified group statistics for a set of patient rows. */
+    GeneGroupStats groupStats(
+        const std::vector<std::size_t> &patients) const;
+
+    /** Ground-truth expression level (for tests). */
+    double truth(std::size_t patient, std::size_t gene) const;
+
+    std::size_t patients() const { return patients_; }
+    std::size_t genes() const { return genes_; }
+
+    /** Adversary hook for the attack demo. */
+    UntrustedNdpDevice &device() { return deviceX_; }
+
+  private:
+    std::size_t patients_;
+    std::size_t genes_;
+    unsigned fracBits_;
+    std::vector<double> truth_;
+    SecNdpClient clientX_;
+    SecNdpClient clientX2_;
+    UntrustedNdpDevice deviceX_;
+    UntrustedNdpDevice deviceX2_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_MEDICAL_HH

@@ -1,0 +1,145 @@
+#include "workloads/mlp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+double
+sigmoid(double z)
+{
+    if (z >= 0) {
+        const double e = std::exp(-z);
+        return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(z);
+    return e / (1.0 + e);
+}
+
+Mlp::Mlp(std::vector<unsigned> layer_dims, Rng &rng)
+    : dims_(std::move(layer_dims))
+{
+    SECNDP_ASSERT(dims_.size() >= 2, "MLP needs >= 2 layer dims");
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+        const unsigned in = dims_[l], out = dims_[l + 1];
+        const double scale = std::sqrt(2.0 / (in + out));
+        std::vector<double> w(static_cast<std::size_t>(in) * out);
+        for (auto &v : w)
+            v = rng.nextGaussian() * scale;
+        weights_.push_back(std::move(w));
+        std::vector<double> b(out);
+        for (auto &v : b)
+            v = rng.nextGaussian() * 0.01;
+        biases_.push_back(std::move(b));
+    }
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &in) const
+{
+    SECNDP_ASSERT(in.size() == dims_.front(), "input dim %zu != %u",
+                  in.size(), dims_.front());
+    std::vector<double> act = in;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const unsigned in_d = dims_[l], out_d = dims_[l + 1];
+        std::vector<double> next(out_d);
+        for (unsigned o = 0; o < out_d; ++o) {
+            double acc = biases_[l][o];
+            const double *row = weights_[l].data() +
+                                static_cast<std::size_t>(o) * in_d;
+            for (unsigned i = 0; i < in_d; ++i)
+                acc += row[i] * act[i];
+            // ReLU between layers, linear at the output.
+            next[o] = (l + 1 < weights_.size() && acc < 0) ? 0 : acc;
+        }
+        act = std::move(next);
+    }
+    return act;
+}
+
+std::vector<double>
+Mlp::forwardFixed(const std::vector<double> &in,
+                  const FixedPointFormat &fmt) const
+{
+    SECNDP_ASSERT(in.size() == dims_.front(), "input dim %zu != %u",
+                  in.size(), dims_.front());
+    auto q = [&](double v) { return fromFixed(toFixed(v, fmt), fmt); };
+    std::vector<double> act(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        act[i] = q(in[i]);
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const unsigned in_d = dims_[l], out_d = dims_[l + 1];
+        std::vector<double> next(out_d);
+        for (unsigned o = 0; o < out_d; ++o) {
+            double acc = q(biases_[l][o]);
+            const double *row = weights_[l].data() +
+                                static_cast<std::size_t>(o) * in_d;
+            for (unsigned i = 0; i < in_d; ++i)
+                acc += q(row[i]) * act[i];
+            acc = q(acc); // re-quantize the accumulator per output
+            next[o] = (l + 1 < weights_.size() && acc < 0) ? 0 : acc;
+        }
+        act = std::move(next);
+    }
+    return act;
+}
+
+std::uint64_t
+Mlp::macs() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l)
+        total += std::uint64_t{dims_[l]} * dims_[l + 1];
+    return total;
+}
+
+DlrmDenseSide::DlrmDenseSide(unsigned dense_dim,
+                             std::vector<unsigned> bottom,
+                             unsigned sparse_dim,
+                             std::vector<unsigned> top, Rng &rng)
+    : bottom_([&] {
+          SECNDP_ASSERT(!bottom.empty() && bottom.front() == dense_dim,
+                        "bottom MLP input must match dense_dim");
+          return Mlp(std::move(bottom), rng);
+      }()),
+      top_([&] {
+          return Mlp(std::move(top), rng);
+      }()),
+      denseDim_(dense_dim), sparseDim_(sparse_dim)
+{
+    SECNDP_ASSERT(top_.inputDim() ==
+                      bottom_.outputDim() + sparseDim_,
+                  "top MLP input %u != bottom out %u + sparse %u",
+                  top_.inputDim(), bottom_.outputDim(), sparseDim_);
+    SECNDP_ASSERT(top_.outputDim() == 1, "top MLP must emit 1 logit");
+}
+
+double
+DlrmDenseSide::predict(const std::vector<double> &dense,
+                       const std::vector<double> &pooled_sparse) const
+{
+    SECNDP_ASSERT(pooled_sparse.size() == sparseDim_,
+                  "pooled width %zu != %u", pooled_sparse.size(),
+                  sparseDim_);
+    auto bottom_out = bottom_.forward(dense);
+    bottom_out.insert(bottom_out.end(), pooled_sparse.begin(),
+                      pooled_sparse.end());
+    return sigmoid(top_.forward(bottom_out)[0]);
+}
+
+double
+DlrmDenseSide::predictFixed(const std::vector<double> &dense,
+                            const std::vector<double> &pooled_sparse,
+                            const FixedPointFormat &fmt) const
+{
+    SECNDP_ASSERT(pooled_sparse.size() == sparseDim_,
+                  "pooled width %zu != %u", pooled_sparse.size(),
+                  sparseDim_);
+    auto bottom_out = bottom_.forwardFixed(dense, fmt);
+    bottom_out.insert(bottom_out.end(), pooled_sparse.begin(),
+                      pooled_sparse.end());
+    return sigmoid(top_.forwardFixed(bottom_out, fmt)[0]);
+}
+
+} // namespace secndp

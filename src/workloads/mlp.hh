@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The CPU-resident MLP portion of DLRM (paper Table I: bottom FC
+ * 256-128-32, top FC 256-{64,128}-1).
+ *
+ * In SecNDP the MLPs stay on the trusted processor (their weights are
+ * cache-resident); only the embedding SLS goes to NDP. This module
+ * implements the dense side so examples and accuracy studies can run
+ * the *whole* model functionally: fp32 or fixed-point GEMV + ReLU,
+ * sigmoid head, plus DLRM's dense/sparse feature concatenation.
+ */
+
+#ifndef SECNDP_WORKLOADS_MLP_HH
+#define SECNDP_WORKLOADS_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+
+namespace secndp {
+
+/** One fully-connected stack with ReLU between layers and a linear
+ *  final layer. */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_dims e.g. {256, 128, 32}: input 256 -> 128 -> 32
+     * @param rng weight initialization (Xavier-style scaling)
+     */
+    Mlp(std::vector<unsigned> layer_dims, Rng &rng);
+
+    unsigned inputDim() const { return dims_.front(); }
+    unsigned outputDim() const { return dims_.back(); }
+
+    /** fp32/double reference forward pass. */
+    std::vector<double> forward(const std::vector<double> &in) const;
+
+    /**
+     * Fixed-point forward pass: inputs, weights, and activations are
+     * quantized to `fmt` at every layer boundary (what a fixed-point
+     * TEE implementation computes).
+     */
+    std::vector<double> forwardFixed(const std::vector<double> &in,
+                                     const FixedPointFormat &fmt) const;
+
+    /** Multiply-accumulate count of one forward pass. */
+    std::uint64_t macs() const;
+
+  private:
+    std::vector<unsigned> dims_;
+    /** weights_[l] is dims_[l+1] x dims_[l], row-major; biases per
+     *  output. */
+    std::vector<std::vector<double>> weights_;
+    std::vector<std::vector<double>> biases_;
+};
+
+/** Numerically-stable logistic sigmoid. */
+double sigmoid(double z);
+
+/**
+ * A complete mini-DLRM dense side: bottom MLP over dense features,
+ * concatenation with pooled sparse embeddings, top MLP to one logit.
+ */
+class DlrmDenseSide
+{
+  public:
+    /**
+     * @param dense_dim raw dense-feature count
+     * @param bottom e.g. {256, 128, 32}
+     * @param sparse_dim total pooled-embedding width entering the top
+     * @param top e.g. {256, 64, 1} (input dim must equal
+     *        bottom-output + sparse_dim)
+     */
+    DlrmDenseSide(unsigned dense_dim, std::vector<unsigned> bottom,
+                  unsigned sparse_dim, std::vector<unsigned> top,
+                  Rng &rng);
+
+    /** Click probability from dense features + pooled embeddings. */
+    double predict(const std::vector<double> &dense,
+                   const std::vector<double> &pooled_sparse) const;
+
+    /** Same, in fixed point end to end. */
+    double predictFixed(const std::vector<double> &dense,
+                        const std::vector<double> &pooled_sparse,
+                        const FixedPointFormat &fmt) const;
+
+    std::uint64_t macsPerSample() const
+    {
+        return bottom_.macs() + top_.macs();
+    }
+
+  private:
+    Mlp bottom_;
+    Mlp top_;
+    unsigned denseDim_;
+    unsigned sparseDim_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_MLP_HH

@@ -1,0 +1,111 @@
+#include "workloads/quantization.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+std::size_t
+QuantizedTable::groupIndex(std::size_t i, std::size_t j) const
+{
+    switch (scheme) {
+      case QuantScheme::RowWise: return i;
+      case QuantScheme::ColumnWise: return j;
+      case QuantScheme::TableWise: return 0;
+      case QuantScheme::None: break;
+    }
+    panic("no quantization groups for fp32");
+}
+
+float
+QuantizedTable::dequant(std::size_t i, std::size_t j) const
+{
+    const std::size_t g = groupIndex(i, j);
+    return q(i, j) * scales[g] + biases[g];
+}
+
+QuantizedTable
+quantizeTable(const std::vector<float> &values, std::size_t rows,
+              std::size_t cols, QuantScheme scheme)
+{
+    SECNDP_ASSERT(values.size() == rows * cols, "size mismatch");
+    SECNDP_ASSERT(scheme != QuantScheme::None,
+                  "cannot quantize to fp32");
+    QuantizedTable out;
+    out.scheme = scheme;
+    out.rows = rows;
+    out.cols = cols;
+    out.data.resize(rows * cols);
+
+    const std::size_t groups = scheme == QuantScheme::RowWise ? rows
+                               : scheme == QuantScheme::ColumnWise
+                                   ? cols
+                                   : 1;
+    std::vector<float> mins(groups,
+                            std::numeric_limits<float>::infinity());
+    std::vector<float> maxs(groups,
+                            -std::numeric_limits<float>::infinity());
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const std::size_t g = scheme == QuantScheme::RowWise ? i
+                                  : scheme == QuantScheme::ColumnWise
+                                      ? j
+                                      : 0;
+            const float v = values[i * cols + j];
+            mins[g] = std::min(mins[g], v);
+            maxs[g] = std::max(maxs[g], v);
+        }
+    }
+
+    out.scales.resize(groups);
+    out.biases.resize(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+        const float span = maxs[g] - mins[g];
+        out.scales[g] = span > 0 ? span / 255.0f : 1.0f;
+        out.biases[g] = mins[g];
+    }
+
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const std::size_t g = out.groupIndex(i, j);
+            const float v = values[i * cols + j];
+            const float q =
+                std::nearbyint((v - out.biases[g]) / out.scales[g]);
+            out.data[i * cols + j] = static_cast<std::uint8_t>(
+                std::clamp(q, 0.0f, 255.0f));
+        }
+    }
+    return out;
+}
+
+double
+maxAbsError(const std::vector<float> &values, const QuantizedTable &t)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < t.rows; ++i)
+        for (std::size_t j = 0; j < t.cols; ++j)
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(
+                                 values[i * t.cols + j] -
+                                 t.dequant(i, j))));
+    return worst;
+}
+
+double
+meanSquaredError(const std::vector<float> &values,
+                 const QuantizedTable &t)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < t.rows; ++i) {
+        for (std::size_t j = 0; j < t.cols; ++j) {
+            const double e =
+                values[i * t.cols + j] - t.dequant(i, j);
+            acc += e * e;
+        }
+    }
+    return acc / (t.rows * t.cols);
+}
+
+} // namespace secndp

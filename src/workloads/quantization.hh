@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Embedding quantization (paper section VI-A, Figure 6 right).
+ *
+ * Row-wise quantization stores a scale and bias per row; the paper
+ * proposes table-wise and column-wise variants whose scale/bias can
+ * be cached on-chip so the SLS kernel runs directly on quantized
+ * integers -- the property that makes computation over ciphertext
+ * efficient. This module is the *functional* side used by the
+ * accuracy evaluation (Table IV); the performance side is the row
+ * layout in workloads/dlrm.
+ */
+
+#ifndef SECNDP_WORKLOADS_QUANTIZATION_HH
+#define SECNDP_WORKLOADS_QUANTIZATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/dlrm.hh"
+
+namespace secndp {
+
+/** An 8-bit quantized table with its affine parameters. */
+struct QuantizedTable
+{
+    QuantScheme scheme = QuantScheme::TableWise;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::uint8_t> data; ///< row-major quantized values
+    /** Per-row, per-column, or single-element scale/bias. */
+    std::vector<float> scales;
+    std::vector<float> biases;
+
+    std::uint8_t
+    q(std::size_t i, std::size_t j) const
+    {
+        return data[i * cols + j];
+    }
+
+    /** Dequantize one element: P = Pq * scale + bias. */
+    float dequant(std::size_t i, std::size_t j) const;
+
+    /** Scale/bias group index of element (i, j). */
+    std::size_t groupIndex(std::size_t i, std::size_t j) const;
+};
+
+/**
+ * Quantize a row-major fp32 table to 8 bits under `scheme`
+ * (min/max affine quantization per group).
+ */
+QuantizedTable quantizeTable(const std::vector<float> &values,
+                             std::size_t rows, std::size_t cols,
+                             QuantScheme scheme);
+
+/** Largest absolute dequantization error over the table. */
+double maxAbsError(const std::vector<float> &values,
+                   const QuantizedTable &table);
+
+/** Mean squared dequantization error over the table. */
+double meanSquaredError(const std::vector<float> &values,
+                        const QuantizedTable &table);
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_QUANTIZATION_HH

@@ -1,0 +1,85 @@
+#include "workloads/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+void
+writeTrace(std::ostream &os, const WorkloadTrace &trace)
+{
+    os << "secndp-trace v1\n";
+    os << "# queries: " << trace.queries.size() << "\n";
+    for (const auto &q : trace.queries) {
+        os << "q " << q.resultBytes << " "
+           << q.engineWork.dataOtpBlocks << " "
+           << q.engineWork.tagOtpBlocks << " "
+           << q.engineWork.otpPuOps << " " << q.engineWork.verifyOps
+           << "\n";
+        for (const auto &r : q.ranges)
+            os << "r " << r.vaddr << " " << r.bytes << "\n";
+    }
+}
+
+WorkloadTrace
+readTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "secndp-trace v1")
+        fatal("not a secndp-trace v1 stream");
+
+    WorkloadTrace trace;
+    std::size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind;
+        if (kind == "q") {
+            TraceQuery q;
+            ss >> q.resultBytes >> q.engineWork.dataOtpBlocks >>
+                q.engineWork.tagOtpBlocks >> q.engineWork.otpPuOps >>
+                q.engineWork.verifyOps;
+            if (!ss)
+                fatal("malformed 'q' record at line %zu", lineno);
+            trace.queries.push_back(std::move(q));
+        } else if (kind == "r") {
+            if (trace.queries.empty())
+                fatal("'r' record before any 'q' at line %zu",
+                      lineno);
+            AccessRange r;
+            ss >> r.vaddr >> r.bytes;
+            if (!ss || r.bytes == 0)
+                fatal("malformed 'r' record at line %zu", lineno);
+            trace.queries.back().ranges.push_back(r);
+        } else {
+            fatal("unknown record '%s' at line %zu", kind.c_str(),
+                  lineno);
+        }
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const WorkloadTrace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeTrace(os, trace);
+}
+
+WorkloadTrace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace secndp

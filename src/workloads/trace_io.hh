@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Workload-trace serialization.
+ *
+ * The paper evaluates both synthetic and production query traces; this
+ * module gives the repo a stable on-disk trace format so externally
+ * captured traces (e.g. real embedding-lookup logs) can drive the
+ * simulator, and generated traces can be archived for exact reruns.
+ *
+ * Format (line-oriented text, '#' comments):
+ *   secndp-trace v1
+ *   q <result_bytes> <data_otp_blocks> <tag_otp_blocks> \
+ *     <otp_pu_ops> <verify_ops>
+ *   r <vaddr> <bytes>          (one per access range, after its 'q')
+ */
+
+#ifndef SECNDP_WORKLOADS_TRACE_IO_HH
+#define SECNDP_WORKLOADS_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/system.hh"
+
+namespace secndp {
+
+/** Serialize a trace to a stream. */
+void writeTrace(std::ostream &os, const WorkloadTrace &trace);
+
+/** Parse a trace; fatal()s on malformed input (user error). */
+WorkloadTrace readTrace(std::istream &is);
+
+/** File convenience wrappers. */
+void saveTraceFile(const std::string &path, const WorkloadTrace &trace);
+WorkloadTrace loadTraceFile(const std::string &path);
+
+} // namespace secndp
+
+#endif // SECNDP_WORKLOADS_TRACE_IO_HH

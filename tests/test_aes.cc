@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Known-answer tests for the from-scratch AES-128 implementation,
+ * pinned to FIPS-197 and the NIST AESAVS vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "crypto/aes.hh"
+
+namespace secndp {
+namespace {
+
+Block128
+fromHex(const std::string &hex)
+{
+    Block128 out{};
+    EXPECT_EQ(hex.size(), 32u);
+    for (unsigned i = 0; i < 16; ++i) {
+        unsigned v = 0;
+        std::sscanf(hex.c_str() + 2 * i, "%02x", &v);
+        out[i] = static_cast<std::uint8_t>(v);
+    }
+    return out;
+}
+
+std::string
+toHex(const Block128 &b)
+{
+    std::string s;
+    char buf[3];
+    for (auto byte : b) {
+        std::snprintf(buf, sizeof(buf), "%02x", byte);
+        s += buf;
+    }
+    return s;
+}
+
+TEST(Aes128, Fips197AppendixB)
+{
+    Aes128 aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Block128 out;
+    aes.encryptBlock(fromHex("3243f6a8885a308d313198a2e0370734"), out);
+    EXPECT_EQ(toHex(out), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Fips197AppendixC1)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Block128 out;
+    aes.encryptBlock(fromHex("00112233445566778899aabbccddeeff"), out);
+    EXPECT_EQ(toHex(out), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+/** NIST AESAVS GFSbox vectors (key = 0). */
+struct GfsboxCase
+{
+    const char *pt;
+    const char *ct;
+};
+
+class AesGfsbox : public ::testing::TestWithParam<GfsboxCase>
+{};
+
+TEST_P(AesGfsbox, MatchesVector)
+{
+    Aes128 aes(fromHex("00000000000000000000000000000000"));
+    Block128 out;
+    aes.encryptBlock(fromHex(GetParam().pt), out);
+    EXPECT_EQ(toHex(out), GetParam().ct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aesavs, AesGfsbox,
+    ::testing::Values(
+        GfsboxCase{"f34481ec3cc627bacd5dc3fb08f273e6",
+                   "0336763e966d92595a567cc9ce537f5e"},
+        GfsboxCase{"9798c4640bad75c7c3227db910174e72",
+                   "a9a1631bf4996954ebc093957b234589"},
+        GfsboxCase{"96ab5c2ff612d9dfaae8c31f30c42168",
+                   "ff4f8391a6a40ca5b25d23bedd44a597"},
+        GfsboxCase{"6a118a874519e64e9963798a503f1d35",
+                   "dc43be40be0e53712f7e2bf5ca707209"},
+        GfsboxCase{"cb9fceec81286ca3e989bd979b0cb284",
+                   "92beedab1895a94faa69b632e5cc47ce"},
+        GfsboxCase{"b26aeb1874e47ca8358ff22378f09144",
+                   "459264f4798f6a78bacb89c15ed3d601"},
+        GfsboxCase{"58c8e00b2631686d54eab84b91f0aca1",
+                   "08a4e2efec8a8e3312ca7460b9040bbf"}));
+
+/** NIST AESAVS VarKey first/last vectors (plaintext = 0). */
+TEST(Aes128, AesavsVarKey)
+{
+    {
+        Aes128 aes(fromHex("80000000000000000000000000000000"));
+        Block128 out;
+        aes.encryptBlock(fromHex("00000000000000000000000000000000"),
+                         out);
+        EXPECT_EQ(toHex(out), "0edd33d3c621e546455bd8ba1418bec8");
+    }
+    {
+        Aes128 aes(fromHex("ffffffffffffffffffffffffffffffff"));
+        Block128 out;
+        aes.encryptBlock(fromHex("00000000000000000000000000000000"),
+                         out);
+        EXPECT_EQ(toHex(out), "a1f6258c877d5fcd8964484538bfc92c");
+    }
+}
+
+TEST(Aes256, Fips197AppendixC3)
+{
+    Aes256::Key key{};
+    for (unsigned i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    Aes256 aes(key);
+    Block128 out;
+    aes.encryptBlock(fromHex("00112233445566778899aabbccddeeff"), out);
+    EXPECT_EQ(toHex(out), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256, DiffersFromAes128UnderSharedPrefix)
+{
+    Aes128::Key k128{};
+    Aes256::Key k256{}; // first 16 bytes equal (all zero)
+    Aes128 a(k128);
+    Aes256 b(k256);
+    Block128 pt = fromHex("00112233445566778899aabbccddeeff");
+    Block128 oa, ob;
+    a.encryptBlock(pt, oa);
+    b.encryptBlock(pt, ob);
+    EXPECT_NE(toHex(oa), toHex(ob));
+}
+
+TEST(Aes256, WorksBehindBlockCipherInterface)
+{
+    Aes256::Key key{0x42};
+    Aes256 aes(key);
+    const BlockCipher &cipher = aes;
+    Block128 a, b;
+    cipher.encryptBlock(Block128{}, a);
+    cipher.encryptBlock(Block128{1}, b);
+    EXPECT_NE(toHex(a), toHex(b));
+}
+
+TEST(Aes128, RekeyingChangesOutput)
+{
+    Aes128 aes(fromHex("00000000000000000000000000000000"));
+    Block128 a, b;
+    const Block128 pt = fromHex("000102030405060708090a0b0c0d0e0f");
+    aes.encryptBlock(pt, a);
+    aes.setKey(fromHex("00000000000000000000000000000001"));
+    aes.encryptBlock(pt, b);
+    EXPECT_NE(toHex(a), toHex(b));
+}
+
+TEST(Aes128, InPlaceEncryptionAliases)
+{
+    Aes128 aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Block128 buf = fromHex("3243f6a8885a308d313198a2e0370734");
+    aes.encryptBlock(buf, buf);
+    EXPECT_EQ(toHex(buf), "3925841d02dc09fbdc118597196a0b32");
+}
+
+} // namespace
+} // namespace secndp

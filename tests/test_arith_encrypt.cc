@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for arithmetic encryption (Alg. 1): roundtrip, the share
+ * property C + E = P, and ciphertext hygiene.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "secndp/arith_encrypt.hh"
+
+namespace secndp {
+namespace {
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t m, ElemWidth w,
+             std::uint64_t base)
+{
+    Matrix mat(n, m, w, base);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            mat.set(i, j, rng.next());
+    return mat;
+}
+
+struct ShapeCase
+{
+    std::size_t rows, cols;
+    ElemWidth we;
+};
+
+class ArithEncryptShapes : public ::testing::TestWithParam<ShapeCase>
+{
+  protected:
+    Aes128 aes{Aes128::Key{0xde, 0xad, 0xbe, 0xef}};
+    CounterModeEncryptor enc{aes};
+    Rng rng{99};
+};
+
+TEST_P(ArithEncryptShapes, DecryptInvertsEncrypt)
+{
+    const auto [n, m, w] = GetParam();
+    const Matrix plain = randomMatrix(rng, n, m, w, 0x4000);
+    const Matrix cipher = arithEncrypt(enc, plain, 17);
+    const Matrix back = arithDecrypt(enc, cipher, 17);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            EXPECT_EQ(back.get(i, j), plain.get(i, j));
+}
+
+TEST_P(ArithEncryptShapes, SharesSumToPlaintext)
+{
+    const auto [n, m, w] = GetParam();
+    const Matrix plain = randomMatrix(rng, n, m, w, 0x8000);
+    const std::uint64_t version = 23;
+    const Matrix cipher = arithEncrypt(enc, plain, version);
+    const std::uint64_t mask = elemMask(w);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::uint64_t e = otpShare(enc, plain, i, j, version);
+            EXPECT_EQ((cipher.get(i, j) + e) & mask, plain.get(i, j))
+                << "element (" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST_P(ArithEncryptShapes, WrongVersionDoesNotDecrypt)
+{
+    const auto [n, m, w] = GetParam();
+    const Matrix plain = randomMatrix(rng, n, m, w, 0);
+    const Matrix cipher = arithEncrypt(enc, plain, 1);
+    const Matrix wrong = arithDecrypt(enc, cipher, 2);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            mismatches += (wrong.get(i, j) != plain.get(i, j));
+    // Overwhelmingly the pads differ everywhere.
+    EXPECT_GT(mismatches, n * m / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ArithEncryptShapes,
+    ::testing::Values(ShapeCase{1, 16, ElemWidth::W8},
+                      ShapeCase{4, 32, ElemWidth::W8},
+                      ShapeCase{3, 8, ElemWidth::W16},
+                      ShapeCase{8, 32, ElemWidth::W32},
+                      ShapeCase{2, 4, ElemWidth::W32},
+                      ShapeCase{5, 2, ElemWidth::W64},
+                      ShapeCase{1, 1, ElemWidth::W32},
+                      ShapeCase{7, 3, ElemWidth::W16}));
+
+TEST(ArithEncrypt, CiphertextDiffersFromPlaintext)
+{
+    Aes128 aes{Aes128::Key{1}};
+    CounterModeEncryptor enc{aes};
+    Matrix plain(4, 16, ElemWidth::W32, 0);
+    // All-zero plaintext: ciphertext must be (minus) the pads, i.e.
+    // effectively random, not zero.
+    const Matrix cipher = arithEncrypt(enc, plain, 5);
+    std::size_t nonzero = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            nonzero += (cipher.get(i, j) != 0);
+    EXPECT_GT(nonzero, 56u);
+}
+
+TEST(ArithEncrypt, SameDataDifferentVersionsDifferentCiphertext)
+{
+    Aes128 aes{Aes128::Key{1}};
+    CounterModeEncryptor enc{aes};
+    Rng rng(3);
+    const Matrix plain = randomMatrix(rng, 2, 16, ElemWidth::W32, 0);
+    const Matrix c1 = arithEncrypt(enc, plain, 1);
+    const Matrix c2 = arithEncrypt(enc, plain, 2);
+    EXPECT_NE(c1.buffer(), c2.buffer());
+}
+
+TEST(ArithEncrypt, GeometryPreserved)
+{
+    Aes128 aes{Aes128::Key{1}};
+    CounterModeEncryptor enc{aes};
+    Matrix plain(3, 5, ElemWidth::W16, 0x100);
+    const Matrix cipher = arithEncrypt(enc, plain, 1);
+    EXPECT_EQ(cipher.geometry(), plain.geometry());
+}
+
+} // namespace
+} // namespace secndp

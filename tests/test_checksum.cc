@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the linear checksum (Alg. 2), encrypted tags (Alg. 3) and
+ * the multi-secret construction (Alg. 8): linearity is the property
+ * the whole verification scheme rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "secndp/checksum.hh"
+
+namespace secndp {
+namespace {
+
+class ChecksumTest : public ::testing::Test
+{
+  protected:
+    Aes128 aes{Aes128::Key{7, 7, 7}};
+    CounterModeEncryptor enc{aes};
+    Rng rng{123};
+
+    Matrix
+    randomMatrix(std::size_t n, std::size_t m, ElemWidth w,
+                 std::uint64_t base = 0)
+    {
+        Matrix mat(n, m, w, base);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < m; ++j)
+                mat.set(i, j, rng.next());
+        return mat;
+    }
+};
+
+TEST_F(ChecksumTest, MatchesNaivePolynomial)
+{
+    const Matrix mat = randomMatrix(2, 7, ElemWidth::W32);
+    const Fq127 s = enc.checksumSecret(0, 1);
+    // T = sum_j P_j * s^(m-j), m = 7, exponents 7..1.
+    Fq127 expect(0);
+    for (std::size_t j = 0; j < 7; ++j)
+        expect += Fq127(mat.get(0, j)) * s.pow(7 - j);
+    EXPECT_EQ(linearChecksum(mat, 0, s), expect);
+}
+
+TEST_F(ChecksumTest, VectorAndMatrixFormsAgree)
+{
+    const Matrix mat = randomMatrix(3, 9, ElemWidth::W16);
+    const Fq127 s = enc.checksumSecret(0, 1);
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::vector<std::uint64_t> row(9);
+        for (std::size_t j = 0; j < 9; ++j)
+            row[j] = mat.get(i, j);
+        EXPECT_EQ(linearChecksum(row, s), linearChecksum(mat, i, s));
+    }
+}
+
+TEST_F(ChecksumTest, LinearInWeights)
+{
+    // h(a0*P0 + a1*P1) = a0*h(P0) + a1*h(P1) when sums don't wrap.
+    const std::size_t m = 8;
+    Matrix mat(2, m, ElemWidth::W64, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+        mat.set(0, j, rng.nextBounded(1 << 20));
+        mat.set(1, j, rng.nextBounded(1 << 20));
+    }
+    const Fq127 s = enc.checksumSecret(0, 1);
+    const std::uint64_t a0 = 3, a1 = 11;
+
+    std::vector<std::uint64_t> combo(m);
+    for (std::size_t j = 0; j < m; ++j)
+        combo[j] = a0 * mat.get(0, j) + a1 * mat.get(1, j);
+
+    const Fq127 lhs = linearChecksum(combo, s);
+    const Fq127 rhs = Fq127(a0) * linearChecksum(mat, 0, s) +
+                      Fq127(a1) * linearChecksum(mat, 1, s);
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(ChecksumTest, SensitiveToEveryPosition)
+{
+    const std::size_t m = 16;
+    Matrix mat = randomMatrix(1, m, ElemWidth::W32);
+    const Fq127 s = enc.checksumSecret(0, 1);
+    const Fq127 base = linearChecksum(mat, 0, s);
+    for (std::size_t j = 0; j < m; ++j) {
+        Matrix tweaked = mat;
+        tweaked.set(0, j, mat.get(0, j) ^ 1);
+        EXPECT_NE(linearChecksum(tweaked, 0, s), base)
+            << "position " << j;
+    }
+}
+
+TEST_F(ChecksumTest, SensitiveToPermutation)
+{
+    Matrix mat(1, 4, ElemWidth::W32, 0);
+    mat.set(0, 0, 1);
+    mat.set(0, 1, 2);
+    mat.set(0, 2, 3);
+    mat.set(0, 3, 4);
+    Matrix swapped = mat;
+    swapped.set(0, 0, 2);
+    swapped.set(0, 1, 1);
+    const Fq127 s = enc.checksumSecret(0, 1);
+    EXPECT_NE(linearChecksum(mat, 0, s), linearChecksum(swapped, 0, s));
+}
+
+TEST_F(ChecksumTest, MultiSecretWithOnePointEqualsAlg2)
+{
+    const Matrix mat = randomMatrix(1, 12, ElemWidth::W32);
+    const auto secrets = deriveChecksumSecrets(enc, 0, 1, 1);
+    ASSERT_EQ(secrets.size(), 1u);
+    EXPECT_EQ(multiSecretChecksum(mat, 0, secrets),
+              linearChecksum(mat, 0, secrets[0]));
+}
+
+TEST_F(ChecksumTest, MultiSecretLinearity)
+{
+    const std::size_t m = 8;
+    Matrix mat(2, m, ElemWidth::W64, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+        mat.set(0, j, rng.nextBounded(1 << 20));
+        mat.set(1, j, rng.nextBounded(1 << 20));
+    }
+    const auto secrets = deriveChecksumSecrets(enc, 0, 1, 4);
+    const std::uint64_t a0 = 5, a1 = 9;
+    std::vector<std::uint64_t> combo(m);
+    for (std::size_t j = 0; j < m; ++j)
+        combo[j] = a0 * mat.get(0, j) + a1 * mat.get(1, j);
+    EXPECT_EQ(multiSecretChecksum(combo, secrets),
+              Fq127(a0) * multiSecretChecksum(mat, 0, secrets) +
+                  Fq127(a1) * multiSecretChecksum(mat, 1, secrets));
+}
+
+TEST_F(ChecksumTest, MultiSecretPointsDistinct)
+{
+    const auto secrets = deriveChecksumSecrets(enc, 0x40, 1, 4);
+    for (std::size_t i = 0; i < secrets.size(); ++i)
+        for (std::size_t j = i + 1; j < secrets.size(); ++j)
+            EXPECT_NE(secrets[i], secrets[j]);
+}
+
+TEST_F(ChecksumTest, MultiSecretMatchesDirectFormula)
+{
+    // Cross-check the incremental-powers implementation against the
+    // literal Appendix D formula T = sum_j P_j * s_{(m-j) mod c}^
+    // floor((m-j)/c).
+    const std::size_t m = 23; // deliberately not a multiple of cnt_s
+    const Matrix mat = randomMatrix(1, m, ElemWidth::W32);
+    for (unsigned cnt_s : {2u, 3u, 5u}) {
+        const auto secrets = deriveChecksumSecrets(enc, 0, 1, cnt_s);
+        Fq127 expect(0);
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t e = m - j;
+            expect += Fq127(mat.get(0, j)) *
+                      secrets[e % cnt_s].pow(e / cnt_s);
+        }
+        EXPECT_EQ(multiSecretChecksum(mat, 0, secrets), expect)
+            << "cnt_s=" << cnt_s;
+    }
+}
+
+TEST_F(ChecksumTest, EncryptedTagsWithCntSRoundtrip)
+{
+    const Matrix mat = randomMatrix(4, 8, ElemWidth::W32, 0x3000);
+    const std::uint64_t version = 6;
+    const unsigned cnt_s = 3;
+    const auto tags = encryptedTags(enc, mat, version, cnt_s);
+    const auto secrets =
+        deriveChecksumSecrets(enc, mat.baseAddr(), version, cnt_s);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(decryptTag(enc, tags[i], mat.rowAddr(i), version),
+                  multiSecretChecksum(mat, i, secrets));
+    }
+}
+
+TEST_F(ChecksumTest, EncryptedTagsRoundtrip)
+{
+    const Matrix mat = randomMatrix(5, 8, ElemWidth::W32, 0x1000);
+    const std::uint64_t version = 4;
+    const auto tags = encryptedTags(enc, mat, version);
+    ASSERT_EQ(tags.size(), 5u);
+    const Fq127 s = enc.checksumSecret(mat.baseAddr(), version);
+    for (std::size_t i = 0; i < 5; ++i) {
+        const Fq127 t =
+            decryptTag(enc, tags[i], mat.rowAddr(i), version);
+        EXPECT_EQ(t, linearChecksum(mat, i, s));
+    }
+}
+
+TEST_F(ChecksumTest, TagsHideChecksums)
+{
+    // Rows with identical contents get different encrypted tags
+    // (address-bound pads), so tags leak no equality information.
+    Matrix mat(2, 8, ElemWidth::W32, 0x2000);
+    for (std::size_t j = 0; j < 8; ++j) {
+        mat.set(0, j, j + 1);
+        mat.set(1, j, j + 1);
+    }
+    const auto tags = encryptedTags(enc, mat, 9);
+    EXPECT_NE(tags[0], tags[1]);
+}
+
+TEST_F(ChecksumTest, EmptySecretsDies)
+{
+    const Matrix mat = randomMatrix(1, 4, ElemWidth::W32);
+    EXPECT_DEATH(multiSecretChecksum(mat, 0, {}), "secret");
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG, fixed point, bit utilities,
+ * stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace secndp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+    Rng a2(42);
+    EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(2);
+    std::map<std::uint64_t, int> hits;
+    for (int i = 0; i < 4000; ++i)
+        ++hits[rng.nextBounded(8)];
+    EXPECT_EQ(hits.size(), 8u);
+    for (const auto &kv : hits)
+        EXPECT_GT(kv.second, 300); // ~500 expected
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng rng(6);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextZipf(1000, 1.2);
+        EXPECT_LT(v, 1000u);
+        if (v < 10)
+            ++low;
+        if (v >= 500)
+            ++high;
+    }
+    EXPECT_GT(low, high * 2);
+}
+
+TEST(Rng, ZipfZeroAlphaIsUniformish)
+{
+    Rng rng(7);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.nextZipf(100, 0.0) < 50)
+            ++low;
+    EXPECT_NEAR(static_cast<double>(low), 5000.0, 500.0);
+}
+
+TEST(Rng, SampleDistinctIsDistinct)
+{
+    Rng rng(8);
+    for (std::size_t k : {1u, 10u, 100u}) {
+        auto v = rng.sampleDistinct(100, k);
+        EXPECT_EQ(v.size(), k);
+        std::sort(v.begin(), v.end());
+        EXPECT_EQ(std::unique(v.begin(), v.end()), v.end());
+        for (auto x : v)
+            EXPECT_LT(x, 100u);
+    }
+}
+
+TEST(FixedPoint, RoundtripExactValues)
+{
+    FixedPointFormat fmt{32, 16};
+    for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 123.75}) {
+        EXPECT_DOUBLE_EQ(fromFixed(toFixed(v, fmt), fmt), v);
+    }
+}
+
+TEST(FixedPoint, QuantizationErrorBounded)
+{
+    FixedPointFormat fmt{32, 16};
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = (rng.nextDouble() - 0.5) * 100.0;
+        const double q = fromFixed(toFixed(v, fmt), fmt);
+        EXPECT_NEAR(q, v, 1.0 / fmt.scale());
+    }
+}
+
+TEST(FixedPoint, Saturates)
+{
+    FixedPointFormat fmt{16, 8};
+    EXPECT_EQ(toFixed(1e9, fmt), fmt.maxRaw());
+    EXPECT_EQ(toFixed(-1e9, fmt), fmt.minRaw());
+}
+
+TEST(FixedPoint, RingEncodingTwosComplement)
+{
+    EXPECT_EQ(toRing(-1, 8), 0xffu);
+    EXPECT_EQ(toRing(-1, 32), 0xffffffffu);
+    EXPECT_EQ(fromRing(0xffu, 8), -1);
+    EXPECT_EQ(fromRing(0x7fu, 8), 127);
+    EXPECT_EQ(fromRing(0x80u, 8), -128);
+    for (std::int64_t v : {-1000L, -1L, 0L, 1L, 1000L})
+        EXPECT_EQ(fromRing(toRing(v, 16), 16), v);
+}
+
+TEST(BitUtil, Masks)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(BitUtil, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+TEST(BitUtil, DivCeilRoundUpSlice)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(roundUp(10, 16), 16u);
+    EXPECT_EQ(roundUp(16, 16), 16u);
+    EXPECT_EQ(bitSlice(0xabcd, 4, 12), 0xbcu);
+}
+
+TEST(Stats, CountersAndScalars)
+{
+    StatGroup g("dram");
+    g.counter("reads") += 3;
+    g.counter("reads") += 2;
+    g.scalar("bw_gbps") = 19.2;
+    EXPECT_EQ(g.counterValue("reads"), 5u);
+    EXPECT_DOUBLE_EQ(g.scalarValue("bw_gbps"), 19.2);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup g("x");
+    auto &d = g.distribution("lat");
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 3.0);
+}
+
+TEST(Stats, ResetZeroes)
+{
+    StatGroup g("x");
+    g.counter("a") = 7;
+    g.distribution("d").sample(5);
+    g.reset();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+TEST(Stats, SamplesPercentiles)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_NEAR(s.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(0.95), 95.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Stats, SamplesEdgeCases)
+{
+    Samples empty;
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_EQ(empty.mean(), 0.0);
+    Samples one;
+    one.add(7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.99), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(-1.0), 7.0); // clamped
+}
+
+TEST(Stats, SamplesUnsortedInput)
+{
+    Samples s;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("grp");
+    g.counter("n") = 2;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.n 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the tweaked counter-mode systems E_00/E_01/E_10.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes.hh"
+#include "crypto/counter_mode.hh"
+
+namespace secndp {
+namespace {
+
+class CounterModeTest : public ::testing::Test
+{
+  protected:
+    Aes128 aes{Aes128::Key{1, 2, 3, 4, 5, 6, 7, 8,
+                           9, 10, 11, 12, 13, 14, 15, 16}};
+    CounterModeEncryptor enc{aes};
+};
+
+TEST_F(CounterModeTest, CounterBlockLayout)
+{
+    const Block128 b =
+        buildCounterBlock(TweakDomain::Tag, 0x123456, 0xAABB);
+    EXPECT_EQ(b[0], 0b10);
+    EXPECT_EQ(b[1], 0x56);
+    EXPECT_EQ(b[2], 0x34);
+    EXPECT_EQ(b[3], 0x12);
+    EXPECT_EQ(b[8], 0xBB);
+    EXPECT_EQ(b[9], 0xAA);
+    EXPECT_EQ(b[15], 0x00);
+}
+
+TEST_F(CounterModeTest, CounterBlockInjective)
+{
+    const auto a = buildCounterBlock(TweakDomain::Data, 16, 1);
+    const auto b = buildCounterBlock(TweakDomain::Data, 32, 1);
+    const auto c = buildCounterBlock(TweakDomain::Data, 16, 2);
+    const auto d = buildCounterBlock(TweakDomain::Tag, 16, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST_F(CounterModeTest, OtpDeterministic)
+{
+    EXPECT_EQ(enc.otpBlock(64, 7), enc.otpBlock(64, 7));
+    EXPECT_NE(enc.otpBlock(64, 7), enc.otpBlock(64, 8));
+    EXPECT_NE(enc.otpBlock(64, 7), enc.otpBlock(80, 7));
+}
+
+TEST_F(CounterModeTest, UnalignedBlockAddressDies)
+{
+    EXPECT_DEATH(enc.otpBlock(7, 0), "aligned");
+}
+
+TEST_F(CounterModeTest, ElementSliceMatchesBlock)
+{
+    const std::uint64_t version = 3;
+    const Block128 block = enc.otpBlock(0x100, version);
+    // Every 32-bit element inside the chunk equals the matching slice.
+    for (unsigned j = 0; j < 4; ++j) {
+        std::uint32_t expect;
+        std::memcpy(&expect, block.data() + 4 * j, 4);
+        EXPECT_EQ(enc.otpElement(0x100 + 4 * j, ElemWidth::W32, version),
+                  expect);
+    }
+}
+
+TEST_F(CounterModeTest, ElementWidthsSliceConsistently)
+{
+    const std::uint64_t version = 9;
+    // Two 8-bit pads concatenated = one 16-bit pad (little endian).
+    const auto b0 = enc.otpElement(0x200, ElemWidth::W8, version);
+    const auto b1 = enc.otpElement(0x201, ElemWidth::W8, version);
+    const auto h = enc.otpElement(0x200, ElemWidth::W16, version);
+    EXPECT_EQ(h, (b1 << 8) | b0);
+}
+
+TEST_F(CounterModeTest, OtpFillMatchesBlocks)
+{
+    std::vector<std::uint8_t> out(40); // 2.5 blocks
+    enc.otpFill(0x300, 5, out);
+    const Block128 b0 = enc.otpBlock(0x300, 5);
+    const Block128 b1 = enc.otpBlock(0x310, 5);
+    const Block128 b2 = enc.otpBlock(0x320, 5);
+    EXPECT_TRUE(std::equal(out.begin(), out.begin() + 16, b0.begin()));
+    EXPECT_TRUE(std::equal(out.begin() + 16, out.begin() + 32,
+                           b1.begin()));
+    EXPECT_TRUE(std::equal(out.begin() + 32, out.end(), b2.begin()));
+}
+
+TEST_F(CounterModeTest, DomainSeparation)
+{
+    // Same (addr, version) in different domains must give unrelated
+    // pads; in particular the checksum secret and the tag pad differ.
+    const Fq127 s = enc.checksumSecret(0x400, 1);
+    const Fq127 t = enc.tagOtp(0x400, 1);
+    EXPECT_NE(s, t);
+
+    const Block128 data_pad = enc.otpBlock(0x400, 1);
+    std::uint64_t lo, hi;
+    std::memcpy(&lo, data_pad.data(), 8);
+    std::memcpy(&hi, data_pad.data() + 8, 8);
+    EXPECT_NE(s, Fq127::fromHalves(lo, hi & 0x7fffffffffffffffULL));
+}
+
+TEST_F(CounterModeTest, FieldOutputsReduced)
+{
+    for (std::uint64_t addr = 0; addr < 64 * 16; addr += 16) {
+        EXPECT_LT(enc.checksumSecret(addr, 1).raw(), Fq127::modulus());
+        EXPECT_LT(enc.tagOtp(addr, 1).raw(), Fq127::modulus());
+    }
+}
+
+TEST_F(CounterModeTest, KeyedOutputsDiffer)
+{
+    Aes128 other{Aes128::Key{}};
+    CounterModeEncryptor enc2{other};
+    EXPECT_NE(enc.otpBlock(16, 1), enc2.otpBlock(16, 1));
+    EXPECT_NE(enc.checksumSecret(16, 1), enc2.checksumSecret(16, 1));
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the synthetic CTR accuracy model (Table IV machinery),
+ * using a downscaled configuration for test speed; the full-size
+ * evaluation lives in bench/bench_table4_accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/ctr_model.hh"
+
+namespace secndp {
+namespace {
+
+CtrModelConfig
+smallCfg()
+{
+    CtrModelConfig cfg;
+    cfg.numTables = 4;
+    cfg.rowsPerTable = 200;
+    cfg.dim = 16;
+    cfg.pf = 12;
+    cfg.numSamples = 12000;
+    return cfg;
+}
+
+TEST(CtrModel, BaseLogLossReasonable)
+{
+    const double ll = evalCtrLogLoss(smallCfg(), NumericFormat::Fp32);
+    // Calibrated labels: LogLoss sits between "random" (0.693) and
+    // strongly separable; paper's production model reports 0.640.
+    EXPECT_GT(ll, 0.4);
+    EXPECT_LT(ll, 0.70);
+}
+
+TEST(CtrModel, Fixed32IsVirtuallyLossless)
+{
+    const auto cfg = smallCfg();
+    const double fp = evalCtrLogLoss(cfg, NumericFormat::Fp32);
+    const double fx = evalCtrLogLoss(cfg, NumericFormat::Fixed32);
+    EXPECT_NEAR(fx, fp, 1e-5);
+}
+
+TEST(CtrModel, QuantizationDegradesSlightly)
+{
+    const auto cfg = smallCfg();
+    const double fp = evalCtrLogLoss(cfg, NumericFormat::Fp32);
+    const double tw =
+        evalCtrLogLoss(cfg, NumericFormat::Int8TableWise);
+    const double cw =
+        evalCtrLogLoss(cfg, NumericFormat::Int8ColumnWise);
+    // Degradations exist but stay well below 1% (paper: <= 0.07%).
+    EXPECT_GT(tw, fp - 1e-6);
+    EXPECT_LT((tw - fp) / fp, 0.01);
+    EXPECT_LT((cw - fp) / fp, 0.01);
+}
+
+TEST(CtrModel, ColumnWiseBeatsTableWise)
+{
+    const auto cfg = smallCfg();
+    const double fp = evalCtrLogLoss(cfg, NumericFormat::Fp32);
+    const double tw =
+        evalCtrLogLoss(cfg, NumericFormat::Int8TableWise);
+    const double cw =
+        evalCtrLogLoss(cfg, NumericFormat::Int8ColumnWise);
+    // Column-wise degradation is smaller (paper: 0.02% vs 0.07%).
+    EXPECT_LE(cw - fp, tw - fp + 1e-9);
+}
+
+TEST(CtrModel, DeterministicPerSeed)
+{
+    const auto cfg = smallCfg();
+    EXPECT_DOUBLE_EQ(evalCtrLogLoss(cfg, NumericFormat::Fp32),
+                     evalCtrLogLoss(cfg, NumericFormat::Fp32));
+}
+
+TEST(CtrModel, FormatNames)
+{
+    EXPECT_STREQ(numericFormatName(NumericFormat::Fp32),
+                 "32-bit floating point");
+    EXPECT_STREQ(numericFormatName(NumericFormat::Int8ColumnWise),
+                 "column-wise quantization (8-bit)");
+}
+
+} // namespace
+} // namespace secndp

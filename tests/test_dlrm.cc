@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for DLRM/SLS workload generation (Table I configs, trace
+ * shapes, quantization layouts, tag layouts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/dlrm.hh"
+
+namespace secndp {
+namespace {
+
+TEST(DlrmConfig, TableIPresets)
+{
+    const auto r1s = rmc1Small();
+    EXPECT_EQ(r1s.numTables, 8u);
+    EXPECT_EQ(r1s.totalEmbBytes, 1ULL << 30);
+    const auto r1l = rmc1Large();
+    EXPECT_EQ(r1l.numTables, 12u);
+    EXPECT_EQ(r1l.totalEmbBytes, 3ULL << 29); // 1.5 GB
+    const auto r2s = rmc2Small();
+    EXPECT_EQ(r2s.numTables, 24u);
+    EXPECT_EQ(r2s.totalEmbBytes, 3ULL << 30);
+    const auto r2l = rmc2Large();
+    EXPECT_EQ(r2l.numTables, 64u);
+    EXPECT_EQ(r2l.totalEmbBytes, 8ULL << 30);
+    // RMC2's larger top MLP costs more compute.
+    EXPECT_GT(r2s.fcMacsPerSample, r1s.fcMacsPerSample);
+}
+
+TEST(DlrmRowBytes, MatchesPaper)
+{
+    const auto model = rmc1Small();
+    // fp32: 32 x 4 B = 128 B = 2 cache lines.
+    EXPECT_EQ(slsRowBytes(model, QuantScheme::None), 128u);
+    // row-wise int8: 32 B + 8 B scale/bias ("~0.5 cache line").
+    EXPECT_EQ(slsRowBytes(model, QuantScheme::RowWise), 40u);
+    // col/table-wise: bare 32 B.
+    EXPECT_EQ(slsRowBytes(model, QuantScheme::ColumnWise), 32u);
+    EXPECT_EQ(slsRowBytes(model, QuantScheme::TableWise), 32u);
+}
+
+TEST(DlrmTrace, QueryCountAndShape)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 4;
+    cfg.pf = 10;
+    const auto model = rmc1Small();
+    const auto trace = buildSlsTrace(model, cfg);
+    ASSERT_EQ(trace.queries.size(), 4u * model.numTables);
+    for (const auto &q : trace.queries) {
+        EXPECT_EQ(q.ranges.size(), 10u);
+        for (const auto &r : q.ranges)
+            EXPECT_EQ(r.bytes, 128u);
+        EXPECT_EQ(q.engineWork.dataOtpBlocks, 10u * 8);
+        EXPECT_EQ(q.engineWork.otpPuOps, 10u * 32);
+        EXPECT_EQ(q.engineWork.tagOtpBlocks, 0u);
+        EXPECT_EQ(q.resultBytes, 128u);
+    }
+}
+
+TEST(DlrmTrace, QuantizationShrinksRows)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 2;
+    cfg.pf = 8;
+    cfg.quant = QuantScheme::TableWise;
+    const auto trace = buildSlsTrace(rmc1Small(), cfg);
+    for (const auto &q : trace.queries) {
+        for (const auto &r : q.ranges)
+            EXPECT_EQ(r.bytes, 32u);
+        // 32 B rows need 2 AES blocks each, vs 8 for fp32.
+        EXPECT_EQ(q.engineWork.dataOtpBlocks, 8u * 2);
+    }
+}
+
+TEST(DlrmTrace, ColocAppendsTagToRow)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 1;
+    cfg.pf = 6;
+    cfg.layout = VerLayout::Coloc;
+    const auto trace = buildSlsTrace(rmc1Small(), cfg);
+    for (const auto &q : trace.queries) {
+        EXPECT_EQ(q.ranges.size(), 6u);
+        for (const auto &r : q.ranges)
+            EXPECT_EQ(r.bytes, 128u + 16u);
+        EXPECT_EQ(q.engineWork.tagOtpBlocks, 6u + 1);
+        EXPECT_GT(q.engineWork.verifyOps, 0u);
+        EXPECT_EQ(q.resultBytes, 128u + 16u);
+    }
+}
+
+TEST(DlrmTrace, SepAddsTagRanges)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 1;
+    cfg.pf = 6;
+    cfg.layout = VerLayout::Sep;
+    const auto model = rmc1Small();
+    const auto trace = buildSlsTrace(model, cfg);
+    const std::uint64_t data_span =
+        model.numTables *
+        ((model.rowsPerTable(128) * 128 + 4095) / 4096) * 4096;
+    for (const auto &q : trace.queries) {
+        EXPECT_EQ(q.ranges.size(), 12u); // row + tag per lookup
+        for (std::size_t k = 0; k < q.ranges.size(); k += 2) {
+            EXPECT_EQ(q.ranges[k].bytes, 128u);
+            EXPECT_EQ(q.ranges[k + 1].bytes, 16u);
+            EXPECT_GE(q.ranges[k + 1].vaddr, data_span);
+        }
+    }
+}
+
+TEST(DlrmTrace, EccKeepsDataRangesOnly)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 1;
+    cfg.pf = 6;
+    cfg.layout = VerLayout::Ecc;
+    const auto trace = buildSlsTrace(rmc1Small(), cfg);
+    for (const auto &q : trace.queries) {
+        EXPECT_EQ(q.ranges.size(), 6u);
+        for (const auto &r : q.ranges)
+            EXPECT_EQ(r.bytes, 128u);
+        EXPECT_GT(q.engineWork.tagOtpBlocks, 0u); // still decrypts tags
+    }
+}
+
+TEST(DlrmTrace, ProductionPfInRange)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 8;
+    cfg.productionPf = true;
+    const auto trace = buildSlsTrace(rmc1Small(), cfg);
+    bool varied = false;
+    std::size_t first = trace.queries[0].ranges.size();
+    for (const auto &q : trace.queries) {
+        EXPECT_GE(q.ranges.size(), 50u);
+        EXPECT_LE(q.ranges.size(), 100u);
+        varied |= (q.ranges.size() != first);
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(DlrmTrace, ZipfSkewConcentratesRows)
+{
+    SlsTraceConfig uniform, skewed;
+    uniform.batch = skewed.batch = 8;
+    uniform.pf = skewed.pf = 40;
+    skewed.zipfAlpha = 1.2;
+    const auto model = rmc1Small();
+    auto spread = [&](const WorkloadTrace &t) {
+        std::uint64_t lo = 0, total = 0;
+        for (const auto &q : t.queries) {
+            for (const auto &r : q.ranges) {
+                ++total;
+                if (r.vaddr % (model.totalEmbBytes / model.numTables) <
+                    (model.totalEmbBytes / model.numTables) / 100)
+                    ++lo;
+            }
+        }
+        return static_cast<double>(lo) / total;
+    };
+    EXPECT_GT(spread(buildSlsTrace(model, skewed)),
+              5 * spread(buildSlsTrace(model, uniform)) + 0.01);
+}
+
+TEST(DlrmTrace, DeterministicPerSeed)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 2;
+    const auto a = buildSlsTrace(rmc1Small(), cfg);
+    const auto b = buildSlsTrace(rmc1Small(), cfg);
+    ASSERT_EQ(a.queries.size(), b.queries.size());
+    for (std::size_t i = 0; i < a.queries.size(); ++i) {
+        ASSERT_EQ(a.queries[i].ranges.size(),
+                  b.queries[i].ranges.size());
+        for (std::size_t k = 0; k < a.queries[i].ranges.size(); ++k)
+            EXPECT_EQ(a.queries[i].ranges[k].vaddr,
+                      b.queries[i].ranges[k].vaddr);
+    }
+}
+
+TEST(DlrmTrace, UniquePagesCounted)
+{
+    SlsTraceConfig cfg;
+    cfg.batch = 4;
+    cfg.pf = 16;
+    const auto trace = buildSlsTrace(rmc1Small(), cfg);
+    const auto pages = uniquePagesTouched(trace);
+    EXPECT_GT(pages, 0u);
+    EXPECT_LE(pages, 4u * 8 * 16); // at most one page per lookup
+}
+
+TEST(DlrmVerEcc, CapacityRule)
+{
+    // 1 ECC byte per 8 data bytes: a 16 B tag needs >= 128 B rows.
+    EXPECT_TRUE(verEccFits(128));  // fp32 rows
+    EXPECT_TRUE(verEccFits(4096)); // analytics rows
+    EXPECT_FALSE(verEccFits(32));  // col/table-quantized rows
+    EXPECT_FALSE(verEccFits(40));  // row-quantized rows
+    EXPECT_FALSE(verEccFits(127));
+    EXPECT_TRUE(
+        verEccFits(slsRowBytes(rmc1Small(), QuantScheme::None)));
+    EXPECT_FALSE(
+        verEccFits(slsRowBytes(rmc1Small(), QuantScheme::RowWise)));
+}
+
+TEST(DlrmCompute, FcModelScalesWithBatch)
+{
+    const auto model = rmc2Small();
+    EXPECT_DOUBLE_EQ(fcComputeNs(model, 2), 2 * fcComputeNs(model, 1));
+    EXPECT_GT(fcComputeNs(rmc2Small(), 1), fcComputeNs(rmc1Small(), 1));
+}
+
+} // namespace
+} // namespace secndp

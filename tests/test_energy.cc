@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the energy/area model, including the Table V calibration
+ * identities documented in energy_model.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace secndp {
+namespace {
+
+TEST(Energy, CanonicalSlsPatternHitsPaperPerBit)
+{
+    // Random 128 B rows: ~1 ACT + 2 line bursts per row => the paper's
+    // 27.42 pJ/bit DIMM-core figure (within calibration tolerance).
+    const EnergyParams p;
+    const double per_bit = (p.actPj + 2 * p.rdLinePj) / 1024.0;
+    EXPECT_NEAR(per_bit, 27.42, 0.35);
+}
+
+TEST(Energy, AesAndOtpPerBitConstants)
+{
+    const EnergyParams p;
+    EXPECT_NEAR(p.aesBlockPj / 128.0, 0.5, 1e-9);  // AES pJ/bit
+    EXPECT_NEAR(p.otpMacPj / 32.0, 0.4, 1e-9);     // OTP PU pJ/bit
+    EXPECT_NEAR(p.ioPjPerBit, 7.3, 1e-9);          // CACTI-IO class
+}
+
+TEST(Energy, ComputeFromMetrics)
+{
+    EnergyParams p;
+    RunMetrics m;
+    m.acts = 10;
+    m.lines = 20;
+    m.ioBits = 1000;
+    m.aesBlocks = 5;
+    m.otpPuOps = 8;
+    m.verifyOps = 2;
+    const auto e = computeEnergy(p, m);
+    EXPECT_DOUBLE_EQ(e.dimmPj, 10 * p.actPj + 20 * p.rdLinePj);
+    EXPECT_DOUBLE_EQ(e.ioPj, 1000 * p.ioPjPerBit);
+    EXPECT_DOUBLE_EQ(e.enginePj, 5 * p.aesBlockPj + 8 * p.otpMacPj +
+                                     2 * p.verifyOpPj);
+    EXPECT_DOUBLE_EQ(e.totalPj(),
+                     e.dimmPj + e.ioPj + e.enginePj);
+}
+
+TEST(Energy, EccTagFactorScalesMemoryOnly)
+{
+    EnergyParams p;
+    RunMetrics m;
+    m.acts = 4;
+    m.lines = 8;
+    m.ioBits = 512;
+    m.aesBlocks = 3;
+    const auto base = computeEnergy(p, m);
+    const auto ecc = computeEnergy(p, m, 1.125);
+    EXPECT_DOUBLE_EQ(ecc.dimmPj, base.dimmPj * 1.125);
+    EXPECT_DOUBLE_EQ(ecc.ioPj, base.ioPj * 1.125);
+    EXPECT_DOUBLE_EQ(ecc.enginePj, base.enginePj);
+}
+
+TEST(Energy, PaperAreaFigure)
+{
+    // Section VII-C: 1.625 mm^2 at 45 nm with 10 AES engines.
+    const EnergyParams p;
+    EXPECT_NEAR(engineAreaMm2(p, 10, true), 1.625, 1e-9);
+    EXPECT_LT(engineAreaMm2(p, 10, false),
+              engineAreaMm2(p, 10, true));
+    EXPECT_NEAR(engineAreaMm2(p, 12, true) - engineAreaMm2(p, 10, true),
+                2 * p.aesAreaMm2, 1e-12);
+}
+
+TEST(Energy, NdpSavesIoEnergy)
+{
+    // The Table V mechanism: NDP moves PF x fewer bits across the
+    // DIMM interface.
+    EnergyParams p;
+    RunMetrics cpu, ndp;
+    cpu.acts = ndp.acts = 80;
+    cpu.lines = ndp.lines = 160;
+    cpu.ioBits = 160 * 512; // all lines cross
+    ndp.ioBits = 1024;      // one result vector
+    const auto e_cpu = computeEnergy(p, cpu);
+    const auto e_ndp = computeEnergy(p, ndp);
+    EXPECT_LT(e_ndp.totalPj(), e_cpu.totalPj());
+    // The saving should be roughly the paper's ~20% band for PF=80.
+    const double ratio = e_ndp.totalPj() / e_cpu.totalPj();
+    EXPECT_GT(ratio, 0.70);
+    EXPECT_LT(ratio, 0.90);
+}
+
+} // namespace
+} // namespace secndp

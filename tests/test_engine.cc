@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the SecNDP engine performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_model.hh"
+
+namespace secndp {
+namespace {
+
+std::vector<PacketTiming>
+uniformPackets(unsigned n, Cycle latency, Cycle gap)
+{
+    std::vector<PacketTiming> packets(n);
+    for (unsigned q = 0; q < n; ++q) {
+        packets[q].issued = q * gap;
+        packets[q].finished = q * gap + latency;
+        packets[q].lines = 16;
+    }
+    return packets;
+}
+
+std::vector<EngineWork>
+uniformWork(unsigned n, std::uint64_t blocks)
+{
+    std::vector<EngineWork> work(n);
+    for (auto &w : work) {
+        w.dataOtpBlocks = blocks;
+        w.otpPuOps = blocks * 4;
+    }
+    return work;
+}
+
+TEST(EngineModel, ThroughputMath)
+{
+    EngineConfig cfg;
+    cfg.nAesEngines = 1;
+    DramClock clock; // 1.2 GHz
+    // 111.3 Gbps at 0.8333 ns/cycle = 92.75 bits/cycle = 0.7246
+    // blocks/cycle.
+    EXPECT_NEAR(cfg.blocksPerCycle(clock), 111.3 / 1.2 / 128, 1e-9);
+}
+
+TEST(EngineModel, AmpleEnginesNeverDecryptBound)
+{
+    EngineConfig cfg;
+    cfg.nAesEngines = 64;
+    DramClock clock;
+    const auto ndp = uniformPackets(16, 200, 50);
+    const auto work = uniformWork(16, 40);
+    const auto res = overlayEngine(cfg, clock, ndp, work, false);
+    EXPECT_EQ(res.fractionDecryptBound, 0.0);
+    // Finish = NDP finish + adder only.
+    for (unsigned q = 0; q < 16; ++q)
+        EXPECT_EQ(res.finished[q], ndp[q].finished + cfg.adderCycles);
+}
+
+TEST(EngineModel, StarvedPoolIsDecryptBound)
+{
+    EngineConfig cfg;
+    cfg.nAesEngines = 1;
+    DramClock clock;
+    // Huge OTP work vs short NDP latency.
+    const auto ndp = uniformPackets(8, 50, 10);
+    const auto work = uniformWork(8, 2000);
+    const auto res = overlayEngine(cfg, clock, ndp, work, false);
+    EXPECT_EQ(res.fractionDecryptBound, 1.0);
+    EXPECT_GT(res.totalCycles, ndp.back().finished);
+}
+
+TEST(EngineModel, MoreEnginesMonotonicallyHelp)
+{
+    DramClock clock;
+    const auto ndp = uniformPackets(32, 120, 30);
+    const auto work = uniformWork(32, 120);
+    Cycle prev = 0;
+    double prev_frac = 1.1;
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u}) {
+        EngineConfig cfg;
+        cfg.nAesEngines = n;
+        const auto res = overlayEngine(cfg, clock, ndp, work, false);
+        if (prev > 0) {
+            EXPECT_LE(res.totalCycles, prev);
+            EXPECT_LE(res.fractionDecryptBound, prev_frac);
+        }
+        prev = res.totalCycles;
+        prev_frac = res.fractionDecryptBound;
+    }
+}
+
+TEST(EngineModel, VerifyAddsCheckLatencyAndCountsWork)
+{
+    EngineConfig cfg;
+    cfg.nAesEngines = 16;
+    DramClock clock;
+    const auto ndp = uniformPackets(4, 100, 100);
+    auto work = uniformWork(4, 10);
+    for (auto &w : work) {
+        w.tagOtpBlocks = 5;
+        w.verifyOps = 32;
+    }
+    const auto plain = overlayEngine(cfg, clock, ndp, work, false);
+    const auto ver = overlayEngine(cfg, clock, ndp, work, true);
+    for (unsigned q = 0; q < 4; ++q)
+        EXPECT_GE(ver.finished[q], plain.finished[q]);
+    EXPECT_EQ(ver.totalAesBlocks, 4u * 15u);
+    EXPECT_EQ(ver.totalVerifyOps, 4u * 32u);
+}
+
+TEST(EngineModel, PoolQueuesAcrossPackets)
+{
+    // Packets issued simultaneously share the pool FIFO: the second
+    // packet's OTP cannot start before the first's is done.
+    EngineConfig cfg;
+    cfg.nAesEngines = 1;
+    DramClock clock;
+    std::vector<PacketTiming> ndp(2);
+    ndp[0] = {0, 10, 4, 1};
+    ndp[1] = {0, 10, 4, 1};
+    std::vector<EngineWork> work(2);
+    work[0].dataOtpBlocks = 100;
+    work[1].dataOtpBlocks = 100;
+    const auto res = overlayEngine(cfg, clock, ndp, work, false);
+    const double bpc = cfg.blocksPerCycle(clock);
+    EXPECT_NEAR(static_cast<double>(res.finished[1]),
+                200 / bpc + cfg.adderCycles, 2.0);
+}
+
+TEST(EngineModel, MismatchedSizesDie)
+{
+    EngineConfig cfg;
+    DramClock clock;
+    const auto ndp = uniformPackets(2, 10, 10);
+    const auto work = uniformWork(3, 1);
+    EXPECT_DEATH(overlayEngine(cfg, clock, ndp, work, false),
+                 "mismatch");
+}
+
+TEST(EngineModel, TeeDecryptBoundByPoolOrMemory)
+{
+    EngineConfig cfg;
+    cfg.nAesEngines = 1;
+    DramClock clock;
+    // Memory-bound case.
+    EXPECT_EQ(teeDecryptFinish(cfg, clock, 10, 10000),
+              10000 + cfg.adderCycles);
+    // Decrypt-bound case: 10000 blocks at ~0.72 blocks/cycle.
+    const Cycle fin = teeDecryptFinish(cfg, clock, 10000, 100);
+    EXPECT_GT(fin, 13000);
+}
+
+} // namespace
+} // namespace secndp

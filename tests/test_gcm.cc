@@ -1,0 +1,207 @@
+/**
+ * @file
+ * AES-GCM tests: NIST SP 800-38D reference vectors, roundtrip and
+ * forgery-rejection properties, and GF(2^128) algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hh"
+#include "crypto/gcm.hh"
+
+namespace secndp {
+namespace {
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        unsigned v = 0;
+        std::sscanf(hex.c_str() + 2 * i, "%02x", &v);
+        out[i] = static_cast<std::uint8_t>(v);
+    }
+    return out;
+}
+
+std::string
+toHex(std::span<const std::uint8_t> bytes)
+{
+    std::string s;
+    char buf[3];
+    for (auto b : bytes) {
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        s += buf;
+    }
+    return s;
+}
+
+template <std::size_t N>
+std::array<std::uint8_t, N>
+arr(const std::string &hex)
+{
+    std::array<std::uint8_t, N> out{};
+    const auto v = fromHex(hex);
+    std::copy(v.begin(), v.end(), out.begin());
+    return out;
+}
+
+TEST(Gf128, XorAndZero)
+{
+    Block128 a{1, 2, 3}, b{1, 2, 3};
+    const Gf128 x = Gf128::fromBytes(a);
+    EXPECT_TRUE((x ^ Gf128::fromBytes(b)).isZero());
+    EXPECT_EQ(x.toBytes(), a);
+}
+
+TEST(Gf128, MultiplicationCommutesAndDistributes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        Block128 ba, bb, bc;
+        for (auto *blk : {&ba, &bb, &bc})
+            for (auto &byte : *blk)
+                byte = static_cast<std::uint8_t>(rng.next());
+        const Gf128 a = Gf128::fromBytes(ba);
+        const Gf128 b = Gf128::fromBytes(bb);
+        const Gf128 c = Gf128::fromBytes(bc);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b ^ c), (a * b) ^ (a * c));
+    }
+}
+
+TEST(Gf128, IdentityElement)
+{
+    // The multiplicative identity in GCM bit order is 0x80 000...0.
+    Block128 one{};
+    one[0] = 0x80;
+    Rng rng(6);
+    Block128 bx;
+    for (auto &b : bx)
+        b = static_cast<std::uint8_t>(rng.next());
+    const Gf128 x = Gf128::fromBytes(bx);
+    EXPECT_EQ(x * Gf128::fromBytes(one), x);
+}
+
+TEST(AesGcm, NistTestCase1EmptyPlaintext)
+{
+    AesGcm gcm(arr<16>("00000000000000000000000000000000"));
+    const auto iv = arr<12>("000000000000000000000000");
+    const auto sealed = gcm.seal(iv, {});
+    EXPECT_TRUE(sealed.ciphertext.empty());
+    EXPECT_EQ(toHex(sealed.tag), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistTestCase2OneZeroBlock)
+{
+    AesGcm gcm(arr<16>("00000000000000000000000000000000"));
+    const auto iv = arr<12>("000000000000000000000000");
+    const auto pt = fromHex("00000000000000000000000000000000");
+    const auto sealed = gcm.seal(iv, pt);
+    EXPECT_EQ(toHex(sealed.ciphertext),
+              "0388dace60b6a392f328c2b971b2fe78");
+    EXPECT_EQ(toHex(sealed.tag), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, NistTestCase3FourBlocks)
+{
+    AesGcm gcm(arr<16>("feffe9928665731c6d6a8f9467308308"));
+    const auto iv = arr<12>("cafebabefacedbaddecaf888");
+    const auto pt = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255");
+    const auto sealed = gcm.seal(iv, pt);
+    EXPECT_EQ(toHex(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49c"
+              "e3aa212f2c02a4e035c17e2329aca12e"
+              "21d514b25466931c7d8f6a5aac84aa05"
+              "1ba30b396a0aac973d58e091473f5985");
+    EXPECT_EQ(toHex(sealed.tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(AesGcm, NistTestCase4WithAad)
+{
+    AesGcm gcm(arr<16>("feffe9928665731c6d6a8f9467308308"));
+    const auto iv = arr<12>("cafebabefacedbaddecaf888");
+    const auto pt = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39");
+    const auto aad = fromHex(
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    const auto sealed = gcm.seal(iv, pt, aad);
+    EXPECT_EQ(toHex(sealed.tag), "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(AesGcm, RoundtripAndReject)
+{
+    Rng rng(7);
+    AesGcm gcm(Aes128::Key{0x11, 0x22});
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 100u}) {
+        std::vector<std::uint8_t> pt(len);
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.next());
+        AesGcm::Iv iv{};
+        iv[0] = static_cast<std::uint8_t>(len);
+        const auto sealed = gcm.seal(iv, pt);
+        const auto opened = gcm.open(iv, sealed.ciphertext, sealed.tag);
+        ASSERT_TRUE(opened.ok) << "len " << len;
+        EXPECT_EQ(opened.plaintext, pt);
+
+        if (len > 0) {
+            auto bad = sealed.ciphertext;
+            bad[len / 2] ^= 1;
+            EXPECT_FALSE(gcm.open(iv, bad, sealed.tag).ok);
+        }
+        auto bad_tag = sealed.tag;
+        bad_tag[0] ^= 1;
+        EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, bad_tag).ok);
+        // Wrong IV (replay to a different nonce).
+        AesGcm::Iv other = iv;
+        other[11] ^= 1;
+        EXPECT_FALSE(
+            gcm.open(other, sealed.ciphertext, sealed.tag).ok);
+    }
+}
+
+TEST(AesGcm, AadIsAuthenticated)
+{
+    AesGcm gcm(Aes128::Key{0x33});
+    const AesGcm::Iv iv{1, 2, 3};
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    const auto aad = fromHex("a0a1a2a3");
+    const auto sealed = gcm.seal(iv, pt, aad);
+    EXPECT_TRUE(gcm.open(iv, sealed.ciphertext, sealed.tag, aad).ok);
+    const auto aad2 = fromHex("a0a1a2a4");
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag, aad2).ok);
+    EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, sealed.tag).ok);
+}
+
+TEST(AesGcm, TagsNotLinearInPlaintext)
+{
+    // The structural reason GCM cannot replace SecNDP's checksum for
+    // NDP (section III-B/IV-F): tag(a+b) has no relation to
+    // tag(a), tag(b) that an untrusted party could exploit -- nor
+    // that a *trusted* verifier could use to check a SUM it never
+    // saw. Demonstrate the non-linearity concretely.
+    AesGcm gcm(Aes128::Key{0x44});
+    const AesGcm::Iv iv{9};
+    std::vector<std::uint8_t> a(16, 1), b(16, 2), sum(16, 3);
+    const auto ta = gcm.seal(iv, a).tag;
+    const auto tb = gcm.seal(iv, b).tag;
+    const auto tsum = gcm.seal(iv, sum).tag;
+    AesGcm::Tag xored;
+    for (unsigned i = 0; i < 16; ++i)
+        xored[i] = ta[i] ^ tb[i];
+    EXPECT_NE(tsum, xored);
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the medical-analytics workload: trace shape, Welch's
+ * t-test / incomplete beta, and the secure gene-DB pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/medical.hh"
+
+namespace secndp {
+namespace {
+
+TEST(MedicalTrace, OneBigContiguousQuery)
+{
+    MedicalDbConfig cfg;
+    cfg.genes = 64;
+    cfg.patients = 4096;
+    cfg.pf = 256;
+    const auto trace = buildMedicalTrace(cfg, VerLayout::None);
+    ASSERT_EQ(trace.queries.size(), 1u);
+    const auto &q = trace.queries[0];
+    ASSERT_EQ(q.ranges.size(), 256u);
+    // Contiguous patient IDs -> contiguous rows.
+    for (std::size_t k = 1; k < q.ranges.size(); ++k)
+        EXPECT_EQ(q.ranges[k].vaddr,
+                  q.ranges[k - 1].vaddr + 64 * 4);
+    EXPECT_EQ(q.engineWork.dataOtpBlocks, 256u * 16);
+    EXPECT_EQ(q.resultBytes, 64u * 4);
+}
+
+TEST(MedicalTrace, LayoutsAddTagCosts)
+{
+    MedicalDbConfig cfg;
+    cfg.genes = 64;
+    cfg.patients = 1024;
+    cfg.pf = 32;
+    const auto enc = buildMedicalTrace(cfg, VerLayout::None);
+    const auto sep = buildMedicalTrace(cfg, VerLayout::Sep);
+    const auto coloc = buildMedicalTrace(cfg, VerLayout::Coloc);
+    EXPECT_EQ(sep.queries[0].ranges.size(),
+              2 * enc.queries[0].ranges.size());
+    EXPECT_EQ(coloc.queries[0].ranges[0].bytes, 64u * 4 + 16);
+    EXPECT_GT(sep.queries[0].engineWork.tagOtpBlocks, 0u);
+}
+
+TEST(IncompleteBeta, KnownValues)
+{
+    // I_x(1, 1) = x.
+    EXPECT_NEAR(regularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-12);
+    // I_x(2, 2) = x^2 (3 - 2x).
+    EXPECT_NEAR(regularizedIncompleteBeta(2, 2, 0.4),
+                0.4 * 0.4 * (3 - 0.8), 1e-12);
+    // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+    EXPECT_NEAR(regularizedIncompleteBeta(3.5, 1.25, 0.6),
+                1 - regularizedIncompleteBeta(1.25, 3.5, 0.4), 1e-12);
+    // Edges.
+    EXPECT_EQ(regularizedIncompleteBeta(2, 3, 0.0), 0.0);
+    EXPECT_EQ(regularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, MonotoneInX)
+{
+    double prev = -1;
+    for (double x = 0.05; x < 1.0; x += 0.05) {
+        const double v = regularizedIncompleteBeta(2.5, 4.0, x);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(WelchTTest, KnownStudentPValues)
+{
+    // Equal-variance large groups behave like Student's t. Reference
+    // two-sided p-values: t=2.0 df=10 -> 0.07339; t=1 df=1 -> 0.5.
+    // Build groups giving those t/df via the Welch formulas.
+    // t = (ma-mb)/sqrt(va/na + vb/nb); choose va=vb=v, na=nb=n
+    // => df = 2(n-1). For df=10: n=6. t=2 => ma-mb = 2*sqrt(2v/6).
+    const double v = 3.0;
+    const double diff = 2.0 * std::sqrt(2 * v / 6);
+    const auto r = welchTTest(diff, v, 6, 0.0, v, 6);
+    EXPECT_NEAR(r.t, 2.0, 1e-12);
+    EXPECT_NEAR(r.df, 10.0, 1e-9);
+    EXPECT_NEAR(r.pValue, 0.073388, 1e-4);
+}
+
+TEST(WelchTTest, NoDifferenceGivesHighP)
+{
+    const auto r = welchTTest(5.0, 1.0, 100, 5.0, 1.0, 100);
+    EXPECT_NEAR(r.t, 0.0, 1e-12);
+    EXPECT_NEAR(r.pValue, 1.0, 1e-9);
+}
+
+TEST(WelchTTest, LargeEffectTinyP)
+{
+    const auto r = welchTTest(10.0, 1.0, 1000, 5.0, 1.0, 1000);
+    EXPECT_LT(r.pValue, 1e-10);
+}
+
+TEST(WelchTTest, UnequalVariancesReduceDf)
+{
+    const auto r = welchTTest(1.0, 10.0, 10, 0.0, 0.1, 10);
+    EXPECT_LT(r.df, 18.0); // far below pooled df
+    EXPECT_GT(r.df, 8.0);
+}
+
+class SecureGeneDbTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(99);
+        db_ = std::make_unique<SecureGeneDb>(
+            Aes128::Key{0x42}, 200, 16, 8, rng);
+    }
+
+    std::unique_ptr<SecureGeneDb> db_;
+};
+
+TEST_F(SecureGeneDbTest, GroupMeansMatchTruth)
+{
+    std::vector<std::size_t> group;
+    for (std::size_t p = 10; p < 60; ++p)
+        group.push_back(p);
+    const auto stats = db_->groupStats(group);
+    EXPECT_TRUE(stats.verified);
+    for (std::size_t j = 0; j < db_->genes(); ++j) {
+        double mean = 0, var = 0;
+        for (auto p : group)
+            mean += db_->truth(p, j);
+        mean /= group.size();
+        for (auto p : group) {
+            const double d = db_->truth(p, j) - mean;
+            var += d * d;
+        }
+        var /= group.size() - 1;
+        EXPECT_NEAR(stats.mean[j], mean, 1e-9) << "gene " << j;
+        EXPECT_NEAR(stats.variance[j], var, 1e-6) << "gene " << j;
+    }
+}
+
+TEST_F(SecureGeneDbTest, EndToEndTTestOnSecureSums)
+{
+    std::vector<std::size_t> cases, controls;
+    for (std::size_t p = 0; p < 100; ++p)
+        cases.push_back(p);
+    for (std::size_t p = 100; p < 200; ++p)
+        controls.push_back(p);
+    const auto a = db_->groupStats(cases);
+    const auto b = db_->groupStats(controls);
+    ASSERT_TRUE(a.verified && b.verified);
+    // Random assignment: genes should mostly NOT be significant.
+    unsigned significant = 0;
+    for (std::size_t j = 0; j < db_->genes(); ++j) {
+        const auto r =
+            welchTTest(a.mean[j], a.variance[j], cases.size(),
+                       b.mean[j], b.variance[j], controls.size());
+        EXPECT_GE(r.pValue, 0.0);
+        EXPECT_LE(r.pValue, 1.0);
+        significant += (r.pValue < 0.05);
+    }
+    EXPECT_LE(significant, 3u); // ~5% of 16 genes, generous bound
+}
+
+TEST_F(SecureGeneDbTest, TamperingDetected)
+{
+    auto &cipher = db_->device().tamperCipher();
+    cipher.set(20, 3, cipher.get(20, 3) ^ 0x5); // odd delta
+    std::vector<std::size_t> group{18, 19, 20, 21};
+    const auto stats = db_->groupStats(group);
+    EXPECT_FALSE(stats.verified);
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Tests for the cycle-level DDR4 model: address mapping, device
+ * legality, controller scheduling, and trace-checked legality under
+ * random workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "memsim/controller.hh"
+#include "memsim/page_mapper.hh"
+#include "memsim/trace_checker.hh"
+
+namespace secndp {
+namespace {
+
+DramConfig
+smallConfig(unsigned ranks = 2)
+{
+    DramConfig cfg;
+    cfg.geometry.ranks = ranks;
+    cfg.geometry.rankBytes = 1ULL << 26; // 64 MB ranks for fast tests
+    return cfg;
+}
+
+TEST(AddressMapper, RoundtripAllFields)
+{
+    const DramConfig cfg = smallConfig(4);
+    AddressMapper mapper(cfg.geometry);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t addr =
+            mapper.lineAddr(rng.nextBounded(cfg.geometry.totalBytes()));
+        const DramCoord c = mapper.decode(addr);
+        EXPECT_EQ(mapper.encode(c), addr);
+        EXPECT_LT(c.rank, 4u);
+        EXPECT_LT(c.bankGroup, cfg.geometry.bankGroups);
+        EXPECT_LT(c.bank, cfg.geometry.banksPerGroup);
+        EXPECT_LT(c.row, cfg.geometry.rowsPerBank());
+        EXPECT_LT(c.column, cfg.geometry.linesPerRow());
+    }
+}
+
+TEST(AddressMapper, PageLivesInOneRank)
+{
+    const DramConfig cfg = smallConfig(8);
+    AddressMapper mapper(cfg.geometry);
+    for (std::uint64_t page = 0; page < 64; ++page) {
+        const std::uint64_t base = page * 4096;
+        const unsigned rank = mapper.decode(base).rank;
+        for (std::uint64_t off = 0; off < 4096; off += 64)
+            EXPECT_EQ(mapper.decode(base + off).rank, rank);
+    }
+}
+
+TEST(AddressMapper, ConsecutiveLinesSameRowThenNextColumn)
+{
+    const DramConfig cfg = smallConfig(2);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord a = mapper.decode(0);
+    const DramCoord b = mapper.decode(64);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bankGroup, b.bankGroup);
+    EXPECT_EQ(b.column, a.column + 1);
+}
+
+TEST(AddressMapper, MultiChannelRoundtripAndPageLocality)
+{
+    DramConfig cfg = smallConfig(4);
+    cfg.geometry.channels = 2;
+    AddressMapper mapper(cfg.geometry);
+    Rng rng(31);
+    bool saw_ch1 = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t addr =
+            mapper.lineAddr(rng.nextBounded(cfg.geometry.totalBytes()));
+        const DramCoord c = mapper.decode(addr);
+        EXPECT_EQ(mapper.encode(c), addr);
+        EXPECT_LT(c.channel, 2u);
+        saw_ch1 |= (c.channel == 1);
+    }
+    EXPECT_TRUE(saw_ch1);
+    // A 4 KB page (and any multi-line row inside it) stays on one
+    // channel.
+    for (std::uint64_t page = 0; page < 32; ++page) {
+        const unsigned ch = mapper.decode(page * 4096).channel;
+        for (std::uint64_t off = 0; off < 4096; off += 64)
+            EXPECT_EQ(mapper.decode(page * 4096 + off).channel, ch);
+    }
+}
+
+TEST(AddressMapper, OutOfRangeDies)
+{
+    const DramConfig cfg = smallConfig(2);
+    AddressMapper mapper(cfg.geometry);
+    EXPECT_DEATH(mapper.decode(cfg.geometry.totalBytes()), "capacity");
+}
+
+TEST(DramChannel, ActThenReadRespectsTrcd)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+
+    EXPECT_EQ(ch.earliestAct(c, 0), 0);
+    ch.issueAct(c, 0);
+    EXPECT_TRUE(ch.rowOpen(c));
+    EXPECT_EQ(ch.earliestRd(c, 0), cfg.timings.tRCD);
+    const Cycle done = ch.issueRd(c, cfg.timings.tRCD);
+    EXPECT_EQ(done,
+              cfg.timings.tRCD + cfg.timings.tCL + cfg.timings.tBL);
+}
+
+TEST(DramChannel, IllegalEarlyReadDies)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    ch.issueAct(c, 0);
+    EXPECT_DEATH(ch.issueRd(c, cfg.timings.tRCD - 1), "illegal RD");
+}
+
+TEST(DramChannel, FawLimitsActBursts)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+
+    // Four ACTs to different bank groups, tRRD_S apart; the fifth must
+    // wait for the FAW window.
+    Cycle at = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        DramCoord c = mapper.decode(0);
+        c.bankGroup = i % cfg.geometry.bankGroups;
+        c.bank = i / cfg.geometry.bankGroups;
+        at = ch.earliestAct(c, at);
+        ch.issueAct(c, at);
+        at += 1;
+    }
+    DramCoord c5 = mapper.decode(0);
+    c5.bankGroup = 0;
+    c5.bank = 1;
+    const Cycle first_act = 0;
+    EXPECT_GE(ch.earliestAct(c5, at),
+              first_act + cfg.timings.tFAW);
+}
+
+TEST(DramChannel, RowConflictNeedsPrecharge)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    DramCoord c = mapper.decode(0);
+    ch.issueAct(c, 0);
+
+    DramCoord other = c;
+    other.row = c.row + 1;
+    EXPECT_FALSE(ch.rowOpen(other));
+    EXPECT_TRUE(ch.anyRowOpen(other));
+    // PRE must wait for tRAS after ACT.
+    EXPECT_EQ(ch.earliestPre(other, 0), cfg.timings.tRAS);
+    ch.issuePre(other, cfg.timings.tRAS);
+    EXPECT_FALSE(ch.anyRowOpen(other));
+    // ACT after PRE waits tRP (and tRC from first ACT).
+    const Cycle ready = ch.earliestAct(other, cfg.timings.tRAS);
+    EXPECT_EQ(ready, std::max<Cycle>(cfg.timings.tRAS + cfg.timings.tRP,
+                                     cfg.timings.tRC));
+}
+
+TEST(DramChannel, WriteRecoveryGatesPrecharge)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    ch.issueAct(c, 0);
+    const Cycle data_end = ch.issueWr(c, cfg.timings.tRCD);
+    EXPECT_EQ(data_end,
+              cfg.timings.tRCD + cfg.timings.tCWL + cfg.timings.tBL);
+    // PRE must wait tWR after the write data completes.
+    EXPECT_GE(ch.earliestPre(c, data_end),
+              data_end + cfg.timings.tWR);
+}
+
+TEST(DramChannel, WriteToReadTurnaround)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    ch.issueAct(c, 0);
+    const Cycle data_end = ch.issueWr(c, cfg.timings.tRCD);
+    // RD in the same rank must respect tWTR after write data.
+    EXPECT_GE(ch.earliestRd(c, data_end),
+              data_end + cfg.timings.tWTR);
+}
+
+TEST(DramChannel, ReadToPrechargeGap)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    ch.issueAct(c, 0);
+    const Cycle rd_at = cfg.timings.tRCD;
+    ch.issueRd(c, rd_at);
+    EXPECT_GE(ch.earliestPre(c, rd_at),
+              std::max<Cycle>(rd_at + cfg.timings.tRTP,
+                              cfg.timings.tRAS));
+}
+
+TEST(Controller, SingleReadLatency)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    Cycle done = -1;
+    ctrl.onComplete([&](const MemRequest &, Cycle d) { done = d; });
+    ctrl.enqueue({0, false, 0});
+    ctrl.drain(0);
+    // ACT@0 -> RD@tRCD -> data end at tRCD + tCL + tBL.
+    EXPECT_EQ(done,
+              cfg.timings.tRCD + cfg.timings.tCL + cfg.timings.tBL);
+}
+
+TEST(Controller, RowHitStreamIsBusBound)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    const unsigned n = 32;
+    for (unsigned i = 0; i < n; ++i)
+        ctrl.enqueue({i * 64ull, false, i});
+    const Cycle finish = ctrl.drain(0);
+    // Same row: one ACT, then reads gated by tCCD_L (6 > tBL). The
+    // stream should take roughly n * tCCD_L, far below n * tRC.
+    EXPECT_LT(finish, cfg.timings.tRCD + n * (cfg.timings.tCCD_L + 2));
+    EXPECT_EQ(ch.stats().counterValue("acts"), 1u);
+    EXPECT_EQ(ch.stats().counterValue("reads"), n);
+}
+
+TEST(Controller, FrFcfsCoalescesRowConflicts)
+{
+    // Alternating rows within one bank: FR-FCFS must reorder so each
+    // row is opened only once (2 ACTs), not per request.
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    MemoryController ctrl(ch);
+    DramCoord c = mapper.decode(0);
+    for (unsigned i = 0; i < 16; ++i) {
+        c.row = i % 2;
+        ctrl.enqueue({mapper.encode(c), false, i});
+    }
+    ctrl.drain(0);
+    EXPECT_EQ(ch.stats().counterValue("acts"), 2u);
+}
+
+TEST(Controller, BankParallelStreamsOverlap)
+{
+    // 16 distinct rows: all in one bank (serial row cycles) vs spread
+    // over all 16 banks (overlapped ACTs). Parallel must win big.
+    const DramConfig cfg = smallConfig();
+    DramChannel ch1(cfg), ch2(cfg);
+    AddressMapper mapper(cfg.geometry);
+
+    MemoryController serial(ch1);
+    DramCoord c = mapper.decode(0);
+    for (unsigned i = 0; i < 16; ++i) {
+        c.row = i; // all distinct rows, same bank
+        serial.enqueue({mapper.encode(c), false, i});
+    }
+    const Cycle t_serial = serial.drain(0);
+    EXPECT_GE(t_serial, 15 * cfg.timings.tRC); // row cycle bound
+
+    MemoryController parallel(ch2);
+    for (unsigned i = 0; i < 16; ++i) {
+        DramCoord p = mapper.decode(0);
+        p.bankGroup = i % cfg.geometry.bankGroups;
+        p.bank = (i / cfg.geometry.bankGroups) %
+                 cfg.geometry.banksPerGroup;
+        p.row = i;
+        parallel.enqueue({mapper.encode(p), false, i});
+    }
+    const Cycle t_parallel = parallel.drain(0);
+    EXPECT_LT(t_parallel * 2, t_serial);
+}
+
+TEST(Controller, WritesCompleteAndAreLegal)
+{
+    const DramConfig cfg = smallConfig();
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    std::vector<CmdTraceEntry> trace;
+    ctrl.recordTrace(&trace);
+    Rng rng(3);
+    for (unsigned i = 0; i < 64; ++i) {
+        ctrl.enqueue({rng.nextBounded(1 << 20) & ~63ull,
+                      rng.nextBounded(2) == 0, i});
+    }
+    ctrl.drain(0);
+    const auto bad = checkCommandTrace(cfg, trace);
+    for (const auto &v : bad)
+        ADD_FAILURE() << v;
+}
+
+/** Property sweep: random request streams produce legal traces. */
+class ControllerRandom : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ControllerRandom, TraceLegalAndAllComplete)
+{
+    const DramConfig cfg = smallConfig(4);
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    std::vector<CmdTraceEntry> trace;
+    ctrl.recordTrace(&trace);
+
+    std::size_t completed = 0;
+    Cycle last_done = 0;
+    ctrl.onComplete([&](const MemRequest &, Cycle d) {
+        ++completed;
+        last_done = std::max(last_done, d);
+    });
+
+    Rng rng(GetParam());
+    const unsigned n = 300;
+    for (unsigned i = 0; i < n; ++i) {
+        // Mix of hot rows (locality) and random addresses.
+        std::uint64_t addr;
+        if (rng.nextBounded(2) == 0)
+            addr = rng.nextBounded(8192); // one hot row region
+        else
+            addr = rng.nextBounded(cfg.geometry.totalBytes());
+        ctrl.enqueue({addr & ~63ull, rng.nextBounded(8) == 0, i});
+    }
+    const Cycle finish = ctrl.drain(0);
+    EXPECT_EQ(completed, n);
+    EXPECT_GE(finish, last_done);
+
+    const auto bad = checkCommandTrace(cfg, trace);
+    EXPECT_TRUE(bad.empty());
+    for (std::size_t i = 0; i < bad.size() && i < 5; ++i)
+        ADD_FAILURE() << bad[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerRandom,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Controller, PerRankControllersBeatSharedBus)
+{
+    // The core NDP premise: per-rank access scales bandwidth.
+    const DramConfig cfg = smallConfig(4);
+    AddressMapper mapper(cfg.geometry);
+
+    // Build the same rank-spread workload twice.
+    auto make_reqs = [&]() {
+        std::vector<MemRequest> reqs;
+        Rng rng(77);
+        for (unsigned i = 0; i < 400; ++i) {
+            DramCoord c{};
+            c.rank = i % 4;
+            c.bankGroup = rng.nextBounded(cfg.geometry.bankGroups);
+            c.bank = rng.nextBounded(cfg.geometry.banksPerGroup);
+            c.row = rng.nextBounded(64);
+            c.column = rng.nextBounded(cfg.geometry.linesPerRow());
+            reqs.push_back({mapper.encode(c), false, i});
+        }
+        return reqs;
+    };
+
+    // Shared bus: one controller.
+    DramChannel ch_shared(cfg);
+    MemoryController shared(ch_shared);
+    for (const auto &r : make_reqs())
+        shared.enqueue(r);
+    const Cycle t_shared = shared.drain(0);
+
+    // Per-rank: four controllers on one channel state.
+    DramChannel ch_ndp(cfg);
+    std::vector<std::unique_ptr<MemoryController>> ctrls;
+    for (unsigned r = 0; r < 4; ++r)
+        ctrls.push_back(std::make_unique<MemoryController>(ch_ndp));
+    for (const auto &r : make_reqs())
+        ctrls[mapper.decode(r.addr).rank]->enqueue(r);
+    Cycle t_ndp = 0;
+    for (auto &c : ctrls)
+        t_ndp = std::max(t_ndp, c->drain(0));
+
+    EXPECT_LT(t_ndp * 2, t_shared);
+}
+
+TEST(PageMapper, DeterministicAndDistinct)
+{
+    PageMapper pm(1 << 24, 4096, 5);
+    const auto a = pm.translate(0);
+    const auto b = pm.translate(4096);
+    EXPECT_EQ(pm.translate(0), a);
+    EXPECT_NE(a / 4096, b / 4096);
+    EXPECT_EQ(pm.translate(17), a + 17);
+}
+
+TEST(PageMapper, PopulateMapsWholeRange)
+{
+    PageMapper pm(1 << 24, 4096);
+    pm.populate(0, 10 * 4096);
+    EXPECT_EQ(pm.mappedPages(), 10u);
+}
+
+TEST(PageMapper, SpreadsAcrossRanks)
+{
+    // With rank bits above the page offset, random pages should land
+    // on all ranks roughly evenly.
+    const DramConfig cfg = smallConfig(4);
+    AddressMapper mapper(cfg.geometry);
+    PageMapper pm(cfg.geometry.totalBytes(), 4096, 9);
+    std::map<unsigned, int> per_rank;
+    for (unsigned p = 0; p < 400; ++p)
+        ++per_rank[mapper.decode(pm.translate(p * 4096ull)).rank];
+    ASSERT_EQ(per_rank.size(), 4u);
+    for (const auto &kv : per_rank)
+        EXPECT_GT(kv.second, 50);
+}
+
+TEST(PageMapper, ExhaustionDies)
+{
+    PageMapper pm(2 * 4096, 4096);
+    pm.translate(0);
+    pm.translate(4096);
+    EXPECT_DEATH(pm.translate(2 * 4096), "out of physical pages");
+}
+
+TEST(Refresh, LongStreamsGetRefreshed)
+{
+    // A stream longer than tREFI must include REF commands, and the
+    // full trace (including refreshes) must stay legal.
+    const DramConfig cfg = smallConfig(1);
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    std::vector<CmdTraceEntry> trace;
+    ctrl.recordTrace(&trace);
+    Rng rng(21);
+    // Enough row-conflicting traffic to run well past 2 x tREFI.
+    for (unsigned i = 0; i < 3000; ++i) {
+        ctrl.enqueue({rng.nextBounded(cfg.geometry.totalBytes()) &
+                          ~63ull,
+                      false, i});
+    }
+    const Cycle finish = ctrl.drain(0);
+    EXPECT_GT(finish, cfg.timings.tREFI);
+    EXPECT_GE(ch.stats().counterValue("refreshes"), 1u);
+    const auto bad = checkCommandTrace(cfg, trace);
+    for (std::size_t i = 0; i < bad.size() && i < 5; ++i)
+        ADD_FAILURE() << bad[i];
+}
+
+TEST(Refresh, ShortStreamsSkipRefresh)
+{
+    const DramConfig cfg = smallConfig(1);
+    DramChannel ch(cfg);
+    MemoryController ctrl(ch);
+    for (unsigned i = 0; i < 8; ++i)
+        ctrl.enqueue({i * 64ull, false, i});
+    ctrl.drain(0);
+    EXPECT_EQ(ch.stats().counterValue("refreshes"), 0u);
+}
+
+TEST(Refresh, RefBlocksRankForTrfc)
+{
+    const DramConfig cfg = smallConfig(1);
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    ch.issueRefresh(0, 100);
+    EXPECT_EQ(ch.earliestAct(c, 100), 100 + cfg.timings.tRFC);
+}
+
+TEST(Refresh, RefWithOpenBankDies)
+{
+    const DramConfig cfg = smallConfig(1);
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    ch.issueAct(mapper.decode(0), 0);
+    EXPECT_DEATH(ch.issueRefresh(0, 50), "open banks");
+}
+
+TEST(TraceChecker, CatchesRefreshViolations)
+{
+    const DramConfig cfg = smallConfig(1);
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+    DramCoord ref{};
+    // ACT during tRFC.
+    std::vector<CmdTraceEntry> trace{
+        {DramCmd::Ref, ref, 0},
+        {DramCmd::Act, c, 10},
+    };
+    const auto bad = checkCommandTrace(cfg, trace);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("tRFC"), std::string::npos);
+}
+
+TEST(TraceChecker, CatchesViolations)
+{
+    const DramConfig cfg = smallConfig();
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(0);
+
+    // RD before tRCD.
+    std::vector<CmdTraceEntry> trace{
+        {DramCmd::Act, c, 0},
+        {DramCmd::Rd, c, 5},
+    };
+    auto bad = checkCommandTrace(cfg, trace);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("tRCD"), std::string::npos);
+
+    // Back-to-back ACTs same bank.
+    DramCoord c2 = c;
+    c2.row = 1;
+    trace = {{DramCmd::Act, c, 0},
+             {DramCmd::Pre, c, 39},
+             {DramCmd::Act, c2, 40}};
+    bad = checkCommandTrace(cfg, trace);
+    EXPECT_FALSE(bad.empty());
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit and property tests for F_q arithmetic, q = 2^127 - 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ring/mersenne.hh"
+
+namespace secndp {
+namespace {
+
+using u128 = Fq127::u128;
+
+Fq127
+randomElem(Rng &rng)
+{
+    return Fq127::fromHalves(rng.next(), rng.next());
+}
+
+TEST(Fq127, ZeroAndOne)
+{
+    EXPECT_TRUE(Fq127(0).isZero());
+    EXPECT_EQ(Fq127(1) * Fq127(1), Fq127(1));
+    EXPECT_EQ(Fq127(0) + Fq127(0), Fq127(0));
+}
+
+TEST(Fq127, ModulusReducesToZero)
+{
+    EXPECT_TRUE(Fq127::fromRaw(Fq127::modulus()).isZero());
+    EXPECT_EQ(Fq127::fromRaw(Fq127::modulus() + 5), Fq127(5));
+}
+
+TEST(Fq127, KnownProducts)
+{
+    // (2^64)^2 = 2^128 = 2 mod q.
+    const Fq127 two64 = Fq127::fromHalves(0, 1);
+    EXPECT_EQ(two64 * two64, Fq127(2));
+    // 2^126 * 2 = 2^127 = 1 mod q.
+    const Fq127 two126 =
+        Fq127::fromRaw(u128{1} << 126);
+    EXPECT_EQ(two126 * Fq127(2), Fq127(1));
+    // 3 * 5 = 15.
+    EXPECT_EQ(Fq127(3) * Fq127(5), Fq127(15));
+}
+
+TEST(Fq127, SubtractionWraps)
+{
+    const Fq127 a(3), b(10);
+    EXPECT_EQ((a - b) + b, a);
+    EXPECT_EQ(-Fq127(1) + Fq127(1), Fq127(0));
+}
+
+TEST(Fq127, ToString)
+{
+    EXPECT_EQ(Fq127(0).toString(), "0");
+    EXPECT_EQ(Fq127(1234567).toString(), "1234567");
+    // q - 1 = 2^127 - 2.
+    EXPECT_EQ((-Fq127(1)).toString(),
+              "170141183460469231731687303715884105726");
+}
+
+TEST(Fq127, FermatLittleTheorem)
+{
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) {
+        Fq127 a = randomElem(rng);
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a.pow(Fq127::modulus() - 1), Fq127(1));
+    }
+}
+
+TEST(Fq127, InverseRoundtrip)
+{
+    Rng rng(11);
+    for (int i = 0; i < 8; ++i) {
+        Fq127 a = randomElem(rng);
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a * a.inverse(), Fq127(1));
+    }
+}
+
+TEST(Fq127, PowMatchesRepeatedMultiply)
+{
+    Rng rng(13);
+    Fq127 a = randomElem(rng);
+    Fq127 acc(1);
+    for (unsigned e = 0; e < 20; ++e) {
+        EXPECT_EQ(a.pow(e), acc) << "exponent " << e;
+        acc *= a;
+    }
+}
+
+/** Field axioms over random triples (property sweep). */
+class Fq127Axioms : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(Fq127Axioms, RingAxiomsHold)
+{
+    Rng rng(GetParam());
+    const Fq127 a = randomElem(rng);
+    const Fq127 b = randomElem(rng);
+    const Fq127 c = randomElem(rng);
+
+    // Commutativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    // Associativity.
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Identity / inverse.
+    EXPECT_EQ(a + Fq127(0), a);
+    EXPECT_EQ(a * Fq127(1), a);
+    EXPECT_EQ(a - a, Fq127(0));
+    // Results are always canonical (< q).
+    EXPECT_LT((a * b).raw(), Fq127::modulus());
+    EXPECT_LT((a + b).raw(), Fq127::modulus());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Fq127Axioms,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+/**
+ * Cross-check multiplication against a reference mod-q computation
+ * done with 64-bit digits and repeated folding.
+ */
+TEST(Fq127, MultiplyMatchesSchoolbookReference)
+{
+    Rng rng(17);
+    for (int iter = 0; iter < 200; ++iter) {
+        const Fq127 a = randomElem(rng);
+        const Fq127 b = randomElem(rng);
+
+        // Reference: accumulate a * each bit of b, doubling mod q.
+        Fq127 ref(0);
+        Fq127 addend = a;
+        u128 bits = b.raw();
+        while (bits != 0) {
+            if (bits & 1)
+                ref += addend;
+            addend += addend;
+            bits >>= 1;
+        }
+        EXPECT_EQ(a * b, ref);
+    }
+}
+
+} // namespace
+} // namespace secndp

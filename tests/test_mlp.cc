@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the dense (MLP) side of DLRM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/mlp.hh"
+
+namespace secndp {
+namespace {
+
+TEST(Sigmoid, KnownValuesAndStability)
+{
+    EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+    EXPECT_NEAR(sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+    EXPECT_NEAR(sigmoid(-2.0), 1.0 - sigmoid(2.0), 1e-15);
+    // No overflow at extremes.
+    EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+    EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Mlp, ShapesAndMacs)
+{
+    Rng rng(1);
+    Mlp mlp({256, 128, 32}, rng);
+    EXPECT_EQ(mlp.inputDim(), 256u);
+    EXPECT_EQ(mlp.outputDim(), 32u);
+    EXPECT_EQ(mlp.macs(), 256u * 128 + 128u * 32);
+    const std::vector<double> in(256, 0.1);
+    EXPECT_EQ(mlp.forward(in).size(), 32u);
+}
+
+TEST(Mlp, DeterministicPerSeed)
+{
+    Rng a(7), b(7);
+    Mlp ma({8, 4, 2}, a), mb({8, 4, 2}, b);
+    const std::vector<double> in{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(ma.forward(in), mb.forward(in));
+}
+
+TEST(Mlp, ReluClampsHiddenNotOutput)
+{
+    // With large negative bias-inducing input, hidden activations
+    // clamp at 0 but the final (linear) layer may go negative.
+    Rng rng(2);
+    Mlp mlp({4, 4, 1}, rng);
+    bool saw_negative_out = false;
+    for (double scale : {-10.0, -5.0, 5.0, 10.0}) {
+        const std::vector<double> in(4, scale);
+        const auto out = mlp.forward(in);
+        saw_negative_out |= (out[0] < 0);
+    }
+    EXPECT_TRUE(saw_negative_out);
+}
+
+TEST(Mlp, FixedPointTracksFloat)
+{
+    Rng rng(3);
+    Mlp mlp({64, 32, 8}, rng);
+    std::vector<double> in(64);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = std::sin(0.1 * i);
+    const auto f = mlp.forward(in);
+    const auto q16 = mlp.forwardFixed(in, FixedPointFormat{32, 16});
+    const auto q8 = mlp.forwardFixed(in, FixedPointFormat{32, 8});
+    double err16 = 0, err8 = 0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        err16 = std::max(err16, std::abs(f[i] - q16[i]));
+        err8 = std::max(err8, std::abs(f[i] - q8[i]));
+    }
+    EXPECT_LT(err16, 1e-2);
+    EXPECT_GT(err8, err16); // fewer fractional bits, more error
+    EXPECT_LT(err8, 1.0);
+}
+
+TEST(Mlp, WrongInputDimDies)
+{
+    Rng rng(4);
+    Mlp mlp({8, 2}, rng);
+    EXPECT_DEATH(mlp.forward(std::vector<double>(7, 0.0)),
+                 "input dim");
+}
+
+TEST(DlrmDenseSide, PredictInUnitInterval)
+{
+    Rng rng(5);
+    // bottom 16->8->4; top (4 + 12 sparse)=16 -> 8 -> 1.
+    DlrmDenseSide model(16, {16, 8, 4}, 12, {16, 8, 1}, rng);
+    std::vector<double> dense(16, 0.3), pooled(12, 0.2);
+    const double p = model.predict(dense, pooled);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    const double pq =
+        model.predictFixed(dense, pooled, FixedPointFormat{32, 16});
+    EXPECT_NEAR(pq, p, 1e-3);
+}
+
+TEST(DlrmDenseSide, MacsMatchTableIShapes)
+{
+    Rng rng(6);
+    // RMC1: bottom 256-128-32, top 256-64-1, 8 tables x dim 32 =>
+    // sparse width 224 + bottom out 32 = 256 top input.
+    DlrmDenseSide rmc1(256, {256, 128, 32}, 224, {256, 64, 1}, rng);
+    EXPECT_EQ(rmc1.macsPerSample(),
+              256u * 128 + 128u * 32 + 256u * 64 + 64u * 1);
+}
+
+TEST(DlrmDenseSide, MismatchedTopDies)
+{
+    Rng rng(7);
+    EXPECT_DEATH(
+        DlrmDenseSide(16, {16, 8, 4}, 12, {17, 8, 1}, rng),
+        "top MLP input");
+}
+
+TEST(DlrmDenseSide, SparseFeaturesMatter)
+{
+    Rng rng(8);
+    DlrmDenseSide model(8, {8, 4}, 8, {12, 4, 1}, rng);
+    const std::vector<double> dense(8, 0.1);
+    const double a = model.predict(dense, std::vector<double>(8, 0.0));
+    const double b = model.predict(dense, std::vector<double>(8, 1.0));
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace secndp

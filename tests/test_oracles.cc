@@ -1,0 +1,138 @@
+/**
+ * @file
+ * MAC-forgery-game tests against the ws-MAC / ws-Verify oracles
+ * (Algorithms 6 and 7, Definition A.4): honest responses pass, and a
+ * battery of adversaries (random guess, bit flip, tag reuse, value
+ * shuffle) never forges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "secndp/oracles.hh"
+
+namespace secndp {
+namespace {
+
+constexpr Aes128::Key key{0xca, 0xfe, 0xba, 0xbe};
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t m)
+{
+    Matrix mat(n, m, ElemWidth::W32, 0x40000);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            mat.set(i, j, rng.nextBounded(1 << 10));
+    return mat;
+}
+
+class OraclesTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(808);
+        Matrix plain = randomMatrix(rng, 16, 8);
+        std::vector<std::size_t> rows;
+        std::vector<std::uint64_t> weights;
+        for (int k = 0; k < 6; ++k) {
+            rows.push_back(rng.nextBounded(16));
+            weights.push_back(rng.nextBounded(4) + 1);
+        }
+        oracles_ = std::make_unique<WsOracles>(key, plain, rows,
+                                               weights);
+    }
+
+    std::unique_ptr<WsOracles> oracles_;
+};
+
+TEST_F(OraclesTest, HonestSignaturePasses)
+{
+    const WsResponse r = oracles_->sign();
+    EXPECT_TRUE(oracles_->verify(r));
+    EXPECT_EQ(oracles_->signQueries(), 1u);
+    EXPECT_EQ(oracles_->verifyQueries(), 1u);
+}
+
+TEST_F(OraclesTest, SignIsDeterministicPerProvisioning)
+{
+    EXPECT_EQ(oracles_->sign(), oracles_->sign());
+}
+
+TEST_F(OraclesTest, RandomGuessNeverForges)
+{
+    Rng rng(1);
+    const WsResponse honest = oracles_->sign();
+    for (int trial = 0; trial < 50; ++trial) {
+        WsResponse forged;
+        forged.values.resize(honest.values.size());
+        for (auto &v : forged.values)
+            v = rng.next() & 0xffffffffu;
+        forged.cipherTag = Fq127::fromHalves(rng.next(), rng.next());
+        EXPECT_FALSE(oracles_->verify(forged));
+    }
+}
+
+TEST_F(OraclesTest, SingleValueFlipFails)
+{
+    const WsResponse honest = oracles_->sign();
+    for (std::size_t j = 0; j < honest.values.size(); ++j) {
+        WsResponse forged = honest;
+        forged.values[j] ^= 1;
+        EXPECT_FALSE(oracles_->verify(forged)) << "column " << j;
+    }
+}
+
+TEST_F(OraclesTest, TagOnlyFlipFails)
+{
+    WsResponse forged = oracles_->sign();
+    forged.cipherTag += Fq127(1);
+    EXPECT_FALSE(oracles_->verify(forged));
+}
+
+TEST_F(OraclesTest, ValueShuffleWithHonestTagFails)
+{
+    WsResponse forged = oracles_->sign();
+    if (forged.values.size() >= 2) {
+        std::swap(forged.values[0], forged.values[1]);
+        // (If the two happened to be equal, shuffle is a no-op and the
+        // response is the honest one -- skip that degenerate case.)
+        if (forged.values[0] != forged.values[1])
+            EXPECT_FALSE(oracles_->verify(forged));
+    }
+}
+
+TEST_F(OraclesTest, ConsistentOffsetAttackFails)
+{
+    // Add the same delta to every value and compensate nothing: the
+    // polynomial hash weights positions differently, so this fails.
+    WsResponse forged = oracles_->sign();
+    for (auto &v : forged.values)
+        v = (v + 1) & 0xffffffffu;
+    EXPECT_FALSE(oracles_->verify(forged));
+}
+
+TEST(Oracles, DifferentWeightVectorsDifferentResponses)
+{
+    Rng rng(2);
+    Matrix plain = randomMatrix(rng, 8, 4);
+    WsOracles a(key, plain, {0, 1}, {1, 1});
+    WsOracles b(key, plain, {0, 1}, {1, 2});
+    EXPECT_NE(a.sign().values, b.sign().values);
+}
+
+TEST(Oracles, CrossQueryResponseRejected)
+{
+    // A response signed for weights {1,1} must not verify under
+    // oracles fixed to weights {1,2} (same matrix, same key).
+    Rng rng(3);
+    Matrix plain = randomMatrix(rng, 8, 4);
+    WsOracles a(key, plain, {0, 1}, {1, 1});
+    WsOracles b(key, plain, {0, 1}, {1, 2});
+    const WsResponse ra = a.sign();
+    EXPECT_FALSE(b.verify(ra));
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * End-to-end tests of the SecNDP protocol (Algorithms 4 and 5):
+ * correctness against a plaintext reference (Theorem A.1),
+ * verification completeness (Theorem A.2), and soundness under a
+ * battery of tampering adversaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "secndp/protocol.hh"
+
+namespace secndp {
+namespace {
+
+constexpr Aes128::Key testKey{0x10, 0x32, 0x54, 0x76, 0x98, 0xba,
+                              0xdc, 0xfe, 0x01, 0x23, 0x45, 0x67,
+                              0x89, 0xab, 0xcd, 0xef};
+
+Matrix
+randomMatrix(Rng &rng, std::size_t n, std::size_t m, ElemWidth w,
+             std::uint64_t max_val, std::uint64_t base = 0x10000)
+{
+    Matrix mat(n, m, w, base);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            mat.set(i, j, rng.nextBounded(max_val));
+    return mat;
+}
+
+/** Exact-integer reference for the weighted row summation. */
+std::vector<std::uint64_t>
+referenceRowSum(const Matrix &plain, const std::vector<std::size_t> &rows,
+                const std::vector<std::uint64_t> &weights)
+{
+    const std::uint64_t mask = elemMask(plain.width());
+    std::vector<std::uint64_t> res(plain.cols(), 0);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+        for (std::size_t j = 0; j < plain.cols(); ++j)
+            res[j] = (res[j] + weights[k] * plain.get(rows[k], j)) & mask;
+    return res;
+}
+
+struct ProtocolCase
+{
+    std::size_t n, m, pf;
+    ElemWidth we;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<ProtocolCase>
+{};
+
+TEST_P(ProtocolSweep, RowSumMatchesPlaintextAndVerifies)
+{
+    const auto [n, m, pf, we] = GetParam();
+    Rng rng(n * 1000 + m);
+    // Bound values and weights so sum_k a_k * P < 2^we: no overflow,
+    // so verification must pass (Theorem A.2 precondition).
+    const std::uint64_t w_bound = bits(we) >= 16 ? 4 : 1;
+    const std::uint64_t ring = elemMask(we); // 2^we - 1
+    std::uint64_t val_bound = ring / (pf * w_bound * 2);
+    if (val_bound < 2)
+        val_bound = 2;
+    const Matrix plain = randomMatrix(rng, n, m, we, val_bound);
+
+    std::vector<std::size_t> rows(pf);
+    std::vector<std::uint64_t> weights(pf);
+    for (std::size_t k = 0; k < pf; ++k) {
+        rows[k] = rng.nextBounded(n);
+        weights[k] = rng.nextBounded(w_bound) + 1;
+    }
+
+    SecNdpClient client(testKey);
+    UntrustedNdpDevice device;
+    client.provision(plain, device);
+
+    const auto result = client.weightedSumRows(device, rows, weights);
+    EXPECT_TRUE(result.verificationPerformed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.values, referenceRowSum(plain, rows, weights));
+}
+
+TEST_P(ProtocolSweep, RingWraparoundStillCorrect)
+{
+    // With large values the mod-2^we result must still match the
+    // plaintext reference (Theorem A.1 holds regardless of overflow;
+    // only *verification* is overflow-sensitive).
+    const auto [n, m, pf, we] = GetParam();
+    Rng rng(n * 77 + m);
+    const Matrix plain = randomMatrix(rng, n, m, we, elemMask(we));
+
+    std::vector<std::size_t> rows(pf);
+    std::vector<std::uint64_t> weights(pf);
+    for (std::size_t k = 0; k < pf; ++k) {
+        rows[k] = rng.nextBounded(n);
+        weights[k] = rng.nextBounded(1000) + 1;
+    }
+
+    SecNdpClient client(testKey);
+    UntrustedNdpDevice device;
+    client.provision(plain, device, /*with_tags=*/false);
+
+    const auto result = client.weightedSumRows(device, rows, weights,
+                                               /*verify=*/false);
+    EXPECT_FALSE(result.verificationPerformed);
+    EXPECT_EQ(result.values, referenceRowSum(plain, rows, weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolSweep,
+    ::testing::Values(ProtocolCase{8, 32, 4, ElemWidth::W32},
+                      ProtocolCase{64, 32, 40, ElemWidth::W32},
+                      ProtocolCase{16, 8, 8, ElemWidth::W16},
+                      ProtocolCase{32, 16, 80, ElemWidth::W8},
+                      ProtocolCase{128, 64, 20, ElemWidth::W32},
+                      ProtocolCase{4, 4, 2, ElemWidth::W64},
+                      ProtocolCase{10, 1024, 10, ElemWidth::W32},
+                      ProtocolCase{1, 16, 1, ElemWidth::W32}));
+
+class ProtocolFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(2024);
+        plain_ = randomMatrix(rng, 32, 16, ElemWidth::W32, 1 << 10);
+        for (std::size_t k = 0; k < 8; ++k) {
+            rows_.push_back(rng.nextBounded(32));
+            weights_.push_back(rng.nextBounded(8) + 1);
+        }
+        client_ = std::make_unique<SecNdpClient>(testKey);
+        client_->provision(plain_, device_);
+    }
+
+    Matrix plain_;
+    std::vector<std::size_t> rows_;
+    std::vector<std::uint64_t> weights_;
+    std::unique_ptr<SecNdpClient> client_;
+    UntrustedNdpDevice device_;
+};
+
+TEST_F(ProtocolFixture, WeightedSumElemsMatchesReference)
+{
+    Rng rng(5);
+    std::vector<std::size_t> is, js;
+    std::vector<std::uint64_t> ws;
+    for (int k = 0; k < 10; ++k) {
+        is.push_back(rng.nextBounded(plain_.rows()));
+        js.push_back(rng.nextBounded(plain_.cols()));
+        ws.push_back(rng.nextBounded(16));
+    }
+    std::uint64_t expect = 0;
+    for (int k = 0; k < 10; ++k)
+        expect += ws[k] * plain_.get(is[k], js[k]);
+    expect &= elemMask(plain_.width());
+    EXPECT_EQ(client_->weightedSumElems(device_, is, js, ws), expect);
+}
+
+TEST_F(ProtocolFixture, FetchAllDecryptsEverything)
+{
+    const Matrix back = client_->fetchAll(device_);
+    for (std::size_t i = 0; i < plain_.rows(); ++i)
+        for (std::size_t j = 0; j < plain_.cols(); ++j)
+            EXPECT_EQ(back.get(i, j), plain_.get(i, j));
+}
+
+TEST_F(ProtocolFixture, CiphertextTamperDetected)
+{
+    device_.tamperCipher().set(rows_[0], 3,
+                               device_.cipher().get(rows_[0], 3) ^ 1);
+    const auto result =
+        client_->weightedSumRows(device_, rows_, weights_);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST_F(ProtocolFixture, TamperOutsideQuerySetUndetectedButHarmless)
+{
+    // Flipping a row the query never touches does not affect the
+    // result; verification of THIS query still passes.
+    std::size_t untouched = 0;
+    while (std::find(rows_.begin(), rows_.end(), untouched) !=
+           rows_.end())
+        ++untouched;
+    device_.tamperCipher().set(untouched, 0, 0xdeadbeef);
+    const auto result =
+        client_->weightedSumRows(device_, rows_, weights_);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.values, referenceRowSum(plain_, rows_, weights_));
+}
+
+TEST_F(ProtocolFixture, TagTamperDetected)
+{
+    device_.tamperTags()[rows_[0]] += Fq127(1);
+    const auto result =
+        client_->weightedSumRows(device_, rows_, weights_);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST_F(ProtocolFixture, RowSwapDetected)
+{
+    // Swap two ciphertext rows AND their tags: a classic relocation
+    // attack. Tags are address-bound, so it must still fail.
+    auto &cipher = device_.tamperCipher();
+    const std::size_t a = rows_[0];
+    std::size_t b = a == 0 ? 1 : a - 1;
+    for (std::size_t j = 0; j < cipher.cols(); ++j) {
+        const auto tmp = cipher.get(a, j);
+        cipher.set(a, j, cipher.get(b, j));
+        cipher.set(b, j, tmp);
+    }
+    std::swap(device_.tamperTags()[a], device_.tamperTags()[b]);
+    const auto result =
+        client_->weightedSumRows(device_, rows_, weights_);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST_F(ProtocolFixture, ReplayOfStaleDataDetected)
+{
+    // Keep the old ciphertext+tags, re-provision with fresh data
+    // (new version), then serve the stale device: replay must fail.
+    UntrustedNdpDevice stale = device_;
+    Rng rng(404);
+    Matrix fresh = randomMatrix(rng, 32, 16, ElemWidth::W32, 1 << 10);
+    client_->provision(fresh, device_);
+    const auto result =
+        client_->weightedSumRows(stale, rows_, weights_);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST_F(ProtocolFixture, OverflowDetected)
+{
+    // Construct a query that overflows 2^we on every column: column
+    // sums exceed 2^32 (paper footnote 1: overflow is detectable).
+    Matrix big(4, 8, ElemWidth::W32, 0x20000);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            big.set(i, j, 0xC0000000u);
+    SecNdpClient client(testKey);
+    UntrustedNdpDevice device;
+    client.provision(big, device);
+
+    const std::vector<std::size_t> rows{0, 1};
+    const std::vector<std::uint64_t> weights{1, 1};
+    const auto result = client.weightedSumRows(device, rows, weights);
+    EXPECT_TRUE(result.verificationPerformed);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST_F(ProtocolFixture, NoOverflowBoundaryPasses)
+{
+    // Column sums exactly at 2^we - 1 must still verify.
+    Matrix edge(2, 4, ElemWidth::W32, 0x30000);
+    for (std::size_t j = 0; j < 4; ++j) {
+        edge.set(0, j, 0xffffffffu);
+        edge.set(1, j, 0);
+    }
+    SecNdpClient client(testKey);
+    UntrustedNdpDevice device;
+    client.provision(edge, device);
+    const std::vector<std::size_t> rows{0, 1};
+    const std::vector<std::uint64_t> weights{1, 1};
+    const auto result = client.weightedSumRows(device, rows, weights);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.values[0], 0xffffffffu);
+}
+
+TEST_F(ProtocolFixture, RandomBitFlipsAlwaysDetected)
+{
+    // Soundness sweep: every single-bit ciphertext flip that changes
+    // the query RESULT must be caught (failure prob m/q ~ 2^-123).
+    // A flip whose effect a_k * 2^bit vanishes mod 2^we leaves the
+    // result bit-identical -- the scheme verifies result correctness,
+    // not raw memory -- so such flips are excluded here and covered by
+    // ResultPreservingTamperAccepted below.
+    Rng rng(31337);
+    int checked = 0;
+    for (int trial = 0; trial < 60 && checked < 40; ++trial) {
+        const std::size_t k = rng.nextBounded(rows_.size());
+        const std::size_t j = rng.nextBounded(plain_.cols());
+        const unsigned bit = rng.nextBounded(32);
+        // A row may be referenced at several query positions; the
+        // flip's effect is the row's TOTAL weight times 2^bit.
+        std::uint64_t row_weight = 0;
+        for (std::size_t kk = 0; kk < rows_.size(); ++kk)
+            if (rows_[kk] == rows_[k])
+                row_weight += weights_[kk];
+        const std::uint64_t effect =
+            (row_weight << bit) & elemMask(plain_.width());
+        if (effect == 0)
+            continue; // result-preserving flip
+        ++checked;
+        UntrustedNdpDevice tampered = device_;
+        auto &cipher = tampered.tamperCipher();
+        cipher.set(rows_[k], j,
+                   cipher.get(rows_[k], j) ^ (std::uint64_t{1} << bit));
+        const auto result =
+            client_->weightedSumRows(tampered, rows_, weights_);
+        EXPECT_FALSE(result.verified)
+            << "flip at row " << rows_[k] << " col " << j << " bit "
+            << bit;
+    }
+    EXPECT_GE(checked, 40);
+}
+
+TEST_F(ProtocolFixture, ResultPreservingTamperAccepted)
+{
+    // Corollary of verifying the result rather than the memory image:
+    // a ciphertext perturbation whose weighted contribution is 0 mod
+    // 2^we is invisible and accepted -- the returned result is still
+    // the correct weighted sum.
+    std::size_t k_even = rows_.size();
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+        if (weights_[k] % 2 == 0) {
+            k_even = k;
+            break;
+        }
+    }
+    if (k_even == rows_.size())
+        GTEST_SKIP() << "no even weight drawn";
+    UntrustedNdpDevice tampered = device_;
+    auto &cipher = tampered.tamperCipher();
+    // weight * 2^31 = 0 mod 2^32 for even weight.
+    cipher.set(rows_[k_even], 0,
+               cipher.get(rows_[k_even], 0) ^ 0x80000000u);
+    const auto result =
+        client_->weightedSumRows(tampered, rows_, weights_);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.values, referenceRowSum(plain_, rows_, weights_));
+}
+
+TEST_F(ProtocolFixture, DuplicateIndicesAccumulate)
+{
+    const std::vector<std::size_t> rows{rows_[0], rows_[0]};
+    const std::vector<std::uint64_t> weights{2, 3};
+    const auto result = client_->weightedSumRows(device_, rows, weights);
+    EXPECT_TRUE(result.verified);
+    for (std::size_t j = 0; j < plain_.cols(); ++j) {
+        EXPECT_EQ(result.values[j],
+                  (5 * plain_.get(rows_[0], j)) &
+                      elemMask(plain_.width()));
+    }
+}
+
+TEST_F(ProtocolFixture, ZeroWeightQueryVerifies)
+{
+    const std::vector<std::size_t> rows{0, 1};
+    const std::vector<std::uint64_t> weights{0, 0};
+    const auto result = client_->weightedSumRows(device_, rows, weights);
+    EXPECT_TRUE(result.verified);
+    for (auto v : result.values)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST_F(ProtocolFixture, MismatchedSpansDie)
+{
+    const std::vector<std::size_t> rows{0, 1};
+    const std::vector<std::uint64_t> weights{1};
+    EXPECT_DEATH(client_->weightedSumRows(device_, rows, weights),
+                 "mismatch");
+}
+
+class MultiSecretProtocol : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(MultiSecretProtocol, Alg8ClientVerifiesAndDetects)
+{
+    // The Algorithm 8 construction (cnt_s secret points) must be a
+    // drop-in for the client: honest runs verify, tampering fails,
+    // and the NDP-side computation is untouched.
+    const unsigned cnt_s = GetParam();
+    Rng rng(600 + cnt_s);
+    Matrix plain(16, 8, ElemWidth::W32, 0x50000);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            plain.set(i, j, rng.nextBounded(1 << 10));
+
+    SecNdpClient client(testKey, nullptr, cnt_s);
+    UntrustedNdpDevice device;
+    client.provision(plain, device);
+
+    const std::vector<std::size_t> rows{1, 4, 9};
+    const std::vector<std::uint64_t> weights{2, 1, 3};
+    const auto honest = client.weightedSumRows(device, rows, weights);
+    EXPECT_TRUE(honest.verified);
+    EXPECT_EQ(honest.values, referenceRowSum(plain, rows, weights));
+
+    device.tamperCipher().set(4, 2, device.cipher().get(4, 2) ^ 1);
+    EXPECT_FALSE(
+        client.weightedSumRows(device, rows, weights).verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(CntS, MultiSecretProtocol,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Protocol, DifferentCntSTagsIncompatible)
+{
+    // A device provisioned with cnt_s=1 tags must fail under a
+    // cnt_s=4 verifier (and vice versa): the constructions bind the
+    // tag to the checksum family.
+    Rng rng(77);
+    Matrix plain(8, 8, ElemWidth::W32, 0x60000);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            plain.set(i, j, rng.nextBounded(256));
+
+    SecNdpClient one(testKey, nullptr, 1);
+    UntrustedNdpDevice device;
+    one.provision(plain, device);
+
+    // A parallel client with cnt_s=4 sharing no version state would
+    // re-provision; emulate the mismatch by provisioning with 4 and
+    // serving the cnt_s=1 device contents.
+    SecNdpClient four(testKey, nullptr, 4);
+    UntrustedNdpDevice dev4;
+    four.provision(plain, dev4);
+    dev4.tamperTags() = device.cipherTags(); // stale tag family
+    const std::vector<std::size_t> rows{0, 1};
+    const std::vector<std::uint64_t> weights{1, 1};
+    EXPECT_FALSE(four.weightedSumRows(dev4, rows, weights).verified);
+}
+
+TEST(Protocol, TwoClientsIndependentKeys)
+{
+    Rng rng(55);
+    const Matrix plain = randomMatrix(rng, 8, 8, ElemWidth::W32, 100);
+    SecNdpClient alice(testKey);
+    SecNdpClient mallory(Aes128::Key{0x66});
+    UntrustedNdpDevice device;
+    alice.provision(plain, device);
+
+    // A client with the wrong key decrypts garbage.
+    mallory.provision(plain, device); // re-provisions under her key
+    UntrustedNdpDevice dev_alice;
+    alice.provision(plain, dev_alice);
+    const Matrix garbage = mallory.fetchAll(dev_alice);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            mismatches += (garbage.get(i, j) != plain.get(i, j));
+    EXPECT_GT(mismatches, 32u);
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the 8-bit quantization schemes (section VI-A, Table IV
+ * machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "workloads/quantization.hh"
+
+namespace secndp {
+namespace {
+
+std::vector<float>
+heterogeneousTable(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    std::vector<float> v(rows * cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double sigma = 0.01 + 0.3 * j / cols;
+            v[i * cols + j] =
+                static_cast<float>(rng.nextGaussian() * sigma);
+        }
+    }
+    return v;
+}
+
+class QuantSchemes : public ::testing::TestWithParam<QuantScheme>
+{};
+
+TEST_P(QuantSchemes, ErrorBoundedByHalfStep)
+{
+    Rng rng(1);
+    const std::size_t rows = 64, cols = 16;
+    const auto values = heterogeneousTable(rng, rows, cols);
+    const auto q = quantizeTable(values, rows, cols, GetParam());
+    // Affine min/max quantization: error <= scale/2 per group.
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const auto g = q.groupIndex(i, j);
+            EXPECT_NEAR(q.dequant(i, j), values[i * cols + j],
+                        q.scales[g] / 2 + 1e-6);
+        }
+    }
+}
+
+TEST_P(QuantSchemes, EndpointsExactlyRepresentable)
+{
+    Rng rng(2);
+    const std::size_t rows = 16, cols = 8;
+    const auto values = heterogeneousTable(rng, rows, cols);
+    const auto q = quantizeTable(values, rows, cols, GetParam());
+    // Group min and max quantize to 0 and 255 and roundtrip closely.
+    float lo = values[0], hi = values[0];
+    for (float v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (GetParam() == QuantScheme::TableWise) {
+        EXPECT_NEAR(q.biases[0], lo, 1e-6);
+        EXPECT_NEAR(q.biases[0] + 255 * q.scales[0], hi, 1e-4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, QuantSchemes,
+                         ::testing::Values(QuantScheme::RowWise,
+                                           QuantScheme::ColumnWise,
+                                           QuantScheme::TableWise));
+
+TEST(Quantization, GroupCounts)
+{
+    Rng rng(3);
+    const auto values = heterogeneousTable(rng, 32, 8);
+    EXPECT_EQ(quantizeTable(values, 32, 8, QuantScheme::RowWise)
+                  .scales.size(),
+              32u);
+    EXPECT_EQ(quantizeTable(values, 32, 8, QuantScheme::ColumnWise)
+                  .scales.size(),
+              8u);
+    EXPECT_EQ(quantizeTable(values, 32, 8, QuantScheme::TableWise)
+                  .scales.size(),
+              1u);
+}
+
+TEST(Quantization, ColumnWiseBeatsTableWiseOnHeterogeneousColumns)
+{
+    // The motivation for per-column parameters (paper section VI-A):
+    // when column variances differ, a single table-wide range wastes
+    // resolution on narrow columns.
+    Rng rng(4);
+    const std::size_t rows = 256, cols = 32;
+    const auto values = heterogeneousTable(rng, rows, cols);
+    const auto tw =
+        quantizeTable(values, rows, cols, QuantScheme::TableWise);
+    const auto cw =
+        quantizeTable(values, rows, cols, QuantScheme::ColumnWise);
+    EXPECT_LT(meanSquaredError(values, cw),
+              meanSquaredError(values, tw) / 2);
+}
+
+TEST(Quantization, ConstantGroupHandled)
+{
+    std::vector<float> values(16, 3.5f);
+    const auto q = quantizeTable(values, 4, 4, QuantScheme::TableWise);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_FLOAT_EQ(q.dequant(i, j), 3.5f);
+}
+
+TEST(Quantization, Fp32RequestsDie)
+{
+    std::vector<float> values(4, 0.0f);
+    EXPECT_DEATH(quantizeTable(values, 2, 2, QuantScheme::None),
+                 "fp32");
+}
+
+TEST(Quantization, ErrorMetricsAgree)
+{
+    Rng rng(5);
+    const auto values = heterogeneousTable(rng, 32, 8);
+    const auto q =
+        quantizeTable(values, 32, 8, QuantScheme::ColumnWise);
+    EXPECT_LE(meanSquaredError(values, q),
+              maxAbsError(values, q) * maxAbsError(values, q));
+    EXPECT_GT(maxAbsError(values, q), 0.0);
+}
+
+} // namespace
+} // namespace secndp

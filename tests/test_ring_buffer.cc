@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for RingBuffer and the Matrix container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ring/ring_buffer.hh"
+#include "secndp/matrix.hh"
+
+namespace secndp {
+namespace {
+
+class RingBufferWidths : public ::testing::TestWithParam<ElemWidth>
+{};
+
+TEST_P(RingBufferWidths, SetGetRoundtripMasksToWidth)
+{
+    const ElemWidth w = GetParam();
+    RingBuffer buf(16, w);
+    const std::uint64_t mask = elemMask(w);
+    Rng rng(1);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        const std::uint64_t v = rng.next();
+        buf.set(i, v);
+        EXPECT_EQ(buf.get(i), v & mask);
+    }
+}
+
+TEST_P(RingBufferWidths, AddWrapsInRing)
+{
+    const ElemWidth w = GetParam();
+    RingBuffer buf(1, w);
+    const std::uint64_t mask = elemMask(w);
+    buf.set(0, mask); // max value
+    buf.addTo(0, 1);
+    EXPECT_EQ(buf.get(0), 0u);
+    buf.addTo(0, mask);
+    EXPECT_EQ(buf.get(0), mask);
+}
+
+TEST_P(RingBufferWidths, ByteLayoutLittleEndian)
+{
+    const ElemWidth w = GetParam();
+    RingBuffer buf(4, w);
+    buf.set(1, 0x11);
+    const auto span = buf.byteSpan();
+    EXPECT_EQ(span.size(), 4u * bytes(w));
+    EXPECT_EQ(span[bytes(w)], 0x11);
+    EXPECT_EQ(span[0], 0x00);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, RingBufferWidths,
+                         ::testing::Values(ElemWidth::W8, ElemWidth::W16,
+                                           ElemWidth::W32,
+                                           ElemWidth::W64));
+
+TEST(RingBuffer, WidthFromBits)
+{
+    EXPECT_EQ(elemWidthFromBits(8), ElemWidth::W8);
+    EXPECT_EQ(elemWidthFromBits(64), ElemWidth::W64);
+    EXPECT_DEATH(elemWidthFromBits(12), "unsupported");
+}
+
+TEST(RingBuffer, OutOfRangeDies)
+{
+    RingBuffer buf(4, ElemWidth::W32);
+    EXPECT_DEATH(buf.get(4), "out of");
+}
+
+TEST(Matrix, AddressArithmetic)
+{
+    // 3 rows x 8 cols of 32-bit elements at 0x1000: 32 bytes per row.
+    Matrix m(3, 8, ElemWidth::W32, 0x1000);
+    EXPECT_EQ(m.rowBytes(), 32u);
+    EXPECT_EQ(m.sizeBytes(), 96u);
+    EXPECT_EQ(m.rowAddr(0), 0x1000u);
+    EXPECT_EQ(m.rowAddr(2), 0x1040u);
+    EXPECT_EQ(m.elemAddr(1, 3), 0x1000u + 32 + 12);
+}
+
+TEST(Matrix, GeometryMatchesMatrix)
+{
+    Matrix m(4, 16, ElemWidth::W8, 0x2000);
+    const MatrixGeometry g = m.geometry();
+    EXPECT_EQ(g.rows, 4u);
+    EXPECT_EQ(g.cols, 16u);
+    EXPECT_EQ(g.we, ElemWidth::W8);
+    EXPECT_EQ(g.rowAddr(3), m.rowAddr(3));
+    EXPECT_EQ(g.elemAddr(2, 5), m.elemAddr(2, 5));
+    EXPECT_EQ(g.sizeBytes(), m.sizeBytes());
+}
+
+TEST(Matrix, UnalignedBaseDies)
+{
+    EXPECT_DEATH(Matrix(1, 1, ElemWidth::W32, 0x1001), "aligned");
+}
+
+TEST(Matrix, StoresValues)
+{
+    Matrix m(2, 2, ElemWidth::W16, 0);
+    m.set(0, 0, 1);
+    m.set(0, 1, 0x1ffff); // wraps to 0xffff
+    m.set(1, 0, 42);
+    EXPECT_EQ(m.get(0, 0), 1u);
+    EXPECT_EQ(m.get(0, 1), 0xffffu);
+    EXPECT_EQ(m.get(1, 0), 42u);
+    EXPECT_EQ(m.get(1, 1), 0u);
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the near-storage processing substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "storage/ssd_model.hh"
+
+namespace secndp {
+namespace {
+
+std::vector<SsdQuery>
+randomQueries(unsigned n, unsigned pages_each, std::uint64_t span,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<SsdQuery> queries(n);
+    for (auto &q : queries)
+        for (unsigned p = 0; p < pages_each; ++p)
+            q.pages.push_back(rng.nextBounded(span));
+    return queries;
+}
+
+TEST(SsdModel, SinglePageLatency)
+{
+    SsdConfig cfg;
+    std::vector<SsdQuery> q(1);
+    q[0].pages.push_back(0);
+    const auto host = runSsdBatch(cfg, q, false);
+    // tR + channel transfer + host transfer (+ firmware overhead).
+    const double expect = cfg.packetOverheadNs; // lower bound part
+    EXPECT_GE(host.totalNs,
+              cfg.pageReadNs + cfg.channelXferNs() + cfg.hostXferNs());
+    EXPECT_GE(host.totalNs, expect);
+    EXPECT_EQ(host.hostBytes, cfg.pageBytes);
+
+    const auto ndp = runSsdBatch(cfg, q, true);
+    EXPECT_LT(ndp.hostBytes, 1024u);
+    // One page: near-storage saves only the host hop.
+    EXPECT_LT(ndp.totalNs, host.totalNs);
+}
+
+TEST(SsdModel, NearStorageBeatsHostOnBigScans)
+{
+    // Aggregate channel bandwidth (8 x 1.2 GB/s) exceeds the host
+    // link (3.5 GB/s): near-storage processing should win ~2-3x on a
+    // streaming scan.
+    SsdConfig cfg;
+    const auto queries = randomQueries(16, 256, 1 << 20, 1);
+    const auto host = runSsdBatch(cfg, queries, false);
+    const auto ndp = runSsdBatch(cfg, queries, true);
+    const double speedup = host.totalNs / ndp.totalNs;
+    EXPECT_GT(speedup, 1.8);
+    EXPECT_LT(speedup, 4.0);
+    EXPECT_LT(ndp.hostBytes, host.hostBytes / 100);
+}
+
+TEST(SsdModel, ChannelParallelismScales)
+{
+    const auto queries = randomQueries(8, 256, 1 << 20, 2);
+    double prev = 1e300;
+    for (unsigned ch : {2u, 4u, 8u}) {
+        SsdConfig cfg;
+        cfg.channels = ch;
+        const auto r = runSsdBatch(cfg, queries, true);
+        EXPECT_LT(r.totalNs, prev);
+        prev = r.totalNs;
+    }
+}
+
+TEST(SsdModel, PacketsTimestampsSane)
+{
+    SsdConfig cfg;
+    const auto queries = randomQueries(10, 16, 4096, 3);
+    const auto r = runSsdBatch(cfg, queries, true);
+    ASSERT_EQ(r.packets.size(), queries.size());
+    for (const auto &p : r.packets) {
+        EXPECT_GE(p.finishedNs, p.issuedNs);
+        EXPECT_LE(p.finishedNs, r.totalNs);
+        EXPECT_EQ(p.pages, 16u);
+    }
+    EXPECT_EQ(r.totalPages, 160u);
+}
+
+TEST(SsdEngine, AmpleAesKeepsStorageBound)
+{
+    SsdConfig cfg;
+    const auto queries = randomQueries(8, 128, 1 << 20, 4);
+    const auto batch = runSsdBatch(cfg, queries, true);
+    // OTP work: every touched byte (pages x 16 KB / 16 B blocks).
+    std::vector<std::uint64_t> blocks;
+    for (const auto &q : queries)
+        blocks.push_back(q.pages.size() * (cfg.pageBytes / 16));
+    // Flash is slow: a SINGLE 111.3 Gbps AES engine (13.9 GB/s)
+    // already outruns the SSD's aggregate channel bandwidth, so
+    // near-storage SecNDP needs just one engine -- in contrast to
+    // the ~10 the DRAM case needs (Fig. 8).
+    const auto one = overlaySsdEngine(batch, blocks, 1);
+    EXPECT_EQ(one.fractionDecryptBound, 0.0);
+    EXPECT_NEAR(one.totalNs, batch.totalNs, 1.0);
+
+    // A much weaker engine (2 Gbps, e.g. a firmware AES) IS the
+    // bottleneck.
+    const auto weak = overlaySsdEngine(batch, blocks, 1, 2.0);
+    EXPECT_GT(weak.fractionDecryptBound, 0.5);
+    EXPECT_GT(weak.totalNs, batch.totalNs);
+}
+
+TEST(SsdEngine, MismatchedSizesDie)
+{
+    SsdConfig cfg;
+    const auto queries = randomQueries(2, 4, 64, 5);
+    const auto batch = runSsdBatch(cfg, queries, true);
+    EXPECT_DEATH(overlaySsdEngine(batch, {1}, 4), "mismatch");
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for workload-trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/dlrm.hh"
+#include "workloads/trace_io.hh"
+
+namespace secndp {
+namespace {
+
+bool
+tracesEqual(const WorkloadTrace &a, const WorkloadTrace &b)
+{
+    if (a.queries.size() != b.queries.size())
+        return false;
+    for (std::size_t i = 0; i < a.queries.size(); ++i) {
+        const auto &qa = a.queries[i];
+        const auto &qb = b.queries[i];
+        if (qa.resultBytes != qb.resultBytes ||
+            qa.engineWork.dataOtpBlocks !=
+                qb.engineWork.dataOtpBlocks ||
+            qa.engineWork.tagOtpBlocks != qb.engineWork.tagOtpBlocks ||
+            qa.engineWork.otpPuOps != qb.engineWork.otpPuOps ||
+            qa.engineWork.verifyOps != qb.engineWork.verifyOps ||
+            qa.ranges.size() != qb.ranges.size())
+            return false;
+        for (std::size_t k = 0; k < qa.ranges.size(); ++k) {
+            if (qa.ranges[k].vaddr != qb.ranges[k].vaddr ||
+                qa.ranges[k].bytes != qb.ranges[k].bytes)
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST(TraceIo, RoundtripSlsTrace)
+{
+    SlsTraceConfig tc;
+    tc.batch = 3;
+    tc.pf = 7;
+    tc.layout = VerLayout::Sep;
+    const auto trace = buildSlsTrace(rmc1Small(), tc);
+
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    const auto back = readTrace(ss);
+    EXPECT_TRUE(tracesEqual(trace, back));
+}
+
+TEST(TraceIo, EmptyTraceRoundtrips)
+{
+    WorkloadTrace trace;
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    EXPECT_TRUE(readTrace(ss).queries.empty());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss(
+        "secndp-trace v1\n"
+        "# hello\n"
+        "\n"
+        "q 128 10 0 320 0\n"
+        "# ranges follow\n"
+        "r 4096 128\n"
+        "r 8192 128\n");
+    const auto trace = readTrace(ss);
+    ASSERT_EQ(trace.queries.size(), 1u);
+    EXPECT_EQ(trace.queries[0].resultBytes, 128u);
+    ASSERT_EQ(trace.queries[0].ranges.size(), 2u);
+    EXPECT_EQ(trace.queries[0].ranges[1].vaddr, 8192u);
+}
+
+TEST(TraceIo, BadHeaderFatal)
+{
+    std::stringstream ss("not-a-trace\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "not a secndp-trace");
+}
+
+TEST(TraceIo, OrphanRangeFatal)
+{
+    std::stringstream ss("secndp-trace v1\nr 0 64\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "before any");
+}
+
+TEST(TraceIo, MalformedRecordFatal)
+{
+    std::stringstream ss("secndp-trace v1\nq 128 xyz\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(TraceIo, ZeroByteRangeFatal)
+{
+    std::stringstream ss("secndp-trace v1\nq 128 1 0 1 0\nr 0 0\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "malformed 'r'");
+}
+
+TEST(TraceIo, FileRoundtrip)
+{
+    SlsTraceConfig tc;
+    tc.batch = 2;
+    tc.pf = 4;
+    const auto trace = buildSlsTrace(rmc1Small(), tc);
+    const std::string path = "/tmp/secndp_trace_test.txt";
+    saveTraceFile(path, trace);
+    EXPECT_TRUE(tracesEqual(trace, loadTraceFile(path)));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace secndp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the TEE-software version manager (paper section V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "secndp/version.hh"
+
+namespace secndp {
+namespace {
+
+TEST(VersionManager, FreshVersionsNeverRepeat)
+{
+    VersionManager vm(8);
+    std::set<std::uint64_t> seen;
+    for (int round = 0; round < 10; ++round) {
+        for (std::uint64_t region = 0; region < 4; ++region) {
+            const auto v = vm.freshVersion(region);
+            EXPECT_TRUE(seen.insert(v).second)
+                << "version " << v << " reused";
+        }
+    }
+    EXPECT_EQ(vm.drawCount(), 40u);
+}
+
+TEST(VersionManager, CurrentTracksLatest)
+{
+    VersionManager vm;
+    const auto v1 = vm.freshVersion(7);
+    EXPECT_EQ(vm.currentVersion(7), v1);
+    const auto v2 = vm.freshVersion(7);
+    EXPECT_EQ(vm.currentVersion(7), v2);
+    EXPECT_NE(v1, v2);
+}
+
+TEST(VersionManager, CapacityEnforced)
+{
+    VersionManager vm(2);
+    vm.freshVersion(1);
+    vm.freshVersion(2);
+    EXPECT_EQ(vm.liveRegions(), 2u);
+    EXPECT_EXIT(vm.freshVersion(3), ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(VersionManager, ReencryptingRegionDoesNotConsumeCapacity)
+{
+    VersionManager vm(1);
+    vm.freshVersion(5);
+    vm.freshVersion(5);
+    vm.freshVersion(5);
+    EXPECT_EQ(vm.liveRegions(), 1u);
+}
+
+TEST(VersionManager, ReleaseFreesCapacity)
+{
+    VersionManager vm(1);
+    vm.freshVersion(1);
+    vm.release(1);
+    vm.freshVersion(2); // would fatal without the release
+    EXPECT_EQ(vm.liveRegions(), 1u);
+}
+
+TEST(VersionManager, UnknownRegionDies)
+{
+    VersionManager vm;
+    EXPECT_DEATH(vm.currentVersion(99), "unknown region");
+}
+
+TEST(VersionManager, PaperDefaultCapacityIs64)
+{
+    VersionManager vm;
+    EXPECT_EQ(vm.capacity(), 64u);
+}
+
+} // namespace
+} // namespace secndp

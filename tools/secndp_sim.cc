@@ -1,0 +1,214 @@
+/**
+ * @file
+ * secndp_sim: command-line experiment runner.
+ *
+ * Runs one workload under one execution mode on one hardware
+ * configuration and prints cycles, bandwidth, bottleneck, and energy
+ * -- the building block the bench binaries compose, exposed for
+ * ad-hoc exploration.
+ *
+ * Usage:
+ *   secndp_sim [--workload sls|medical]
+ *              [--model rmc1-small|rmc1-large|rmc2-small|rmc2-large]
+ *              [--mode cpu|tee|ndp|enc|ver]
+ *              [--layout none|coloc|sep|ecc]
+ *              [--quant fp32|row|col|table]
+ *              [--ranks N] [--regs N] [--aes N]
+ *              [--batch N] [--pf N] [--zipf A] [--seed S]
+ *
+ * Example: compare native NDP and SecNDP on quantized RMC2-small:
+ *   secndp_sim --workload sls --model rmc2-small --quant col \
+ *              --mode ndp
+ *   secndp_sim --workload sls --model rmc2-small --quant col \
+ *              --mode enc --aes 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+#include "workloads/dlrm.hh"
+#include "workloads/medical.hh"
+#include "workloads/trace_io.hh"
+
+using namespace secndp;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "sls";
+    std::string model = "rmc1-small";
+    std::string mode = "enc";
+    std::string layout = "none";
+    std::string quant = "fp32";
+    unsigned ranks = 8;
+    unsigned regs = 8;
+    unsigned aes = 12;
+    unsigned batch = 8;
+    unsigned pf = 80;
+    double zipf = 0.0;
+    std::uint64_t seed = Rng::defaultSeed;
+    std::string saveTrace; ///< write the generated trace and exit
+    std::string loadTrace; ///< replay a trace file instead
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload sls|medical] [--model M] "
+                 "[--mode cpu|tee|ndp|enc|ver]\n"
+                 "          [--layout none|coloc|sep|ecc] "
+                 "[--quant fp32|row|col|table]\n"
+                 "          [--ranks N] [--regs N] [--aes N] "
+                 "[--batch N] [--pf N] [--zipf A] [--seed S]\n",
+                 argv0);
+    std::exit(2);
+}
+
+ExecMode
+parseMode(const std::string &s)
+{
+    if (s == "cpu") return ExecMode::CpuUnprotected;
+    if (s == "tee") return ExecMode::CpuTee;
+    if (s == "ndp") return ExecMode::NdpUnprotected;
+    if (s == "enc") return ExecMode::SecNdpEnc;
+    if (s == "ver") return ExecMode::SecNdpEncVer;
+    fatal("unknown mode '%s'", s.c_str());
+}
+
+VerLayout
+parseLayout(const std::string &s)
+{
+    if (s == "none") return VerLayout::None;
+    if (s == "coloc") return VerLayout::Coloc;
+    if (s == "sep") return VerLayout::Sep;
+    if (s == "ecc") return VerLayout::Ecc;
+    fatal("unknown layout '%s'", s.c_str());
+}
+
+QuantScheme
+parseQuant(const std::string &s)
+{
+    if (s == "fp32") return QuantScheme::None;
+    if (s == "row") return QuantScheme::RowWise;
+    if (s == "col") return QuantScheme::ColumnWise;
+    if (s == "table") return QuantScheme::TableWise;
+    fatal("unknown quant '%s'", s.c_str());
+}
+
+DlrmModelConfig
+parseModel(const std::string &s)
+{
+    if (s == "rmc1-small") return rmc1Small();
+    if (s == "rmc1-large") return rmc1Large();
+    if (s == "rmc2-small") return rmc2Small();
+    if (s == "rmc2-large") return rmc2Large();
+    fatal("unknown model '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--workload") opt.workload = next();
+        else if (arg == "--model") opt.model = next();
+        else if (arg == "--mode") opt.mode = next();
+        else if (arg == "--layout") opt.layout = next();
+        else if (arg == "--quant") opt.quant = next();
+        else if (arg == "--ranks") opt.ranks = std::stoul(next());
+        else if (arg == "--regs") opt.regs = std::stoul(next());
+        else if (arg == "--aes") opt.aes = std::stoul(next());
+        else if (arg == "--batch") opt.batch = std::stoul(next());
+        else if (arg == "--pf") opt.pf = std::stoul(next());
+        else if (arg == "--zipf") opt.zipf = std::stod(next());
+        else if (arg == "--seed") opt.seed = std::stoull(next());
+        else if (arg == "--save-trace") opt.saveTrace = next();
+        else if (arg == "--load-trace") opt.loadTrace = next();
+        else usage(argv[0]);
+    }
+
+    const ExecMode mode = parseMode(opt.mode);
+    const VerLayout layout =
+        mode == ExecMode::SecNdpEncVer && opt.layout == "none"
+            ? VerLayout::Ecc // sensible default for ver mode
+            : parseLayout(opt.layout);
+
+    SystemConfig sys;
+    sys.dram.geometry.ranks = opt.ranks;
+    sys.ndp.ndpReg = opt.regs;
+    sys.engine.nAesEngines = opt.aes;
+
+    WorkloadTrace trace;
+    if (!opt.loadTrace.empty()) {
+        trace = loadTraceFile(opt.loadTrace);
+    } else if (opt.workload == "sls") {
+        SlsTraceConfig tc;
+        tc.batch = opt.batch;
+        tc.pf = opt.pf;
+        tc.zipfAlpha = opt.zipf;
+        tc.quant = parseQuant(opt.quant);
+        tc.layout = layout;
+        tc.seed = opt.seed;
+        trace = buildSlsTrace(parseModel(opt.model), tc);
+    } else if (opt.workload == "medical") {
+        MedicalDbConfig db;
+        db.pf = opt.pf;
+        db.numQueries = opt.batch;
+        db.seed = opt.seed;
+        trace = buildMedicalTrace(db, layout);
+    } else {
+        usage(argv[0]);
+    }
+
+    if (!opt.saveTrace.empty()) {
+        saveTraceFile(opt.saveTrace, trace);
+        std::printf("wrote %zu queries to %s\n", trace.queries.size(),
+                    opt.saveTrace.c_str());
+        return 0;
+    }
+
+    const auto m = runWorkload(sys, trace, mode);
+    const auto energy = computeEnergy(EnergyParams{}, m);
+
+    std::printf("workload        %s (%s, quant=%s, layout=%s)\n",
+                opt.workload.c_str(), opt.model.c_str(),
+                opt.quant.c_str(), opt.layout.c_str());
+    std::printf("config          ranks=%u regs=%u aes=%u batch=%u "
+                "pf=%u zipf=%.2f\n",
+                opt.ranks, opt.regs, opt.aes, opt.batch, opt.pf,
+                opt.zipf);
+    std::printf("mode            %s\n", execModeName(mode));
+    std::printf("queries         %zu\n", trace.queries.size());
+    std::printf("cycles          %lld (%.3f us)\n",
+                static_cast<long long>(m.cycles), m.ns / 1000.0);
+    std::printf("lines read      %llu (%.2f GB/s sustained)\n",
+                static_cast<unsigned long long>(m.lines),
+                m.lines * 64.0 / m.ns);
+    std::printf("activations     %llu\n",
+                static_cast<unsigned long long>(m.acts));
+    std::printf("DIMM IO bits    %llu\n",
+                static_cast<unsigned long long>(m.ioBits));
+    std::printf("aes blocks      %llu\n",
+                static_cast<unsigned long long>(m.aesBlocks));
+    std::printf("decrypt-bound   %.1f%% of packets\n",
+                100 * m.fracDecryptBound);
+    std::printf("energy          DIMM %.2f uJ + IO %.2f uJ + engine "
+                "%.2f uJ = %.2f uJ\n",
+                energy.dimmPj / 1e6, energy.ioPj / 1e6,
+                energy.enginePj / 1e6, energy.totalPj() / 1e6);
+    return 0;
+}
