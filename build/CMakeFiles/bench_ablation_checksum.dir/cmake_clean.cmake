@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checksum.dir/bench/bench_ablation_checksum.cpp.o"
+  "CMakeFiles/bench_ablation_checksum.dir/bench/bench_ablation_checksum.cpp.o.d"
+  "bench/bench_ablation_checksum"
+  "bench/bench_ablation_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_storage.dir/bench/bench_ext_storage.cpp.o"
+  "CMakeFiles/bench_ext_storage.dir/bench/bench_ext_storage.cpp.o.d"
+  "bench/bench_ext_storage"
+  "bench/bench_ext_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ver_bottleneck.dir/bench/bench_fig10_ver_bottleneck.cpp.o"
+  "CMakeFiles/bench_fig10_ver_bottleneck.dir/bench/bench_fig10_ver_bottleneck.cpp.o.d"
+  "bench/bench_fig10_ver_bottleneck"
+  "bench/bench_fig10_ver_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ver_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

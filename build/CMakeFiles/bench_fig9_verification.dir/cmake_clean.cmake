@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_verification.dir/bench/bench_fig9_verification.cpp.o"
+  "CMakeFiles/bench_fig9_verification.dir/bench/bench_fig9_verification.cpp.o.d"
+  "bench/bench_fig9_verification"
+  "bench/bench_fig9_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

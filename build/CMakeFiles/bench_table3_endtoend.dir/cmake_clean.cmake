@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_endtoend.dir/bench/bench_table3_endtoend.cpp.o"
+  "CMakeFiles/bench_table3_endtoend.dir/bench/bench_table3_endtoend.cpp.o.d"
+  "bench/bench_table3_endtoend"
+  "bench/bench_table3_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_inference.dir/dlrm_inference.cpp.o"
+  "CMakeFiles/dlrm_inference.dir/dlrm_inference.cpp.o.d"
+  "dlrm_inference"
+  "dlrm_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

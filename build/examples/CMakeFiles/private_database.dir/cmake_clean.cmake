@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_database.dir/private_database.cpp.o"
+  "CMakeFiles/private_database.dir/private_database.cpp.o.d"
+  "private_database"
+  "private_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ring")
+subdirs("crypto")
+subdirs("secndp")
+subdirs("memsim")
+subdirs("ndp")
+subdirs("engine")
+subdirs("arch")
+subdirs("workloads")
+subdirs("energy")
+subdirs("storage")

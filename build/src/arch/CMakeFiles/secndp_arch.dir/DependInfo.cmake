@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/sgx_model.cc" "src/arch/CMakeFiles/secndp_arch.dir/sgx_model.cc.o" "gcc" "src/arch/CMakeFiles/secndp_arch.dir/sgx_model.cc.o.d"
+  "/root/repo/src/arch/system.cc" "src/arch/CMakeFiles/secndp_arch.dir/system.cc.o" "gcc" "src/arch/CMakeFiles/secndp_arch.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/secndp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/secndp_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/secndp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

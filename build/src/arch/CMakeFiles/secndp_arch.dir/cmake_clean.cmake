@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_arch.dir/sgx_model.cc.o"
+  "CMakeFiles/secndp_arch.dir/sgx_model.cc.o.d"
+  "CMakeFiles/secndp_arch.dir/system.cc.o"
+  "CMakeFiles/secndp_arch.dir/system.cc.o.d"
+  "libsecndp_arch.a"
+  "libsecndp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_common.dir/logging.cc.o"
+  "CMakeFiles/secndp_common.dir/logging.cc.o.d"
+  "CMakeFiles/secndp_common.dir/rng.cc.o"
+  "CMakeFiles/secndp_common.dir/rng.cc.o.d"
+  "CMakeFiles/secndp_common.dir/stats.cc.o"
+  "CMakeFiles/secndp_common.dir/stats.cc.o.d"
+  "libsecndp_common.a"
+  "libsecndp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

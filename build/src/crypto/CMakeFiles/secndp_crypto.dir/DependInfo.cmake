@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/secndp_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/secndp_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/counter_mode.cc" "src/crypto/CMakeFiles/secndp_crypto.dir/counter_mode.cc.o" "gcc" "src/crypto/CMakeFiles/secndp_crypto.dir/counter_mode.cc.o.d"
+  "/root/repo/src/crypto/cwc.cc" "src/crypto/CMakeFiles/secndp_crypto.dir/cwc.cc.o" "gcc" "src/crypto/CMakeFiles/secndp_crypto.dir/cwc.cc.o.d"
+  "/root/repo/src/crypto/gcm.cc" "src/crypto/CMakeFiles/secndp_crypto.dir/gcm.cc.o" "gcc" "src/crypto/CMakeFiles/secndp_crypto.dir/gcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/secndp_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

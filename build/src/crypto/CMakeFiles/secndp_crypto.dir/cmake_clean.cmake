@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_crypto.dir/aes.cc.o"
+  "CMakeFiles/secndp_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/secndp_crypto.dir/counter_mode.cc.o"
+  "CMakeFiles/secndp_crypto.dir/counter_mode.cc.o.d"
+  "CMakeFiles/secndp_crypto.dir/cwc.cc.o"
+  "CMakeFiles/secndp_crypto.dir/cwc.cc.o.d"
+  "CMakeFiles/secndp_crypto.dir/gcm.cc.o"
+  "CMakeFiles/secndp_crypto.dir/gcm.cc.o.d"
+  "libsecndp_crypto.a"
+  "libsecndp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_energy.dir/energy_model.cc.o"
+  "CMakeFiles/secndp_energy.dir/energy_model.cc.o.d"
+  "libsecndp_energy.a"
+  "libsecndp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsecndp_energy.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_engine.dir/engine_model.cc.o"
+  "CMakeFiles/secndp_engine.dir/engine_model.cc.o.d"
+  "libsecndp_engine.a"
+  "libsecndp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/address.cc" "src/memsim/CMakeFiles/secndp_memsim.dir/address.cc.o" "gcc" "src/memsim/CMakeFiles/secndp_memsim.dir/address.cc.o.d"
+  "/root/repo/src/memsim/channel.cc" "src/memsim/CMakeFiles/secndp_memsim.dir/channel.cc.o" "gcc" "src/memsim/CMakeFiles/secndp_memsim.dir/channel.cc.o.d"
+  "/root/repo/src/memsim/controller.cc" "src/memsim/CMakeFiles/secndp_memsim.dir/controller.cc.o" "gcc" "src/memsim/CMakeFiles/secndp_memsim.dir/controller.cc.o.d"
+  "/root/repo/src/memsim/page_mapper.cc" "src/memsim/CMakeFiles/secndp_memsim.dir/page_mapper.cc.o" "gcc" "src/memsim/CMakeFiles/secndp_memsim.dir/page_mapper.cc.o.d"
+  "/root/repo/src/memsim/trace_checker.cc" "src/memsim/CMakeFiles/secndp_memsim.dir/trace_checker.cc.o" "gcc" "src/memsim/CMakeFiles/secndp_memsim.dir/trace_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_memsim.dir/address.cc.o"
+  "CMakeFiles/secndp_memsim.dir/address.cc.o.d"
+  "CMakeFiles/secndp_memsim.dir/channel.cc.o"
+  "CMakeFiles/secndp_memsim.dir/channel.cc.o.d"
+  "CMakeFiles/secndp_memsim.dir/controller.cc.o"
+  "CMakeFiles/secndp_memsim.dir/controller.cc.o.d"
+  "CMakeFiles/secndp_memsim.dir/page_mapper.cc.o"
+  "CMakeFiles/secndp_memsim.dir/page_mapper.cc.o.d"
+  "CMakeFiles/secndp_memsim.dir/trace_checker.cc.o"
+  "CMakeFiles/secndp_memsim.dir/trace_checker.cc.o.d"
+  "libsecndp_memsim.a"
+  "libsecndp_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

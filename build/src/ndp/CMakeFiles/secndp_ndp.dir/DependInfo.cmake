@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndp/ndp_system.cc" "src/ndp/CMakeFiles/secndp_ndp.dir/ndp_system.cc.o" "gcc" "src/ndp/CMakeFiles/secndp_ndp.dir/ndp_system.cc.o.d"
+  "/root/repo/src/ndp/packet_gen.cc" "src/ndp/CMakeFiles/secndp_ndp.dir/packet_gen.cc.o" "gcc" "src/ndp/CMakeFiles/secndp_ndp.dir/packet_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/secndp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_ndp.dir/ndp_system.cc.o"
+  "CMakeFiles/secndp_ndp.dir/ndp_system.cc.o.d"
+  "CMakeFiles/secndp_ndp.dir/packet_gen.cc.o"
+  "CMakeFiles/secndp_ndp.dir/packet_gen.cc.o.d"
+  "libsecndp_ndp.a"
+  "libsecndp_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_ring.dir/mersenne.cc.o"
+  "CMakeFiles/secndp_ring.dir/mersenne.cc.o.d"
+  "CMakeFiles/secndp_ring.dir/ring_buffer.cc.o"
+  "CMakeFiles/secndp_ring.dir/ring_buffer.cc.o.d"
+  "libsecndp_ring.a"
+  "libsecndp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

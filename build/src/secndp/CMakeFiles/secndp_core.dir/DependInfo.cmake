@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secndp/arith_encrypt.cc" "src/secndp/CMakeFiles/secndp_core.dir/arith_encrypt.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/arith_encrypt.cc.o.d"
+  "/root/repo/src/secndp/checksum.cc" "src/secndp/CMakeFiles/secndp_core.dir/checksum.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/checksum.cc.o.d"
+  "/root/repo/src/secndp/integrity_tree.cc" "src/secndp/CMakeFiles/secndp_core.dir/integrity_tree.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/integrity_tree.cc.o.d"
+  "/root/repo/src/secndp/matrix.cc" "src/secndp/CMakeFiles/secndp_core.dir/matrix.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/matrix.cc.o.d"
+  "/root/repo/src/secndp/oracles.cc" "src/secndp/CMakeFiles/secndp_core.dir/oracles.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/oracles.cc.o.d"
+  "/root/repo/src/secndp/protocol.cc" "src/secndp/CMakeFiles/secndp_core.dir/protocol.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/protocol.cc.o.d"
+  "/root/repo/src/secndp/version.cc" "src/secndp/CMakeFiles/secndp_core.dir/version.cc.o" "gcc" "src/secndp/CMakeFiles/secndp_core.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/secndp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/secndp_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

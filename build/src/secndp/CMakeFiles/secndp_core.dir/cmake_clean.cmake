@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_core.dir/arith_encrypt.cc.o"
+  "CMakeFiles/secndp_core.dir/arith_encrypt.cc.o.d"
+  "CMakeFiles/secndp_core.dir/checksum.cc.o"
+  "CMakeFiles/secndp_core.dir/checksum.cc.o.d"
+  "CMakeFiles/secndp_core.dir/integrity_tree.cc.o"
+  "CMakeFiles/secndp_core.dir/integrity_tree.cc.o.d"
+  "CMakeFiles/secndp_core.dir/matrix.cc.o"
+  "CMakeFiles/secndp_core.dir/matrix.cc.o.d"
+  "CMakeFiles/secndp_core.dir/oracles.cc.o"
+  "CMakeFiles/secndp_core.dir/oracles.cc.o.d"
+  "CMakeFiles/secndp_core.dir/protocol.cc.o"
+  "CMakeFiles/secndp_core.dir/protocol.cc.o.d"
+  "CMakeFiles/secndp_core.dir/version.cc.o"
+  "CMakeFiles/secndp_core.dir/version.cc.o.d"
+  "libsecndp_core.a"
+  "libsecndp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_storage.dir/ssd_model.cc.o"
+  "CMakeFiles/secndp_storage.dir/ssd_model.cc.o.d"
+  "libsecndp_storage.a"
+  "libsecndp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ctr_model.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/ctr_model.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/ctr_model.cc.o.d"
+  "/root/repo/src/workloads/dlrm.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/dlrm.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/dlrm.cc.o.d"
+  "/root/repo/src/workloads/medical.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/medical.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/medical.cc.o.d"
+  "/root/repo/src/workloads/mlp.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/mlp.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/mlp.cc.o.d"
+  "/root/repo/src/workloads/quantization.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/quantization.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/quantization.cc.o.d"
+  "/root/repo/src/workloads/trace_io.cc" "src/workloads/CMakeFiles/secndp_workloads.dir/trace_io.cc.o" "gcc" "src/workloads/CMakeFiles/secndp_workloads.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/secndp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/secndp/CMakeFiles/secndp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/secndp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/secndp_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/secndp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secndp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/secndp_ring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_workloads.dir/ctr_model.cc.o"
+  "CMakeFiles/secndp_workloads.dir/ctr_model.cc.o.d"
+  "CMakeFiles/secndp_workloads.dir/dlrm.cc.o"
+  "CMakeFiles/secndp_workloads.dir/dlrm.cc.o.d"
+  "CMakeFiles/secndp_workloads.dir/medical.cc.o"
+  "CMakeFiles/secndp_workloads.dir/medical.cc.o.d"
+  "CMakeFiles/secndp_workloads.dir/mlp.cc.o"
+  "CMakeFiles/secndp_workloads.dir/mlp.cc.o.d"
+  "CMakeFiles/secndp_workloads.dir/quantization.cc.o"
+  "CMakeFiles/secndp_workloads.dir/quantization.cc.o.d"
+  "CMakeFiles/secndp_workloads.dir/trace_io.cc.o"
+  "CMakeFiles/secndp_workloads.dir/trace_io.cc.o.d"
+  "libsecndp_workloads.a"
+  "libsecndp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

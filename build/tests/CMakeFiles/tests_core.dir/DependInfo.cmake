@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes.cc" "tests/CMakeFiles/tests_core.dir/test_aes.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_aes.cc.o.d"
+  "/root/repo/tests/test_arith_encrypt.cc" "tests/CMakeFiles/tests_core.dir/test_arith_encrypt.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_arith_encrypt.cc.o.d"
+  "/root/repo/tests/test_checksum.cc" "tests/CMakeFiles/tests_core.dir/test_checksum.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_checksum.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/tests_core.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_counter_mode.cc" "tests/CMakeFiles/tests_core.dir/test_counter_mode.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_counter_mode.cc.o.d"
+  "/root/repo/tests/test_cwc.cc" "tests/CMakeFiles/tests_core.dir/test_cwc.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_cwc.cc.o.d"
+  "/root/repo/tests/test_gcm.cc" "tests/CMakeFiles/tests_core.dir/test_gcm.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_gcm.cc.o.d"
+  "/root/repo/tests/test_integrity_tree.cc" "tests/CMakeFiles/tests_core.dir/test_integrity_tree.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_integrity_tree.cc.o.d"
+  "/root/repo/tests/test_mersenne.cc" "tests/CMakeFiles/tests_core.dir/test_mersenne.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_mersenne.cc.o.d"
+  "/root/repo/tests/test_oracles.cc" "tests/CMakeFiles/tests_core.dir/test_oracles.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_oracles.cc.o.d"
+  "/root/repo/tests/test_protocol.cc" "tests/CMakeFiles/tests_core.dir/test_protocol.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_protocol.cc.o.d"
+  "/root/repo/tests/test_ring_buffer.cc" "tests/CMakeFiles/tests_core.dir/test_ring_buffer.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_ring_buffer.cc.o.d"
+  "/root/repo/tests/test_version.cc" "tests/CMakeFiles/tests_core.dir/test_version.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/test_version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/secndp/CMakeFiles/secndp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secndp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/secndp_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

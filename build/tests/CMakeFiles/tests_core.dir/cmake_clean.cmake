@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_aes.cc.o"
+  "CMakeFiles/tests_core.dir/test_aes.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_arith_encrypt.cc.o"
+  "CMakeFiles/tests_core.dir/test_arith_encrypt.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_checksum.cc.o"
+  "CMakeFiles/tests_core.dir/test_checksum.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_common.cc.o"
+  "CMakeFiles/tests_core.dir/test_common.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_counter_mode.cc.o"
+  "CMakeFiles/tests_core.dir/test_counter_mode.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_cwc.cc.o"
+  "CMakeFiles/tests_core.dir/test_cwc.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_gcm.cc.o"
+  "CMakeFiles/tests_core.dir/test_gcm.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_integrity_tree.cc.o"
+  "CMakeFiles/tests_core.dir/test_integrity_tree.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_mersenne.cc.o"
+  "CMakeFiles/tests_core.dir/test_mersenne.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_oracles.cc.o"
+  "CMakeFiles/tests_core.dir/test_oracles.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_protocol.cc.o"
+  "CMakeFiles/tests_core.dir/test_protocol.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_ring_buffer.cc.o"
+  "CMakeFiles/tests_core.dir/test_ring_buffer.cc.o.d"
+  "CMakeFiles/tests_core.dir/test_version.cc.o"
+  "CMakeFiles/tests_core.dir/test_version.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

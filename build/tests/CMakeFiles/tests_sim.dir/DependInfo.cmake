@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cc" "tests/CMakeFiles/tests_sim.dir/test_arch.cc.o" "gcc" "tests/CMakeFiles/tests_sim.dir/test_arch.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/tests_sim.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/tests_sim.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_memsim.cc" "tests/CMakeFiles/tests_sim.dir/test_memsim.cc.o" "gcc" "tests/CMakeFiles/tests_sim.dir/test_memsim.cc.o.d"
+  "/root/repo/tests/test_ndp.cc" "tests/CMakeFiles/tests_sim.dir/test_ndp.cc.o" "gcc" "tests/CMakeFiles/tests_sim.dir/test_ndp.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/tests_sim.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/tests_sim.dir/test_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/secndp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/secndp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/secndp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/secndp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/secndp_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/secndp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/secndp/CMakeFiles/secndp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secndp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/secndp_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

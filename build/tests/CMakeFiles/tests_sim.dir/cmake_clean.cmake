@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/test_arch.cc.o"
+  "CMakeFiles/tests_sim.dir/test_arch.cc.o.d"
+  "CMakeFiles/tests_sim.dir/test_engine.cc.o"
+  "CMakeFiles/tests_sim.dir/test_engine.cc.o.d"
+  "CMakeFiles/tests_sim.dir/test_memsim.cc.o"
+  "CMakeFiles/tests_sim.dir/test_memsim.cc.o.d"
+  "CMakeFiles/tests_sim.dir/test_ndp.cc.o"
+  "CMakeFiles/tests_sim.dir/test_ndp.cc.o.d"
+  "CMakeFiles/tests_sim.dir/test_storage.cc.o"
+  "CMakeFiles/tests_sim.dir/test_storage.cc.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workloads.dir/test_ctr.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_ctr.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_dlrm.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_dlrm.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_energy.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_energy.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_medical.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_medical.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_mlp.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_mlp.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_quantization.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_quantization.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/test_trace_io.cc.o"
+  "CMakeFiles/tests_workloads.dir/test_trace_io.cc.o.d"
+  "tests_workloads"
+  "tests_workloads.pdb"
+  "tests_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secndp_sim.dir/secndp_sim.cc.o"
+  "CMakeFiles/secndp_sim.dir/secndp_sim.cc.o.d"
+  "secndp_sim"
+  "secndp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secndp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
