@@ -51,5 +51,6 @@ main()
                 "grows with\ntotal NDP bandwidth (channels x ranks), "
                 "so engine provisioning follows Fig. 8\nscaled by "
                 "the channel count.\n");
+    writeStatsSidecar("bench_ablation_channels");
     return 0;
 }

@@ -99,5 +99,6 @@ main()
                 "essentially free on the trusted side -- and the NDP "
                 "and\ntag memory layout are identical for every "
                 "cnt_s.\n");
+    writeStatsSidecar("bench_ablation_checksum");
     return 0;
 }

@@ -78,5 +78,6 @@ main()
                 "interference) while improving batch\nthroughput -- "
                 "the classic latency/throughput trade the NDP_reg "
                 "knob controls.\n");
+    writeStatsSidecar("bench_ablation_latency");
     return 0;
 }

@@ -87,5 +87,6 @@ main()
                 "Re-encryption (version bump) costs the\nsame T0, "
                 "which is why versions are per-region and bumped in "
                 "bulk (section V-A).\n");
+    writeStatsSidecar("bench_ablation_provisioning");
     return 0;
 }

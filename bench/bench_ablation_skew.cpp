@@ -63,5 +63,6 @@ main()
                 "lowers the rank-parallel win; larger PF amortizes "
                 "per-packet\noverheads and fills all ranks, raising "
                 "speedup toward the rank count.\n");
+    writeStatsSidecar("bench_ablation_skew");
     return 0;
 }

@@ -15,10 +15,14 @@
 #define SECNDP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "arch/system.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
 #include "ndp/ndp_system.hh"
 #include "workloads/dlrm.hh"
 #include "workloads/medical.hh"
@@ -89,6 +93,36 @@ banner(const char *what)
     std::printf("SecNDP reproduction -- paper values are shape "
                 "targets, not absolute-number targets.\n");
     hr();
+}
+
+/**
+ * Write the process-wide StatRegistry as a machine-readable sidecar
+ * `<name>.stats.json` next to the bench's text table, so successive
+ * runs can be diffed/plotted mechanically (regression trajectories).
+ *
+ * Knobs: SECNDP_STATS_DIR relocates the sidecar directory;
+ * SECNDP_NO_SIDECAR=1 suppresses it entirely. Call at the end of the
+ * bench's main(), after every simulation object has been destroyed
+ * (the registry folds destroyed groups into its retired aggregate,
+ * so the sidecar covers the whole run).
+ */
+inline void
+writeStatsSidecar(const std::string &name)
+{
+    if (const char *off = std::getenv("SECNDP_NO_SIDECAR"))
+        if (off[0] == '1')
+            return;
+    std::string dir = ".";
+    if (const char *d = std::getenv("SECNDP_STATS_DIR"))
+        dir = d;
+    const std::string path = dir + "/" + name + ".stats.json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write stats sidecar '%s'", path.c_str());
+        return;
+    }
+    StatRegistry::instance().dumpJson(os);
+    std::printf("\n[stats sidecar: %s]\n", path.c_str());
 }
 
 } // namespace secndp::bench

@@ -66,5 +66,6 @@ main()
                 "with ONE AES engine because flash bandwidth << DRAM "
                 "bandwidth.\n",
                 cfg.channels * cfg.channelGBps / cfg.hostGBps);
+    writeStatsSidecar("bench_ext_storage");
     return 0;
 }

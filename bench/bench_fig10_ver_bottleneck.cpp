@@ -83,5 +83,6 @@ main()
     std::printf("\npaper shape: Ver-ECC needs the most AES engines "
                 "(tag pads with no extra memory\ntime to hide them); "
                 "quantization cuts engine demand.\n");
+    writeStatsSidecar("bench_fig10_ver_bottleneck");
     return 0;
 }

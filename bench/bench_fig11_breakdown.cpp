@@ -101,5 +101,6 @@ main()
     std::printf("\npaper shape: SecNDP end-to-end 2.3x-4.3x at "
                 "batch=256, growing with batch size\n(better NDP "
                 "pipeline fill); SGX flat or worse with batch.\n");
+    writeStatsSidecar("bench_fig11_breakdown");
     return 0;
 }

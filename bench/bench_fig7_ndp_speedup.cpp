@@ -115,5 +115,6 @@ main()
                 "analytics 7.46x at (8,8);\nSecNDP-Enc approaches "
                 "unprotected NDP as AES engines increase; quantized "
                 "SLS\nneeds ~1/3 the AES engines of fp32.\n");
+    writeStatsSidecar("bench_fig7_ndp_speedup");
     return 0;
 }

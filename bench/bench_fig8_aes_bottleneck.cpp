@@ -69,5 +69,6 @@ main()
     std::printf("\npaper shape: more ranks need more AES engines; "
                 "~10 engines cover rank=8 fp32\nburst mode; "
                 "quantization needs roughly one third the engines.\n");
+    writeStatsSidecar("bench_fig8_aes_bottleneck");
     return 0;
 }

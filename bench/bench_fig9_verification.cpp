@@ -96,5 +96,6 @@ main()
     std::printf("\npaper shape: Ver-ECC == Enc-only; Ver-sep ~40%% "
                 "below Enc-only on fp32 SLS;\nVer-coloc close to "
                 "Enc-only; analytics verification nearly free.\n");
+    writeStatsSidecar("bench_fig9_verification");
     return 0;
 }

@@ -163,5 +163,6 @@ main()
                 "2.36/3.02/3.95/4.33/7.46;\n        SGX-CFL "
                 "0.0038/0.0037/NA/NA/0.1738; SGX-ICL "
                 "0.59/0.60/NA/NA/0.57\n");
+    writeStatsSidecar("bench_table3_endtoend");
     return 0;
 }

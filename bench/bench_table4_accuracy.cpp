@@ -56,5 +56,6 @@ main()
 
     std::printf("\npaper: fp32 0.64013; fixed32 delta -3.6e-10; "
                 "table-wise +0.07%%; column-wise +0.02%%\n");
+    writeStatsSidecar("bench_table4_accuracy");
     return 0;
 }

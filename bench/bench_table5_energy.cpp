@@ -89,5 +89,6 @@ main()
                     "mm^2\n", aes, engineAreaMm2(ep, aes, true));
     }
     std::printf("paper: 1.625 mm^2 with 10 AES engines\n");
+    writeStatsSidecar("bench_table5_energy");
     return 0;
 }

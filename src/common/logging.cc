@@ -2,21 +2,98 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace secndp {
 
 namespace {
-bool verboseFlag = true;
+
+/** Current minimum level; initialized from SECNDP_LOG on first use. */
+LogLevel &
+levelRef()
+{
+    static LogLevel level = [] {
+        LogLevel l = LogLevel::Info;
+        if (const char *env = std::getenv("SECNDP_LOG")) {
+            if (!parseLogLevel(env, l)) {
+                std::fprintf(stderr,
+                             "warn: SECNDP_LOG='%s' is not "
+                             "debug|info|warn|error; using info\n",
+                             env);
+                l = LogLevel::Info;
+            }
+        }
+        return l;
+    }();
+    return level;
+}
+
+thread_local std::int64_t currentCycle = -1;
+thread_local bool haveCycle = false;
 
 void
 vreport(const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
+    if (haveCycle) {
+        std::fprintf(stderr, "%s [cyc %lld]: ", prefix,
+                     static_cast<long long>(currentCycle));
+    } else {
+        std::fprintf(stderr, "%s: ", prefix);
+    }
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
     std::fflush(stderr);
 }
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return levelRef();
+}
+
+bool
+parseLogLevel(const std::string &s, LogLevel &out)
+{
+    if (s == "debug") out = LogLevel::Debug;
+    else if (s == "info") out = LogLevel::Info;
+    else if (s == "warn" || s == "warning") out = LogLevel::Warn;
+    else if (s == "error") out = LogLevel::Error;
+    else return false;
+    return true;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+logSetCycle(std::int64_t cycle)
+{
+    currentCycle = cycle;
+    haveCycle = true;
+}
+
+void
+logClearCycle()
+{
+    haveCycle = false;
+}
 
 void
 panic(const char *fmt, ...)
@@ -54,8 +131,19 @@ fatal(const char *fmt, ...)
 }
 
 void
+error(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("error", fmt, args);
+    va_end(args);
+}
+
+void
 warn(const char *fmt, ...)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
@@ -65,7 +153,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseFlag)
+    if (logLevel() > LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
@@ -74,15 +162,26 @@ inform(const char *fmt, ...)
 }
 
 void
+debugLog(const char *fmt, ...)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("debug", fmt, args);
+    va_end(args);
+}
+
+void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
 }
 
 bool
 verboseEnabled()
 {
-    return verboseFlag;
+    return logLevel() <= LogLevel::Info;
 }
 
 } // namespace secndp

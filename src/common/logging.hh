@@ -6,16 +6,55 @@
  *             aborts so the failure can be debugged.
  * fatal()  -- the user asked for something impossible (bad config);
  *             exits with an error code.
- * warn() / inform() -- non-fatal status messages.
+ * warn() / inform() / debugLog() -- non-fatal status messages, gated
+ *             by the process log level.
+ *
+ * The level defaults to Info, can be set programmatically
+ * (setLogLevel), from the SECNDP_LOG environment variable
+ * (debug|info|warn|error, read on first use), or via
+ * `secndp_sim --log-level`. Messages are prefixed with their level
+ * and -- when a simulation loop has published one via logSetCycle()
+ * -- the current simulated cycle:
+ *
+ *   info [cyc 1234]: refresh issued on rank 3
  */
 
 #ifndef SECNDP_COMMON_LOGGING_HH
 #define SECNDP_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace secndp {
+
+/** Message severities, most to least verbose. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Set the minimum level that gets printed. */
+void setLogLevel(LogLevel level);
+
+/** Current minimum level (consults SECNDP_LOG on first call). */
+LogLevel logLevel();
+
+/** Parse "debug|info|warn|error"; returns false on junk. */
+bool parseLogLevel(const std::string &s, LogLevel &out);
+
+const char *logLevelName(LogLevel level);
+
+/**
+ * Publish the current simulated cycle so log lines emitted from
+ * inside a simulation loop carry it. Clear with logClearCycle() when
+ * the loop exits. Thread-local.
+ */
+void logSetCycle(std::int64_t cycle);
+void logClearCycle();
 
 /** Print a formatted message and abort(). Never returns. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -25,17 +64,29 @@ namespace secndp {
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a warning to stderr. */
+/** Print an error to stderr (always shown). */
+void error(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr (level <= Warn). */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (level <= Info). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Enable/disable inform() output (benches silence it). */
-void setVerbose(bool verbose);
+/** Print a debug message to stderr (level == Debug). */
+void debugLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
-/** Whether inform() output is currently enabled. */
+/**
+ * @name Legacy verbosity shim
+ * setVerbose(false) used to silence inform(); it now maps to
+ * LogLevel::Warn (and setVerbose(true) to LogLevel::Info). Prefer
+ * setLogLevel().
+ */
+/// @{
+void setVerbose(bool verbose);
 bool verboseEnabled();
+/// @}
 
 /** Implementation detail of SECNDP_ASSERT. Never returns. */
 [[noreturn]] void panicAssert(const char *cond, const char *file, int line,

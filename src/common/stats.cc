@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 namespace secndp {
 
@@ -21,6 +23,21 @@ void
 Distribution::reset()
 {
     *this = Distribution();
+}
+
+void
+Distribution::mergeFrom(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 double
@@ -47,6 +64,155 @@ Samples::mean() const
     return acc / values_.size();
 }
 
+unsigned
+Histogram::bucketOf(double v)
+{
+    if (!(v >= 1.0)) // NaN, negatives, and [0, 1) all land in bucket 0
+        return 0;
+    const int e = static_cast<int>(std::floor(std::log2(v)));
+    return static_cast<unsigned>(std::min(e, 62)) + 1;
+}
+
+double
+Histogram::bucketLow(unsigned b)
+{
+    return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+double
+Histogram::bucketHigh(unsigned b)
+{
+    return std::ldexp(1.0, static_cast<int>(b));
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    const unsigned b = bucketOf(v);
+    if (b >= buckets_.size())
+        buckets_.resize(b + 1, 0);
+    ++buckets_[b];
+}
+
+void
+Histogram::reset()
+{
+    *this = Histogram();
+}
+
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t b = 0; b < other.buckets_.size(); ++b)
+        buckets_[b] += other.buckets_[b];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    if (p == 0.0)
+        return min_;
+    if (p == 1.0)
+        return max_;
+    // Nearest-rank target, then interpolate linearly inside the
+    // bucket that holds it.
+    const double target = p * (count_ - 1) + 1.0;
+    double cum = 0.0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        const double prev = cum;
+        cum += buckets_[b];
+        if (cum + 1e-9 >= target) {
+            const double frac = (target - prev) / buckets_[b];
+            const double lo = bucketLow(static_cast<unsigned>(b));
+            const double hi = bucketHigh(static_cast<unsigned>(b));
+            const double v = lo + frac * (hi - lo);
+            return std::min(std::max(v, min_), max_);
+        }
+    }
+    return max_;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+    StatRegistry::instance().add(this);
+    registered_ = true;
+}
+
+StatGroup::StatGroup(std::string name, NoRegisterTag)
+    : name_(std::move(name))
+{
+}
+
+StatGroup::StatGroup(const StatGroup &other)
+    : name_(other.name_), counters_(other.counters_),
+      scalars_(other.scalars_), distributions_(other.distributions_),
+      histograms_(other.histograms_)
+{
+    if (other.registered_) {
+        StatRegistry::instance().add(this);
+        registered_ = true;
+    }
+}
+
+StatGroup::StatGroup(StatGroup &&other)
+    : name_(std::move(other.name_)),
+      counters_(std::move(other.counters_)),
+      scalars_(std::move(other.scalars_)),
+      distributions_(std::move(other.distributions_)),
+      histograms_(std::move(other.histograms_))
+{
+    if (other.registered_) {
+        auto &reg = StatRegistry::instance();
+        reg.forget(&other);
+        other.registered_ = false;
+        reg.add(this);
+        registered_ = true;
+    }
+}
+
+StatGroup &
+StatGroup::operator=(const StatGroup &other)
+{
+    // Registration status follows the object, not the assignment.
+    name_ = other.name_;
+    counters_ = other.counters_;
+    scalars_ = other.scalars_;
+    distributions_ = other.distributions_;
+    histograms_ = other.histograms_;
+    return *this;
+}
+
+StatGroup::~StatGroup()
+{
+    if (registered_)
+        StatRegistry::instance().retire(this);
+}
+
 std::uint64_t &
 StatGroup::counter(const std::string &stat)
 {
@@ -65,6 +231,12 @@ StatGroup::distribution(const std::string &stat)
     return distributions_[stat];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &stat)
+{
+    return histograms_[stat];
+}
+
 std::uint64_t
 StatGroup::counterValue(const std::string &stat) const
 {
@@ -79,6 +251,20 @@ StatGroup::scalarValue(const std::string &stat) const
     return it == scalars_.end() ? 0.0 : it->second;
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &stat) const
+{
+    auto it = histograms_.find(stat);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool
+StatGroup::empty() const
+{
+    return counters_.empty() && scalars_.empty() &&
+           distributions_.empty() && histograms_.empty();
+}
+
 void
 StatGroup::reset()
 {
@@ -88,6 +274,21 @@ StatGroup::reset()
         kv.second = 0.0;
     for (auto &kv : distributions_)
         kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] += kv.second;
+    for (const auto &kv : other.distributions_)
+        distributions_[kv.first].mergeFrom(kv.second);
+    for (const auto &kv : other.histograms_)
+        histograms_[kv.first].mergeFrom(kv.second);
 }
 
 void
@@ -107,6 +308,222 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << "." << kv.first << ".max " << kv.second.maxValue()
            << "\n";
     }
+    for (const auto &kv : histograms_) {
+        const auto &h = kv.second;
+        os << name_ << "." << kv.first << ".count " << h.count() << "\n";
+        os << name_ << "." << kv.first << ".mean " << h.mean() << "\n";
+        os << name_ << "." << kv.first << ".min " << h.minValue() << "\n";
+        os << name_ << "." << kv.first << ".max " << h.maxValue() << "\n";
+        os << name_ << "." << kv.first << ".p50 " << h.percentile(0.50)
+           << "\n";
+        os << name_ << "." << kv.first << ".p95 " << h.percentile(0.95)
+           << "\n";
+        os << name_ << "." << kv.first << ".p99 " << h.percentile(0.99)
+           << "\n";
+    }
+}
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Integral doubles print without a fraction for readability.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    const auto old = os.precision(17);
+    os << v;
+    os.precision(old);
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    auto key = [&](const std::string &k) {
+        if (!first)
+            os << ", ";
+        first = false;
+        jsonEscape(os, k);
+        os << ": ";
+    };
+    for (const auto &kv : counters_) {
+        key(kv.first);
+        os << kv.second;
+    }
+    for (const auto &kv : scalars_) {
+        key(kv.first);
+        jsonNumber(os, kv.second);
+    }
+    for (const auto &kv : distributions_) {
+        key(kv.first);
+        const auto &d = kv.second;
+        os << "{\"count\": " << d.count() << ", \"min\": ";
+        jsonNumber(os, d.minValue());
+        os << ", \"max\": ";
+        jsonNumber(os, d.maxValue());
+        os << ", \"mean\": ";
+        jsonNumber(os, d.mean());
+        os << "}";
+    }
+    for (const auto &kv : histograms_) {
+        key(kv.first);
+        const auto &h = kv.second;
+        os << "{\"count\": " << h.count() << ", \"min\": ";
+        jsonNumber(os, h.minValue());
+        os << ", \"max\": ";
+        jsonNumber(os, h.maxValue());
+        os << ", \"mean\": ";
+        jsonNumber(os, h.mean());
+        os << ", \"p50\": ";
+        jsonNumber(os, h.percentile(0.50));
+        os << ", \"p95\": ";
+        jsonNumber(os, h.percentile(0.95));
+        os << ", \"p99\": ";
+        jsonNumber(os, h.percentile(0.99));
+        os << "}";
+    }
+    os << "}";
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    // Intentionally leaked: StatGroups with static storage duration
+    // may unregister during exit, after function-local statics with
+    // destructors would have been torn down.
+    static StatRegistry *reg = new StatRegistry();
+    return *reg;
+}
+
+void
+StatRegistry::add(StatGroup *g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.push_back(g);
+}
+
+void
+StatRegistry::forget(StatGroup *g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(std::remove(live_.begin(), live_.end(), g),
+                live_.end());
+}
+
+void
+StatRegistry::retire(StatGroup *g)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(std::remove(live_.begin(), live_.end(), g),
+                live_.end());
+    if (g->empty())
+        return;
+    auto it = retired_.find(g->name());
+    if (it == retired_.end()) {
+        it = retired_
+                 .emplace(g->name(),
+                          StatGroup(g->name(), StatGroup::noRegister))
+                 .first;
+    }
+    it->second.mergeFrom(*g);
+}
+
+std::size_t
+StatRegistry::liveGroups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_.size();
+}
+
+std::map<std::string, StatGroup>
+StatRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, StatGroup> merged;
+    auto slot = [&](const std::string &name) -> StatGroup & {
+        auto it = merged.find(name);
+        if (it == merged.end()) {
+            it = merged
+                     .emplace(name,
+                              StatGroup(name, StatGroup::noRegister))
+                     .first;
+        }
+        return it->second;
+    };
+    for (const auto &kv : retired_)
+        slot(kv.first).mergeFrom(kv.second);
+    for (const StatGroup *g : live_) {
+        if (!g->empty())
+            slot(g->name()).mergeFrom(*g);
+    }
+    return merged;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : snapshot())
+        kv.second.dump(os);
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    const auto merged = snapshot();
+    os << "{\n";
+    bool first = true;
+    for (const auto &kv : merged) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  ";
+        jsonEscape(os, kv.first);
+        os << ": ";
+        kv.second.dumpJson(os);
+    }
+    os << "\n}\n";
+}
+
+void
+StatRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (StatGroup *g : live_)
+        g->reset();
+    retired_.clear();
 }
 
 } // namespace secndp

@@ -1,11 +1,25 @@
 /**
  * @file
- * A tiny statistics registry in the spirit of gem5's stats package.
+ * A statistics registry in the spirit of gem5's stats package.
  *
- * Components register named counters/scalars in a StatGroup; groups can
- * be dumped together for an experiment report. Everything is plain
- * double/uint64 -- no sampling, no histograms beyond a simple
- * Distribution that tracks min/max/mean.
+ * Components own a StatGroup of named counters/scalars/distributions/
+ * histograms. Every StatGroup auto-registers with the process-wide
+ * StatRegistry on construction and unregisters on destruction; a
+ * destroyed group's values are folded into a per-name "retired"
+ * aggregate, so an end-of-process dump still sees the work of
+ * short-lived simulation objects (channels and controllers are
+ * rebuilt per batch). Same-named groups (e.g. the per-rank "ctrl"
+ * controllers) are merged in dumps: counters and scalars add,
+ * distributions and histograms union.
+ *
+ * StatRegistry::dumpJson emits the experiment-report schema consumed
+ * by the bench sidecars and `secndp_sim --stats-json` (see DESIGN.md
+ * "Observability"):
+ *
+ *   { "group": { "stat": value
+ *              | {"count":..,"min":..,"max":..,"mean":..}          // dist
+ *              | {"count":..,"min":..,"max":..,"mean":..,
+ *                 "p50":..,"p95":..,"p99":..} } }                  // histo
  */
 
 #ifndef SECNDP_COMMON_STATS_HH
@@ -13,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,6 +40,7 @@ class Distribution
   public:
     void sample(double v);
     void reset();
+    void mergeFrom(const Distribution &other);
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
@@ -59,13 +75,72 @@ class Samples
 };
 
 /**
+ * A log2-bucketed histogram: O(1) memory regardless of sample count,
+ * exact count/min/max/mean, and approximate quantiles (linear
+ * interpolation inside the hit bucket, clamped to the observed
+ * min/max so small-count histograms stay sensible).
+ *
+ * Bucket 0 holds v < 1 (including zero and negatives); bucket k >= 1
+ * holds 2^(k-1) <= v < 2^k.
+ */
+class Histogram
+{
+  public:
+    void sample(double v);
+    void reset();
+    void mergeFrom(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+
+    /** Approximate p-quantile, p clamped to [0, 1]. Empty -> 0. */
+    double percentile(double p) const;
+
+    /** Bucket index a value falls in. */
+    static unsigned bucketOf(double v);
+    /** Inclusive lower edge of bucket b. */
+    static double bucketLow(unsigned b);
+    /** Exclusive upper edge of bucket b. */
+    static double bucketHigh(unsigned b);
+
+    /** Raw bucket counts (index = bucketOf; trailing zeros trimmed). */
+    const std::vector<std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
  * A named collection of scalar statistics. Scalars are created lazily
  * on first access, so callers can just bump `group.counter("reads")++`.
+ *
+ * Groups register with StatRegistry::instance() on construction and
+ * fold into its retired aggregate on destruction; pass
+ * StatGroup::noRegister to opt out (used for merged snapshots).
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    /** Tag type to construct a group invisible to the registry. */
+    struct NoRegisterTag {};
+    static constexpr NoRegisterTag noRegister{};
+
+    explicit StatGroup(std::string name);
+    StatGroup(std::string name, NoRegisterTag);
+    StatGroup(const StatGroup &other);
+    StatGroup(StatGroup &&other);
+    StatGroup &operator=(const StatGroup &other);
+    ~StatGroup();
 
     /** Integral counter (created at 0 on first use). */
     std::uint64_t &counter(const std::string &stat);
@@ -76,23 +151,84 @@ class StatGroup
     /** Distribution (created empty on first use). */
     Distribution &distribution(const std::string &stat);
 
+    /** Log2-bucketed histogram (created empty on first use). */
+    Histogram &histogram(const std::string &stat);
+
     /** Value lookups that do not create entries (0 when absent). */
     std::uint64_t counterValue(const std::string &stat) const;
     double scalarValue(const std::string &stat) const;
 
+    /** Histogram lookup without creation (nullptr when absent). */
+    const Histogram *findHistogram(const std::string &stat) const;
+
     const std::string &name() const { return name_; }
+
+    /** Is there anything to report? */
+    bool empty() const;
 
     /** Zero every statistic in this group. */
     void reset();
 
+    /** Accumulate another group's values into this one. */
+    void mergeFrom(const StatGroup &other);
+
     /** Pretty-print `name.stat value` lines. */
     void dump(std::ostream &os) const;
 
+    /** Emit this group's stats as one JSON object (no trailing \n). */
+    void dumpJson(std::ostream &os) const;
+
   private:
     std::string name_;
+    bool registered_ = false;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> scalars_;
     std::map<std::string, Distribution> distributions_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * Process-wide registry of every live StatGroup plus the merged
+ * values of groups that have been destroyed ("retired"). Thread-safe;
+ * never destroyed (intentionally leaked) so StatGroups with static
+ * storage duration can unregister safely at exit.
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Number of currently-registered groups. */
+    std::size_t liveGroups() const;
+
+    /**
+     * Merged view (live + retired) keyed by group name. The returned
+     * groups are unregistered snapshots.
+     */
+    std::map<std::string, StatGroup> snapshot() const;
+
+    /** Pretty-print every merged group, `name.stat value` lines. */
+    void dump(std::ostream &os) const;
+
+    /** JSON experiment report: {group: {stat: ...}} (see file doc). */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset all live groups and drop the retired aggregate. */
+    void resetAll();
+
+  private:
+    friend class StatGroup;
+    StatRegistry() = default;
+
+    void add(StatGroup *g);
+    /** Remove without folding (moved-from groups). */
+    void forget(StatGroup *g);
+    /** Remove and fold the group's values into the retired merge. */
+    void retire(StatGroup *g);
+
+    mutable std::mutex mutex_;
+    std::vector<StatGroup *> live_;
+    std::map<std::string, StatGroup> retired_;
 };
 
 } // namespace secndp

@@ -1,0 +1,133 @@
+#include "common/trace_event.hh"
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+Tracer &
+Tracer::instance()
+{
+    // Leaked like StatRegistry: safe to touch from static dtors.
+    static Tracer *t = new Tracer();
+    return *t;
+}
+
+bool
+Tracer::start(const std::string &path)
+{
+    stop();
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ = std::fopen(path.c_str(), "w");
+    if (!out_) {
+        warn("cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    std::fputs("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n",
+               out_);
+    first_ = true;
+    nextTrack_ = 1;
+    events_ = 0;
+    active_ = true;
+    return true;
+}
+
+void
+Tracer::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    std::fputs("\n]}\n", out_);
+    std::fclose(out_);
+    out_ = nullptr;
+    active_ = false;
+}
+
+void
+Tracer::emitPrefix()
+{
+    // Callers hold mutex_.
+    if (!first_)
+        std::fputs(",\n", out_);
+    first_ = false;
+    ++events_;
+}
+
+std::uint32_t
+Tracer::newTrack(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint32_t tid = nextTrack_++;
+    if (out_) {
+        emitPrefix();
+        std::fprintf(out_,
+                     "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": 0, \"tid\": %u, "
+                     "\"args\": {\"name\": \"%s\"}}",
+                     tid, name.c_str());
+    }
+    return tid;
+}
+
+void
+Tracer::complete(const char *cat, const char *name,
+                 std::uint32_t track, std::int64_t ts, std::int64_t dur)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    emitPrefix();
+    std::fprintf(out_,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                 "\"pid\": 0, \"tid\": %u, \"ts\": %lld, "
+                 "\"dur\": %lld}",
+                 name, cat, track, static_cast<long long>(ts),
+                 static_cast<long long>(dur));
+}
+
+void
+Tracer::asyncBegin(const char *cat, const char *name, std::uint64_t id,
+                   std::int64_t ts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    emitPrefix();
+    std::fprintf(out_,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"b\", "
+                 "\"id\": %llu, \"pid\": 0, \"tid\": 0, \"ts\": %lld}",
+                 name, cat, static_cast<unsigned long long>(id),
+                 static_cast<long long>(ts));
+}
+
+void
+Tracer::asyncEnd(const char *cat, const char *name, std::uint64_t id,
+                 std::int64_t ts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    emitPrefix();
+    std::fprintf(out_,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"e\", "
+                 "\"id\": %llu, \"pid\": 0, \"tid\": 0, \"ts\": %lld}",
+                 name, cat, static_cast<unsigned long long>(id),
+                 static_cast<long long>(ts));
+}
+
+void
+Tracer::counter(const char *cat, const char *name, std::uint32_t track,
+                std::int64_t ts, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    emitPrefix();
+    std::fprintf(out_,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
+                 "\"pid\": 0, \"tid\": %u, \"ts\": %lld, "
+                 "\"args\": {\"value\": %.6g}}",
+                 name, cat, track, static_cast<long long>(ts), value);
+}
+
+} // namespace secndp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Lightweight Chrome trace-event tracing, keyed by *simulated* cycle.
+ *
+ * The singleton Tracer writes the Trace Event Format JSON that
+ * chrome://tracing and Perfetto (https://ui.perfetto.dev) load
+ * directly: one simulated cycle is reported as one microsecond of
+ * trace time. Components emit
+ *
+ *   - complete ("X") duration events on named tracks (e.g. one track
+ *     per memory controller's data bus, one per AES pool),
+ *   - async ("b"/"e") spans for work that overlaps freely (NDP
+ *     packets in flight),
+ *   - counter ("C") events (queue occupancy).
+ *
+ * Cost model: when the SECNDP_TRACING macro is 0 (CMake option
+ * -DSECNDP_ENABLE_TRACING=OFF) every SECNDP_TRACE_* macro expands to
+ * nothing -- compile-time zero cost. When compiled in but no trace
+ * file is open (the default), each macro is a single predictable
+ * branch on a bool.
+ *
+ * Usage (see tools/secndp_sim.cc --trace-out):
+ *   Tracer::instance().start("run.trace");
+ *   ... simulate ...
+ *   Tracer::instance().stop();
+ */
+
+#ifndef SECNDP_COMMON_TRACE_EVENT_HH
+#define SECNDP_COMMON_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#ifndef SECNDP_TRACING
+#define SECNDP_TRACING 1
+#endif
+
+namespace secndp {
+
+/** Chrome trace-event writer (process-wide singleton). */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /**
+     * Open `path` and start recording. Returns false (and stays
+     * inactive) if the file cannot be opened. Restarting while
+     * active first finishes the current trace.
+     */
+    bool start(const std::string &path);
+
+    /** Finish the JSON document and close the file. Idempotent. */
+    void stop();
+
+    bool active() const { return active_; }
+
+    /**
+     * Allocate a track (a Chrome "thread") labelled `name`. Tracks
+     * render as separate rows; events on one track should not
+     * overlap (use async spans for overlapping work).
+     */
+    std::uint32_t newTrack(const std::string &name);
+
+    /** Complete event: [ts, ts+dur) on `track`, cycles. */
+    void complete(const char *cat, const char *name,
+                  std::uint32_t track, std::int64_t ts,
+                  std::int64_t dur);
+
+    /** Async span begin/end; (cat, id) pairs the two ends. */
+    void asyncBegin(const char *cat, const char *name,
+                    std::uint64_t id, std::int64_t ts);
+    void asyncEnd(const char *cat, const char *name, std::uint64_t id,
+                  std::int64_t ts);
+
+    /** Counter event: `value` of series `name` at `ts`. */
+    void counter(const char *cat, const char *name,
+                 std::uint32_t track, std::int64_t ts, double value);
+
+    /** Events written so far (diagnostics/tests). */
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    Tracer() = default;
+    void emitPrefix();
+
+    std::FILE *out_ = nullptr;
+    bool active_ = false;
+    bool first_ = true;
+    std::uint32_t nextTrack_ = 1;
+    std::uint64_t events_ = 0;
+    std::mutex mutex_;
+};
+
+} // namespace secndp
+
+#if SECNDP_TRACING
+
+/** True when a trace file is open (guard for arg computation). */
+#define SECNDP_TRACE_ACTIVE() (::secndp::Tracer::instance().active())
+
+#define SECNDP_TRACE_COMPLETE(cat, name, track, ts, dur)               \
+    do {                                                               \
+        if (SECNDP_TRACE_ACTIVE()) {                                   \
+            ::secndp::Tracer::instance().complete(cat, name, track,    \
+                                                  ts, dur);            \
+        }                                                              \
+    } while (0)
+
+#define SECNDP_TRACE_ASYNC_BEGIN(cat, name, id, ts)                    \
+    do {                                                               \
+        if (SECNDP_TRACE_ACTIVE()) {                                   \
+            ::secndp::Tracer::instance().asyncBegin(cat, name, id,     \
+                                                    ts);               \
+        }                                                              \
+    } while (0)
+
+#define SECNDP_TRACE_ASYNC_END(cat, name, id, ts)                      \
+    do {                                                               \
+        if (SECNDP_TRACE_ACTIVE()) {                                   \
+            ::secndp::Tracer::instance().asyncEnd(cat, name, id, ts);  \
+        }                                                              \
+    } while (0)
+
+#define SECNDP_TRACE_COUNTER(cat, name, track, ts, value)              \
+    do {                                                               \
+        if (SECNDP_TRACE_ACTIVE()) {                                   \
+            ::secndp::Tracer::instance().counter(cat, name, track, ts, \
+                                                 value);               \
+        }                                                              \
+    } while (0)
+
+#else // !SECNDP_TRACING
+
+#define SECNDP_TRACE_ACTIVE() (false)
+#define SECNDP_TRACE_COMPLETE(cat, name, track, ts, dur) \
+    do {                                                 \
+    } while (0)
+#define SECNDP_TRACE_ASYNC_BEGIN(cat, name, id, ts) \
+    do {                                            \
+    } while (0)
+#define SECNDP_TRACE_ASYNC_END(cat, name, id, ts) \
+    do {                                          \
+    } while (0)
+#define SECNDP_TRACE_COUNTER(cat, name, track, ts, value) \
+    do {                                                  \
+    } while (0)
+
+#endif // SECNDP_TRACING
+
+#endif // SECNDP_COMMON_TRACE_EVENT_HH

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace_event.hh"
 
 namespace secndp {
 
@@ -21,6 +23,19 @@ overlayEngine(const EngineConfig &cfg, const DramClock &clock,
     EngineOverlayResult result;
     result.finished.resize(ndp.size());
     result.decryptBound.resize(ndp.size());
+
+    // Short-lived stat group: folded into the registry's retired
+    // aggregate on return, so end-of-run reports carry the engine's
+    // per-packet histograms.
+    StatGroup stats("engine");
+#if SECNDP_TRACING
+    std::uint32_t aes_track = 0, ver_track = 0;
+    if (SECNDP_TRACE_ACTIVE()) {
+        aes_track = Tracer::instance().newTrack("engine.aes_pool");
+        if (verifying)
+            ver_track = Tracer::instance().newTrack("engine.verify");
+    }
+#endif
 
     // The AES pool serves packets FIFO; generation for packet q can
     // start once the packet is issued (addresses known) and the pool
@@ -48,7 +63,36 @@ overlayEngine(const EngineConfig &cfg, const DramClock &clock,
         result.totalAesBlocks += work[q].totalBlocks();
         result.totalOtpPuOps += work[q].otpPuOps;
         result.totalVerifyOps += work[q].verifyOps;
+
+        stats.histogram("otp_blocks").sample(
+            static_cast<double>(work[q].totalBlocks()));
+        // Slack between the OTP share and the NDP share: positive
+        // means the engine was the late one (decryption-bound).
+        stats.histogram("otp_lag_cycles").sample(
+            static_cast<double>(otp_cycle - ndp[q].finished));
+        stats.histogram("packet_latency").sample(
+            static_cast<double>(fin - ndp[q].issued));
+#if SECNDP_TRACING
+        if (SECNDP_TRACE_ACTIVE() && work[q].totalBlocks() > 0) {
+            const auto ts = static_cast<Cycle>(start);
+            Tracer::instance().complete(
+                "engine", "otp", aes_track, ts,
+                std::max<Cycle>(otp_cycle - ts, 1));
+            if (verifying) {
+                Tracer::instance().complete(
+                    "engine", "verify", ver_track,
+                    std::max(otp_cycle, ndp[q].finished) +
+                        cfg.adderCycles,
+                    cfg.verifyCheckCycles);
+            }
+        }
+#endif
     }
+    stats.counter("packets") += ndp.size();
+    stats.counter("decrypt_bound") += bound;
+    stats.counter("aes_blocks") += result.totalAesBlocks;
+    stats.counter("otp_pu_ops") += result.totalOtpPuOps;
+    stats.counter("verify_ops") += result.totalVerifyOps;
     result.fractionDecryptBound =
         ndp.empty() ? 0.0
                     : static_cast<double>(bound) / ndp.size();

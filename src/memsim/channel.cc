@@ -142,6 +142,10 @@ DramChannel::issuePre(const DramCoord &c, Cycle at)
     b.open = false;
     b.lastPre = at;
     ++stats_.counter("pres");
+    // Row-buffer residency: how long the row stayed open. Long tails
+    // here mean the open-page policy is paying off (or rows linger).
+    stats_.histogram("row_open_cycles").sample(
+        static_cast<double>(at - b.lastAct));
 }
 
 Cycle

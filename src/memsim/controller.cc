@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace_event.hh"
 
 namespace secndp {
 
@@ -14,13 +15,23 @@ MemoryController::MemoryController(DramChannel &channel, unsigned window)
     servedRanks_.assign(channel.config().geometry.ranks, 0);
 }
 
+std::uint32_t
+MemoryController::traceTrack()
+{
+#if SECNDP_TRACING
+    if (traceTrack_ == 0)
+        traceTrack_ = Tracer::instance().newTrack("ctrl.bus");
+#endif
+    return traceTrack_;
+}
+
 void
-MemoryController::enqueue(const MemRequest &req)
+MemoryController::enqueue(const MemRequest &req, Cycle now)
 {
     Entry e;
     e.req = req;
     e.coord = mapper_->decode(mapper_->lineAddr(req.addr));
-    e.arrived = 0;
+    e.arrived = now;
     servedRanks_[e.coord.rank] = 1;
     if (queue_.size() < window_)
         queue_.push_back(e);
@@ -28,6 +39,10 @@ MemoryController::enqueue(const MemRequest &req)
         backlog_.push_back(e);
     ++pendingCount_;
     ++stats_.counter("requests");
+    stats_.histogram("queue_occupancy").sample(
+        static_cast<double>(pendingCount_));
+    SECNDP_TRACE_COUNTER("memsim", "queue", traceTrack(), now,
+                         static_cast<double>(pendingCount_));
 }
 
 void
@@ -79,10 +94,17 @@ MemoryController::tryIssue(Entry &e, Cycle now, Cycle &next_hint)
         lastBurstRank_ = static_cast<int>(e.coord.rank);
         stats_.counter(e.req.write ? "wr_bursts" : "rd_bursts") += 1;
         stats_.counter("bus_busy_cycles") += t.tBL;
+        stats_.histogram("req_latency").sample(
+            static_cast<double>(done - e.arrived));
         if (trace_) {
             trace_->push_back({e.req.write ? DramCmd::Wr : DramCmd::Rd,
                                e.coord, now});
         }
+        // The burst itself occupies the data bus for the final tBL
+        // cycles of [now, done); bursts on one bus never overlap, so
+        // a complete event per burst draws bus utilization directly.
+        SECNDP_TRACE_COMPLETE("memsim", e.req.write ? "wr" : "rd",
+                              traceTrack(), done - t.tBL, t.tBL);
         if (complete_)
             complete_(e.req, done);
         --pendingCount_;
@@ -138,6 +160,7 @@ MemoryController::serviceRefresh(unsigned rank, Cycle now,
         return false;
     }
     channel_.issueRefresh(rank, now);
+    debugLog("REF rank %u", rank);
     ++stats_.counter("refreshes");
     if (trace_) {
         DramCoord c;
@@ -219,11 +242,13 @@ MemoryController::drain(Cycle from)
             prev_cb(req, done);
     };
     while (busy()) {
+        logSetCycle(now);
         const Cycle next = tick(now);
         SECNDP_ASSERT(next > now || next == idleForever,
                       "controller made no progress at %ld", now);
         now = (next == idleForever) ? now + 1 : next;
     }
+    logClearCycle();
     complete_ = prev_cb;
     (void)last_data;
     return std::max(finish, now);

@@ -71,8 +71,13 @@ class MemoryController
         trace_ = trace;
     }
 
-    /** Add a request (unbounded backlog behind the window). */
-    void enqueue(const MemRequest &req);
+    /**
+     * Add a request (unbounded backlog behind the window). `now` is
+     * the arrival cycle, used for the request-latency histogram and
+     * trace events (callers that enqueue everything up front before
+     * draining may leave it 0).
+     */
+    void enqueue(const MemRequest &req, Cycle now = 0);
 
     bool busy() const { return pendingCount_ != 0; }
     std::size_t pending() const { return pendingCount_; }
@@ -126,6 +131,10 @@ class MemoryController
     Cycle busFreeAt_ = 0;    ///< end of last burst on this data bus
     int lastBurstRank_ = -1; ///< for tRTRS
     bool issuedColumn_ = false;
+
+    /** Lazily-allocated tracer track for this controller's data bus. */
+    std::uint32_t traceTrack();
+    std::uint32_t traceTrack_ = 0;
 
     StatGroup stats_;
 };

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/trace_event.hh"
 
 namespace secndp {
 
@@ -98,6 +99,7 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
     };
 
     while (completed < queries.size() || next_q < queries.size()) {
+        logSetCycle(now);
         // Release registers of packets that finished by `now`.
         while (!finish_events.empty() &&
                finish_events.top().first <= now) {
@@ -112,6 +114,8 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
         // Issue packets in order while registers allow.
         while (next_q < queries.size() && can_issue(next_q)) {
             const std::size_t q = next_q++;
+            debugLog("issue packet %zu (%zu lines)", q,
+                     queries[q].lineAddrs.size());
             result.packets[q].issued = now;
             for (unsigned pu = 0; pu < n_pus; ++pu)
                 if (qstate[q].touches[pu])
@@ -127,7 +131,7 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
             }
             for (const auto addr : queries[q].lineAddrs) {
                 const unsigned pu = pu_of(mapper_->decode(addr));
-                rankCtrls_[pu]->enqueue({addr, false, q});
+                rankCtrls_[pu]->enqueue({addr, false, q}, now);
             }
             // Charge packet-init latency by construction: the finish
             // below adds packetInitCycles once per packet.
@@ -157,12 +161,25 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
         }
         now = std::max(now + 1, next);
     }
+    logClearCycle();
 
     // Account per-packet init latency and the batch makespan.
-    for (auto &p : result.packets) {
+    for (std::size_t q = 0; q < result.packets.size(); ++q) {
+        auto &p = result.packets[q];
         p.finished += ndpCfg_.packetInitCycles;
         result.totalCycles = std::max(result.totalCycles, p.finished);
+        stats_.histogram("packet_latency").sample(
+            static_cast<double>(p.latency()));
+        stats_.histogram("packet_lines").sample(
+            static_cast<double>(p.lines));
+        stats_.histogram("packet_ranks").sample(
+            static_cast<double>(p.ranksTouched));
+        SECNDP_TRACE_ASYNC_BEGIN("ndp", "packet", q, p.issued);
+        SECNDP_TRACE_ASYNC_END("ndp", "packet", q, p.finished);
     }
+    stats_.counter("packets") += result.packets.size();
+    stats_.counter("lines") += result.totalLines;
+    ++stats_.counter("batches");
     for (const auto &ch : channels_) {
         result.acts += ch->stats().counterValue("acts");
         result.reads += ch->stats().counterValue("reads");
@@ -214,10 +231,17 @@ runCpuBatch(const DramConfig &dram_cfg,
         result.totalCycles =
             std::max(result.totalCycles, ctrl->drain(0));
     }
+    // Short-lived group: folds into the registry's retired aggregate
+    // when this function returns, so end-of-run reports see it.
+    StatGroup stats("cpu_batch");
     for (const auto &p : result.packets) {
         SECNDP_ASSERT(p.lines == 0 || p.finished > 0,
                       "unfinished packet");
+        stats.histogram("packet_latency").sample(
+            static_cast<double>(p.finished - p.issued));
     }
+    stats.counter("packets") += result.packets.size();
+    stats.counter("lines") += result.totalLines;
     for (const auto &ch : channels) {
         result.acts += ch->stats().counterValue("acts");
         result.reads += ch->stats().counterValue("reads");

@@ -78,9 +78,13 @@ class NdpSimulation
         return *channels_[c];
     }
 
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
   private:
     DramConfig dramCfg_;
     NdpConfig ndpCfg_;
+    StatGroup stats_{"ndp"};
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::unique_ptr<AddressMapper> mapper_;
     /** One controller per (channel, rank) PU. */

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests for the observability layer: Samples quantile edge cases,
+ * log2 Histogram bucketing, StatRegistry registration lifetime,
+ * JSON report well-formedness, log levels, and the Chrome-trace
+ * Tracer output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace_event.hh"
+
+namespace secndp {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the
+ * grammar of RFC 8259 values (objects, arrays, strings, numbers,
+ * true/false/null). Returns true iff `s` is one valid JSON value.
+ */
+class JsonChecker
+{
+  public:
+    static bool valid(const std::string &s)
+    {
+        JsonChecker c(s);
+        c.ws();
+        if (!c.value())
+            return false;
+        c.ws();
+        return c.pos_ == s.size();
+    }
+
+  private:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    int peek() const
+    {
+        return pos_ < s_.size()
+                   ? static_cast<unsigned char>(s_[pos_])
+                   : -1;
+    }
+    bool eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+    void ws()
+    {
+        while (peek() == ' ' || peek() == '\n' || peek() == '\t' ||
+               peek() == '\r')
+            ++pos_;
+    }
+    bool literal(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+    bool string()
+    {
+        if (!eat('"'))
+            return false;
+        while (peek() != '"') {
+            if (peek() < 0)
+                return false;
+            if (eat('\\')) {
+                const int e = peek();
+                if (e == 'u') {
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(peek()))
+                            return false;
+                        ++pos_;
+                    }
+                    continue;
+                }
+                if (std::strchr("\"\\/bfnrt", e) == nullptr)
+                    return false;
+                ++pos_;
+            } else {
+                ++pos_;
+            }
+        }
+        return eat('"');
+    }
+    bool number()
+    {
+        eat('-');
+        if (!std::isdigit(peek()))
+            return false;
+        while (std::isdigit(peek()))
+            ++pos_;
+        if (eat('.')) {
+            if (!std::isdigit(peek()))
+                return false;
+            while (std::isdigit(peek()))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(peek()))
+                return false;
+            while (std::isdigit(peek()))
+                ++pos_;
+        }
+        return true;
+    }
+    bool object()
+    {
+        if (!eat('{'))
+            return false;
+        ws();
+        if (eat('}'))
+            return true;
+        do {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (!eat(':'))
+                return false;
+            ws();
+            if (!value())
+                return false;
+            ws();
+        } while (eat(','));
+        return eat('}');
+    }
+    bool array()
+    {
+        if (!eat('['))
+            return false;
+        ws();
+        if (eat(']'))
+            return true;
+        do {
+            ws();
+            if (!value())
+                return false;
+            ws();
+        } while (eat(','));
+        return eat(']');
+    }
+    bool value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+};
+
+TEST(JsonChecker, SelfTest)
+{
+    EXPECT_TRUE(JsonChecker::valid("{}"));
+    EXPECT_TRUE(JsonChecker::valid(
+        "{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}}"));
+    EXPECT_FALSE(JsonChecker::valid("{"));
+    EXPECT_FALSE(JsonChecker::valid("{\"a\": }"));
+    EXPECT_FALSE(JsonChecker::valid("[1,]"));
+    EXPECT_FALSE(JsonChecker::valid("{} trailing"));
+}
+
+TEST(Samples, PercentileEmptyIsZero)
+{
+    Samples s;
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+}
+
+TEST(Samples, PercentileSingleElement)
+{
+    Samples s;
+    s.add(42.0);
+    for (double p : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 42.0);
+}
+
+TEST(Samples, PercentileEndpoints)
+{
+    Samples s;
+    for (int i = 10; i >= 1; --i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);  // min
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0); // max
+}
+
+TEST(Samples, PercentileClampsOutOfRangeP)
+{
+    Samples s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(7.0), 2.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(-5.0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(0.99), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1.0), 1u);
+    EXPECT_EQ(Histogram::bucketOf(1.99), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2.0), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3.0), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4.0), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1024.0), 11u);
+
+    EXPECT_DOUBLE_EQ(Histogram::bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHigh(0), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketLow(3), 4.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHigh(3), 8.0);
+}
+
+TEST(Histogram, MomentsAreExact)
+{
+    Histogram h;
+    h.sample(1.0);
+    h.sample(5.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 100.0);
+    EXPECT_NEAR(h.mean(), 106.0 / 3, 1e-12);
+}
+
+TEST(Histogram, PercentileApproximatesWithinBucket)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.sample(10.0); // bucket [8, 16)
+    // All mass in one bucket: every quantile must clamp to [10, 10].
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+}
+
+TEST(Histogram, PercentileOrderingAndBounds)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(i);
+    const double p50 = h.percentile(0.50);
+    const double p95 = h.percentile(0.95);
+    const double p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, h.minValue());
+    EXPECT_LE(p99, h.maxValue());
+    // log2 buckets bound the relative error by 2x.
+    EXPECT_NEAR(p50, 500.0, 500.0);
+    EXPECT_GT(p99, 500.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeAddsBucketsAndMoments)
+{
+    Histogram a, b;
+    a.sample(1.0);
+    a.sample(2.0);
+    b.sample(1000.0);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 1000.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 1003.0);
+    Histogram empty;
+    a.mergeFrom(empty);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatGroup, HistogramLazyCreation)
+{
+    StatGroup g("histo_lazy_test");
+    EXPECT_EQ(g.findHistogram("lat"), nullptr);
+    g.histogram("lat").sample(3.0);
+    ASSERT_NE(g.findHistogram("lat"), nullptr);
+    EXPECT_EQ(g.findHistogram("lat")->count(), 1u);
+}
+
+TEST(StatRegistry, RegistersOnConstructionUnregistersOnDestruction)
+{
+    auto &reg = StatRegistry::instance();
+    const std::size_t before = reg.liveGroups();
+    {
+        StatGroup g("reg_lifetime_test");
+        EXPECT_EQ(reg.liveGroups(), before + 1);
+        StatGroup g2("reg_lifetime_test_2");
+        EXPECT_EQ(reg.liveGroups(), before + 2);
+    }
+    EXPECT_EQ(reg.liveGroups(), before);
+}
+
+TEST(StatRegistry, NoRegisterTagIsInvisible)
+{
+    auto &reg = StatRegistry::instance();
+    const std::size_t before = reg.liveGroups();
+    StatGroup g("invisible_test", StatGroup::noRegister);
+    g.counter("x") = 1;
+    EXPECT_EQ(reg.liveGroups(), before);
+}
+
+TEST(StatRegistry, RetiredGroupsFoldIntoSnapshot)
+{
+    auto &reg = StatRegistry::instance();
+    {
+        StatGroup g("retire_fold_test");
+        g.counter("events") = 5;
+        g.histogram("lat").sample(7.0);
+    }
+    {
+        StatGroup g("retire_fold_test");
+        g.counter("events") = 3;
+        g.histogram("lat").sample(9.0);
+    }
+    const auto snap = reg.snapshot();
+    auto it = snap.find("retire_fold_test");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counterValue("events"), 8u);
+    ASSERT_NE(it->second.findHistogram("lat"), nullptr);
+    EXPECT_EQ(it->second.findHistogram("lat")->count(), 2u);
+}
+
+TEST(StatRegistry, LiveGroupsMergeByName)
+{
+    StatGroup a("merge_by_name_test");
+    StatGroup b("merge_by_name_test");
+    a.counter("n") = 1;
+    b.counter("n") = 2;
+    const auto snap = StatRegistry::instance().snapshot();
+    auto it = snap.find("merge_by_name_test");
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second.counterValue("n"), 3u);
+}
+
+TEST(StatRegistry, JsonDumpIsWellFormed)
+{
+    StatGroup g("json_wf_test \"quoted\\name\"");
+    g.counter("count") = 42;
+    g.scalar("ratio") = 0.125;
+    g.distribution("dist").sample(2.0);
+    auto &h = g.histogram("lat");
+    for (int i = 1; i <= 64; ++i)
+        h.sample(i);
+    std::ostringstream os;
+    StatRegistry::instance().dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("json_wf_test"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(StatGroup, JsonObjectShape)
+{
+    StatGroup g("json_shape_test", StatGroup::noRegister);
+    g.counter("reads") = 7;
+    g.histogram("lat").sample(5.0);
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"reads\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(StatGroup, DumpIncludesHistogramQuantiles)
+{
+    StatGroup g("dump_histo_test", StatGroup::noRegister);
+    g.histogram("lat").sample(4.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("dump_histo_test.lat.p99"),
+              std::string::npos);
+}
+
+TEST(Logging, ParseAndShim)
+{
+    const LogLevel saved = logLevel();
+    LogLevel l;
+    EXPECT_TRUE(parseLogLevel("debug", l));
+    EXPECT_EQ(l, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("warn", l));
+    EXPECT_EQ(l, LogLevel::Warn);
+    EXPECT_FALSE(parseLogLevel("loud", l));
+
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    EXPECT_FALSE(verboseEnabled());
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    EXPECT_TRUE(verboseEnabled());
+    setLogLevel(saved);
+}
+
+TEST(Tracer, WritesLoadableChromeTrace)
+{
+    const std::string path = ::testing::TempDir() + "secndp_test.trace";
+    auto &tracer = Tracer::instance();
+    ASSERT_TRUE(tracer.start(path));
+    EXPECT_TRUE(tracer.active());
+
+    const auto track = tracer.newTrack("test.track");
+    tracer.complete("cat", "work", track, 100, 50);
+    tracer.asyncBegin("ndp", "packet", 1, 10);
+    tracer.asyncEnd("ndp", "packet", 1, 90);
+    tracer.counter("cat", "queue", track, 100, 3.5);
+    const auto events = tracer.eventCount();
+    tracer.stop();
+    EXPECT_FALSE(tracer.active());
+    EXPECT_EQ(events, 5u); // 4 events + thread_name metadata
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, MacrosAreNoOpsWhenInactive)
+{
+    ASSERT_FALSE(Tracer::instance().active());
+    const auto before = Tracer::instance().eventCount();
+    SECNDP_TRACE_COMPLETE("cat", "x", 1, 0, 1);
+    SECNDP_TRACE_COUNTER("cat", "x", 1, 0, 1.0);
+    SECNDP_TRACE_ASYNC_BEGIN("cat", "x", 1, 0);
+    SECNDP_TRACE_ASYNC_END("cat", "x", 1, 0);
+    EXPECT_EQ(Tracer::instance().eventCount(), before);
+}
+
+} // namespace
+} // namespace secndp

@@ -15,6 +15,14 @@
  *              [--quant fp32|row|col|table]
  *              [--ranks N] [--regs N] [--aes N]
  *              [--batch N] [--pf N] [--zipf A] [--seed S]
+ *              [--stats-json FILE] [--trace-out FILE]
+ *              [--log-level debug|info|warn|error]
+ *
+ * Observability (see DESIGN.md "Observability"):
+ *   --stats-json FILE  write the merged StatRegistry as JSON
+ *                      ({group: {stat: value|histogram}})
+ *   --trace-out FILE   write a Chrome-trace/Perfetto event trace of
+ *                      the run, timestamped in simulated cycles
  *
  * Example: compare native NDP and SecNDP on quantized RMC2-small:
  *   secndp_sim --workload sls --model rmc2-small --quant col \
@@ -26,9 +34,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace_event.hh"
 #include "energy/energy_model.hh"
 #include "workloads/dlrm.hh"
 #include "workloads/medical.hh"
@@ -54,6 +65,8 @@ struct Options
     std::uint64_t seed = Rng::defaultSeed;
     std::string saveTrace; ///< write the generated trace and exit
     std::string loadTrace; ///< replay a trace file instead
+    std::string statsJson; ///< stats-registry JSON report path
+    std::string traceOut;  ///< Chrome-trace event file path
 };
 
 [[noreturn]] void
@@ -65,7 +78,9 @@ usage(const char *argv0)
                  "          [--layout none|coloc|sep|ecc] "
                  "[--quant fp32|row|col|table]\n"
                  "          [--ranks N] [--regs N] [--aes N] "
-                 "[--batch N] [--pf N] [--zipf A] [--seed S]\n",
+                 "[--batch N] [--pf N] [--zipf A] [--seed S]\n"
+                 "          [--stats-json FILE] [--trace-out FILE] "
+                 "[--log-level debug|info|warn|error]\n",
                  argv0);
     std::exit(2);
 }
@@ -138,6 +153,14 @@ main(int argc, char **argv)
         else if (arg == "--seed") opt.seed = std::stoull(next());
         else if (arg == "--save-trace") opt.saveTrace = next();
         else if (arg == "--load-trace") opt.loadTrace = next();
+        else if (arg == "--stats-json") opt.statsJson = next();
+        else if (arg == "--trace-out") opt.traceOut = next();
+        else if (arg == "--log-level") {
+            LogLevel level;
+            if (!parseLogLevel(next(), level))
+                fatal("unknown log level '%s'", argv[i]);
+            setLogLevel(level);
+        }
         else usage(argv[0]);
     }
 
@@ -181,8 +204,28 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!opt.traceOut.empty() && !Tracer::instance().start(opt.traceOut))
+        fatal("cannot open --trace-out file '%s'", opt.traceOut.c_str());
+
     const auto m = runWorkload(sys, trace, mode);
     const auto energy = computeEnergy(EnergyParams{}, m);
+
+    if (!opt.traceOut.empty()) {
+        const auto events = Tracer::instance().eventCount();
+        Tracer::instance().stop();
+        std::printf("trace           %s (%llu events; load in "
+                    "https://ui.perfetto.dev)\n",
+                    opt.traceOut.c_str(),
+                    static_cast<unsigned long long>(events));
+    }
+    if (!opt.statsJson.empty()) {
+        std::ofstream os(opt.statsJson);
+        if (!os)
+            fatal("cannot open --stats-json file '%s'",
+                  opt.statsJson.c_str());
+        StatRegistry::instance().dumpJson(os);
+        std::printf("stats           %s\n", opt.statsJson.c_str());
+    }
 
     std::printf("workload        %s (%s, quant=%s, layout=%s)\n",
                 opt.workload.c_str(), opt.model.c_str(),
