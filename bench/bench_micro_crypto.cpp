@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
+#include "common/phase_profiler.hh"
 #include "common/rng.hh"
 #include "crypto/cwc.hh"
 #include "crypto/gcm.hh"
@@ -214,4 +216,21 @@ BENCHMARK(BM_IntegrityTreeIncrement);
 } // namespace
 } // namespace secndp
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run leaves a .stats.json sidecar
+// (wall-clock phase + run metadata) like the experiment benches do.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    auto &reg = secndp::StatRegistry::instance();
+    reg.setMeta("tool", "bench_micro_crypto");
+    {
+        secndp::ScopedPhase phase("benchmarks");
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    benchmark::Shutdown();
+    secndp::bench::writeStatsSidecar("bench_micro_crypto");
+    return 0;
+}

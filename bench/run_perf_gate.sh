@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the fixed set of fast, seeded perf-gate configurations and write
+# one <name>.stats.json sidecar (plus <name>.ts.csv time series) per
+# config into OUT_DIR. The same script produces both the checked-in
+# golden baselines (bench/baselines/) and the CI candidate run:
+#
+#   bench/run_perf_gate.sh build/tools/secndp_sim /tmp/gate-run
+#   build/tools/secndp_report diff --baseline bench/baselines /tmp/gate-run
+#
+# Every config uses a fixed seed so simulated counters are
+# deterministic; only host_phases.* and meta.git differ between
+# machines, and neither is watched by bench/baselines/thresholds.tsv.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 <secndp_sim-binary> <out-dir>" >&2
+    exit 2
+fi
+SIM=$1
+OUT=$2
+mkdir -p "$OUT"
+
+run() {
+    local name=$1
+    shift
+    echo "perf-gate: $name"
+    "$SIM" "$@" --seed 7 --sample-interval 500 \
+        --stats-json "$OUT/$name.stats.json" \
+        --timeseries-out "$OUT/$name.ts.csv" > /dev/null
+}
+
+run sls_cpu      --workload sls --mode cpu
+run sls_tee      --workload sls --mode tee
+run sls_ndp      --workload sls --mode ndp
+run sls_enc      --workload sls --mode enc
+run sls_ver      --workload sls --mode ver
+run medical_enc  --workload medical --mode enc
+run sls_enc_zipf --workload sls --mode enc --zipf 0.8 --batch 4
+
+echo "perf-gate: wrote $(ls "$OUT"/*.stats.json | wc -l) sidecars to $OUT"

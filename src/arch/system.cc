@@ -1,6 +1,7 @@
 #include "arch/system.hh"
 
 #include "common/logging.hh"
+#include "common/phase_profiler.hh"
 
 namespace secndp {
 
@@ -44,15 +45,18 @@ runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
     const unsigned line_bits = cfg.dram.geometry.lineBytes * 8;
 
     BatchResult batch;
-    if (is_ndp) {
-        NdpSimulation sim(cfg.dram, cfg.ndp);
-        batch = sim.run(packets);
-        // Only results cross the DIMM interface.
-        metrics.ioBits = result_bits;
-    } else {
-        batch = runCpuBatch(cfg.dram, packets);
-        // Every fetched line crosses the DIMM interface.
-        metrics.ioBits = batch.totalLines * line_bits;
+    {
+        ScopedPhase phase("sim_drain");
+        if (is_ndp) {
+            NdpSimulation sim(cfg.dram, cfg.ndp);
+            batch = sim.run(packets);
+            // Only results cross the DIMM interface.
+            metrics.ioBits = result_bits;
+        } else {
+            batch = runCpuBatch(cfg.dram, packets);
+            // Every fetched line crosses the DIMM interface.
+            metrics.ioBits = batch.totalLines * line_bits;
+        }
     }
     metrics.cycles = batch.totalCycles;
     metrics.lines = batch.totalLines;
@@ -69,6 +73,7 @@ runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
             }
             work.push_back(w);
         }
+        ScopedPhase phase("engine_overlay");
         const auto overlay =
             overlayEngine(cfg.engine, cfg.dram.clock, batch.packets,
                           work, mode == ExecMode::SecNdpEncVer);

@@ -1,0 +1,27 @@
+#include "common/phase_profiler.hh"
+
+#include "common/stats.hh"
+
+namespace secndp {
+
+StatGroup &
+hostPhaseStats()
+{
+    // Intentionally leaked (like StatRegistry::instance) so the group
+    // stays live through any static-destruction-order shenanigans.
+    static StatGroup *g = new StatGroup("host_phases");
+    return *g;
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    const auto elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    auto &g = hostPhaseStats();
+    g.scalar(std::string(name_) + "_ms") += elapsed;
+    ++g.counter(std::string(name_) + "_calls");
+}
+
+} // namespace secndp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scoped host-side wall-clock phase profiler.
+ *
+ * Simulated cycles tell us where the *modeled hardware* spends time;
+ * this answers the complementary question of where the *simulator
+ * process* spends wall time (setup / encrypt / sim-drain / verify /
+ * report). Phases accumulate into the registered "host_phases"
+ * StatGroup -- `<phase>_ms` (total milliseconds) and `<phase>_calls`
+ * -- so they ride along in every stats sidecar for free.
+ *
+ * Usage:
+ *   { ScopedPhase p("sim_drain"); ... expensive work ... }
+ *
+ * Phases nest freely (each scope accounts its own wall time, so
+ * nested phases double-count against their parent by design; treat
+ * the numbers as per-phase inclusive cost, not a partition). Wall
+ * times are inherently machine-dependent: `secndp_report diff` never
+ * gates on host_phases metrics.
+ */
+
+#ifndef SECNDP_COMMON_PHASE_PROFILER_HH
+#define SECNDP_COMMON_PHASE_PROFILER_HH
+
+#include <chrono>
+#include <string>
+
+namespace secndp {
+
+class StatGroup;
+
+/** The process-wide "host_phases" StatGroup (created on first use). */
+StatGroup &hostPhaseStats();
+
+/** RAII phase scope: accumulates wall time on destruction. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const char *name)
+        : name_(name), start_(std::chrono::steady_clock::now())
+    {
+    }
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_PHASE_PROFILER_HH

@@ -1,0 +1,243 @@
+#include "common/sampler.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/stats.hh"
+#include "common/trace_event.hh"
+
+namespace secndp {
+
+Sampler &
+Sampler::instance()
+{
+    static Sampler *sampler = new Sampler();
+    return *sampler;
+}
+
+void
+Sampler::start(std::int64_t interval_cycles)
+{
+    stop();
+    interval_ = std::max<std::int64_t>(1, interval_cycles);
+    // First tick triggers advanceTo immediately so the controller
+    // count is captured while the simulation objects are live.
+    nextBoundary_ = 0;
+    // Counter baselines: only deltas from here on belong to this run
+    // (the process may have simulated batches before activation).
+    auto &reg = StatRegistry::instance();
+    lastBusBusy_ = static_cast<double>(
+        reg.counterSumNamed("ctrl", "bus_busy_cycles"));
+    lastColCmds_ =
+        static_cast<double>(reg.counterSumNamed("dram", "reads") +
+                            reg.counterSumNamed("dram", "writes"));
+    lastActs_ =
+        static_cast<double>(reg.counterSumNamed("dram", "acts"));
+    active_ = true;
+}
+
+void
+Sampler::stop()
+{
+    active_ = false;
+    interval_ = defaultInterval;
+    nextBoundary_ = 0;
+    lastCycle_ = 0;
+    curBin_ = 0;
+    ctrlSeen_ = 0;
+    lastBusBusy_ = lastColCmds_ = lastActs_ = 0.0;
+    series_.clear();
+}
+
+std::vector<double> &
+Sampler::seriesRef(const std::string &name)
+{
+    return series_[name];
+}
+
+void
+Sampler::closeBins(std::size_t up_to)
+{
+    if (up_to <= curBin_)
+        return;
+    const std::size_t n_bins = up_to - curBin_;
+
+    auto &reg = StatRegistry::instance();
+    // Counter names are the probe contract with memsim (see
+    // controller.cc / channel.cc).
+    const double bus_busy = static_cast<double>(
+        reg.counterSumNamed("ctrl", "bus_busy_cycles"));
+    const double col_cmds = static_cast<double>(
+        reg.counterSumNamed("dram", "reads") +
+        reg.counterSumNamed("dram", "writes"));
+    const double acts =
+        static_cast<double>(reg.counterSumNamed("dram", "acts"));
+    const double n_ctrl =
+        static_cast<double>(std::max<std::size_t>(1, ctrlSeen_));
+
+    const double d_busy = bus_busy - lastBusBusy_;
+    const double d_cols = col_cmds - lastColCmds_;
+    const double d_acts = acts - lastActs_;
+    lastBusBusy_ = bus_busy;
+    lastColCmds_ = col_cmds;
+    lastActs_ = acts;
+
+    // A tick may jump several boundaries at once (event-driven time);
+    // the deltas are attributed uniformly across the skipped bins.
+    const double util = std::clamp(
+        d_busy / (n_bins * static_cast<double>(interval_) * n_ctrl),
+        0.0, 1.0);
+    const double hit_rate =
+        d_cols > 0.0 ? std::clamp((d_cols - d_acts) / d_cols, 0.0, 1.0)
+                     : 0.0;
+
+    auto &bus = seriesRef("bus_util");
+    auto &hits = seriesRef("row_hit_rate");
+    if (bus.size() < up_to)
+        bus.resize(up_to, 0.0);
+    if (hits.size() < up_to)
+        hits.resize(up_to, 0.0);
+    for (std::size_t b = curBin_; b < up_to; ++b) {
+        bus[b] = util;
+        hits[b] = hit_rate;
+    }
+    curBin_ = up_to;
+}
+
+void
+Sampler::advanceTo(std::int64_t now)
+{
+    ctrlSeen_ = std::max(
+        ctrlSeen_, StatRegistry::instance().liveGroupsNamed("ctrl"));
+    // Interval k covers cycles [k*I, (k+1)*I); every interval whose
+    // end is <= now is complete.
+    const auto complete =
+        static_cast<std::size_t>(now / interval_);
+    closeBins(complete);
+    nextBoundary_ =
+        static_cast<std::int64_t>(curBin_ + 1) * interval_;
+}
+
+void
+Sampler::gauge(const std::string &series, std::int64_t now,
+               double value)
+{
+    if (!active_)
+        return;
+    const auto bin = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, now) / interval_);
+    auto &v = seriesRef(series);
+    if (v.size() <= bin)
+        v.resize(bin + 1, 0.0);
+    v[bin] = value;
+    if (now > lastCycle_)
+        lastCycle_ = now;
+}
+
+void
+Sampler::recordSpan(const std::string &series, double begin,
+                    double end)
+{
+    if (!active_ || !(end > begin))
+        return;
+    begin = std::max(begin, 0.0);
+    end = std::max(end, begin);
+    const double iv = static_cast<double>(interval_);
+    const auto first = static_cast<std::size_t>(begin / iv);
+    const auto last = static_cast<std::size_t>((end - 1e-9) / iv);
+    auto &v = seriesRef(series);
+    if (v.size() <= last)
+        v.resize(last + 1, 0.0);
+    for (std::size_t b = first; b <= last; ++b) {
+        const double lo = std::max(begin, b * iv);
+        const double hi = std::min(end, (b + 1) * iv);
+        if (hi > lo)
+            v[b] += (hi - lo) / iv;
+    }
+    if (static_cast<std::int64_t>(end) > lastCycle_)
+        lastCycle_ = static_cast<std::int64_t>(end);
+}
+
+std::vector<std::string>
+Sampler::seriesNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto &kv : series_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::size_t
+Sampler::intervalCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : series_)
+        n = std::max(n, kv.second.size());
+    return n;
+}
+
+double
+Sampler::valueAt(const std::string &series, std::size_t bin) const
+{
+    auto it = series_.find(series);
+    if (it == series_.end() || bin >= it->second.size())
+        return 0.0;
+    return it->second[bin];
+}
+
+bool
+Sampler::writeCsv(const std::string &path)
+{
+    if (!active_)
+        return false;
+    // Close the trailing partial interval so short runs still produce
+    // at least one row. The probe rates in the partial bin are
+    // normalized by the full interval width (a conservative
+    // under-estimate for the tail).
+    if (lastCycle_ >= static_cast<std::int64_t>(curBin_) * interval_)
+        closeBins(static_cast<std::size_t>(lastCycle_ / interval_) + 1);
+
+    const std::size_t rows = intervalCount();
+    std::ofstream os(path);
+    if (!os)
+        return false;
+
+    os << "cycle";
+    for (const auto &kv : series_)
+        os << "," << kv.first;
+    os << "\n";
+    char buf[64];
+    for (std::size_t bin = 0; bin < rows; ++bin) {
+        const std::int64_t cycle_end = std::min<std::int64_t>(
+            static_cast<std::int64_t>(bin + 1) * interval_,
+            std::max<std::int64_t>(lastCycle_, 1));
+        os << cycle_end;
+        for (const auto &kv : series_) {
+            const double v =
+                bin < kv.second.size() ? kv.second[bin] : 0.0;
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+            os << "," << buf;
+        }
+        os << "\n";
+    }
+
+    // Mirror into the event trace so Perfetto shows the derived
+    // series alongside the raw spans they were computed from.
+    auto &tracer = Tracer::instance();
+    if (tracer.active()) {
+        for (const auto &kv : series_) {
+            const auto track = tracer.newTrack("sample." + kv.first);
+            for (std::size_t bin = 0; bin < kv.second.size(); ++bin) {
+                tracer.counter(
+                    "sample", kv.first.c_str(), track,
+                    static_cast<std::int64_t>(bin + 1) * interval_,
+                    kv.second[bin]);
+            }
+        }
+    }
+    return os.good();
+}
+
+} // namespace secndp

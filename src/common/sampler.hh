@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Time-series sampling of simulation statistics.
+ *
+ * The process-wide Sampler bins the simulated-cycle axis into
+ * fixed-width intervals (default 10k cycles) and derives per-interval
+ * series from three sources:
+ *
+ *  - counter probes: at every interval boundary crossed by a tick()
+ *    it polls cumulative StatRegistry counters and converts the delta
+ *    into a rate. Built-in probes: `bus_util` (ctrl.bus_busy_cycles
+ *    per controller-cycle) and `row_hit_rate` (fraction of dram
+ *    column accesses that did not need an ACT);
+ *  - gauges: instantaneous levels published by simulation loops
+ *    (e.g. `ndp_backlog`, the packets issued-or-waiting but not yet
+ *    finished); the last value written in an interval wins;
+ *  - busy spans: [begin, end) work intervals (e.g. AES-pool OTP
+ *    generation, verifier checks) accumulated as the mean concurrency
+ *    within each interval (`aes_busy_frac`, `verify_queue_depth`).
+ *
+ * The result is written as CSV (`secndp_sim --timeseries-out`) --
+ * column 0 is the interval-end cycle, remaining columns are series
+ * in sorted name order -- and mirrored into the Chrome tracer as
+ * counter tracks when a trace is being recorded.
+ *
+ * Inactive cost: tick() is one branch. The Sampler assumes a single
+ * simulated clock domain per activation (one `secndp_sim` run); it is
+ * not meant to span multiple independently-clocked batches.
+ */
+
+#ifndef SECNDP_COMMON_SAMPLER_HH
+#define SECNDP_COMMON_SAMPLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace secndp {
+
+class Sampler
+{
+  public:
+    static Sampler &instance();
+
+    static constexpr std::int64_t defaultInterval = 10000;
+
+    /** Reset all state and start sampling with the given interval. */
+    void start(std::int64_t interval_cycles = defaultInterval);
+
+    /** Deactivate and drop all collected series. */
+    void stop();
+
+    bool active() const { return active_; }
+    std::int64_t interval() const { return interval_; }
+
+    /**
+     * Publish the current simulated cycle; closes every interval
+     * whose end has passed (polling the counter probes once per
+     * crossing). Call from simulation loops. O(1) when inactive.
+     */
+    void tick(std::int64_t now)
+    {
+        if (active_ && now >= nextBoundary_)
+            advanceTo(now);
+        if (active_ && now > lastCycle_)
+            lastCycle_ = now;
+    }
+
+    /** Record an instantaneous level (last write per interval wins). */
+    void gauge(const std::string &series, std::int64_t now,
+               double value);
+
+    /**
+     * Record a busy span [begin, end) in cycles; each overlapped
+     * interval accumulates overlap/interval (mean concurrency).
+     */
+    void recordSpan(const std::string &series, double begin,
+                    double end);
+
+    /**
+     * Close the final (possibly partial) interval, write the CSV, and
+     * mirror every series into the Chrome tracer as counter tracks if
+     * a trace is recording. Leaves the Sampler active (call stop() to
+     * clear). Returns false if the file cannot be written.
+     */
+    bool writeCsv(const std::string &path);
+
+    // --- introspection (tests) ---
+    std::vector<std::string> seriesNames() const;
+    std::size_t intervalCount() const;
+    /** Value of `series` in interval `bin` (0 when absent). */
+    double valueAt(const std::string &series, std::size_t bin) const;
+
+  private:
+    Sampler() = default;
+
+    void advanceTo(std::int64_t now);
+    /** Poll counter probes; spread deltas over bins [curBin_, upTo). */
+    void closeBins(std::size_t up_to);
+    std::vector<double> &seriesRef(const std::string &name);
+
+    bool active_ = false;
+    std::int64_t interval_ = defaultInterval;
+    std::int64_t nextBoundary_ = 0;
+    std::int64_t lastCycle_ = 0;
+    std::size_t curBin_ = 0; ///< first not-yet-closed interval
+    /** Peak live "ctrl" group count seen at any boundary -- the
+     *  bus_util normalizer. Captured during ticks because the final
+     *  flush runs after the per-batch controllers are destroyed. */
+    std::size_t ctrlSeen_ = 0;
+    double lastBusBusy_ = 0.0;
+    double lastColCmds_ = 0.0;
+    double lastActs_ = 0.0;
+    std::map<std::string, std::vector<double>> series_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_COMMON_SAMPLER_HH

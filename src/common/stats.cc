@@ -370,50 +370,63 @@ jsonNumber(std::ostream &os, double v)
 void
 StatGroup::dumpJson(std::ostream &os) const
 {
+    // One globally-sorted key sequence across all four stat kinds, so
+    // the report is byte-stable regardless of which kind a stat is.
+    enum Kind { KCounter, KScalar, KDist, KHisto };
+    std::map<std::string, Kind> keys;
+    for (const auto &kv : counters_)
+        keys.emplace(kv.first, KCounter);
+    for (const auto &kv : scalars_)
+        keys.emplace(kv.first, KScalar);
+    for (const auto &kv : distributions_)
+        keys.emplace(kv.first, KDist);
+    for (const auto &kv : histograms_)
+        keys.emplace(kv.first, KHisto);
+
     os << "{";
     bool first = true;
-    auto key = [&](const std::string &k) {
+    for (const auto &kk : keys) {
         if (!first)
             os << ", ";
         first = false;
-        jsonEscape(os, k);
+        jsonEscape(os, kk.first);
         os << ": ";
-    };
-    for (const auto &kv : counters_) {
-        key(kv.first);
-        os << kv.second;
-    }
-    for (const auto &kv : scalars_) {
-        key(kv.first);
-        jsonNumber(os, kv.second);
-    }
-    for (const auto &kv : distributions_) {
-        key(kv.first);
-        const auto &d = kv.second;
-        os << "{\"count\": " << d.count() << ", \"min\": ";
-        jsonNumber(os, d.minValue());
-        os << ", \"max\": ";
-        jsonNumber(os, d.maxValue());
-        os << ", \"mean\": ";
-        jsonNumber(os, d.mean());
-        os << "}";
-    }
-    for (const auto &kv : histograms_) {
-        key(kv.first);
-        const auto &h = kv.second;
-        os << "{\"count\": " << h.count() << ", \"min\": ";
-        jsonNumber(os, h.minValue());
-        os << ", \"max\": ";
-        jsonNumber(os, h.maxValue());
-        os << ", \"mean\": ";
-        jsonNumber(os, h.mean());
-        os << ", \"p50\": ";
-        jsonNumber(os, h.percentile(0.50));
-        os << ", \"p95\": ";
-        jsonNumber(os, h.percentile(0.95));
-        os << ", \"p99\": ";
-        jsonNumber(os, h.percentile(0.99));
-        os << "}";
+        switch (kk.second) {
+          case KCounter:
+            os << counters_.at(kk.first);
+            break;
+          case KScalar:
+            jsonNumber(os, scalars_.at(kk.first));
+            break;
+          case KDist: {
+            const auto &d = distributions_.at(kk.first);
+            os << "{\"count\": " << d.count() << ", \"min\": ";
+            jsonNumber(os, d.minValue());
+            os << ", \"max\": ";
+            jsonNumber(os, d.maxValue());
+            os << ", \"mean\": ";
+            jsonNumber(os, d.mean());
+            os << "}";
+            break;
+          }
+          case KHisto: {
+            const auto &h = histograms_.at(kk.first);
+            os << "{\"count\": " << h.count() << ", \"min\": ";
+            jsonNumber(os, h.minValue());
+            os << ", \"max\": ";
+            jsonNumber(os, h.maxValue());
+            os << ", \"mean\": ";
+            jsonNumber(os, h.mean());
+            os << ", \"p50\": ";
+            jsonNumber(os, h.percentile(0.50));
+            os << ", \"p95\": ";
+            jsonNumber(os, h.percentile(0.95));
+            os << ", \"p99\": ";
+            jsonNumber(os, h.percentile(0.99));
+            os << "}";
+            break;
+          }
+        }
     }
     os << "}";
 }
@@ -468,6 +481,53 @@ StatRegistry::liveGroups() const
     return live_.size();
 }
 
+std::size_t
+StatRegistry::liveGroupsNamed(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const StatGroup *g : live_)
+        n += g->name() == name;
+    return n;
+}
+
+std::uint64_t
+StatRegistry::counterSumNamed(const std::string &group,
+                              const std::string &stat) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t sum = 0;
+    auto it = retired_.find(group);
+    if (it != retired_.end())
+        sum += it->second.counterValue(stat);
+    for (const StatGroup *g : live_) {
+        if (g->name() == group)
+            sum += g->counterValue(stat);
+    }
+    return sum;
+}
+
+void
+StatRegistry::setMeta(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    meta_[key] = value;
+}
+
+std::map<std::string, std::string>
+StatRegistry::metaSnapshot() const
+{
+    std::map<std::string, std::string> meta;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        meta = meta_;
+    }
+#ifdef SECNDP_GIT_DESCRIBE
+    meta.emplace("git", SECNDP_GIT_DESCRIBE);
+#endif
+    return meta;
+}
+
 std::map<std::string, StatGroup>
 StatRegistry::snapshot() const
 {
@@ -503,18 +563,32 @@ void
 StatRegistry::dumpJson(std::ostream &os) const
 {
     const auto merged = snapshot();
-    os << "{\n";
+    const auto meta = metaSnapshot();
+    os << "{\n  \"schema_version\": " << schemaVersion << ",\n";
+    os << "  \"meta\": {";
     bool first = true;
+    for (const auto &kv : meta) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n    ";
+        jsonEscape(os, kv.first);
+        os << ": ";
+        jsonEscape(os, kv.second);
+    }
+    os << (meta.empty() ? "},\n" : "\n  },\n");
+    os << "  \"groups\": {";
+    first = true;
     for (const auto &kv : merged) {
         if (!first)
-            os << ",\n";
+            os << ",";
         first = false;
-        os << "  ";
+        os << "\n    ";
         jsonEscape(os, kv.first);
         os << ": ";
         kv.second.dumpJson(os);
     }
-    os << "\n}\n";
+    os << (merged.empty() ? "}\n}\n" : "\n  }\n}\n");
 }
 
 void

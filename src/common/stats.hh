@@ -13,13 +13,21 @@
  * distributions and histograms union.
  *
  * StatRegistry::dumpJson emits the experiment-report schema consumed
- * by the bench sidecars and `secndp_sim --stats-json` (see DESIGN.md
- * "Observability"):
+ * by the bench sidecars, `secndp_sim --stats-json`, and the
+ * `secndp_report` analysis CLI (see DESIGN.md "Observability"):
  *
- *   { "group": { "stat": value
- *              | {"count":..,"min":..,"max":..,"mean":..}          // dist
- *              | {"count":..,"min":..,"max":..,"mean":..,
- *                 "p50":..,"p95":..,"p99":..} } }                  // histo
+ *   { "schema_version": 2,
+ *     "meta": { "key": "value", ... },           // run metadata
+ *     "groups":
+ *       { "group": { "stat": value
+ *                  | {"count":..,"min":..,"max":..,"mean":..}      // dist
+ *                  | {"count":..,"min":..,"max":..,"mean":..,
+ *                     "p50":..,"p95":..,"p99":..} } } }            // histo
+ *
+ * Key order is fully deterministic (every object sorted by key), so
+ * two runs of the same binary produce byte-identical reports modulo
+ * metadata -- a requirement for the checked-in perf baselines under
+ * bench/baselines/ that `secndp_report diff` gates CI on.
  */
 
 #ifndef SECNDP_COMMON_STATS_HH
@@ -196,10 +204,34 @@ class StatGroup
 class StatRegistry
 {
   public:
+    /** Bump when the dumpJson layout changes incompatibly. */
+    static constexpr int schemaVersion = 2;
+
     static StatRegistry &instance();
 
     /** Number of currently-registered groups. */
     std::size_t liveGroups() const;
+
+    /** Number of currently-registered groups with this name. */
+    std::size_t liveGroupsNamed(const std::string &name) const;
+
+    /**
+     * Sum of one counter across every live and retired group named
+     * `group` -- the cheap cumulative read the time-series Sampler
+     * polls at every interval boundary (no snapshot copy).
+     */
+    std::uint64_t counterSumNamed(const std::string &group,
+                                  const std::string &stat) const;
+
+    /**
+     * Attach run metadata (workload, config knobs, bench name, ...)
+     * emitted under the report's top-level "meta" object. Values are
+     * strings; setting a key again overwrites it.
+     */
+    void setMeta(const std::string &key, const std::string &value);
+
+    /** Current metadata, including the compiled-in git describe. */
+    std::map<std::string, std::string> metaSnapshot() const;
 
     /**
      * Merged view (live + retired) keyed by group name. The returned
@@ -229,6 +261,7 @@ class StatRegistry
     mutable std::mutex mutex_;
     std::vector<StatGroup *> live_;
     std::map<std::string, StatGroup> retired_;
+    std::map<std::string, std::string> meta_;
 };
 
 } // namespace secndp

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/sampler.hh"
 #include "common/stats.hh"
 #include "common/trace_event.hh"
 
@@ -72,6 +73,24 @@ overlayEngine(const EngineConfig &cfg, const DramClock &clock,
             static_cast<double>(otp_cycle - ndp[q].finished));
         stats.histogram("packet_latency").sample(
             static_cast<double>(fin - ndp[q].issued));
+        // Time-series: the pool is busy generating OTPs for exactly
+        // [start, otp_done); verifier checks occupy the fixed window
+        // before packet finish. Overlap-per-interval gives the busy
+        // fraction / mean queue depth directly.
+        auto &sampler = Sampler::instance();
+        if (sampler.active()) {
+            if (work[q].totalBlocks() > 0)
+                sampler.recordSpan("aes_busy_frac", start, otp_done);
+            if (verifying) {
+                const double vstart = static_cast<double>(
+                    std::max(otp_cycle, ndp[q].finished) +
+                    cfg.adderCycles);
+                sampler.recordSpan(
+                    "verify_queue_depth", vstart,
+                    vstart +
+                        static_cast<double>(cfg.verifyCheckCycles));
+            }
+        }
 #if SECNDP_TRACING
         if (SECNDP_TRACE_ACTIVE() && work[q].totalBlocks() > 0) {
             const auto ts = static_cast<Cycle>(start);

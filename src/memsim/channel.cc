@@ -131,6 +131,8 @@ DramChannel::issueAct(const DramCoord &c, Cycle at)
     r.actWindow.push_back(at);
     if (r.actWindow.size() > 4)
         r.actWindow.pop_front();
+    // `acts` / `reads` / `writes` are Sampler probes (row_hit_rate
+    // series): renaming them breaks the time-series contract.
     ++stats_.counter("acts");
 }
 

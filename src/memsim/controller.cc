@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/sampler.hh"
 #include "common/trace_event.hh"
 
 namespace secndp {
@@ -93,6 +94,8 @@ MemoryController::tryIssue(Entry &e, Cycle now, Cycle &next_hint)
         busFreeAt_ = done;
         lastBurstRank_ = static_cast<int>(e.coord.rank);
         stats_.counter(e.req.write ? "wr_bursts" : "rd_bursts") += 1;
+        // `bus_busy_cycles` is a Sampler probe (bus_util series):
+        // renaming it breaks the time-series contract.
         stats_.counter("bus_busy_cycles") += t.tBL;
         stats_.histogram("req_latency").sample(
             static_cast<double>(done - e.arrived));
@@ -241,8 +244,10 @@ MemoryController::drain(Cycle from)
         if (prev_cb)
             prev_cb(req, done);
     };
+    auto &sampler = Sampler::instance();
     while (busy()) {
         logSetCycle(now);
+        sampler.tick(now);
         const Cycle next = tick(now);
         SECNDP_ASSERT(next > now || next == idleForever,
                       "controller made no progress at %ld", now);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/sampler.hh"
 #include "common/trace_event.hh"
 
 namespace secndp {
@@ -98,8 +99,17 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
         return true;
     };
 
+    auto &sampler = Sampler::instance();
     while (completed < queries.size() || next_q < queries.size()) {
         logSetCycle(now);
+        if (sampler.active()) {
+            sampler.tick(now);
+            // Backlog: packets not yet finished (waiting + in
+            // flight) -- the level the NDP_reg window throttles.
+            sampler.gauge("ndp_backlog", now,
+                          static_cast<double>(queries.size() -
+                                              completed));
+        }
         // Release registers of packets that finished by `now`.
         while (!finish_events.empty() &&
                finish_events.top().first <= now) {

@@ -1,0 +1,237 @@
+#include "report/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace secndp::report {
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &s, std::string *err)
+        : s_(s), err_(err)
+    {
+    }
+
+    bool run(JsonValue &out)
+    {
+        ws();
+        if (!value(out))
+            return false;
+        ws();
+        if (pos_ != s_.size())
+            return fail("trailing characters");
+        return true;
+    }
+
+  private:
+    const std::string &s_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+
+    bool fail(const char *what)
+    {
+        if (err_) {
+            *err_ = std::string(what) + " at offset " +
+                    std::to_string(pos_);
+        }
+        return false;
+    }
+
+    int peek() const
+    {
+        return pos_ < s_.size()
+                   ? static_cast<unsigned char>(s_[pos_])
+                   : -1;
+    }
+    bool eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+    void ws()
+    {
+        while (peek() == ' ' || peek() == '\n' || peek() == '\t' ||
+               peek() == '\r')
+            ++pos_;
+    }
+
+    bool literal(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool string(std::string &out)
+    {
+        if (!eat('"'))
+            return fail("expected string");
+        out.clear();
+        while (peek() != '"') {
+            if (peek() < 0)
+                return fail("unterminated string");
+            if (eat('\\')) {
+                switch (peek()) {
+                  case '"': out += '"'; ++pos_; break;
+                  case '\\': out += '\\'; ++pos_; break;
+                  case '/': out += '/'; ++pos_; break;
+                  case 'b': out += '\b'; ++pos_; break;
+                  case 'f': out += '\f'; ++pos_; break;
+                  case 'n': out += '\n'; ++pos_; break;
+                  case 'r': out += '\r'; ++pos_; break;
+                  case 't': out += '\t'; ++pos_; break;
+                  case 'u': {
+                    ++pos_;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const int c = peek();
+                        if (!std::isxdigit(c))
+                            return fail("bad \\u escape");
+                        code = code * 16 +
+                               (std::isdigit(c)
+                                    ? c - '0'
+                                    : std::tolower(c) - 'a' + 10);
+                        ++pos_;
+                    }
+                    // ASCII only; anything else becomes '?' (the
+                    // simulator never emits non-ASCII keys).
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += s_[pos_++];
+            }
+        }
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(double &out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(peek()))
+            return fail("expected number");
+        while (std::isdigit(peek()))
+            ++pos_;
+        if (eat('.')) {
+            if (!std::isdigit(peek()))
+                return fail("bad fraction");
+            while (std::isdigit(peek()))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(peek()))
+                return fail("bad exponent");
+            while (std::isdigit(peek()))
+                ++pos_;
+        }
+        out = std::strtod(s_.c_str() + start, nullptr);
+        return true;
+    }
+
+    bool value(JsonValue &out)
+    {
+        switch (peek()) {
+          case '{': {
+            out.type_ = JsonValue::Type::Object;
+            ++pos_;
+            ws();
+            if (eat('}'))
+                return true;
+            do {
+                ws();
+                std::string key;
+                if (!string(key))
+                    return false;
+                ws();
+                if (!eat(':'))
+                    return fail("expected ':'");
+                ws();
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.members_.emplace_back(std::move(key),
+                                          std::move(v));
+                ws();
+            } while (eat(','));
+            if (!eat('}'))
+                return fail("expected '}'");
+            return true;
+          }
+          case '[': {
+            out.type_ = JsonValue::Type::Array;
+            ++pos_;
+            ws();
+            if (eat(']'))
+                return true;
+            do {
+                ws();
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.items_.push_back(std::move(v));
+                ws();
+            } while (eat(','));
+            if (!eat(']'))
+                return fail("expected ']'");
+            return true;
+          }
+          case '"':
+            out.type_ = JsonValue::Type::String;
+            return string(out.string_);
+          case 't':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = true;
+            return literal("true");
+          case 'f':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = false;
+            return literal("false");
+          case 'n':
+            out.type_ = JsonValue::Type::Null;
+            return literal("null");
+          default:
+            out.type_ = JsonValue::Type::Number;
+            return number(out.number_);
+        }
+    }
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string *err)
+{
+    out = JsonValue();
+    return JsonParser(text, err).run(out);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &kv : members_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+} // namespace secndp::report

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON value + recursive-descent parser for the stats-report
+ * tooling (`secndp_report`). Parses the full RFC 8259 grammar the
+ * simulator emits; not a general-purpose library (no \uXXXX
+ * decoding beyond pass-through, numbers are doubles).
+ */
+
+#ifndef SECNDP_REPORT_JSON_HH
+#define SECNDP_REPORT_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace secndp::report {
+
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /**
+     * Parse one JSON document (trailing garbage is an error). On
+     * failure returns false and, when `err` is non-null, stores a
+     * message with the byte offset.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *err = nullptr);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    /** Object members in file order (duplicates preserved). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** First member with this key; nullptr when absent/not object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** numberOr: this->find(key) as a number, or `fallback`. */
+    double numberOr(const std::string &key, double fallback) const;
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+
+    friend class JsonParser;
+};
+
+} // namespace secndp::report
+
+#endif // SECNDP_REPORT_JSON_HH

@@ -1,0 +1,506 @@
+#include "report/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/json.hh"
+
+namespace secndp::report {
+
+namespace {
+
+/** Meta keys that legitimately differ between comparable runs. */
+bool
+metaKeyIgnored(const std::string &key)
+{
+    return key == "git";
+}
+
+bool
+readFile(const std::string &path, std::string &out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void
+flattenGroup(const std::string &group, const JsonValue &stats,
+             std::map<std::string, double> &metrics)
+{
+    for (const auto &kv : stats.members()) {
+        const std::string base = group + "." + kv.first;
+        if (kv.second.isNumber()) {
+            metrics[base] = kv.second.asNumber();
+        } else if (kv.second.isObject()) {
+            // Distribution/histogram: one metric per numeric field.
+            for (const auto &fld : kv.second.members()) {
+                if (fld.second.isNumber())
+                    metrics[base + "." + fld.first] =
+                        fld.second.asNumber();
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+parseStatsReport(const std::string &text, const std::string &name,
+                 StatsReport &out, std::string *err)
+{
+    out = StatsReport();
+    out.name = name;
+    JsonValue root;
+    if (!JsonValue::parse(text, root, err))
+        return false;
+    if (!root.isObject()) {
+        if (err)
+            *err = "report is not a JSON object";
+        return false;
+    }
+
+    const JsonValue *ver = root.find("schema_version");
+    const JsonValue *groups = root.find("groups");
+    if (ver && ver->isNumber() && groups && groups->isObject()) {
+        out.schemaVersion = static_cast<int>(ver->asNumber());
+        if (const JsonValue *meta = root.find("meta");
+            meta && meta->isObject()) {
+            for (const auto &kv : meta->members())
+                if (kv.second.isString())
+                    out.meta[kv.first] = kv.second.asString();
+        }
+        for (const auto &kv : groups->members())
+            if (kv.second.isObject())
+                flattenGroup(kv.first, kv.second, out.metrics);
+    } else {
+        // PR-1 layout: the root object IS the group map.
+        out.schemaVersion = 1;
+        for (const auto &kv : root.members())
+            if (kv.second.isObject())
+                flattenGroup(kv.first, kv.second, out.metrics);
+    }
+    return true;
+}
+
+bool
+loadStatsReport(const std::string &path, StatsReport &out,
+                std::string *err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    std::string stem = std::filesystem::path(path).filename().string();
+    // Strip the ".stats.json" (or plain ".json") suffix.
+    for (const char *suffix : {".stats.json", ".json"}) {
+        const std::size_t n = std::string(suffix).size();
+        if (stem.size() > n &&
+            stem.compare(stem.size() - n, n, suffix) == 0) {
+            stem.resize(stem.size() - n);
+            break;
+        }
+    }
+    if (!parseStatsReport(text, stem, out, err)) {
+        if (err)
+            *err = path + ": " + *err;
+        return false;
+    }
+    return true;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    // Iterative `*`-glob with backtracking.
+    std::size_t p = 0, n = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == name[n] || pattern[p] == '?')) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+bool
+parseWatchRules(std::istream &in, std::vector<WatchRule> &out,
+                std::string *err)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        WatchRule rule;
+        std::string direction;
+        if (!(fields >> rule.pattern))
+            continue; // blank/comment line
+        if (!(fields >> rule.maxRegressPct) ||
+            rule.maxRegressPct < 0.0) {
+            if (err)
+                *err = "line " + std::to_string(lineno) +
+                       ": expected 'pattern pct [direction]'";
+            return false;
+        }
+        if (fields >> direction) {
+            if (direction == "up_is_bad") {
+                rule.upIsBad = true;
+            } else if (direction == "down_is_bad") {
+                rule.upIsBad = false;
+            } else {
+                if (err)
+                    *err = "line " + std::to_string(lineno) +
+                           ": unknown direction '" + direction + "'";
+                return false;
+            }
+        }
+        out.push_back(std::move(rule));
+    }
+    return true;
+}
+
+bool
+loadWatchRules(const std::string &path, std::vector<WatchRule> &out,
+               std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open thresholds file '" + path + "'";
+        return false;
+    }
+    return parseWatchRules(in, out, err);
+}
+
+DiffResult
+diffReports(const StatsReport &base, const StatsReport &cur,
+            const std::vector<WatchRule> &rules)
+{
+    DiffResult result;
+
+    if (base.schemaVersion != cur.schemaVersion) {
+        result.problems.push_back(
+            "schema mismatch: baseline v" +
+            std::to_string(base.schemaVersion) + " vs run v" +
+            std::to_string(cur.schemaVersion) +
+            " (stale baseline? regenerate bench/baselines)");
+    }
+    // Unlike runs must not be silently compared: every meta key
+    // present on either side has to agree (modulo the ignore set).
+    for (const auto &kv : base.meta) {
+        if (metaKeyIgnored(kv.first))
+            continue;
+        auto it = cur.meta.find(kv.first);
+        const std::string curval =
+            it == cur.meta.end() ? "<absent>" : it->second;
+        if (curval != kv.second) {
+            result.problems.push_back(
+                "meta mismatch: " + kv.first + " baseline '" +
+                kv.second + "' vs run '" + curval + "'");
+        }
+    }
+    for (const auto &kv : cur.meta) {
+        if (!metaKeyIgnored(kv.first) && !base.meta.count(kv.first)) {
+            result.problems.push_back("meta mismatch: " + kv.first +
+                                      " baseline '<absent>' vs run '" +
+                                      kv.second + "'");
+        }
+    }
+
+    const double eps = 1e-9;
+    for (const auto &kv : base.metrics) {
+        const WatchRule *rule = nullptr;
+        for (const auto &r : rules) {
+            if (globMatch(r.pattern, kv.first)) {
+                rule = &r;
+                break;
+            }
+        }
+        if (!rule)
+            continue;
+
+        MetricDelta d;
+        d.metric = kv.first;
+        d.base = kv.second;
+        d.watched = true;
+
+        auto it = cur.metrics.find(kv.first);
+        if (it == cur.metrics.end()) {
+            result.problems.push_back("watched metric missing from "
+                                      "run: " +
+                                      kv.first);
+            continue;
+        }
+        d.cur = it->second;
+        d.deltaPct = d.base != 0.0
+                         ? (d.cur - d.base) / std::abs(d.base) * 100.0
+                         : 0.0;
+        const double slack = rule->maxRegressPct / 100.0;
+        if (rule->upIsBad) {
+            d.regressed =
+                d.cur > d.base + std::abs(d.base) * slack + eps;
+        } else {
+            d.regressed =
+                d.cur < d.base - std::abs(d.base) * slack - eps;
+        }
+        // base == 0: any appearance (up_is_bad) / disappearance is
+        // already covered by the formulas above via the eps term.
+        result.regressions += d.regressed;
+        result.watched.push_back(std::move(d));
+    }
+    return result;
+}
+
+namespace {
+
+std::string
+fmtNum(double v)
+{
+    char buf[48];
+    if (v == std::floor(v) && std::abs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() > suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Strip a known stat-object field suffix; empty when none. */
+std::string
+objectPrefix(const std::string &metric)
+{
+    for (const char *f :
+         {".count", ".min", ".max", ".mean", ".p50", ".p95", ".p99"}) {
+        if (hasSuffix(metric, f))
+            return metric.substr(0, metric.size() -
+                                        std::string(f).size());
+    }
+    return std::string();
+}
+
+} // namespace
+
+void
+printSummary(std::ostream &os, const StatsReport &r)
+{
+    os << "== " << r.name << " (schema v" << r.schemaVersion << ") ==\n";
+    if (!r.meta.empty()) {
+        os << "  ";
+        bool first = true;
+        for (const auto &kv : r.meta) {
+            if (!first)
+                os << " ";
+            first = false;
+            os << kv.first << "=" << kv.second;
+        }
+        os << "\n";
+    }
+
+    // Partition the flat metric map back into scalars, stat objects
+    // (dist/histo prefixes), and host phases.
+    std::vector<std::pair<std::string, double>> scalars;
+    std::map<std::string, bool> objects; // prefix -> has p50
+    std::vector<std::pair<std::string, double>> phases;
+    for (const auto &kv : r.metrics) {
+        if (kv.first.rfind("host_phases.", 0) == 0) {
+            if (hasSuffix(kv.first, "_ms"))
+                phases.push_back(kv);
+            continue;
+        }
+        const std::string prefix = objectPrefix(kv.first);
+        if (prefix.empty())
+            scalars.push_back(kv);
+        else if (hasSuffix(kv.first, ".p50"))
+            objects[prefix] = true;
+        else
+            objects.emplace(prefix, false);
+    }
+
+    if (!scalars.empty()) {
+        os << "  counters/scalars\n";
+        for (const auto &kv : scalars) {
+            char line[128];
+            std::snprintf(line, sizeof(line), "    %-36s %14s\n",
+                          kv.first.c_str(), fmtNum(kv.second).c_str());
+            os << line;
+        }
+    }
+    if (!objects.empty()) {
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "  %-38s %10s %10s %10s %10s %10s %10s\n",
+                      "distributions", "count", "mean", "p50", "p95",
+                      "p99", "max");
+        os << head;
+        for (const auto &kv : objects) {
+            auto field = [&](const char *f) {
+                auto it = r.metrics.find(kv.first + "." + f);
+                return it == r.metrics.end() ? std::string("-")
+                                             : fmtNum(it->second);
+            };
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "    %-36s %10s %10s %10s %10s %10s %10s\n",
+                          kv.first.c_str(), field("count").c_str(),
+                          field("mean").c_str(), field("p50").c_str(),
+                          field("p95").c_str(), field("p99").c_str(),
+                          field("max").c_str());
+            os << line;
+        }
+    }
+    if (!phases.empty()) {
+        os << "  host phases (wall ms)\n";
+        for (const auto &kv : phases) {
+            const std::string name = kv.first.substr(
+                std::string("host_phases.").size(),
+                kv.first.size() - std::string("host_phases.").size() -
+                    3);
+            auto calls =
+                r.metrics.find("host_phases." + name + "_calls");
+            char line[160];
+            std::snprintf(
+                line, sizeof(line), "    %-36s %10.3f  (%s calls)\n",
+                name.c_str(), kv.second,
+                calls == r.metrics.end()
+                    ? "?"
+                    : fmtNum(calls->second).c_str());
+            os << line;
+        }
+    }
+}
+
+void
+printDiff(std::ostream &os, const std::string &name,
+          const DiffResult &d)
+{
+    os << "== " << name << ": " << d.watched.size()
+       << " watched metric(s), " << d.regressions << " regression(s)";
+    if (!d.problems.empty())
+        os << ", " << d.problems.size() << " problem(s)";
+    os << " ==\n";
+    for (const auto &p : d.problems)
+        os << "  PROBLEM: " << p << "\n";
+    if (!d.watched.empty()) {
+        char head[160];
+        std::snprintf(head, sizeof(head), "  %-38s %12s %12s %9s\n",
+                      "metric", "baseline", "run", "delta");
+        os << head;
+    }
+    for (const auto &m : d.watched) {
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "  %-38s %12s %12s %+8.2f%%%s\n",
+                      m.metric.c_str(), fmtNum(m.base).c_str(),
+                      fmtNum(m.cur).c_str(), m.deltaPct,
+                      m.regressed ? "  << REGRESSED" : "");
+        os << line;
+    }
+}
+
+int
+diffDirectories(std::ostream &os, const std::string &baseline_dir,
+                const std::string &run_dir,
+                const std::string &thresholds_path)
+{
+    namespace fs = std::filesystem;
+    std::string err;
+
+    const std::string thresholds =
+        thresholds_path.empty()
+            ? (fs::path(baseline_dir) / "thresholds.tsv").string()
+            : thresholds_path;
+    std::vector<WatchRule> rules;
+    if (!loadWatchRules(thresholds, rules, &err)) {
+        os << "error: " << err << "\n";
+        return 3;
+    }
+
+    std::error_code ec;
+    std::vector<fs::path> baselines;
+    for (const auto &entry :
+         fs::directory_iterator(baseline_dir, ec)) {
+        if (entry.is_regular_file() &&
+            hasSuffix(entry.path().filename().string(),
+                      ".stats.json"))
+            baselines.push_back(entry.path());
+    }
+    if (ec) {
+        os << "error: cannot list '" << baseline_dir
+           << "': " << ec.message() << "\n";
+        return 3;
+    }
+    if (baselines.empty()) {
+        os << "error: no *.stats.json baselines in '" << baseline_dir
+           << "'\n";
+        return 3;
+    }
+    std::sort(baselines.begin(), baselines.end());
+
+    bool io_error = false;
+    bool regressed = false;
+    for (const auto &basefile : baselines) {
+        StatsReport base, cur;
+        if (!loadStatsReport(basefile.string(), base, &err)) {
+            os << "error: " << err << "\n";
+            io_error = true;
+            continue;
+        }
+        const fs::path runfile =
+            fs::path(run_dir) / basefile.filename();
+        if (!loadStatsReport(runfile.string(), cur, &err)) {
+            os << "error: " << err << " (baseline "
+               << basefile.filename().string()
+               << " has no counterpart in run dir?)\n";
+            io_error = true;
+            continue;
+        }
+        const DiffResult d = diffReports(base, cur, rules);
+        printDiff(os, base.name, d);
+        regressed |= d.failed();
+    }
+    if (io_error)
+        return 3;
+    if (regressed) {
+        os << "FAIL: performance gate\n";
+        return 1;
+    }
+    os << "OK: all watched metrics within thresholds\n";
+    return 0;
+}
+
+} // namespace secndp::report

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Analysis layer over the stats-report sidecars: load `.stats.json`
+ * files, flatten them to `group.stat[.field]` metric maps, render
+ * summary tables, and diff a run directory against a baseline
+ * directory under per-metric watch rules -- the engine behind the
+ * `secndp_report` CLI and the CI perf-regression gate.
+ *
+ * Watch rules ("thresholds file") are one rule per line:
+ *
+ *   # metric-glob        max-regression-%  [direction]
+ *   ndp.packet_latency.p95   5             up_is_bad
+ *   ndp.lines                0.0           down_is_bad
+ *
+ * `*` in the glob matches any run of characters. Direction defaults
+ * to up_is_bad (latency-like). A metric matching several rules uses
+ * the first matching line. A watched metric missing from the current
+ * run counts as a regression (the signal disappeared).
+ */
+
+#ifndef SECNDP_REPORT_REPORT_HH
+#define SECNDP_REPORT_REPORT_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace secndp::report {
+
+class JsonValue;
+
+/** One parsed .stats.json sidecar, flattened. */
+struct StatsReport
+{
+    std::string name;       ///< file stem, e.g. "sls_enc"
+    int schemaVersion = 0;  ///< 1 when the file has no version field
+    std::map<std::string, std::string> meta;
+    /** `group.stat` for plain numbers; `group.stat.p95` etc. for
+     *  distribution/histogram fields. */
+    std::map<std::string, double> metrics;
+};
+
+/** Parse report text (the file's contents). */
+bool parseStatsReport(const std::string &text, const std::string &name,
+                      StatsReport &out, std::string *err = nullptr);
+
+/** Load and parse one sidecar file. */
+bool loadStatsReport(const std::string &path, StatsReport &out,
+                     std::string *err = nullptr);
+
+/** `*`-glob match (anchored both ends). */
+bool globMatch(const std::string &pattern, const std::string &name);
+
+/** One line of the thresholds file. */
+struct WatchRule
+{
+    std::string pattern;
+    double maxRegressPct = 0.0;
+    bool upIsBad = true;
+};
+
+bool parseWatchRules(std::istream &in, std::vector<WatchRule> &out,
+                     std::string *err = nullptr);
+bool loadWatchRules(const std::string &path,
+                    std::vector<WatchRule> &out,
+                    std::string *err = nullptr);
+
+/** Comparison of one metric between baseline and current run. */
+struct MetricDelta
+{
+    std::string metric;
+    double base = 0.0;
+    double cur = 0.0;
+    double deltaPct = 0.0; ///< +/- percent vs base (0 when base==0)
+    bool watched = false;
+    bool regressed = false;
+};
+
+struct DiffResult
+{
+    std::vector<MetricDelta> watched; ///< every watched metric
+    /** Hard failures: schema/meta mismatch, missing metrics. */
+    std::vector<std::string> problems;
+    std::size_t regressions = 0;
+
+    bool failed() const
+    {
+        return regressions > 0 || !problems.empty();
+    }
+};
+
+/** Diff two parsed reports under the watch rules. */
+DiffResult diffReports(const StatsReport &base, const StatsReport &cur,
+                       const std::vector<WatchRule> &rules);
+
+/** Human-readable per-report summary table. */
+void printSummary(std::ostream &os, const StatsReport &r);
+
+/** Human-readable diff table (one report pair). */
+void printDiff(std::ostream &os, const std::string &name,
+               const DiffResult &d);
+
+/**
+ * Gate driver: diff every `*.stats.json` in `baseline_dir` against
+ * its same-named counterpart in `run_dir`, using
+ * `thresholds_path` (empty -> `<baseline_dir>/thresholds.tsv`).
+ * Prints tables/problems to `os`. Returns the process exit code:
+ * 0 clean, 1 regression/mismatch, 3 I/O or parse error.
+ */
+int diffDirectories(std::ostream &os, const std::string &baseline_dir,
+                    const std::string &run_dir,
+                    const std::string &thresholds_path);
+
+} // namespace secndp::report
+
+#endif // SECNDP_REPORT_REPORT_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/phase_profiler.hh"
 #include "secndp/arith_encrypt.hh"
 #include "secndp/checksum.hh"
 
@@ -96,6 +97,7 @@ SecNdpClient::provision(const Matrix &plain, UntrustedNdpDevice &device,
                         bool with_tags,
                         std::optional<std::uint64_t> region_id)
 {
+    ScopedPhase phase("encrypt");
     geometry_ = plain.geometry();
     version_ =
         versions_->freshVersion(region_id.value_or(plain.baseAddr()));
@@ -205,6 +207,7 @@ SecNdpClient::weightedSumRows(const UntrustedNdpDevice &device,
     }
 
     if (with_tag) {
+        ScopedPhase phase("verify");
         result.verificationPerformed = true;
         // Retrieved MAC: C_Tres + E_Tres (Alg. 5; note the paper's
         // line 16 typo writes '-', the proof and Alg. 3 require '+').

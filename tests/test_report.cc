@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Tests for the analysis/reporting layer: the JSON parser behind
+ * secndp_report, stats-report flattening, watch-rule parsing, the
+ * regression-diff semantics driving the CI perf gate, the Sampler's
+ * time-series binning/CSV, and the host phase profiler. Kept in a
+ * separate binary (tests_report) because Sampler and the phase
+ * profiler mutate process-wide singletons.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/phase_profiler.hh"
+#include "common/sampler.hh"
+#include "common/stats.hh"
+#include "report/json.hh"
+#include "report/report.hh"
+
+namespace secndp::report {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalarsAndNesting)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        "{\"a\": 1.5, \"b\": [true, null, \"x\\n\"], \"c\": {}}", v,
+        &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0.0), 1.5);
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->items().size(), 3u);
+    EXPECT_TRUE(b->items()[0].asBool());
+    EXPECT_TRUE(b->items()[1].isNull());
+    EXPECT_EQ(b->items()[2].asString(), "x\n");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", -2.0), -2.0);
+}
+
+TEST(Json, ParsesNumberForms)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse("[-3, 0.25, 6e2, 1.5E-1]", v));
+    ASSERT_EQ(v.items().size(), 4u);
+    EXPECT_DOUBLE_EQ(v.items()[0].asNumber(), -3.0);
+    EXPECT_DOUBLE_EQ(v.items()[1].asNumber(), 0.25);
+    EXPECT_DOUBLE_EQ(v.items()[2].asNumber(), 600.0);
+    EXPECT_DOUBLE_EQ(v.items()[3].asNumber(), 0.15);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse("{", v, &err));
+    EXPECT_NE(err.find("offset"), std::string::npos);
+    EXPECT_FALSE(JsonValue::parse("{\"a\": }", v));
+    EXPECT_FALSE(JsonValue::parse("[1,]", v));
+    EXPECT_FALSE(JsonValue::parse("{} junk", v));
+    EXPECT_FALSE(JsonValue::parse("'single'", v));
+}
+
+// ------------------------------------------------------ report loading
+
+const char *kV2Report = R"({
+  "schema_version": 2,
+  "meta": {"workload": "sls", "mode": "enc", "git": "abc"},
+  "groups": {
+    "ctrl": {"requests": 100, "req_latency":
+             {"count": 100, "mean": 4.5, "p50": 4, "p95": 9,
+              "p99": 10, "min": 1, "max": 12}},
+    "ndp": {"lines": 640}
+  }
+})";
+
+TEST(StatsReport, FlattensSchemaV2)
+{
+    StatsReport r;
+    std::string err;
+    ASSERT_TRUE(parseStatsReport(kV2Report, "sls_enc", r, &err))
+        << err;
+    EXPECT_EQ(r.schemaVersion, 2);
+    EXPECT_EQ(r.name, "sls_enc");
+    EXPECT_EQ(r.meta.at("workload"), "sls");
+    EXPECT_DOUBLE_EQ(r.metrics.at("ctrl.requests"), 100.0);
+    EXPECT_DOUBLE_EQ(r.metrics.at("ctrl.req_latency.p95"), 9.0);
+    EXPECT_DOUBLE_EQ(r.metrics.at("ndp.lines"), 640.0);
+}
+
+TEST(StatsReport, AcceptsLegacyV1Layout)
+{
+    // PR-1 sidecars had no envelope: the root object is the groups.
+    StatsReport r;
+    ASSERT_TRUE(parseStatsReport(
+        "{\"ctrl\": {\"requests\": 7}}", "old", r));
+    EXPECT_EQ(r.schemaVersion, 1);
+    EXPECT_TRUE(r.meta.empty());
+    EXPECT_DOUBLE_EQ(r.metrics.at("ctrl.requests"), 7.0);
+}
+
+// ------------------------------------------------------------- globbing
+
+TEST(Glob, MatchesAnchored)
+{
+    EXPECT_TRUE(globMatch("ctrl.requests", "ctrl.requests"));
+    EXPECT_FALSE(globMatch("ctrl.requests", "ctrl.requests.p95"));
+    EXPECT_TRUE(globMatch("ctrl.*", "ctrl.requests.p95"));
+    EXPECT_TRUE(globMatch("*.p95", "ctrl.req_latency.p95"));
+    EXPECT_FALSE(globMatch("*.p95", "ctrl.req_latency.p99"));
+    EXPECT_TRUE(globMatch("*", "anything"));
+    EXPECT_TRUE(globMatch("a*b*c", "aXXbYYc"));
+    EXPECT_FALSE(globMatch("a*b*c", "aXXcYYb"));
+    EXPECT_FALSE(globMatch("", "x"));
+    EXPECT_TRUE(globMatch("", ""));
+}
+
+// ----------------------------------------------------------- thresholds
+
+TEST(WatchRules, ParsesCommentsAndDirections)
+{
+    std::istringstream in(
+        "# comment line\n"
+        "\n"
+        "ndp.packet_latency.p95  5  up_is_bad  # trailing comment\n"
+        "ndp.lines  0  down_is_bad\n"
+        "ctrl.*     2\n");
+    std::vector<WatchRule> rules;
+    std::string err;
+    ASSERT_TRUE(parseWatchRules(in, rules, &err)) << err;
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].pattern, "ndp.packet_latency.p95");
+    EXPECT_DOUBLE_EQ(rules[0].maxRegressPct, 5.0);
+    EXPECT_TRUE(rules[0].upIsBad);
+    EXPECT_FALSE(rules[1].upIsBad);
+    EXPECT_TRUE(rules[2].upIsBad); // default direction
+}
+
+TEST(WatchRules, RejectsBadLines)
+{
+    std::vector<WatchRule> rules;
+    std::string err;
+    std::istringstream missing_pct("ndp.lines\n");
+    EXPECT_FALSE(parseWatchRules(missing_pct, rules, &err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    std::istringstream bad_dir("ndp.lines 5 sideways_is_bad\n");
+    EXPECT_FALSE(parseWatchRules(bad_dir, rules, &err));
+    std::istringstream negative("ndp.lines -5\n");
+    EXPECT_FALSE(parseWatchRules(negative, rules, &err));
+}
+
+// ----------------------------------------------------------------- diff
+
+StatsReport
+mkReport(std::map<std::string, double> metrics)
+{
+    StatsReport r;
+    r.name = "t";
+    r.schemaVersion = 2;
+    r.metrics = std::move(metrics);
+    return r;
+}
+
+TEST(Diff, FlagsRegressionPastThresholdOnly)
+{
+    const std::vector<WatchRule> rules = {{"lat.p95", 5.0, true}};
+    const auto base = mkReport({{"lat.p95", 100.0}});
+    // +4.9%: inside the band.
+    auto d = diffReports(base, mkReport({{"lat.p95", 104.9}}), rules);
+    EXPECT_FALSE(d.failed());
+    ASSERT_EQ(d.watched.size(), 1u);
+    EXPECT_NEAR(d.watched[0].deltaPct, 4.9, 1e-9);
+    // +6%: regression.
+    d = diffReports(base, mkReport({{"lat.p95", 106.0}}), rules);
+    EXPECT_TRUE(d.failed());
+    EXPECT_EQ(d.regressions, 1u);
+    // -30%: improvements never fail an up_is_bad rule.
+    d = diffReports(base, mkReport({{"lat.p95", 70.0}}), rules);
+    EXPECT_FALSE(d.failed());
+}
+
+TEST(Diff, DownIsBadWatchesCoverageCounters)
+{
+    const std::vector<WatchRule> rules = {{"ndp.lines", 0.0, false}};
+    const auto base = mkReport({{"ndp.lines", 640.0}});
+    EXPECT_FALSE(
+        diffReports(base, mkReport({{"ndp.lines", 640.0}}), rules)
+            .failed());
+    EXPECT_FALSE(
+        diffReports(base, mkReport({{"ndp.lines", 700.0}}), rules)
+            .failed());
+    EXPECT_TRUE(
+        diffReports(base, mkReport({{"ndp.lines", 639.0}}), rules)
+            .failed());
+}
+
+TEST(Diff, MissingWatchedMetricIsAProblem)
+{
+    const std::vector<WatchRule> rules = {{"ndp.*", 5.0, true}};
+    const auto d = diffReports(mkReport({{"ndp.lines", 640.0}}),
+                               mkReport({}), rules);
+    EXPECT_TRUE(d.failed());
+    ASSERT_EQ(d.problems.size(), 1u);
+    EXPECT_NE(d.problems[0].find("ndp.lines"), std::string::npos);
+}
+
+TEST(Diff, UnwatchedMetricsAreIgnored)
+{
+    const std::vector<WatchRule> rules = {{"ndp.*", 0.0, true}};
+    const auto d =
+        diffReports(mkReport({{"host_phases.setup_ms", 1.0}}),
+                    mkReport({{"host_phases.setup_ms", 900.0}}),
+                    rules);
+    EXPECT_FALSE(d.failed());
+    EXPECT_TRUE(d.watched.empty());
+}
+
+TEST(Diff, FirstMatchingRuleWins)
+{
+    const std::vector<WatchRule> rules = {{"lat.p95", 50.0, true},
+                                          {"lat.*", 0.0, true}};
+    const auto d = diffReports(mkReport({{"lat.p95", 100.0}}),
+                               mkReport({{"lat.p95", 120.0}}), rules);
+    EXPECT_FALSE(d.failed()); // the loose specific rule applied
+}
+
+TEST(Diff, MetaAndSchemaMismatchesAreProblems)
+{
+    const std::vector<WatchRule> rules;
+    auto base = mkReport({});
+    auto cur = mkReport({});
+    base.meta = {{"mode", "enc"}, {"git", "aaa"}};
+    cur.meta = {{"mode", "ver"}, {"git", "bbb"}};
+    auto d = diffReports(base, cur, rules);
+    ASSERT_EQ(d.problems.size(), 1u); // git is ignored, mode is not
+    EXPECT_NE(d.problems[0].find("mode"), std::string::npos);
+
+    cur.meta = base.meta;
+    cur.schemaVersion = 1;
+    d = diffReports(base, cur, rules);
+    EXPECT_TRUE(d.failed());
+}
+
+TEST(Diff, ZeroBaselineRegressesOnAnyIncrease)
+{
+    const std::vector<WatchRule> rules = {{"engine.drops", 0.0,
+                                           true}};
+    const auto base = mkReport({{"engine.drops", 0.0}});
+    EXPECT_FALSE(
+        diffReports(base, mkReport({{"engine.drops", 0.0}}), rules)
+            .failed());
+    EXPECT_TRUE(
+        diffReports(base, mkReport({{"engine.drops", 1.0}}), rules)
+            .failed());
+}
+
+// ------------------------------------------------------------ rendering
+
+TEST(Render, SummaryShowsCountersDistributionsAndPhases)
+{
+    StatsReport r;
+    std::string err;
+    ASSERT_TRUE(parseStatsReport(kV2Report, "sls_enc", r, &err));
+    r.metrics["host_phases.setup_ms"] = 1.25;
+    r.metrics["host_phases.setup_calls"] = 1.0;
+    std::ostringstream os;
+    printSummary(os, r);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sls_enc"), std::string::npos);
+    EXPECT_NE(out.find("ctrl.requests"), std::string::npos);
+    EXPECT_NE(out.find("ctrl.req_latency"), std::string::npos);
+    EXPECT_NE(out.find("workload=sls"), std::string::npos);
+    EXPECT_NE(out.find("setup"), std::string::npos);
+    // The p95 column value for req_latency appears.
+    EXPECT_NE(out.find("9"), std::string::npos);
+}
+
+TEST(Render, DiffMarksRegressions)
+{
+    const std::vector<WatchRule> rules = {{"lat.p95", 5.0, true}};
+    const auto d = diffReports(mkReport({{"lat.p95", 100.0}}),
+                               mkReport({{"lat.p95", 150.0}}), rules);
+    std::ostringstream os;
+    printDiff(os, "t", d);
+    EXPECT_NE(os.str().find("REGRESSED"), std::string::npos);
+    EXPECT_NE(os.str().find("+50.00%"), std::string::npos);
+}
+
+// -------------------------------------------------- directory gate e2e
+
+class GateDirs : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        base_ = ::testing::TempDir() + "gate_base";
+        run_ = ::testing::TempDir() + "gate_run";
+        std::filesystem::remove_all(base_);
+        std::filesystem::remove_all(run_);
+        std::filesystem::create_directories(base_);
+        std::filesystem::create_directories(run_);
+    }
+    void TearDown() override
+    {
+        std::filesystem::remove_all(base_);
+        std::filesystem::remove_all(run_);
+    }
+
+    static void write(const std::string &path, const std::string &s)
+    {
+        std::ofstream os(path);
+        os << s;
+    }
+
+    static std::string sidecar(double lines)
+    {
+        std::ostringstream os;
+        os << "{\"schema_version\": 2, \"meta\": {}, \"groups\": "
+           << "{\"ndp\": {\"lines\": " << lines << "}}}";
+        return os.str();
+    }
+
+    std::string base_, run_;
+};
+
+TEST_F(GateDirs, CleanRunExitsZero)
+{
+    write(base_ + "/a.stats.json", sidecar(640));
+    write(base_ + "/thresholds.tsv", "ndp.lines 0 down_is_bad\n");
+    write(run_ + "/a.stats.json", sidecar(640));
+    std::ostringstream os;
+    EXPECT_EQ(diffDirectories(os, base_, run_, ""), 0);
+    EXPECT_NE(os.str().find("OK"), std::string::npos);
+}
+
+TEST_F(GateDirs, RegressionExitsOne)
+{
+    write(base_ + "/a.stats.json", sidecar(640));
+    write(base_ + "/thresholds.tsv", "ndp.lines 0 down_is_bad\n");
+    write(run_ + "/a.stats.json", sidecar(600));
+    std::ostringstream os;
+    EXPECT_EQ(diffDirectories(os, base_, run_, ""), 1);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+}
+
+TEST_F(GateDirs, MissingRunFileExitsThree)
+{
+    write(base_ + "/a.stats.json", sidecar(640));
+    write(base_ + "/thresholds.tsv", "ndp.lines 0 down_is_bad\n");
+    std::ostringstream os;
+    EXPECT_EQ(diffDirectories(os, base_, run_, ""), 3);
+}
+
+TEST_F(GateDirs, MissingThresholdsExitsThree)
+{
+    write(base_ + "/a.stats.json", sidecar(640));
+    write(run_ + "/a.stats.json", sidecar(640));
+    std::ostringstream os;
+    EXPECT_EQ(diffDirectories(os, base_, run_, ""), 3);
+}
+
+} // namespace
+} // namespace secndp::report
+
+// ------------------------------------------------------------- Sampler
+
+namespace secndp {
+namespace {
+
+class SamplerTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Sampler::instance().stop(); }
+};
+
+TEST_F(SamplerTest, InactiveByDefaultAndNoOp)
+{
+    auto &s = Sampler::instance();
+    EXPECT_FALSE(s.active());
+    s.tick(1000);
+    s.gauge("g", 10, 1.0);
+    s.recordSpan("sp", 0, 100);
+    EXPECT_EQ(s.intervalCount(), 0u);
+}
+
+TEST_F(SamplerTest, CounterProbesBecomePerIntervalRates)
+{
+    StatGroup ctrl("ctrl");
+    StatGroup dram("dram");
+    ctrl.counter("bus_busy_cycles") = 0;
+    dram.counter("reads") = 0;
+    dram.counter("writes") = 0;
+    dram.counter("acts") = 0;
+
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.tick(0); // capture the live controller count
+
+    // Two intervals of activity: 100 busy cycles over 200 cycles on
+    // one controller -> 0.5 utilization in both bins; 60 of 80
+    // column commands hit the open row -> 0.75 hit rate.
+    ctrl.counter("bus_busy_cycles") = 100;
+    dram.counter("reads") = 50;
+    dram.counter("writes") = 30;
+    dram.counter("acts") = 20;
+    s.tick(200);
+
+    EXPECT_DOUBLE_EQ(s.valueAt("bus_util", 0), 0.5);
+    EXPECT_DOUBLE_EQ(s.valueAt("bus_util", 1), 0.5);
+    EXPECT_DOUBLE_EQ(s.valueAt("row_hit_rate", 0), 0.75);
+    EXPECT_DOUBLE_EQ(s.valueAt("row_hit_rate", 1), 0.75);
+}
+
+TEST_F(SamplerTest, StartSnapshotsCounterBaselines)
+{
+    StatGroup ctrl("ctrl");
+    StatGroup dram("dram");
+    // Pre-existing totals from before activation must not leak in.
+    ctrl.counter("bus_busy_cycles") = 1000000;
+    dram.counter("reads") = 5000;
+    dram.counter("acts") = 5000;
+
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.tick(0);
+    s.tick(100);
+    EXPECT_DOUBLE_EQ(s.valueAt("bus_util", 0), 0.0);
+    EXPECT_DOUBLE_EQ(s.valueAt("row_hit_rate", 0), 0.0);
+}
+
+TEST_F(SamplerTest, GaugeIsLastWriteWinsPerBin)
+{
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.gauge("backlog", 10, 5.0);
+    s.gauge("backlog", 90, 3.0); // same bin, overwrites
+    s.gauge("backlog", 150, 8.0);
+    EXPECT_DOUBLE_EQ(s.valueAt("backlog", 0), 3.0);
+    EXPECT_DOUBLE_EQ(s.valueAt("backlog", 1), 8.0);
+}
+
+TEST_F(SamplerTest, SpansBinAsMeanConcurrency)
+{
+    auto &s = Sampler::instance();
+    s.start(100);
+    // [50, 250): half of bin 0, all of bin 1, half of bin 2.
+    s.recordSpan("busy", 50, 250);
+    EXPECT_DOUBLE_EQ(s.valueAt("busy", 0), 0.5);
+    EXPECT_DOUBLE_EQ(s.valueAt("busy", 1), 1.0);
+    EXPECT_DOUBLE_EQ(s.valueAt("busy", 2), 0.5);
+    // Overlapping spans accumulate (mean concurrency > 1).
+    s.recordSpan("busy", 100, 200);
+    EXPECT_DOUBLE_EQ(s.valueAt("busy", 1), 2.0);
+}
+
+TEST_F(SamplerTest, CsvHasSortedHeaderAndOneRowPerInterval)
+{
+    StatGroup ctrl("ctrl");
+    StatGroup dram("dram");
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.tick(0);
+    s.gauge("zz_gauge", 150, 7.0);
+    s.recordSpan("aa_span", 0, 100);
+    const std::string path =
+        ::testing::TempDir() + "sampler_test.csv";
+    ASSERT_TRUE(s.writeCsv(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header, row0, row1;
+    std::getline(in, header);
+    std::getline(in, row0);
+    std::getline(in, row1);
+    // std::map ordering: alphabetical after the cycle column.
+    EXPECT_EQ(header,
+              "cycle,aa_span,bus_util,row_hit_rate,zz_gauge");
+    EXPECT_EQ(row0, "100,1,0,0,0");
+    EXPECT_EQ(row1, "150,0,0,0,7");
+    EXPECT_EQ(s.intervalCount(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST_F(SamplerTest, StopResetsState)
+{
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.gauge("g", 10, 1.0);
+    s.stop();
+    EXPECT_FALSE(s.active());
+    EXPECT_EQ(s.intervalCount(), 0u);
+    EXPECT_TRUE(s.seriesNames().empty());
+}
+
+// ------------------------------------------------------ phase profiler
+
+TEST(PhaseProfiler, ScopedPhaseAccumulatesWallTime)
+{
+    const double before =
+        hostPhaseStats().scalar("pp_test_ms");
+    {
+        ScopedPhase phase("pp_test");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+        ScopedPhase phase("pp_test");
+    }
+    EXPECT_GE(hostPhaseStats().scalar("pp_test_ms"), before + 2.0);
+    EXPECT_EQ(hostPhaseStats().counterValue("pp_test_calls"), 2u);
+}
+
+TEST(PhaseProfiler, PhasesAppearInRegistryJson)
+{
+    {
+        ScopedPhase phase("pp_json_test");
+    }
+    std::ostringstream os;
+    StatRegistry::instance().dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"host_phases\""), std::string::npos);
+    EXPECT_NE(json.find("\"pp_json_test_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"pp_json_test_calls\": 1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace secndp

@@ -384,6 +384,88 @@ TEST(StatRegistry, JsonDumpIsWellFormed)
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST(StatRegistry, JsonDumpHasSchemaEnvelope)
+{
+    auto &reg = StatRegistry::instance();
+    reg.setMeta("envelope_test_key", "envelope_test_value");
+    StatGroup g("envelope_group_test");
+    g.counter("n") = 1;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"meta\""), std::string::npos);
+    EXPECT_NE(json.find("\"groups\""), std::string::npos);
+    EXPECT_NE(json.find("\"envelope_test_key\": "
+                        "\"envelope_test_value\""),
+              std::string::npos);
+    // The meta block precedes the groups block.
+    EXPECT_LT(json.find("\"meta\""), json.find("\"groups\""));
+}
+
+TEST(StatRegistry, MetaSnapshotRoundTrips)
+{
+    auto &reg = StatRegistry::instance();
+    reg.setMeta("meta_rt_key", "v1");
+    reg.setMeta("meta_rt_key", "v2"); // last write wins
+    const auto meta = reg.metaSnapshot();
+    auto it = meta.find("meta_rt_key");
+    ASSERT_NE(it, meta.end());
+    EXPECT_EQ(it->second, "v2");
+}
+
+TEST(StatRegistry, CounterSumNamedSpansLiveAndRetired)
+{
+    auto &reg = StatRegistry::instance();
+    {
+        StatGroup g("ctr_sum_test");
+        g.counter("x") = 5;
+    } // retired
+    StatGroup live("ctr_sum_test");
+    live.counter("x") = 2;
+    EXPECT_EQ(reg.counterSumNamed("ctr_sum_test", "x"), 7u);
+    EXPECT_EQ(reg.counterSumNamed("ctr_sum_test", "absent"), 0u);
+    EXPECT_EQ(reg.counterSumNamed("no_such_group", "x"), 0u);
+}
+
+TEST(StatRegistry, LiveGroupsNamedCountsOnlyLive)
+{
+    auto &reg = StatRegistry::instance();
+    EXPECT_EQ(reg.liveGroupsNamed("live_named_test"), 0u);
+    StatGroup a("live_named_test");
+    {
+        StatGroup b("live_named_test");
+        EXPECT_EQ(reg.liveGroupsNamed("live_named_test"), 2u);
+    }
+    EXPECT_EQ(reg.liveGroupsNamed("live_named_test"), 1u);
+}
+
+TEST(StatGroup, JsonKeysAreGloballySorted)
+{
+    // Counters, scalars, distributions and histograms must interleave
+    // in one sorted key sequence (byte-determinism for baselines).
+    StatGroup g("json_sorted_test", StatGroup::noRegister);
+    g.counter("zeta") = 1;
+    g.scalar("alpha") = 2.0;
+    g.distribution("mid").sample(3.0);
+    g.histogram("beta").sample(4.0);
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string json = os.str();
+    const auto pa = json.find("\"alpha\"");
+    const auto pb = json.find("\"beta\"");
+    const auto pm = json.find("\"mid\"");
+    const auto pz = json.find("\"zeta\"");
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    ASSERT_NE(pm, std::string::npos);
+    ASSERT_NE(pz, std::string::npos);
+    EXPECT_LT(pa, pb);
+    EXPECT_LT(pb, pm);
+    EXPECT_LT(pm, pz);
+}
+
 TEST(StatGroup, JsonObjectShape)
 {
     StatGroup g("json_shape_test", StatGroup::noRegister);

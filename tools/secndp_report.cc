@@ -1,0 +1,178 @@
+/**
+ * @file
+ * secndp_report: analyze and diff .stats.json sidecars written by
+ * secndp_sim / the benchmarks.
+ *
+ *   secndp_report summary FILE|DIR...
+ *       Pretty-print per-run counters, distribution percentiles and
+ *       host phase wall-times. Directories are expanded to every
+ *       *.stats.json inside (non-recursive).
+ *
+ *   secndp_report diff --baseline DIR [--thresholds FILE] RUN_DIR
+ *       Compare each baseline sidecar against its same-named file in
+ *       RUN_DIR under the watch rules (default
+ *       DIR/thresholds.tsv). Exits 0 when clean, 1 when a watched
+ *       metric regressed past its threshold (the CI perf gate), 3 on
+ *       I/O or parse errors, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/report.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace secndp::report;
+
+void
+printUsage(std::FILE *to, const char *argv0)
+{
+    std::fprintf(to,
+                 "usage: %s summary FILE|DIR...\n"
+                 "       %s diff --baseline DIR [--thresholds FILE] "
+                 "RUN_DIR\n"
+                 "\n"
+                 "subcommands:\n"
+                 "  summary   print per-run stat tables from "
+                 ".stats.json sidecars\n"
+                 "  diff      gate RUN_DIR against baseline sidecars; "
+                 "exit 1 on regression\n"
+                 "\n"
+                 "diff options:\n"
+                 "  --baseline DIR     directory of golden "
+                 "*.stats.json (required)\n"
+                 "  --thresholds FILE  watch rules; default "
+                 "DIR/thresholds.tsv\n"
+                 "\n"
+                 "exit codes: 0 ok, 1 regression/mismatch, 2 usage, "
+                 "3 I/O or parse error\n",
+                 argv0, argv0);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Expand a summary operand: a dir becomes its *.stats.json files. */
+bool
+expandOperand(const std::string &arg, std::vector<std::string> &files)
+{
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+        std::vector<std::string> found;
+        for (const auto &entry : fs::directory_iterator(arg, ec)) {
+            if (entry.is_regular_file() &&
+                endsWith(entry.path().filename().string(),
+                         ".stats.json"))
+                found.push_back(entry.path().string());
+        }
+        if (ec) {
+            std::cerr << "error: cannot list '" << arg
+                      << "': " << ec.message() << "\n";
+            return false;
+        }
+        if (found.empty()) {
+            std::cerr << "error: no *.stats.json in '" << arg
+                      << "'\n";
+            return false;
+        }
+        std::sort(found.begin(), found.end());
+        files.insert(files.end(), found.begin(), found.end());
+        return true;
+    }
+    files.push_back(arg);
+    return true;
+}
+
+int
+cmdSummary(const std::vector<std::string> &args, const char *argv0)
+{
+    if (args.empty()) {
+        printUsage(stderr, argv0);
+        return 2;
+    }
+    std::vector<std::string> files;
+    for (const auto &arg : args) {
+        if (!expandOperand(arg, files))
+            return 3;
+    }
+    bool first = true;
+    for (const auto &file : files) {
+        StatsReport report;
+        std::string err;
+        if (!loadStatsReport(file, report, &err)) {
+            std::cerr << "error: " << err << "\n";
+            return 3;
+        }
+        if (!first)
+            std::cout << "\n";
+        first = false;
+        printSummary(std::cout, report);
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args, const char *argv0)
+{
+    std::string baseline, thresholds, run_dir;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--baseline" && i + 1 < args.size()) {
+            baseline = args[++i];
+        } else if (args[i] == "--thresholds" && i + 1 < args.size()) {
+            thresholds = args[++i];
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::cerr << "error: unknown diff option '" << args[i]
+                      << "'\n";
+            printUsage(stderr, argv0);
+            return 2;
+        } else if (run_dir.empty()) {
+            run_dir = args[i];
+        } else {
+            std::cerr << "error: more than one RUN_DIR\n";
+            printUsage(stderr, argv0);
+            return 2;
+        }
+    }
+    if (baseline.empty() || run_dir.empty()) {
+        printUsage(stderr, argv0);
+        return 2;
+    }
+    return diffDirectories(std::cout, baseline, run_dir, thresholds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        printUsage(stderr, argv[0]);
+        return 2;
+    }
+    if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+        printUsage(stdout, argv[0]);
+        return 0;
+    }
+    const std::string cmd = args[0];
+    args.erase(args.begin());
+    if (cmd == "summary")
+        return cmdSummary(args, argv[0]);
+    if (cmd == "diff")
+        return cmdDiff(args, argv[0]);
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+    printUsage(stderr, argv[0]);
+    return 2;
+}

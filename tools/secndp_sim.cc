@@ -16,13 +16,19 @@
  *              [--ranks N] [--regs N] [--aes N]
  *              [--batch N] [--pf N] [--zipf A] [--seed S]
  *              [--stats-json FILE] [--trace-out FILE]
+ *              [--timeseries-out FILE] [--sample-interval N]
  *              [--log-level debug|info|warn|error]
  *
  * Observability (see DESIGN.md "Observability"):
- *   --stats-json FILE  write the merged StatRegistry as JSON
- *                      ({group: {stat: value|histogram}})
- *   --trace-out FILE   write a Chrome-trace/Perfetto event trace of
- *                      the run, timestamped in simulated cycles
+ *   --stats-json FILE      write the merged StatRegistry as JSON
+ *                          (schema v2: schema_version/meta/groups),
+ *                          consumable by tools/secndp_report
+ *   --trace-out FILE       write a Chrome-trace/Perfetto event trace
+ *                          of the run, timestamped in simulated cycles
+ *   --timeseries-out FILE  sample derived series (bus utilization,
+ *                          row-hit rate, NDP backlog, AES-pool busy
+ *                          fraction, verifier queue depth) every
+ *                          --sample-interval cycles into a CSV
  *
  * Example: compare native NDP and SecNDP on quantized RMC2-small:
  *   secndp_sim --workload sls --model rmc2-small --quant col \
@@ -38,6 +44,8 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/phase_profiler.hh"
+#include "common/sampler.hh"
 #include "common/stats.hh"
 #include "common/trace_event.hh"
 #include "energy/energy_model.hh"
@@ -67,21 +75,45 @@ struct Options
     std::string loadTrace; ///< replay a trace file instead
     std::string statsJson; ///< stats-registry JSON report path
     std::string traceOut;  ///< Chrome-trace event file path
+    std::string timeseriesOut; ///< sampled time-series CSV path
+    std::int64_t sampleInterval = Sampler::defaultInterval;
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+printUsage(std::FILE *to, const char *argv0)
 {
-    std::fprintf(stderr,
+    std::fprintf(to,
                  "usage: %s [--workload sls|medical] [--model M] "
                  "[--mode cpu|tee|ndp|enc|ver]\n"
                  "          [--layout none|coloc|sep|ecc] "
                  "[--quant fp32|row|col|table]\n"
                  "          [--ranks N] [--regs N] [--aes N] "
                  "[--batch N] [--pf N] [--zipf A] [--seed S]\n"
-                 "          [--stats-json FILE] [--trace-out FILE] "
-                 "[--log-level debug|info|warn|error]\n",
-                 argv0);
+                 "          [--stats-json FILE] [--trace-out FILE]\n"
+                 "          [--timeseries-out FILE] "
+                 "[--sample-interval CYCLES]\n"
+                 "          [--save-trace FILE] [--load-trace FILE]\n"
+                 "          [--log-level debug|info|warn|error] "
+                 "[--help]\n"
+                 "\n"
+                 "  --stats-json FILE      stats report (JSON schema "
+                 "v2; see secndp_report)\n"
+                 "  --trace-out FILE       Chrome-trace/Perfetto "
+                 "event timeline\n"
+                 "  --timeseries-out FILE  per-interval CSV of "
+                 "bus_util, row_hit_rate,\n"
+                 "                         ndp_backlog, aes_busy_frac,"
+                 " verify_queue_depth\n"
+                 "  --sample-interval N    sampling interval in "
+                 "simulated cycles (default %lld)\n",
+                 argv0,
+                 static_cast<long long>(Sampler::defaultInterval));
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    printUsage(stderr, argv0);
     std::exit(2);
 }
 
@@ -139,7 +171,11 @@ main(int argc, char **argv)
                 usage(argv[0]);
             return argv[i];
         };
-        if (arg == "--workload") opt.workload = next();
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0]);
+            return 0;
+        }
+        else if (arg == "--workload") opt.workload = next();
         else if (arg == "--model") opt.model = next();
         else if (arg == "--mode") opt.mode = next();
         else if (arg == "--layout") opt.layout = next();
@@ -155,6 +191,12 @@ main(int argc, char **argv)
         else if (arg == "--load-trace") opt.loadTrace = next();
         else if (arg == "--stats-json") opt.statsJson = next();
         else if (arg == "--trace-out") opt.traceOut = next();
+        else if (arg == "--timeseries-out") opt.timeseriesOut = next();
+        else if (arg == "--sample-interval") {
+            opt.sampleInterval = std::stoll(next());
+            if (opt.sampleInterval <= 0)
+                fatal("--sample-interval must be positive");
+        }
         else if (arg == "--log-level") {
             LogLevel level;
             if (!parseLogLevel(next(), level))
@@ -175,26 +217,49 @@ main(int argc, char **argv)
     sys.ndp.ndpReg = opt.regs;
     sys.engine.nAesEngines = opt.aes;
 
+    // Run metadata for the stats report, so secndp_report can refuse
+    // to diff unlike runs.
+    {
+        auto &reg = StatRegistry::instance();
+        reg.setMeta("tool", "secndp_sim");
+        reg.setMeta("workload", opt.workload);
+        reg.setMeta("model", opt.model);
+        reg.setMeta("mode", opt.mode);
+        reg.setMeta("quant", opt.quant);
+        reg.setMeta("layout", opt.layout);
+        char knobs[160];
+        std::snprintf(knobs, sizeof(knobs),
+                      "ranks=%u regs=%u aes=%u batch=%u pf=%u "
+                      "zipf=%.2f seed=%llu",
+                      opt.ranks, opt.regs, opt.aes, opt.batch, opt.pf,
+                      opt.zipf,
+                      static_cast<unsigned long long>(opt.seed));
+        reg.setMeta("config", knobs);
+    }
+
     WorkloadTrace trace;
-    if (!opt.loadTrace.empty()) {
-        trace = loadTraceFile(opt.loadTrace);
-    } else if (opt.workload == "sls") {
-        SlsTraceConfig tc;
-        tc.batch = opt.batch;
-        tc.pf = opt.pf;
-        tc.zipfAlpha = opt.zipf;
-        tc.quant = parseQuant(opt.quant);
-        tc.layout = layout;
-        tc.seed = opt.seed;
-        trace = buildSlsTrace(parseModel(opt.model), tc);
-    } else if (opt.workload == "medical") {
-        MedicalDbConfig db;
-        db.pf = opt.pf;
-        db.numQueries = opt.batch;
-        db.seed = opt.seed;
-        trace = buildMedicalTrace(db, layout);
-    } else {
-        usage(argv[0]);
+    {
+        ScopedPhase phase("setup");
+        if (!opt.loadTrace.empty()) {
+            trace = loadTraceFile(opt.loadTrace);
+        } else if (opt.workload == "sls") {
+            SlsTraceConfig tc;
+            tc.batch = opt.batch;
+            tc.pf = opt.pf;
+            tc.zipfAlpha = opt.zipf;
+            tc.quant = parseQuant(opt.quant);
+            tc.layout = layout;
+            tc.seed = opt.seed;
+            trace = buildSlsTrace(parseModel(opt.model), tc);
+        } else if (opt.workload == "medical") {
+            MedicalDbConfig db;
+            db.pf = opt.pf;
+            db.numQueries = opt.batch;
+            db.seed = opt.seed;
+            trace = buildMedicalTrace(db, layout);
+        } else {
+            usage(argv[0]);
+        }
     }
 
     if (!opt.saveTrace.empty()) {
@@ -206,10 +271,25 @@ main(int argc, char **argv)
 
     if (!opt.traceOut.empty() && !Tracer::instance().start(opt.traceOut))
         fatal("cannot open --trace-out file '%s'", opt.traceOut.c_str());
+    if (!opt.timeseriesOut.empty())
+        Sampler::instance().start(opt.sampleInterval);
 
     const auto m = runWorkload(sys, trace, mode);
     const auto energy = computeEnergy(EnergyParams{}, m);
 
+    if (!opt.timeseriesOut.empty()) {
+        // Must precede Tracer::stop(): the CSV writer also mirrors
+        // every series into the open trace as counter tracks.
+        if (!Sampler::instance().writeCsv(opt.timeseriesOut)) {
+            fatal("cannot write --timeseries-out file '%s'",
+                  opt.timeseriesOut.c_str());
+        }
+        std::printf("timeseries      %s (%zu intervals x %zu series)\n",
+                    opt.timeseriesOut.c_str(),
+                    Sampler::instance().intervalCount(),
+                    Sampler::instance().seriesNames().size());
+        Sampler::instance().stop();
+    }
     if (!opt.traceOut.empty()) {
         const auto events = Tracer::instance().eventCount();
         Tracer::instance().stop();
@@ -218,6 +298,8 @@ main(int argc, char **argv)
                     opt.traceOut.c_str(),
                     static_cast<unsigned long long>(events));
     }
+    // (No ScopedPhase here: it would only close after the report is
+    // already written, so its time could never appear in the file.)
     if (!opt.statsJson.empty()) {
         std::ofstream os(opt.statsJson);
         if (!os)
