@@ -29,6 +29,19 @@ run() {
         --timeseries-out "$OUT/$name.ts.csv" > /dev/null
 }
 
+# Serving-layer config: fixed-seed open-loop loadgen run. Simulated
+# serve.* metrics are deterministic; worker-thread interleaving only
+# moves wall clock (host_phases.*), which is unwatched.
+LOADGEN="$(dirname "$SIM")/secndp_loadgen"
+run_serve() {
+    local name=$1
+    shift
+    echo "perf-gate: $name"
+    "$LOADGEN" "$@" --seed 7 --sample-interval 500 \
+        --stats-json "$OUT/$name.stats.json" \
+        --timeseries-out "$OUT/$name.ts.csv" > /dev/null
+}
+
 run sls_cpu      --workload sls --mode cpu
 run sls_tee      --workload sls --mode tee
 run sls_ndp      --workload sls --mode ndp
@@ -36,5 +49,7 @@ run sls_enc      --workload sls --mode enc
 run sls_ver      --workload sls --mode ver
 run medical_enc  --workload medical --mode enc
 run sls_enc_zipf --workload sls --mode enc --zipf 0.8 --batch 4
+run_serve serve_open --mode open --qps 2000000 --requests 96 \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8
 
 echo "perf-gate: wrote $(ls "$OUT"/*.stats.json | wc -l) sidecars to $OUT"

@@ -22,16 +22,24 @@ RunMetrics
 runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
             ExecMode mode)
 {
+    // A fresh page mapper per run keeps experiments independent yet
+    // reproducible.
+    PageMapper pages(cfg.dram.geometry.totalBytes(), 4096,
+                     cfg.pageSeed);
+    return runWorkload(cfg, trace, mode, pages);
+}
+
+RunMetrics
+runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
+            ExecMode mode, PageMapper &pages)
+{
     const bool is_ndp = mode == ExecMode::NdpUnprotected ||
                         mode == ExecMode::SecNdpEnc ||
                         mode == ExecMode::SecNdpEncVer;
     const bool is_secndp = mode == ExecMode::SecNdpEnc ||
                            mode == ExecMode::SecNdpEncVer;
 
-    // Translate queries to physical line sets. A fresh page mapper
-    // per run keeps experiments independent yet reproducible.
-    PageMapper pages(cfg.dram.geometry.totalBytes(), 4096,
-                     cfg.pageSeed);
+    // Translate queries to physical line sets.
     std::vector<NdpQuery> packets;
     packets.reserve(trace.queries.size());
     std::uint64_t result_bits = 0;

@@ -79,9 +79,25 @@ struct RunMetrics
     double fracDecryptBound = 0.0;
 };
 
+class PageMapper;
+
 /** Execute `trace` under `mode` on the configured system. */
 RunMetrics runWorkload(const SystemConfig &cfg,
                        const WorkloadTrace &trace, ExecMode mode);
+
+/**
+ * As above, but translating through a caller-owned PageMapper.
+ *
+ * A serving loop executes many small batches against the *same*
+ * provisioned memory image; rebuilding the demand-paging free list
+ * (one entry per physical page) for every batch is both wasteful and
+ * wrong -- a row's physical placement must not change between the
+ * requests that touch it. Pass the long-lived mapper here; the
+ * single-shot overload keeps per-run isolation for the benches.
+ */
+RunMetrics runWorkload(const SystemConfig &cfg,
+                       const WorkloadTrace &trace, ExecMode mode,
+                       PageMapper &pages);
 
 } // namespace secndp
 

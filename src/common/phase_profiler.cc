@@ -1,8 +1,26 @@
 #include "common/phase_profiler.hh"
 
+#include <mutex>
+
 #include "common/stats.hh"
 
 namespace secndp {
+
+namespace {
+
+/**
+ * Serializes accumulation into the shared host_phases group: phases
+ * now close on serving worker-pool threads as well as the main loop,
+ * and StatGroups are single-writer by contract (common/stats.hh).
+ */
+std::mutex &
+phaseMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 StatGroup &
 hostPhaseStats()
@@ -20,6 +38,7 @@ ScopedPhase::~ScopedPhase()
             std::chrono::steady_clock::now() - start_)
             .count();
     auto &g = hostPhaseStats();
+    std::lock_guard<std::mutex> lock(phaseMutex());
     g.scalar(std::string(name_) + "_ms") += elapsed;
     ++g.counter(std::string(name_) + "_calls");
 }

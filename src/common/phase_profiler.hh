@@ -14,9 +14,11 @@
  *
  * Phases nest freely (each scope accounts its own wall time, so
  * nested phases double-count against their parent by design; treat
- * the numbers as per-phase inclusive cost, not a partition). Wall
- * times are inherently machine-dependent: `secndp_report diff` never
- * gates on host_phases metrics.
+ * the numbers as per-phase inclusive cost, not a partition). Scopes
+ * may close on any thread -- accumulation into the shared group is
+ * serialized internally, so serving worker-pool jobs can use phases
+ * too. Wall times are inherently machine-dependent: `secndp_report
+ * diff` never gates on host_phases metrics.
  */
 
 #ifndef SECNDP_COMMON_PHASE_PROFILER_HH

@@ -28,6 +28,21 @@
  * two runs of the same binary produce byte-identical reports modulo
  * metadata -- a requirement for the checked-in perf baselines under
  * bench/baselines/ that `secndp_report diff` gates CI on.
+ *
+ * Concurrency: the registry itself (add/retire/snapshot/meta/
+ * counterSumNamed) is fully thread-safe, but each StatGroup is
+ * SINGLE-WRITER -- counter()/scalar()/histogram() hand out plain
+ * references with no internal locking, so exactly one thread may
+ * mutate a given group instance at a time. Multi-threaded components
+ * (the src/serve worker pool) therefore give every thread its own
+ * same-named group and rely on the retire-time fold: when each
+ * per-thread group is destroyed its values merge into the per-name
+ * retired aggregate, and dumps show one combined group whose totals
+ * are independent of job-to-thread interleaving. Keep per-thread
+ * samples integral so the folded double sums are exact (and thus
+ * byte-deterministic) regardless of retire order. Shared groups
+ * written from several threads must serialize externally -- see
+ * common/phase_profiler.cc for the host_phases example.
  */
 
 #ifndef SECNDP_COMMON_STATS_HH

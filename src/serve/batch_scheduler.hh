@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Batch formation and channel sharding for the serving layer.
+ *
+ * The BatchScheduler watches a RequestQueue and decides *when* to
+ * flush a batch on the virtual serving timeline:
+ *
+ *   full flush    -- the queue holds >= maxBatch requests;
+ *   timeout flush -- the oldest queued request has waited
+ *                    flushTimeoutNs (bounds the latency cost of
+ *                    waiting for co-batchable work);
+ *   drain flush   -- the caller knows no further arrivals can come
+ *                    (end of an open-loop stream) and forces the
+ *                    remainder out.
+ *
+ * A flushed batch is sharded round-robin across `shards` simulated
+ * memory channels; each shard drives the existing arch::System
+ * (memsim + ndp + engine pipeline) for its sub-batch, and the batch
+ * occupies the serving system until its slowest shard finishes --
+ * exactly how a multi-channel NDP DIMM pool behaves.
+ */
+
+#ifndef SECNDP_SERVE_BATCH_SCHEDULER_HH
+#define SECNDP_SERVE_BATCH_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/system.hh"
+#include "memsim/page_mapper.hh"
+#include "serve/request_queue.hh"
+
+namespace secndp {
+
+/** Coalescing knobs. */
+struct BatchPolicy
+{
+    /** Largest batch one flush may carry. */
+    unsigned maxBatch = 8;
+    /** Flush once the oldest request has waited this long, ns. */
+    double flushTimeoutNs = 5000.0;
+};
+
+/** Per-request outcome of executing one batch. */
+struct BatchExecution
+{
+    /** Service time of each request's shard, ns (index-aligned with
+     *  the batch passed to run()). */
+    std::vector<double> requestServiceNs;
+    /** Shard each request executed on. */
+    std::vector<unsigned> requestShard;
+    /** Slowest shard -- the batch holds the system this long. */
+    double batchServiceNs = 0.0;
+    /** Merged simulator metrics across shards. */
+    RunMetrics metrics;
+};
+
+class BatchScheduler
+{
+  public:
+    /**
+     * @param queue   admission queue to drain (not owned)
+     * @param policy  coalescing knobs
+     * @param shards  simulated memory channels batches shard across
+     */
+    BatchScheduler(RequestQueue &queue, BatchPolicy policy,
+                   unsigned shards = 1);
+
+    /**
+     * Flush decision at virtual time `now`. Returns the batch to run
+     * (empty when nothing should flush yet). When no batch flushes
+     * and the queue is non-empty, *wake_ns receives the earliest
+     * future time the timeout rule can fire; otherwise it is +inf.
+     *
+     * @param force drain flush: flush any pending requests now
+     */
+    std::vector<ServeRequest> poll(double now, bool force,
+                                   double *wake_ns);
+
+    /** @name Flush-cause counters (deterministic under a fixed seed) */
+    /// @{
+    std::uint64_t fullFlushes() const { return fullFlushes_; }
+    std::uint64_t timeoutFlushes() const { return timeoutFlushes_; }
+    std::uint64_t drainFlushes() const { return drainFlushes_; }
+    /// @}
+
+    unsigned shards() const { return shards_; }
+    const BatchPolicy &policy() const { return policy_; }
+
+  private:
+    RequestQueue &queue_;
+    BatchPolicy policy_;
+    unsigned shards_;
+    std::uint64_t fullFlushes_ = 0;
+    std::uint64_t timeoutFlushes_ = 0;
+    std::uint64_t drainFlushes_ = 0;
+};
+
+/**
+ * Execute one batch: shard its queries round-robin across
+ * `mappers.size()` channels (each mapper is that channel's persistent
+ * demand-paging state) and run the arch::System pipeline per shard.
+ *
+ * `cfg` describes ONE channel (geometry.channels is forced to 1);
+ * `pool` is the request pool the batch's queryIndex values refer to.
+ */
+BatchExecution runShardedBatch(const SystemConfig &cfg, ExecMode mode,
+                               const WorkloadTrace &pool,
+                               const std::vector<ServeRequest> &batch,
+                               std::vector<PageMapper> &mappers);
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_BATCH_SCHEDULER_HH

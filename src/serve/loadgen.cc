@@ -1,0 +1,37 @@
+#include "serve/loadgen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+const char *
+loadModeName(LoadMode mode)
+{
+    switch (mode) {
+      case LoadMode::Open: return "open";
+      case LoadMode::Closed: return "closed";
+    }
+    return "?";
+}
+
+std::vector<double>
+openLoopArrivalsNs(std::size_t n, double qps, std::uint64_t seed)
+{
+    SECNDP_ASSERT(qps > 0.0, "open-loop qps must be positive");
+    Rng rng(seed);
+    const double mean_gap_ns = 1e9 / qps;
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Inverse-CDF exponential draw; 1 - u in (0, 1] avoids log(0).
+        const double u = rng.nextDouble();
+        t += -std::log(1.0 - u) * mean_gap_ns;
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+} // namespace secndp

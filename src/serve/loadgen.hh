@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Request-stream synthesis for the serving layer.
+ *
+ * Two canonical load models (the pairing every serving benchmark
+ * uses, cf. treadmill/mutilate-style generators):
+ *
+ *   open loop   -- arrivals are a Poisson process at a target QPS,
+ *                  independent of completions. Exposes queueing
+ *                  collapse: past saturation the queue (and tail
+ *                  latency) grows without bound until admission
+ *                  control sheds load.
+ *   closed loop -- a fixed population of `concurrency` users, each
+ *                  re-issuing the instant its previous request
+ *                  completes (zero think time). Self-throttling;
+ *                  measures peak sustainable throughput.
+ *
+ * Streams are synthesized with the repo's deterministic xoshiro Rng,
+ * so a (mode, qps/concurrency, requests, seed) tuple is reproducible
+ * bit-for-bit -- the property the CI loadgen gate relies on.
+ */
+
+#ifndef SECNDP_SERVE_LOADGEN_HH
+#define SECNDP_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace secndp {
+
+/** Load-generation models. */
+enum class LoadMode
+{
+    Open,
+    Closed,
+};
+
+const char *loadModeName(LoadMode mode);
+
+/** Load-stream parameters. */
+struct LoadConfig
+{
+    LoadMode mode = LoadMode::Open;
+    /** Open loop: mean arrival rate, queries per second. */
+    double qps = 500000.0;
+    /** Closed loop: fixed outstanding-request population. */
+    unsigned concurrency = 16;
+    /** Total requests the run issues. */
+    std::size_t requests = 256;
+    /** Relative completion deadline per request, ns (0 = none). */
+    double deadlineNs = 0.0;
+    std::uint64_t seed = Rng::defaultSeed;
+};
+
+/**
+ * Poisson arrival times for an open-loop stream: `n` strictly
+ * increasing timestamps (ns) with exponential interarrivals of mean
+ * 1/qps. Deterministic in (n, qps, seed).
+ */
+std::vector<double> openLoopArrivalsNs(std::size_t n, double qps,
+                                       std::uint64_t seed);
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_LOADGEN_HH

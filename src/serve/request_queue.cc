@@ -1,0 +1,83 @@
+#include "serve/request_queue.hh"
+
+#include <algorithm>
+
+namespace secndp {
+
+const char *
+queuePolicyName(QueuePolicy policy)
+{
+    switch (policy) {
+      case QueuePolicy::Fifo: return "fifo";
+      case QueuePolicy::Deadline: return "deadline";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(QueuePolicy policy, std::size_t capacity)
+    : policy_(policy), capacity_(capacity)
+{
+}
+
+bool
+RequestQueue::before(const ServeRequest &a, const ServeRequest &b) const
+{
+    if (policy_ == QueuePolicy::Deadline) {
+        // 0 means "no deadline": always less urgent than any real one.
+        const double da = a.deadlineNs == 0.0 ? noArrival : a.deadlineNs;
+        const double db = b.deadlineNs == 0.0 ? noArrival : b.deadlineNs;
+        if (da != db)
+            return da < db;
+    }
+    return a.id < b.id;
+}
+
+bool
+RequestQueue::push(const ServeRequest &req)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (waiting_.size() >= capacity_)
+        return false;
+    waiting_.push_back(req);
+    return true;
+}
+
+std::vector<ServeRequest>
+RequestQueue::popUpTo(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    n = std::min(n, waiting_.size());
+    std::vector<ServeRequest> out;
+    if (n == 0)
+        return out;
+    // The queue is bounded and small; a partial selection sort per
+    // flush is simpler than maintaining a policy-keyed heap and is
+    // nowhere near the serving hot path (the simulator is).
+    std::partial_sort(waiting_.begin(), waiting_.begin() + n,
+                      waiting_.end(),
+                      [this](const ServeRequest &a, const ServeRequest &b) {
+                          return before(a, b);
+                      });
+    out.assign(waiting_.begin(), waiting_.begin() + n);
+    waiting_.erase(waiting_.begin(), waiting_.begin() + n);
+    return out;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return waiting_.size();
+}
+
+double
+RequestQueue::oldestArrivalNs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double oldest = noArrival;
+    for (const auto &r : waiting_)
+        oldest = std::min(oldest, r.arrivalNs);
+    return oldest;
+}
+
+} // namespace secndp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Admission queue of the SecNDP query-serving layer.
+ *
+ * Incoming requests (one embedding-lookup / medical-query TraceQuery
+ * each) wait here until the BatchScheduler coalesces them into a
+ * batch. The queue is bounded: when the arrival rate exceeds the
+ * sustainable service rate the excess is *rejected at admission*
+ * (load shedding) rather than queued into unbounded latency.
+ *
+ * Two admission policies:
+ *   Fifo     -- dispatch in arrival order.
+ *   Deadline -- earliest-deadline-first: the scheduler drains the
+ *               requests closest to their deadline first (ties broken
+ *               by id, i.e. arrival order, for determinism).
+ *
+ * Thread-safe: the serving loop and (future) completion callbacks may
+ * push/pop concurrently. All virtual-time values are nanoseconds on
+ * the serving timeline.
+ */
+
+#ifndef SECNDP_SERVE_REQUEST_QUEUE_HH
+#define SECNDP_SERVE_REQUEST_QUEUE_HH
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace secndp {
+
+/** One in-flight serving request. */
+struct ServeRequest
+{
+    /** Monotonic id, also the deterministic tie-breaker. */
+    std::uint64_t id = 0;
+    /** Index into the request pool (WorkloadTrace::queries). */
+    std::size_t queryIndex = 0;
+    /** Arrival on the virtual serving timeline, ns. */
+    double arrivalNs = 0.0;
+    /** Absolute completion deadline, ns (0 = no deadline). */
+    double deadlineNs = 0.0;
+};
+
+/** Admission/dispatch ordering policies. */
+enum class QueuePolicy
+{
+    Fifo,
+    Deadline,
+};
+
+const char *queuePolicyName(QueuePolicy policy);
+
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueuePolicy policy,
+                          std::size_t capacity = 1024);
+
+    /** Admit a request; false when the queue is full (rejected). */
+    bool push(const ServeRequest &req);
+
+    /**
+     * Remove and return up to `n` requests in policy order (arrival
+     * order for Fifo, earliest absolute deadline for Deadline).
+     */
+    std::vector<ServeRequest> popUpTo(std::size_t n);
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    std::size_t capacity() const { return capacity_; }
+    QueuePolicy policy() const { return policy_; }
+
+    /** Earliest arrivalNs among queued requests; +inf when empty. */
+    double oldestArrivalNs() const;
+
+    static constexpr double noArrival =
+        std::numeric_limits<double>::infinity();
+
+  private:
+    /** Policy sort key: is `a` dispatched before `b`? */
+    bool before(const ServeRequest &a, const ServeRequest &b) const;
+
+    QueuePolicy policy_;
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<ServeRequest> waiting_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,285 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/phase_profiler.hh"
+#include "common/sampler.hh"
+#include "common/stats.hh"
+#include "crypto/aes.hh"
+#include "crypto/counter_mode.hh"
+#include "serve/worker_pool.hh"
+
+namespace secndp {
+
+namespace {
+
+/** Host-side SecNDP work of one request (captured into pool jobs). */
+struct HostCryptoWork
+{
+    std::uint64_t addr = 0;
+    std::uint64_t dataOtpBlocks = 0;
+    std::uint64_t tagOtpBlocks = 0;
+    std::uint64_t verifyOps = 0;
+};
+
+/** Field ops one tag check performs at most (keeps jobs bounded). */
+constexpr std::uint64_t verifyOpCap = 4096;
+
+/**
+ * Perform the (capped) host crypto of one batch: counter-mode OTP
+ * blocks for the data share, tag pads, and a C_Tres-style linear
+ * checksum recombination in F_q. This is real CPU work -- the whole
+ * point is that it runs on a worker thread while the main loop
+ * simulates the next batch.
+ */
+void
+runHostCrypto(const CounterModeEncryptor &enc,
+              const std::vector<HostCryptoWork> &work, StatGroup &g)
+{
+    ScopedPhase phase("host_crypto");
+    std::uint8_t sink = 0;
+    for (const auto &w : work) {
+        for (std::uint64_t b = 0; b < w.dataOtpBlocks; ++b) {
+            const Block128 otp = enc.otpBlock(w.addr + 16 * b, 1);
+            sink ^= otp[0];
+        }
+        g.counter("otp_blocks") += w.dataOtpBlocks;
+        for (std::uint64_t b = 0; b < w.tagOtpBlocks; ++b) {
+            const Fq127 pad = enc.tagOtp(w.addr + 16 * b, 1);
+            sink ^= static_cast<std::uint8_t>(pad.lo64());
+        }
+        g.counter("tag_otp_blocks") += w.tagOtpBlocks;
+        if (w.verifyOps > 0) {
+            // E_Tres recombination: Horner-style fold of the checksum
+            // secret across the combined weights (Alg. 5 lines 11-14,
+            // capped -- counters reflect work actually performed).
+            const std::uint64_t ops =
+                std::min(w.verifyOps, verifyOpCap);
+            Fq127 s = enc.checksumSecret(w.addr, 1);
+            Fq127 acc = s;
+            for (std::uint64_t k = 0; k < ops; ++k)
+                acc = acc * s + Fq127(k + 1);
+            g.counter("field_ops") += ops;
+            ++g.counter("tag_checks");
+            if (acc.isZero())
+                ++g.counter("degenerate_tags");
+        }
+    }
+    // The cipher is an opaque virtual call so the loops cannot fold
+    // away; this branch just pins `sink` as observable.
+    if (sink == 0)
+        ++g.counter("zero_sink");
+    ++g.counter("jobs");
+}
+
+} // namespace
+
+ServeReport
+runServe(const ServeConfig &cfg, const LoadConfig &load,
+         const WorkloadTrace &pool)
+{
+    if (pool.queries.empty())
+        fatal("serving request pool has no queries");
+    if (load.mode == LoadMode::Closed &&
+        cfg.queueCapacity < load.concurrency) {
+        fatal("closed-loop concurrency %u exceeds queue capacity %zu "
+              "(every request would be shed)",
+              load.concurrency, cfg.queueCapacity);
+    }
+
+    const std::size_t total = load.requests;
+    ServeReport rep;
+
+    RequestQueue queue(cfg.policy, cfg.queueCapacity);
+    BatchScheduler sched(queue, cfg.batch, cfg.shards);
+
+    // One persistent demand-paging mapper per channel: rows keep their
+    // physical placement across the whole serving run.
+    SystemConfig shard_cfg = cfg.sys;
+    shard_cfg.dram.geometry.channels = 1;
+    std::vector<PageMapper> mappers;
+    mappers.reserve(cfg.shards ? cfg.shards : 1);
+    for (unsigned s = 0; s < std::max(cfg.shards, 1u); ++s) {
+        mappers.emplace_back(shard_cfg.dram.geometry.totalBytes(), 4096,
+                             cfg.sys.pageSeed + s);
+    }
+
+    // Host-crypto state shared by all worker jobs; AES is stateless
+    // after key schedule, CounterModeEncryptor is const -- both are
+    // safe to use from every worker concurrently. Declared before the
+    // pool so they outlive the worker threads.
+    const Aes128::Key host_key{0x5e, 0xc0, 0xd9, 0x01, 0x5e, 0xc0,
+                               0xd9, 0x02, 0x5e, 0xc0, 0xd9, 0x03,
+                               0x5e, 0xc0, 0xd9, 0x04};
+    Aes128 host_aes(host_key);
+    CounterModeEncryptor host_enc(host_aes);
+    StatGroup serve("serve");
+    WorkerPool workers(cfg.workers);
+
+    // Pending arrivals: (time, id) min-heap, id as the deterministic
+    // tie-break. Open loop pre-generates the whole stream; closed
+    // loop issues `concurrency` users and re-issues on completion.
+    using Arrival = std::pair<double, std::uint64_t>;
+    std::priority_queue<Arrival, std::vector<Arrival>,
+                        std::greater<Arrival>>
+        arrivals;
+    std::uint64_t issued = 0;
+    auto issue = [&](double t) {
+        arrivals.emplace(t, issued);
+        ++issued;
+        ++rep.offered;
+    };
+    if (load.mode == LoadMode::Open) {
+        for (double t :
+             openLoopArrivalsNs(total, load.qps, load.seed))
+            issue(t);
+    } else {
+        const std::size_t users = std::min<std::size_t>(
+            load.concurrency ? load.concurrency : 1, total);
+        for (std::size_t i = 0; i < users; ++i)
+            issue(0.0);
+    }
+
+    double now = 0.0;
+    double busy_until = 0.0;
+    auto &sampler = Sampler::instance();
+    const auto cycle_of = [&](double ns) {
+        return static_cast<std::int64_t>(
+            cfg.sys.dram.clock.cyclesFromNs(ns));
+    };
+
+    // Admit every arrival at or before `now`.
+    auto admit = [&] {
+        while (!arrivals.empty() && arrivals.top().first <= now + 1e-9) {
+            const auto [t, id] = arrivals.top();
+            arrivals.pop();
+            ServeRequest r;
+            r.id = id;
+            r.queryIndex = id % pool.queries.size();
+            r.arrivalNs = t;
+            r.deadlineNs =
+                load.deadlineNs > 0 ? t + load.deadlineNs : 0.0;
+            if (queue.push(r)) {
+                ++rep.admitted;
+                ++serve.counter("requests_admitted");
+            } else {
+                ++rep.rejected;
+                ++serve.counter("requests_rejected");
+                // A closed-loop user whose request was shed issues
+                // the next one immediately.
+                if (load.mode == LoadMode::Closed && issued < total)
+                    issue(t);
+            }
+        }
+    };
+
+    while (rep.completed + rep.rejected < total) {
+        admit();
+        const bool idle = now >= busy_until - 1e-9;
+        if (idle) {
+            double wake = RequestQueue::noArrival;
+            auto batch = sched.poll(now, arrivals.empty(), &wake);
+            if (!batch.empty()) {
+                const double start = now;
+                const auto exec = runShardedBatch(
+                    shard_cfg, cfg.mode, pool, batch, mappers);
+                busy_until = start + exec.batchServiceNs;
+                ++rep.batches;
+                ++serve.counter("batches");
+                serve.histogram("batch_occupancy")
+                    .sample(static_cast<double>(batch.size()));
+                serve.histogram("batch_service_ns")
+                    .sample(exec.batchServiceNs);
+
+                std::vector<HostCryptoWork> host_work;
+                host_work.reserve(batch.size());
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    const ServeRequest &r = batch[i];
+                    const double completion =
+                        start + exec.requestServiceNs[i];
+                    const double latency = completion - r.arrivalNs;
+                    serve.histogram("latency_ns").sample(latency);
+                    serve.histogram("queue_wait_ns")
+                        .sample(start - r.arrivalNs);
+                    serve.histogram("service_ns")
+                        .sample(exec.requestServiceNs[i]);
+                    if (r.deadlineNs > 0 && completion > r.deadlineNs) {
+                        ++rep.deadlineMisses;
+                        ++serve.counter("deadline_misses");
+                    }
+                    ++rep.completed;
+                    ++serve.counter("requests_completed");
+                    if (load.mode == LoadMode::Closed &&
+                        issued < total)
+                        issue(completion);
+
+                    const TraceQuery &q =
+                        pool.queries[r.queryIndex];
+                    HostCryptoWork w;
+                    w.addr = (q.ranges.empty()
+                                  ? r.id * 4096
+                                  : q.ranges[0].vaddr) &
+                             ~std::uint64_t{15};
+                    w.dataOtpBlocks =
+                        std::min(q.engineWork.dataOtpBlocks,
+                                 cfg.hostOtpBlockCap);
+                    w.tagOtpBlocks =
+                        std::min(q.engineWork.tagOtpBlocks,
+                                 cfg.hostOtpBlockCap);
+                    w.verifyOps = q.engineWork.verifyOps;
+                    host_work.push_back(w);
+                }
+                workers.submit([&host_enc,
+                                work = std::move(host_work)](
+                                   StatGroup &g) {
+                    runHostCrypto(host_enc, work, g);
+                });
+
+                // Serving-level time series on the global timeline.
+                sampler.tick(cycle_of(busy_until));
+                sampler.gauge("serve_queue_depth", cycle_of(start),
+                              static_cast<double>(queue.size()));
+                sampler.gauge("serve_batch_fill", cycle_of(start),
+                              static_cast<double>(batch.size()) /
+                                  cfg.batch.maxBatch);
+                continue; // re-evaluate at the same instant
+            }
+            double next = wake;
+            if (!arrivals.empty())
+                next = std::min(next, arrivals.top().first);
+            if (next == RequestQueue::noArrival)
+                break; // no queued work, no future arrivals
+            now = std::max(now, next);
+        } else {
+            double next = busy_until;
+            if (!arrivals.empty())
+                next = std::min(next, arrivals.top().first);
+            now = std::max(now, next);
+        }
+    }
+
+    {
+        ScopedPhase phase("verify_drain");
+        workers.drain();
+    }
+
+    rep.makespanNs = std::max(busy_until, now);
+    rep.sustainedQps = rep.makespanNs > 0
+                           ? rep.completed / (rep.makespanNs / 1e9)
+                           : 0.0;
+    serve.scalar("sustained_qps") = rep.sustainedQps;
+    serve.scalar("makespan_ns") = rep.makespanNs;
+    serve.counter("flush_full") = sched.fullFlushes();
+    serve.counter("flush_timeout") = sched.timeoutFlushes();
+    serve.counter("flush_drain") = sched.drainFlushes();
+    rep.p50LatencyNs = serve.histogram("latency_ns").percentile(0.50);
+    rep.p95LatencyNs = serve.histogram("latency_ns").percentile(0.95);
+    rep.p99LatencyNs = serve.histogram("latency_ns").percentile(0.99);
+    return rep;
+}
+
+} // namespace secndp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The SecNDP query-serving loop: queue -> scheduler -> shards ->
+ * verify pool.
+ *
+ * runServe() plays a request stream (open or closed loop, see
+ * serve/loadgen.hh) against a batched multi-channel SecNDP system on
+ * a virtual nanosecond timeline:
+ *
+ *   1. arrivals are admitted into a bounded RequestQueue (rejections
+ *      are load shedding, counted, and never retried);
+ *   2. whenever the simulated system is idle, the BatchScheduler
+ *      flushes a batch (full / timeout / drain, see
+ *      serve/batch_scheduler.hh) which shards round-robin across
+ *      `shards` memory channels and occupies the system until the
+ *      slowest shard finishes;
+ *   3. the host-side SecNDP work of the batch -- counter-mode OTP
+ *      generation for every touched block and the C_Tres tag checks
+ *      -- is enqueued on a real WorkerPool, so host crypto of batch N
+ *      overlaps simulation of batch N+1 in wall-clock time.
+ *
+ * Every per-request metric lands in the "serve" StatGroup
+ * (latency_ns / queue_wait_ns / service_ns / batch_occupancy
+ * histograms, admission + flush-cause counters, sustained_qps), the
+ * worker pool's host-crypto counters land in "serve_worker", and both
+ * ride the standard schema-v2 stats sidecars. All simulated-side
+ * numbers are deterministic in the seed; only host_phases wall times
+ * vary between machines.
+ */
+
+#ifndef SECNDP_SERVE_SERVER_HH
+#define SECNDP_SERVE_SERVER_HH
+
+#include <cstdint>
+
+#include "arch/system.hh"
+#include "serve/batch_scheduler.hh"
+#include "serve/loadgen.hh"
+#include "serve/request_queue.hh"
+
+namespace secndp {
+
+/** Serving-system configuration. */
+struct ServeConfig
+{
+    /** Per-channel hardware config (channels forced to 1 per shard). */
+    SystemConfig sys;
+    ExecMode mode = ExecMode::SecNdpEnc;
+    /** Memory channels batches shard across. */
+    unsigned shards = 2;
+    BatchPolicy batch;
+    QueuePolicy policy = QueuePolicy::Fifo;
+    std::size_t queueCapacity = 1024;
+    /** Host-crypto worker threads. */
+    unsigned workers = 2;
+    /**
+     * Per-request cap on *performed* host OTP blocks (the counters
+     * still reflect work actually done, so they stay deterministic).
+     * Keeps software-AES host work proportional, not dominant.
+     */
+    std::uint64_t hostOtpBlockCap = 256;
+};
+
+/** Aggregate outcome of one serving run. */
+struct ServeReport
+{
+    std::size_t offered = 0;   ///< requests generated
+    std::size_t admitted = 0;  ///< accepted into the queue
+    std::size_t rejected = 0;  ///< shed at admission (queue full)
+    std::size_t completed = 0; ///< served to completion
+    std::uint64_t batches = 0;
+    std::uint64_t deadlineMisses = 0;
+    double makespanNs = 0.0;     ///< virtual end of the last batch
+    double sustainedQps = 0.0;   ///< completed / makespan
+    double p50LatencyNs = 0.0;
+    double p95LatencyNs = 0.0;
+    double p99LatencyNs = 0.0;
+};
+
+/**
+ * Serve `load` against `cfg`, drawing request payloads round-robin
+ * from `pool` (request i uses pool query i mod pool size).
+ * Blocks until every request is completed or rejected and the worker
+ * pool has drained. fatal()s on an empty pool.
+ */
+ServeReport runServe(const ServeConfig &cfg, const LoadConfig &load,
+                     const WorkloadTrace &pool);
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_SERVER_HH

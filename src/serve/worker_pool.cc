@@ -1,0 +1,83 @@
+#include "serve/worker_pool.hh"
+
+#include "common/stats.hh"
+
+namespace secndp {
+
+WorkerPool::WorkerPool(unsigned threads, std::string stat_group)
+    : statGroupName_(std::move(stat_group))
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::submit(Job job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+WorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::uint64_t
+WorkerPool::jobsCompleted() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+void
+WorkerPool::workerMain()
+{
+    // Private per-thread group: single-writer while the thread lives,
+    // folded into the per-name retired aggregate on destruction.
+    StatGroup stats(statGroupName_);
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ with no work left
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        job(stats);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --running_;
+            ++completed_;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace secndp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A real std::thread worker pool for host-side SecNDP work.
+ *
+ * The serving loop simulates device time batch by batch; the *host*
+ * cost of a batch -- counter-mode OTP generation and verification of
+ * the combined C_Tres tags -- is actual CPU work, so it runs here on
+ * worker threads, letting encryption/verification of batch N overlap
+ * simulation of batch N+1 in wall-clock time (the same overlap the
+ * paper's on-chip engine exploits in simulated time).
+ *
+ * Statistics: the pre-existing stats layer is single-writer per
+ * StatGroup (see common/stats.hh "Concurrency"). Each worker thread
+ * therefore owns a private StatGroup under the pool's group name;
+ * the groups fold into the registry's per-name retired aggregate when
+ * the pool joins, so reports see one merged group regardless of how
+ * jobs were distributed. Totals are interleaving-independent; keep
+ * worker-side samples integral so the folded sums are too.
+ */
+
+#ifndef SECNDP_SERVE_WORKER_POOL_HH
+#define SECNDP_SERVE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace secndp {
+
+class StatGroup;
+
+class WorkerPool
+{
+  public:
+    /** A job; `stats` is the calling worker's private group. */
+    using Job = std::function<void(StatGroup &stats)>;
+
+    /**
+     * @param threads     worker count (clamped to >= 1)
+     * @param stat_group  name the per-thread StatGroups register as
+     */
+    explicit WorkerPool(unsigned threads,
+                        std::string stat_group = "serve_worker");
+
+    /** Drains outstanding jobs, then joins. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue a job (runs on some worker, FIFO dispatch). */
+    void submit(Job job);
+
+    /** Block until every submitted job has finished. */
+    void drain();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Jobs finished so far (drain() first for an exact total). */
+    std::uint64_t jobsCompleted() const;
+
+  private:
+    void workerMain();
+
+    std::string statGroupName_;
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::deque<Job> queue_;
+    std::size_t running_ = 0;
+    std::uint64_t completed_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_WORKER_POOL_HH

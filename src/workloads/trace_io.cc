@@ -11,6 +11,9 @@ void
 writeTrace(std::ostream &os, const WorkloadTrace &trace)
 {
     os << "secndp-trace v1\n";
+    // The query count doubles as a truncation check on read: a
+    // partially-copied file fails loudly instead of silently serving
+    // a shortened trace.
     os << "# queries: " << trace.queries.size() << "\n";
     for (const auto &q : trace.queries) {
         os << "q " << q.resultBytes << " "
@@ -23,6 +26,22 @@ writeTrace(std::ostream &os, const WorkloadTrace &trace)
     }
 }
 
+namespace {
+
+/** fatal() when a record line carries tokens beyond its fields. */
+void
+rejectTrailing(std::istringstream &ss, const char *kind,
+               std::size_t lineno)
+{
+    std::string extra;
+    if (ss >> extra) {
+        fatal("trailing garbage '%s' after '%s' record at line %zu",
+              extra.c_str(), kind, lineno);
+    }
+}
+
+} // namespace
+
 WorkloadTrace
 readTrace(std::istream &is)
 {
@@ -32,10 +51,21 @@ readTrace(std::istream &is)
 
     WorkloadTrace trace;
     std::size_t lineno = 1;
+    bool have_expected = false;
+    std::size_t expected_queries = 0;
     while (std::getline(is, line)) {
         ++lineno;
-        if (line.empty() || line[0] == '#')
+        if (line.empty() || line[0] == '#') {
+            // "# queries: N" (written by writeTrace) arms the
+            // truncation check; other comments stay free-form.
+            std::istringstream cs(line);
+            std::string hash, key;
+            if (!have_expected && cs >> hash >> key &&
+                key == "queries:" && cs >> expected_queries) {
+                have_expected = true;
+            }
             continue;
+        }
         std::istringstream ss(line);
         std::string kind;
         ss >> kind;
@@ -46,6 +76,7 @@ readTrace(std::istream &is)
                 q.engineWork.verifyOps;
             if (!ss)
                 fatal("malformed 'q' record at line %zu", lineno);
+            rejectTrailing(ss, "q", lineno);
             trace.queries.push_back(std::move(q));
         } else if (kind == "r") {
             if (trace.queries.empty())
@@ -55,11 +86,22 @@ readTrace(std::istream &is)
             ss >> r.vaddr >> r.bytes;
             if (!ss || r.bytes == 0)
                 fatal("malformed 'r' record at line %zu", lineno);
+            rejectTrailing(ss, "r", lineno);
             trace.queries.back().ranges.push_back(r);
         } else {
             fatal("unknown record '%s' at line %zu", kind.c_str(),
                   lineno);
         }
+    }
+    // getline() stops on both EOF and stream errors; only the former
+    // is a complete read. Without this check a failing disk or a
+    // half-copied pipe would silently yield a shorter trace.
+    if (is.bad())
+        fatal("I/O error reading trace after line %zu", lineno);
+    if (have_expected && trace.queries.size() != expected_queries) {
+        fatal("truncated or corrupt trace: header promises %zu "
+              "queries but %zu were read",
+              expected_queries, trace.queries.size());
     }
     return trace;
 }
@@ -71,6 +113,9 @@ saveTraceFile(const std::string &path, const WorkloadTrace &trace)
     if (!os)
         fatal("cannot open '%s' for writing", path.c_str());
     writeTrace(os, trace);
+    os.flush();
+    if (!os)
+        fatal("I/O error writing trace to '%s'", path.c_str());
 }
 
 WorkloadTrace

@@ -9,9 +9,17 @@
  *
  * Format (line-oriented text, '#' comments):
  *   secndp-trace v1
+ *   # queries: <n>             (optional; see below)
  *   q <result_bytes> <data_otp_blocks> <tag_otp_blocks> \
  *     <otp_pu_ops> <verify_ops>
  *   r <vaddr> <bytes>          (one per access range, after its 'q')
+ *
+ * writeTrace() always emits the "# queries: <n>" comment and
+ * readTrace() checks it when present, so a truncated or half-copied
+ * file fails loudly instead of silently driving the simulator with a
+ * shortened trace. Hand-written traces may omit it. Records with
+ * trailing tokens, stream I/O errors mid-read, and count mismatches
+ * are all fatal().
  */
 
 #ifndef SECNDP_WORKLOADS_TRACE_IO_HH

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the serving layer: load generator, admission queue,
+ * batch scheduler, worker pool, and the end-to-end serving loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "serve/batch_scheduler.hh"
+#include "serve/loadgen.hh"
+#include "serve/request_queue.hh"
+#include "serve/server.hh"
+#include "serve/worker_pool.hh"
+
+namespace secndp {
+namespace {
+
+// -------------------------------------------------------------------
+// Load generator
+
+TEST(Loadgen, OpenLoopArrivalsDeterministic)
+{
+    const auto a = openLoopArrivalsNs(64, 1e6, 42);
+    const auto b = openLoopArrivalsNs(64, 1e6, 42);
+    ASSERT_EQ(a.size(), 64u);
+    EXPECT_EQ(a, b);
+
+    const auto c = openLoopArrivalsNs(64, 1e6, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(Loadgen, OpenLoopArrivalsIncreaseAtRoughlyTargetRate)
+{
+    const std::size_t n = 4096;
+    const double qps = 2e6; // mean interarrival 500 ns
+    const auto t = openLoopArrivalsNs(n, qps, 7);
+    for (std::size_t i = 1; i < n; ++i)
+        ASSERT_GT(t[i], t[i - 1]);
+    const double mean_gap = t.back() / static_cast<double>(n);
+    EXPECT_NEAR(mean_gap, 1e9 / qps, 0.1 * 1e9 / qps);
+}
+
+// -------------------------------------------------------------------
+// RequestQueue
+
+ServeRequest
+req(std::uint64_t id, double arrival, double deadline = 0.0)
+{
+    ServeRequest r;
+    r.id = id;
+    r.queryIndex = id;
+    r.arrivalNs = arrival;
+    r.deadlineNs = deadline;
+    return r;
+}
+
+TEST(RequestQueue, FifoPopsInArrivalOrder)
+{
+    RequestQueue q(QueuePolicy::Fifo, 16);
+    EXPECT_TRUE(q.push(req(2, 20.0)));
+    EXPECT_TRUE(q.push(req(0, 0.0)));
+    EXPECT_TRUE(q.push(req(1, 10.0)));
+
+    const auto batch = q.popUpTo(2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(batch[1].id, 1u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.popUpTo(8)[0].id, 2u);
+}
+
+TEST(RequestQueue, CapacityBoundsAdmission)
+{
+    RequestQueue q(QueuePolicy::Fifo, 2);
+    EXPECT_TRUE(q.push(req(0, 0.0)));
+    EXPECT_TRUE(q.push(req(1, 1.0)));
+    EXPECT_FALSE(q.push(req(2, 2.0))); // shed
+    EXPECT_EQ(q.size(), 2u);
+
+    q.popUpTo(1);
+    EXPECT_TRUE(q.push(req(3, 3.0))); // slot freed
+}
+
+TEST(RequestQueue, DeadlinePopsEarliestDeadlineFirst)
+{
+    RequestQueue q(QueuePolicy::Deadline, 16);
+    q.push(req(0, 0.0, 9000.0));
+    q.push(req(1, 1.0, 3000.0));
+    q.push(req(2, 2.0, 6000.0));
+    q.push(req(3, 3.0, 0.0)); // no deadline: least urgent
+
+    const auto batch = q.popUpTo(4);
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch[0].id, 1u);
+    EXPECT_EQ(batch[1].id, 2u);
+    EXPECT_EQ(batch[2].id, 0u);
+    EXPECT_EQ(batch[3].id, 3u);
+}
+
+TEST(RequestQueue, DeadlineTiesBreakById)
+{
+    RequestQueue q(QueuePolicy::Deadline, 16);
+    q.push(req(5, 0.0, 1000.0));
+    q.push(req(3, 0.0, 1000.0));
+    q.push(req(4, 0.0, 1000.0));
+
+    const auto batch = q.popUpTo(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 3u);
+    EXPECT_EQ(batch[1].id, 4u);
+    EXPECT_EQ(batch[2].id, 5u);
+}
+
+TEST(RequestQueue, OldestArrivalTracksMinimum)
+{
+    RequestQueue q(QueuePolicy::Fifo, 16);
+    EXPECT_EQ(q.oldestArrivalNs(), RequestQueue::noArrival);
+    q.push(req(1, 500.0));
+    q.push(req(0, 100.0));
+    EXPECT_DOUBLE_EQ(q.oldestArrivalNs(), 100.0);
+}
+
+// -------------------------------------------------------------------
+// BatchScheduler
+
+TEST(BatchScheduler, FullQueueFlushesImmediately)
+{
+    RequestQueue q(QueuePolicy::Fifo, 64);
+    BatchPolicy bp;
+    bp.maxBatch = 4;
+    bp.flushTimeoutNs = 1e6;
+    BatchScheduler sched(q, bp, 2);
+
+    for (std::uint64_t i = 0; i < 6; ++i)
+        q.push(req(i, static_cast<double>(i)));
+
+    double wake = 0.0;
+    const auto batch = sched.poll(10.0, false, &wake);
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(sched.fullFlushes(), 1u);
+    EXPECT_EQ(sched.timeoutFlushes(), 0u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BatchScheduler, TimeoutFlushesPartialBatch)
+{
+    RequestQueue q(QueuePolicy::Fifo, 64);
+    BatchPolicy bp;
+    bp.maxBatch = 8;
+    bp.flushTimeoutNs = 1000.0;
+    BatchScheduler sched(q, bp, 1);
+
+    q.push(req(0, 100.0));
+    q.push(req(1, 400.0));
+
+    // Before the oldest request has waited 1000 ns: no flush, and
+    // wake_ns names the exact time the timeout rule fires.
+    double wake = 0.0;
+    EXPECT_TRUE(sched.poll(500.0, false, &wake).empty());
+    EXPECT_DOUBLE_EQ(wake, 1100.0);
+
+    const auto batch = sched.poll(1100.0, false, &wake);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(sched.timeoutFlushes(), 1u);
+    EXPECT_EQ(sched.fullFlushes(), 0u);
+}
+
+TEST(BatchScheduler, ForceDrainsRemainder)
+{
+    RequestQueue q(QueuePolicy::Fifo, 64);
+    BatchPolicy bp;
+    bp.maxBatch = 8;
+    bp.flushTimeoutNs = 1e9;
+    BatchScheduler sched(q, bp, 1);
+
+    q.push(req(0, 0.0));
+    double wake = 0.0;
+    const auto batch = sched.poll(1.0, true, &wake);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(sched.drainFlushes(), 1u);
+
+    // Nothing pending: neither forced nor unforced polls flush.
+    EXPECT_TRUE(sched.poll(2.0, true, &wake).empty());
+    EXPECT_EQ(sched.drainFlushes(), 1u);
+    EXPECT_TRUE(sched.poll(3.0, false, &wake).empty());
+    EXPECT_EQ(wake, RequestQueue::noArrival);
+}
+
+// -------------------------------------------------------------------
+// WorkerPool
+
+TEST(WorkerPool, RunsEveryJobAcrossThreads)
+{
+    std::atomic<int> ran{0};
+    {
+        WorkerPool pool(4, "serve_test_pool_a");
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&ran](StatGroup &) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        pool.drain();
+        EXPECT_EQ(pool.jobsCompleted(), 64u);
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(WorkerPool, PerThreadGroupsFoldIntoOneAggregate)
+{
+    auto &reg = StatRegistry::instance();
+    const std::string name = "serve_test_pool_b";
+    const auto before = reg.counterSumNamed(name, "work_items");
+    {
+        WorkerPool pool(4, name);
+        for (int i = 0; i < 200; ++i)
+            pool.submit(
+                [](StatGroup &stats) { ++stats.counter("work_items"); });
+    } // dtor drains + joins; per-thread groups retire-fold here
+    EXPECT_EQ(reg.liveGroupsNamed(name), 0u);
+    EXPECT_EQ(reg.counterSumNamed(name, "work_items") - before, 200u);
+}
+
+// -------------------------------------------------------------------
+// End-to-end serving loop
+
+ServeConfig
+smallServeConfig()
+{
+    ServeConfig cfg;
+    cfg.sys.dram.geometry.ranks = 2;
+    cfg.sys.dram.geometry.rankBytes = 1ULL << 24;
+    cfg.sys.engine.nAesEngines = 4;
+    cfg.shards = 2;
+    cfg.batch.maxBatch = 4;
+    cfg.batch.flushTimeoutNs = 2000.0;
+    cfg.workers = 2;
+    cfg.hostOtpBlockCap = 16; // keep host AES work tiny in tests
+    return cfg;
+}
+
+/** Small synthetic gather pool (SLS-shaped). */
+WorkloadTrace
+smallPool(unsigned queries)
+{
+    Rng rng(11);
+    WorkloadTrace pool;
+    const unsigned row = 128;
+    const std::uint64_t rows = (1ULL << 20) / row;
+    for (unsigned q = 0; q < queries; ++q) {
+        TraceQuery tq;
+        for (unsigned k = 0; k < 4; ++k)
+            tq.ranges.push_back({rng.nextBounded(rows) * row, row});
+        tq.engineWork.dataOtpBlocks = 4 * (row / 16);
+        tq.engineWork.otpPuOps = 4 * 32;
+        tq.engineWork.tagOtpBlocks = 5;
+        tq.engineWork.verifyOps = 36;
+        tq.resultBytes = 128;
+        pool.queries.push_back(std::move(tq));
+    }
+    return pool;
+}
+
+TEST(Serve, OpenLoopCompletesEveryRequest)
+{
+    const ServeConfig cfg = smallServeConfig();
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 24;
+    load.seed = 42;
+
+    const auto rep = runServe(cfg, load, smallPool(6));
+    EXPECT_EQ(rep.offered, 24u);
+    EXPECT_EQ(rep.completed, 24u);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_GT(rep.batches, 0u);
+    EXPECT_GT(rep.makespanNs, 0.0);
+    EXPECT_GT(rep.sustainedQps, 0.0);
+    EXPECT_LE(rep.p50LatencyNs, rep.p95LatencyNs);
+    EXPECT_LE(rep.p95LatencyNs, rep.p99LatencyNs);
+}
+
+TEST(Serve, OpenLoopIsDeterministic)
+{
+    const ServeConfig cfg = smallServeConfig();
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 2e6;
+    load.requests = 16;
+    load.seed = 7;
+
+    const auto pool = smallPool(4);
+    const auto a = runServe(cfg, load, pool);
+    const auto b = runServe(cfg, load, pool);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_DOUBLE_EQ(a.makespanNs, b.makespanNs);
+    EXPECT_DOUBLE_EQ(a.p50LatencyNs, b.p50LatencyNs);
+    EXPECT_DOUBLE_EQ(a.p99LatencyNs, b.p99LatencyNs);
+    EXPECT_DOUBLE_EQ(a.sustainedQps, b.sustainedQps);
+}
+
+TEST(Serve, ClosedLoopWithMultipleWorkersCompletes)
+{
+    ServeConfig cfg = smallServeConfig();
+    cfg.workers = 3;
+    cfg.mode = ExecMode::SecNdpEncVer;
+    LoadConfig load;
+    load.mode = LoadMode::Closed;
+    load.concurrency = 6;
+    load.requests = 18;
+    load.seed = 9;
+
+    const auto rep = runServe(cfg, load, smallPool(5));
+    EXPECT_EQ(rep.completed, 18u);
+    EXPECT_EQ(rep.rejected, 0u); // closed loop never overflows
+    EXPECT_GT(rep.batches, 0u);
+}
+
+TEST(Serve, TightDeadlinesAreCountedAsMisses)
+{
+    ServeConfig cfg = smallServeConfig();
+    cfg.policy = QueuePolicy::Deadline;
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 12;
+    load.deadlineNs = 1.0; // nothing can finish in 1 ns
+    load.seed = 3;
+
+    const auto rep = runServe(cfg, load, smallPool(4));
+    EXPECT_EQ(rep.completed, 12u);
+    EXPECT_EQ(rep.deadlineMisses, 12u);
+}
+
+TEST(Serve, OverloadShedsInsteadOfQueueingUnbounded)
+{
+    ServeConfig cfg = smallServeConfig();
+    cfg.queueCapacity = 4;
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e9; // 1 request/ns: far past saturation
+    load.requests = 64;
+    load.seed = 5;
+
+    const auto rep = runServe(cfg, load, smallPool(4));
+    EXPECT_GT(rep.rejected, 0u);
+    EXPECT_EQ(rep.completed + rep.rejected, rep.offered);
+}
+
+} // namespace
+} // namespace secndp

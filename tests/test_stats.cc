@@ -8,13 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/phase_profiler.hh"
 #include "common/stats.hh"
 #include "common/trace_event.hh"
 
@@ -487,6 +491,98 @@ TEST(StatGroup, DumpIncludesHistogramQuantiles)
     g.dump(os);
     EXPECT_NE(os.str().find("dump_histo_test.lat.p99"),
               std::string::npos);
+}
+
+// The serving worker pool gives every thread a private same-named
+// StatGroup and relies on the registry's retire-time fold; this pins
+// that per-thread-fold contract (and the registry's thread safety)
+// under real concurrency. Runs under ASan/UBSan in CI.
+TEST(StatRegistry, PerThreadGroupsFoldAcrossThreads)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kBumpsPerThread = 1000;
+    const std::string name = "mt_fold_test";
+    ASSERT_EQ(StatRegistry::instance().counterSumNamed(name, "work"),
+              0u);
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&name, t] {
+            StatGroup g(name); // registers from this thread
+            for (unsigned i = 0; i < kBumpsPerThread; ++i) {
+                ++g.counter("work");
+                g.histogram("value").sample(t * kBumpsPerThread + i);
+            }
+        }); // retires (folds) from this thread
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const auto &reg = StatRegistry::instance();
+    EXPECT_EQ(reg.liveGroupsNamed(name), 0u);
+    EXPECT_EQ(reg.counterSumNamed(name, "work"),
+              std::uint64_t{kThreads} * kBumpsPerThread);
+    const auto merged = reg.snapshot();
+    const auto it = merged.find(name);
+    ASSERT_NE(it, merged.end());
+    const Histogram *h = it->second.findHistogram("value");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), std::uint64_t{kThreads} * kBumpsPerThread);
+    EXPECT_EQ(h->minValue(), 0.0);
+    EXPECT_EQ(h->maxValue(),
+              double(kThreads) * kBumpsPerThread - 1);
+}
+
+TEST(StatRegistry, SnapshotWhileGroupsRegisterAndRetire)
+{
+    // Churn registration/retirement on several threads while the main
+    // thread takes snapshots: exercises the registry mutex paths.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> churn;
+    for (unsigned t = 0; t < 4; ++t) {
+        churn.emplace_back([&stop] {
+            // do-while: at least one register/retire cycle even if
+            // the main thread finishes snapshotting before this
+            // thread gets scheduled.
+            do {
+                StatGroup g("mt_churn_test");
+                ++g.counter("spins");
+            } while (!stop.load(std::memory_order_relaxed));
+        });
+    }
+    for (unsigned i = 0; i < 50; ++i) {
+        const auto snap = StatRegistry::instance().snapshot();
+        (void)snap;
+        (void)StatRegistry::instance().liveGroups();
+        (void)StatRegistry::instance().counterSumNamed(
+            "mt_churn_test", "spins");
+    }
+    stop.store(true);
+    for (auto &t : churn)
+        t.join();
+    EXPECT_GT(StatRegistry::instance().counterSumNamed(
+                  "mt_churn_test", "spins"),
+              0u);
+}
+
+TEST(ScopedPhase, AccumulatesConcurrently)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kScopes = 200;
+    const auto before =
+        hostPhaseStats().counterValue("mt_phase_calls");
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (unsigned i = 0; i < kScopes; ++i)
+                ScopedPhase p("mt_phase");
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(hostPhaseStats().counterValue("mt_phase_calls"),
+              before + std::uint64_t{kThreads} * kScopes);
 }
 
 TEST(Logging, ParseAndShim)

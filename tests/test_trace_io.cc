@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "workloads/dlrm.hh"
+#include "workloads/medical.hh"
 #include "workloads/trace_io.hh"
 
 namespace secndp {
@@ -103,6 +104,70 @@ TEST(TraceIo, ZeroByteRangeFatal)
     std::stringstream ss("secndp-trace v1\nq 128 1 0 1 0\nr 0 0\n");
     EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
                 "malformed 'r'");
+}
+
+TEST(TraceIo, MedicalTraceRoundtrips)
+{
+    MedicalDbConfig mc;
+    mc.patients = 64;
+    mc.genes = 16;
+    mc.pf = 4;
+    const auto trace = buildMedicalTrace(mc, VerLayout::Sep);
+
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    EXPECT_TRUE(tracesEqual(trace, readTrace(ss)));
+}
+
+TEST(TraceIo, WriterEmitsQueryCountHeader)
+{
+    std::stringstream ss("secndp-trace v1\nq 64 1 0 1 0\n");
+    const auto trace = readTrace(ss);
+
+    std::stringstream out;
+    writeTrace(out, trace);
+    EXPECT_NE(out.str().find("# queries: 1\n"), std::string::npos);
+}
+
+TEST(TraceIo, HeaderlessCountStillLoads)
+{
+    // Hand-written traces may omit the "# queries" comment; the
+    // truncation check is only armed when it is present.
+    std::stringstream ss("secndp-trace v1\nq 64 1 0 1 0\n");
+    EXPECT_EQ(readTrace(ss).queries.size(), 1u);
+}
+
+TEST(TraceIo, TruncatedTraceFatal)
+{
+    std::stringstream ss(
+        "secndp-trace v1\n"
+        "# queries: 3\n"
+        "q 64 1 0 1 0\n"
+        "q 64 1 0 1 0\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "truncated or corrupt");
+}
+
+TEST(TraceIo, TrailingJunkOnQueryFatal)
+{
+    std::stringstream ss("secndp-trace v1\nq 64 1 0 1 0 99\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+}
+
+TEST(TraceIo, TrailingJunkOnRangeFatal)
+{
+    std::stringstream ss(
+        "secndp-trace v1\nq 64 1 0 1 0\nr 4096 64 junk\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+}
+
+TEST(TraceIo, UnknownRecordFatal)
+{
+    std::stringstream ss("secndp-trace v1\nx 1 2 3\n");
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "unknown record");
 }
 
 TEST(TraceIo, FileRoundtrip)

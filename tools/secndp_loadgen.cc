@@ -1,0 +1,364 @@
+/**
+ * @file
+ * secndp_loadgen: open/closed-loop load generator for the SecNDP
+ * serving layer (src/serve).
+ *
+ * Synthesizes a request stream from a generated (or loaded) workload
+ * trace, plays it through the batched multi-channel serving pipeline
+ * (queue -> scheduler -> shards -> verify pool), and reports
+ * per-request end-to-end latency percentiles, sustained QPS, and
+ * batch occupancy. All simulated-side statistics are deterministic in
+ * --seed; only host_phases wall times and meta.git differ between
+ * runs, which is what the CI loadgen gate checks.
+ *
+ * Examples:
+ *   # open loop: Poisson arrivals at 2M QPS against SecNDP enc
+ *   secndp_loadgen --mode open --qps 2000000 --requests 512 --seed 42
+ *
+ *   # closed loop: 16 outstanding requests, verification on,
+ *   # 4 host verify threads, EDF admission with a 50us deadline
+ *   secndp_loadgen --mode closed --concurrency 16 --exec-mode ver \
+ *       --workers 4 --policy deadline --deadline-us 50
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/sampler.hh"
+#include "common/stats.hh"
+#include "serve/server.hh"
+#include "workloads/dlrm.hh"
+#include "workloads/medical.hh"
+#include "workloads/trace_io.hh"
+
+using namespace secndp;
+
+namespace {
+
+struct Options
+{
+    // Load model.
+    std::string mode = "open";
+    double qps = 500000.0;
+    unsigned concurrency = 16;
+    std::size_t requests = 256;
+    double deadlineUs = 0.0;
+    // Serving system.
+    std::string execMode = "enc";
+    std::string policy = "fifo";
+    unsigned maxBatch = 8;
+    double batchTimeoutUs = 5.0;
+    unsigned shards = 2;
+    unsigned workers = 2;
+    std::size_t queueCap = 1024;
+    unsigned ranks = 8;
+    unsigned regs = 8;
+    unsigned aes = 12;
+    // Request pool.
+    std::string workload = "sls";
+    std::string model = "rmc1-small";
+    std::string quant = "fp32";
+    std::string layout = "none";
+    unsigned pool = 64;
+    unsigned pf = 20;
+    double zipf = 0.0;
+    std::string loadTrace;
+    std::uint64_t seed = Rng::defaultSeed;
+    // Outputs.
+    std::string statsJson;
+    std::string timeseriesOut;
+    std::int64_t sampleInterval = Sampler::defaultInterval;
+};
+
+void
+printUsage(std::FILE *to, const char *argv0)
+{
+    std::fprintf(to,
+        "usage: %s [--mode open|closed] [--qps N] [--concurrency N]\n"
+        "          [--requests N] [--deadline-us F]\n"
+        "          [--exec-mode cpu|tee|ndp|enc|ver] "
+        "[--policy fifo|deadline]\n"
+        "          [--max-batch N] [--batch-timeout-us F] "
+        "[--shards N]\n"
+        "          [--workers N] [--queue-cap N] [--ranks N] "
+        "[--regs N] [--aes N]\n"
+        "          [--workload sls|medical] [--model M] "
+        "[--quant Q] [--layout L]\n"
+        "          [--pool N] [--pf N] [--zipf A] "
+        "[--load-trace FILE] [--seed S]\n"
+        "          [--stats-json FILE] [--timeseries-out FILE]\n"
+        "          [--sample-interval CYCLES] "
+        "[--log-level debug|info|warn|error] [--help]\n"
+        "\n"
+        "  --mode open        Poisson arrivals at --qps "
+        "(queueing + shedding visible)\n"
+        "  --mode closed      fixed --concurrency outstanding "
+        "requests (peak throughput)\n"
+        "  --pool N           distinct queries in the request pool "
+        "(requests cycle it)\n"
+        "  --shards N         memory channels a batch shards "
+        "across\n"
+        "  --workers N        host OTP/verify worker threads\n"
+        "  --stats-json FILE  schema-v2 stats report "
+        "(serve.* / serve_worker.* groups)\n",
+        argv0);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    printUsage(stderr, argv0);
+    std::exit(2);
+}
+
+ExecMode
+parseExecMode(const std::string &s)
+{
+    if (s == "cpu") return ExecMode::CpuUnprotected;
+    if (s == "tee") return ExecMode::CpuTee;
+    if (s == "ndp") return ExecMode::NdpUnprotected;
+    if (s == "enc") return ExecMode::SecNdpEnc;
+    if (s == "ver") return ExecMode::SecNdpEncVer;
+    fatal("unknown exec mode '%s'", s.c_str());
+}
+
+QuantScheme
+parseQuant(const std::string &s)
+{
+    if (s == "fp32") return QuantScheme::None;
+    if (s == "row") return QuantScheme::RowWise;
+    if (s == "col") return QuantScheme::ColumnWise;
+    if (s == "table") return QuantScheme::TableWise;
+    fatal("unknown quant '%s'", s.c_str());
+}
+
+VerLayout
+parseLayout(const std::string &s)
+{
+    if (s == "none") return VerLayout::None;
+    if (s == "coloc") return VerLayout::Coloc;
+    if (s == "sep") return VerLayout::Sep;
+    if (s == "ecc") return VerLayout::Ecc;
+    fatal("unknown layout '%s'", s.c_str());
+}
+
+DlrmModelConfig
+parseModel(const std::string &s)
+{
+    if (s == "rmc1-small") return rmc1Small();
+    if (s == "rmc1-large") return rmc1Large();
+    if (s == "rmc2-small") return rmc2Small();
+    if (s == "rmc2-large") return rmc2Large();
+    fatal("unknown model '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0]);
+            return 0;
+        }
+        else if (arg == "--mode") opt.mode = next();
+        else if (arg == "--qps") opt.qps = std::stod(next());
+        else if (arg == "--concurrency")
+            opt.concurrency = std::stoul(next());
+        else if (arg == "--requests") opt.requests = std::stoul(next());
+        else if (arg == "--deadline-us")
+            opt.deadlineUs = std::stod(next());
+        else if (arg == "--exec-mode") opt.execMode = next();
+        else if (arg == "--policy") opt.policy = next();
+        else if (arg == "--max-batch") opt.maxBatch = std::stoul(next());
+        else if (arg == "--batch-timeout-us")
+            opt.batchTimeoutUs = std::stod(next());
+        else if (arg == "--shards") opt.shards = std::stoul(next());
+        else if (arg == "--workers") opt.workers = std::stoul(next());
+        else if (arg == "--queue-cap") opt.queueCap = std::stoul(next());
+        else if (arg == "--ranks") opt.ranks = std::stoul(next());
+        else if (arg == "--regs") opt.regs = std::stoul(next());
+        else if (arg == "--aes") opt.aes = std::stoul(next());
+        else if (arg == "--workload") opt.workload = next();
+        else if (arg == "--model") opt.model = next();
+        else if (arg == "--quant") opt.quant = next();
+        else if (arg == "--layout") opt.layout = next();
+        else if (arg == "--pool") opt.pool = std::stoul(next());
+        else if (arg == "--pf") opt.pf = std::stoul(next());
+        else if (arg == "--zipf") opt.zipf = std::stod(next());
+        else if (arg == "--load-trace") opt.loadTrace = next();
+        else if (arg == "--seed") opt.seed = std::stoull(next());
+        else if (arg == "--stats-json") opt.statsJson = next();
+        else if (arg == "--timeseries-out") opt.timeseriesOut = next();
+        else if (arg == "--sample-interval") {
+            opt.sampleInterval = std::stoll(next());
+            if (opt.sampleInterval <= 0)
+                fatal("--sample-interval must be positive");
+        }
+        else if (arg == "--log-level") {
+            LogLevel level;
+            if (!parseLogLevel(next(), level))
+                fatal("unknown log level '%s'", argv[i]);
+            setLogLevel(level);
+        }
+        else usage(argv[0]);
+    }
+
+    if (opt.requests == 0)
+        fatal("--requests must be positive");
+    if (opt.maxBatch == 0)
+        fatal("--max-batch must be positive");
+
+    LoadConfig load;
+    if (opt.mode == "open") load.mode = LoadMode::Open;
+    else if (opt.mode == "closed") load.mode = LoadMode::Closed;
+    else fatal("unknown load mode '%s'", opt.mode.c_str());
+    load.qps = opt.qps;
+    if (load.qps <= 0)
+        fatal("--qps must be positive");
+    load.concurrency = opt.concurrency;
+    load.requests = opt.requests;
+    load.deadlineNs = opt.deadlineUs * 1000.0;
+    load.seed = opt.seed;
+
+    ServeConfig cfg;
+    cfg.mode = parseExecMode(opt.execMode);
+    cfg.sys.dram.geometry.ranks = opt.ranks;
+    cfg.sys.ndp.ndpReg = opt.regs;
+    cfg.sys.engine.nAesEngines = opt.aes;
+    cfg.shards = opt.shards ? opt.shards : 1;
+    cfg.batch.maxBatch = opt.maxBatch;
+    cfg.batch.flushTimeoutNs = opt.batchTimeoutUs * 1000.0;
+    if (opt.policy == "fifo") cfg.policy = QueuePolicy::Fifo;
+    else if (opt.policy == "deadline")
+        cfg.policy = QueuePolicy::Deadline;
+    else fatal("unknown policy '%s'", opt.policy.c_str());
+    cfg.queueCapacity = opt.queueCap;
+    cfg.workers = opt.workers;
+
+    const VerLayout layout =
+        cfg.mode == ExecMode::SecNdpEncVer && opt.layout == "none"
+            ? VerLayout::Ecc
+            : parseLayout(opt.layout);
+
+    // Run metadata for the sidecar (secndp_report refuses to diff
+    // unlike runs).
+    {
+        auto &reg = StatRegistry::instance();
+        reg.setMeta("tool", "secndp_loadgen");
+        reg.setMeta("load_mode", opt.mode);
+        reg.setMeta("exec_mode", opt.execMode);
+        reg.setMeta("workload", opt.workload);
+        reg.setMeta("model", opt.model);
+        reg.setMeta("policy", opt.policy);
+        char knobs[224];
+        std::snprintf(knobs, sizeof(knobs),
+                      "qps=%.0f conc=%u requests=%zu max_batch=%u "
+                      "timeout_us=%.2f shards=%u workers=%u "
+                      "queue_cap=%zu deadline_us=%.2f pool=%u pf=%u "
+                      "zipf=%.2f seed=%llu",
+                      opt.qps, opt.concurrency, opt.requests,
+                      opt.maxBatch, opt.batchTimeoutUs, cfg.shards,
+                      opt.workers, opt.queueCap, opt.deadlineUs,
+                      opt.pool, opt.pf, opt.zipf,
+                      static_cast<unsigned long long>(opt.seed));
+        reg.setMeta("config", knobs);
+    }
+
+    // Build the request pool: `pool` distinct queries requests cycle
+    // through round-robin.
+    WorkloadTrace pool;
+    if (!opt.loadTrace.empty()) {
+        pool = loadTraceFile(opt.loadTrace);
+    } else if (opt.workload == "sls") {
+        SlsTraceConfig tc;
+        tc.batch = opt.pool;
+        tc.pf = opt.pf;
+        tc.zipfAlpha = opt.zipf;
+        tc.quant = parseQuant(opt.quant);
+        tc.layout = layout;
+        tc.seed = opt.seed;
+        pool = buildSlsTrace(parseModel(opt.model), tc);
+    } else if (opt.workload == "medical") {
+        MedicalDbConfig db;
+        db.pf = opt.pf;
+        db.numQueries = opt.pool;
+        db.seed = opt.seed;
+        pool = buildMedicalTrace(db, layout);
+    } else {
+        usage(argv[0]);
+    }
+
+    if (!opt.timeseriesOut.empty())
+        Sampler::instance().start(opt.sampleInterval);
+
+    const ServeReport rep = runServe(cfg, load, pool);
+
+    if (!opt.timeseriesOut.empty()) {
+        if (!Sampler::instance().writeCsv(opt.timeseriesOut)) {
+            fatal("cannot write --timeseries-out file '%s'",
+                  opt.timeseriesOut.c_str());
+        }
+        std::printf("timeseries      %s (%zu intervals x %zu series)\n",
+                    opt.timeseriesOut.c_str(),
+                    Sampler::instance().intervalCount(),
+                    Sampler::instance().seriesNames().size());
+        Sampler::instance().stop();
+    }
+    if (!opt.statsJson.empty()) {
+        std::ofstream os(opt.statsJson);
+        if (!os)
+            fatal("cannot open --stats-json file '%s'",
+                  opt.statsJson.c_str());
+        StatRegistry::instance().dumpJson(os);
+        std::printf("stats           %s\n", opt.statsJson.c_str());
+    }
+
+    std::printf("load            %s (%s)\n", opt.mode.c_str(),
+                load.mode == LoadMode::Open ? "Poisson arrivals"
+                                            : "fixed concurrency");
+    if (load.mode == LoadMode::Open)
+        std::printf("target qps      %.0f\n", opt.qps);
+    else
+        std::printf("concurrency     %u\n", opt.concurrency);
+    std::printf("serving         mode=%s policy=%s max_batch=%u "
+                "timeout=%.1fus shards=%u workers=%u\n",
+                execModeName(cfg.mode), queuePolicyName(cfg.policy),
+                opt.maxBatch, opt.batchTimeoutUs, cfg.shards,
+                opt.workers);
+    std::printf("pool            %zu queries (%s)\n",
+                pool.queries.size(), opt.workload.c_str());
+    std::printf("requests        %zu offered, %zu admitted, %zu "
+                "rejected, %zu completed\n",
+                rep.offered, rep.admitted, rep.rejected,
+                rep.completed);
+    std::printf("batches         %llu (mean occupancy %.2f)\n",
+                static_cast<unsigned long long>(rep.batches),
+                rep.batches
+                    ? static_cast<double>(rep.completed) / rep.batches
+                    : 0.0);
+    std::printf("latency         p50 %.0f ns, p95 %.0f ns, p99 %.0f "
+                "ns\n",
+                rep.p50LatencyNs, rep.p95LatencyNs, rep.p99LatencyNs);
+    if (load.deadlineNs > 0) {
+        std::printf("deadline        %.1f us, %llu misses\n",
+                    opt.deadlineUs,
+                    static_cast<unsigned long long>(
+                        rep.deadlineMisses));
+    }
+    std::printf("makespan        %.3f us\n", rep.makespanNs / 1000.0);
+    std::printf("sustained qps   %.0f\n", rep.sustainedQps);
+    return 0;
+}
