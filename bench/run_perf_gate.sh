@@ -42,6 +42,17 @@ run_serve() {
         --timeseries-out "$OUT/$name.ts.csv" > /dev/null
 }
 
+# Adversary sweep: detection-rate counters are a pure function of the
+# redteam seed (no time series; the sweep has no simulated timeline).
+REDTEAM="$(dirname "$SIM")/secndp_redteam"
+run_redteam() {
+    local name=$1
+    shift
+    echo "perf-gate: $name"
+    "$REDTEAM" "$@" --seed 7 \
+        --stats-json "$OUT/$name.stats.json" > /dev/null
+}
+
 run sls_cpu      --workload sls --mode cpu
 run sls_tee      --workload sls --mode tee
 run sls_ndp      --workload sls --mode ndp
@@ -51,5 +62,6 @@ run medical_enc  --workload medical --mode enc
 run sls_enc_zipf --workload sls --mode enc --zipf 0.8 --batch 4
 run_serve serve_open --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8
+run_redteam redteam_smoke --queries 100
 
 echo "perf-gate: wrote $(ls "$OUT"/*.stats.json | wc -l) sidecars to $OUT"

@@ -1,0 +1,181 @@
+#include "faults/fault_spec.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace secndp {
+
+namespace {
+
+const char *const kindNames[faultKindCount] = {
+    "flip", "burst", "tag", "replay", "wrong", "forge", "drop",
+};
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 0); // 0x... accepted
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    return kindNames[static_cast<unsigned>(kind)];
+}
+
+bool
+parseFaultKind(const std::string &name, FaultKind &out)
+{
+    for (unsigned k = 0; k < faultKindCount; ++k) {
+        if (name == kindNames[k]) {
+            out = static_cast<FaultKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseFaultSpec(const std::string &text, FaultSpec &out,
+               std::string *err)
+{
+    out.rules.clear();
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t semi = text.find(';', pos);
+        const std::string item = text.substr(
+            pos, semi == std::string::npos ? std::string::npos
+                                           : semi - pos);
+        pos = semi == std::string::npos ? text.size() : semi + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t colon = item.find(':');
+        const std::string kind_name = item.substr(0, colon);
+        FaultRule rule;
+        if (!parseFaultKind(kind_name, rule.kind))
+            return fail(err, "unknown fault kind '" + kind_name + "'");
+
+        std::string opts =
+            colon == std::string::npos ? "" : item.substr(colon + 1);
+        std::size_t opos = 0;
+        while (opos < opts.size()) {
+            const std::size_t comma = opts.find(',', opos);
+            const std::string kv = opts.substr(
+                opos, comma == std::string::npos ? std::string::npos
+                                                 : comma - opos);
+            opos = comma == std::string::npos ? opts.size()
+                                              : comma + 1;
+            if (kv.empty())
+                continue;
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                return fail(err, "expected key=value, got '" + kv +
+                                     "'");
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            std::uint64_t u = 0;
+            if (key == "rate") {
+                if (!parseDouble(val, rule.rate) || rule.rate < 0.0 ||
+                    rule.rate > 1.0)
+                    return fail(err, "bad rate '" + val + "'");
+            } else if (key == "one_shot") {
+                if (!parseU64(val, u))
+                    return fail(err, "bad one_shot '" + val + "'");
+                rule.oneShotAt = static_cast<std::int64_t>(u);
+            } else if (key == "addr") {
+                if (!parseU64(val, rule.addrLo))
+                    return fail(err, "bad addr '" + val + "'");
+            } else if (key == "addr_end") {
+                if (!parseU64(val, rule.addrHi))
+                    return fail(err, "bad addr_end '" + val + "'");
+            } else if (key == "len") {
+                if (!parseU64(val, u) || u == 0)
+                    return fail(err, "bad len '" + val + "'");
+                rule.burstLen = static_cast<unsigned>(u);
+            } else if (key == "chan") {
+                if (!parseU64(val, u))
+                    return fail(err, "bad chan '" + val + "'");
+                rule.channel = static_cast<int>(u);
+            } else if (key == "chans") {
+                if (!parseU64(val, u) || u == 0)
+                    return fail(err, "bad chans '" + val + "'");
+                rule.channels = static_cast<unsigned>(u);
+            } else {
+                return fail(err, "unknown fault option '" + key + "'");
+            }
+        }
+        if (rule.addrLo >= rule.addrHi)
+            return fail(err, "empty address scope in '" + item + "'");
+        if (rule.channel >= 0 &&
+            rule.channel >= static_cast<int>(rule.channels))
+            return fail(err, "chan out of range in '" + item + "'");
+        out.rules.push_back(rule);
+    }
+    return true;
+}
+
+std::string
+faultSpecToString(const FaultSpec &spec)
+{
+    std::string s;
+    for (const FaultRule &r : spec.rules) {
+        if (!s.empty())
+            s += ';';
+        s += faultKindName(r.kind);
+        char buf[96];
+        if (r.oneShotAt >= 0) {
+            std::snprintf(buf, sizeof(buf), ":one_shot=%lld",
+                          static_cast<long long>(r.oneShotAt));
+        } else {
+            std::snprintf(buf, sizeof(buf), ":rate=%g", r.rate);
+        }
+        s += buf;
+        if (r.addrLo != 0 || r.addrHi != ~std::uint64_t{0}) {
+            std::snprintf(buf, sizeof(buf),
+                          ",addr=0x%llx,addr_end=0x%llx",
+                          static_cast<unsigned long long>(r.addrLo),
+                          static_cast<unsigned long long>(r.addrHi));
+            s += buf;
+        }
+        if (r.kind == FaultKind::Burst && r.burstLen != 8) {
+            std::snprintf(buf, sizeof(buf), ",len=%u", r.burstLen);
+            s += buf;
+        }
+        if (r.channel >= 0) {
+            std::snprintf(buf, sizeof(buf), ",chan=%d,chans=%u",
+                          r.channel, r.channels);
+            s += buf;
+        }
+    }
+    return s;
+}
+
+} // namespace secndp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Declarative fault/attack configurations for the adversary subsystem.
+ *
+ * A FaultSpec is a list of rules, each naming a fault kind (what the
+ * adversary does), a firing model (per-site probability, or a one-shot
+ * at the Nth decision point), and an optional scope (byte-address
+ * range and/or line-interleaved channel). Rules are parsed from a
+ * compact CLI string so every tool can take the same `--inject` flag:
+ *
+ *   flip:rate=1e-6
+ *   flip:rate=1e-4;replay:rate=0.5,addr=0x20000
+ *   wrong:one_shot=5
+ *   burst:rate=0.01,len=16,chan=1,chans=2
+ *
+ * Grammar: rules separated by ';', each `kind[:key=val[,key=val...]]`.
+ * Kinds: flip | burst | tag | replay | wrong | forge | drop.
+ * Keys:  rate (probability per decision point, default 1.0),
+ *        one_shot (fire exactly once at the Nth decision, 0-based;
+ *                  overrides rate),
+ *        addr / addr_end (byte-address scope, [addr, addr_end)),
+ *        len (burst length in elements, default 8),
+ *        chan / chans (restrict to one line-interleaved channel).
+ */
+
+#ifndef SECNDP_FAULTS_FAULT_SPEC_HH
+#define SECNDP_FAULTS_FAULT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secndp {
+
+/** What the adversary does at a firing injection point. */
+enum class FaultKind : unsigned
+{
+    BitFlip,     ///< flip one random bit of a ciphertext element read
+    Burst,       ///< garbage a run of consecutive element reads
+    TagCorrupt,  ///< perturb a stored tag C_Ti as it is read
+    Replay,      ///< serve the stale (pre-re-encryption) snapshot
+    WrongResult, ///< tamper the NDP partial sum C_res
+    ForgeTag,    ///< replace the combined tag C_Tres with a guess
+    DropTag,     ///< withhold the combined tag C_Tres entirely
+};
+
+/** Number of FaultKind values (for per-kind counters/sweeps). */
+constexpr unsigned faultKindCount = 7;
+
+/** Short CLI name: flip | burst | tag | replay | wrong | forge | drop. */
+const char *faultKindName(FaultKind kind);
+
+/** Parse a CLI kind name; false on junk. */
+bool parseFaultKind(const std::string &name, FaultKind &out);
+
+/** One injection rule. */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::BitFlip;
+    /** Firing probability per decision point (ignored if one-shot). */
+    double rate = 1.0;
+    /** >= 0: fire exactly once, at this 0-based decision ordinal. */
+    std::int64_t oneShotAt = -1;
+    /** Byte-address scope [addrLo, addrHi). */
+    std::uint64_t addrLo = 0;
+    std::uint64_t addrHi = ~std::uint64_t{0};
+    /** Burst length in elements (Burst only). */
+    unsigned burstLen = 8;
+    /** >= 0: only addresses mapping to this line-interleaved channel
+     *  out of `channels` (64-byte lines, like the memsim mapping). */
+    int channel = -1;
+    unsigned channels = 2;
+
+    /** Does a byte address fall inside this rule's scope? */
+    bool inScope(std::uint64_t addr) const
+    {
+        if (addr < addrLo || addr >= addrHi)
+            return false;
+        if (channel >= 0 &&
+            static_cast<int>((addr / 64) % channels) != channel)
+            return false;
+        return true;
+    }
+};
+
+/** A full injection configuration. */
+struct FaultSpec
+{
+    std::vector<FaultRule> rules;
+
+    bool enabled() const { return !rules.empty(); }
+};
+
+/**
+ * Parse an `--inject` spec string (see file doc for the grammar).
+ * Returns false and sets *err on malformed input. An empty string
+ * parses to a disabled spec.
+ */
+bool parseFaultSpec(const std::string &text, FaultSpec &out,
+                    std::string *err = nullptr);
+
+/** Canonical round-trippable rendering (for run metadata). */
+std::string faultSpecToString(const FaultSpec &spec);
+
+} // namespace secndp
+
+#endif // SECNDP_FAULTS_FAULT_SPEC_HH

@@ -1,0 +1,226 @@
+#include "faults/injector.hh"
+
+#include "common/logging.hh"
+#include "common/trace_event.hh"
+
+namespace secndp {
+
+namespace {
+
+StatGroup
+makeGroup(const char *name, bool registered)
+{
+    return registered ? StatGroup(name)
+                      : StatGroup(name, StatGroup::noRegister);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed,
+                             bool register_stats)
+    : spec_(std::move(spec)), rng_(seed),
+      faults_(makeGroup("faults", register_stats)),
+      verify_(makeGroup("verify", register_stats))
+{
+    SECNDP_ASSERT(spec_.enabled(), "FaultInjector needs >= 1 rule");
+    ruleStates_.reserve(spec_.rules.size());
+    for (const FaultRule &r : spec_.rules)
+        ruleStates_.push_back({r, 0, false});
+}
+
+bool
+FaultInjector::fire(FaultKind kind, std::uint64_t addr)
+{
+    bool fired = false;
+    for (RuleState &rs : ruleStates_) {
+        if (rs.rule.kind != kind || !rs.rule.inScope(addr))
+            continue;
+        const std::uint64_t decision = rs.decisions++;
+        if (rs.rule.oneShotAt >= 0) {
+            if (!rs.oneShotFired &&
+                decision ==
+                    static_cast<std::uint64_t>(rs.rule.oneShotAt)) {
+                rs.oneShotFired = true;
+                fired = true;
+            }
+        } else if (rng_.nextDouble() < rs.rule.rate) {
+            fired = true;
+        }
+    }
+    return fired;
+}
+
+void
+FaultInjector::record(FaultKind kind, std::uint64_t addr)
+{
+    TamperEvent ev;
+    ev.kind = kind;
+    ev.addr = addr;
+    ev.query = queryOrdinal_ == 0 ? 0 : queryOrdinal_ - 1;
+    ev.ordinal = injectedTotal_;
+    events_.push_back(ev);
+
+    ++injectedTotal_;
+    ++injectedByKind_[static_cast<unsigned>(kind)];
+    ++queryInjected_;
+    ++faults_.counter("injected_total");
+    faults_.counter(std::string("injected_") + faultKindName(kind)) +=
+        1;
+
+    debugLog("fault injected: %s at 0x%llx (query %llu)",
+             faultKindName(kind),
+             static_cast<unsigned long long>(addr),
+             static_cast<unsigned long long>(ev.query));
+
+#if SECNDP_TRACING
+    auto &tracer = Tracer::instance();
+    if (tracer.active()) {
+        if (traceTrack_ < 0)
+            traceTrack_ = tracer.newTrack("faults");
+        // The fault track is event-ordinal indexed: injections have
+        // no cycle of their own (they fire inside functional reads).
+        tracer.complete("fault", faultKindName(kind),
+                        static_cast<std::uint32_t>(traceTrack_),
+                        static_cast<std::int64_t>(ev.ordinal), 1);
+    }
+#endif
+}
+
+bool
+FaultInjector::replayQuery(std::uint64_t base_addr)
+{
+    if (!fire(FaultKind::Replay, base_addr))
+        return false;
+    record(FaultKind::Replay, base_addr);
+    return true;
+}
+
+std::uint64_t
+FaultInjector::onCipherRead(std::uint64_t addr, std::uint64_t value,
+                            ElemWidth we)
+{
+    const std::uint64_t mask = elemMask(we);
+    if (burstRemaining_ > 0) {
+        // An in-flight burst garbles consecutive reads without
+        // re-rolling (models a stuck buffer / row-burst error).
+        --burstRemaining_;
+        record(FaultKind::Burst, addr);
+        return rng_.next() & mask;
+    }
+    if (fire(FaultKind::Burst, addr)) {
+        for (const RuleState &rs : ruleStates_) {
+            if (rs.rule.kind == FaultKind::Burst &&
+                rs.rule.inScope(addr)) {
+                burstRemaining_ =
+                    rs.rule.burstLen > 0 ? rs.rule.burstLen - 1 : 0;
+                break;
+            }
+        }
+        record(FaultKind::Burst, addr);
+        return rng_.next() & mask;
+    }
+    if (fire(FaultKind::BitFlip, addr)) {
+        record(FaultKind::BitFlip, addr);
+        return value ^ (std::uint64_t{1} << rng_.nextBounded(bits(we)));
+    }
+    return value;
+}
+
+Fq127
+FaultInjector::onTagRead(std::uint64_t row_addr, Fq127 tag)
+{
+    if (!fire(FaultKind::TagCorrupt, row_addr))
+        return tag;
+    record(FaultKind::TagCorrupt, row_addr);
+    // A uniformly random non-zero delta in F_q.
+    Fq127 delta = Fq127::fromHalves(rng_.next(), rng_.next());
+    if (delta.isZero())
+        delta = Fq127(1);
+    return tag + delta;
+}
+
+void
+FaultInjector::onResult(std::uint64_t base_addr,
+                        std::span<std::uint64_t> values, ElemWidth we)
+{
+    if (values.empty() || !fire(FaultKind::WrongResult, base_addr))
+        return;
+    record(FaultKind::WrongResult, base_addr);
+    const std::uint64_t mask = elemMask(we);
+    const std::size_t j = rng_.nextBounded(values.size());
+    const std::uint64_t delta = (rng_.next() & mask) | 1;
+    values[j] = (values[j] + delta) & mask;
+}
+
+std::optional<Fq127>
+FaultInjector::onResultTag(std::uint64_t base_addr, Fq127 tag)
+{
+    if (fire(FaultKind::DropTag, base_addr)) {
+        record(FaultKind::DropTag, base_addr);
+        return std::nullopt;
+    }
+    if (fire(FaultKind::ForgeTag, base_addr)) {
+        record(FaultKind::ForgeTag, base_addr);
+        // The best an adversary without K can do: a uniform guess
+        // (success probability ~ m/q ~ 2^-123 for m = 16).
+        return Fq127::fromHalves(rng_.next(), rng_.next());
+    }
+    return tag;
+}
+
+void
+FaultInjector::beginQuery()
+{
+    ++queryOrdinal_;
+    queryInjected_ = 0;
+    // A burst never spans a query boundary: the next query re-reads.
+    burstRemaining_ = 0;
+}
+
+void
+FaultInjector::recordOutcome(bool verified, bool result_intact)
+{
+    ++verify_.counter("checks");
+    if (!verified)
+        ++verify_.counter("failures");
+    if (queryInjected_ > 0) {
+        ++faultedQueries_;
+        ++faults_.counter("queries_faulted");
+        if (verified && result_intact) {
+            // The injection annihilated in the linear combination
+            // (e.g. a flipped bit whose weighted contribution is
+            // 0 mod 2^we): the delivered result is correct, and
+            // SecNDP only claims result integrity, not memory
+            // integrity. Verification rightly passed.
+            ++benign_;
+            ++verify_.counter("benign");
+        } else if (verified) {
+            ++missed_;
+            ++verify_.counter("missed");
+            warn("tampered query VERIFIED: %llu injections slipped "
+                 "past the tag check (forgery?)",
+                 static_cast<unsigned long long>(queryInjected_));
+        } else {
+            ++detected_;
+            ++verify_.counter("detected");
+        }
+    } else {
+        ++cleanQueries_;
+        ++faults_.counter("queries_clean");
+        if (!verified) {
+            ++falseAlarms_;
+            ++verify_.counter("false_alarms");
+        }
+    }
+    verify_.scalar("detection_rate") = detectionRate();
+}
+
+double
+FaultInjector::detectionRate() const
+{
+    const std::uint64_t total = detected_ + missed_;
+    return total == 0 ? 1.0
+                      : static_cast<double>(detected_) / total;
+}
+
+} // namespace secndp

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The seeded, policy-driven adversary: a TamperHook implementation
+ * that corrupts the untrusted world according to a FaultSpec.
+ *
+ * Injection points (see secndp/tamper_hook.hh) cover the paper's
+ * threat model end to end: ciphertext bit flips and burst corruption
+ * at read time, stored-tag corruption, stale-snapshot replay,
+ * tampered NDP partial sums, and forged or dropped C_Tres tags.
+ * Every decision is drawn from a private xoshiro Rng, so a
+ * (spec, seed) pair replays the identical attack bit-for-bit -- the
+ * property the redteam harness and the CI smoke job rely on.
+ *
+ * Accounting: each actual injection is recorded as a TamperEvent and
+ * counted in the "faults" StatGroup; the per-query correlation ledger
+ * (beginQuery / queryInjections / recordOutcome) feeds the "verify"
+ * detection counters (detected / missed / false_alarms) and the
+ * detection_rate scalar. Both groups exist only while an injector is
+ * alive, so runs without injection emit byte-identical reports to the
+ * pre-adversary baselines.
+ *
+ * Thread safety: none -- one injector serves one (single-threaded)
+ * query loop, matching the single-writer StatGroup contract.
+ */
+
+#ifndef SECNDP_FAULTS_INJECTOR_HH
+#define SECNDP_FAULTS_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "faults/fault_spec.hh"
+#include "secndp/tamper_hook.hh"
+
+namespace secndp {
+
+/** One recorded injection. */
+struct TamperEvent
+{
+    FaultKind kind = FaultKind::BitFlip;
+    /** Site byte address (base address for query-level faults). */
+    std::uint64_t addr = 0;
+    /** Query ordinal (beginQuery count) the fault landed in. */
+    std::uint64_t query = 0;
+    /** Global event index. */
+    std::uint64_t ordinal = 0;
+};
+
+/** Policy-driven, seeded fault injector (see file doc). */
+class FaultInjector final : public TamperHook
+{
+  public:
+    /**
+     * @param spec            rules to apply (must be enabled())
+     * @param seed            Rng seed; same (spec, seed) => same attack
+     * @param register_stats  false keeps the faults/verify groups out
+     *        of the process-wide registry (sweep harnesses aggregate
+     *        many injectors and publish one summary instead)
+     */
+    FaultInjector(FaultSpec spec, std::uint64_t seed,
+                  bool register_stats = true);
+
+    /** @name TamperHook implementation */
+    /// @{
+    bool replayQuery(std::uint64_t base_addr) override;
+    std::uint64_t onCipherRead(std::uint64_t addr, std::uint64_t value,
+                               ElemWidth we) override;
+    Fq127 onTagRead(std::uint64_t row_addr, Fq127 tag) override;
+    void onResult(std::uint64_t base_addr,
+                  std::span<std::uint64_t> values,
+                  ElemWidth we) override;
+    std::optional<Fq127> onResultTag(std::uint64_t base_addr,
+                                     Fq127 tag) override;
+    /// @}
+
+    /** @name Per-query correlation ledger */
+    /// @{
+    /** Start a new query window (resets the injection count). */
+    void beginQuery();
+
+    /** Injections since the last beginQuery(). */
+    std::uint64_t queryInjections() const { return queryInjected_; }
+
+    /**
+     * Record the verification outcome of the query started by the
+     * last beginQuery(): injected && !verified -> detected,
+     * injected && verified && result correct -> benign (the fault
+     * annihilated mod 2^we -- SecNDP claims result integrity, not
+     * memory integrity, so passing is sound), injected && verified
+     * && result wrong -> missed (a successful forgery!),
+     * clean && !verified -> false alarm.
+     *
+     * @param verified      did the tag check pass?
+     * @param result_intact when verified with injections in flight:
+     *        did the caller confirm the delivered values equal an
+     *        honest (hook-detached) re-read? Ignored otherwise.
+     */
+    void recordOutcome(bool verified, bool result_intact = false);
+    /// @}
+
+    /** @name Aggregate accounting */
+    /// @{
+    const std::vector<TamperEvent> &events() const { return events_; }
+    std::uint64_t injectedTotal() const { return injectedTotal_; }
+    std::uint64_t injectedOf(FaultKind kind) const
+    {
+        return injectedByKind_[static_cast<unsigned>(kind)];
+    }
+    std::uint64_t faultedQueries() const { return faultedQueries_; }
+    std::uint64_t cleanQueries() const { return cleanQueries_; }
+    std::uint64_t detectedQueries() const { return detected_; }
+    std::uint64_t benignQueries() const { return benign_; }
+    std::uint64_t missedQueries() const { return missed_; }
+    std::uint64_t falseAlarms() const { return falseAlarms_; }
+
+    /** detected / (detected + missed); 1.0 when nothing injected. */
+    double detectionRate() const;
+    /// @}
+
+    const FaultSpec &spec() const { return spec_; }
+
+  private:
+    struct RuleState
+    {
+        FaultRule rule;
+        std::uint64_t decisions = 0;
+        bool oneShotFired = false;
+    };
+
+    /**
+     * Should a fault of `kind` fire at `addr`? Walks every matching
+     * rule: one-shots fire at their configured decision ordinal,
+     * rate rules roll the Rng. Each matching rule advances its own
+     * decision counter.
+     */
+    bool fire(FaultKind kind, std::uint64_t addr);
+
+    /** Record an injection (event log + counters + trace). */
+    void record(FaultKind kind, std::uint64_t addr);
+
+    FaultSpec spec_;
+    Rng rng_;
+    std::vector<RuleState> ruleStates_;
+
+    StatGroup faults_;
+    StatGroup verify_;
+
+    std::vector<TamperEvent> events_;
+    std::uint64_t injectedByKind_[faultKindCount] = {};
+    std::uint64_t injectedTotal_ = 0;
+
+    std::uint64_t queryOrdinal_ = 0;
+    std::uint64_t queryInjected_ = 0;
+    std::uint64_t faultedQueries_ = 0;
+    std::uint64_t cleanQueries_ = 0;
+    std::uint64_t detected_ = 0;
+    std::uint64_t benign_ = 0;
+    std::uint64_t missed_ = 0;
+    std::uint64_t falseAlarms_ = 0;
+
+    /** Remaining elements of an in-flight burst. */
+    unsigned burstRemaining_ = 0;
+
+    /** Lazily-created trace track (-1 until first event). */
+    std::int64_t traceTrack_ = -1;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_FAULTS_INJECTOR_HH

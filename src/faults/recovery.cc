@@ -1,0 +1,62 @@
+#include "faults/recovery.hh"
+
+namespace secndp {
+
+const char *
+recoveryOutcomeName(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+      case RecoveryOutcome::Clean:
+        return "clean";
+      case RecoveryOutcome::RecoveredRetry:
+        return "recovered_retry";
+      case RecoveryOutcome::RecoveredFallback:
+        return "recovered_fallback";
+      case RecoveryOutcome::Aborted:
+        return "aborted";
+    }
+    return "?";
+}
+
+RecoveryLoop::RecoveryLoop(RecoveryPolicy policy) : policy_(policy) {}
+
+RecoveryLoop::Result
+RecoveryLoop::run(const std::function<bool()> &attempt,
+                  double reread_cost_ns)
+{
+    Result res;
+    ++verify_.counter("checks");
+    if (attempt())
+        return res;
+    ++verify_.counter("failures");
+
+    double backoff = policy_.backoffBaseNs;
+    for (unsigned r = 0; r < policy_.maxRetries; ++r) {
+        ++verify_.counter("retries");
+        res.penaltyNs += backoff + reread_cost_ns;
+        backoff *= policy_.backoffMult;
+        ++res.attempts;
+        ++verify_.counter("checks");
+        if (attempt()) {
+            res.outcome = RecoveryOutcome::RecoveredRetry;
+            ++verify_.counter("recovered_retry");
+            verify_.histogram("recovery_ns").sample(res.penaltyNs);
+            return res;
+        }
+        ++verify_.counter("failures");
+    }
+
+    if (policy_.hostFallback) {
+        res.outcome = RecoveryOutcome::RecoveredFallback;
+        res.penaltyNs += policy_.fallbackCostFactor * reread_cost_ns;
+        ++verify_.counter("recovered_fallback");
+        verify_.histogram("recovery_ns").sample(res.penaltyNs);
+        return res;
+    }
+
+    res.outcome = RecoveryOutcome::Aborted;
+    ++verify_.counter("aborted");
+    return res;
+}
+
+} // namespace secndp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Verification-driven recovery for the serving layer.
+ *
+ * When a tag check fails, the trusted side does not know *what* went
+ * wrong -- a transient bus flip, a corrupted DIMM, or a malicious NDP
+ * -- only that the result cannot be trusted. The recovery ladder
+ * degrades gracefully instead of dying on the first bad tag:
+ *
+ *   1. retry  -- re-read + re-verify, up to maxRetries times, with
+ *                exponential backoff between attempts (transient
+ *                faults clear; persistent ones keep failing);
+ *   2. fallback -- recompute on the trusted host from a full fetch
+ *                (bypasses the NDP entirely; always correct, but
+ *                costs roughly a TEE-mode query);
+ *   3. abort  -- shed the request as a terminal failure (only when
+ *                the fallback is disabled by policy).
+ *
+ * All costs are virtual nanoseconds on the serving timeline, so
+ * availability and tail latency *under attack* stay deterministic in
+ * the fault seed. Counters land in the "verify" StatGroup
+ * (checks/failures/retries/recovered_retry/recovered_fallback/
+ * aborted + the recovery_ns histogram).
+ */
+
+#ifndef SECNDP_FAULTS_RECOVERY_HH
+#define SECNDP_FAULTS_RECOVERY_HH
+
+#include <functional>
+
+#include "common/stats.hh"
+
+namespace secndp {
+
+/** Knobs of the detection-and-recovery ladder. */
+struct RecoveryPolicy
+{
+    /** Re-read + re-verify attempts after the first failure. */
+    unsigned maxRetries = 3;
+    /** Backoff before the first retry, ns. */
+    double backoffBaseNs = 2000.0;
+    /** Backoff multiplier per further retry. */
+    double backoffMult = 2.0;
+    /** Recompute on the trusted host once retries are exhausted. */
+    bool hostFallback = true;
+    /**
+     * Virtual cost of the host recompute, as a multiple of the
+     * request's NDP service time (full fetch + decrypt + host sum;
+     * roughly the TEE/NDP speedup ratio).
+     */
+    double fallbackCostFactor = 4.0;
+};
+
+/** Terminal state of one recovery episode. */
+enum class RecoveryOutcome
+{
+    Clean,             ///< first verification passed
+    RecoveredRetry,    ///< a re-read verified
+    RecoveredFallback, ///< trusted host recompute served the request
+    Aborted,           ///< shed: retries exhausted, fallback disabled
+};
+
+const char *recoveryOutcomeName(RecoveryOutcome outcome);
+
+/** Runs the recovery ladder and owns the "verify" stat group. */
+class RecoveryLoop
+{
+  public:
+    explicit RecoveryLoop(RecoveryPolicy policy);
+
+    struct Result
+    {
+        RecoveryOutcome outcome = RecoveryOutcome::Clean;
+        /** Verification attempts, including the first. */
+        unsigned attempts = 1;
+        /** Extra virtual time spent recovering, ns. */
+        double penaltyNs = 0.0;
+    };
+
+    /**
+     * Drive one request through the ladder. `attempt` performs one
+     * read + verify and returns whether the tag check passed;
+     * `reread_cost_ns` is the virtual cost of one re-read (typically
+     * the request's original service time).
+     */
+    Result run(const std::function<bool()> &attempt,
+               double reread_cost_ns);
+
+    const RecoveryPolicy &policy() const { return policy_; }
+
+  private:
+    RecoveryPolicy policy_;
+    StatGroup verify_{"verify"};
+};
+
+} // namespace secndp
+
+#endif // SECNDP_FAULTS_RECOVERY_HH

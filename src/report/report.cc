@@ -332,10 +332,18 @@ printSummary(std::ostream &os, const StatsReport &r)
     }
 
     // Partition the flat metric map back into scalars, stat objects
-    // (dist/histo prefixes), and host phases.
+    // (dist/histo prefixes), host phases, and the adversary/detection
+    // groups (surfaced as their own section so attack runs read at a
+    // glance).
     std::vector<std::pair<std::string, double>> scalars;
+    std::vector<std::pair<std::string, double>> integrity;
     std::map<std::string, bool> objects; // prefix -> has p50
     std::vector<std::pair<std::string, double>> phases;
+    const auto isIntegrity = [](const std::string &name) {
+        return name.rfind("faults.", 0) == 0 ||
+               name.rfind("verify.", 0) == 0 ||
+               name.rfind("redteam.", 0) == 0;
+    };
     for (const auto &kv : r.metrics) {
         if (kv.first.rfind("host_phases.", 0) == 0) {
             if (hasSuffix(kv.first, "_ms"))
@@ -343,8 +351,12 @@ printSummary(std::ostream &os, const StatsReport &r)
             continue;
         }
         const std::string prefix = objectPrefix(kv.first);
-        if (prefix.empty())
-            scalars.push_back(kv);
+        if (prefix.empty()) {
+            if (isIntegrity(kv.first))
+                integrity.push_back(kv);
+            else
+                scalars.push_back(kv);
+        }
         else if (hasSuffix(kv.first, ".p50"))
             objects[prefix] = true;
         else
@@ -354,6 +366,15 @@ printSummary(std::ostream &os, const StatsReport &r)
     if (!scalars.empty()) {
         os << "  counters/scalars\n";
         for (const auto &kv : scalars) {
+            char line[128];
+            std::snprintf(line, sizeof(line), "    %-36s %14s\n",
+                          kv.first.c_str(), fmtNum(kv.second).c_str());
+            os << line;
+        }
+    }
+    if (!integrity.empty()) {
+        os << "  integrity (fault injection / verification)\n";
+        for (const auto &kv : integrity) {
             char line[128];
             std::snprintf(line, sizeof(line), "    %-36s %14s\n",
                           kv.first.c_str(), fmtNum(kv.second).c_str());

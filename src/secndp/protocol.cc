@@ -20,6 +20,13 @@ UntrustedNdpDevice::store(Matrix cipher, std::vector<Fq127> cipher_tags)
                       cipher_tags.size() == cipher.rows(),
                   "tag count %zu != row count %zu", cipher_tags.size(),
                   cipher.rows());
+    // Untrusted memory never forgets: the outgoing image stays around
+    // as a stale snapshot an adversary can replay (history depth 1).
+    if (cipher_.rows() > 0) {
+        staleCipher_ = std::move(cipher_);
+        staleTags_ = std::move(cipherTags_);
+        hasStale_ = true;
+    }
     cipher_ = std::move(cipher);
     cipherTags_ = std::move(cipher_tags);
 }
@@ -33,12 +40,24 @@ UntrustedNdpDevice::weightedSumElems(
     SECNDP_ASSERT(row_idx.size() == col_idx.size() &&
                       row_idx.size() == weights.size(),
                   "index/weight length mismatch");
-    const std::uint64_t mask = elemMask(cipher_.width());
+    const Matrix &src =
+        hook_ && hasStale_ && hook_->replayQuery(cipher_.baseAddr())
+            ? staleCipher_
+            : cipher_;
+    const ElemWidth we = src.width();
+    const std::uint64_t mask = elemMask(we);
     std::uint64_t acc = 0;
     for (std::size_t k = 0; k < row_idx.size(); ++k) {
-        acc += weights[k] * cipher_.get(row_idx[k], col_idx[k]);
+        std::uint64_t c = src.get(row_idx[k], col_idx[k]);
+        if (hook_) {
+            c = hook_->onCipherRead(
+                src.elemAddr(row_idx[k], col_idx[k]), c, we);
+        }
+        acc += weights[k] * c;
         acc &= mask;
     }
+    if (hook_)
+        hook_->onResult(src.baseAddr(), std::span(&acc, 1), we);
     return acc;
 }
 
@@ -49,24 +68,45 @@ UntrustedNdpDevice::weightedSumRows(std::span<const std::size_t> rows,
 {
     SECNDP_ASSERT(rows.size() == weights.size(),
                   "index/weight length mismatch");
-    const std::uint64_t mask = elemMask(cipher_.width());
+    // A hooked device lets the adversary pick the data source (replay
+    // of the stale snapshot) and corrupt each read; the honest path
+    // is byte-identical to the unhooked one.
+    const bool replay =
+        hook_ && hasStale_ && hook_->replayQuery(cipher_.baseAddr());
+    const Matrix &src = replay ? staleCipher_ : cipher_;
+    const std::vector<Fq127> &tags = replay ? staleTags_ : cipherTags_;
+
+    const ElemWidth we = src.width();
+    const std::uint64_t mask = elemMask(we);
     RowSumShare share;
-    share.values.assign(cipher_.cols(), 0);
+    share.values.assign(src.cols(), 0);
     for (std::size_t k = 0; k < rows.size(); ++k) {
-        SECNDP_ASSERT(rows[k] < cipher_.rows(), "row %zu out of %zu",
-                      rows[k], cipher_.rows());
-        for (std::size_t j = 0; j < cipher_.cols(); ++j) {
+        SECNDP_ASSERT(rows[k] < src.rows(), "row %zu out of %zu",
+                      rows[k], src.rows());
+        for (std::size_t j = 0; j < src.cols(); ++j) {
+            std::uint64_t c = src.get(rows[k], j);
+            if (hook_)
+                c = hook_->onCipherRead(src.elemAddr(rows[k], j), c,
+                                        we);
             share.values[j] =
-                (share.values[j] + weights[k] * cipher_.get(rows[k], j)) &
-                mask;
+                (share.values[j] + weights[k] * c) & mask;
         }
     }
+    if (hook_)
+        hook_->onResult(src.baseAddr(), std::span(share.values), we);
     if (with_tag) {
-        SECNDP_ASSERT(hasTags(), "tag requested but none provisioned");
+        SECNDP_ASSERT(!tags.empty(),
+                      "tag requested but none provisioned");
         Fq127 tag(0);
-        for (std::size_t k = 0; k < rows.size(); ++k)
-            tag += Fq127(weights[k]) * cipherTags_[rows[k]];
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+            Fq127 t = tags[rows[k]];
+            if (hook_)
+                t = hook_->onTagRead(src.rowAddr(rows[k]), t);
+            tag += Fq127(weights[k]) * t;
+        }
         share.cipherTag = tag;
+        if (hook_)
+            share.cipherTag = hook_->onResultTag(src.baseAddr(), tag);
     }
     return share;
 }
@@ -209,15 +249,22 @@ SecNdpClient::weightedSumRows(const UntrustedNdpDevice &device,
     if (with_tag) {
         ScopedPhase phase("verify");
         result.verificationPerformed = true;
-        // Retrieved MAC: C_Tres + E_Tres (Alg. 5; note the paper's
-        // line 16 typo writes '-', the proof and Alg. 3 require '+').
-        const Fq127 retrieved =
-            *ndp_share.cipherTag + otpTagShare(rows, weights);
-        // Recomputed MAC of the assembled result (with cnt_s == 1
-        // this is exactly Algorithm 2's single-point hash).
-        const Fq127 recomputed =
-            multiSecretChecksum(result.values, checksumSecrets());
-        result.verified = (recomputed == retrieved);
+        if (!ndp_share.cipherTag) {
+            // The device withheld C_Tres -- a protocol violation; an
+            // unverifiable result must never be trusted.
+            result.verified = false;
+        } else {
+            // Retrieved MAC: C_Tres + E_Tres (Alg. 5; note the
+            // paper's line 16 typo writes '-', the proof and Alg. 3
+            // require '+').
+            const Fq127 retrieved =
+                *ndp_share.cipherTag + otpTagShare(rows, weights);
+            // Recomputed MAC of the assembled result (with cnt_s == 1
+            // this is exactly Algorithm 2's single-point hash).
+            const Fq127 recomputed =
+                multiSecretChecksum(result.values, checksumSecrets());
+            result.verified = (recomputed == retrieved);
+        }
     }
     return result;
 }

@@ -30,6 +30,7 @@
 #include "crypto/counter_mode.hh"
 #include "ring/mersenne.hh"
 #include "secndp/matrix.hh"
+#include "secndp/tamper_hook.hh"
 #include "secndp/version.hh"
 
 namespace secndp {
@@ -38,7 +39,12 @@ namespace secndp {
 class UntrustedNdpDevice
 {
   public:
-    /** Initialization step T0: store ciphertext (and optional tags). */
+    /**
+     * Initialization step T0: store ciphertext (and optional tags).
+     * The previous store (if any) is retained as a *stale snapshot*
+     * -- exactly what a malicious memory can replay after a
+     * re-encryption (paper section II; see attachTamperHook).
+     */
     void store(Matrix cipher, std::vector<Fq127> cipher_tags = {});
 
     /** Whether tags were provisioned. */
@@ -77,11 +83,30 @@ class UntrustedNdpDevice
     /// @{
     Matrix &tamperCipher() { return cipher_; }
     std::vector<Fq127> &tamperTags() { return cipherTags_; }
+
+    /**
+     * Attach a policy-driven adversary (src/faults FaultInjector).
+     * When attached, every query consults the hook: ciphertext and
+     * tag reads may be corrupted, a stale snapshot may be replayed,
+     * and result shares / combined tags may be tampered, forged, or
+     * dropped. Pass nullptr to detach. The device never owns the
+     * hook; with none attached the honest fast path is taken.
+     */
+    void attachTamperHook(TamperHook *hook) { hook_ = hook; }
+    TamperHook *tamperHook() const { return hook_; }
+
+    /** Is a pre-re-encryption snapshot available for replay? */
+    bool hasStaleSnapshot() const { return hasStale_; }
     /// @}
 
   private:
     Matrix cipher_;
     std::vector<Fq127> cipherTags_;
+    /** Previous store, kept as replay ammunition for the adversary. */
+    Matrix staleCipher_;
+    std::vector<Fq127> staleTags_;
+    bool hasStale_ = false;
+    TamperHook *hook_ = nullptr;
 };
 
 /** Result of a verified weighted summation on the trusted side. */

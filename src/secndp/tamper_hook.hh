@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Interception points on the untrusted side of the SecNDP protocol.
+ *
+ * The paper's threat model (section II) gives the adversary full
+ * control of memory and the NDP PUs: it can corrupt stored ciphertext
+ * and tags, replay stale-but-validly-encrypted snapshots, and return
+ * arbitrary partial sums or forged C_Tres tags. UntrustedNdpDevice
+ * exposes exactly those powers through this interface so an attached
+ * adversary (src/faults FaultInjector, or a bespoke test double) can
+ * exercise them in controlled, seeded ways.
+ *
+ * The hook lives in the core library (not src/faults) so the protocol
+ * has no dependency on the fault subsystem: a device with no hook
+ * attached takes the unhooked fast path, byte-identical to the
+ * pre-adversary behavior.
+ */
+
+#ifndef SECNDP_SECNDP_TAMPER_HOOK_HH
+#define SECNDP_SECNDP_TAMPER_HOOK_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "ring/mersenne.hh"
+#include "ring/ring_buffer.hh"
+
+namespace secndp {
+
+/** Adversary interface over the untrusted memory + NDP side. */
+class TamperHook
+{
+  public:
+    virtual ~TamperHook() = default;
+
+    /**
+     * Query start. Return true to serve the device's stale snapshot
+     * (the previous store) instead of the current one -- a replay of
+     * validly-encrypted data from before the last re-encryption.
+     * Only consulted when a stale snapshot exists.
+     */
+    virtual bool replayQuery(std::uint64_t base_addr) = 0;
+
+    /**
+     * A ciphertext element read at byte address `addr`. Returns the
+     * (possibly corrupted) value the NDP PU actually computes with.
+     */
+    virtual std::uint64_t onCipherRead(std::uint64_t addr,
+                                       std::uint64_t value,
+                                       ElemWidth we) = 0;
+
+    /** A stored-tag read for the row at `row_addr`. */
+    virtual Fq127 onTagRead(std::uint64_t row_addr, Fq127 tag) = 0;
+
+    /**
+     * The combined result share C_res about to be returned to the
+     * processor; the adversary may tamper it in place.
+     */
+    virtual void onResult(std::uint64_t base_addr,
+                          std::span<std::uint64_t> values,
+                          ElemWidth we) = 0;
+
+    /**
+     * The combined tag C_Tres about to be returned. Returning nullopt
+     * models a dropped/withheld tag (a protocol violation the client
+     * must treat as a verification failure).
+     */
+    virtual std::optional<Fq127> onResultTag(std::uint64_t base_addr,
+                                             Fq127 tag) = 0;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SECNDP_TAMPER_HOOK_HH

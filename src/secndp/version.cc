@@ -7,6 +7,16 @@ namespace secndp {
 std::uint64_t
 VersionManager::freshVersion(std::uint64_t region_id)
 {
+    // Wraparound policy (see version.hh): reusing an (addr, version)
+    // pair would repeat counter-mode pads, so refuse outright before
+    // issuing anything. The operator must re-key to re-open the
+    // version space. (nextVersion_ == 0 also rejects a manager
+    // mis-constructed with the reserved first_version 0.)
+    if (nextVersion_ == 0) {
+        fatal("version space exhausted after %llu draws: refusing to "
+              "wrap (re-key to re-open the version space)",
+              static_cast<unsigned long long>(drawCount_));
+    }
     auto it = versions_.find(region_id);
     if (it == versions_.end()) {
         if (versions_.size() >= capacity_) {
@@ -16,6 +26,7 @@ VersionManager::freshVersion(std::uint64_t region_id)
         it = versions_.emplace(region_id, 0).first;
     }
     it->second = nextVersion_++;
+    ++drawCount_;
     return it->second;
 }
 

@@ -11,6 +11,16 @@
  * The paper's enclave software manages at most 64 versions
  * (section VI-A); the manager enforces a configurable capacity to
  * model that limit.
+ *
+ * Wraparound policy: counter-mode security rests on never reusing an
+ * (address, version) pair, so the 64-bit draw counter must never wrap
+ * back into previously-issued values. Version 0 is reserved ("never
+ * versioned"). When the counter is exhausted the manager fatal()s --
+ * re-keying (a fresh K, which re-opens the whole version space) is
+ * the only sound continuation, and that is an operator decision, not
+ * something to paper over silently. At one re-encryption per
+ * nanosecond the space lasts ~584 years, so exhaustion in practice
+ * means a bug or an attack, never normal operation.
  */
 
 #ifndef SECNDP_SECNDP_VERSION_HH
@@ -25,9 +35,15 @@ namespace secndp {
 class VersionManager
 {
   public:
-    /** @param capacity maximum number of live regions (paper: 64). */
-    explicit VersionManager(std::size_t capacity = 64)
-        : capacity_(capacity)
+    /**
+     * @param capacity maximum number of live regions (paper: 64).
+     * @param first_version first version number to draw (>= 1; 0 is
+     *        reserved). Non-default values exist for wraparound tests
+     *        and for resuming a persisted counter after migration.
+     */
+    explicit VersionManager(std::size_t capacity = 64,
+                            std::uint64_t first_version = 1)
+        : capacity_(capacity), nextVersion_(first_version)
     {}
 
     /**
@@ -50,11 +66,12 @@ class VersionManager
     std::size_t capacity() const { return capacity_; }
 
     /** Total versions ever drawn (uniqueness witness for tests). */
-    std::uint64_t drawCount() const { return nextVersion_ - 1; }
+    std::uint64_t drawCount() const { return drawCount_; }
 
   private:
     std::size_t capacity_;
     std::uint64_t nextVersion_ = 1; // 0 reserved as "never versioned"
+    std::uint64_t drawCount_ = 0;
     std::map<std::uint64_t, std::uint64_t> versions_;
 };
 

@@ -1,16 +1,21 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/phase_profiler.hh"
+#include "common/rng.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
 #include "crypto/aes.hh"
 #include "crypto/counter_mode.hh"
+#include "faults/injector.hh"
+#include "secndp/protocol.hh"
 #include "serve/worker_pool.hh"
 
 namespace secndp {
@@ -76,6 +81,86 @@ runHostCrypto(const CounterModeEncryptor &enc,
     ++g.counter("jobs");
 }
 
+/**
+ * Functional integrity shadow. The serving loop itself is a
+ * performance simulation (memsim carries no data values), so the
+ * adversary is played against a small *real* client/device pair whose
+ * device runs the configured FaultInjector. Every completed request
+ * maps deterministically onto one verified weighted row sum against
+ * the shadow; a failed tag check there drives the recovery ladder and
+ * its virtual-time penalty is charged to that request's latency
+ * (busy_until is untouched -- recovery re-reads are modeled as
+ * pipelined with later batches, a documented approximation).
+ */
+class IntegrityShadow
+{
+  public:
+    IntegrityShadow(const FaultSpec &spec, std::uint64_t seed,
+                    const RecoveryPolicy &policy)
+        : injector_(spec, seed),
+          client_(Aes128::Key{0xad, 0x7e, 0x25, 0xa9, 0xad, 0x7e,
+                              0x25, 0xaa, 0xad, 0x7e, 0x25, 0xab,
+                              0xad, 0x7e, 0x25, 0xac}),
+          recovery_(policy)
+    {
+        // Values < 2^20 with weights <= 8 keep every honest weighted
+        // sum far below 2^32, so a clean run always verifies (paper
+        // footnote 1: overflow is indistinguishable from tampering).
+        Matrix plain(shadowRows, shadowCols, ElemWidth::W32,
+                     shadowBase);
+        Rng fill(seed ^ 0x9e3779b97f4a7c15ULL);
+        for (std::size_t r = 0; r < shadowRows; ++r)
+            for (std::size_t c = 0; c < shadowCols; ++c)
+                plain.set(r, c, fill.next() & 0xfffff);
+        // Provision twice: the first image becomes the device's stale
+        // snapshot, so replay rules have real ammunition.
+        client_.provision(plain, device_);
+        client_.provision(plain, device_);
+        device_.attachTamperHook(&injector_);
+    }
+
+    /** One read + verify of the request's shadow query. */
+    bool verifyOnce(std::uint64_t id)
+    {
+        std::array<std::size_t, shadowLookups> rows;
+        std::array<std::uint64_t, shadowLookups> weights;
+        for (std::size_t k = 0; k < shadowLookups; ++k) {
+            rows[k] = (id * 7 + k * 13) % shadowRows;
+            weights[k] = 1 + ((id >> (3 * k)) & 7);
+        }
+        injector_.beginQuery();
+        const VerifiedResult res =
+            client_.weightedSumRows(device_, rows, weights, true);
+        // Distinguish a true forgery from an injection that
+        // annihilated mod 2^we (the delivered result is correct, so
+        // verification rightly passed -- benign, not missed).
+        bool intact = false;
+        if (res.verified && injector_.queryInjections() > 0) {
+            device_.attachTamperHook(nullptr);
+            const VerifiedResult honest = client_.weightedSumRows(
+                device_, rows, weights, false);
+            device_.attachTamperHook(&injector_);
+            intact = honest.values == res.values;
+        }
+        injector_.recordOutcome(res.verified, intact);
+        return res.verified;
+    }
+
+    RecoveryLoop &recovery() { return recovery_; }
+    const FaultInjector &injector() const { return injector_; }
+
+  private:
+    static constexpr std::size_t shadowRows = 64;
+    static constexpr std::size_t shadowCols = 16;
+    static constexpr std::size_t shadowLookups = 4;
+    static constexpr std::uint64_t shadowBase = 0x200000;
+
+    FaultInjector injector_;
+    SecNdpClient client_;
+    UntrustedNdpDevice device_;
+    RecoveryLoop recovery_;
+};
+
 } // namespace
 
 ServeReport
@@ -119,6 +204,16 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
     CounterModeEncryptor host_enc(host_aes);
     StatGroup serve("serve");
     WorkerPool workers(cfg.workers);
+
+    // Adversary + recovery machinery exists only when configured, so
+    // a clean run stays byte-identical to the pre-adversary layer: no
+    // faults/verify stat groups, no shadow work, no extra branches
+    // with observable effects.
+    std::unique_ptr<IntegrityShadow> shadow;
+    if (cfg.faults.enabled()) {
+        shadow = std::make_unique<IntegrityShadow>(
+            cfg.faults, cfg.faultSeed, cfg.recovery);
+    }
 
     // Pending arrivals: (time, id) min-heap, id as the deterministic
     // tie-break. Open loop pre-generates the whole stream; closed
@@ -177,7 +272,7 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
         }
     };
 
-    while (rep.completed + rep.rejected < total) {
+    while (rep.completed + rep.rejected + rep.aborted < total) {
         admit();
         const bool idle = now >= busy_until - 1e-9;
         if (idle) {
@@ -199,20 +294,49 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                 host_work.reserve(batch.size());
                 for (std::size_t i = 0; i < batch.size(); ++i) {
                     const ServeRequest &r = batch[i];
-                    const double completion =
+                    double completion =
                         start + exec.requestServiceNs[i];
-                    const double latency = completion - r.arrivalNs;
-                    serve.histogram("latency_ns").sample(latency);
-                    serve.histogram("queue_wait_ns")
-                        .sample(start - r.arrivalNs);
-                    serve.histogram("service_ns")
-                        .sample(exec.requestServiceNs[i]);
-                    if (r.deadlineNs > 0 && completion > r.deadlineNs) {
-                        ++rep.deadlineMisses;
-                        ++serve.counter("deadline_misses");
+                    bool abort_req = false;
+                    if (shadow) {
+                        const auto rec = shadow->recovery().run(
+                            [&] { return shadow->verifyOnce(r.id); },
+                            exec.requestServiceNs[i]);
+                        completion += rec.penaltyNs;
+                        switch (rec.outcome) {
+                        case RecoveryOutcome::Clean:
+                            break;
+                        case RecoveryOutcome::RecoveredRetry:
+                            ++rep.recoveredRetry;
+                            break;
+                        case RecoveryOutcome::RecoveredFallback:
+                            ++rep.recoveredFallback;
+                            break;
+                        case RecoveryOutcome::Aborted:
+                            abort_req = true;
+                            break;
+                        }
                     }
-                    ++rep.completed;
-                    ++serve.counter("requests_completed");
+                    if (abort_req) {
+                        // Terminal shed/abort: the result could never
+                        // be verified, so the request leaves the
+                        // system unserved and unsampled.
+                        ++rep.aborted;
+                        ++serve.counter("requests_aborted");
+                    } else {
+                        const double latency = completion - r.arrivalNs;
+                        serve.histogram("latency_ns").sample(latency);
+                        serve.histogram("queue_wait_ns")
+                            .sample(start - r.arrivalNs);
+                        serve.histogram("service_ns")
+                            .sample(exec.requestServiceNs[i]);
+                        if (r.deadlineNs > 0 &&
+                            completion > r.deadlineNs) {
+                            ++rep.deadlineMisses;
+                            ++serve.counter("deadline_misses");
+                        }
+                        ++rep.completed;
+                        ++serve.counter("requests_completed");
+                    }
                     if (load.mode == LoadMode::Closed &&
                         issued < total)
                         issue(completion);
@@ -279,6 +403,10 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
     rep.p50LatencyNs = serve.histogram("latency_ns").percentile(0.50);
     rep.p95LatencyNs = serve.histogram("latency_ns").percentile(0.95);
     rep.p99LatencyNs = serve.histogram("latency_ns").percentile(0.99);
+    if (shadow) {
+        rep.tamperDetected = shadow->injector().detectedQueries();
+        rep.faultsInjected = shadow->injector().injectedTotal();
+    }
     return rep;
 }
 

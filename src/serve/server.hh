@@ -34,6 +34,8 @@
 #include <cstdint>
 
 #include "arch/system.hh"
+#include "faults/fault_spec.hh"
+#include "faults/recovery.hh"
 #include "serve/batch_scheduler.hh"
 #include "serve/loadgen.hh"
 #include "serve/request_queue.hh"
@@ -59,6 +61,21 @@ struct ServeConfig
      * Keeps software-AES host work proportional, not dominant.
      */
     std::uint64_t hostOtpBlockCap = 256;
+
+    /**
+     * Fault injection into the untrusted side (empty = disabled).
+     * When enabled, every completed request is end-to-end verified
+     * against a functional integrity shadow whose device runs the
+     * injected adversary, and failures drive the recovery ladder
+     * below. When disabled, none of this machinery exists and the
+     * serving loop (and its stats sidecars) is byte-identical to the
+     * pre-adversary behavior.
+     */
+    FaultSpec faults;
+    /** Adversary Rng seed (independent of the load seed). */
+    std::uint64_t faultSeed = 1;
+    /** Detection-and-recovery ladder (see faults/recovery.hh). */
+    RecoveryPolicy recovery;
 };
 
 /** Aggregate outcome of one serving run. */
@@ -68,6 +85,16 @@ struct ServeReport
     std::size_t admitted = 0;  ///< accepted into the queue
     std::size_t rejected = 0;  ///< shed at admission (queue full)
     std::size_t completed = 0; ///< served to completion
+    /** Terminal verification failures (retries exhausted, fallback
+     *  disabled): the shed/abort end state of the recovery ladder. */
+    std::size_t aborted = 0;
+    /** @name Integrity outcomes (all 0 when injection is disabled) */
+    /// @{
+    std::uint64_t tamperDetected = 0;   ///< queries failing the check
+    std::uint64_t recoveredRetry = 0;   ///< verified on a re-read
+    std::uint64_t recoveredFallback = 0; ///< host recompute served it
+    std::uint64_t faultsInjected = 0;   ///< raw injection events
+    /// @}
     std::uint64_t batches = 0;
     std::uint64_t deadlineMisses = 0;
     double makespanNs = 0.0;     ///< virtual end of the last batch

@@ -202,6 +202,54 @@ TEST_F(ChecksumTest, TagsHideChecksums)
     EXPECT_NE(tags[0], tags[1]);
 }
 
+TEST_F(ChecksumTest, RejectsEveryAdversarialSparseDelta)
+{
+    // Property test for the soundness bound: a tampered result vector
+    // res' = res + delta with any sparse non-zero delta must change
+    // the checksum. A collision h(res') == h(res) makes the secret a
+    // root of a degree-<=m polynomial, probability m/q ~ 2^-123 --
+    // under a fixed seed it must simply never happen. Values < 2^20
+    // and weights < 2^10 keep the honest combination far below 2^64,
+    // so the linearity identity holds exactly (no wrap).
+    const std::size_t n = 4, m = 16;
+    Matrix mat(n, m, ElemWidth::W64, 0x4000);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            mat.set(i, j, rng.nextBounded(1 << 20));
+    const auto secrets =
+        deriveChecksumSecrets(enc, mat.baseAddr(), 1, 2);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        // Random adversarial weights, honest combination + its MAC
+        // via linearity (exactly what the NDP computes over tags).
+        std::vector<std::uint64_t> weights(n);
+        for (std::size_t i = 0; i < n; ++i)
+            weights[i] = rng.nextBounded(1 << 10);
+        std::vector<std::uint64_t> res(m, 0);
+        Fq127 mac(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < m; ++j)
+                res[j] += weights[i] * mat.get(i, j);
+            mac += Fq127(weights[i]) *
+                   multiSecretChecksum(mat, i, secrets);
+        }
+        ASSERT_EQ(multiSecretChecksum(res, secrets), mac)
+            << "linearity broke at trial " << trial;
+
+        // Sparse adversarial delta on 1..3 positions.
+        auto tampered = res;
+        const unsigned sites = 1 + rng.nextBounded(3);
+        for (unsigned s = 0; s < sites; ++s) {
+            const std::size_t j = rng.nextBounded(m);
+            tampered[j] += rng.next() | 1; // odd => non-zero mod 2^64
+        }
+        if (tampered == res)
+            continue; // deltas cancelled: nothing was forged
+        EXPECT_NE(multiSecretChecksum(tampered, secrets), mac)
+            << "forgery passed at trial " << trial;
+    }
+}
+
 TEST_F(ChecksumTest, EmptySecretsDies)
 {
     const Matrix mat = randomMatrix(1, 4, ElemWidth::W32);

@@ -354,5 +354,113 @@ TEST(Serve, OverloadShedsInsteadOfQueueingUnbounded)
     EXPECT_EQ(rep.completed + rep.rejected, rep.offered);
 }
 
+// -------------------------------------------------------------------
+// Fault injection + verification-driven recovery
+
+TEST(Serve, CleanRunHasZeroIntegrityCounters)
+{
+    const ServeConfig cfg = smallServeConfig();
+    ASSERT_FALSE(cfg.faults.enabled());
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 16;
+    load.seed = 42;
+
+    const auto rep = runServe(cfg, load, smallPool(4));
+    EXPECT_EQ(rep.completed, 16u);
+    EXPECT_EQ(rep.aborted, 0u);
+    EXPECT_EQ(rep.tamperDetected, 0u);
+    EXPECT_EQ(rep.recoveredRetry, 0u);
+    EXPECT_EQ(rep.recoveredFallback, 0u);
+    EXPECT_EQ(rep.faultsInjected, 0u);
+}
+
+TEST(Serve, InjectionIsDetectedAndRecoveredWithoutAborts)
+{
+    ServeConfig cfg = smallServeConfig();
+    ASSERT_TRUE(parseFaultSpec("flip:rate=0.01", cfg.faults));
+    cfg.faultSeed = 5;
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 32;
+    load.seed = 42;
+
+    const auto rep = runServe(cfg, load, smallPool(6));
+    // The default ladder (3 retries + host fallback) must serve every
+    // request: availability under attack is the whole point.
+    EXPECT_EQ(rep.completed, 32u);
+    EXPECT_EQ(rep.aborted, 0u);
+    EXPECT_GT(rep.faultsInjected, 0u);
+    EXPECT_GT(rep.tamperDetected, 0u);
+    EXPECT_GT(rep.recoveredRetry + rep.recoveredFallback, 0u);
+    // Recovery penalties push the tail, never shrink it.
+    EXPECT_GT(rep.p99LatencyNs, 0.0);
+}
+
+TEST(Serve, InjectedRunIsDeterministicInTheFaultSeed)
+{
+    ServeConfig cfg = smallServeConfig();
+    ASSERT_TRUE(parseFaultSpec("flip:rate=0.02;tag:rate=0.01",
+                               cfg.faults));
+    cfg.faultSeed = 11;
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 24;
+    load.seed = 7;
+
+    const auto pool = smallPool(4);
+    const auto a = runServe(cfg, load, pool);
+    const auto b = runServe(cfg, load, pool);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.tamperDetected, b.tamperDetected);
+    EXPECT_EQ(a.recoveredRetry, b.recoveredRetry);
+    EXPECT_EQ(a.recoveredFallback, b.recoveredFallback);
+    EXPECT_DOUBLE_EQ(a.p99LatencyNs, b.p99LatencyNs);
+
+    cfg.faultSeed = 12;
+    const auto c = runServe(cfg, load, pool);
+    EXPECT_NE(a.faultsInjected, c.faultsInjected);
+}
+
+TEST(Serve, PersistentAttackWithoutFallbackAbortsEveryRequest)
+{
+    ServeConfig cfg = smallServeConfig();
+    ASSERT_TRUE(parseFaultSpec("wrong:rate=1", cfg.faults));
+    cfg.recovery.maxRetries = 0;
+    cfg.recovery.hostFallback = false;
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 12;
+    load.seed = 3;
+
+    const auto rep = runServe(cfg, load, smallPool(4));
+    EXPECT_EQ(rep.completed, 0u);
+    EXPECT_EQ(rep.aborted, 12u);
+    EXPECT_EQ(rep.tamperDetected, 12u);
+}
+
+TEST(Serve, PersistentAttackWithFallbackCompletesEverything)
+{
+    ServeConfig cfg = smallServeConfig();
+    ASSERT_TRUE(parseFaultSpec("wrong:rate=1", cfg.faults));
+    cfg.recovery.maxRetries = 1;
+    ASSERT_TRUE(cfg.recovery.hostFallback);
+    LoadConfig load;
+    load.mode = LoadMode::Closed;
+    load.concurrency = 4;
+    load.requests = 12;
+    load.seed = 3;
+
+    const auto rep = runServe(cfg, load, smallPool(4));
+    EXPECT_EQ(rep.completed, 12u);
+    EXPECT_EQ(rep.aborted, 0u);
+    EXPECT_EQ(rep.recoveredFallback, 12u);
+    EXPECT_EQ(rep.recoveredRetry, 0u);
+}
+
 } // namespace
 } // namespace secndp

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "secndp/version.hh"
@@ -74,6 +75,31 @@ TEST(VersionManager, PaperDefaultCapacityIs64)
 {
     VersionManager vm;
     EXPECT_EQ(vm.capacity(), 64u);
+}
+
+TEST(VersionManager, WraparoundRefusedAtExhaustion)
+{
+    // Wraparound policy (version.hh): reusing an (addr, version) pair
+    // would repeat counter-mode pads, so the very last version is
+    // still issued but the next draw must refuse to wrap into 0 and
+    // the previously-issued space.
+    const std::uint64_t last =
+        std::numeric_limits<std::uint64_t>::max();
+    VersionManager vm(4, last - 1);
+    EXPECT_EQ(vm.freshVersion(1), last - 1);
+    EXPECT_EQ(vm.freshVersion(1), last);
+    EXPECT_EQ(vm.drawCount(), 2u);
+    EXPECT_EXIT(vm.freshVersion(1), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(VersionManager, ReservedZeroFirstVersionRefused)
+{
+    // 0 is reserved as "never versioned"; a manager mis-constructed
+    // to start there must refuse rather than issue it.
+    VersionManager vm(4, 0);
+    EXPECT_EXIT(vm.freshVersion(1), ::testing::ExitedWithCode(1),
+                "exhausted");
 }
 
 } // namespace

@@ -68,6 +68,13 @@ struct Options
     double zipf = 0.0;
     std::string loadTrace;
     std::uint64_t seed = Rng::defaultSeed;
+    // Adversary / recovery.
+    std::string inject;
+    std::uint64_t injectSeed = 1;
+    unsigned retryMax = 3;
+    double retryBackoffUs = 2.0;
+    bool noFallback = false;
+    bool allowShed = false;
     // Outputs.
     std::string statsJson;
     std::string timeseriesOut;
@@ -90,6 +97,10 @@ printUsage(std::FILE *to, const char *argv0)
         "[--quant Q] [--layout L]\n"
         "          [--pool N] [--pf N] [--zipf A] "
         "[--load-trace FILE] [--seed S]\n"
+        "          [--inject SPEC] [--inject-seed S] "
+        "[--retry-max N]\n"
+        "          [--retry-backoff-us F] [--no-fallback] "
+        "[--allow-shed]\n"
         "          [--stats-json FILE] [--timeseries-out FILE]\n"
         "          [--sample-interval CYCLES] "
         "[--log-level debug|info|warn|error] [--help]\n"
@@ -103,6 +114,16 @@ printUsage(std::FILE *to, const char *argv0)
         "  --shards N         memory channels a batch shards "
         "across\n"
         "  --workers N        host OTP/verify worker threads\n"
+        "  --inject SPEC      fault-injection rules, e.g. "
+        "'flip:rate=1e-4;replay:rate=0.1'\n"
+        "                     (kinds: flip|burst|tag|replay|wrong|"
+        "forge|drop)\n"
+        "  --retry-max N      re-read attempts before host fallback "
+        "(default 3)\n"
+        "  --no-fallback      disable trusted host recompute "
+        "(failures abort)\n"
+        "  --allow-shed       exit 0 even when admission sheds "
+        "requests\n"
         "  --stats-json FILE  schema-v2 stats report "
         "(serve.* / serve_worker.* groups)\n",
         argv0);
@@ -200,6 +221,15 @@ main(int argc, char **argv)
         else if (arg == "--zipf") opt.zipf = std::stod(next());
         else if (arg == "--load-trace") opt.loadTrace = next();
         else if (arg == "--seed") opt.seed = std::stoull(next());
+        else if (arg == "--inject") opt.inject = next();
+        else if (arg == "--inject-seed")
+            opt.injectSeed = std::stoull(next());
+        else if (arg == "--retry-max")
+            opt.retryMax = std::stoul(next());
+        else if (arg == "--retry-backoff-us")
+            opt.retryBackoffUs = std::stod(next());
+        else if (arg == "--no-fallback") opt.noFallback = true;
+        else if (arg == "--allow-shed") opt.allowShed = true;
         else if (arg == "--stats-json") opt.statsJson = next();
         else if (arg == "--timeseries-out") opt.timeseriesOut = next();
         else if (arg == "--sample-interval") {
@@ -248,6 +278,16 @@ main(int argc, char **argv)
     cfg.queueCapacity = opt.queueCap;
     cfg.workers = opt.workers;
 
+    if (!opt.inject.empty()) {
+        std::string err;
+        if (!parseFaultSpec(opt.inject, cfg.faults, &err))
+            fatal("bad --inject spec: %s", err.c_str());
+    }
+    cfg.faultSeed = opt.injectSeed;
+    cfg.recovery.maxRetries = opt.retryMax;
+    cfg.recovery.backoffBaseNs = opt.retryBackoffUs * 1000.0;
+    cfg.recovery.hostFallback = !opt.noFallback;
+
     const VerLayout layout =
         cfg.mode == ExecMode::SecNdpEncVer && opt.layout == "none"
             ? VerLayout::Ecc
@@ -275,6 +315,20 @@ main(int argc, char **argv)
                       opt.pool, opt.pf, opt.zipf,
                       static_cast<unsigned long long>(opt.seed));
         reg.setMeta("config", knobs);
+        // Only attack runs carry the inject keys, so clean-run
+        // sidecars stay byte-identical to the pre-adversary baselines.
+        if (cfg.faults.enabled()) {
+            reg.setMeta("inject", faultSpecToString(cfg.faults));
+            char rec[96];
+            std::snprintf(rec, sizeof(rec),
+                          "seed=%llu retry_max=%u backoff_us=%.2f "
+                          "fallback=%d",
+                          static_cast<unsigned long long>(
+                              opt.injectSeed),
+                          opt.retryMax, opt.retryBackoffUs,
+                          opt.noFallback ? 0 : 1);
+            reg.setMeta("recovery", rec);
+        }
     }
 
     // Build the request pool: `pool` distinct queries requests cycle
@@ -344,6 +398,19 @@ main(int argc, char **argv)
                 "rejected, %zu completed\n",
                 rep.offered, rep.admitted, rep.rejected,
                 rep.completed);
+    if (cfg.faults.enabled()) {
+        std::printf("integrity       %llu faults injected, %llu "
+                    "tamper detections\n",
+                    static_cast<unsigned long long>(rep.faultsInjected),
+                    static_cast<unsigned long long>(
+                        rep.tamperDetected));
+        std::printf("recovery        %llu by retry, %llu by host "
+                    "fallback, %zu aborted\n",
+                    static_cast<unsigned long long>(rep.recoveredRetry),
+                    static_cast<unsigned long long>(
+                        rep.recoveredFallback),
+                    rep.aborted);
+    }
     std::printf("batches         %llu (mean occupancy %.2f)\n",
                 static_cast<unsigned long long>(rep.batches),
                 rep.batches
@@ -360,5 +427,22 @@ main(int argc, char **argv)
     }
     std::printf("makespan        %.3f us\n", rep.makespanNs / 1000.0);
     std::printf("sustained qps   %.0f\n", rep.sustainedQps);
-    return 0;
+
+    // Scriptable failure semantics: any terminal shed/abort state is
+    // a hard failure unless explicitly tolerated. Attack runs can
+    // assert availability by exit code alone.
+    bool failed = false;
+    if (rep.aborted > 0) {
+        std::printf("FAILED: %zu request(s) aborted -- verification "
+                    "never passed and host fallback was unavailable\n",
+                    rep.aborted);
+        failed = true;
+    }
+    if (rep.rejected > 0 && !opt.allowShed) {
+        std::printf("FAILED: %zu request(s) shed at admission "
+                    "(pass --allow-shed to tolerate load shedding)\n",
+                    rep.rejected);
+        failed = true;
+    }
+    return failed ? 3 : 0;
 }
