@@ -53,6 +53,20 @@ run_redteam() {
         --stats-json "$OUT/$name.stats.json" > /dev/null
 }
 
+# Crypto kernel matrix: bench_micro_crypto's deterministic crypto.*
+# measurement pass (the google-benchmark timing rows are skipped via
+# a match-nothing filter; the pass runs regardless). Work counters
+# are machine-independent; the watched throughput metric is the
+# accel-vs-scalar *ratio*, which is stable across same-ISA hosts.
+MICRO="$(dirname "$SIM")/../bench/bench_micro_crypto"
+run_micro() {
+    local name=$1
+    echo "perf-gate: $name"
+    SECNDP_STATS_DIR="$OUT" "$MICRO" \
+        --benchmark_filter='^$' > /dev/null
+    mv "$OUT/bench_micro_crypto.stats.json" "$OUT/$name.stats.json"
+}
+
 run sls_cpu      --workload sls --mode cpu
 run sls_tee      --workload sls --mode tee
 run sls_ndp      --workload sls --mode ndp
@@ -63,5 +77,6 @@ run sls_enc_zipf --workload sls --mode enc --zipf 0.8 --batch 4
 run_serve serve_open --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8
 run_redteam redteam_smoke --queries 100
+run_micro micro_crypto
 
 echo "perf-gate: wrote $(ls "$OUT"/*.stats.json | wc -l) sidecars to $OUT"

@@ -128,12 +128,45 @@ encryptWithRoundKeys(const std::uint8_t *round_keys, unsigned rounds,
     std::memcpy(out.data(), s, 16);
 }
 
+/**
+ * Backend dispatch shared by Aes128/Aes256. A Block128 array is
+ * contiguous 16-byte cells, so the intrinsic kernels see it as a
+ * flat byte stream.
+ */
+void
+dispatchBlocks(AesBackend backend, const std::uint8_t *rk,
+               unsigned rounds, const Block128 *in, Block128 *out,
+               std::size_t n)
+{
+    switch (backend) {
+    case AesBackend::AesNi:
+        detail::aesniEncryptBlocks(rk, rounds, in->data(), out->data(),
+                                   n);
+        return;
+    case AesBackend::Vaes:
+        detail::vaesEncryptBlocks(rk, rounds, in->data(), out->data(),
+                                  n);
+        return;
+    case AesBackend::Scalar:
+        break;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        encryptWithRoundKeys(rk, rounds, in[i], out[i]);
+}
+
 } // namespace
 
 void
 Aes128::encryptBlock(const Block128 &in, Block128 &out) const
 {
-    encryptWithRoundKeys(roundKeys_.data(), numRounds, in, out);
+    dispatchBlocks(backend_, roundKeys_.data(), numRounds, &in, &out, 1);
+}
+
+void
+Aes128::encryptBlocks(const Block128 *in, Block128 *out,
+                      std::size_t n) const
+{
+    dispatchBlocks(backend_, roundKeys_.data(), numRounds, in, out, n);
 }
 
 void
@@ -165,7 +198,14 @@ Aes256::setKey(const Key &key)
 void
 Aes256::encryptBlock(const Block128 &in, Block128 &out) const
 {
-    encryptWithRoundKeys(roundKeys_.data(), numRounds, in, out);
+    dispatchBlocks(backend_, roundKeys_.data(), numRounds, &in, &out, 1);
+}
+
+void
+Aes256::encryptBlocks(const Block128 *in, Block128 *out,
+                      std::size_t n) const
+{
+    dispatchBlocks(backend_, roundKeys_.data(), numRounds, in, out, n);
 }
 
 } // namespace secndp

@@ -3,13 +3,17 @@
  * AES-128 (FIPS-197) block encryption, implemented from scratch.
  *
  * Counter-mode memory protection only ever uses the forward direction,
- * so no decryption path is provided. The implementation is a plain
- * byte-oriented version (S-box table + xtime MixColumns): simple to
- * audit and plenty fast for simulation, where the *modeled* AES engine
- * throughput (111.3 Gbps, [22]) is what the evaluation uses.
+ * so no decryption path is provided. Key expansion is always the plain
+ * byte-oriented FIPS-197 schedule; the per-block round pipeline is
+ * dispatched at construction to the fastest backend the CPU supports
+ * (scalar tables / AES-NI / VAES, see crypto/aes_backend.hh). All
+ * backends consume the same round keys, so ciphertexts are
+ * byte-identical whichever pipeline runs. SECNDP_FORCE_SCALAR=1 pins
+ * the portable path process-wide.
  *
  * Correctness is pinned by FIPS-197 Appendix B/C known-answer tests in
- * tests/test_aes.cc.
+ * tests/test_aes.cc and the cross-backend equivalence tests in
+ * tests/test_crypto_backends.cc.
  */
 
 #ifndef SECNDP_CRYPTO_AES_HH
@@ -18,6 +22,7 @@
 #include <array>
 #include <cstdint>
 
+#include "crypto/aes_backend.hh"
 #include "crypto/block_cipher.hh"
 
 namespace secndp {
@@ -28,17 +33,35 @@ class Aes128 : public BlockCipher
   public:
     using Key = std::array<std::uint8_t, 16>;
 
-    explicit Aes128(const Key &key) { setKey(key); }
+    /**
+     * @param key 128-bit key
+     * @param backend round-pipeline implementation; defaults to the
+     *        fastest supported one and silently downgrades an
+     *        unsupported explicit request (tests pass Scalar to pin
+     *        the reference path)
+     */
+    explicit Aes128(const Key &key,
+                    AesBackend backend = bestAesBackend())
+        : backend_(resolveAesBackend(backend))
+    {
+        setKey(key);
+    }
 
     /** (Re)derive the round keys from a 128-bit key. */
     void setKey(const Key &key);
 
     void encryptBlock(const Block128 &in, Block128 &out) const override;
+    void encryptBlocks(const Block128 *in, Block128 *out,
+                       std::size_t n) const override;
+
+    /** The backend actually in use after downgrade resolution. */
+    AesBackend backend() const { return backend_; }
 
   private:
     static constexpr unsigned numRounds = 10;
     /** Expanded round keys: (numRounds + 1) x 16 bytes. */
     std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys_{};
+    AesBackend backend_ = AesBackend::Scalar;
 };
 
 /**
@@ -51,16 +74,27 @@ class Aes256 : public BlockCipher
   public:
     using Key = std::array<std::uint8_t, 32>;
 
-    explicit Aes256(const Key &key) { setKey(key); }
+    explicit Aes256(const Key &key,
+                    AesBackend backend = bestAesBackend())
+        : backend_(resolveAesBackend(backend))
+    {
+        setKey(key);
+    }
 
     /** (Re)derive the round keys from a 256-bit key. */
     void setKey(const Key &key);
 
     void encryptBlock(const Block128 &in, Block128 &out) const override;
+    void encryptBlocks(const Block128 *in, Block128 *out,
+                       std::size_t n) const override;
+
+    /** The backend actually in use after downgrade resolution. */
+    AesBackend backend() const { return backend_; }
 
   private:
     static constexpr unsigned numRounds = 14;
     std::array<std::uint8_t, 16 * (numRounds + 1)> roundKeys_{};
+    AesBackend backend_ = AesBackend::Scalar;
 };
 
 } // namespace secndp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Runtime-dispatched AES kernel backends.
+ *
+ * The functional crypto layer ships three interchangeable AES round
+ * pipelines behind the same round-key schedule:
+ *
+ *   Scalar -- the byte-oriented FIPS-197 implementation in aes.cc.
+ *             Portable, auditably simple, always available.
+ *   AesNi  -- one hardware AES round per _mm_aesenc_si128, four
+ *             independent blocks pipelined per call group so the
+ *             6-7 cycle aesenc latency overlaps across blocks.
+ *   Vaes   -- the VAES/AVX2 form: _mm256_aesenc_epi128 drives two
+ *             blocks per ymm register, eight blocks per call group.
+ *
+ * All three compute FIPS-197 AES over the same expanded round keys,
+ * so ciphertexts are byte-identical regardless of the backend; tests
+ * pin this (tests/test_crypto_backends.cc). Selection happens once
+ * per process via CPUID (bestAesBackend), and SECNDP_FORCE_SCALAR=1
+ * in the environment pins the portable path for determinism checks
+ * and for machines where perf parity with CI matters.
+ *
+ * The intrinsic kernels are compiled with per-function target
+ * attributes (no global -maes/-mvaes flags), so the library still
+ * builds and runs on CPUs without the extensions -- detection simply
+ * never selects them, and non-x86 builds compile the kernels out
+ * entirely.
+ */
+
+#ifndef SECNDP_CRYPTO_AES_BACKEND_HH
+#define SECNDP_CRYPTO_AES_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace secndp {
+
+/** Available AES round-pipeline implementations. */
+enum class AesBackend
+{
+    Scalar, ///< portable byte-wise tables (aes.cc)
+    AesNi,  ///< AES-NI, 4 blocks pipelined per group
+    Vaes,   ///< VAES + AVX2, 8 blocks per group
+};
+
+/**
+ * The fastest backend this CPU supports, honouring
+ * SECNDP_FORCE_SCALAR=1. Computed once; cheap to call repeatedly.
+ */
+AesBackend bestAesBackend();
+
+/** Can `b` run on this CPU? (Scalar always can.) */
+bool aesBackendSupported(AesBackend b);
+
+/**
+ * Downgrade a requested backend to the nearest supported one
+ * (Vaes -> AesNi -> Scalar). Used by cipher constructors so an
+ * explicit request on weaker hardware degrades instead of faulting.
+ */
+AesBackend resolveAesBackend(AesBackend requested);
+
+/** Stable lowercase name ("scalar" / "aesni" / "vaes"). */
+const char *aesBackendName(AesBackend b);
+
+namespace detail {
+
+/**
+ * Encrypt `n` 16-byte blocks with pre-expanded round keys `rk`
+ * ((rounds + 1) * 16 bytes). `in` and `out` may alias exactly.
+ * Only callable when the matching backend is supported (the
+ * dispatchers in aes.cc guarantee this).
+ */
+void aesniEncryptBlocks(const std::uint8_t *rk, unsigned rounds,
+                        const std::uint8_t *in, std::uint8_t *out,
+                        std::size_t n);
+void vaesEncryptBlocks(const std::uint8_t *rk, unsigned rounds,
+                       const std::uint8_t *in, std::uint8_t *out,
+                       std::size_t n);
+
+} // namespace detail
+
+} // namespace secndp
+
+#endif // SECNDP_CRYPTO_AES_BACKEND_HH

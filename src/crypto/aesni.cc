@@ -1,0 +1,256 @@
+#include "crypto/aes_backend.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define SECNDP_X86_AES 1
+#include <cpuid.h>
+#include <immintrin.h>
+#else
+#define SECNDP_X86_AES 0
+#endif
+
+namespace secndp {
+
+namespace {
+
+#if SECNDP_X86_AES
+
+bool
+cpuHasAesni()
+{
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid(1, &a, &b, &c, &d))
+        return false;
+    // AES-NI (ECX[25]) implies the SSE2 baseline on every shipping
+    // part; x86-64 mandates SSE2 anyway.
+    return (c & (1u << 25)) != 0;
+}
+
+bool
+osSavesAvxState()
+{
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid(1, &a, &b, &c, &d))
+        return false;
+    if (!(c & (1u << 27))) // OSXSAVE
+        return false;
+    // xgetbv(0): XCR0 bits 1 (SSE) and 2 (AVX) must both be
+    // OS-enabled. Raw encoding avoids requiring target("xsave").
+    unsigned lo, hi;
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"
+                     : "=a"(lo), "=d"(hi)
+                     : "c"(0));
+    return (lo & 0x6) == 0x6;
+}
+
+bool
+cpuHasVaes()
+{
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid_count(7, 0, &a, &b, &c, &d))
+        return false;
+    const bool avx2 = (b & (1u << 5)) != 0;
+    const bool vaes = (c & (1u << 9)) != 0;
+    return avx2 && vaes && cpuHasAesni() && osSavesAvxState();
+}
+
+#else
+
+bool cpuHasAesni() { return false; }
+bool cpuHasVaes() { return false; }
+
+#endif // SECNDP_X86_AES
+
+bool
+forceScalar()
+{
+    const char *f = std::getenv("SECNDP_FORCE_SCALAR");
+    return f != nullptr && f[0] == '1';
+}
+
+} // namespace
+
+bool
+aesBackendSupported(AesBackend b)
+{
+    switch (b) {
+    case AesBackend::Scalar:
+        return true;
+    case AesBackend::AesNi:
+        return cpuHasAesni();
+    case AesBackend::Vaes:
+        return cpuHasVaes();
+    }
+    return false;
+}
+
+AesBackend
+bestAesBackend()
+{
+    static const AesBackend best = [] {
+        if (forceScalar())
+            return AesBackend::Scalar;
+        if (cpuHasVaes())
+            return AesBackend::Vaes;
+        if (cpuHasAesni())
+            return AesBackend::AesNi;
+        return AesBackend::Scalar;
+    }();
+    return best;
+}
+
+AesBackend
+resolveAesBackend(AesBackend requested)
+{
+    if (requested == AesBackend::Vaes && !aesBackendSupported(requested))
+        requested = AesBackend::AesNi;
+    if (requested == AesBackend::AesNi && !aesBackendSupported(requested))
+        requested = AesBackend::Scalar;
+    return requested;
+}
+
+const char *
+aesBackendName(AesBackend b)
+{
+    switch (b) {
+    case AesBackend::Scalar:
+        return "scalar";
+    case AesBackend::AesNi:
+        return "aesni";
+    case AesBackend::Vaes:
+        return "vaes";
+    }
+    return "?";
+}
+
+namespace detail {
+
+#if SECNDP_X86_AES
+
+namespace {
+
+/** One block through the full AES-NI round pipeline. */
+__attribute__((target("aes,sse2"))) inline __m128i
+aesniOne(__m128i b, const __m128i *rk, unsigned rounds)
+{
+    b = _mm_xor_si128(b, _mm_loadu_si128(rk));
+    for (unsigned r = 1; r < rounds; ++r)
+        b = _mm_aesenc_si128(b, _mm_loadu_si128(rk + r));
+    return _mm_aesenclast_si128(b, _mm_loadu_si128(rk + rounds));
+}
+
+} // namespace
+
+__attribute__((target("aes,sse2"))) void
+aesniEncryptBlocks(const std::uint8_t *rk, unsigned rounds,
+                   const std::uint8_t *in, std::uint8_t *out,
+                   std::size_t n)
+{
+    const __m128i *rkv = reinterpret_cast<const __m128i *>(rk);
+    std::size_t i = 0;
+    // Four independent blocks per group: the data dependencies are
+    // per-block, so the aesenc latency of one block hides behind the
+    // issue slots of the other three.
+    for (; i + 4 <= n; i += 4) {
+        const __m128i *src =
+            reinterpret_cast<const __m128i *>(in + 16 * i);
+        __m128i k = _mm_loadu_si128(rkv);
+        __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k);
+        __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k);
+        __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k);
+        __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k);
+        for (unsigned r = 1; r < rounds; ++r) {
+            k = _mm_loadu_si128(rkv + r);
+            b0 = _mm_aesenc_si128(b0, k);
+            b1 = _mm_aesenc_si128(b1, k);
+            b2 = _mm_aesenc_si128(b2, k);
+            b3 = _mm_aesenc_si128(b3, k);
+        }
+        k = _mm_loadu_si128(rkv + rounds);
+        b0 = _mm_aesenclast_si128(b0, k);
+        b1 = _mm_aesenclast_si128(b1, k);
+        b2 = _mm_aesenclast_si128(b2, k);
+        b3 = _mm_aesenclast_si128(b3, k);
+        __m128i *dst = reinterpret_cast<__m128i *>(out + 16 * i);
+        _mm_storeu_si128(dst + 0, b0);
+        _mm_storeu_si128(dst + 1, b1);
+        _mm_storeu_si128(dst + 2, b2);
+        _mm_storeu_si128(dst + 3, b3);
+    }
+    for (; i < n; ++i) {
+        const __m128i b = aesniOne(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(in + 16 * i)),
+            rkv, rounds);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * i), b);
+    }
+}
+
+__attribute__((target("vaes,avx2,aes,sse2"))) void
+vaesEncryptBlocks(const std::uint8_t *rk, unsigned rounds,
+                  const std::uint8_t *in, std::uint8_t *out,
+                  std::size_t n)
+{
+    const __m128i *rkv = reinterpret_cast<const __m128i *>(rk);
+    std::size_t i = 0;
+    // Eight blocks per group: two per ymm register, four registers.
+    for (; i + 8 <= n; i += 8) {
+        const __m256i *src =
+            reinterpret_cast<const __m256i *>(in + 16 * i);
+        __m256i k =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(rkv));
+        __m256i b0 = _mm256_xor_si256(_mm256_loadu_si256(src + 0), k);
+        __m256i b1 = _mm256_xor_si256(_mm256_loadu_si256(src + 1), k);
+        __m256i b2 = _mm256_xor_si256(_mm256_loadu_si256(src + 2), k);
+        __m256i b3 = _mm256_xor_si256(_mm256_loadu_si256(src + 3), k);
+        for (unsigned r = 1; r < rounds; ++r) {
+            k = _mm256_broadcastsi128_si256(_mm_loadu_si128(rkv + r));
+            b0 = _mm256_aesenc_epi128(b0, k);
+            b1 = _mm256_aesenc_epi128(b1, k);
+            b2 = _mm256_aesenc_epi128(b2, k);
+            b3 = _mm256_aesenc_epi128(b3, k);
+        }
+        k = _mm256_broadcastsi128_si256(_mm_loadu_si128(rkv + rounds));
+        b0 = _mm256_aesenclast_epi128(b0, k);
+        b1 = _mm256_aesenclast_epi128(b1, k);
+        b2 = _mm256_aesenclast_epi128(b2, k);
+        b3 = _mm256_aesenclast_epi128(b3, k);
+        __m256i *dst = reinterpret_cast<__m256i *>(out + 16 * i);
+        _mm256_storeu_si256(dst + 0, b0);
+        _mm256_storeu_si256(dst + 1, b1);
+        _mm256_storeu_si256(dst + 2, b2);
+        _mm256_storeu_si256(dst + 3, b3);
+    }
+    for (; i < n; ++i) {
+        const __m128i b = aesniOne(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(in + 16 * i)),
+            rkv, rounds);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * i), b);
+    }
+}
+
+#else // !SECNDP_X86_AES
+
+void
+aesniEncryptBlocks(const std::uint8_t *, unsigned, const std::uint8_t *,
+                   std::uint8_t *, std::size_t)
+{
+    fatal("AES-NI kernel called on a build without x86 AES support");
+}
+
+void
+vaesEncryptBlocks(const std::uint8_t *, unsigned, const std::uint8_t *,
+                  std::uint8_t *, std::size_t)
+{
+    fatal("VAES kernel called on a build without x86 AES support");
+}
+
+#endif // SECNDP_X86_AES
+
+} // namespace detail
+
+} // namespace secndp

@@ -12,6 +12,7 @@
 #define SECNDP_CRYPTO_BLOCK_CIPHER_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace secndp {
@@ -30,6 +31,22 @@ class BlockCipher
 
     /** Encrypt one block. in and out may alias. */
     virtual void encryptBlock(const Block128 &in, Block128 &out) const = 0;
+
+    /**
+     * Encrypt `n` independent blocks. `in` and `out` may be the same
+     * array (counter-mode builds counter blocks in place and encrypts
+     * over them); partial overlap is not allowed. The default loops
+     * over encryptBlock; hardware-backed ciphers override this with a
+     * pipelined kernel -- the batch is the unit of instruction-level
+     * parallelism, so callers should hand over as many independent
+     * blocks per call as they can.
+     */
+    virtual void encryptBlocks(const Block128 *in, Block128 *out,
+                               std::size_t n) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            encryptBlock(in[i], out[i]);
+    }
 };
 
 } // namespace secndp

@@ -1,5 +1,6 @@
 #include "crypto/counter_mode.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -34,6 +35,21 @@ CounterModeEncryptor::otpBlock(std::uint64_t addr,
     return out;
 }
 
+void
+CounterModeEncryptor::otpBlocks(std::uint64_t addr,
+                                std::uint64_t version,
+                                std::span<Block128> out) const
+{
+    SECNDP_ASSERT(addr % BlockCipher::blockBytes == 0,
+                  "OTP chunk address %lu not block aligned", addr);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buildCounterBlock(
+            TweakDomain::Data,
+            addr + i * BlockCipher::blockBytes, version);
+    }
+    cipher_.encryptBlocks(out.data(), out.data(), out.size());
+}
+
 std::uint64_t
 CounterModeEncryptor::otpElement(std::uint64_t paddr, ElemWidth we,
                                  std::uint64_t version) const
@@ -51,20 +67,136 @@ CounterModeEncryptor::otpElement(std::uint64_t paddr, ElemWidth we,
     return v;
 }
 
+std::uint64_t
+CounterModeEncryptor::otpElementCached(PadCache &cache,
+                                       std::uint64_t paddr, ElemWidth we,
+                                       std::uint64_t version) const
+{
+    const std::uint64_t chunk_addr =
+        paddr & ~std::uint64_t{BlockCipher::blockBytes - 1};
+    if (!cache.valid || cache.chunkAddr != chunk_addr ||
+        cache.version != version) {
+        cache.pad = otpBlock(chunk_addr, version);
+        cache.chunkAddr = chunk_addr;
+        cache.version = version;
+        cache.valid = true;
+    }
+    const unsigned offset = static_cast<unsigned>(paddr - chunk_addr);
+    SECNDP_ASSERT(offset % bytes(we) == 0,
+                  "element address %lu not aligned to %u-bit width",
+                  paddr, bits(we));
+    std::uint64_t v = 0;
+    std::memcpy(&v, cache.pad.data() + offset, bytes(we));
+    return v;
+}
+
 void
-CounterModeEncryptor::otpFill(std::uint64_t addr, std::uint64_t version,
-                              std::span<std::uint8_t> out) const
+CounterModeEncryptor::otpElements(std::span<const std::uint64_t> paddrs,
+                                  ElemWidth we, std::uint64_t version,
+                                  std::span<std::uint64_t> out) const
+{
+    SECNDP_ASSERT(paddrs.size() == out.size(),
+                  "pad output size %zu != address count %zu",
+                  out.size(), paddrs.size());
+    constexpr std::uint64_t chunk_mask =
+        ~std::uint64_t{BlockCipher::blockBytes - 1};
+    const unsigned nb = bytes(we);
+
+    std::size_t i = 0;
+    while (i < paddrs.size()) {
+        // Gather a window: runs of elements in the same chunk collapse
+        // to one counter block; up to batchBlocks distinct chunks are
+        // encrypted in a single pipelined cipher call.
+        Block128 pads[batchBlocks];
+        std::uint64_t chunk_of[batchBlocks];
+        std::size_t nchunks = 0;
+        std::uint64_t last = ~std::uint64_t{0};
+        std::size_t j = i;
+        for (; j < paddrs.size(); ++j) {
+            const std::uint64_t chunk = paddrs[j] & chunk_mask;
+            if (chunk != last) {
+                if (nchunks == batchBlocks)
+                    break;
+                chunk_of[nchunks] = chunk;
+                pads[nchunks] = buildCounterBlock(TweakDomain::Data,
+                                                  chunk, version);
+                last = chunk;
+                ++nchunks;
+            }
+        }
+        cipher_.encryptBlocks(pads, pads, nchunks);
+
+        std::size_t ci = 0;
+        for (std::size_t k = i; k < j; ++k) {
+            const std::uint64_t chunk = paddrs[k] & chunk_mask;
+            if (chunk != chunk_of[ci])
+                ++ci; // next run; chunk_of preserves run order
+            const unsigned offset =
+                static_cast<unsigned>(paddrs[k] - chunk);
+            SECNDP_ASSERT(offset % nb == 0,
+                          "element address %lu not aligned to %u-bit "
+                          "width",
+                          paddrs[k], bits(we));
+            std::uint64_t v = 0;
+            std::memcpy(&v, pads[ci].data() + offset, nb);
+            out[k] = v;
+        }
+        i = j;
+    }
+}
+
+void
+CounterModeEncryptor::otpFillBatch(std::uint64_t addr,
+                                   std::uint64_t version,
+                                   std::span<std::uint8_t> out) const
 {
     SECNDP_ASSERT(addr % BlockCipher::blockBytes == 0,
                   "OTP fill address %lu not block aligned", addr);
+    constexpr std::size_t bb = BlockCipher::blockBytes;
     std::size_t done = 0;
-    while (done < out.size()) {
+    // Whole blocks: build counter blocks directly in the output and
+    // encrypt them in place, batchBlocks at a time.
+    while (out.size() - done >= bb) {
+        const std::size_t nblk =
+            std::min<std::size_t>((out.size() - done) / bb,
+                                  batchBlocks);
+        Block128 *blocks =
+            reinterpret_cast<Block128 *>(out.data() + done);
+        for (std::size_t b = 0; b < nblk; ++b) {
+            blocks[b] = buildCounterBlock(TweakDomain::Data,
+                                          addr + done + b * bb,
+                                          version);
+        }
+        cipher_.encryptBlocks(blocks, blocks, nblk);
+        done += nblk * bb;
+    }
+    if (done < out.size()) {
         const Block128 pad = otpBlock(addr + done, version);
-        const std::size_t n =
-            std::min<std::size_t>(BlockCipher::blockBytes,
-                                  out.size() - done);
-        std::memcpy(out.data() + done, pad.data(), n);
-        done += n;
+        std::memcpy(out.data() + done, pad.data(), out.size() - done);
+    }
+}
+
+void
+CounterModeEncryptor::tagOtps(std::span<const std::uint64_t> paddr_rows,
+                              std::uint64_t version,
+                              std::span<Fq127> out) const
+{
+    SECNDP_ASSERT(paddr_rows.size() == out.size(),
+                  "tag pad output size %zu != address count %zu",
+                  out.size(), paddr_rows.size());
+    std::size_t i = 0;
+    while (i < paddr_rows.size()) {
+        Block128 blocks[batchBlocks];
+        const std::size_t n = std::min<std::size_t>(
+            paddr_rows.size() - i, batchBlocks);
+        for (std::size_t k = 0; k < n; ++k) {
+            blocks[k] = buildCounterBlock(TweakDomain::Tag,
+                                          paddr_rows[i + k], version);
+        }
+        cipher_.encryptBlocks(blocks, blocks, n);
+        for (std::size_t k = 0; k < n; ++k)
+            out[i + k] = first127(blocks[k]);
+        i += n;
     }
 }
 

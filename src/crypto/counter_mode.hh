@@ -48,6 +48,13 @@ Block128 buildCounterBlock(TweakDomain domain, std::uint64_t addr,
 class CounterModeEncryptor
 {
   public:
+    /**
+     * Independent counter blocks handed to the cipher per batched
+     * call: enough to keep the widest kernel (VAES, 8 blocks/group)
+     * saturated while staying stack-friendly.
+     */
+    static constexpr std::size_t batchBlocks = 8;
+
     /** cipher must outlive this object. */
     explicit CounterModeEncryptor(const BlockCipher &cipher)
         : cipher_(cipher)
@@ -60,6 +67,15 @@ class CounterModeEncryptor
     Block128 otpBlock(std::uint64_t addr, std::uint64_t version) const;
 
     /**
+     * OTP blocks for out.size() *consecutive* chunks starting at the
+     * 16-byte-aligned address `addr`: out[i] covers addr + 16 * i.
+     * Counter blocks are built in place and pipelined through the
+     * cipher's batch entry point.
+     */
+    void otpBlocks(std::uint64_t addr, std::uint64_t version,
+                   std::span<Block128> out) const;
+
+    /**
      * OTP for the single w_e-bit element located at byte address
      * `paddr` (Alg. 4 lines 9-11): encrypt the containing chunk and
      * slice out this element's substring.
@@ -68,12 +84,59 @@ class CounterModeEncryptor
                              std::uint64_t version) const;
 
     /**
-     * Fill `out` with OTP bytes for the byte range starting at the
-     * 16-byte-aligned address `addr` (bulk form of Alg. 1).
-     * out.size() need not be a multiple of 16.
+     * Cache of the last OTP chunk pad, for scalar-friendly streaming
+     * loops: consecutive elements inside one 16-byte chunk cost a
+     * single cipher call regardless of backend. Value-type; callers
+     * own one per (stream, version) and may reuse it across versions
+     * (the key includes the version).
      */
+    struct PadCache
+    {
+        std::uint64_t chunkAddr = ~std::uint64_t{0};
+        std::uint64_t version = 0;
+        bool valid = false;
+        Block128 pad{};
+    };
+
+    /** otpElement through a chunk-pad cache (Alg. 4 amortized). */
+    std::uint64_t otpElementCached(PadCache &cache, std::uint64_t paddr,
+                                   ElemWidth we,
+                                   std::uint64_t version) const;
+
+    /**
+     * Batch form of otpElement: out[k] is the pad for the element at
+     * paddrs[k]. Runs of elements sharing a 16-byte chunk reuse one
+     * pad; distinct chunks are pipelined through the cipher in groups
+     * of up to batchBlocks. Element addresses may be arbitrary
+     * (scattered gather patterns included).
+     */
+    void otpElements(std::span<const std::uint64_t> paddrs, ElemWidth we,
+                     std::uint64_t version,
+                     std::span<std::uint64_t> out) const;
+
+    /**
+     * Fill `out` with OTP bytes for the byte range starting at the
+     * 16-byte-aligned address `addr` (bulk form of Alg. 1), batching
+     * whole blocks through the cipher. out.size() need not be a
+     * multiple of 16.
+     */
+    void otpFillBatch(std::uint64_t addr, std::uint64_t version,
+                      std::span<std::uint8_t> out) const;
+
+    /** Alias of otpFillBatch (the historical name). */
     void otpFill(std::uint64_t addr, std::uint64_t version,
-                 std::span<std::uint8_t> out) const;
+                 std::span<std::uint8_t> out) const
+    {
+        otpFillBatch(addr, version, out);
+    }
+
+    /**
+     * Batch tag pads: out[k] = first w_t bits of
+     * E(K, 10 || paddr_rows[k] || v), pipelined through the cipher
+     * (bulk form of Alg. 3 line 4 / Alg. 5 lines 11-14).
+     */
+    void tagOtps(std::span<const std::uint64_t> paddr_rows,
+                 std::uint64_t version, std::span<Fq127> out) const;
 
     /**
      * Checksum secret s: first w_t = 127 bits of

@@ -337,12 +337,16 @@ printSummary(std::ostream &os, const StatsReport &r)
     // glance).
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, double>> integrity;
+    std::vector<std::pair<std::string, double>> crypto;
     std::map<std::string, bool> objects; // prefix -> has p50
     std::vector<std::pair<std::string, double>> phases;
     const auto isIntegrity = [](const std::string &name) {
         return name.rfind("faults.", 0) == 0 ||
                name.rfind("verify.", 0) == 0 ||
                name.rfind("redteam.", 0) == 0;
+    };
+    const auto isCrypto = [](const std::string &name) {
+        return name.rfind("crypto.", 0) == 0;
     };
     for (const auto &kv : r.metrics) {
         if (kv.first.rfind("host_phases.", 0) == 0) {
@@ -354,6 +358,8 @@ printSummary(std::ostream &os, const StatsReport &r)
         if (prefix.empty()) {
             if (isIntegrity(kv.first))
                 integrity.push_back(kv);
+            else if (isCrypto(kv.first))
+                crypto.push_back(kv);
             else
                 scalars.push_back(kv);
         }
@@ -375,6 +381,15 @@ printSummary(std::ostream &os, const StatsReport &r)
     if (!integrity.empty()) {
         os << "  integrity (fault injection / verification)\n";
         for (const auto &kv : integrity) {
+            char line[128];
+            std::snprintf(line, sizeof(line), "    %-36s %14s\n",
+                          kv.first.c_str(), fmtNum(kv.second).c_str());
+            os << line;
+        }
+    }
+    if (!crypto.empty()) {
+        os << "  crypto kernels (host)\n";
+        for (const auto &kv : crypto) {
             char line[128];
             std::snprintf(line, sizeof(line), "    %-36s %14s\n",
                           kv.first.c_str(), fmtNum(kv.second).c_str());

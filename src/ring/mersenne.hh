@@ -82,6 +82,103 @@ class Fq127
     u128 value_;
 };
 
+/**
+ * Lazy-reduction Horner accumulator: acc <- acc * s + v with the
+ * accumulator kept *weakly reduced* (any value < 2^128 congruent to
+ * the true result mod q) across the whole loop, and one canonical
+ * reduction at the end.
+ *
+ * Why two cheap folds per step suffice (the proof sketch DESIGN.md
+ * §10 references): with acc < 2^128 and s < q < 2^127, the product
+ * is < 2^255, so its high 128-bit limb hi is < 2^127 and
+ * lo + 2^128 * hi = lo + 2 * hi (mod q, since 2^127 = 1). The first
+ * fold r = (lo & q) + (lo >> 127) + ((hi << 1) & q) + (hi >> 126)
+ * is <= 2q = 2^128 - 2 (each masked term <= q - 1, each shifted
+ * term <= 1); the second fold r = (r & q) + (r >> 127) is <= q, and
+ * adding the 64-bit element keeps the accumulator < q + 2^64 < 2^128
+ * -- the loop invariant. No conditional subtraction, no canonical
+ * normalization, until reduced() runs once per chunk.
+ *
+ * Fq127::operator* by contrast performs the folds *and* the final
+ * conditional subtraction on fully reduced operands at every step;
+ * checksum.cc keeps that path as the reference oracle
+ * (linearChecksumReference) that tests pin this class against.
+ */
+class Fq127Horner
+{
+  public:
+    using u128 = Fq127::u128;
+
+    constexpr Fq127Horner() = default;
+    explicit Fq127Horner(Fq127 init) : acc_(init.raw()) {}
+
+    /** acc <- acc * s + v (mod q), weakly reduced. */
+    void mulAdd(Fq127 s, std::uint64_t v)
+    {
+        const std::uint64_t a0 = static_cast<std::uint64_t>(acc_);
+        const std::uint64_t a1 = static_cast<std::uint64_t>(acc_ >> 64);
+        const std::uint64_t b0 = s.lo64();
+        const std::uint64_t b1 = s.hi64();
+
+        const u128 p00 = static_cast<u128>(a0) * b0;
+        const u128 p01 = static_cast<u128>(a0) * b1;
+        const u128 p10 = static_cast<u128>(a1) * b0;
+        const u128 p11 = static_cast<u128>(a1) * b1;
+
+        u128 mid = p01 + p10;
+        const u128 carry_mid = mid < p01 ? (u128{1} << 64) : 0;
+        u128 lo = p00 + (mid << 64);
+        const u128 carry_lo = lo < p00 ? 1 : 0;
+        const u128 hi = p11 + (mid >> 64) + carry_mid + carry_lo;
+
+        const u128 q = Fq127::modulus();
+        u128 r = (lo & q) + (lo >> 127) + ((hi << 1) & q) + (hi >> 126);
+        r = (r & q) + (r >> 127);
+        acc_ = r + v;
+    }
+
+    /** Canonical value (the once-per-chunk full reduction). */
+    Fq127 reduced() const { return Fq127::fromRaw(acc_); }
+
+  private:
+    u128 acc_ = 0;
+};
+
+/**
+ * Lazy dot-product accumulator: sum_i a_i * b_i with a_i in F_q and
+ * b_i a 64-bit ring element. Products are accumulated *unreduced* in
+ * a 256-bit (hi, lo) limb pair -- two 64x64 multiplies and a few adds
+ * per term, no modular reduction at all -- and reduced exactly once.
+ * Per-product hi contributions are < 2^63, so the high limb cannot
+ * overflow before ~2^65 terms.
+ */
+class Fq127Dot
+{
+  public:
+    using u128 = Fq127::u128;
+
+    /** Accumulate a * b. */
+    void addProduct(Fq127 a, std::uint64_t b)
+    {
+        const u128 p0 = static_cast<u128>(a.lo64()) * b;
+        const u128 p1 = static_cast<u128>(a.hi64()) * b;
+        const u128 lo = p0 + (p1 << 64);
+        const u128 hi = (p1 >> 64) + (lo < p0 ? 1 : 0);
+        lo_ += lo;
+        hi_ += hi + (lo_ < lo ? 1 : 0);
+    }
+
+    /** Canonical value: lo + 2^128 * hi = lo + 2 * hi (mod q). */
+    Fq127 reduced() const
+    {
+        return Fq127::fromRaw(lo_) + Fq127::fromRaw(hi_) * Fq127(2);
+    }
+
+  private:
+    u128 lo_ = 0;
+    u128 hi_ = 0;
+};
+
 } // namespace secndp
 
 #endif // SECNDP_RING_MERSENNE_HH

@@ -1,6 +1,8 @@
 #include "secndp/arith_encrypt.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "common/bitutil.hh"
@@ -12,7 +14,9 @@ namespace {
 
 /**
  * Shared body of encrypt/decrypt: out = in -/+ E mod 2^we, walking the
- * matrix chunk by chunk exactly as Alg. 1 does.
+ * matrix chunk by chunk exactly as Alg. 1 does. The matrix payload is
+ * flat and contiguous, so up to batchBlocks consecutive chunk pads at
+ * a time go through one pipelined cipher call.
  */
 Matrix
 applyPad(const CounterModeEncryptor &enc, const Matrix &in,
@@ -21,8 +25,10 @@ applyPad(const CounterModeEncryptor &enc, const Matrix &in,
     Matrix out(in.rows(), in.cols(), in.width(), in.baseAddr());
     const std::uint64_t mask = elemMask(in.width());
     const std::size_t total = in.rows() * in.cols();
-    const unsigned per_block = 16 / bytes(in.width());
+    const unsigned nb = bytes(in.width());
+    const unsigned per_block = 16 / nb;
 
+    Block128 pads[CounterModeEncryptor::batchBlocks];
     std::size_t flat = 0;
     while (flat < total) {
         const std::size_t i = flat / in.cols();
@@ -30,17 +36,22 @@ applyPad(const CounterModeEncryptor &enc, const Matrix &in,
         const std::uint64_t addr = in.elemAddr(i, j);
         SECNDP_ASSERT(addr % 16 == 0,
                       "chunk walk desynced at element %zu", flat);
-        const Block128 pad = enc.otpBlock(addr, version);
-        for (unsigned k = 0; k < per_block && flat < total; ++k, ++flat) {
-            std::uint64_t e = 0;
-            std::memcpy(&e, pad.data() + k * bytes(in.width()),
-                        bytes(in.width()));
-            const std::size_t r = flat / in.cols();
-            const std::size_t c = flat % in.cols();
-            const std::uint64_t p = in.get(r, c);
-            const std::uint64_t v =
-                subtract ? (p - e) & mask : (p + e) & mask;
-            out.set(r, c, v);
+        const std::size_t nblk = std::min<std::size_t>(
+            CounterModeEncryptor::batchBlocks,
+            (total - flat + per_block - 1) / per_block);
+        enc.otpBlocks(addr, version, std::span(pads, nblk));
+        for (std::size_t b = 0; b < nblk; ++b) {
+            for (unsigned k = 0; k < per_block && flat < total;
+                 ++k, ++flat) {
+                std::uint64_t e = 0;
+                std::memcpy(&e, pads[b].data() + k * nb, nb);
+                const std::size_t r = flat / in.cols();
+                const std::size_t c = flat % in.cols();
+                const std::uint64_t p = in.get(r, c);
+                const std::uint64_t v =
+                    subtract ? (p - e) & mask : (p + e) & mask;
+                out.set(r, c, v);
+            }
         }
     }
     return out;

@@ -12,10 +12,26 @@ namespace {
  * acc = (acc + v_j) ... careful -- expanding:
  * T = ((v_0 * s + v_1) * s + v_2) ... * s + v_{m-1}) * s
  * since exponents run m, m-1, ..., 1.
+ *
+ * Hot path: the accumulator stays weakly reduced across the loop
+ * (Fq127Horner) and is canonically reduced once at the end. The
+ * fully-reduced per-step variant below is the reference oracle.
  */
 template <typename GetElem>
 Fq127
 hornerChecksum(std::size_t m, Fq127 s, GetElem get)
+{
+    Fq127Horner acc;
+    for (std::size_t j = 0; j < m; ++j)
+        acc.mulAdd(s, get(j));
+    acc.mulAdd(s, 0); // trailing * s (exponents run m..1)
+    return acc.reduced();
+}
+
+/** Reference oracle: canonical reduction at every step. */
+template <typename GetElem>
+Fq127
+hornerChecksumRef(std::size_t m, Fq127 s, GetElem get)
 {
     Fq127 acc(0);
     for (std::size_t j = 0; j < m; ++j)
@@ -36,7 +52,35 @@ multiSecret(std::size_t m, const std::vector<Fq127> &secrets, GetElem get)
     // Walk exponents e = 1..m (j = m-1 .. 0). Within residue class
     // k = e mod cnt_s, the needed power s_k^(e / cnt_s) increases by
     // exactly one multiplication per visit, so the whole sum costs
-    // O(m) field multiplies instead of O(m log m).
+    // O(m) field multiplies instead of O(m log m). The element-times-
+    // power products accumulate unreduced in 256-bit limbs (Fq127Dot)
+    // and reduce once at the end.
+    std::vector<Fq127> power(cnt_s, Fq127(1));
+    std::vector<bool> seen(cnt_s, false);
+    Fq127Dot acc;
+    for (std::size_t e = 1; e <= m; ++e) {
+        const std::size_t k = e % cnt_s;
+        if (!seen[k]) {
+            seen[k] = true;
+            power[k] = secrets[k].pow(e / cnt_s); // exp 0 or 1
+        } else {
+            power[k] *= secrets[k];
+        }
+        acc.addProduct(power[k], get(m - e));
+    }
+    return acc.reduced();
+}
+
+/** Reference oracle for the Algorithm 8 sum, fully reduced per step. */
+template <typename GetElem>
+Fq127
+multiSecretRef(std::size_t m, const std::vector<Fq127> &secrets,
+               GetElem get)
+{
+    SECNDP_ASSERT(!secrets.empty(), "no checksum secrets");
+    const std::size_t cnt_s = secrets.size();
+    if (cnt_s == 1)
+        return hornerChecksumRef(m, secrets[0], get);
     std::vector<Fq127> power(cnt_s, Fq127(1));
     std::vector<bool> seen(cnt_s, false);
     Fq127 acc(0);
@@ -44,7 +88,7 @@ multiSecret(std::size_t m, const std::vector<Fq127> &secrets, GetElem get)
         const std::size_t k = e % cnt_s;
         if (!seen[k]) {
             seen[k] = true;
-            power[k] = secrets[k].pow(e / cnt_s); // exp 0 or 1
+            power[k] = secrets[k].pow(e / cnt_s);
         } else {
             power[k] *= secrets[k];
         }
@@ -68,6 +112,31 @@ Fq127
 linearChecksum(const std::vector<std::uint64_t> &vec, Fq127 s)
 {
     return hornerChecksum(vec.size(), s,
+                          [&](std::size_t j) { return vec[j]; });
+}
+
+Fq127
+linearChecksumReference(const Matrix &mat, std::size_t row, Fq127 s)
+{
+    SECNDP_ASSERT(row < mat.rows(), "row %zu out of %zu", row,
+                  mat.rows());
+    return hornerChecksumRef(mat.cols(), s, [&](std::size_t j) {
+        return mat.get(row, j);
+    });
+}
+
+Fq127
+linearChecksumReference(const std::vector<std::uint64_t> &vec, Fq127 s)
+{
+    return hornerChecksumRef(vec.size(), s,
+                             [&](std::size_t j) { return vec[j]; });
+}
+
+Fq127
+multiSecretChecksumReference(const std::vector<std::uint64_t> &vec,
+                             const std::vector<Fq127> &secrets)
+{
+    return multiSecretRef(vec.size(), secrets,
                           [&](std::size_t j) { return vec[j]; });
 }
 

@@ -53,6 +53,23 @@ Fq127 multiSecretChecksum(const std::vector<std::uint64_t> &vec,
                           const std::vector<Fq127> &secrets);
 
 /**
+ * @name Reference oracles
+ * The pre-lazy-reduction implementations: canonical F_q reduction at
+ * every Horner step. Mathematically identical to the production
+ * functions above (which keep accumulators weakly reduced and fold
+ * once per chunk, see ring/mersenne.hh); tests pin the equivalence on
+ * random and adversarial inputs.
+ */
+/// @{
+Fq127 linearChecksumReference(const Matrix &mat, std::size_t row,
+                              Fq127 s);
+Fq127 linearChecksumReference(const std::vector<std::uint64_t> &vec,
+                              Fq127 s);
+Fq127 multiSecretChecksumReference(const std::vector<std::uint64_t> &vec,
+                                   const std::vector<Fq127> &secrets);
+/// @}
+
+/**
  * Derive the cnt_s secret points of Alg. 8 from the cipher. With
  * cnt_s == 1 this is exactly the single s of Alg. 2. Each point comes
  * from an independent tweak (version offset in the '01' domain), a

@@ -1,5 +1,6 @@
 #include "secndp/protocol.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -167,13 +168,24 @@ SecNdpClient::weightedSumElems(
     const std::uint64_t c_res =
         device.weightedSumElems(row_idx, col_idx, weights);
 
-    // Processor share: OTPs regenerated on-chip (Alg. 4 lines 8-14).
+    // Processor share: OTPs regenerated on-chip (Alg. 4 lines 8-14),
+    // gathered window-by-window so independent chunks pipeline
+    // through the cipher and same-chunk neighbours share one pad.
+    constexpr std::size_t window = 64;
+    std::uint64_t addrs[window];
+    std::uint64_t pads[window];
     std::uint64_t e_res = 0;
-    for (std::size_t k = 0; k < row_idx.size(); ++k) {
-        const std::uint64_t pad = encryptor_.otpElement(
-            geometry_.elemAddr(row_idx[k], col_idx[k]), geometry_.we,
-            version_);
-        e_res = (e_res + weights[k] * pad) & mask;
+    for (std::size_t base = 0; base < row_idx.size(); base += window) {
+        const std::size_t n =
+            std::min(window, row_idx.size() - base);
+        for (std::size_t k = 0; k < n; ++k) {
+            addrs[k] = geometry_.elemAddr(row_idx[base + k],
+                                          col_idx[base + k]);
+        }
+        encryptor_.otpElements(std::span(addrs, n), geometry_.we,
+                               version_, std::span(pads, n));
+        for (std::size_t k = 0; k < n; ++k)
+            e_res = (e_res + weights[base + k] * pads[k]) & mask;
     }
     return (c_res + e_res) & mask;
 }
@@ -188,13 +200,15 @@ SecNdpClient::otpRowShare(std::span<const std::size_t> rows,
 
     std::vector<std::uint64_t> e_res(geometry_.cols, 0);
     std::vector<std::uint8_t> row_pad(geometry_.rowBytes());
+    CounterModeEncryptor::PadCache cache;
     for (std::size_t k = 0; k < rows.size(); ++k) {
         // One pass of the encryption engine over the row's OTP. The
         // row address is block aligned whenever rowBytes % 16 == 0;
-        // otherwise fall back to per-element pads.
+        // otherwise fall back to per-element pads through the chunk
+        // cache (one AES call per 16 bytes even on the scalar path).
         const std::uint64_t row_addr = geometry_.rowAddr(rows[k]);
         if (row_addr % 16 == 0 && geometry_.rowBytes() % 16 == 0) {
-            encryptor_.otpFill(row_addr, version_, row_pad);
+            encryptor_.otpFillBatch(row_addr, version_, row_pad);
             for (std::size_t j = 0; j < geometry_.cols; ++j) {
                 std::uint64_t pad = 0;
                 std::memcpy(&pad, row_pad.data() + j * nb, nb);
@@ -202,9 +216,9 @@ SecNdpClient::otpRowShare(std::span<const std::size_t> rows,
             }
         } else {
             for (std::size_t j = 0; j < geometry_.cols; ++j) {
-                const std::uint64_t pad = encryptor_.otpElement(
-                    geometry_.elemAddr(rows[k], j), geometry_.we,
-                    version_);
+                const std::uint64_t pad = encryptor_.otpElementCached(
+                    cache, geometry_.elemAddr(rows[k], j),
+                    geometry_.we, version_);
                 e_res[j] = (e_res[j] + weights[k] * pad) & mask;
             }
         }
@@ -216,12 +230,23 @@ Fq127
 SecNdpClient::otpTagShare(std::span<const std::size_t> rows,
                           std::span<const std::uint64_t> weights) const
 {
-    Fq127 acc(0);
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-        acc += Fq127(weights[k]) *
-               encryptor_.tagOtp(geometry_.rowAddr(rows[k]), version_);
+    // Tag pads are independent counter blocks: derive them in batched
+    // cipher calls, then fold the weighted sum lazily (one canonical
+    // reduction at the end).
+    constexpr std::size_t window = CounterModeEncryptor::batchBlocks;
+    std::uint64_t addrs[window];
+    Fq127 pads[window];
+    Fq127Dot acc;
+    for (std::size_t base = 0; base < rows.size(); base += window) {
+        const std::size_t n = std::min(window, rows.size() - base);
+        for (std::size_t k = 0; k < n; ++k)
+            addrs[k] = geometry_.rowAddr(rows[base + k]);
+        encryptor_.tagOtps(std::span(addrs, n), version_,
+                           std::span(pads, n));
+        for (std::size_t k = 0; k < n; ++k)
+            acc.addProduct(pads[k], weights[base + k]);
     }
-    return acc;
+    return acc.reduced();
 }
 
 VerifiedResult

@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 #include <queue>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -46,31 +47,51 @@ runHostCrypto(const CounterModeEncryptor &enc,
               const std::vector<HostCryptoWork> &work, StatGroup &g)
 {
     ScopedPhase phase("host_crypto");
+    constexpr std::size_t bb = CounterModeEncryptor::batchBlocks;
     std::uint8_t sink = 0;
     for (const auto &w : work) {
-        for (std::uint64_t b = 0; b < w.dataOtpBlocks; ++b) {
-            const Block128 otp = enc.otpBlock(w.addr + 16 * b, 1);
-            sink ^= otp[0];
+        // Data-share OTPs: consecutive chunks pipelined through the
+        // batched cipher entry point (the backend decides how many
+        // blocks fly per instruction group).
+        Block128 otp[bb];
+        for (std::uint64_t b = 0; b < w.dataOtpBlocks;) {
+            const std::size_t n = std::min<std::uint64_t>(
+                bb, w.dataOtpBlocks - b);
+            enc.otpBlocks(w.addr + 16 * b, 1, std::span(otp, n));
+            for (std::size_t k = 0; k < n; ++k)
+                sink ^= otp[k][0];
+            b += n;
         }
         g.counter("otp_blocks") += w.dataOtpBlocks;
-        for (std::uint64_t b = 0; b < w.tagOtpBlocks; ++b) {
-            const Fq127 pad = enc.tagOtp(w.addr + 16 * b, 1);
-            sink ^= static_cast<std::uint8_t>(pad.lo64());
+        Fq127 tag_pads[bb];
+        std::uint64_t tag_addrs[bb];
+        for (std::uint64_t b = 0; b < w.tagOtpBlocks;) {
+            const std::size_t n = std::min<std::uint64_t>(
+                bb, w.tagOtpBlocks - b);
+            for (std::size_t k = 0; k < n; ++k)
+                tag_addrs[k] = w.addr + 16 * (b + k);
+            enc.tagOtps(std::span(tag_addrs, n), 1,
+                        std::span(tag_pads, n));
+            for (std::size_t k = 0; k < n; ++k)
+                sink ^= static_cast<std::uint8_t>(tag_pads[k].lo64());
+            b += n;
         }
         g.counter("tag_otp_blocks") += w.tagOtpBlocks;
         if (w.verifyOps > 0) {
             // E_Tres recombination: Horner-style fold of the checksum
             // secret across the combined weights (Alg. 5 lines 11-14,
             // capped -- counters reflect work actually performed).
+            // Lazy reduction: the accumulator stays weakly reduced
+            // across the fold and reduces canonically once.
             const std::uint64_t ops =
                 std::min(w.verifyOps, verifyOpCap);
             Fq127 s = enc.checksumSecret(w.addr, 1);
-            Fq127 acc = s;
+            Fq127Horner acc(s);
             for (std::uint64_t k = 0; k < ops; ++k)
-                acc = acc * s + Fq127(k + 1);
+                acc.mulAdd(s, k + 1);
             g.counter("field_ops") += ops;
             ++g.counter("tag_checks");
-            if (acc.isZero())
+            if (acc.reduced().isZero())
                 ++g.counter("degenerate_tags");
         }
     }

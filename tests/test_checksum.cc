@@ -256,5 +256,81 @@ TEST_F(ChecksumTest, EmptySecretsDies)
     EXPECT_DEATH(multiSecretChecksum(mat, 0, {}), "secret");
 }
 
+// ------------------------------------------- lazy-reduction oracles
+//
+// The production checksums keep accumulators weakly reduced across the
+// Horner loop and reduce once at the end (Fq127Horner / Fq127Dot in
+// ring/mersenne.hh). The *Reference functions are the original
+// reduce-every-step code; the two must agree bit-for-bit on every
+// input, especially the adversarial ones that maximize carry activity.
+
+TEST_F(ChecksumTest, LazyMatchesReferenceOnRandomInputs)
+{
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t m = 1 + rng.nextBounded(64);
+        std::vector<std::uint64_t> vec(m);
+        for (auto &v : vec)
+            v = rng.next();
+        const Fq127 s = enc.checksumSecret(trial, 1);
+        EXPECT_EQ(linearChecksum(vec, s),
+                  linearChecksumReference(vec, s))
+            << "trial " << trial;
+        const auto secrets = deriveChecksumSecrets(enc, 0, trial, 3);
+        EXPECT_EQ(multiSecretChecksum(vec, secrets),
+                  multiSecretChecksumReference(vec, secrets))
+            << "trial " << trial;
+    }
+}
+
+TEST_F(ChecksumTest, LazyMatchesReferenceOnAdversarialInputs)
+{
+    const Fq127 q_minus_1 = Fq127::fromRaw(Fq127::modulus() - 1);
+    // Worst-case carry pressure: all-ones elements, secrets at the
+    // field edges (0, 1, 2, q-1), and long vectors.
+    const std::vector<std::uint64_t> all_ones(257, ~std::uint64_t{0});
+    std::vector<std::uint64_t> mixed = all_ones;
+    for (std::size_t j = 0; j < mixed.size(); j += 2)
+        mixed[j] = 0;
+    for (const Fq127 &s :
+         {Fq127(0), Fq127(1), Fq127(2), q_minus_1,
+          enc.checksumSecret(0, 1)}) {
+        for (const auto &vec : {all_ones, mixed}) {
+            EXPECT_EQ(linearChecksum(vec, s),
+                      linearChecksumReference(vec, s));
+            EXPECT_EQ(multiSecretChecksum(vec, {s, s, q_minus_1}),
+                      multiSecretChecksumReference(
+                          vec, {s, s, q_minus_1}));
+        }
+    }
+}
+
+TEST_F(ChecksumTest, HornerAccumulatorMatchesEagerFold)
+{
+    // Fq127Horner's weak-reduction invariant: the running value always
+    // reduces to the same field element an eager fold produces, at
+    // every prefix length.
+    const Fq127 s = enc.checksumSecret(99, 1);
+    Fq127Horner lazy(s);
+    Fq127 eager = s;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        lazy.mulAdd(s, ~k);
+        eager = eager * s + Fq127(~k);
+        ASSERT_EQ(lazy.reduced(), eager) << "step " << k;
+    }
+}
+
+TEST_F(ChecksumTest, DotAccumulatorMatchesEagerSum)
+{
+    const Fq127 q_minus_1 = Fq127::fromRaw(Fq127::modulus() - 1);
+    Fq127Dot lazy;
+    Fq127 eager(0);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        // Maximal-magnitude terms: (q-1) * 2^64-1 every step.
+        lazy.addProduct(q_minus_1, ~std::uint64_t{0});
+        eager += q_minus_1 * Fq127(~std::uint64_t{0});
+        ASSERT_EQ(lazy.reduced(), eager) << "step " << k;
+    }
+}
+
 } // namespace
 } // namespace secndp

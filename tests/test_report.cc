@@ -285,6 +285,23 @@ TEST(Render, SummaryShowsCountersDistributionsAndPhases)
     EXPECT_NE(out.find("9"), std::string::npos);
 }
 
+TEST(Render, SummaryPartitionsCryptoGroup)
+{
+    auto r = mkReport({{"crypto.otp_batches", 42.0},
+                       {"crypto.speedup_accel_vs_scalar", 6.5},
+                       {"serve.jobs", 7.0}});
+    std::ostringstream os;
+    printSummary(os, r);
+    const std::string out = os.str();
+    // crypto.* metrics land in their own section, not the generic
+    // scalar list; everything else stays where it was.
+    EXPECT_NE(out.find("crypto kernels (host)"), std::string::npos);
+    EXPECT_NE(out.find("crypto.speedup_accel_vs_scalar"),
+              std::string::npos);
+    EXPECT_NE(out.find("serve.jobs"), std::string::npos);
+    EXPECT_LT(out.find("serve.jobs"), out.find("crypto kernels"));
+}
+
 TEST(Render, DiffMarksRegressions)
 {
     const std::vector<WatchRule> rules = {{"lat.p95", 5.0, true}};
