@@ -76,6 +76,14 @@ run medical_enc  --workload medical --mode enc
 run sls_enc_zipf --workload sls --mode enc --zipf 0.8 --batch 4
 run_serve serve_open --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8
+# Same load with the request tracer armed: simulated serve.* metrics
+# must match serve_open exactly (tracing observes, never perturbs),
+# and the trace.* counters pin span coverage. Needs a tracing build
+# (-DSECNDP_ENABLE_TRACING=ON, the default).
+run_serve serve_trace --mode open --qps 2000000 --requests 96 \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
+    --trace-requests "$OUT/serve_trace.spans.json" \
+    --flight-out "$OUT/serve_trace.flight.json"
 run_redteam redteam_smoke --queries 100
 run_micro micro_crypto
 

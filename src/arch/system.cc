@@ -70,6 +70,14 @@ runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
     metrics.lines = batch.totalLines;
     metrics.acts = batch.acts;
 
+    const double ns_per_cycle = cfg.dram.clock.nsPerCycle();
+    metrics.perQuery.resize(trace.queries.size());
+    for (std::size_t q = 0;
+         q < trace.queries.size() && q < batch.packets.size(); ++q) {
+        metrics.perQuery[q].finishNs =
+            batch.packets[q].finished * ns_per_cycle;
+    }
+
     if (is_secndp) {
         std::vector<EngineWork> work;
         work.reserve(trace.queries.size());
@@ -90,6 +98,25 @@ runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
         metrics.aesBlocks = overlay.totalAesBlocks;
         metrics.otpPuOps = overlay.totalOtpPuOps;
         metrics.verifyOps = overlay.totalVerifyOps;
+        const bool verifying = mode == ExecMode::SecNdpEncVer;
+        for (std::size_t q = 0;
+             q < metrics.perQuery.size() &&
+             q < overlay.finished.size();
+             ++q) {
+            QueryTiming &t = metrics.perQuery[q];
+            t.finishNs = overlay.finished[q] * ns_per_cycle;
+            t.otpStartNs = overlay.otpStart[q] * ns_per_cycle;
+            t.otpDurNs = (overlay.otpDone[q] - overlay.otpStart[q]) *
+                         ns_per_cycle;
+            if (verifying) {
+                t.verifyStartNs =
+                    overlay.verifyStart[q] * ns_per_cycle;
+                t.verifyDurNs =
+                    cfg.engine.verifyCheckCycles * ns_per_cycle;
+            }
+            t.otpBlocks = work[q].totalBlocks();
+            t.decryptBound = overlay.decryptBound[q];
+        }
     } else if (mode == ExecMode::CpuTee) {
         // The whole fetched stream is counter-mode decrypted on-chip.
         const std::uint64_t blocks = batch.totalLines *
@@ -97,6 +124,10 @@ runWorkload(const SystemConfig &cfg, const WorkloadTrace &trace,
         metrics.cycles = teeDecryptFinish(cfg.engine, cfg.dram.clock,
                                           blocks, metrics.cycles);
         metrics.aesBlocks = blocks;
+        // The stream decrypt releases results only once the whole
+        // fetched stream is processed: every query finishes together.
+        for (QueryTiming &t : metrics.perQuery)
+            t.finishNs = metrics.cycles * ns_per_cycle;
     }
 
     metrics.ns = metrics.cycles * cfg.dram.clock.nsPerCycle();

@@ -65,6 +65,23 @@ struct SystemConfig
     std::uint64_t pageSeed = 1;
 };
 
+/**
+ * Per-query lifecycle timing within one run, ns on the run's own
+ * timeline (0 = batch issue). The serving layer maps these onto the
+ * global serving timeline to emit request-tracer spans and to charge
+ * each request its *own* completion instead of the whole batch's.
+ */
+struct QueryTiming
+{
+    double finishNs = 0.0;      ///< query result ready
+    double otpStartNs = 0.0;    ///< AES-pool OTP window begin
+    double otpDurNs = 0.0;      ///< OTP window length (0 = no work)
+    double verifyStartNs = 0.0; ///< tag-check window begin
+    double verifyDurNs = 0.0;   ///< tag-check length (0 = no check)
+    std::uint64_t otpBlocks = 0;
+    bool decryptBound = false;
+};
+
 /** Metrics of one run (inputs to speedup/energy computations). */
 struct RunMetrics
 {
@@ -77,6 +94,8 @@ struct RunMetrics
     std::uint64_t otpPuOps = 0;
     std::uint64_t verifyOps = 0;
     double fracDecryptBound = 0.0;
+    /** Index-aligned with the trace's queries. */
+    std::vector<QueryTiming> perQuery;
 };
 
 class PageMapper;

@@ -1,0 +1,340 @@
+#include "common/request_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace secndp {
+
+thread_local std::uint64_t RequestTracer::tlsTrace_ =
+    RequestTracer::noTrace;
+thread_local double RequestTracer::tlsNowNs_ = 0.0;
+thread_local RequestTracer::ThreadRing *RequestTracer::tlsRing_ =
+    nullptr;
+thread_local std::uint64_t RequestTracer::tlsEpoch_ = 0;
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::QueueWait: return "queue_wait";
+      case SpanKind::BatchForm: return "batch_form";
+      case SpanKind::OtpGen: return "otp_gen";
+      case SpanKind::SimDrain: return "sim_drain";
+      case SpanKind::Verify: return "verify";
+      case SpanKind::Retry: return "retry";
+      case SpanKind::HostFallback: return "host_fallback";
+      case SpanKind::Shed: return "shed";
+      case SpanKind::Abort: return "abort";
+      case SpanKind::Fault: return "fault";
+    }
+    return "?";
+}
+
+bool
+parseSpanKind(const std::string &name, SpanKind &out)
+{
+    for (unsigned k = 0; k < spanKindCount; ++k) {
+        if (name == spanKindName(static_cast<SpanKind>(k))) {
+            out = static_cast<SpanKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+anomalyKindName(AnomalyKind kind)
+{
+    switch (kind) {
+      case AnomalyKind::Abort: return "abort";
+      case AnomalyKind::Shed: return "shed";
+      case AnomalyKind::MissedForgery: return "missed_forgery";
+      case AnomalyKind::SloBreach: return "slo_breach";
+    }
+    return "?";
+}
+
+RequestTracer &
+RequestTracer::instance()
+{
+    // Leaked for the same reason as StatRegistry: emitters with
+    // static storage duration may record during teardown.
+    static RequestTracer *tracer = new RequestTracer();
+    return *tracer;
+}
+
+bool
+RequestTracer::start(const Config &cfg)
+{
+#if !SECNDP_TRACING
+    (void)cfg;
+    return false;
+#else
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = cfg;
+    if (config_.flightCapacity == 0)
+        config_.flightCapacity = 1;
+    rings_.clear();
+    log_.clear();
+    nextSeq_.store(0);
+    for (auto &a : anomalies_)
+        a = 0;
+    flightDumps_ = 0;
+    flightDumped_ = false;
+    ++epoch_;
+    active_ = true;
+    return true;
+#endif
+}
+
+void
+RequestTracer::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ = false;
+    ++epoch_;
+    rings_.clear();
+    log_.clear();
+}
+
+RequestTracer::ThreadRing *
+RequestTracer::ringForThisThread()
+{
+    if (tlsRing_ && tlsEpoch_ == epoch_)
+        return tlsRing_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(
+        std::make_unique<ThreadRing>(config_.flightCapacity));
+    tlsRing_ = rings_.back().get();
+    tlsEpoch_ = epoch_;
+    return tlsRing_;
+}
+
+void
+RequestTracer::record(std::uint64_t trace, SpanKind kind,
+                      double start_ns, double dur_ns,
+                      std::uint32_t shard, std::uint64_t aux)
+{
+    if (!active_)
+        return;
+    SpanRecord rec;
+    rec.trace = trace;
+    rec.seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
+    rec.startNs = start_ns;
+    rec.durNs = dur_ns;
+    rec.kind = kind;
+    rec.shard = shard;
+    rec.aux = aux;
+
+    ThreadRing *ring = ringForThisThread();
+    ring->slots[ring->pushes % ring->slots.size()] = rec;
+    ++ring->pushes;
+
+    if (config_.keepSpanLog) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        log_.push_back(rec);
+    }
+}
+
+void
+RequestTracer::anomaly(AnomalyKind kind, std::uint64_t trace,
+                       double at_ns)
+{
+    if (!active_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++anomalies_[static_cast<unsigned>(kind)];
+    if (flightDumped_ || config_.flightPath.empty())
+        return;
+    // First anomaly wins: the flight dump freezes the moments before
+    // the *initial* incident, later ones only count.
+    flightDumped_ = true;
+    firstAnomaly_ = kind;
+    firstAnomalyTrace_ = trace;
+    firstAnomalyNs_ = at_ns;
+    if (writeFlightLocked(config_.flightPath, true)) {
+        ++flightDumps_;
+    } else {
+        warn("cannot write flight dump '%s'",
+             config_.flightPath.c_str());
+    }
+}
+
+std::uint64_t
+RequestTracer::droppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings_) {
+        if (ring->pushes > ring->slots.size())
+            dropped += ring->pushes - ring->slots.size();
+    }
+    return dropped;
+}
+
+std::uint64_t
+RequestTracer::anomalyCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &a : anomalies_)
+        n += a;
+    return n;
+}
+
+std::vector<SpanRecord>
+RequestTracer::mergedSpansLocked() const
+{
+    std::vector<SpanRecord> spans;
+    for (const auto &ring : rings_) {
+        const std::size_t kept =
+            std::min<std::uint64_t>(ring->pushes, ring->slots.size());
+        const std::size_t cap = ring->slots.size();
+        for (std::size_t i = 0; i < kept; ++i) {
+            // Oldest retained first: the ring wraps at `pushes`.
+            const std::size_t at =
+                (ring->pushes - kept + i) % cap;
+            spans.push_back(ring->slots[at]);
+        }
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return spans;
+}
+
+std::vector<SpanRecord>
+RequestTracer::mergedSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mergedSpansLocked();
+}
+
+std::vector<SpanRecord>
+RequestTracer::spanLog() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRecord> log = log_;
+    std::sort(log.begin(), log.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return log;
+}
+
+namespace {
+
+/**
+ * Deterministic JSON number: integral values print without a
+ * fraction, everything else with enough digits to round-trip --
+ * matching the stats sidecar writer so byte-comparison tooling treats
+ * both formats identically.
+ */
+void
+writeNumber(std::FILE *out, double v)
+{
+    if (!std::isfinite(v)) {
+        std::fputs("null", out);
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::fprintf(out, "%lld", static_cast<long long>(v));
+        return;
+    }
+    std::fprintf(out, "%.17g", v);
+}
+
+void
+writeSpan(std::FILE *out, const SpanRecord &s, bool first)
+{
+    std::fprintf(out,
+                 "%s    {\"seq\": %" PRIu64 ", \"trace\": %" PRIu64
+                 ", \"kind\": \"%s\", \"start_ns\": ",
+                 first ? "" : ",\n", s.seq, s.trace,
+                 spanKindName(s.kind));
+    writeNumber(out, s.startNs);
+    std::fputs(", \"dur_ns\": ", out);
+    writeNumber(out, s.durNs);
+    std::fprintf(out, ", \"shard\": %u, \"aux\": %" PRIu64 "}",
+                 s.shard, s.aux);
+}
+
+bool
+writeSpanFile(const std::string &path, const char *schema,
+              const std::vector<SpanRecord> &spans,
+              const char *extra_json)
+{
+    std::FILE *out = std::fopen(path.c_str(), "wb");
+    if (!out)
+        return false;
+    std::fprintf(out, "{\n  \"schema\": \"%s\",\n%s", schema,
+                 extra_json);
+    std::fprintf(out, "  \"span_count\": %zu,\n  \"spans\": [\n",
+                 spans.size());
+    bool first = true;
+    for (const SpanRecord &s : spans) {
+        writeSpan(out, s, first);
+        first = false;
+    }
+    std::fputs(spans.empty() ? "  ]\n}\n" : "\n  ]\n}\n", out);
+    return std::fclose(out) == 0;
+}
+
+} // namespace
+
+bool
+RequestTracer::writeSpanLog(const std::string &path) const
+{
+    return writeSpanFile(path, "secndp-spans-v1", spanLog(), "");
+}
+
+bool
+RequestTracer::writeFlightLocked(const std::string &path,
+                                 bool has_anomaly) const
+{
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings_) {
+        if (ring->pushes > ring->slots.size())
+            dropped += ring->pushes - ring->slots.size();
+    }
+    char extra[256];
+    if (has_anomaly) {
+        char at[64];
+        std::FILE *mem = nullptr;
+        (void)mem;
+        // Format at_ns with the shared deterministic convention.
+        if (firstAnomalyNs_ == std::floor(firstAnomalyNs_) &&
+            std::abs(firstAnomalyNs_) < 1e15) {
+            std::snprintf(at, sizeof(at), "%lld",
+                          static_cast<long long>(firstAnomalyNs_));
+        } else {
+            std::snprintf(at, sizeof(at), "%.17g", firstAnomalyNs_);
+        }
+        std::snprintf(extra, sizeof(extra),
+                      "  \"anomaly\": {\"kind\": \"%s\", \"trace\": "
+                      "%" PRIu64 ", \"at_ns\": %s},\n"
+                      "  \"dropped\": %" PRIu64 ",\n",
+                      anomalyKindName(firstAnomaly_),
+                      firstAnomalyTrace_, at, dropped);
+    } else {
+        std::snprintf(extra, sizeof(extra),
+                      "  \"anomaly\": null,\n  \"dropped\": %" PRIu64
+                      ",\n",
+                      dropped);
+    }
+    return writeSpanFile(path, "secndp-flight-v1",
+                         mergedSpansLocked(), extra);
+}
+
+bool
+RequestTracer::writeFlight(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writeFlightLocked(path, flightDumped_);
+}
+
+} // namespace secndp

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Per-request lifecycle tracing and the anomaly flight recorder.
+ *
+ * Every query admitted by the serving layer gets a trace ID (its
+ * request ID) and leaves a sequence of typed spans behind as it moves
+ * through the pipeline:
+ *
+ *   queue_wait    admission -> batch flush
+ *   batch_form    the flush instant (aux = batch occupancy)
+ *   otp_gen       engine AES-pool window generating the OTP share
+ *   sim_drain     the request's shard occupying its memory channel
+ *   verify        tag-check window on the engine (ver mode only)
+ *   retry         one recovery re-read (backoff + re-read cost)
+ *   host_fallback trusted host recompute after retries exhausted
+ *   shed          admission rejection (queue full) -- terminal
+ *   abort         recovery ladder gave up -- terminal
+ *   fault         an injected fault, cross-linked to its victim trace
+ *
+ * Spans land in per-thread single-producer ring buffers (the *flight
+ * recorder*): recording is a bump-index store with no locks and no
+ * allocation past the first span of a thread, cheap enough to leave
+ * on in production runs (<5%, gated by the serve_trace perf config).
+ * The rings keep the last `flightCapacity` spans per thread; on the
+ * first *anomaly* -- abort, load shed, missed forgery, or an SLO
+ * breach when `sloNs` is set -- their merged contents auto-dump to a
+ * `.flight.json` so the moments before the incident survive it.
+ *
+ * Timestamps are virtual nanoseconds on the serving timeline and all
+ * IDs are deterministic in the seed, so span logs and flight dumps
+ * byte-compare across same-seed runs (the CI trace-smoke job does).
+ *
+ * Cost model mirrors trace_event.hh: with SECNDP_TRACING == 0
+ * (-DSECNDP_ENABLE_TRACING=OFF) every SECNDP_RQSPAN macro expands to
+ * nothing and start() refuses to arm, so sidecars stay byte-identical
+ * to untraced builds. The trace-context thread-locals (current trace
+ * / current virtual time) survive compile-out: the fault injector
+ * uses them to attribute injections to victim requests even when no
+ * spans are recorded.
+ *
+ * Schemas ("secndp-spans-v1" full log, "secndp-flight-v1" dump) are
+ * parsed by src/report and joined against serve.* histograms by
+ * `secndp_report explain`.
+ */
+
+#ifndef SECNDP_COMMON_REQUEST_TRACE_HH
+#define SECNDP_COMMON_REQUEST_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef SECNDP_TRACING
+#define SECNDP_TRACING 1
+#endif
+
+namespace secndp {
+
+/** Span taxonomy of the request lifecycle (see file doc). */
+enum class SpanKind : std::uint8_t
+{
+    QueueWait,
+    BatchForm,
+    OtpGen,
+    SimDrain,
+    Verify,
+    Retry,
+    HostFallback,
+    Shed,
+    Abort,
+    Fault,
+};
+
+constexpr unsigned spanKindCount = 10;
+
+const char *spanKindName(SpanKind kind);
+bool parseSpanKind(const std::string &name, SpanKind &out);
+
+/** One recorded span. POD so ring slots assign without allocation. */
+struct SpanRecord
+{
+    std::uint64_t trace = 0; ///< victim request ID
+    std::uint64_t seq = 0;   ///< global emission order
+    double startNs = 0.0;    ///< virtual serving-timeline start
+    double durNs = 0.0;      ///< 0 for instant events
+    SpanKind kind = SpanKind::QueueWait;
+    std::uint32_t shard = 0; ///< executing shard / channel
+    std::uint64_t aux = 0;   ///< kind-specific payload (see emitters)
+};
+
+/** What tripped a flight dump. */
+enum class AnomalyKind : std::uint8_t
+{
+    Abort,
+    Shed,
+    MissedForgery,
+    SloBreach,
+};
+
+constexpr unsigned anomalyKindCount = 4;
+
+const char *anomalyKindName(AnomalyKind kind);
+
+/**
+ * Process-wide request tracer + flight recorder (see file doc).
+ *
+ * Threading: record() is wait-free per thread (each producer owns a
+ * private ring; the only atomic is the global seq counter). start(),
+ * stop(), the write*() dumpers and anomaly() take the registry mutex
+ * and belong on the coordinating thread; dumping while producers are
+ * mid-record is tolerated (a torn slot at the ring head) but the
+ * serving loop only dumps from the emitting thread, so in practice
+ * snapshots are exact.
+ */
+class RequestTracer
+{
+  public:
+    /** "No trace in scope" sentinel for the thread-local context. */
+    static constexpr std::uint64_t noTrace = ~std::uint64_t{0};
+
+    struct Config
+    {
+        /** Spans each thread's flight ring retains. */
+        std::size_t flightCapacity = 4096;
+        /** Keep an unbounded span log for writeSpanLog(). */
+        bool keepSpanLog = false;
+        /** Auto-dump target on the first anomaly ("" = no dump). */
+        std::string flightPath;
+        /** Latency SLO; >0 arms the SloBreach anomaly. */
+        double sloNs = 0.0;
+    };
+
+    static RequestTracer &instance();
+
+    /**
+     * Arm the tracer. Returns false (and stays inactive) when tracing
+     * is compiled out. Re-arming while active resets all state.
+     */
+    bool start(const Config &cfg);
+
+    /** Disarm and drop all recorded state. Idempotent. */
+    void stop();
+
+    bool active() const { return active_; }
+    double sloNs() const { return config_.sloNs; }
+
+    /** @name Trace context (thread-local, survives compile-out) */
+    /// @{
+    static void setCurrent(std::uint64_t trace) { tlsTrace_ = trace; }
+    static void clearCurrent() { tlsTrace_ = noTrace; }
+    static std::uint64_t current() { return tlsTrace_; }
+    /** Virtual "now" for emitters without their own clock (faults). */
+    static void setNow(double ns) { tlsNowNs_ = ns; }
+    static double now() { return tlsNowNs_; }
+    /// @}
+
+    /** Record one span (no-op when inactive). */
+    void record(std::uint64_t trace, SpanKind kind, double start_ns,
+                double dur_ns, std::uint32_t shard = 0,
+                std::uint64_t aux = 0);
+
+    /**
+     * Report an anomaly: counts it and, on the first one, dumps the
+     * flight rings to the configured path. No-op when inactive.
+     */
+    void anomaly(AnomalyKind kind, std::uint64_t trace, double at_ns);
+
+    /** @name Accounting (stable once producers are quiescent) */
+    /// @{
+    std::uint64_t spansRecorded() const { return nextSeq_.load(); }
+    std::uint64_t droppedSpans() const;
+    std::uint64_t anomalyCount() const;
+    std::uint64_t anomalyCountOf(AnomalyKind kind) const
+    {
+        return anomalies_[static_cast<unsigned>(kind)];
+    }
+    std::uint64_t flightDumps() const { return flightDumps_; }
+    /// @}
+
+    /** All retained flight-ring spans, merged in seq order. */
+    std::vector<SpanRecord> mergedSpans() const;
+
+    /** Full span log in seq order (empty unless keepSpanLog). */
+    std::vector<SpanRecord> spanLog() const;
+
+    /** Write the full span log as secndp-spans-v1. */
+    bool writeSpanLog(const std::string &path) const;
+
+    /** Manually dump the flight rings as secndp-flight-v1. */
+    bool writeFlight(const std::string &path) const;
+
+  private:
+    /** One thread's single-producer ring. */
+    struct ThreadRing
+    {
+        explicit ThreadRing(std::size_t capacity)
+            : slots(capacity)
+        {
+        }
+        std::vector<SpanRecord> slots;
+        std::uint64_t pushes = 0;
+    };
+
+    RequestTracer() = default;
+
+    ThreadRing *ringForThisThread();
+    bool writeFlightLocked(const std::string &path,
+                           bool has_anomaly) const;
+    std::vector<SpanRecord> mergedSpansLocked() const;
+
+    Config config_;
+    bool active_ = false;
+    /** Bumped on every start/stop so stale thread-local ring pointers
+     *  from a previous arming re-register instead of dangling. */
+    std::uint64_t epoch_ = 0;
+
+    std::atomic<std::uint64_t> nextSeq_{0};
+
+    mutable std::mutex mutex_; ///< rings_/log_/anomaly registry
+    std::vector<std::unique_ptr<ThreadRing>> rings_;
+    std::vector<SpanRecord> log_;
+
+    std::uint64_t anomalies_[anomalyKindCount] = {};
+    std::uint64_t flightDumps_ = 0;
+    bool flightDumped_ = false;
+    AnomalyKind firstAnomaly_ = AnomalyKind::Abort;
+    std::uint64_t firstAnomalyTrace_ = 0;
+    double firstAnomalyNs_ = 0.0;
+
+    static thread_local std::uint64_t tlsTrace_;
+    static thread_local double tlsNowNs_;
+    static thread_local ThreadRing *tlsRing_;
+    static thread_local std::uint64_t tlsEpoch_;
+};
+
+} // namespace secndp
+
+#if SECNDP_TRACING
+
+/** True when the request tracer is armed (guard for arg work). */
+#define SECNDP_RQTRACE_ACTIVE() \
+    (::secndp::RequestTracer::instance().active())
+
+#define SECNDP_RQSPAN(trace, kind, start_ns, dur_ns, shard, aux)       \
+    do {                                                               \
+        if (SECNDP_RQTRACE_ACTIVE()) {                                 \
+            ::secndp::RequestTracer::instance().record(                \
+                trace, kind, start_ns, dur_ns, shard, aux);            \
+        }                                                              \
+    } while (0)
+
+#define SECNDP_RQANOMALY(kind, trace, at_ns)                           \
+    do {                                                               \
+        if (SECNDP_RQTRACE_ACTIVE()) {                                 \
+            ::secndp::RequestTracer::instance().anomaly(kind, trace,   \
+                                                        at_ns);        \
+        }                                                              \
+    } while (0)
+
+#else // !SECNDP_TRACING
+
+#define SECNDP_RQTRACE_ACTIVE() (false)
+#define SECNDP_RQSPAN(trace, kind, start_ns, dur_ns, shard, aux) \
+    do {                                                         \
+    } while (0)
+#define SECNDP_RQANOMALY(kind, trace, at_ns) \
+    do {                                     \
+    } while (0)
+
+#endif // SECNDP_TRACING
+
+#endif // SECNDP_COMMON_REQUEST_TRACE_HH

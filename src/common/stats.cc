@@ -137,21 +137,28 @@ Histogram::percentile(double p) const
         return min_;
     if (p == 1.0)
         return max_;
-    // Nearest-rank target, then interpolate linearly inside the
-    // bucket that holds it.
-    const double target = p * (count_ - 1) + 1.0;
+    // Cumulative-count target, then interpolate linearly inside the
+    // bucket that holds it, treating each sample as occupying the
+    // midpoint of its 1/cnt slice (midpoint convention). The bucket's
+    // effective bounds clamp to the observed [min, max] so single-
+    // valued histograms return that value exactly and the result never
+    // overshoots into the unpopulated tail of a wide log2 bucket.
+    const double target = p * count_;
     double cum = 0.0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
         if (buckets_[b] == 0)
             continue;
         const double prev = cum;
         cum += buckets_[b];
-        if (cum + 1e-9 >= target) {
-            const double frac = (target - prev) / buckets_[b];
-            const double lo = bucketLow(static_cast<unsigned>(b));
-            const double hi = bucketHigh(static_cast<unsigned>(b));
-            const double v = lo + frac * (hi - lo);
-            return std::min(std::max(v, min_), max_);
+        if (cum >= target - 1e-9) {
+            const double cnt = static_cast<double>(buckets_[b]);
+            double frac = (target - prev - 0.5) / cnt;
+            frac = std::min(1.0, std::max(0.0, frac));
+            const double lo = std::max(
+                bucketLow(static_cast<unsigned>(b)), min_);
+            const double hi = std::min(
+                bucketHigh(static_cast<unsigned>(b)), max_);
+            return lo + frac * (hi - lo);
         }
     }
     return max_;

@@ -24,6 +24,9 @@ overlayEngine(const EngineConfig &cfg, const DramClock &clock,
     EngineOverlayResult result;
     result.finished.resize(ndp.size());
     result.decryptBound.resize(ndp.size());
+    result.otpStart.resize(ndp.size());
+    result.otpDone.resize(ndp.size());
+    result.verifyStart.resize(ndp.size());
 
     // Short-lived stat group: folded into the registry's retired
     // aggregate on return, so end-of-run reports carry the engine's
@@ -59,6 +62,10 @@ overlayEngine(const EngineConfig &cfg, const DramClock &clock,
         if (verifying)
             fin += cfg.verifyCheckCycles;
         result.finished[q] = fin;
+        result.otpStart[q] = start;
+        result.otpDone[q] = otp_done;
+        result.verifyStart[q] = static_cast<double>(
+            std::max(otp_cycle, ndp[q].finished) + cfg.adderCycles);
         result.totalCycles = std::max(result.totalCycles, fin);
         bound += decrypt_bound;
         result.totalAesBlocks += work[q].totalBlocks();

@@ -73,6 +73,14 @@ struct EngineOverlayResult
     std::vector<Cycle> finished;
     /** Per-packet: was the OTP share the late one? */
     std::vector<bool> decryptBound;
+    /** Per-packet AES-pool OTP window [otpStart, otpDone), cycles
+     *  (equal when the packet has no engine work). Feeds the
+     *  per-request otp_gen spans of the request tracer. */
+    std::vector<double> otpStart;
+    std::vector<double> otpDone;
+    /** Per-packet verify-check window start, cycles; the window is
+     *  verifyCheckCycles long (only meaningful when verifying). */
+    std::vector<double> verifyStart;
     Cycle totalCycles = 0;
     double fractionDecryptBound = 0.0;
     std::uint64_t totalAesBlocks = 0;

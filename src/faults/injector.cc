@@ -1,6 +1,7 @@
 #include "faults/injector.hh"
 
 #include "common/logging.hh"
+#include "common/request_trace.hh"
 #include "common/trace_event.hh"
 
 namespace secndp {
@@ -58,7 +59,13 @@ FaultInjector::record(FaultKind kind, std::uint64_t addr)
     ev.addr = addr;
     ev.query = queryOrdinal_ == 0 ? 0 : queryOrdinal_ - 1;
     ev.ordinal = injectedTotal_;
+    // Cross-link to the victim request: whoever drives this query
+    // parks its trace ID in the tracer context before reading.
+    ev.victimTrace = RequestTracer::current();
     events_.push_back(ev);
+    SECNDP_RQSPAN(ev.victimTrace, SpanKind::Fault,
+                  RequestTracer::now(), 0.0, 0,
+                  static_cast<std::uint64_t>(kind));
 
     ++injectedTotal_;
     ++injectedByKind_[static_cast<unsigned>(kind)];
@@ -200,6 +207,11 @@ FaultInjector::recordOutcome(bool verified, bool result_intact)
             warn("tampered query VERIFIED: %llu injections slipped "
                  "past the tag check (forgery?)",
                  static_cast<unsigned long long>(queryInjected_));
+            // A successful forgery is a flight-recorder anomaly: the
+            // dump preserves the spans leading up to it.
+            SECNDP_RQANOMALY(AnomalyKind::MissedForgery,
+                             RequestTracer::current(),
+                             RequestTracer::now());
         } else {
             ++detected_;
             ++verify_.counter("detected");

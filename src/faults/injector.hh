@@ -46,6 +46,15 @@ struct TamperEvent
     std::uint64_t query = 0;
     /** Global event index. */
     std::uint64_t ordinal = 0;
+    /**
+     * The victim request's trace ID: the RequestTracer thread-local
+     * context at injection time (RequestTracer::noTrace when no
+     * request was in scope). Survives SECNDP_TRACING=0 builds, so
+     * fault -> victim attribution is checkable even without spans --
+     * the redteam harness asserts every event links to exactly one
+     * victim query.
+     */
+    std::uint64_t victimTrace = ~std::uint64_t{0};
 };
 
 /** Policy-driven, seeded fault injector (see file doc). */

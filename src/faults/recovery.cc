@@ -1,5 +1,7 @@
 #include "faults/recovery.hh"
 
+#include "common/request_trace.hh"
+
 namespace secndp {
 
 const char *
@@ -33,6 +35,12 @@ RecoveryLoop::run(const std::function<bool()> &attempt,
     double backoff = policy_.backoffBaseNs;
     for (unsigned r = 0; r < policy_.maxRetries; ++r) {
         ++verify_.counter("retries");
+        // Span base: the victim's completion instant (the serving
+        // loop parks it in the tracer's thread-local "now" along with
+        // the trace ID) plus the penalty already accrued.
+        SECNDP_RQSPAN(RequestTracer::current(), SpanKind::Retry,
+                      RequestTracer::now() + res.penaltyNs,
+                      backoff + reread_cost_ns, 0, r + 1);
         res.penaltyNs += backoff + reread_cost_ns;
         backoff *= policy_.backoffMult;
         ++res.attempts;
@@ -48,6 +56,11 @@ RecoveryLoop::run(const std::function<bool()> &attempt,
 
     if (policy_.hostFallback) {
         res.outcome = RecoveryOutcome::RecoveredFallback;
+        SECNDP_RQSPAN(RequestTracer::current(),
+                      SpanKind::HostFallback,
+                      RequestTracer::now() + res.penaltyNs,
+                      policy_.fallbackCostFactor * reread_cost_ns, 0,
+                      res.attempts);
         res.penaltyNs += policy_.fallbackCostFactor * reread_cost_ns;
         ++verify_.counter("recovered_fallback");
         verify_.histogram("recovery_ns").sample(res.penaltyNs);

@@ -25,9 +25,17 @@ class JsonParser
     }
 
   private:
+    /**
+     * Recursion guard: value() self-recurses once per container
+     * level, so adversarial input like 100k '[' characters would
+     * otherwise overflow the stack. Real sidecars nest 3-4 deep.
+     */
+    static constexpr unsigned maxDepth = 64;
+
     const std::string &s_;
     std::string *err_;
     std::size_t pos_ = 0;
+    unsigned depth_ = 0;
 
     bool fail(const char *what)
     {
@@ -145,11 +153,15 @@ class JsonParser
     {
         switch (peek()) {
           case '{': {
+            if (++depth_ > maxDepth)
+                return fail("nesting too deep");
             out.type_ = JsonValue::Type::Object;
             ++pos_;
             ws();
-            if (eat('}'))
+            if (eat('}')) {
+                --depth_;
                 return true;
+            }
             do {
                 ws();
                 std::string key;
@@ -168,14 +180,19 @@ class JsonParser
             } while (eat(','));
             if (!eat('}'))
                 return fail("expected '}'");
+            --depth_;
             return true;
           }
           case '[': {
+            if (++depth_ > maxDepth)
+                return fail("nesting too deep");
             out.type_ = JsonValue::Type::Array;
             ++pos_;
             ws();
-            if (eat(']'))
+            if (eat(']')) {
+                --depth_;
                 return true;
+            }
             do {
                 ws();
                 JsonValue v;
@@ -186,6 +203,7 @@ class JsonParser
             } while (eat(','));
             if (!eat(']'))
                 return fail("expected ']'");
+            --depth_;
             return true;
           }
           case '"':

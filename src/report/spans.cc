@@ -1,0 +1,421 @@
+#include "report/spans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "report/json.hh"
+#include "report/report.hh"
+
+namespace secndp::report {
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() > suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+bool
+parseSpanSet(const std::string &text, SpanSet &out, std::string *err)
+{
+    JsonValue root;
+    if (!JsonValue::parse(text, root, err))
+        return false;
+    if (!root.isObject()) {
+        if (err)
+            *err = "span file is not a JSON object";
+        return false;
+    }
+    const JsonValue *schema = root.find("schema");
+    if (!schema || !schema->isString() ||
+        (schema->asString() != "secndp-spans-v1" &&
+         schema->asString() != "secndp-flight-v1")) {
+        if (err)
+            *err = "not a secndp span/flight file (bad schema)";
+        return false;
+    }
+    const bool flight = schema->asString() == "secndp-flight-v1";
+
+    const JsonValue *spans = root.find("spans");
+    if (!spans || !spans->isArray()) {
+        if (err)
+            *err = "span file has no spans array";
+        return false;
+    }
+    for (const JsonValue &item : spans->items()) {
+        if (!item.isObject()) {
+            if (err)
+                *err = "span entry is not an object";
+            return false;
+        }
+        const JsonValue *kind = item.find("kind");
+        if (!kind || !kind->isString()) {
+            if (err)
+                *err = "span entry has no kind";
+            return false;
+        }
+        SpanRow row;
+        row.kind = kind->asString();
+        row.seq =
+            static_cast<std::uint64_t>(item.numberOr("seq", 0.0));
+        row.trace =
+            static_cast<std::uint64_t>(item.numberOr("trace", 0.0));
+        row.startNs = item.numberOr("start_ns", 0.0);
+        row.durNs = item.numberOr("dur_ns", 0.0);
+        row.shard =
+            static_cast<std::uint32_t>(item.numberOr("shard", 0.0));
+        row.aux =
+            static_cast<std::uint64_t>(item.numberOr("aux", 0.0));
+        out.spans.push_back(std::move(row));
+    }
+
+    if (flight) {
+        if (const JsonValue *an = root.find("anomaly");
+            an && an->isObject()) {
+            AnomalyRow row;
+            if (const JsonValue *k = an->find("kind");
+                k && k->isString())
+                row.kind = k->asString();
+            row.trace = static_cast<std::uint64_t>(
+                an->numberOr("trace", 0.0));
+            row.atNs = an->numberOr("at_ns", 0.0);
+            out.anomalies.push_back(std::move(row));
+        }
+        out.dropped += static_cast<std::uint64_t>(
+            root.numberOr("dropped", 0.0));
+    }
+    ++out.files;
+    return true;
+}
+
+bool
+loadSpanSet(const std::string &path, SpanSet &out, std::string *err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    if (!parseSpanSet(text, out, err)) {
+        if (err)
+            *err = path + ": " + *err;
+        return false;
+    }
+    return true;
+}
+
+bool
+loadSpanOperand(const std::string &path, SpanSet &out,
+                std::string *err)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> files;
+    if (fs::is_directory(path, ec)) {
+        for (const auto &entry : fs::directory_iterator(path, ec)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string name =
+                entry.path().filename().string();
+            if (hasSuffix(name, ".spans.json") ||
+                hasSuffix(name, ".flight.json"))
+                files.push_back(entry.path().string());
+        }
+        if (ec) {
+            if (err)
+                *err = "cannot list '" + path + "': " + ec.message();
+            return false;
+        }
+        if (files.empty()) {
+            if (err)
+                *err = "no *.spans.json or *.flight.json in '" +
+                       path + "'";
+            return false;
+        }
+        std::sort(files.begin(), files.end());
+    } else {
+        files.push_back(path);
+    }
+    for (const auto &file : files) {
+        if (!loadSpanSet(file, out, err))
+            return false;
+    }
+    std::stable_sort(out.spans.begin(), out.spans.end(),
+                     [](const SpanRow &a, const SpanRow &b) {
+                         return a.seq < b.seq;
+                     });
+    return true;
+}
+
+namespace {
+
+/** p in [0,1] over an already-sorted vector, linear interpolation. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::string
+fmtNs(double v)
+{
+    char buf[48];
+    if (v == std::floor(v) && std::abs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+/** Phases that sum to the span-derived end-to-end latency. */
+constexpr const char *additivePhases[] = {"queue_wait", "sim_drain",
+                                          "retry", "host_fallback"};
+/** Engine windows inside sim_drain (informational, not additive). */
+constexpr const char *overlayPhases[] = {"otp_gen", "verify"};
+
+struct PerTrace
+{
+    double additive[4] = {};
+    double overlay[2] = {};
+    bool hasQueueWait = false;
+    bool hasDrain = false;
+    bool terminal = false; ///< shed or aborted
+};
+
+} // namespace
+
+bool
+printExplain(std::ostream &os, const SpanSet &set,
+             const StatsReport *stats)
+{
+    std::map<std::uint64_t, PerTrace> traces;
+    for (const SpanRow &s : set.spans) {
+        PerTrace &t = traces[s.trace];
+        if (s.kind == "shed" || s.kind == "abort") {
+            t.terminal = true;
+            continue;
+        }
+        for (std::size_t k = 0; k < std::size(additivePhases); ++k) {
+            if (s.kind == additivePhases[k]) {
+                t.additive[k] += s.durNs;
+                if (k == 0)
+                    t.hasQueueWait = true;
+                else if (k == 1)
+                    t.hasDrain = true;
+            }
+        }
+        for (std::size_t k = 0; k < std::size(overlayPhases); ++k) {
+            if (s.kind == overlayPhases[k])
+                t.overlay[k] += s.durNs;
+        }
+    }
+
+    // A request is attributable when its full additive chain is
+    // present (flight dumps truncate: the ring may have evicted a
+    // request's queue_wait but kept its drain).
+    struct Complete
+    {
+        std::uint64_t trace;
+        const PerTrace *t;
+        double latency;
+    };
+    std::vector<Complete> complete;
+    std::size_t terminal = 0, partial = 0;
+    for (const auto &kv : traces) {
+        if (kv.second.terminal) {
+            ++terminal;
+            continue;
+        }
+        if (!kv.second.hasQueueWait || !kv.second.hasDrain) {
+            ++partial;
+            continue;
+        }
+        double lat = 0.0;
+        for (double d : kv.second.additive)
+            lat += d;
+        complete.push_back({kv.first, &kv.second, lat});
+    }
+
+    os << "== explain: " << set.spans.size() << " span(s) from "
+       << set.files << " file(s), " << traces.size() << " trace(s): "
+       << complete.size() << " complete, " << terminal
+       << " shed/aborted, " << partial << " partial";
+    if (set.dropped > 0)
+        os << ", " << set.dropped << " span(s) dropped by the ring";
+    os << " ==\n";
+    for (const AnomalyRow &a : set.anomalies) {
+        os << "  anomaly: " << a.kind << " trace=" << a.trace
+           << " at " << fmtNs(a.atNs) << " ns\n";
+    }
+    if (complete.empty()) {
+        os << "  no complete request to attribute (need queue_wait + "
+              "sim_drain spans)\n";
+        return false;
+    }
+
+    std::vector<double> lat;
+    lat.reserve(complete.size());
+    double lat_sum = 0.0;
+    for (const auto &c : complete) {
+        lat.push_back(c.latency);
+        lat_sum += c.latency;
+    }
+    std::sort(lat.begin(), lat.end());
+    const double p50 = sortedPercentile(lat, 0.50);
+    const double p95 = sortedPercentile(lat, 0.95);
+    const double p99 = sortedPercentile(lat, 0.99);
+
+    // Per-phase duration distribution across complete requests.
+    char head[192];
+    std::snprintf(head, sizeof(head),
+                  "  %-22s %10s %10s %10s %10s %7s\n", "phase (ns)",
+                  "p50", "p95", "p99", "mean", "share%");
+    os << head;
+    const auto phaseRow = [&](const char *name, bool overlay,
+                              auto getter) {
+        std::vector<double> durs;
+        durs.reserve(complete.size());
+        double sum = 0.0;
+        for (const auto &c : complete) {
+            durs.push_back(getter(*c.t));
+            sum += durs.back();
+        }
+        std::sort(durs.begin(), durs.end());
+        char line[224];
+        std::snprintf(line, sizeof(line),
+                      "  %-22s %10s %10s %10s %10s %6.1f%%\n",
+                      (std::string(name) + (overlay ? " ^" : ""))
+                          .c_str(),
+                      fmtNs(sortedPercentile(durs, 0.50)).c_str(),
+                      fmtNs(sortedPercentile(durs, 0.95)).c_str(),
+                      fmtNs(sortedPercentile(durs, 0.99)).c_str(),
+                      fmtNs(sum / durs.size()).c_str(),
+                      lat_sum > 0.0 ? sum / lat_sum * 100.0 : 0.0);
+        os << line;
+    };
+    for (std::size_t k = 0; k < std::size(additivePhases); ++k) {
+        phaseRow(additivePhases[k], false,
+                 [k](const PerTrace &t) { return t.additive[k]; });
+    }
+    for (std::size_t k = 0; k < std::size(overlayPhases); ++k) {
+        phaseRow(overlayPhases[k], true,
+                 [k](const PerTrace &t) { return t.overlay[k]; });
+    }
+    os << "  (^ overlays sim_drain: engine window, not additive)\n";
+
+    // Latency cohorts: who pays the tail, and which phase dominates.
+    std::snprintf(head, sizeof(head),
+                  "  %-12s %8s %12s %16s %14s\n", "cohort", "reqs",
+                  "mean_lat", "dominant_phase", "exemplar");
+    os << head;
+    struct Cohort
+    {
+        const char *name;
+        double lo, hi; ///< (lo, hi]
+    };
+    const double inf = std::numeric_limits<double>::infinity();
+    const Cohort cohorts[] = {{"<=p50", -inf, p50},
+                              {"(p50,p95]", p50, p95},
+                              {"(p95,p99]", p95, p99},
+                              {">p99", p99, inf}};
+    for (const Cohort &co : cohorts) {
+        double sums[std::size(additivePhases)] = {};
+        double lat_acc = 0.0, worst = -inf;
+        std::size_t n = 0;
+        std::uint64_t exemplar = 0;
+        for (const auto &c : complete) {
+            if (c.latency <= co.lo || c.latency > co.hi)
+                continue;
+            ++n;
+            lat_acc += c.latency;
+            for (std::size_t k = 0; k < std::size(additivePhases);
+                 ++k)
+                sums[k] += c.t->additive[k];
+            if (c.latency > worst) {
+                worst = c.latency;
+                exemplar = c.trace;
+            }
+        }
+        char line[224];
+        if (n == 0) {
+            std::snprintf(line, sizeof(line),
+                          "  %-12s %8s %12s %16s %14s\n", co.name,
+                          "0", "-", "-", "-");
+            os << line;
+            continue;
+        }
+        std::size_t dom = 0;
+        for (std::size_t k = 1; k < std::size(additivePhases); ++k)
+            if (sums[k] > sums[dom])
+                dom = k;
+        char ex[32];
+        std::snprintf(ex, sizeof(ex), "trace %llu",
+                      static_cast<unsigned long long>(exemplar));
+        std::snprintf(line, sizeof(line),
+                      "  %-12s %8zu %12s %16s %14s\n", co.name, n,
+                      fmtNs(lat_acc / n).c_str(), additivePhases[dom],
+                      ex);
+        os << line;
+    }
+
+    // Cross-check the span-derived percentiles against the sidecar
+    // histogram: spans are exact, the log2 histogram interpolates, so
+    // they should agree to within a bucket.
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "  span-derived latency: p50 %s  p95 %s  p99 %s\n",
+                  fmtNs(p50).c_str(), fmtNs(p95).c_str(),
+                  fmtNs(p99).c_str());
+    os << line;
+    if (stats) {
+        const auto side = [&](const char *f) -> std::string {
+            auto it =
+                stats->metrics.find(std::string("serve.latency_ns.") +
+                                    f);
+            return it == stats->metrics.end() ? "-"
+                                              : fmtNs(it->second);
+        };
+        std::snprintf(line, sizeof(line),
+                      "  sidecar  latency_ns:  p50 %s  p95 %s  p99 %s"
+                      "  (count %s)\n",
+                      side("p50").c_str(), side("p95").c_str(),
+                      side("p99").c_str(), side("count").c_str());
+        os << line;
+    }
+    return true;
+}
+
+} // namespace secndp::report

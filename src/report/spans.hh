@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Span-log / flight-dump loading and the `secndp_report explain`
+ * tail-latency attribution engine.
+ *
+ * Input files are the request tracer's two schemas (see
+ * common/request_trace.hh): "secndp-spans-v1" full span logs and
+ * "secndp-flight-v1" anomaly dumps. A span operand may be a single
+ * file or a directory, in which case every `*.spans.json` and
+ * `*.flight.json` inside is merged (non-recursive).
+ *
+ * Kinds are kept as strings here on purpose: the report library
+ * layers below src/common and must not depend on the tracer's enums.
+ * Phase math recognizes the serving-layer vocabulary (`queue_wait`,
+ * `sim_drain`, `retry`, `host_fallback` are additive; `otp_gen` and
+ * `verify` overlay `sim_drain`; `shed`/`abort` are terminal), and
+ * unknown kinds pass through untouched so newer span logs still load.
+ */
+
+#ifndef SECNDP_REPORT_SPANS_HH
+#define SECNDP_REPORT_SPANS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace secndp::report {
+
+struct StatsReport;
+
+/** One span row, as loaded (kind kept verbatim). */
+struct SpanRow
+{
+    std::uint64_t seq = 0;
+    std::uint64_t trace = 0;
+    std::string kind;
+    double startNs = 0.0;
+    double durNs = 0.0;
+    std::uint32_t shard = 0;
+    std::uint64_t aux = 0;
+};
+
+/** The anomaly header of a flight dump. */
+struct AnomalyRow
+{
+    std::string kind;
+    std::uint64_t trace = 0;
+    double atNs = 0.0;
+};
+
+/** One or more merged span files. */
+struct SpanSet
+{
+    std::vector<SpanRow> spans;        ///< merged, seq-sorted
+    std::vector<AnomalyRow> anomalies; ///< one per flight dump
+    std::uint64_t dropped = 0;         ///< summed flight "dropped"
+    std::size_t files = 0;
+};
+
+/** Parse one span/flight file's text into (appended onto) `out`. */
+bool parseSpanSet(const std::string &text, SpanSet &out,
+                  std::string *err = nullptr);
+
+/** Load and parse one span/flight file. */
+bool loadSpanSet(const std::string &path, SpanSet &out,
+                 std::string *err = nullptr);
+
+/**
+ * Load a span operand: a file, or a directory expanded to every
+ * *.spans.json / *.flight.json inside (sorted; non-recursive).
+ * Re-sorts the merged set by seq.
+ */
+bool loadSpanOperand(const std::string &path, SpanSet &out,
+                     std::string *err = nullptr);
+
+/**
+ * Print the per-phase tail-latency attribution: per-phase
+ * p50/p95/p99/mean durations, latency cohorts (<=p50 .. >p99 of the
+ * span-derived end-to-end latency) with their dominant phase and an
+ * exemplar trace ID, plus a cross-check against the sidecar's
+ * serve.latency_ns percentiles when `stats` is given.
+ *
+ * Returns false (after printing a diagnostic) when the span set has
+ * no complete request to attribute.
+ */
+bool printExplain(std::ostream &os, const SpanSet &set,
+                  const StatsReport *stats);
+
+} // namespace secndp::report
+
+#endif // SECNDP_REPORT_SPANS_HH

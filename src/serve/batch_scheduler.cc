@@ -57,6 +57,7 @@ runShardedBatch(const SystemConfig &cfg, ExecMode mode,
     BatchExecution exec;
     exec.requestServiceNs.resize(batch.size(), 0.0);
     exec.requestShard.resize(batch.size(), 0);
+    exec.requestTiming.resize(batch.size());
 
     // Round-robin request -> channel assignment. Requests keep their
     // batch order inside a shard, so the sub-trace is deterministic.
@@ -80,8 +81,19 @@ runShardedBatch(const SystemConfig &cfg, ExecMode mode,
             continue;
         const RunMetrics m =
             runWorkload(shard_cfg, shard_traces[s], mode, mappers[s]);
-        for (std::size_t i : shard_members[s])
-            exec.requestServiceNs[i] = m.ns;
+        for (std::size_t k = 0; k < shard_members[s].size(); ++k) {
+            const std::size_t i = shard_members[s][k];
+            // Per-query completion when the simulator reports it;
+            // whole-shard drain as the conservative fallback.
+            if (k < m.perQuery.size() &&
+                m.perQuery[k].finishNs > 0.0) {
+                exec.requestServiceNs[i] = m.perQuery[k].finishNs;
+                exec.requestTiming[i] = m.perQuery[k];
+            } else {
+                exec.requestServiceNs[i] = m.ns;
+                exec.requestTiming[i].finishNs = m.ns;
+            }
+        }
         exec.batchServiceNs = std::max(exec.batchServiceNs, m.ns);
 
         // Channels run in parallel: cycle/time metrics max, work

@@ -44,11 +44,16 @@ struct BatchPolicy
 /** Per-request outcome of executing one batch. */
 struct BatchExecution
 {
-    /** Service time of each request's shard, ns (index-aligned with
-     *  the batch passed to run()). */
+    /** Per-request completion on the shard timeline, ns (index-
+     *  aligned with the batch passed to run()): the request's *own*
+     *  packet finish, not the whole shard's drain -- early queries in
+     *  a shard no longer pay for their co-batched successors. */
     std::vector<double> requestServiceNs;
     /** Shard each request executed on. */
     std::vector<unsigned> requestShard;
+    /** Per-request lifecycle windows (otp_gen/verify spans), batch
+     *  index-aligned, on the shard timeline. */
+    std::vector<QueryTiming> requestTiming;
     /** Slowest shard -- the batch holds the system this long. */
     double batchServiceNs = 0.0;
     /** Merged simulator metrics across shards. */

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/phase_profiler.hh"
+#include "common/request_trace.hh"
 #include "common/rng.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
@@ -285,6 +286,12 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             } else {
                 ++rep.rejected;
                 ++serve.counter("requests_rejected");
+                // Load shedding is a flight-recorder anomaly: the
+                // dump captures what the system was doing when the
+                // queue filled.
+                SECNDP_RQSPAN(r.id, SpanKind::Shed, t, 0.0, 0,
+                              queue.size());
+                SECNDP_RQANOMALY(AnomalyKind::Shed, r.id, t);
                 // A closed-loop user whose request was shed issues
                 // the next one immediately.
                 if (load.mode == LoadMode::Closed && issued < total)
@@ -317,11 +324,46 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                     const ServeRequest &r = batch[i];
                     double completion =
                         start + exec.requestServiceNs[i];
+#if SECNDP_TRACING
+                    // Lifecycle spans, emission-ordered: wait ->
+                    // flush -> engine windows -> channel drain.
+                    // Everything is on the global virtual timeline
+                    // (shard windows offset by the batch start).
+                    if (SECNDP_RQTRACE_ACTIVE()) {
+                        auto &rq = RequestTracer::instance();
+                        const QueryTiming &qt = exec.requestTiming[i];
+                        const unsigned s = exec.requestShard[i];
+                        rq.record(r.id, SpanKind::QueueWait,
+                                  r.arrivalNs, start - r.arrivalNs,
+                                  s, 0);
+                        rq.record(r.id, SpanKind::BatchForm, start,
+                                  0.0, s, batch.size());
+                        if (qt.otpDurNs > 0.0) {
+                            rq.record(r.id, SpanKind::OtpGen,
+                                      start + qt.otpStartNs,
+                                      qt.otpDurNs, s, qt.otpBlocks);
+                        }
+                        rq.record(r.id, SpanKind::SimDrain, start,
+                                  exec.requestServiceNs[i], s,
+                                  qt.decryptBound);
+                        if (qt.verifyDurNs > 0.0) {
+                            rq.record(r.id, SpanKind::Verify,
+                                      start + qt.verifyStartNs,
+                                      qt.verifyDurNs, s, 0);
+                        }
+                    }
+#endif
                     bool abort_req = false;
                     if (shadow) {
+                        // Park trace context for the injector's
+                        // fault -> victim cross-links and the
+                        // recovery ladder's retry/fallback spans.
+                        RequestTracer::setCurrent(r.id);
+                        RequestTracer::setNow(completion);
                         const auto rec = shadow->recovery().run(
                             [&] { return shadow->verifyOnce(r.id); },
                             exec.requestServiceNs[i]);
+                        RequestTracer::clearCurrent();
                         completion += rec.penaltyNs;
                         switch (rec.outcome) {
                         case RecoveryOutcome::Clean:
@@ -340,9 +382,16 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                     if (abort_req) {
                         // Terminal shed/abort: the result could never
                         // be verified, so the request leaves the
-                        // system unserved and unsampled.
+                        // system unserved and unsampled. Span first,
+                        // then the anomaly -- the flight dump's last
+                        // span must be the aborting request itself.
                         ++rep.aborted;
                         ++serve.counter("requests_aborted");
+                        SECNDP_RQSPAN(r.id, SpanKind::Abort,
+                                      completion, 0.0,
+                                      exec.requestShard[i], 0);
+                        SECNDP_RQANOMALY(AnomalyKind::Abort, r.id,
+                                         completion);
                     } else {
                         const double latency = completion - r.arrivalNs;
                         serve.histogram("latency_ns").sample(latency);
@@ -355,6 +404,16 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                             ++rep.deadlineMisses;
                             ++serve.counter("deadline_misses");
                         }
+#if SECNDP_TRACING
+                        {
+                            auto &rq = RequestTracer::instance();
+                            if (rq.active() && rq.sloNs() > 0.0 &&
+                                latency > rq.sloNs()) {
+                                rq.anomaly(AnomalyKind::SloBreach,
+                                           r.id, completion);
+                            }
+                        }
+#endif
                         ++rep.completed;
                         ++serve.counter("requests_completed");
                     }
@@ -411,6 +470,26 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
         ScopedPhase phase("verify_drain");
         workers.drain();
     }
+
+#if SECNDP_TRACING
+    // Publish flight-recorder accounting into the sidecar, but only
+    // when tracing was armed: an untraced run must stay byte-identical
+    // to the pre-tracing baselines (no "trace" group at all).
+    if (RequestTracer::instance().active()) {
+        auto &rq = RequestTracer::instance();
+        StatGroup trace("trace");
+        trace.counter("spans") = rq.spansRecorded();
+        trace.counter("spans_dropped") = rq.droppedSpans();
+        trace.counter("anomalies") = rq.anomalyCount();
+        trace.counter("flight_dumps") = rq.flightDumps();
+        trace.counter("slo_breaches") =
+            rq.anomalyCountOf(AnomalyKind::SloBreach);
+        trace.counter("sheds") =
+            rq.anomalyCountOf(AnomalyKind::Shed);
+        trace.counter("aborts") =
+            rq.anomalyCountOf(AnomalyKind::Abort);
+    }
+#endif
 
     rep.makespanNs = std::max(busy_until, now);
     rep.sustainedQps = rep.makespanNs > 0

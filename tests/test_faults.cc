@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/request_trace.hh"
 #include "common/rng.hh"
 #include "faults/fault_spec.hh"
 #include "faults/injector.hh"
@@ -219,6 +220,34 @@ TEST_F(FaultInjectorTest, EveryKindAtRateOneIsDetected)
         EXPECT_EQ(inj.missedQueries(), 0u) << kind;
         EXPECT_DOUBLE_EQ(inj.detectionRate(), 1.0) << kind;
         EXPECT_GT(inj.injectedOf(spec.rules[0].kind), 0u) << kind;
+    }
+}
+
+TEST_F(FaultInjectorTest, TamperEventsCaptureTheVictimTrace)
+{
+    // Victim attribution must work even with tracing compiled out:
+    // the TLS trace context and TamperEvent::victimTrace are built
+    // unconditionally so the redteam link assertion always holds.
+    FaultSpec spec = specOf("flip:rate=1");
+    FaultInjector inj(spec, 3, /*register_stats=*/false);
+    device.attachTamperHook(&inj);
+    for (std::uint64_t q = 0; q < 4; ++q) {
+        RequestTracer::setCurrent(9000 + q);
+        query(inj, q);
+        RequestTracer::clearCurrent();
+    }
+    // One more query with no trace in scope.
+    query(inj, 4);
+    device.attachTamperHook(nullptr);
+
+    ASSERT_GE(inj.events().size(), 5u);
+    for (const TamperEvent &ev : inj.events()) {
+        if (ev.query < 4) {
+            EXPECT_EQ(ev.victimTrace, 9000 + ev.query)
+                << "query " << ev.query;
+        } else {
+            EXPECT_EQ(ev.victimTrace, RequestTracer::noTrace);
+        }
     }
 }
 

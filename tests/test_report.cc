@@ -21,6 +21,7 @@
 #include "common/stats.hh"
 #include "report/json.hh"
 #include "report/report.hh"
+#include "report/spans.hh"
 
 namespace secndp::report {
 namespace {
@@ -69,6 +70,70 @@ TEST(Json, RejectsMalformedInput)
     EXPECT_FALSE(JsonValue::parse("[1,]", v));
     EXPECT_FALSE(JsonValue::parse("{} junk", v));
     EXPECT_FALSE(JsonValue::parse("'single'", v));
+}
+
+TEST(Json, RejectsNanAndInfinityLiterals)
+{
+    // RFC 8259 has no NaN/Infinity tokens; a sidecar containing them
+    // is corrupt and must fail loudly, not load as garbage numbers.
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse("NaN", v));
+    EXPECT_FALSE(JsonValue::parse("nan", v));
+    EXPECT_FALSE(JsonValue::parse("Infinity", v));
+    EXPECT_FALSE(JsonValue::parse("-Infinity", v));
+    EXPECT_FALSE(JsonValue::parse("{\"x\": NaN}", v));
+    EXPECT_FALSE(JsonValue::parse("{\"x\": -Infinity}", v));
+    EXPECT_FALSE(JsonValue::parse("[1, Infinity]", v));
+    // The writers emit null for non-finite values; that stays legal.
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse("{\"x\": null}", v, &err)) << err;
+    EXPECT_TRUE(v.find("x")->isNull());
+}
+
+TEST(Json, RejectsPathologicallyDeepNesting)
+{
+    // value() recurses per container level: adversarial input must
+    // hit the depth limit, not the process stack guard.
+    JsonValue v;
+    std::string err;
+    const std::string deep_arrays(100000, '[');
+    EXPECT_FALSE(JsonValue::parse(deep_arrays, v, &err));
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+
+    std::string deep_objects;
+    for (int i = 0; i < 100000; ++i)
+        deep_objects += "{\"a\":";
+    EXPECT_FALSE(JsonValue::parse(deep_objects, v, &err));
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+
+    // Real sidecars nest a handful of levels; 32 must still parse.
+    std::string ok(32, '[');
+    ok += std::string(32, ']');
+    EXPECT_TRUE(JsonValue::parse(ok, v, &err)) << err;
+
+    // The guard tracks depth, not total containers: a long flat
+    // array of shallow objects is fine.
+    std::string flat = "[";
+    for (int i = 0; i < 200; ++i)
+        flat += std::string(i ? ",{\"a\":[1]}" : "{\"a\":[1]}");
+    flat += "]";
+    EXPECT_TRUE(JsonValue::parse(flat, v, &err)) << err;
+}
+
+TEST(Json, DuplicateKeysPreservedAndFindReturnsFirst)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse("{\"k\": 1, \"k\": 2, \"j\": 3}", v,
+                                 &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    // Documented contract: members() keeps file order including
+    // duplicates; find() resolves to the first.
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("k")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("k", 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(v.members()[1].second.asNumber(), 2.0);
 }
 
 // ------------------------------------------------------ report loading

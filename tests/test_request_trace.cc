@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the per-request span tracer and anomaly flight recorder
+ * (common/request_trace.hh): ring retention and drop accounting,
+ * cross-thread seq-ordered merging, the thread-local trace context,
+ * first-anomaly-wins flight dumps, and the on-disk span schemas as
+ * consumed back by the report library.
+ *
+ * Lives in the tests_report binary: RequestTracer is a process-wide
+ * singleton (like Sampler) and these tests arm/disarm it freely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/request_trace.hh"
+#include "report/spans.hh"
+
+namespace secndp {
+namespace {
+
+#if SECNDP_TRACING
+
+/** Arm the tracer fresh and disarm on scope exit. */
+class ScopedTracer
+{
+  public:
+    explicit ScopedTracer(RequestTracer::Config cfg = {})
+    {
+        EXPECT_TRUE(RequestTracer::instance().start(cfg));
+    }
+    ~ScopedTracer() { RequestTracer::instance().stop(); }
+};
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(RequestTrace, InactiveRecordIsANoOp)
+{
+    auto &rq = RequestTracer::instance();
+    rq.stop();
+    rq.record(1, SpanKind::QueueWait, 0.0, 1.0);
+    rq.anomaly(AnomalyKind::Abort, 1, 0.0);
+    EXPECT_EQ(rq.mergedSpans().size(), 0u);
+}
+
+TEST(RequestTrace, SpanLogKeepsEverySpanInOrder)
+{
+    RequestTracer::Config cfg;
+    cfg.keepSpanLog = true;
+    cfg.flightCapacity = 4; // much smaller than the span count
+    ScopedTracer scoped(cfg);
+    auto &rq = RequestTracer::instance();
+
+    for (std::uint64_t i = 0; i < 16; ++i)
+        rq.record(i, SpanKind::SimDrain, 10.0 * i, 1.0, i % 2, i);
+
+    const auto log = rq.spanLog();
+    ASSERT_EQ(log.size(), 16u);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(log[i].seq, i);
+        EXPECT_EQ(log[i].trace, i);
+        EXPECT_EQ(log[i].kind, SpanKind::SimDrain);
+        EXPECT_DOUBLE_EQ(log[i].startNs, 10.0 * i);
+        EXPECT_EQ(log[i].aux, i);
+    }
+    EXPECT_EQ(rq.spansRecorded(), 16u);
+}
+
+TEST(RequestTrace, FlightRingKeepsOnlyTheLastSpans)
+{
+    RequestTracer::Config cfg;
+    cfg.flightCapacity = 4;
+    ScopedTracer scoped(cfg);
+    auto &rq = RequestTracer::instance();
+
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rq.record(i, SpanKind::Verify, 1.0 * i, 1.0);
+
+    const auto spans = rq.mergedSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest retained first; the last span is the most recent.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(spans[i].trace, 6 + i);
+    EXPECT_EQ(rq.droppedSpans(), 6u);
+}
+
+TEST(RequestTrace, MergedSpansFromManyThreadsSortBySeq)
+{
+    RequestTracer::Config cfg;
+    cfg.flightCapacity = 1024;
+    ScopedTracer scoped(cfg);
+    auto &rq = RequestTracer::instance();
+
+    constexpr unsigned threads = 4;
+    constexpr unsigned perThread = 64;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([t, &rq] {
+            for (unsigned i = 0; i < perThread; ++i)
+                rq.record(t, SpanKind::OtpGen, i, 1.0, t);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    const auto spans = rq.mergedSpans();
+    ASSERT_EQ(spans.size(), threads * perThread);
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_LT(spans[i - 1].seq, spans[i].seq);
+    EXPECT_EQ(rq.droppedSpans(), 0u);
+}
+
+TEST(RequestTrace, RestartResetsStateAndReregistersRings)
+{
+    RequestTracer::Config cfg;
+    cfg.flightCapacity = 8;
+    auto &rq = RequestTracer::instance();
+
+    ASSERT_TRUE(rq.start(cfg));
+    rq.record(1, SpanKind::Retry, 0.0, 1.0);
+    EXPECT_EQ(rq.mergedSpans().size(), 1u);
+
+    // Re-arming drops everything; this thread's cached ring pointer
+    // is stale (epoch bumped) and must transparently re-register.
+    ASSERT_TRUE(rq.start(cfg));
+    EXPECT_EQ(rq.mergedSpans().size(), 0u);
+    EXPECT_EQ(rq.spansRecorded(), 0u);
+    rq.record(2, SpanKind::Retry, 0.0, 1.0);
+    const auto spans = rq.mergedSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].trace, 2u);
+    rq.stop();
+}
+
+TEST(RequestTrace, TraceContextIsThreadLocal)
+{
+    RequestTracer::setCurrent(77);
+    RequestTracer::setNow(123.5);
+    EXPECT_EQ(RequestTracer::current(), 77u);
+    EXPECT_DOUBLE_EQ(RequestTracer::now(), 123.5);
+
+    std::uint64_t other = 0;
+    std::thread([&other] {
+        // A fresh thread starts with no trace in scope.
+        other = RequestTracer::current();
+        RequestTracer::setCurrent(5);
+    }).join();
+    EXPECT_EQ(other, RequestTracer::noTrace);
+    EXPECT_EQ(RequestTracer::current(), 77u); // unaffected
+
+    RequestTracer::clearCurrent();
+    EXPECT_EQ(RequestTracer::current(), RequestTracer::noTrace);
+}
+
+TEST(RequestTrace, FirstAnomalyWinsTheFlightDump)
+{
+    const std::string path = tmpPath("first_anomaly.flight.json");
+    std::remove(path.c_str());
+
+    RequestTracer::Config cfg;
+    cfg.flightPath = path;
+    ScopedTracer scoped(cfg);
+    auto &rq = RequestTracer::instance();
+
+    rq.record(9, SpanKind::SimDrain, 0.0, 5.0);
+    rq.anomaly(AnomalyKind::Shed, 9, 5.0);
+    rq.record(10, SpanKind::SimDrain, 6.0, 5.0);
+    rq.anomaly(AnomalyKind::Abort, 10, 11.0);
+
+    EXPECT_EQ(rq.flightDumps(), 1u);
+    EXPECT_EQ(rq.anomalyCount(), 2u);
+    EXPECT_EQ(rq.anomalyCountOf(AnomalyKind::Shed), 1u);
+    EXPECT_EQ(rq.anomalyCountOf(AnomalyKind::Abort), 1u);
+
+    // The dump froze the FIRST incident: one span, the shed trace.
+    report::SpanSet set;
+    std::string err;
+    ASSERT_TRUE(report::loadSpanSet(path, set, &err)) << err;
+    ASSERT_EQ(set.anomalies.size(), 1u);
+    EXPECT_EQ(set.anomalies[0].kind, "shed");
+    EXPECT_EQ(set.anomalies[0].trace, 9u);
+    ASSERT_EQ(set.spans.size(), 1u);
+    EXPECT_EQ(set.spans.back().trace, 9u);
+    std::remove(path.c_str());
+}
+
+TEST(RequestTrace, SpanLogRoundTripsThroughTheReportParser)
+{
+    const std::string path = tmpPath("roundtrip.spans.json");
+    std::remove(path.c_str());
+
+    RequestTracer::Config cfg;
+    cfg.keepSpanLog = true;
+    ScopedTracer scoped(cfg);
+    auto &rq = RequestTracer::instance();
+
+    // Exercise every kind plus a non-integral timestamp that needs
+    // all 17 digits to round-trip.
+    for (unsigned k = 0; k < spanKindCount; ++k) {
+        rq.record(1000 + k, static_cast<SpanKind>(k),
+                  1234.5678901234567, 0.1 * k, k, 42 + k);
+    }
+    ASSERT_TRUE(rq.writeSpanLog(path));
+
+    report::SpanSet set;
+    std::string err;
+    ASSERT_TRUE(report::loadSpanSet(path, set, &err)) << err;
+    ASSERT_EQ(set.spans.size(), spanKindCount);
+    EXPECT_TRUE(set.anomalies.empty());
+    for (unsigned k = 0; k < spanKindCount; ++k) {
+        const report::SpanRow &row = set.spans[k];
+        EXPECT_EQ(row.seq, k);
+        EXPECT_EQ(row.trace, 1000 + k);
+        EXPECT_EQ(row.kind,
+                  spanKindName(static_cast<SpanKind>(k)));
+        EXPECT_DOUBLE_EQ(row.startNs, 1234.5678901234567);
+        EXPECT_DOUBLE_EQ(row.durNs, 0.1 * k);
+        EXPECT_EQ(row.shard, k);
+        EXPECT_EQ(row.aux, 42u + k);
+        // The writer's name must parse back to the same enum.
+        SpanKind parsed;
+        ASSERT_TRUE(parseSpanKind(row.kind, parsed));
+        EXPECT_EQ(parsed, static_cast<SpanKind>(k));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RequestTrace, ManualFlightDumpHasNullAnomaly)
+{
+    const std::string path = tmpPath("manual.flight.json");
+    std::remove(path.c_str());
+
+    ScopedTracer scoped;
+    auto &rq = RequestTracer::instance();
+    rq.record(3, SpanKind::QueueWait, 0.0, 7.0);
+    ASSERT_TRUE(rq.writeFlight(path));
+
+    report::SpanSet set;
+    std::string err;
+    ASSERT_TRUE(report::loadSpanSet(path, set, &err)) << err;
+    EXPECT_TRUE(set.anomalies.empty()); // "anomaly": null
+    ASSERT_EQ(set.spans.size(), 1u);
+    EXPECT_EQ(set.spans[0].trace, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(RequestTrace, KindNamesRoundTrip)
+{
+    for (unsigned k = 0; k < spanKindCount; ++k) {
+        const SpanKind kind = static_cast<SpanKind>(k);
+        SpanKind parsed;
+        ASSERT_TRUE(parseSpanKind(spanKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    SpanKind parsed;
+    EXPECT_FALSE(parseSpanKind("no_such_kind", parsed));
+}
+
+#else // !SECNDP_TRACING
+
+TEST(RequestTrace, CompiledOutStartRefusesToArm)
+{
+    auto &rq = RequestTracer::instance();
+    EXPECT_FALSE(rq.start({}));
+    EXPECT_FALSE(rq.active());
+    EXPECT_FALSE(SECNDP_RQTRACE_ACTIVE());
+    // The context thread-locals survive compile-out (the fault
+    // injector's victim attribution relies on them).
+    RequestTracer::setCurrent(11);
+    EXPECT_EQ(RequestTracer::current(), 11u);
+    RequestTracer::clearCurrent();
+}
+
+#endif // SECNDP_TRACING
+
+} // namespace
+} // namespace secndp

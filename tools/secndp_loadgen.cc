@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/request_trace.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
 #include "serve/server.hh"
@@ -75,11 +76,59 @@ struct Options
     double retryBackoffUs = 2.0;
     bool noFallback = false;
     bool allowShed = false;
+    // Tracing / flight recorder.
+    std::string traceRequests;
+    std::string flightOut;
+    double sloUs = 0.0;
     // Outputs.
     std::string statsJson;
     std::string timeseriesOut;
     std::int64_t sampleInterval = Sampler::defaultInterval;
 };
+
+/**
+ * Abort-path output flush (registered with atexit): fatal() exits the
+ * process mid-run, which used to drop every requested sidecar -- the
+ * one run you most want to examine is the one that died. The handler
+ * writes whatever --stats-json/--timeseries-out/--trace-requests
+ * outputs the normal path has not written yet, tagging the stats
+ * sidecar with meta partial=1 so report tooling refuses to diff it
+ * against complete baselines.
+ */
+struct PendingOutputs
+{
+    std::string statsJson;
+    std::string timeseriesOut;
+    std::string traceRequests;
+    bool statsWritten = false;
+    bool timeseriesWritten = false;
+    bool spansWritten = false;
+    bool armed = false;
+};
+
+PendingOutputs pending;
+
+void
+flushPendingOutputs()
+{
+    if (!pending.armed)
+        return;
+    pending.armed = false;
+    if (!pending.timeseriesWritten && !pending.timeseriesOut.empty())
+        (void)Sampler::instance().writeCsv(pending.timeseriesOut);
+    if (!pending.statsWritten && !pending.statsJson.empty()) {
+        StatRegistry::instance().setMeta("partial", "1");
+        std::ofstream os(pending.statsJson);
+        if (os)
+            StatRegistry::instance().dumpJson(os);
+    }
+#if SECNDP_TRACING
+    if (!pending.spansWritten && !pending.traceRequests.empty() &&
+        RequestTracer::instance().active())
+        (void)RequestTracer::instance().writeSpanLog(
+            pending.traceRequests);
+#endif
+}
 
 void
 printUsage(std::FILE *to, const char *argv0)
@@ -101,6 +150,8 @@ printUsage(std::FILE *to, const char *argv0)
         "[--retry-max N]\n"
         "          [--retry-backoff-us F] [--no-fallback] "
         "[--allow-shed]\n"
+        "          [--trace-requests FILE] [--flight-out FILE] "
+        "[--slo-us F]\n"
         "          [--stats-json FILE] [--timeseries-out FILE]\n"
         "          [--sample-interval CYCLES] "
         "[--log-level debug|info|warn|error] [--help]\n"
@@ -124,6 +175,15 @@ printUsage(std::FILE *to, const char *argv0)
         "(failures abort)\n"
         "  --allow-shed       exit 0 even when admission sheds "
         "requests\n"
+        "  --trace-requests FILE  full per-request span log "
+        "(secndp-spans-v1; see\n"
+        "                     'secndp_report explain')\n"
+        "  --flight-out FILE  flight-recorder dump written on the "
+        "first anomaly\n"
+        "                     (abort / shed / missed forgery / SLO "
+        "breach)\n"
+        "  --slo-us F         latency SLO; breaches count as "
+        "flight-recorder anomalies\n"
         "  --stats-json FILE  schema-v2 stats report "
         "(serve.* / serve_worker.* groups)\n",
         argv0);
@@ -230,6 +290,9 @@ main(int argc, char **argv)
             opt.retryBackoffUs = std::stod(next());
         else if (arg == "--no-fallback") opt.noFallback = true;
         else if (arg == "--allow-shed") opt.allowShed = true;
+        else if (arg == "--trace-requests") opt.traceRequests = next();
+        else if (arg == "--flight-out") opt.flightOut = next();
+        else if (arg == "--slo-us") opt.sloUs = std::stod(next());
         else if (arg == "--stats-json") opt.statsJson = next();
         else if (arg == "--timeseries-out") opt.timeseriesOut = next();
         else if (arg == "--sample-interval") {
@@ -250,6 +313,19 @@ main(int argc, char **argv)
         fatal("--requests must be positive");
     if (opt.maxBatch == 0)
         fatal("--max-batch must be positive");
+
+    const bool tracing = !opt.traceRequests.empty() ||
+                         !opt.flightOut.empty() || opt.sloUs > 0.0;
+    if (tracing) {
+        RequestTracer::Config tcfg;
+        tcfg.keepSpanLog = !opt.traceRequests.empty();
+        tcfg.flightPath = opt.flightOut;
+        tcfg.sloNs = opt.sloUs * 1000.0;
+        if (!RequestTracer::instance().start(tcfg)) {
+            fatal("--trace-requests/--flight-out/--slo-us need a "
+                  "tracing build (-DSECNDP_ENABLE_TRACING=ON)");
+        }
+    }
 
     LoadConfig load;
     if (opt.mode == "open") load.mode = LoadMode::Open;
@@ -329,7 +405,22 @@ main(int argc, char **argv)
                           opt.noFallback ? 0 : 1);
             reg.setMeta("recovery", rec);
         }
+        // Traced runs carry a trace key (no file paths: sidecars must
+        // byte-compare across output directories); untraced runs have
+        // no key at all, keeping them comparable to old baselines.
+        if (tracing) {
+            char tr[64];
+            std::snprintf(tr, sizeof(tr), "on slo_us=%.2f",
+                          opt.sloUs);
+            reg.setMeta("trace", tr);
+        }
     }
+
+    pending.statsJson = opt.statsJson;
+    pending.timeseriesOut = opt.timeseriesOut;
+    pending.traceRequests = opt.traceRequests;
+    pending.armed = true;
+    std::atexit(flushPendingOutputs);
 
     // Build the request pool: `pool` distinct queries requests cycle
     // through round-robin.
@@ -361,6 +452,7 @@ main(int argc, char **argv)
     const ServeReport rep = runServe(cfg, load, pool);
 
     if (!opt.timeseriesOut.empty()) {
+        pending.timeseriesWritten = true;
         if (!Sampler::instance().writeCsv(opt.timeseriesOut)) {
             fatal("cannot write --timeseries-out file '%s'",
                   opt.timeseriesOut.c_str());
@@ -372,6 +464,7 @@ main(int argc, char **argv)
         Sampler::instance().stop();
     }
     if (!opt.statsJson.empty()) {
+        pending.statsWritten = true;
         std::ofstream os(opt.statsJson);
         if (!os)
             fatal("cannot open --stats-json file '%s'",
@@ -379,6 +472,34 @@ main(int argc, char **argv)
         StatRegistry::instance().dumpJson(os);
         std::printf("stats           %s\n", opt.statsJson.c_str());
     }
+#if SECNDP_TRACING
+    if (tracing) {
+        auto &rq = RequestTracer::instance();
+        if (!opt.traceRequests.empty()) {
+            pending.spansWritten = true;
+            if (!rq.writeSpanLog(opt.traceRequests)) {
+                fatal("cannot write --trace-requests file '%s'",
+                      opt.traceRequests.c_str());
+            }
+            std::printf("spans           %s (%llu span(s), %llu "
+                        "dropped from flight ring)\n",
+                        opt.traceRequests.c_str(),
+                        static_cast<unsigned long long>(
+                            rq.spansRecorded()),
+                        static_cast<unsigned long long>(
+                            rq.droppedSpans()));
+        }
+        if (!opt.flightOut.empty()) {
+            std::printf("flight          %s (%llu anomaly(ies), "
+                        "%llu dump(s))\n",
+                        opt.flightOut.c_str(),
+                        static_cast<unsigned long long>(
+                            rq.anomalyCount()),
+                        static_cast<unsigned long long>(
+                            rq.flightDumps()));
+        }
+    }
+#endif
 
     std::printf("load            %s (%s)\n", opt.mode.c_str(),
                 load.mode == LoadMode::Open ? "Poisson arrivals"

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/request_trace.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "faults/injector.hh"
@@ -48,6 +49,9 @@ struct Options
     std::string kinds = "flip,burst,tag,replay,wrong,forge,drop";
     std::string rates = "1e-3,1e-2,1e-1,1";
     std::string statsJson;
+    std::string traceRequests;
+    std::string flightOut;
+    double sloUs = 0.0;
 };
 
 void
@@ -56,7 +60,9 @@ printUsage(std::FILE *to, const char *argv0)
     std::fprintf(to,
         "usage: %s [--queries N] [--seed S] [--kinds CSV] "
         "[--rates CSV]\n"
-        "          [--stats-json FILE] "
+        "          [--stats-json FILE] [--trace-requests FILE] "
+        "[--flight-out FILE]\n"
+        "          [--slo-us F] "
         "[--log-level debug|info|warn|error] [--help]\n"
         "\n"
         "  --queries N       verified queries per (kind, rate) config "
@@ -66,8 +72,16 @@ printUsage(std::FILE *to, const char *argv0)
         "  --rates CSV       per-decision injection rates to sweep\n"
         "  --stats-json FILE schema-v2 sidecar (faults.* / verify.* / "
         "redteam.*)\n"
+        "  --trace-requests FILE  span log: one verify span per "
+        "query, fault spans\n"
+        "                    cross-linked to their victim trace IDs\n"
+        "  --flight-out FILE flight dump on the first missed forgery\n"
+        "  --slo-us F        accepted for loadgen flag parity "
+        "(no latency here)\n"
         "\n"
-        "exit status: 0 all injected faults detected; 4 any missed\n",
+        "exit status: 0 all injected faults detected and linked; "
+        "4 any missed or\n"
+        "             any fault without exactly one victim trace\n",
         argv0);
 }
 
@@ -108,6 +122,8 @@ struct SweepRow
     std::uint64_t missed = 0;
     std::uint64_t falseAlarms = 0;
     double detectionRate = 1.0;
+    /** Events whose victimTrace is not its query's trace ID. */
+    std::uint64_t traceLinkViolations = 0;
 };
 
 /**
@@ -118,7 +134,7 @@ struct SweepRow
  */
 SweepRow
 runConfig(const FaultSpec &spec, std::uint64_t seed,
-          std::size_t queries)
+          std::size_t queries, std::uint64_t trace_base)
 {
     constexpr std::size_t nRows = 64;
     constexpr std::size_t nCols = 16;
@@ -146,6 +162,12 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
             rows[k] = (q * 7 + k * 13) % nRows;
             weights[k] = 1 + ((q >> (3 * k)) & 7);
         }
+        // Every query owns a sweep-unique trace ID; the injector
+        // stamps it into each TamperEvent it records while the query
+        // is in scope (this works with tracing compiled out too --
+        // only the spans disappear).
+        RequestTracer::setCurrent(trace_base + q);
+        RequestTracer::setNow(static_cast<double>(q));
         injector.beginQuery();
         const VerifiedResult res = client.weightedSumRows(
             device, std::span(rows, lookups),
@@ -164,9 +186,21 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
             intact = honest.values == res.values;
         }
         injector.recordOutcome(res.verified, intact);
+        SECNDP_RQSPAN(trace_base + q, SpanKind::Verify,
+                      static_cast<double>(q), 1.0, 0,
+                      res.verified ? 1 : 0);
+        RequestTracer::clearCurrent();
     }
 
     SweepRow row;
+    // Satellite invariant: every injected fault must link to exactly
+    // one victim query -- the one whose trace context was live when
+    // the injector fired. ev.query counts beginQuery() windows, so
+    // the expected victim is simply trace_base + ev.query.
+    for (const TamperEvent &ev : injector.events()) {
+        if (ev.victimTrace != trace_base + ev.query)
+            ++row.traceLinkViolations;
+    }
     row.rate = spec.rules.empty() ? 0.0 : spec.rules[0].rate;
     row.kind = spec.rules.empty() ? FaultKind::BitFlip
                                   : spec.rules[0].kind;
@@ -202,6 +236,9 @@ main(int argc, char **argv)
         else if (arg == "--kinds") opt.kinds = next();
         else if (arg == "--rates") opt.rates = next();
         else if (arg == "--stats-json") opt.statsJson = next();
+        else if (arg == "--trace-requests") opt.traceRequests = next();
+        else if (arg == "--flight-out") opt.flightOut = next();
+        else if (arg == "--slo-us") opt.sloUs = std::stod(next());
         else if (arg == "--log-level") {
             LogLevel level;
             if (!parseLogLevel(next(), level))
@@ -230,6 +267,19 @@ main(int argc, char **argv)
     if (kinds.empty() || rates.empty())
         fatal("--kinds and --rates must be non-empty");
 
+    const bool tracing =
+        !opt.traceRequests.empty() || !opt.flightOut.empty();
+    if (tracing) {
+        RequestTracer::Config tcfg;
+        tcfg.keepSpanLog = !opt.traceRequests.empty();
+        tcfg.flightPath = opt.flightOut;
+        tcfg.sloNs = opt.sloUs * 1000.0;
+        if (!RequestTracer::instance().start(tcfg)) {
+            fatal("--trace-requests/--flight-out need a tracing "
+                  "build (-DSECNDP_ENABLE_TRACING=ON)");
+        }
+    }
+
     {
         auto &reg = StatRegistry::instance();
         reg.setMeta("tool", "secndp_redteam");
@@ -252,6 +302,7 @@ main(int argc, char **argv)
                 "rate", "queries", "faulted", "injected", "detected",
                 "benign", "missed", "false+", "det-rate");
     std::uint64_t totalMissed = 0;
+    std::uint64_t totalLinkViolations = 0;
     unsigned config = 0;
     for (FaultKind kind : kinds) {
         std::uint64_t kindDetected = 0;
@@ -262,12 +313,14 @@ main(int argc, char **argv)
             rule.kind = kind;
             rule.rate = rate;
             spec.rules.push_back(rule);
-            // Distinct deterministic seed per configuration.
+            // Distinct deterministic seed per configuration; trace
+            // IDs partition the sweep so every query is unique.
             const std::uint64_t seed =
                 opt.seed + 0x100000001ULL * (config + 1);
+            const std::uint64_t trace_base = config * opt.queries;
             ++config;
             const SweepRow row =
-                runConfig(spec, seed, opt.queries);
+                runConfig(spec, seed, opt.queries, trace_base);
 
             std::printf("%-7s %-9.1e %8zu %8llu %9llu %9llu %7llu "
                         "%7llu %7llu %9.4f\n",
@@ -297,6 +350,7 @@ main(int argc, char **argv)
             kindDetected += row.detected;
             kindMissed += row.missed;
             totalMissed += row.missed;
+            totalLinkViolations += row.traceLinkViolations;
         }
         redteam.scalar(std::string("detection_") +
                        faultKindName(kind)) =
@@ -307,6 +361,7 @@ main(int argc, char **argv)
     }
     redteam.counter("configs") = config;
     redteam.counter("queries_per_config") = opt.queries;
+    redteam.counter("trace_link_violations") = totalLinkViolations;
     const std::uint64_t det = verify.counterValue("detected");
     verify.scalar("detection_rate") =
         det + totalMissed == 0
@@ -321,15 +376,38 @@ main(int argc, char **argv)
         StatRegistry::instance().dumpJson(os);
         std::printf("stats           %s\n", opt.statsJson.c_str());
     }
+#if SECNDP_TRACING
+    if (tracing && !opt.traceRequests.empty()) {
+        auto &rq = RequestTracer::instance();
+        if (!rq.writeSpanLog(opt.traceRequests)) {
+            fatal("cannot write --trace-requests file '%s'",
+                  opt.traceRequests.c_str());
+        }
+        std::printf("spans           %s (%llu span(s))\n",
+                    opt.traceRequests.c_str(),
+                    static_cast<unsigned long long>(
+                        rq.spansRecorded()));
+    }
+#endif
 
+    bool failed = false;
     if (totalMissed > 0) {
         std::printf("FAILED: %llu forged result(s) passed "
                     "verification -- soundness violation\n",
                     static_cast<unsigned long long>(totalMissed));
-        return 4;
+        failed = true;
     }
-    std::printf("all injected faults detected (%u configs x %zu "
-                "queries)\n",
+    if (totalLinkViolations > 0) {
+        std::printf("FAILED: %llu injected fault(s) not linked to "
+                    "their victim request\n",
+                    static_cast<unsigned long long>(
+                        totalLinkViolations));
+        failed = true;
+    }
+    if (failed)
+        return 4;
+    std::printf("all injected faults detected and victim-linked "
+                "(%u configs x %zu queries)\n",
                 config, opt.queries);
     return 0;
 }

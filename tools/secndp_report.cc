@@ -14,6 +14,13 @@
  *       DIR/thresholds.tsv). Exits 0 when clean, 1 when a watched
  *       metric regressed past its threshold (the CI perf gate), 3 on
  *       I/O or parse errors, 2 on usage errors.
+ *
+ *   secndp_report explain [STATS] --spans PATH
+ *       Join per-request span logs / flight dumps against a serving
+ *       sidecar: per-phase p50/p95/p99 latency attribution, tail
+ *       cohorts with exemplar trace IDs, and a cross-check of the
+ *       span-derived percentiles against serve.latency_ns. PATH is a
+ *       file or a directory of *.spans.json / *.flight.json.
  */
 
 #include <algorithm>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "report/report.hh"
+#include "report/spans.hh"
 
 namespace {
 
@@ -38,12 +46,15 @@ printUsage(std::FILE *to, const char *argv0)
                  "usage: %s summary FILE|DIR...\n"
                  "       %s diff --baseline DIR [--thresholds FILE] "
                  "RUN_DIR\n"
+                 "       %s explain [STATS] --spans PATH\n"
                  "\n"
                  "subcommands:\n"
                  "  summary   print per-run stat tables from "
                  ".stats.json sidecars\n"
                  "  diff      gate RUN_DIR against baseline sidecars; "
                  "exit 1 on regression\n"
+                 "  explain   per-phase p50/p95/p99 tail-latency "
+                 "attribution from span logs\n"
                  "\n"
                  "diff options:\n"
                  "  --baseline DIR     directory of golden "
@@ -51,9 +62,16 @@ printUsage(std::FILE *to, const char *argv0)
                  "  --thresholds FILE  watch rules; default "
                  "DIR/thresholds.tsv\n"
                  "\n"
+                 "explain options:\n"
+                 "  STATS              serving .stats.json to "
+                 "cross-check percentiles against\n"
+                 "  --spans PATH       span/flight file, or a "
+                 "directory of *.spans.json /\n"
+                 "                     *.flight.json (required)\n"
+                 "\n"
                  "exit codes: 0 ok, 1 regression/mismatch, 2 usage, "
                  "3 I/O or parse error\n",
-                 argv0, argv0);
+                 argv0, argv0, argv0);
 }
 
 bool
@@ -152,6 +170,52 @@ cmdDiff(const std::vector<std::string> &args, const char *argv0)
     return diffDirectories(std::cout, baseline, run_dir, thresholds);
 }
 
+int
+cmdExplain(const std::vector<std::string> &args, const char *argv0)
+{
+    std::string spans_path, stats_path;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--spans" && i + 1 < args.size()) {
+            spans_path = args[++i];
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::cerr << "error: unknown explain option '" << args[i]
+                      << "'\n";
+            printUsage(stderr, argv0);
+            return 2;
+        } else if (stats_path.empty()) {
+            stats_path = args[i];
+        } else {
+            std::cerr << "error: more than one STATS file\n";
+            printUsage(stderr, argv0);
+            return 2;
+        }
+    }
+    if (spans_path.empty()) {
+        printUsage(stderr, argv0);
+        return 2;
+    }
+
+    std::string err;
+    SpanSet set;
+    if (!loadSpanOperand(spans_path, set, &err)) {
+        std::cerr << "error: " << err << "\n";
+        return 3;
+    }
+    StatsReport stats;
+    bool have_stats = false;
+    if (!stats_path.empty()) {
+        if (!loadStatsReport(stats_path, stats, &err)) {
+            std::cerr << "error: " << err << "\n";
+            return 3;
+        }
+        have_stats = true;
+    }
+    return printExplain(std::cout, set,
+                        have_stats ? &stats : nullptr)
+               ? 0
+               : 1;
+}
+
 } // namespace
 
 int
@@ -172,6 +236,8 @@ main(int argc, char **argv)
         return cmdSummary(args, argv[0]);
     if (cmd == "diff")
         return cmdDiff(args, argv[0]);
+    if (cmd == "explain")
+        return cmdExplain(args, argv[0]);
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";
     printUsage(stderr, argv[0]);
     return 2;
