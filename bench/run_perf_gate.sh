@@ -84,6 +84,15 @@ run_serve serve_trace --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
     --trace-requests "$OUT/serve_trace.spans.json" \
     --flight-out "$OUT/serve_trace.flight.json"
+# Same load with the live telemetry plane armed (metrics endpoint on
+# an ephemeral port + SLO tracker): simulated serve.* metrics must
+# match serve_open exactly (scrapes render published snapshots, never
+# live stats), and the telemetry.slo.* counters pin the SLO
+# bookkeeping. The endpoint port is ephemeral and never lands in the
+# sidecar, so the output stays byte-deterministic.
+run_serve serve_metrics --mode open --qps 2000000 --requests 96 \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
+    --metrics-port 0
 run_redteam redteam_smoke --queries 100
 run_micro micro_crypto
 

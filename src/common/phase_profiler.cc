@@ -27,7 +27,14 @@ hostPhaseStats()
 {
     // Intentionally leaked (like StatRegistry::instance) so the group
     // stays live through any static-destruction-order shenanigans.
-    static StatGroup *g = new StatGroup("host_phases");
+    // Marked shared: phases close on worker threads too, so no thread
+    // may claim this group in an owned telemetry snapshot (wall-clock
+    // phases are post-mortem data anyway).
+    static StatGroup *g = [] {
+        auto *group = new StatGroup("host_phases");
+        group->markSharedWriter();
+        return group;
+    }();
     return *g;
 }
 

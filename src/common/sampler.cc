@@ -47,7 +47,14 @@ Sampler::stop()
     curBin_ = 0;
     ctrlSeen_ = 0;
     lastBusBusy_ = lastColCmds_ = lastActs_ = 0.0;
+    mirrored_ = false;
     series_.clear();
+}
+
+void
+Sampler::reset()
+{
+    stop();
 }
 
 std::vector<double> &
@@ -187,6 +194,17 @@ Sampler::valueAt(const std::string &series, std::size_t bin) const
     return it->second[bin];
 }
 
+std::map<std::string, double>
+Sampler::latestValues() const
+{
+    std::map<std::string, double> latest;
+    for (const auto &kv : series_) {
+        if (!kv.second.empty())
+            latest[kv.first] = kv.second.back();
+    }
+    return latest;
+}
+
 bool
 Sampler::writeCsv(const std::string &path)
 {
@@ -224,9 +242,12 @@ Sampler::writeCsv(const std::string &path)
     }
 
     // Mirror into the event trace so Perfetto shows the derived
-    // series alongside the raw spans they were computed from.
+    // series alongside the raw spans they were computed from. At most
+    // once per activation: the abort-path atexit flush may call
+    // writeCsv after the normal path already has.
     auto &tracer = Tracer::instance();
-    if (tracer.active()) {
+    if (tracer.active() && !mirrored_) {
+        mirrored_ = true;
         for (const auto &kv : series_) {
             const auto track = tracer.newTrack("sample." + kv.first);
             for (std::size_t bin = 0; bin < kv.second.size(); ++bin) {

@@ -51,6 +51,15 @@ class Sampler
     /** Deactivate and drop all collected series. */
     void stop();
 
+    /**
+     * Return the leaked singleton to its freshly-constructed state:
+     * inactive, default interval, no series, no counter baselines,
+     * and trace mirroring re-armed. Call between serve runs in one
+     * process (and in tests) so a stop->start cycle can never carry
+     * stale bins or series into the next activation.
+     */
+    void reset();
+
     bool active() const { return active_; }
     std::int64_t interval() const { return interval_; }
 
@@ -92,6 +101,14 @@ class Sampler
     /** Value of `series` in interval `bin` (0 when absent). */
     double valueAt(const std::string &series, std::size_t bin) const;
 
+    /**
+     * Latest value of every series (last written bin per series) --
+     * the gauge view the live telemetry snapshot publishes. Empty
+     * when inactive. Caller must be the sampling thread (the Sampler
+     * is single-threaded by contract).
+     */
+    std::map<std::string, double> latestValues() const;
+
   private:
     Sampler() = default;
 
@@ -112,6 +129,10 @@ class Sampler
     double lastBusBusy_ = 0.0;
     double lastColCmds_ = 0.0;
     double lastActs_ = 0.0;
+    /** Series already mirrored into the Chrome tracer: writeCsv can
+     *  run twice (normal path + abort-path atexit flush) and must not
+     *  emit duplicate counter tracks. */
+    bool mirrored_ = false;
     std::map<std::string, std::vector<double>> series_;
 };
 

@@ -536,6 +536,33 @@ StatRegistry::metaSnapshot() const
 }
 
 std::map<std::string, StatGroup>
+StatRegistry::snapshotOwned() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, StatGroup> merged;
+    auto slot = [&](const std::string &name) -> StatGroup & {
+        auto it = merged.find(name);
+        if (it == merged.end()) {
+            it = merged
+                     .emplace(name,
+                              StatGroup(name, StatGroup::noRegister))
+                     .first;
+        }
+        return it->second;
+    };
+    // The retired aggregate only mutates under mutex_ (retire()), so
+    // it is always safe to copy; live groups are safe exactly when
+    // the caller is their single writer.
+    for (const auto &kv : retired_)
+        slot(kv.first).mergeFrom(kv.second);
+    for (const StatGroup *g : live_) {
+        if (g->ownedByCaller() && !g->empty())
+            slot(g->name()).mergeFrom(*g);
+    }
+    return merged;
+}
+
+std::map<std::string, StatGroup>
 StatRegistry::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -605,6 +632,16 @@ StatRegistry::resetAll()
     for (StatGroup *g : live_)
         g->reset();
     retired_.clear();
+}
+
+const char *
+buildVersion()
+{
+#ifdef SECNDP_GIT_DESCRIBE
+    if (SECNDP_GIT_DESCRIBE[0] != '\0')
+        return SECNDP_GIT_DESCRIBE;
+#endif
+    return "unknown";
 }
 
 } // namespace secndp

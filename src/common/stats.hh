@@ -35,14 +35,25 @@
  * references with no internal locking, so exactly one thread may
  * mutate a given group instance at a time. Multi-threaded components
  * (the src/serve worker pool) therefore give every thread its own
- * same-named group and rely on the retire-time fold: when each
- * per-thread group is destroyed its values merge into the per-name
- * retired aggregate, and dumps show one combined group whose totals
- * are independent of job-to-thread interleaving. Keep per-thread
- * samples integral so the folded double sums are exact (and thus
- * byte-deterministic) regardless of retire order. Shared groups
- * written from several threads must serialize externally -- see
- * common/phase_profiler.cc for the host_phases example.
+ * same-named group (or a job-local group folded under a lock) and
+ * rely on the retire-time fold: when each group is destroyed its
+ * values merge into the per-name retired aggregate, and dumps show
+ * one combined group whose totals are independent of job-to-thread
+ * interleaving. Keep per-thread samples integral so the folded double
+ * sums are exact (and thus byte-deterministic) regardless of retire
+ * order. Shared groups written from several threads must serialize
+ * externally -- see common/phase_profiler.cc for the host_phases
+ * example.
+ *
+ * Live telemetry (src/telemetry) needs a mid-run snapshot that never
+ * races a writer. Every group records the thread that constructed it
+ * as its OWNER; StatRegistry::snapshotOwned() merges the retired
+ * aggregate (mutated only under the registry mutex) with the live
+ * groups owned by the *calling* thread, so the caller only ever reads
+ * groups it is itself the single writer of. Externally-serialized
+ * shared groups (host_phases) call markSharedWriter() to opt out of
+ * every owned snapshot; concurrently-written components expose their
+ * own locked copies instead (see serve/worker_pool.hh).
  */
 
 #ifndef SECNDP_COMMON_STATS_HH
@@ -53,6 +64,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace secndp {
@@ -184,7 +196,41 @@ class StatGroup
     /** Histogram lookup without creation (nullptr when absent). */
     const Histogram *findHistogram(const std::string &stat) const;
 
+    /** @name Read-only iteration (snapshot/exposition consumers) */
+    /// @{
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    /// @}
+
     const std::string &name() const { return name_; }
+
+    /** Does the calling thread own (single-write) this group? */
+    bool ownedByCaller() const
+    {
+        return owner_ == std::this_thread::get_id();
+    }
+
+    /**
+     * Mark this group as written by several threads under external
+     * serialization (e.g. host_phases): it then belongs to *no*
+     * thread and is skipped by StatRegistry::snapshotOwned(), whose
+     * consistency contract is "only read what the caller writes".
+     */
+    void markSharedWriter() { owner_ = std::thread::id(); }
 
     /** Is there anything to report? */
     bool empty() const;
@@ -204,6 +250,8 @@ class StatGroup
   private:
     std::string name_;
     bool registered_ = false;
+    /** Constructing thread; see "Concurrency" in the file doc. */
+    std::thread::id owner_ = std::this_thread::get_id();
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> scalars_;
     std::map<std::string, Distribution> distributions_;
@@ -250,9 +298,22 @@ class StatRegistry
 
     /**
      * Merged view (live + retired) keyed by group name. The returned
-     * groups are unregistered snapshots.
+     * groups are unregistered snapshots. Only safe when no other
+     * thread is concurrently writing a registered group (end-of-run
+     * dumps after pools have drained).
      */
     std::map<std::string, StatGroup> snapshot() const;
+
+    /**
+     * Race-free mid-run snapshot: the retired aggregate plus every
+     * live group the *calling* thread owns (constructed). Groups
+     * being written by other threads -- and shared groups that opted
+     * out via markSharedWriter() -- are excluded, so the result is
+     * point-in-time consistent without stopping any writer. The
+     * single-writer telemetry path in src/serve composes this with
+     * the worker pool's own locked copy.
+     */
+    std::map<std::string, StatGroup> snapshotOwned() const;
 
     /** Pretty-print every merged group, `name.stat value` lines. */
     void dump(std::ostream &os) const;
@@ -278,6 +339,13 @@ class StatRegistry
     std::map<std::string, StatGroup> retired_;
     std::map<std::string, std::string> meta_;
 };
+
+/**
+ * Build identification string: the compiled-in `git describe` (the
+ * same value stats reports carry as meta.git), or "unknown" when the
+ * build had no git context. Used by every CLI tool's --version.
+ */
+const char *buildVersion();
 
 } // namespace secndp
 

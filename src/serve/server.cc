@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <memory>
 #include <queue>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -19,6 +21,9 @@
 #include "faults/injector.hh"
 #include "secndp/protocol.hh"
 #include "serve/worker_pool.hh"
+#include "telemetry/metrics_exporter.hh"
+#include "telemetry/slo_tracker.hh"
+#include "telemetry/snapshot.hh"
 
 namespace secndp {
 
@@ -261,6 +266,40 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             issue(0.0);
     }
 
+    // Live telemetry: the serve thread (single writer of the hot
+    // groups) captures a consistent snapshot at each batch boundary
+    // and hands it to the exporter; with no exporter this entire path
+    // is dead and the run is byte-identical to a telemetry-free one.
+    telemetry::MetricsExporter *exporter = cfg.telemetry.exporter;
+    telemetry::SloTracker *slo = cfg.telemetry.slo;
+    std::uint64_t pub_seq = 0;
+    auto publishSnapshot = [&](double sim_now, bool complete) {
+        if (!exporter)
+            return;
+        auto snap = std::make_shared<telemetry::TelemetrySnapshot>(
+            telemetry::captureOwnedSnapshot());
+        snap->seq = ++pub_seq;
+        snap->simNowNs = sim_now;
+        snap->complete = complete;
+        snap->fold(workers.statsSnapshot());
+        for (const auto &kv : Sampler::instance().latestValues())
+            snap->gauges["sampler." + kv.first] = kv.second;
+        snap->gauges["serve.queue_depth"] =
+            static_cast<double>(queue.size());
+        if (slo) {
+            slo->advanceTo(sim_now);
+            for (const auto &kv : slo->gauges())
+                snap->gauges[kv.first] = kv.second;
+        }
+        exporter->publish(std::move(snap));
+    };
+    // Publish a seed snapshot before flipping ready: a scraper that
+    // sees /readyz 200 must never get "no snapshot yet" back.
+    if (exporter) {
+        publishSnapshot(0.0, false);
+        exporter->setReady(true);
+    }
+
     double now = 0.0;
     double busy_until = 0.0;
     auto &sampler = Sampler::instance();
@@ -286,6 +325,8 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             } else {
                 ++rep.rejected;
                 ++serve.counter("requests_rejected");
+                if (slo)
+                    slo->recordShed(t);
                 // Load shedding is a flight-recorder anomaly: the
                 // dump captures what the system was doing when the
                 // queue filled.
@@ -387,6 +428,8 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                         // span must be the aborting request itself.
                         ++rep.aborted;
                         ++serve.counter("requests_aborted");
+                        if (slo)
+                            slo->recordAbort(completion);
                         SECNDP_RQSPAN(r.id, SpanKind::Abort,
                                       completion, 0.0,
                                       exec.requestShard[i], 0);
@@ -394,6 +437,8 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                                          completion);
                     } else {
                         const double latency = completion - r.arrivalNs;
+                        if (slo)
+                            slo->recordLatency(completion, latency);
                         serve.histogram("latency_ns").sample(latency);
                         serve.histogram("queue_wait_ns")
                             .sample(start - r.arrivalNs);
@@ -450,6 +495,7 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                 sampler.gauge("serve_batch_fill", cycle_of(start),
                               static_cast<double>(batch.size()) /
                                   cfg.batch.maxBatch);
+                publishSnapshot(busy_until, false);
                 continue; // re-evaluate at the same instant
             }
             double next = wake;
@@ -465,6 +511,18 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             now = std::max(now, next);
         }
     }
+
+    // Optional wall-clock hold: keep the endpoint observably
+    // "serving" (ready=200, fresh pre-drain snapshot) so scrapers
+    // have a window to land in. Happens off the simulated timeline.
+    if (exporter && cfg.telemetry.holdBeforeDrainMs > 0) {
+        publishSnapshot(std::max(busy_until, now), false);
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::milli>(
+            cfg.telemetry.holdBeforeDrainMs));
+    }
+    if (exporter)
+        exporter->setReady(false); // drain begins: not ready
 
     {
         ScopedPhase phase("verify_drain");
@@ -507,6 +565,19 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
         rep.tamperDetected = shadow->injector().detectedQueries();
         rep.faultsInjected = shadow->injector().injectedTotal();
     }
+
+    if (slo) {
+        // End-of-run SLO accounting rides the sidecar as its own
+        // group; scoped so it retires before the final capture below
+        // and the complete snapshot sees it.
+        slo->advanceTo(rep.makespanNs);
+        StatGroup tg("telemetry");
+        slo->publish(tg);
+    }
+    // Final complete snapshot: counters are whole-run totals, so a
+    // post-drain scrape agrees with the stats sidecar exactly.
+    publishSnapshot(rep.makespanNs, true);
+
     return rep;
 }
 

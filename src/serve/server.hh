@@ -42,6 +42,39 @@
 
 namespace secndp {
 
+namespace telemetry {
+class MetricsExporter;
+class SloTracker;
+} // namespace telemetry
+
+/**
+ * Live-telemetry hookup (all optional; every pointer null = the
+ * feature is off and the serving loop's stats sidecars stay
+ * byte-identical -- no telemetry group, no snapshots, no extra work).
+ *
+ * The serve thread is the sole caller into both objects: it publishes
+ * a TelemetrySnapshot to `exporter` at every batch boundary and again
+ * (complete=true) after the final drain, and it feeds `slo` from the
+ * same completion/shed/abort events the serve.* counters see, so a
+ * mid-run scrape and the end-of-run sidecar always agree on totals.
+ */
+struct ServeTelemetry
+{
+    /** Scrape endpoint to publish snapshots to (null = no export). */
+    telemetry::MetricsExporter *exporter = nullptr;
+    /** Burn-rate tracker; also drives the end-of-run `telemetry`
+     *  sidecar group when non-null. */
+    telemetry::SloTracker *slo = nullptr;
+    /**
+     * Wall-clock milliseconds to hold the run open *before* draining,
+     * with /readyz still 200 and the last pre-drain snapshot
+     * published -- gives scrapers (CI, `secndp_report top`) a window
+     * where the system is observably "serving". Simulated-time stats
+     * are unaffected (the hold happens between batches and drain).
+     */
+    double holdBeforeDrainMs = 0.0;
+};
+
 /** Serving-system configuration. */
 struct ServeConfig
 {
@@ -76,6 +109,9 @@ struct ServeConfig
     std::uint64_t faultSeed = 1;
     /** Detection-and-recovery ladder (see faults/recovery.hh). */
     RecoveryPolicy recovery;
+
+    /** Live telemetry hookup (all-null defaults = disabled). */
+    ServeTelemetry telemetry;
 };
 
 /** Aggregate outcome of one serving run. */

@@ -1,11 +1,10 @@
 #include "serve/worker_pool.hh"
 
-#include "common/stats.hh"
-
 namespace secndp {
 
 WorkerPool::WorkerPool(unsigned threads, std::string stat_group)
-    : statGroupName_(std::move(stat_group))
+    : statGroupName_(std::move(stat_group)),
+      stats_(statGroupName_, StatGroup::noRegister)
 {
     if (threads == 0)
         threads = 1;
@@ -23,6 +22,12 @@ WorkerPool::~WorkerPool()
     workAvailable_.notify_all();
     for (auto &t : workers_)
         t.join();
+    // One registered fold so reports see the merged group exactly as
+    // the retired per-thread groups used to produce it.
+    if (!stats_.empty()) {
+        StatGroup retired(statGroupName_);
+        retired.mergeFrom(stats_);
+    }
 }
 
 void
@@ -50,12 +55,16 @@ WorkerPool::jobsCompleted() const
     return completed_;
 }
 
+StatGroup
+WorkerPool::statsSnapshot() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stats_;
+}
+
 void
 WorkerPool::workerMain()
 {
-    // Private per-thread group: single-writer while the thread lives,
-    // folded into the per-name retired aggregate on destruction.
-    StatGroup stats(statGroupName_);
     for (;;) {
         Job job;
         {
@@ -69,9 +78,13 @@ WorkerPool::workerMain()
             queue_.pop_front();
             ++running_;
         }
-        job(stats);
+        // Job-local, unregistered: the job writes race-free, the
+        // fold below happens under the pool mutex.
+        StatGroup jobStats(statGroupName_, StatGroup::noRegister);
+        job(jobStats);
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            stats_.mergeFrom(jobStats);
             --running_;
             ++completed_;
             if (queue_.empty() && running_ == 0)

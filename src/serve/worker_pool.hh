@@ -10,12 +10,19 @@
  * paper's on-chip engine exploits in simulated time).
  *
  * Statistics: the pre-existing stats layer is single-writer per
- * StatGroup (see common/stats.hh "Concurrency"). Each worker thread
- * therefore owns a private StatGroup under the pool's group name;
- * the groups fold into the registry's per-name retired aggregate when
- * the pool joins, so reports see one merged group regardless of how
- * jobs were distributed. Totals are interleaving-independent; keep
- * worker-side samples integral so the folded sums are too.
+ * StatGroup (see common/stats.hh "Concurrency"). Each job runs
+ * against a job-local unregistered group that folds into the pool's
+ * shared accumulator under the pool mutex when the job finishes, so
+ * (a) workers never touch a registered group that a mid-run telemetry
+ * snapshot could be reading, and (b) statsSnapshot() can hand the
+ * serve thread a locked point-in-time copy of everything completed so
+ * far. The accumulator registers with the StatRegistry only at pool
+ * destruction (one fold into the per-name retired aggregate), so
+ * end-of-run reports see the exact same merged group as the old
+ * per-thread-group design: counter/scalar adds and distribution/
+ * histogram unions are order-independent, keeping sidecars
+ * byte-deterministic. Keep worker-side samples integral so the folded
+ * sums are exact.
  */
 
 #ifndef SECNDP_SERVE_WORKER_POOL_HH
@@ -30,24 +37,24 @@
 #include <thread>
 #include <vector>
 
-namespace secndp {
+#include "common/stats.hh"
 
-class StatGroup;
+namespace secndp {
 
 class WorkerPool
 {
   public:
-    /** A job; `stats` is the calling worker's private group. */
+    /** A job; `stats` is a job-local group folded on completion. */
     using Job = std::function<void(StatGroup &stats)>;
 
     /**
      * @param threads     worker count (clamped to >= 1)
-     * @param stat_group  name the per-thread StatGroups register as
+     * @param stat_group  name the pool's stats register as
      */
     explicit WorkerPool(unsigned threads,
                         std::string stat_group = "serve_worker");
 
-    /** Drains outstanding jobs, then joins. */
+    /** Drains outstanding jobs, joins, and retires the stats. */
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
@@ -67,6 +74,14 @@ class WorkerPool
     /** Jobs finished so far (drain() first for an exact total). */
     std::uint64_t jobsCompleted() const;
 
+    /**
+     * Point-in-time copy of the stats of every *completed* job (jobs
+     * still running contribute nothing yet). Safe from any thread;
+     * the returned group is unregistered. The live-telemetry path
+     * folds this into each published snapshot.
+     */
+    StatGroup statsSnapshot() const;
+
   private:
     void workerMain();
 
@@ -78,6 +93,8 @@ class WorkerPool
     std::size_t running_ = 0;
     std::uint64_t completed_ = 0;
     bool stopping_ = false;
+    /** Completed-job stats; guarded by mutex_, never registered. */
+    StatGroup stats_;
     std::vector<std::thread> workers_;
 };
 

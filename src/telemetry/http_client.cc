@@ -1,0 +1,117 @@
+#include "telemetry/http_client.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace secndp::telemetry {
+
+#ifdef __linux__
+
+bool
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &path, int &status, std::string &body,
+        std::string *err, int timeoutMs)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return fail("bad host address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        return fail("connect " + host + ":" + std::to_string(port) +
+                    ": " + why);
+    }
+
+    const std::string req = "GET " + path +
+                            " HTTP/1.1\r\nHost: " + host +
+                            "\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        const ssize_t w =
+            ::send(fd, req.data() + sent, req.size() - sent, 0);
+        if (w <= 0) {
+            ::close(fd);
+            return fail(std::string("send: ") + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+        if (r > 0) {
+            raw.append(buf, static_cast<std::size_t>(r));
+        } else if (r == 0) {
+            break;
+        } else {
+            ::close(fd);
+            return fail(std::string("recv: ") + std::strerror(errno));
+        }
+    }
+    ::close(fd);
+
+    // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+    if (raw.rfind("HTTP/", 0) != 0)
+        return fail("malformed response (no status line)");
+    const std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos)
+        return fail("malformed status line");
+    status = std::atoi(raw.c_str() + sp + 1);
+    std::size_t hdrEnd = raw.find("\r\n\r\n");
+    std::size_t bodyOff;
+    if (hdrEnd != std::string::npos) {
+        bodyOff = hdrEnd + 4;
+    } else {
+        hdrEnd = raw.find("\n\n");
+        if (hdrEnd == std::string::npos)
+            return fail("no header terminator");
+        bodyOff = hdrEnd + 2;
+    }
+    body = raw.substr(bodyOff);
+    return true;
+}
+
+#else // !__linux__
+
+bool
+httpGet(const std::string &, std::uint16_t, const std::string &,
+        int &, std::string &, std::string *err, int)
+{
+    if (err)
+        *err = "httpGet requires Linux sockets";
+    return false;
+}
+
+#endif // __linux__
+
+} // namespace secndp::telemetry

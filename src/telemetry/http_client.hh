@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 GET for loopback scraping -- just enough
+ * for `secndp_report top` and the telemetry tests to fetch /metrics
+ * from a MetricsExporter. Not a general HTTP client.
+ */
+
+#ifndef SECNDP_TELEMETRY_HTTP_CLIENT_HH
+#define SECNDP_TELEMETRY_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secndp::telemetry {
+
+/**
+ * GET http://host:port/path with a connect/read deadline. On success
+ * returns true with the status code and the response body (headers
+ * stripped). On failure returns false with *err describing why.
+ */
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &path, int &status, std::string &body,
+             std::string *err = nullptr, int timeoutMs = 2000);
+
+} // namespace secndp::telemetry
+
+#endif // SECNDP_TELEMETRY_HTTP_CLIENT_HH

@@ -1,0 +1,387 @@
+#include "telemetry/metrics_exporter.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/prom_text.hh"
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace secndp::telemetry {
+
+#ifdef __linux__
+
+namespace {
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** One in-flight connection: request bytes in, response bytes out. */
+struct Conn
+{
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t outPos = 0;
+    bool responding = false;
+};
+
+std::string
+httpResponse(int code, const char *reason, const char *contentType,
+             const std::string &body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << code << " " << reason << "\r\n"
+       << "Content-Type: " << contentType << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+/** Request line path, or empty until the header terminator arrives. */
+std::string
+requestPath(const std::string &in)
+{
+    if (in.find("\r\n\r\n") == std::string::npos &&
+        in.find("\n\n") == std::string::npos)
+        return "";
+    const std::size_t sp1 = in.find(' ');
+    if (sp1 == std::string::npos)
+        return "/";
+    const std::size_t sp2 = in.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos)
+        return "/";
+    return in.substr(sp1 + 1, sp2 - sp1 - 1);
+}
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+} // namespace
+
+bool
+MetricsExporter::start(const Config &cfg, std::string *err)
+{
+    if (running_.load()) {
+        if (err)
+            *err = "exporter already running";
+        return false;
+    }
+    cfg_ = cfg;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.bindAddr.c_str(),
+                    &addr.sin_addr) != 1) {
+        if (err)
+            *err = "bad bind address: " + cfg_.bindAddr;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 16) != 0 || !setNonBlocking(listenFd_)) {
+        if (err)
+            *err = std::string("bind/listen ") + cfg_.bindAddr + ":" +
+                   std::to_string(cfg_.port) + ": " +
+                   std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &blen) == 0)
+        port_ = ntohs(bound.sin_port);
+
+    if (::pipe(wakePipe_) != 0) {
+        if (err)
+            *err = std::string("pipe: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    setNonBlocking(wakePipe_[0]);
+    setNonBlocking(wakePipe_[1]);
+
+    stopRequested_.store(false);
+    running_.store(true);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+MetricsExporter::stop()
+{
+    if (!running_.load() && !thread_.joinable())
+        return;
+    stopRequested_.store(true);
+    if (wakePipe_[1] >= 0) {
+        const char b = 'x';
+        [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &b, 1);
+    }
+    if (thread_.joinable())
+        thread_.join();
+    for (int *fd : {&listenFd_, &wakePipe_[0], &wakePipe_[1]}) {
+        if (*fd >= 0)
+            ::close(*fd);
+        *fd = -1;
+    }
+    running_.store(false);
+    port_ = 0;
+}
+
+MetricsExporter::~MetricsExporter()
+{
+    stop();
+}
+
+void
+MetricsExporter::publish(std::shared_ptr<const TelemetrySnapshot> snap)
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    snap_ = std::move(snap);
+}
+
+std::shared_ptr<const TelemetrySnapshot>
+MetricsExporter::latest() const
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    return snap_;
+}
+
+void
+MetricsExporter::serveLoop()
+{
+    const int epfd = ::epoll_create1(0);
+    if (epfd < 0) {
+        running_.store(false);
+        return;
+    }
+
+    auto watch = [&](int fd, std::uint32_t events, void *ptr) {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.ptr = ptr;
+        ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+    };
+    auto rearm = [&](int fd, std::uint32_t events, void *ptr) {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.ptr = ptr;
+        ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+    };
+
+    // Sentinel ptr values for the two non-connection fds.
+    Conn listenSentinel, wakeSentinel;
+    listenSentinel.fd = listenFd_;
+    wakeSentinel.fd = wakePipe_[0];
+    watch(listenFd_, EPOLLIN, &listenSentinel);
+    watch(wakePipe_[0], EPOLLIN, &wakeSentinel);
+
+    std::vector<Conn *> conns;
+    auto closeConn = [&](Conn *c) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, c->fd, nullptr);
+        ::close(c->fd);
+        conns.erase(std::find(conns.begin(), conns.end(), c));
+        delete c;
+    };
+
+    auto buildResponse = [&](const std::string &path) {
+        if (path == "/metrics" || path == "/metrics/") {
+            auto snap = latest();
+            std::ostringstream body;
+            if (snap)
+                renderExposition(body, *snap);
+            else
+                body << "# no snapshot published yet\n";
+            scrapes_.fetch_add(1);
+            return httpResponse(
+                200, "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.str());
+        }
+        if (path == "/healthz")
+            return httpResponse(200, "OK", "text/plain", "ok\n");
+        if (path == "/readyz") {
+            return ready_.load()
+                       ? httpResponse(200, "OK", "text/plain",
+                                      "ready\n")
+                       : httpResponse(503, "Service Unavailable",
+                                      "text/plain", "draining\n");
+        }
+        return httpResponse(404, "Not Found", "text/plain",
+                            "not found\n");
+    };
+
+    epoll_event events[32];
+    while (!stopRequested_.load()) {
+        const int n = ::epoll_wait(epfd, events, 32, 500);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            auto *c = static_cast<Conn *>(events[i].data.ptr);
+
+            if (c == &wakeSentinel) {
+                char buf[64];
+                while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+                }
+                continue;
+            }
+
+            if (c == &listenSentinel) {
+                for (;;) {
+                    const int fd = ::accept(listenFd_, nullptr,
+                                            nullptr);
+                    if (fd < 0)
+                        break;
+                    if (static_cast<int>(conns.size()) >=
+                            cfg_.maxConnections ||
+                        !setNonBlocking(fd)) {
+                        ::close(fd);
+                        continue;
+                    }
+                    auto *nc = new Conn;
+                    nc->fd = fd;
+                    conns.push_back(nc);
+                    watch(fd, EPOLLIN, nc);
+                }
+                continue;
+            }
+
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeConn(c);
+                continue;
+            }
+
+            if (!c->responding && (events[i].events & EPOLLIN)) {
+                char buf[2048];
+                bool dead = false;
+                for (;;) {
+                    const ssize_t r = ::read(c->fd, buf, sizeof(buf));
+                    if (r > 0) {
+                        c->in.append(buf, static_cast<std::size_t>(r));
+                        if (c->in.size() > kMaxRequestBytes) {
+                            dead = true;
+                            break;
+                        }
+                    } else if (r == 0) {
+                        dead = true;
+                        break;
+                    } else {
+                        break; // EAGAIN (or a real error on write)
+                    }
+                }
+                if (dead) {
+                    closeConn(c);
+                    continue;
+                }
+                const std::string path = requestPath(c->in);
+                if (!path.empty()) {
+                    c->out = buildResponse(path);
+                    c->responding = true;
+                    rearm(c->fd, EPOLLOUT, c);
+                }
+                continue;
+            }
+
+            if (c->responding && (events[i].events & EPOLLOUT)) {
+                while (c->outPos < c->out.size()) {
+                    const ssize_t w =
+                        ::write(c->fd, c->out.data() + c->outPos,
+                                c->out.size() - c->outPos);
+                    if (w > 0) {
+                        c->outPos += static_cast<std::size_t>(w);
+                    } else if (w < 0 && (errno == EAGAIN ||
+                                         errno == EWOULDBLOCK)) {
+                        break;
+                    } else {
+                        c->outPos = c->out.size();
+                        break;
+                    }
+                }
+                if (c->outPos >= c->out.size())
+                    closeConn(c);
+            }
+        }
+    }
+
+    for (Conn *c : conns) {
+        ::close(c->fd);
+        delete c;
+    }
+    ::close(epfd);
+    running_.store(false);
+}
+
+#else // !__linux__
+
+bool
+MetricsExporter::start(const Config &, std::string *err)
+{
+    if (err)
+        *err = "metrics exporter requires Linux (epoll)";
+    return false;
+}
+
+void
+MetricsExporter::stop()
+{
+}
+
+MetricsExporter::~MetricsExporter() = default;
+
+void
+MetricsExporter::publish(std::shared_ptr<const TelemetrySnapshot> snap)
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    snap_ = std::move(snap);
+}
+
+std::shared_ptr<const TelemetrySnapshot>
+MetricsExporter::latest() const
+{
+    std::lock_guard<std::mutex> lock(snapMutex_);
+    return snap_;
+}
+
+void
+MetricsExporter::serveLoop()
+{
+}
+
+#endif // __linux__
+
+} // namespace secndp::telemetry

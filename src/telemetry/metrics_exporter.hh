@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Prometheus scrape endpoint: a background thread serving
+ *
+ *   GET /metrics  -- text exposition of the latest published snapshot
+ *   GET /healthz  -- 200 while the exporter thread is running
+ *   GET /readyz   -- 200/503 following setReady() (flips to 503 when
+ *                    the serving loop enters drain, so a scraper /
+ *                    load balancer can see the run winding down)
+ *
+ * Design: single exporter thread, non-blocking sockets, one
+ * level-triggered epoll loop (Linux only -- start() reports failure
+ * elsewhere and the caller runs without live telemetry). The serving
+ * loop stays the sole writer of the hot stats; it hands completed
+ * TelemetrySnapshots over via an atomic shared_ptr swap in publish(),
+ * and scrapes render whichever snapshot is current. Nothing in the
+ * request path ever blocks the serve thread, and with the exporter
+ * disabled no code here runs at all -- sidecars are byte-identical
+ * either way.
+ *
+ * The listener binds 127.0.0.1 by default and answers one request per
+ * connection (Connection: close); per-connection read buffers are
+ * bounded. This is a metrics endpoint, not a general web server.
+ */
+
+#ifndef SECNDP_TELEMETRY_METRICS_EXPORTER_HH
+#define SECNDP_TELEMETRY_METRICS_EXPORTER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/snapshot.hh"
+
+namespace secndp::telemetry {
+
+class MetricsExporter
+{
+  public:
+    struct Config
+    {
+        /** TCP port; 0 picks an ephemeral port (read back via
+         *  port()). */
+        std::uint16_t port = 0;
+        std::string bindAddr = "127.0.0.1";
+        /** Concurrent connection cap; excess accepts are closed. */
+        int maxConnections = 32;
+    };
+
+    MetricsExporter() = default;
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter &) = delete;
+    MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+    /**
+     * Bind, listen, and launch the exporter thread. Returns false
+     * with `err` set on unsupported platforms or bind failure (port
+     * in use); the caller degrades to no live telemetry.
+     */
+    bool start(const Config &cfg, std::string *err = nullptr);
+
+    /** Stop the thread and close every socket. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Bound port (resolves ephemeral binds); 0 when not running. */
+    std::uint16_t port() const { return port_; }
+
+    /** Swap in a new snapshot for subsequent scrapes. Cheap;
+     *  callable from any thread (in practice: the serve loop). */
+    void publish(std::shared_ptr<const TelemetrySnapshot> snap);
+
+    /** Latest published snapshot (may be null before first publish). */
+    std::shared_ptr<const TelemetrySnapshot> latest() const;
+
+    /** Drive /readyz: true -> 200, false -> 503. Starts false. */
+    void setReady(bool ready) { ready_.store(ready); }
+    bool ready() const { return ready_.load(); }
+
+    /** Number of /metrics requests served (exporter-side only --
+     *  deliberately never folded into sidecar stats, which must not
+     *  depend on scraper behavior). */
+    std::uint64_t scrapes() const { return scrapes_.load(); }
+
+  private:
+    void serveLoop();
+
+    Config cfg_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> ready_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::thread thread_;
+
+    mutable std::mutex snapMutex_;
+    std::shared_ptr<const TelemetrySnapshot> snap_;
+};
+
+} // namespace secndp::telemetry
+
+#endif // SECNDP_TELEMETRY_METRICS_EXPORTER_HH

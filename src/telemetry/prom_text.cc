@@ -1,0 +1,346 @@
+#include "telemetry/prom_text.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace secndp::telemetry {
+
+namespace {
+
+bool
+validStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+bool
+validBody(char c)
+{
+    return validStart(c) ||
+           std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Prometheus-flavored number: integers render without exponent or
+ *  fraction, everything else as shortest round-trippable decimal. */
+std::string
+fmtValue(double v)
+{
+    char buf[48];
+    if (std::isnan(v)) {
+        return "NaN";
+    } else if (std::isinf(v)) {
+        return v > 0 ? "+Inf" : "-Inf";
+    } else if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+void
+renderHeader(std::ostream &os, const std::string &name,
+             const std::string &help, const char *type)
+{
+    if (!help.empty())
+        os << "# HELP " << name << " " << promEscapeHelp(help)
+           << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+}
+
+} // namespace
+
+std::string
+promMetricName(const std::string &raw)
+{
+    std::string name;
+    name.reserve(raw.size() + 1);
+    for (char c : raw)
+        name.push_back(validBody(c) ? c : '_');
+    if (name.empty())
+        return "_";
+    if (!validStart(name[0]))
+        name.insert(name.begin(), '_');
+    // "__..." is reserved for Prometheus-internal names.
+    if (name.size() >= 2 && name[0] == '_' && name[1] == '_')
+        name.insert(0, "secndp");
+    return name;
+}
+
+std::string
+promQualify(const std::string &group, const std::string &stat)
+{
+    return promMetricName("secndp_" + group + "." + stat);
+}
+
+std::string
+promEscapeLabel(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+promEscapeHelp(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+renderCounter(std::ostream &os, const std::string &name,
+              const std::string &help, double value)
+{
+    renderHeader(os, name, help, "counter");
+    os << name << " " << fmtValue(value) << "\n";
+}
+
+void
+renderGauge(std::ostream &os, const std::string &name,
+            const std::string &help, double value)
+{
+    renderHeader(os, name, help, "gauge");
+    os << name << " " << fmtValue(value) << "\n";
+}
+
+void
+renderUntyped(std::ostream &os, const std::string &name,
+              const std::string &help, double value)
+{
+    renderHeader(os, name, help, "untyped");
+    os << name << " " << fmtValue(value) << "\n";
+}
+
+void
+renderHistogram(std::ostream &os, const std::string &name,
+                const std::string &help, const Histogram &h)
+{
+    renderHeader(os, name, help, "histogram");
+    // Cumulative log2 buckets. The registry's bucket k holds
+    // [2^(k-1), 2^k), so `le` carries the exclusive upper edge --
+    // boundary-exact values land one bucket high of strict Prometheus
+    // `<=` semantics, a documented approximation for continuous
+    // latency data.
+    std::uint64_t cum = 0;
+    const auto &buckets = h.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        cum += buckets[b];
+        os << name << "_bucket{le=\""
+           << fmtValue(Histogram::bucketHigh(
+                  static_cast<unsigned>(b)))
+           << "\"} " << cum << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    os << name << "_sum " << fmtValue(h.sum()) << "\n";
+    os << name << "_count " << h.count() << "\n";
+}
+
+void
+renderSummary(std::ostream &os, const std::string &name,
+              const std::string &help, std::uint64_t count, double sum,
+              const std::vector<std::pair<double, double>> &quantiles)
+{
+    renderHeader(os, name, help, "summary");
+    for (const auto &q : quantiles) {
+        // Short %g for the label: 0.99 must read "0.99", not the
+        // 17-digit round-trip form fmtValue would emit.
+        char qbuf[32];
+        std::snprintf(qbuf, sizeof(qbuf), "%g", q.first);
+        os << name << "{quantile=\"" << qbuf << "\"} "
+           << fmtValue(q.second) << "\n";
+    }
+    os << name << "_sum " << fmtValue(sum) << "\n";
+    os << name << "_count " << count << "\n";
+}
+
+void
+renderExposition(std::ostream &os, const TelemetrySnapshot &snap)
+{
+    // Run identity as an info-style gauge: every meta key becomes a
+    // label, so dashboards can join on tool/workload/config.
+    {
+        renderHeader(os, "secndp_build_info",
+                     "Run metadata from the stats registry.", "gauge");
+        os << "secndp_build_info{";
+        bool first = true;
+        for (const auto &kv : snap.meta) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << promMetricName(kv.first) << "=\""
+               << promEscapeLabel(kv.second) << "\"";
+        }
+        os << "} 1\n";
+    }
+    renderGauge(os, "secndp_sim_time_ns",
+                "Virtual serving clock at snapshot capture.",
+                snap.simNowNs);
+    renderGauge(os, "secndp_snapshot_seq",
+                "Publish sequence number of the served snapshot.",
+                static_cast<double>(snap.seq));
+    renderGauge(os, "secndp_snapshot_complete",
+                "1 once the run has drained (counters are totals).",
+                snap.complete ? 1.0 : 0.0);
+
+    for (const auto &kv : snap.counters) {
+        renderCounter(os, promMetricName("secndp_" + kv.first),
+                      "Cumulative counter " + kv.first + ".",
+                      static_cast<double>(kv.second));
+    }
+    for (const auto &kv : snap.gauges) {
+        renderGauge(os, promMetricName("secndp_" + kv.first),
+                    "Gauge " + kv.first + ".", kv.second);
+    }
+    for (const auto &kv : snap.histograms) {
+        renderHistogram(os, promMetricName("secndp_" + kv.first),
+                        "Histogram " + kv.first + " (log2 buckets).",
+                        kv.second);
+    }
+}
+
+bool
+parseExposition(const std::string &text,
+                std::vector<PromSample> &out, std::string *err)
+{
+    std::size_t pos = 0, lineno = 0;
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = "line " + std::to_string(lineno) + ": " + what;
+        return false;
+    };
+    while (pos < text.size()) {
+        ++lineno;
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::size_t i = 0;
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        if (i >= line.size() || line[i] == '#')
+            continue;
+
+        PromSample s;
+        const std::size_t name_start = i;
+        while (i < line.size() && validBody(line[i]))
+            ++i;
+        s.name = line.substr(name_start, i - name_start);
+        if (s.name.empty())
+            return fail("expected metric name");
+
+        if (i < line.size() && line[i] == '{') {
+            ++i;
+            while (i < line.size() && line[i] != '}') {
+                const std::size_t key_start = i;
+                while (i < line.size() && validBody(line[i]))
+                    ++i;
+                const std::string key =
+                    line.substr(key_start, i - key_start);
+                if (key.empty() || i >= line.size() || line[i] != '=')
+                    return fail("malformed label in '" + line + "'");
+                ++i;
+                if (i >= line.size() || line[i] != '"')
+                    return fail("label value must be quoted");
+                ++i;
+                std::string val;
+                while (i < line.size() && line[i] != '"') {
+                    if (line[i] == '\\' && i + 1 < line.size()) {
+                        ++i;
+                        if (line[i] == 'n')
+                            val.push_back('\n');
+                        else
+                            val.push_back(line[i]);
+                    } else {
+                        val.push_back(line[i]);
+                    }
+                    ++i;
+                }
+                if (i >= line.size())
+                    return fail("unterminated label value");
+                ++i; // closing quote
+                s.labels[key] = val;
+                if (i < line.size() && line[i] == ',')
+                    ++i;
+            }
+            if (i >= line.size())
+                return fail("unterminated label set");
+            ++i; // closing brace
+        }
+
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        if (i >= line.size())
+            return fail("missing value for '" + s.name + "'");
+        // Value (then an optional timestamp we ignore).
+        char *endp = nullptr;
+        const std::string rest = line.substr(i);
+        if (rest == "+Inf")
+            s.value = HUGE_VAL;
+        else if (rest == "-Inf")
+            s.value = -HUGE_VAL;
+        else if (rest == "NaN")
+            s.value = NAN;
+        else {
+            s.value = std::strtod(rest.c_str(), &endp);
+            if (endp == rest.c_str())
+                return fail("bad value '" + rest + "'");
+        }
+        out.push_back(std::move(s));
+    }
+    return true;
+}
+
+double
+promHistogramQuantile(std::vector<std::pair<double, double>> le_cum,
+                      double p)
+{
+    if (le_cum.empty())
+        return 0.0;
+    std::sort(le_cum.begin(), le_cum.end());
+    const double total = le_cum.back().second;
+    if (total <= 0.0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    const double target = p * total;
+    double prev_edge = 0.0, prev_cum = 0.0;
+    for (const auto &b : le_cum) {
+        if (b.second >= target - 1e-9) {
+            const double in_bucket = b.second - prev_cum;
+            if (in_bucket <= 0.0 || std::isinf(b.first))
+                return prev_edge;
+            const double frac = (target - prev_cum) / in_bucket;
+            return prev_edge + frac * (b.first - prev_edge);
+        }
+        prev_edge = b.first;
+        prev_cum = b.second;
+    }
+    return prev_edge;
+}
+
+} // namespace secndp::telemetry

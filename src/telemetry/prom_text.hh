@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Prometheus text exposition format (version 0.0.4): metric-name
+ * mangling, escaping, family renderers, and a scrape parser.
+ *
+ * This is the single source of truth for how a `group.stat` path from
+ * the stats registry becomes a Prometheus metric name, shared by the
+ * live MetricsExporter and the offline `secndp_report summary
+ * --format=prom` sidecar conversion -- the same run must expose the
+ * same names whether it is scraped mid-flight or converted
+ * post-mortem. (Types may differ where the data does: live histograms
+ * carry bucket vectors, sidecars only percentiles, so the offline
+ * path renders summaries; base names are identical either way.)
+ *
+ * Counters deliberately keep their bare stat name instead of the
+ * conventional `_total` suffix: sidecar JSON cannot distinguish an
+ * integral counter from a scalar after parsing, and identical
+ * live/offline names outrank suffix convention here.
+ */
+
+#ifndef SECNDP_TELEMETRY_PROM_TEXT_HH
+#define SECNDP_TELEMETRY_PROM_TEXT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.hh"
+
+namespace secndp {
+
+class Histogram;
+
+namespace telemetry {
+
+/**
+ * Mangle an arbitrary stat path into a valid Prometheus metric name:
+ * `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots and every other invalid character
+ * become '_', a leading digit gets a '_' guard, an empty input
+ * becomes "_", and names that would start with the reserved "__"
+ * prefix are guarded with "secndp".
+ */
+std::string promMetricName(const std::string &raw);
+
+/** Fully-qualified metric name for a registry stat:
+ *  promMetricName("secndp_<group>.<stat>"). */
+std::string promQualify(const std::string &group,
+                        const std::string &stat);
+
+/** Escape a label value: backslash, double quote, newline. */
+std::string promEscapeLabel(const std::string &v);
+
+/** Escape HELP text: backslash and newline. */
+std::string promEscapeHelp(const std::string &v);
+
+/** @name Family renderers (each emits # HELP, # TYPE, samples) */
+/// @{
+void renderCounter(std::ostream &os, const std::string &name,
+                   const std::string &help, double value);
+void renderGauge(std::ostream &os, const std::string &name,
+                 const std::string &help, double value);
+void renderUntyped(std::ostream &os, const std::string &name,
+                   const std::string &help, double value);
+/** Real bucketed histogram: cumulative `le` series from the log2
+ *  bucket vector (+Inf always present), then _sum and _count. */
+void renderHistogram(std::ostream &os, const std::string &name,
+                     const std::string &help, const Histogram &h);
+/** Percentile-only summary (the offline sidecar view): quantile
+ *  samples plus _sum and _count. */
+void renderSummary(std::ostream &os, const std::string &name,
+                   const std::string &help, std::uint64_t count,
+                   double sum,
+                   const std::vector<std::pair<double, double>>
+                       &quantiles);
+/// @}
+
+/**
+ * Render a whole snapshot: secndp_build_info (meta as labels),
+ * secndp_sim_time_ns / secndp_snapshot_seq / secndp_snapshot_complete
+ * self-describing gauges, then every counter, gauge, and histogram in
+ * sorted name order. Deterministic for a given snapshot.
+ */
+void renderExposition(std::ostream &os, const TelemetrySnapshot &snap);
+
+/** One parsed sample line. */
+struct PromSample
+{
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/**
+ * Parse exposition text into samples (comments and blank lines
+ * skipped, optional timestamps ignored). Returns false with *err on
+ * the first malformed line.
+ */
+bool parseExposition(const std::string &text,
+                     std::vector<PromSample> &out,
+                     std::string *err = nullptr);
+
+/**
+ * Approximate p-quantile from parsed cumulative histogram buckets:
+ * (le upper edge, cumulative count) pairs, any order, +Inf included.
+ * Linear interpolation inside the hit bucket. Empty -> 0.
+ */
+double promHistogramQuantile(
+    std::vector<std::pair<double, double>> le_cum, double p);
+
+} // namespace telemetry
+} // namespace secndp
+
+#endif // SECNDP_TELEMETRY_PROM_TEXT_HH

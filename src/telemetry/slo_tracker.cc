@@ -1,0 +1,230 @@
+#include "telemetry/slo_tracker.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace secndp::telemetry {
+
+namespace {
+constexpr std::size_t kBucketsPerWindow = 60;
+} // namespace
+
+void
+SloTracker::Ring::init(double windowNs, std::size_t buckets)
+{
+    bucketNs = std::max(windowNs, 1.0) / buckets;
+    good.assign(buckets, 0);
+    bad.assign(buckets, 0);
+    headBucket = 0;
+    started = false;
+}
+
+void
+SloTracker::Ring::advanceTo(double nowNs)
+{
+    const auto target =
+        static_cast<std::int64_t>(std::floor(nowNs / bucketNs));
+    if (!started) {
+        headBucket = target;
+        started = true;
+        return;
+    }
+    if (target <= headBucket)
+        return;
+    const auto steps = target - headBucket;
+    const auto n = static_cast<std::int64_t>(good.size());
+    if (steps >= n) {
+        std::fill(good.begin(), good.end(), 0);
+        std::fill(bad.begin(), bad.end(), 0);
+    } else {
+        // Zero the buckets the head sweeps over as it moves forward.
+        for (std::int64_t s = 1; s <= steps; ++s) {
+            const auto idx =
+                static_cast<std::size_t>((headBucket + s) % n);
+            good[idx] = 0;
+            bad[idx] = 0;
+        }
+    }
+    headBucket = target;
+}
+
+void
+SloTracker::Ring::add(double nowNs, bool isBad)
+{
+    advanceTo(nowNs);
+    const auto idx = static_cast<std::size_t>(
+        headBucket % static_cast<std::int64_t>(good.size()));
+    (isBad ? bad : good)[idx]++;
+}
+
+std::uint64_t
+SloTracker::Ring::total() const
+{
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < good.size(); ++i)
+        t += good[i] + bad[i];
+    return t;
+}
+
+std::uint64_t
+SloTracker::Ring::badTotal() const
+{
+    std::uint64_t t = 0;
+    for (auto b : bad)
+        t += b;
+    return t;
+}
+
+SloTracker::SloTracker(const SloConfig &cfg) : cfg_(cfg)
+{
+    latFast_.init(cfg_.fastWindowNs, kBucketsPerWindow);
+    latSlow_.init(cfg_.effectiveSlowWindowNs(), kBucketsPerWindow);
+    availFast_.init(cfg_.fastWindowNs, kBucketsPerWindow);
+    availSlow_.init(cfg_.effectiveSlowWindowNs(), kBucketsPerWindow);
+}
+
+void
+SloTracker::recordLatency(double nowNs, double latencyNs)
+{
+    const bool slow = latencyNs > cfg_.targetLatencyNs;
+    latFast_.add(nowNs, slow);
+    latSlow_.add(nowNs, slow);
+    availFast_.add(nowNs, false);
+    availSlow_.add(nowNs, false);
+    ++cumTotal_;
+    ++cumArrivals_;
+    if (slow)
+        ++cumSlow_;
+}
+
+void
+SloTracker::recordShed(double nowNs)
+{
+    availFast_.add(nowNs, true);
+    availSlow_.add(nowNs, true);
+    ++cumArrivals_;
+    ++cumErr_;
+    ++cumShed_;
+}
+
+void
+SloTracker::recordAbort(double nowNs)
+{
+    availFast_.add(nowNs, true);
+    availSlow_.add(nowNs, true);
+    ++cumArrivals_;
+    ++cumErr_;
+    ++cumAbort_;
+}
+
+void
+SloTracker::advanceTo(double nowNs)
+{
+    latFast_.advanceTo(nowNs);
+    latSlow_.advanceTo(nowNs);
+    availFast_.advanceTo(nowNs);
+    availSlow_.advanceTo(nowNs);
+}
+
+Burn
+SloTracker::burnOf(const Ring &fast, const Ring &slow, double budget)
+{
+    Burn b;
+    b.fastTotal = fast.total();
+    b.slowTotal = slow.total();
+    if (budget <= 0.0)
+        budget = 1e-9;
+    if (b.fastTotal) {
+        const double rate =
+            static_cast<double>(fast.badTotal()) / b.fastTotal;
+        b.fast = rate / budget;
+    }
+    if (b.slowTotal) {
+        const double rate =
+            static_cast<double>(slow.badTotal()) / b.slowTotal;
+        b.slow = rate / budget;
+    }
+    return b;
+}
+
+Burn
+SloTracker::latencyBurn() const
+{
+    return burnOf(latFast_, latSlow_, 1.0 - cfg_.objective);
+}
+
+Burn
+SloTracker::availabilityBurn() const
+{
+    return burnOf(availFast_, availSlow_,
+                  1.0 - cfg_.availabilityObjective);
+}
+
+bool
+SloTracker::alerting() const
+{
+    return latencyBurn().fast > cfg_.alertBurn ||
+           availabilityBurn().fast > cfg_.alertBurn;
+}
+
+bool
+SloTracker::gateFailed() const
+{
+    if (cumTotal_) {
+        const double rate =
+            static_cast<double>(cumSlow_) / cumTotal_;
+        if (rate > 1.0 - cfg_.objective)
+            return true;
+    }
+    if (cumArrivals_) {
+        const double rate =
+            static_cast<double>(cumErr_) / cumArrivals_;
+        if (rate > 1.0 - cfg_.availabilityObjective)
+            return true;
+    }
+    return false;
+}
+
+std::map<std::string, double>
+SloTracker::gauges() const
+{
+    const Burn lat = latencyBurn();
+    const Burn avail = availabilityBurn();
+    return {
+        {"telemetry.slo.latency_target_ns", cfg_.targetLatencyNs},
+        {"telemetry.slo.latency_objective", cfg_.objective},
+        {"telemetry.slo.availability_objective",
+         cfg_.availabilityObjective},
+        {"telemetry.slo.latency_burn_fast", lat.fast},
+        {"telemetry.slo.latency_burn_slow", lat.slow},
+        {"telemetry.slo.availability_burn_fast", avail.fast},
+        {"telemetry.slo.availability_burn_slow", avail.slow},
+        {"telemetry.slo.alerting", alerting() ? 1.0 : 0.0},
+    };
+}
+
+void
+SloTracker::publish(StatGroup &g) const
+{
+    g.scalar("slo.latency_target_ns") = cfg_.targetLatencyNs;
+    g.scalar("slo.latency_objective") = cfg_.objective;
+    g.scalar("slo.availability_objective") =
+        cfg_.availabilityObjective;
+    g.counter("slo.requests") = cumTotal_;
+    g.counter("slo.latency_violations") = cumSlow_;
+    g.counter("slo.arrivals") = cumArrivals_;
+    g.counter("slo.availability_errors") = cumErr_;
+    g.counter("slo.shed") = cumShed_;
+    g.counter("slo.aborted") = cumAbort_;
+    const Burn lat = latencyBurn();
+    const Burn avail = availabilityBurn();
+    g.scalar("slo.latency_burn_fast") = lat.fast;
+    g.scalar("slo.latency_burn_slow") = lat.slow;
+    g.scalar("slo.availability_burn_fast") = avail.fast;
+    g.scalar("slo.availability_burn_slow") = avail.slow;
+    g.counter("slo.gate_failed") = gateFailed() ? 1 : 0;
+}
+
+} // namespace secndp::telemetry

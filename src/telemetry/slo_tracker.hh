@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Multi-window SLO error-budget burn-rate tracking.
+ *
+ * Two objectives over the simulated serving timeline:
+ *
+ *  - latency: fraction of requests finishing within targetLatencyNs
+ *    must be >= objective (e.g. 99.9% under 1 ms);
+ *  - availability: fraction of arrivals that complete (neither shed
+ *    nor aborted) must be >= availabilityObjective.
+ *
+ * For each objective the tracker reports the error-budget burn rate --
+ * observed error rate divided by the budget (1 - objective) -- over a
+ * FAST and a SLOW sliding window (slow = 12x fast by default, the
+ * classic multi-window multi-burn-rate alerting shape: the fast
+ * window catches a new fire quickly, the slow window keeps a brief
+ * spike from paging). Burn rate 1.0 means "exactly consuming budget";
+ * a fast-window burn above `alertBurn` with the slow window also
+ * elevated is the page-worthy condition surfaced by `secndp_report
+ * top` and the `telemetry.slo.*` sidecar stats.
+ *
+ * Windows are rings of coarse time buckets over the *simulated* clock
+ * (nanoseconds on the serving timeline), so results are deterministic
+ * for a given seed and independent of host wall time. Single-writer:
+ * only the serve thread calls the record/advance methods; readers get
+ * values via the gauges it publishes into each TelemetrySnapshot.
+ */
+
+#ifndef SECNDP_TELEMETRY_SLO_TRACKER_HH
+#define SECNDP_TELEMETRY_SLO_TRACKER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace secndp {
+
+class StatGroup;
+
+namespace telemetry {
+
+struct SloConfig
+{
+    /** Latency objective: targetLatencyNs at `objective` quantile. */
+    double targetLatencyNs = 1e6;
+    double objective = 0.999;
+    /** Availability objective (completions / arrivals). */
+    double availabilityObjective = 0.999;
+    /** Fast window length on the simulated clock. */
+    double fastWindowNs = 5e6;
+    /** Slow window; <= 0 means 12x the fast window. */
+    double slowWindowNs = 0.0;
+    /** Fast-window burn rate that flips the `alerting` flag. */
+    double alertBurn = 14.4;
+
+    double effectiveSlowWindowNs() const
+    {
+        return slowWindowNs > 0.0 ? slowWindowNs
+                                  : 12.0 * fastWindowNs;
+    }
+};
+
+/** Burn-rate readout for one objective. */
+struct Burn
+{
+    double fast = 0.0;
+    double slow = 0.0;
+    /** Events inside the fast window (denominator). */
+    std::uint64_t fastTotal = 0;
+    std::uint64_t slowTotal = 0;
+};
+
+class SloTracker
+{
+  public:
+    explicit SloTracker(const SloConfig &cfg);
+
+    /** A request completed at simulated time `nowNs` with end-to-end
+     *  latency `latencyNs`. Feeds both objectives. */
+    void recordLatency(double nowNs, double latencyNs);
+    /** An arrival was shed (availability error). */
+    void recordShed(double nowNs);
+    /** A request aborted after admission (availability error). */
+    void recordAbort(double nowNs);
+
+    /** Slide the windows forward without recording anything. */
+    void advanceTo(double nowNs);
+
+    Burn latencyBurn() const;
+    Burn availabilityBurn() const;
+
+    /** Fast latency burn above the configured alert threshold? */
+    bool alerting() const;
+
+    /**
+     * Whole-run gate for `--slo-gate`: did the cumulative (not
+     * windowed) error rate of either objective exceed its budget?
+     */
+    bool gateFailed() const;
+
+    /** Cumulative whole-run totals (gate inputs). */
+    std::uint64_t totalRequests() const { return cumTotal_; }
+    std::uint64_t totalLatencyViolations() const { return cumSlow_; }
+    std::uint64_t totalAvailabilityErrors() const { return cumErr_; }
+
+    /** Burn-rate and objective gauges, `telemetry.slo.*` keyed --
+     *  the exact names the sidecar group and live scrape share. */
+    std::map<std::string, double> gauges() const;
+
+    /**
+     * Write the end-of-run `telemetry` StatGroup stats: objectives as
+     * scalars, cumulative totals as counters, final burn gauges.
+     */
+    void publish(StatGroup &g) const;
+
+    const SloConfig &config() const { return cfg_; }
+
+  private:
+    /** Ring of time buckets; covers `windowNs` ending at the write
+     *  head. Good (in-SLO) and bad (out-of-SLO) event counts. */
+    struct Ring
+    {
+        double bucketNs = 0.0;
+        std::vector<std::uint64_t> good;
+        std::vector<std::uint64_t> bad;
+        /** Absolute index of the bucket the head points at. */
+        std::int64_t headBucket = 0;
+        bool started = false;
+
+        void init(double windowNs, std::size_t buckets);
+        void advanceTo(double nowNs);
+        void add(double nowNs, bool isBad);
+        std::uint64_t total() const;
+        std::uint64_t badTotal() const;
+    };
+
+    static Burn burnOf(const Ring &fast, const Ring &slow,
+                       double budget);
+
+    SloConfig cfg_;
+    Ring latFast_, latSlow_;
+    Ring availFast_, availSlow_;
+
+    std::uint64_t cumTotal_ = 0;  ///< completed requests
+    std::uint64_t cumSlow_ = 0;   ///< over-target completions
+    std::uint64_t cumArrivals_ = 0;
+    std::uint64_t cumErr_ = 0;    ///< shed + aborted
+    std::uint64_t cumShed_ = 0;
+    std::uint64_t cumAbort_ = 0;
+};
+
+} // namespace telemetry
+} // namespace secndp
+
+#endif // SECNDP_TELEMETRY_SLO_TRACKER_HH

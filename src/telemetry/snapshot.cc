@@ -1,0 +1,45 @@
+#include "telemetry/snapshot.hh"
+
+namespace secndp::telemetry {
+
+void
+TelemetrySnapshot::fold(const StatGroup &g)
+{
+    const std::string prefix = g.name() + ".";
+    for (const auto &kv : g.counters())
+        counters[prefix + kv.first] += kv.second;
+    for (const auto &kv : g.scalars())
+        gauges[prefix + kv.first] += kv.second;
+    for (const auto &kv : g.distributions()) {
+        const std::string base = prefix + kv.first;
+        gauges[base + ".count"] +=
+            static_cast<double>(kv.second.count());
+        // Last fold wins for the non-additive fields; same-named
+        // distributions across folded groups are already merged by
+        // the registry, so this only matters for disjoint names.
+        gauges[base + ".mean"] = kv.second.mean();
+        gauges[base + ".min"] = kv.second.minValue();
+        gauges[base + ".max"] = kv.second.maxValue();
+    }
+    for (const auto &kv : g.histograms())
+        histograms[prefix + kv.first].mergeFrom(kv.second);
+}
+
+void
+TelemetrySnapshot::fold(const std::map<std::string, StatGroup> &groups)
+{
+    for (const auto &kv : groups)
+        fold(kv.second);
+}
+
+TelemetrySnapshot
+captureOwnedSnapshot()
+{
+    TelemetrySnapshot snap;
+    auto &reg = StatRegistry::instance();
+    snap.meta = reg.metaSnapshot();
+    snap.fold(reg.snapshotOwned());
+    return snap;
+}
+
+} // namespace secndp::telemetry

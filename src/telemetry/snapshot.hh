@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Point-in-time consistent telemetry snapshots.
+ *
+ * A TelemetrySnapshot is an immutable value the serving loop captures
+ * at a batch boundary and hands to the MetricsExporter thread through
+ * a shared_ptr swap -- the exporter renders whatever snapshot was
+ * current when a scrape arrives and never touches a live StatGroup.
+ * Consistency comes from WHO captures, not from locks on the stats:
+ * the single writer of the hot groups (the serve loop) builds the
+ * snapshot from StatRegistry::snapshotOwned() (its own live groups
+ * plus the registry's retired aggregate), the worker pool's locked
+ * copy (serve/worker_pool.hh), the Sampler's latest gauge values, and
+ * any derived gauges it computes itself (queue depth, burn rates).
+ *
+ * Histograms are carried as full secndp::Histogram copies, so the
+ * exporter can emit real Prometheus bucket vectors (cumulative `le`
+ * series), not just precomputed percentiles.
+ */
+
+#ifndef SECNDP_TELEMETRY_SNAPSHOT_HH
+#define SECNDP_TELEMETRY_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace secndp::telemetry {
+
+struct TelemetrySnapshot
+{
+    /** Publish sequence number (monotonic per run). */
+    std::uint64_t seq = 0;
+    /** Virtual clock at capture (ns on the serving timeline). */
+    double simNowNs = 0.0;
+    /** Capture taken after the final drain (counters are totals). */
+    bool complete = false;
+
+    /** `group.stat` keyed, mirroring the sidecar flattening. */
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+    std::map<std::string, std::string> meta;
+
+    /** Fold one group's stats in (counters/scalars add, histograms
+     *  union; distributions surface as count/mean/min/max gauges). */
+    void fold(const StatGroup &g);
+
+    /** Fold a whole snapshot map (e.g. snapshotOwned()). */
+    void fold(const std::map<std::string, StatGroup> &groups);
+};
+
+/**
+ * Build the standard snapshot: registry meta + snapshotOwned() folded
+ * in. Callers layer component-specific locked copies and derived
+ * gauges on top before publishing.
+ */
+TelemetrySnapshot captureOwnedSnapshot();
+
+} // namespace secndp::telemetry
+
+#endif // SECNDP_TELEMETRY_SNAPSHOT_HH

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (0.0.4) scrape.
+
+Checks the invariants the secndp exporter promises:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and never start with
+    the reserved "__" prefix;
+  * every sample's family has a preceding # TYPE (and # HELP) line;
+  * no duplicate (name, labels) sample;
+  * histogram bucket series are le-sorted, cumulative, end with a
+    +Inf bucket, and the +Inf count equals the _count sample;
+  * the body ends with a newline.
+
+Usage: prom_lint.py FILE   (or '-' for stdin).  Exit 0 clean, 1 with
+one "line N: message" diagnostic per violation otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$")
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"')
+
+
+def parse_value(tok):
+    if tok == "+Inf":
+        return math.inf
+    if tok == "-Inf":
+        return -math.inf
+    if tok == "NaN":
+        return math.nan
+    return float(tok)
+
+
+def lint(text):
+    errors = []
+    typed = {}      # family name -> declared type
+    helped = set()
+    seen = set()    # (name, labels) pairs
+    buckets = {}    # base name -> list of (line, le, value)
+    counts = {}     # base name -> _count value
+
+    if text and not text.endswith("\n"):
+        errors.append((len(text.splitlines()), "missing final newline"))
+
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                if parts[1] == "TYPE":
+                    typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+                else:
+                    helped.add(parts[2])
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append((ln, "unparseable sample line"))
+            continue
+        name, labels = m.group("name"), m.group("labels") or ""
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append((ln, "bad value %r" % m.group("value")))
+            continue
+        if name.startswith("__"):
+            errors.append((ln, "reserved '__' name %s" % name))
+        if not NAME_RE.match(name):
+            errors.append((ln, "invalid metric name %s" % name))
+        label_items = {}
+        if labels:
+            # Walk key="value" pairs with a quote-aware regex: label
+            # VALUES may legally contain commas, so a plain split on
+            # ',' would shred them.
+            lpos = 0
+            while lpos < len(labels):
+                lm = LABEL_RE.match(labels, lpos)
+                if not lm:
+                    errors.append(
+                        (ln, "bad label %r" % labels[lpos:]))
+                    break
+                label_items[lm.group("key")] = lm.group("val")
+                lpos = lm.end()
+                if lpos < len(labels):
+                    if labels[lpos] != ",":
+                        errors.append(
+                            (ln, "bad label separator %r"
+                             % labels[lpos:]))
+                        break
+                    lpos += 1
+        key = (name, labels)
+        if key in seen:
+            errors.append((ln, "duplicate sample %s{%s}" % key))
+        seen.add(key)
+
+        # Family = name with histogram/summary suffix stripped.
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if family not in typed and name not in typed:
+            errors.append((ln, "sample %s has no # TYPE" % name))
+        if family not in helped and name not in helped:
+            errors.append((ln, "sample %s has no # HELP" % name))
+
+        if name.endswith("_bucket") and "le" in label_items:
+            buckets.setdefault(name[:-len("_bucket")], []).append(
+                (ln, parse_value(label_items["le"]), value))
+        elif name.endswith("_count") and not labels:
+            counts[name[:-len("_count")]] = (ln, value)
+
+    for base, series in sorted(buckets.items()):
+        les = [le for _, le, _ in series]
+        vals = [v for _, _, v in series]
+        first_ln = series[0][0]
+        if les != sorted(les):
+            errors.append((first_ln, "%s buckets not le-sorted" % base))
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            errors.append((first_ln,
+                           "%s buckets not cumulative" % base))
+        if not les or not math.isinf(les[-1]):
+            errors.append((first_ln, "%s missing +Inf bucket" % base))
+        elif base in counts and counts[base][1] != vals[-1]:
+            errors.append((counts[base][0],
+                           "%s_count %g != +Inf bucket %g"
+                           % (base, counts[base][1], vals[-1])))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r") as f:
+            text = f.read()
+    errors = lint(text)
+    for ln, msg in errors:
+        print("line %d: %s" % (ln, msg))
+    if not errors:
+        print("ok: %d lines" % len(text.splitlines()))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -520,6 +520,35 @@ TEST_F(SamplerTest, StartSnapshotsCounterBaselines)
     EXPECT_DOUBLE_EQ(s.valueAt("row_hit_rate", 0), 0.0);
 }
 
+TEST_F(SamplerTest, StopStartCarriesNoStaleState)
+{
+    auto &s = Sampler::instance();
+    s.start(100);
+    s.gauge("backlog", 50, 5.0);
+    s.recordSpan("busy", 0, 100);
+    s.tick(200);
+    ASSERT_GE(s.intervalCount(), 1u);
+    ASSERT_FALSE(s.latestValues().empty());
+
+    // A stop -> start cycle (loadgen reusing the process-wide
+    // sampler for a second run) must begin from a clean slate:
+    // no bins, no series, no latest gauge values.
+    s.stop();
+    s.start(100);
+    EXPECT_TRUE(s.active());
+    EXPECT_EQ(s.intervalCount(), 0u);
+    EXPECT_TRUE(s.latestValues().empty());
+    EXPECT_DOUBLE_EQ(s.valueAt("backlog", 0), 0.0);
+
+    // reset() is the explicit spelling of the same guarantee and
+    // additionally leaves the sampler inactive.
+    s.gauge("backlog", 50, 7.0);
+    s.reset();
+    EXPECT_FALSE(s.active());
+    EXPECT_EQ(s.intervalCount(), 0u);
+    EXPECT_TRUE(s.latestValues().empty());
+}
+
 TEST_F(SamplerTest, GaugeIsLastWriteWinsPerBin)
 {
     auto &s = Sampler::instance();

@@ -231,6 +231,33 @@ TEST(WorkerPool, PerThreadGroupsFoldIntoOneAggregate)
     EXPECT_EQ(reg.counterSumNamed(name, "work_items") - before, 200u);
 }
 
+TEST(WorkerPool, StatsSnapshotReadableMidLifetime)
+{
+    auto &reg = StatRegistry::instance();
+    const std::string name = "serve_test_pool_c";
+    const auto before = reg.counterSumNamed(name, "work_items");
+    {
+        WorkerPool pool(2, name);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([](StatGroup &stats) {
+                ++stats.counter("work_items");
+            });
+        pool.drain();
+
+        // The locked accumulator copy sees every completed job while
+        // the pool is still alive (this is what the telemetry
+        // snapshot publisher reads between batches)...
+        StatGroup snap = pool.statsSnapshot();
+        EXPECT_EQ(snap.counterValue("work_items"), 50u);
+
+        // ...but nothing has folded into the registry yet, so the
+        // byte-deterministic sidecar path is untouched mid-run.
+        EXPECT_EQ(reg.counterSumNamed(name, "work_items"), before);
+        EXPECT_EQ(reg.liveGroupsNamed(name), 0u);
+    }
+    EXPECT_EQ(reg.counterSumNamed(name, "work_items") - before, 50u);
+}
+
 // -------------------------------------------------------------------
 // End-to-end serving loop
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -509,6 +510,36 @@ TEST(StatRegistry, LiveGroupsNamedCountsOnlyLive)
         EXPECT_EQ(reg.liveGroupsNamed("live_named_test"), 2u);
     }
     EXPECT_EQ(reg.liveGroupsNamed("live_named_test"), 1u);
+}
+
+TEST(StatRegistry, SnapshotOwnedFiltersForeignAndSharedGroups)
+{
+    auto &reg = StatRegistry::instance();
+    StatGroup mine("owned_test_mine");
+    mine.counter("c") = 7;
+    StatGroup shared("owned_test_shared");
+    shared.counter("c") = 9;
+    shared.markSharedWriter();
+    std::unique_ptr<StatGroup> theirs;
+    std::thread([&theirs] {
+        theirs = std::make_unique<StatGroup>("owned_test_theirs");
+        theirs->counter("c") = 11;
+    }).join();
+
+    // Only groups this thread owns are visible live: the shared
+    // group opted out, the foreign group belongs to a dead thread.
+    auto snap = reg.snapshotOwned();
+    ASSERT_EQ(snap.count("owned_test_mine"), 1u);
+    EXPECT_EQ(snap.at("owned_test_mine").counterValue("c"), 7u);
+    EXPECT_EQ(snap.count("owned_test_shared"), 0u);
+    EXPECT_EQ(snap.count("owned_test_theirs"), 0u);
+
+    // Once the foreign group retires into the aggregate it is part
+    // of the stable (write-once) state and every caller sees it.
+    theirs.reset();
+    snap = reg.snapshotOwned();
+    ASSERT_EQ(snap.count("owned_test_theirs"), 1u);
+    EXPECT_EQ(snap.at("owned_test_theirs").counterValue("c"), 11u);
 }
 
 TEST(StatGroup, JsonKeysAreGloballySorted)

@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Tests for the live telemetry plane: Prometheus name mangling and
+ * exposition rendering (exact-format and parse round-trip), bucket
+ * cumulativity against the log2 Histogram, quantile recovery from
+ * parsed buckets, SLO burn-rate window math, the snapshot fold, a
+ * golden scrape fixture pinning the wire format, and an end-to-end
+ * MetricsExporter scrape over real sockets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "telemetry/http_client.hh"
+#include "telemetry/metrics_exporter.hh"
+#include "telemetry/prom_text.hh"
+#include "telemetry/slo_tracker.hh"
+#include "telemetry/snapshot.hh"
+
+namespace secndp::telemetry {
+namespace {
+
+// ------------------------------------------------------------ names
+
+TEST(PromName, DotsAndInvalidCharsBecomeUnderscores)
+{
+    EXPECT_EQ(promMetricName("serve.latency_ns"), "serve_latency_ns");
+    EXPECT_EQ(promMetricName("a-b c%d"), "a_b_c_d");
+    EXPECT_EQ(promMetricName("telemetry.slo.latency_burn_fast"),
+              "telemetry_slo_latency_burn_fast");
+}
+
+TEST(PromName, ColonsSurvive)
+{
+    EXPECT_EQ(promMetricName("job:rate:5m"), "job:rate:5m");
+}
+
+TEST(PromName, LeadingDigitGetsGuard)
+{
+    EXPECT_EQ(promMetricName("9lives"), "_9lives");
+}
+
+TEST(PromName, EmptyBecomesUnderscore)
+{
+    EXPECT_EQ(promMetricName(""), "_");
+}
+
+TEST(PromName, ReservedDoubleUnderscorePrefixGetsGuard)
+{
+    // "__" is reserved for Prometheus internals; both a literal
+    // double underscore and one manufactured by mangling are guarded.
+    EXPECT_EQ(promMetricName("__internal"), "secndp__internal");
+    EXPECT_EQ(promMetricName("..x"), "secndp__x");
+    // A "__" later in the name is fine.
+    EXPECT_EQ(promMetricName("a__b"), "a__b");
+}
+
+TEST(PromName, QualifyPrefixesAndJoins)
+{
+    EXPECT_EQ(promQualify("serve", "latency_ns"),
+              "secndp_serve_latency_ns");
+    EXPECT_EQ(promQualify("telemetry.slo", "alerting"),
+              "secndp_telemetry_slo_alerting");
+}
+
+TEST(PromEscape, LabelEscapesQuoteBackslashNewline)
+{
+    EXPECT_EQ(promEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(promEscapeHelp("x\\y\nz"), "x\\\\y\\nz");
+}
+
+// ------------------------------------------------------- renderers
+
+TEST(PromRender, CounterHasHelpTypeAndSample)
+{
+    std::ostringstream os;
+    renderCounter(os, "secndp_x", "Things counted.", 42);
+    EXPECT_EQ(os.str(), "# HELP secndp_x Things counted.\n"
+                        "# TYPE secndp_x counter\n"
+                        "secndp_x 42\n");
+}
+
+TEST(PromRender, GaugeFormatsNonIntegralValues)
+{
+    std::ostringstream os;
+    renderGauge(os, "secndp_g", "A gauge.", 0.5);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# TYPE secndp_g gauge\n"), std::string::npos);
+    EXPECT_NE(out.find("secndp_g 0.5\n"), std::string::npos);
+}
+
+TEST(PromRender, HistogramBucketsAreCumulativeAndConsistent)
+{
+    Histogram h;
+    const std::vector<double> vals{1, 3, 3, 100, 5000, 70000};
+    for (double v : vals)
+        h.sample(v);
+
+    std::ostringstream os;
+    renderHistogram(os, "secndp_lat", "Latency.", h);
+
+    std::vector<PromSample> samples;
+    std::string err;
+    ASSERT_TRUE(parseExposition(os.str(), samples, &err)) << err;
+
+    double prev_cum = 0.0, prev_le = -1.0;
+    double inf_cum = -1.0, sum = -1.0, count = -1.0;
+    for (const auto &s : samples) {
+        if (s.name == "secndp_lat_bucket") {
+            const auto le = s.labels.find("le");
+            ASSERT_NE(le, s.labels.end());
+            const double edge = le->second == "+Inf"
+                                    ? std::numeric_limits<
+                                          double>::infinity()
+                                    : std::stod(le->second);
+            // Parsed in file order: edges strictly increase and the
+            // cumulative counts never decrease.
+            EXPECT_GT(edge, prev_le);
+            EXPECT_GE(s.value, prev_cum);
+            prev_le = edge;
+            prev_cum = s.value;
+            if (std::isinf(edge))
+                inf_cum = s.value;
+            // Cross-check the cumulative count against the raw
+            // samples. The log2 buckets carry their EXCLUSIVE upper
+            // edge as `le` (a documented approximation of strict
+            // Prometheus <= semantics), so boundary-exact values
+            // count one bucket higher.
+            double expect = 0;
+            for (double v : vals)
+                if (v < edge)
+                    expect += 1;
+            EXPECT_DOUBLE_EQ(s.value, expect)
+                << "le=" << le->second;
+        } else if (s.name == "secndp_lat_sum") {
+            sum = s.value;
+        } else if (s.name == "secndp_lat_count") {
+            count = s.value;
+        }
+    }
+    EXPECT_DOUBLE_EQ(inf_cum, 6.0);
+    EXPECT_DOUBLE_EQ(count, 6.0);
+    EXPECT_DOUBLE_EQ(sum, h.sum());
+}
+
+TEST(PromRender, SummaryCarriesQuantilesSumCount)
+{
+    std::ostringstream os;
+    renderSummary(os, "secndp_s", "S.", 10, 55.0,
+                  {{0.5, 3.0}, {0.99, 9.0}});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# TYPE secndp_s summary\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("secndp_s{quantile=\"0.5\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("secndp_s{quantile=\"0.99\"} 9\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("secndp_s_sum 55\n"), std::string::npos);
+    EXPECT_NE(out.find("secndp_s_count 10\n"), std::string::npos);
+}
+
+// --------------------------------------------------------- parsing
+
+TEST(PromParse, RoundTripsARenderedSnapshot)
+{
+    TelemetrySnapshot snap;
+    snap.seq = 9;
+    snap.simNowNs = 2.5e6;
+    snap.complete = true;
+    snap.meta["tool"] = "unit \"test\"";
+    snap.meta["git"] = "abc123";
+    snap.counters["serve.requests_completed"] = 96;
+    snap.gauges["serve.queue_depth"] = 4.0;
+    Histogram h;
+    h.sample(100);
+    h.sample(900);
+    snap.histograms["serve.latency_ns"] = h;
+
+    std::ostringstream os;
+    renderExposition(os, snap);
+
+    std::vector<PromSample> samples;
+    std::string err;
+    ASSERT_TRUE(parseExposition(os.str(), samples, &err)) << err;
+
+    double completed = -1, seq = -1, complete = -1, sim = -1,
+           depth = -1;
+    std::string tool_label, git_label;
+    for (const auto &s : samples) {
+        if (s.name == "secndp_serve_requests_completed")
+            completed = s.value;
+        else if (s.name == "secndp_snapshot_seq")
+            seq = s.value;
+        else if (s.name == "secndp_snapshot_complete")
+            complete = s.value;
+        else if (s.name == "secndp_sim_time_ns")
+            sim = s.value;
+        else if (s.name == "secndp_serve_queue_depth")
+            depth = s.value;
+        else if (s.name == "secndp_build_info") {
+            const auto t = s.labels.find("tool");
+            const auto g = s.labels.find("git");
+            if (t != s.labels.end())
+                tool_label = t->second;
+            if (g != s.labels.end())
+                git_label = g->second;
+        }
+    }
+    EXPECT_DOUBLE_EQ(completed, 96.0);
+    EXPECT_DOUBLE_EQ(seq, 9.0);
+    EXPECT_DOUBLE_EQ(complete, 1.0);
+    EXPECT_DOUBLE_EQ(sim, 2.5e6);
+    EXPECT_DOUBLE_EQ(depth, 4.0);
+    // Escaped label values decode back to the original bytes.
+    EXPECT_EQ(tool_label, "unit \"test\"");
+    EXPECT_EQ(git_label, "abc123");
+}
+
+TEST(PromParse, HandlesSpecialValuesAndRejectsGarbage)
+{
+    std::vector<PromSample> samples;
+    ASSERT_TRUE(parseExposition("a 1\nb +Inf\nc -Inf\nd NaN\n",
+                                samples, nullptr));
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_TRUE(std::isinf(samples[1].value));
+    EXPECT_TRUE(std::isinf(samples[2].value) && samples[2].value < 0);
+    EXPECT_TRUE(std::isnan(samples[3].value));
+
+    samples.clear();
+    std::string err;
+    EXPECT_FALSE(parseExposition("no_value_here\n", samples, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(PromParse, QuantileRecoveryFromBuckets)
+{
+    // 50 samples <= 100, another 50 in (100, 200].
+    std::vector<std::pair<double, double>> buckets{
+        {100.0, 50.0},
+        {200.0, 100.0},
+        {std::numeric_limits<double>::infinity(), 100.0},
+    };
+    EXPECT_DOUBLE_EQ(promHistogramQuantile(buckets, 0.5), 100.0);
+    EXPECT_DOUBLE_EQ(promHistogramQuantile(buckets, 0.75), 150.0);
+    EXPECT_DOUBLE_EQ(promHistogramQuantile(buckets, 0.25), 50.0);
+    EXPECT_DOUBLE_EQ(promHistogramQuantile({}, 0.5), 0.0);
+}
+
+TEST(PromParse, QuantileAgreesWithHistogramPercentile)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(static_cast<double>(i));
+    std::ostringstream os;
+    renderHistogram(os, "secndp_q", "Q.", h);
+    std::vector<PromSample> samples;
+    ASSERT_TRUE(parseExposition(os.str(), samples, nullptr));
+    std::vector<std::pair<double, double>> buckets;
+    for (const auto &s : samples) {
+        if (s.name != "secndp_q_bucket")
+            continue;
+        const auto &le = s.labels.at("le");
+        buckets.emplace_back(le == "+Inf"
+                                 ? std::numeric_limits<
+                                       double>::infinity()
+                                 : std::stod(le),
+                             s.value);
+    }
+    // Both sides interpolate inside log2 buckets, so they must agree
+    // to within one bucket's width.
+    for (double p : {0.5, 0.95, 0.99}) {
+        const double direct = h.percentile(p);
+        const double scraped = promHistogramQuantile(buckets, p);
+        EXPECT_NEAR(scraped, direct, direct * 0.5 + 1.0)
+            << "p=" << p;
+    }
+}
+
+// --------------------------------------------------- snapshot fold
+
+TEST(Snapshot, FoldFlattensGroupsLikeTheSidecar)
+{
+    StatGroup g("fold_test", StatGroup::noRegister);
+    g.counter("reads") = 5;
+    g.scalar("util") = 0.75;
+    g.histogram("lat").sample(32);
+    g.distribution("batch").sample(4);
+    g.distribution("batch").sample(8);
+
+    TelemetrySnapshot snap;
+    snap.fold(g);
+    EXPECT_EQ(snap.counters.at("fold_test.reads"), 5u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("fold_test.util"), 0.75);
+    EXPECT_EQ(snap.histograms.at("fold_test.lat").count(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("fold_test.batch.mean"), 6.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("fold_test.batch.count"), 2.0);
+
+    // Folding a second copy accumulates counters and histograms.
+    snap.fold(g);
+    EXPECT_EQ(snap.counters.at("fold_test.reads"), 10u);
+    EXPECT_EQ(snap.histograms.at("fold_test.lat").count(), 2u);
+}
+
+// ------------------------------------------------------ SLO tracker
+
+SloConfig
+testSloConfig()
+{
+    SloConfig cfg;
+    cfg.targetLatencyNs = 1000.0;
+    cfg.objective = 0.9; // 10% error budget: easy math
+    cfg.availabilityObjective = 0.9;
+    cfg.fastWindowNs = 1200.0;
+    cfg.slowWindowNs = 12000.0;
+    return cfg;
+}
+
+TEST(SloTracker, BurnIsErrorRateOverBudget)
+{
+    SloTracker t(testSloConfig());
+    for (int i = 0; i < 10; ++i)
+        t.recordLatency(1000.0, i < 5 ? 2000.0 : 500.0);
+    const Burn b = t.latencyBurn();
+    EXPECT_EQ(b.fastTotal, 10u);
+    EXPECT_EQ(b.slowTotal, 10u);
+    // 50% violations against a 10% budget: burning 5x.
+    EXPECT_NEAR(b.fast, 5.0, 1e-9);
+    EXPECT_NEAR(b.slow, 5.0, 1e-9);
+    EXPECT_EQ(t.totalRequests(), 10u);
+    EXPECT_EQ(t.totalLatencyViolations(), 5u);
+    // Default alert threshold is 14.4: a 5x burn does not page.
+    EXPECT_FALSE(t.alerting());
+}
+
+TEST(SloTracker, FastWindowForgetsSlowWindowRemembers)
+{
+    SloTracker t(testSloConfig());
+    for (int i = 0; i < 10; ++i)
+        t.recordLatency(1000.0, 2000.0); // all violations
+    EXPECT_EQ(t.latencyBurn().fastTotal, 10u);
+
+    // Slide past the fast window but stay inside the slow one.
+    t.advanceTo(1000.0 + 3 * 1200.0);
+    const Burn b = t.latencyBurn();
+    EXPECT_EQ(b.fastTotal, 0u);
+    EXPECT_DOUBLE_EQ(b.fast, 0.0);
+    EXPECT_EQ(b.slowTotal, 10u);
+    EXPECT_GT(b.slow, 0.0);
+
+    // Slide past the slow window too: everything forgotten.
+    t.advanceTo(1000.0 + 3 * 12000.0);
+    EXPECT_EQ(t.latencyBurn().slowTotal, 0u);
+}
+
+TEST(SloTracker, GateUsesCumulativeNotWindowedTotals)
+{
+    SloTracker bad(testSloConfig());
+    for (int i = 0; i < 10; ++i)
+        bad.recordLatency(1000.0, i < 5 ? 2000.0 : 500.0);
+    bad.advanceTo(1000.0 + 5 * 12000.0); // windows empty...
+    EXPECT_EQ(bad.latencyBurn().slowTotal, 0u);
+    EXPECT_TRUE(bad.gateFailed()); // ...but the run still failed
+
+    SloTracker good(testSloConfig());
+    for (int i = 0; i < 100; ++i)
+        good.recordLatency(1000.0, 500.0);
+    EXPECT_FALSE(good.gateFailed());
+}
+
+TEST(SloTracker, ShedAndAbortAreAvailabilityErrors)
+{
+    SloTracker t(testSloConfig());
+    t.recordLatency(100.0, 500.0);
+    t.recordShed(100.0);
+    t.recordAbort(100.0);
+    const Burn b = t.availabilityBurn();
+    EXPECT_EQ(b.fastTotal, 3u);
+    EXPECT_NEAR(b.fast, (2.0 / 3.0) / 0.1, 1e-9);
+    EXPECT_EQ(t.totalAvailabilityErrors(), 2u);
+    EXPECT_TRUE(t.gateFailed());
+}
+
+TEST(SloTracker, AlertingFollowsConfiguredThreshold)
+{
+    SloConfig cfg = testSloConfig();
+    cfg.alertBurn = 2.0;
+    SloTracker t(cfg);
+    for (int i = 0; i < 10; ++i)
+        t.recordLatency(1000.0, i < 5 ? 2000.0 : 500.0);
+    EXPECT_TRUE(t.alerting()); // 5x burn vs 2x threshold
+}
+
+TEST(SloTracker, GaugesAndPublishShareTheSidecarNames)
+{
+    SloTracker t(testSloConfig());
+    t.recordLatency(100.0, 500.0);
+    const auto g = t.gauges();
+    for (const char *key :
+         {"telemetry.slo.latency_burn_fast",
+          "telemetry.slo.latency_burn_slow",
+          "telemetry.slo.availability_burn_fast",
+          "telemetry.slo.availability_burn_slow",
+          "telemetry.slo.latency_objective",
+          "telemetry.slo.alerting"})
+        EXPECT_EQ(g.count(key), 1u) << key;
+
+    StatGroup tg("telemetry", StatGroup::noRegister);
+    t.publish(tg);
+    EXPECT_EQ(tg.counterValue("slo.requests"), 1u);
+    EXPECT_EQ(tg.counterValue("slo.gate_failed"), 0u);
+    EXPECT_DOUBLE_EQ(tg.scalarValue("slo.latency_target_ns"), 1000.0);
+}
+
+// --------------------------------------------------- golden fixture
+
+TEST(GoldenScrape, WireFormatIsPinned)
+{
+    TelemetrySnapshot snap;
+    snap.seq = 7;
+    snap.simNowNs = 123456789.0;
+    snap.complete = true;
+    snap.meta["git"] = "deadbeef";
+    snap.meta["tool"] = "golden";
+    snap.counters["serve.requests_completed"] = 96;
+    snap.counters["9weird.na-me"] = 3;
+    snap.gauges["serve.queue_depth"] = 4.0;
+    snap.gauges["telemetry.slo.latency_burn_fast"] = 0.25;
+    Histogram h;
+    for (double v : {100.0, 200.0, 300.0, 5000.0})
+        h.sample(v);
+    snap.histograms["serve.latency_ns"] = h;
+
+    std::ostringstream os;
+    renderExposition(os, snap);
+
+    const std::string path =
+        std::string(SECNDP_TEST_DATA_DIR) + "/golden_scrape.prom";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(os.str(), want.str())
+        << "rendered exposition drifted from the golden fixture; "
+           "if the change is intentional, regenerate " << path;
+}
+
+// ------------------------------------------------- exporter e2e
+
+#ifdef __linux__
+
+TEST(MetricsExporter, EndToEndScrapeOverSockets)
+{
+    MetricsExporter ex;
+    MetricsExporter::Config cfg;
+    cfg.port = 0; // ephemeral
+    std::string err;
+    ASSERT_TRUE(ex.start(cfg, &err)) << err;
+    ASSERT_NE(ex.port(), 0);
+
+    int status = 0;
+    std::string body;
+
+    // Liveness is unconditional.
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/healthz", status,
+                        body, &err))
+        << err;
+    EXPECT_EQ(status, 200);
+
+    // Readiness follows setReady().
+    ex.setReady(true);
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/readyz", status,
+                        body, &err));
+    EXPECT_EQ(status, 200);
+    ex.setReady(false);
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/readyz", status,
+                        body, &err));
+    EXPECT_EQ(status, 503);
+
+    // Unknown paths 404.
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/nope", status,
+                        body, &err));
+    EXPECT_EQ(status, 404);
+
+    // /metrics before any publish still answers 200.
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/metrics", status,
+                        body, &err));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("no snapshot"), std::string::npos);
+
+    auto snap = std::make_shared<TelemetrySnapshot>();
+    snap->seq = 3;
+    snap->simNowNs = 1.5e6;
+    snap->counters["serve.requests_completed"] = 42;
+    snap->meta["tool"] = "exporter_test";
+    ex.publish(snap);
+
+    const auto before = ex.scrapes();
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/metrics", status,
+                        body, &err));
+    EXPECT_EQ(status, 200);
+    std::string body2;
+    ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/metrics", status,
+                        body2, &err));
+    // Same snapshot published: byte-identical scrapes.
+    EXPECT_EQ(body, body2);
+    EXPECT_EQ(ex.scrapes(), before + 2);
+
+    std::vector<PromSample> samples;
+    ASSERT_TRUE(parseExposition(body, samples, &err)) << err;
+    double completed = -1;
+    for (const auto &s : samples)
+        if (s.name == "secndp_serve_requests_completed")
+            completed = s.value;
+    EXPECT_DOUBLE_EQ(completed, 42.0);
+
+    ex.stop();
+    EXPECT_FALSE(ex.running());
+    EXPECT_FALSE(httpGet("127.0.0.1", ex.port(), "/metrics", status,
+                         body, &err, 500));
+}
+
+TEST(MetricsExporter, PublishSwapsSnapshotsUnderLoad)
+{
+    MetricsExporter ex;
+    MetricsExporter::Config cfg;
+    cfg.port = 0;
+    std::string err;
+    ASSERT_TRUE(ex.start(cfg, &err)) << err;
+
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        auto snap = std::make_shared<TelemetrySnapshot>();
+        snap->seq = i;
+        snap->counters["c"] = i;
+        ex.publish(snap);
+        int status = 0;
+        std::string body;
+        ASSERT_TRUE(httpGet("127.0.0.1", ex.port(), "/metrics",
+                            status, body, &err))
+            << err;
+        std::vector<PromSample> samples;
+        ASSERT_TRUE(parseExposition(body, samples, &err)) << err;
+        double seq = -1;
+        for (const auto &s : samples)
+            if (s.name == "secndp_snapshot_seq")
+                seq = s.value;
+        // Scrapes always see the snapshot published right before.
+        EXPECT_DOUBLE_EQ(seq, static_cast<double>(i));
+    }
+    ex.stop();
+}
+
+#endif // __linux__
+
+} // namespace
+} // namespace secndp::telemetry

@@ -21,17 +21,22 @@
  *       --workers 4 --policy deadline --deadline-us 50
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/request_trace.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
 #include "serve/server.hh"
+#include "telemetry/metrics_exporter.hh"
+#include "telemetry/slo_tracker.hh"
 #include "workloads/dlrm.hh"
 #include "workloads/medical.hh"
 #include "workloads/trace_io.hh"
@@ -80,6 +85,13 @@ struct Options
     std::string traceRequests;
     std::string flightOut;
     double sloUs = 0.0;
+    // Live telemetry / SLO gate.
+    int metricsPort = -1; ///< -1 off, 0 ephemeral, else fixed port
+    double metricsLingerS = 0.0;
+    double metricsHoldMs = 0.0;
+    bool sloGate = false;
+    double sloObjective = 0.999;
+    double sloFastWindowUs = 10.0;
     // Outputs.
     std::string statsJson;
     std::string timeseriesOut;
@@ -152,9 +164,14 @@ printUsage(std::FILE *to, const char *argv0)
         "[--allow-shed]\n"
         "          [--trace-requests FILE] [--flight-out FILE] "
         "[--slo-us F]\n"
+        "          [--metrics-port N] [--metrics-linger SECONDS]\n"
+        "          [--metrics-hold-ms F] [--slo-gate] "
+        "[--slo-objective F]\n"
+        "          [--slo-fast-window-us F]\n"
         "          [--stats-json FILE] [--timeseries-out FILE]\n"
         "          [--sample-interval CYCLES] "
-        "[--log-level debug|info|warn|error] [--help]\n"
+        "[--log-level debug|info|warn|error]\n"
+        "          [--version] [--help]\n"
         "\n"
         "  --mode open        Poisson arrivals at --qps "
         "(queueing + shedding visible)\n"
@@ -184,8 +201,28 @@ printUsage(std::FILE *to, const char *argv0)
         "breach)\n"
         "  --slo-us F         latency SLO; breaches count as "
         "flight-recorder anomalies\n"
+        "  --metrics-port N   serve live Prometheus metrics on "
+        "127.0.0.1:N (0 = ephemeral;\n"
+        "                     /metrics /healthz /readyz; default "
+        "off -- sidecars are\n"
+        "                     byte-identical either way)\n"
+        "  --metrics-linger SECONDS  keep the endpoint up after the "
+        "run completes\n"
+        "  --metrics-hold-ms F  hold (wall clock) before drain with "
+        "/readyz still 200\n"
+        "  --slo-gate         exit 1 when the run burned more error "
+        "budget than the\n"
+        "                     objective allows (uses --slo-us as the "
+        "latency target)\n"
+        "  --slo-objective F  in-SLO fraction objective (default "
+        "0.999)\n"
         "  --stats-json FILE  schema-v2 stats report "
-        "(serve.* / serve_worker.* groups)\n",
+        "(serve.* / serve_worker.* groups)\n"
+        "\n"
+        "exit codes: 0 success; 1 SLO gate failed (--slo-gate); "
+        "2 usage error;\n"
+        "            3 requests shed or aborted (unless "
+        "--allow-shed covers the shed)\n",
         argv0);
 }
 
@@ -254,6 +291,10 @@ main(int argc, char **argv)
             printUsage(stdout, argv[0]);
             return 0;
         }
+        else if (arg == "--version") {
+            std::printf("secndp_loadgen %s\n", buildVersion());
+            return 0;
+        }
         else if (arg == "--mode") opt.mode = next();
         else if (arg == "--qps") opt.qps = std::stod(next());
         else if (arg == "--concurrency")
@@ -293,6 +334,23 @@ main(int argc, char **argv)
         else if (arg == "--trace-requests") opt.traceRequests = next();
         else if (arg == "--flight-out") opt.flightOut = next();
         else if (arg == "--slo-us") opt.sloUs = std::stod(next());
+        else if (arg == "--metrics-port") {
+            opt.metricsPort = std::stoi(next());
+            if (opt.metricsPort < 0 || opt.metricsPort > 65535)
+                fatal("--metrics-port must be in [0, 65535]");
+        }
+        else if (arg == "--metrics-linger")
+            opt.metricsLingerS = std::stod(next());
+        else if (arg == "--metrics-hold-ms")
+            opt.metricsHoldMs = std::stod(next());
+        else if (arg == "--slo-gate") opt.sloGate = true;
+        else if (arg == "--slo-objective") {
+            opt.sloObjective = std::stod(next());
+            if (opt.sloObjective <= 0.0 || opt.sloObjective >= 1.0)
+                fatal("--slo-objective must be in (0, 1)");
+        }
+        else if (arg == "--slo-fast-window-us")
+            opt.sloFastWindowUs = std::stod(next());
         else if (arg == "--stats-json") opt.statsJson = next();
         else if (arg == "--timeseries-out") opt.timeseriesOut = next();
         else if (arg == "--sample-interval") {
@@ -369,6 +427,39 @@ main(int argc, char **argv)
             ? VerLayout::Ecc
             : parseLayout(opt.layout);
 
+    // Live telemetry: armed only by --metrics-port / --slo-gate, so
+    // plain runs carry no telemetry group and stay byte-identical to
+    // the pre-telemetry baselines. The SLO latency target defaults to
+    // 1 ms when no --slo-us was given.
+    const bool telemetryOn = opt.metricsPort >= 0 || opt.sloGate;
+    const double sloTargetUs = opt.sloUs > 0 ? opt.sloUs : 1000.0;
+    telemetry::MetricsExporter exporter;
+    std::unique_ptr<telemetry::SloTracker> slo;
+    if (telemetryOn) {
+        telemetry::SloConfig scfg;
+        scfg.targetLatencyNs = sloTargetUs * 1000.0;
+        scfg.objective = opt.sloObjective;
+        scfg.availabilityObjective = opt.sloObjective;
+        scfg.fastWindowNs = opt.sloFastWindowUs * 1000.0;
+        slo = std::make_unique<telemetry::SloTracker>(scfg);
+        cfg.telemetry.slo = slo.get();
+    }
+    if (opt.metricsPort >= 0) {
+        telemetry::MetricsExporter::Config ecfg;
+        ecfg.port = static_cast<std::uint16_t>(opt.metricsPort);
+        std::string err;
+        if (!exporter.start(ecfg, &err))
+            fatal("--metrics-port: %s", err.c_str());
+        cfg.telemetry.exporter = &exporter;
+        cfg.telemetry.holdBeforeDrainMs = opt.metricsHoldMs;
+        // Announce the resolved port up front (matters for
+        // --metrics-port 0) so `secndp_report top` can attach.
+        std::printf("metrics         serving "
+                    "http://127.0.0.1:%u/metrics\n",
+                    exporter.port());
+        std::fflush(stdout);
+    }
+
     // Run metadata for the sidecar (secndp_report refuses to diff
     // unlike runs).
     {
@@ -413,6 +504,15 @@ main(int argc, char **argv)
             std::snprintf(tr, sizeof(tr), "on slo_us=%.2f",
                           opt.sloUs);
             reg.setMeta("trace", tr);
+        }
+        // Telemetry-armed runs carry their SLO parameters (never the
+        // port: sidecars must byte-compare across ephemeral binds).
+        if (telemetryOn) {
+            char tm[96];
+            std::snprintf(tm, sizeof(tm),
+                          "on target_us=%.2f objective=%.4f",
+                          sloTargetUs, opt.sloObjective);
+            reg.setMeta("telemetry", tm);
         }
     }
 
@@ -548,6 +648,30 @@ main(int argc, char **argv)
     }
     std::printf("makespan        %.3f us\n", rep.makespanNs / 1000.0);
     std::printf("sustained qps   %.0f\n", rep.sustainedQps);
+    if (slo) {
+        const auto lat = slo->latencyBurn();
+        const auto avail = slo->availabilityBurn();
+        std::printf("slo             target %.1f us @ %.4f, burn "
+                    "fast %.2f / slow %.2f (avail %.2f / %.2f)\n",
+                    sloTargetUs, opt.sloObjective, lat.fast, lat.slow,
+                    avail.fast, avail.slow);
+    }
+    if (exporter.running()) {
+        std::printf("metrics         http://127.0.0.1:%u/metrics "
+                    "(%llu scrape(s))\n",
+                    exporter.port(),
+                    static_cast<unsigned long long>(
+                        exporter.scrapes()));
+        if (opt.metricsLingerS > 0) {
+            std::printf("metrics linger  %.1f s (final snapshot, "
+                        "/readyz 503)\n",
+                        opt.metricsLingerS);
+            std::fflush(stdout);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.metricsLingerS));
+        }
+        exporter.stop();
+    }
 
     // Scriptable failure semantics: any terminal shed/abort state is
     // a hard failure unless explicitly tolerated. Attack runs can
@@ -565,5 +689,21 @@ main(int argc, char **argv)
                     rep.rejected);
         failed = true;
     }
-    return failed ? 3 : 0;
+    if (failed)
+        return 3;
+    if (opt.sloGate && slo && slo->gateFailed()) {
+        std::printf("FAILED: SLO gate -- cumulative error rate "
+                    "exceeded the %.4f objective "
+                    "(%llu/%llu over target, %llu availability "
+                    "error(s))\n",
+                    opt.sloObjective,
+                    static_cast<unsigned long long>(
+                        slo->totalLatencyViolations()),
+                    static_cast<unsigned long long>(
+                        slo->totalRequests()),
+                    static_cast<unsigned long long>(
+                        slo->totalAvailabilityErrors()));
+        return 1;
+    }
+    return 0;
 }

@@ -25,10 +25,13 @@
  *   secndp_redteam --kinds flip,replay --rates 1e-3,1 --stats-json rt.json
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -37,6 +40,8 @@
 #include "common/stats.hh"
 #include "faults/injector.hh"
 #include "secndp/protocol.hh"
+#include "telemetry/metrics_exporter.hh"
+#include "telemetry/snapshot.hh"
 
 using namespace secndp;
 
@@ -52,6 +57,8 @@ struct Options
     std::string traceRequests;
     std::string flightOut;
     double sloUs = 0.0;
+    int metricsPort = -1; ///< -1 off, 0 ephemeral, else fixed port
+    double metricsLingerS = 0.0;
 };
 
 void
@@ -62,8 +69,10 @@ printUsage(std::FILE *to, const char *argv0)
         "[--rates CSV]\n"
         "          [--stats-json FILE] [--trace-requests FILE] "
         "[--flight-out FILE]\n"
-        "          [--slo-us F] "
-        "[--log-level debug|info|warn|error] [--help]\n"
+        "          [--slo-us F] [--metrics-port N] "
+        "[--metrics-linger SECONDS]\n"
+        "          [--log-level debug|info|warn|error] "
+        "[--version] [--help]\n"
         "\n"
         "  --queries N       verified queries per (kind, rate) config "
         "(default 200)\n"
@@ -78,6 +87,12 @@ printUsage(std::FILE *to, const char *argv0)
         "  --flight-out FILE flight dump on the first missed forgery\n"
         "  --slo-us F        accepted for loadgen flag parity "
         "(no latency here)\n"
+        "  --metrics-port N  live Prometheus endpoint on "
+        "127.0.0.1:N while the sweep\n"
+        "                    runs (0 = ephemeral; sidecars "
+        "unaffected)\n"
+        "  --metrics-linger SECONDS  keep the endpoint up after the "
+        "sweep completes\n"
         "\n"
         "exit status: 0 all injected faults detected and linked; "
         "4 any missed or\n"
@@ -231,6 +246,10 @@ main(int argc, char **argv)
             printUsage(stdout, argv[0]);
             return 0;
         }
+        else if (arg == "--version") {
+            std::printf("secndp_redteam %s\n", buildVersion());
+            return 0;
+        }
         else if (arg == "--queries") opt.queries = std::stoul(next());
         else if (arg == "--seed") opt.seed = std::stoull(next());
         else if (arg == "--kinds") opt.kinds = next();
@@ -239,6 +258,13 @@ main(int argc, char **argv)
         else if (arg == "--trace-requests") opt.traceRequests = next();
         else if (arg == "--flight-out") opt.flightOut = next();
         else if (arg == "--slo-us") opt.sloUs = std::stod(next());
+        else if (arg == "--metrics-port") {
+            opt.metricsPort = std::stoi(next());
+            if (opt.metricsPort < 0 || opt.metricsPort > 65535)
+                fatal("--metrics-port must be in [0, 65535]");
+        }
+        else if (arg == "--metrics-linger")
+            opt.metricsLingerS = std::stod(next());
         else if (arg == "--log-level") {
             LogLevel level;
             if (!parseLogLevel(next(), level))
@@ -290,6 +316,33 @@ main(int argc, char **argv)
                       opt.queries,
                       static_cast<unsigned long long>(opt.seed));
         reg.setMeta("config", knobs);
+    }
+
+    // Live progress endpoint: the sweep thread owns every aggregate
+    // group, so captureOwnedSnapshot() is race-free by construction.
+    telemetry::MetricsExporter exporter;
+    std::uint64_t pub_seq = 0;
+    auto publishSnapshot = [&](double progress, bool complete) {
+        if (!exporter.running())
+            return;
+        auto snap = std::make_shared<telemetry::TelemetrySnapshot>(
+            telemetry::captureOwnedSnapshot());
+        snap->seq = ++pub_seq;
+        snap->simNowNs = progress;
+        snap->complete = complete;
+        exporter.publish(std::move(snap));
+    };
+    if (opt.metricsPort >= 0) {
+        telemetry::MetricsExporter::Config ecfg;
+        ecfg.port = static_cast<std::uint16_t>(opt.metricsPort);
+        std::string err;
+        if (!exporter.start(ecfg, &err))
+            fatal("--metrics-port: %s", err.c_str());
+        exporter.setReady(true);
+        std::printf("metrics         serving "
+                    "http://127.0.0.1:%u/metrics\n",
+                    exporter.port());
+        std::fflush(stdout);
     }
 
     // Aggregates across the whole sweep, published in place of the
@@ -351,6 +404,7 @@ main(int argc, char **argv)
             kindMissed += row.missed;
             totalMissed += row.missed;
             totalLinkViolations += row.traceLinkViolations;
+            publishSnapshot(static_cast<double>(config), false);
         }
         redteam.scalar(std::string("detection_") +
                        faultKindName(kind)) =
@@ -389,6 +443,19 @@ main(int argc, char **argv)
                         rq.spansRecorded()));
     }
 #endif
+
+    if (exporter.running()) {
+        exporter.setReady(false);
+        publishSnapshot(static_cast<double>(config), true);
+        if (opt.metricsLingerS > 0) {
+            std::printf("metrics linger  %.1f s\n",
+                        opt.metricsLingerS);
+            std::fflush(stdout);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.metricsLingerS));
+        }
+        exporter.stop();
+    }
 
     bool failed = false;
     if (totalMissed > 0) {

@@ -21,18 +21,36 @@
  *       cohorts with exemplar trace IDs, and a cross-check of the
  *       span-derived percentiles against serve.latency_ns. PATH is a
  *       file or a directory of *.spans.json / *.flight.json.
+ *
+ *   secndp_report top --port N [--host H] [--interval-ms N] [--once]
+ *       Live terminal dashboard over a running tool's --metrics-port
+ *       endpoint: qps, latency percentiles from the scraped histogram
+ *       buckets, queue depth, shed/abort counters, SLO burn rates.
+ *
+ *   secndp_report summary --format=prom FILE|DIR...
+ *       One-shot sidecar -> Prometheus text conversion using the
+ *       exact name mangling the live exporter uses, so offline and
+ *       scraped series join on identical metric names.
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/stats.hh"
 #include "report/report.hh"
 #include "report/spans.hh"
+#include "telemetry/http_client.hh"
+#include "telemetry/prom_text.hh"
 
 namespace {
 
@@ -43,18 +61,25 @@ void
 printUsage(std::FILE *to, const char *argv0)
 {
     std::fprintf(to,
-                 "usage: %s summary FILE|DIR...\n"
+                 "usage: %s summary [--format=prom] FILE|DIR...\n"
                  "       %s diff --baseline DIR [--thresholds FILE] "
                  "RUN_DIR\n"
                  "       %s explain [STATS] --spans PATH\n"
+                 "       %s top --port N [--host H] "
+                 "[--interval-ms N] [--once]\n"
                  "\n"
                  "subcommands:\n"
                  "  summary   print per-run stat tables from "
                  ".stats.json sidecars\n"
+                 "            (--format=prom: Prometheus text with "
+                 "the live exporter's\n"
+                 "            metric names)\n"
                  "  diff      gate RUN_DIR against baseline sidecars; "
                  "exit 1 on regression\n"
                  "  explain   per-phase p50/p95/p99 tail-latency "
                  "attribution from span logs\n"
+                 "  top       live dashboard over a --metrics-port "
+                 "endpoint\n"
                  "\n"
                  "diff options:\n"
                  "  --baseline DIR     directory of golden "
@@ -69,9 +94,19 @@ printUsage(std::FILE *to, const char *argv0)
                  "directory of *.spans.json /\n"
                  "                     *.flight.json (required)\n"
                  "\n"
+                 "top options:\n"
+                 "  --port N           metrics port to scrape "
+                 "(required)\n"
+                 "  --host H           endpoint host (default "
+                 "127.0.0.1)\n"
+                 "  --interval-ms N    refresh period (default "
+                 "500)\n"
+                 "  --once             print one frame and exit "
+                 "(no screen clearing)\n"
+                 "\n"
                  "exit codes: 0 ok, 1 regression/mismatch, 2 usage, "
                  "3 I/O or parse error\n",
-                 argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0);
 }
 
 bool
@@ -113,15 +148,121 @@ expandOperand(const std::string &arg, std::vector<std::string> &files)
     return true;
 }
 
+/**
+ * Offline sidecar -> Prometheus conversion sharing promQualify with
+ * the live exporter, so scraped and converted series join on the same
+ * names. Plain metrics render as untyped (sidecar JSON cannot
+ * distinguish a counter from a scalar); histogram-shaped objects
+ * (have a .p50) render as summaries whose _sum/_count match the live
+ * histogram's; distribution-shaped objects render the same
+ * _count/_mean/_min/_max gauges the live snapshot fold produces.
+ */
+void
+renderReportProm(std::ostream &os, const StatsReport &r)
+{
+    using namespace secndp::telemetry;
+
+    renderGauge(os, "secndp_build_info_schema_version",
+                "Sidecar schema version.",
+                static_cast<double>(r.schemaVersion));
+    {
+        os << "# HELP secndp_build_info Run metadata from the stats "
+              "sidecar.\n# TYPE secndp_build_info gauge\n"
+           << "secndp_build_info{";
+        bool first = true;
+        for (const auto &kv : r.meta) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << promMetricName(kv.first) << "=\""
+               << promEscapeLabel(kv.second) << "\"";
+        }
+        os << "} 1\n";
+    }
+
+    // Reassemble the flattened `group.stat.field` object metrics.
+    static const char *objFields[] = {"count", "min",  "max", "mean",
+                                      "p50",   "p95", "p99"};
+    std::map<std::string, std::map<std::string, double>> objects;
+    std::vector<std::pair<std::string, double>> plain;
+    for (const auto &kv : r.metrics) {
+        bool isField = false;
+        const std::size_t dot = kv.first.rfind('.');
+        if (dot != std::string::npos) {
+            const std::string field = kv.first.substr(dot + 1);
+            for (const char *f : objFields) {
+                if (field == f &&
+                    r.metrics.count(kv.first.substr(0, dot) +
+                                    ".count")) {
+                    objects[kv.first.substr(0, dot)][field] =
+                        kv.second;
+                    isField = true;
+                    break;
+                }
+            }
+        }
+        if (!isField)
+            plain.emplace_back(kv.first, kv.second);
+    }
+
+    for (const auto &kv : plain) {
+        renderUntyped(os, promMetricName("secndp_" + kv.first),
+                      "Sidecar metric " + kv.first + ".", kv.second);
+    }
+    for (const auto &obj : objects) {
+        const std::string name = promMetricName("secndp_" + obj.first);
+        const auto &f = obj.second;
+        const double count = f.count("count") ? f.at("count") : 0.0;
+        if (f.count("p50")) {
+            std::vector<std::pair<double, double>> quantiles;
+            for (const auto &q :
+                 {std::pair<const char *, double>{"p50", 0.5},
+                  {"p95", 0.95},
+                  {"p99", 0.99}}) {
+                if (f.count(q.first))
+                    quantiles.emplace_back(q.second, f.at(q.first));
+            }
+            const double mean = f.count("mean") ? f.at("mean") : 0.0;
+            renderSummary(os, name,
+                          "Sidecar histogram " + obj.first +
+                              " (percentiles; live scrapes carry "
+                              "buckets).",
+                          static_cast<std::uint64_t>(count),
+                          mean * count, quantiles);
+        } else {
+            for (const char *field : {"count", "mean", "min", "max"}) {
+                if (f.count(field)) {
+                    renderGauge(os, name + "_" + field,
+                                "Sidecar distribution field " +
+                                    obj.first + "." + field + ".",
+                                f.at(field));
+                }
+            }
+        }
+    }
+}
+
 int
 cmdSummary(const std::vector<std::string> &args, const char *argv0)
 {
-    if (args.empty()) {
+    bool prom = false;
+    std::vector<std::string> operands;
+    for (const auto &arg : args) {
+        if (arg == "--format=prom")
+            prom = true;
+        else if (arg.rfind("--format=", 0) == 0) {
+            std::cerr << "error: unknown summary format '"
+                      << arg.substr(9) << "' (only: prom)\n";
+            return 2;
+        } else
+            operands.push_back(arg);
+    }
+    if (operands.empty()) {
         printUsage(stderr, argv0);
         return 2;
     }
     std::vector<std::string> files;
-    for (const auto &arg : args) {
+    for (const auto &arg : operands) {
         if (!expandOperand(arg, files))
             return 3;
     }
@@ -136,7 +277,10 @@ cmdSummary(const std::vector<std::string> &args, const char *argv0)
         if (!first)
             std::cout << "\n";
         first = false;
-        printSummary(std::cout, report);
+        if (prom)
+            renderReportProm(std::cout, report);
+        else
+            printSummary(std::cout, report);
     }
     return 0;
 }
@@ -216,6 +360,196 @@ cmdExplain(const std::vector<std::string> &args, const char *argv0)
                : 1;
 }
 
+/** One parsed scrape: label-less samples + histogram buckets. */
+struct TopFrame
+{
+    std::map<std::string, double> values;
+    /** name -> (le upper edge, cumulative count) pairs. */
+    std::map<std::string, std::vector<std::pair<double, double>>>
+        buckets;
+    bool ready = false;
+
+    double value(const std::string &name) const
+    {
+        const auto it = values.find(name);
+        return it == values.end() ? 0.0 : it->second;
+    }
+};
+
+bool
+scrapeFrame(const std::string &host, std::uint16_t port,
+            TopFrame &frame, std::string *err)
+{
+    using namespace secndp::telemetry;
+    int status = 0;
+    std::string body;
+    if (!httpGet(host, port, "/metrics", status, body, err))
+        return false;
+    if (status != 200) {
+        if (err)
+            *err = "/metrics returned " + std::to_string(status);
+        return false;
+    }
+    std::vector<PromSample> samples;
+    if (!parseExposition(body, samples, err))
+        return false;
+    for (const auto &s : samples) {
+        const auto le = s.labels.find("le");
+        if (le != s.labels.end()) {
+            const double edge = le->second == "+Inf"
+                                    ? HUGE_VAL
+                                    : std::strtod(
+                                          le->second.c_str(), nullptr);
+            frame.buckets[s.name].emplace_back(edge, s.value);
+        } else if (s.labels.empty()) {
+            frame.values[s.name] = s.value;
+        }
+    }
+    std::string rbody, rerr;
+    if (httpGet(host, port, "/readyz", status, rbody, &rerr))
+        frame.ready = status == 200;
+    return true;
+}
+
+void
+printTopFrame(const TopFrame &cur, const TopFrame *prev, bool clear)
+{
+    using namespace secndp::telemetry;
+    if (clear)
+        std::printf("\033[H\033[2J");
+
+    const double sim_ns = cur.value("secndp_sim_time_ns");
+    const double completed =
+        cur.value("secndp_serve_requests_completed");
+    const bool complete =
+        cur.value("secndp_snapshot_complete") >= 1.0;
+
+    // Instantaneous qps on the simulated timeline between frames;
+    // falls back to the whole-run average when no delta is visible.
+    double qps = sim_ns > 0 ? completed / (sim_ns / 1e9) : 0.0;
+    if (prev) {
+        const double dns = sim_ns - prev->value("secndp_sim_time_ns");
+        const double dreq =
+            completed - prev->value("secndp_serve_requests_completed");
+        if (dns > 0)
+            qps = dreq / (dns / 1e9);
+    }
+
+    std::printf("secndp top -- %s | sim %.1f us | snapshot #%.0f%s\n",
+                cur.ready ? "SERVING (ready)" : "DRAINING/DONE",
+                sim_ns / 1000.0, cur.value("secndp_snapshot_seq"),
+                complete ? " [complete]" : "");
+    std::printf("%-22s %12.0f\n", "qps (simulated)", qps);
+    std::printf("%-22s %12.0f\n", "completed", completed);
+    std::printf("%-22s %12.0f\n", "shed",
+                cur.value("secndp_serve_requests_rejected"));
+    std::printf("%-22s %12.0f\n", "aborted",
+                cur.value("secndp_serve_requests_aborted"));
+    std::printf("%-22s %12.0f\n", "queue depth",
+                cur.value("secndp_serve_queue_depth"));
+    std::printf("%-22s %12.0f\n", "batches",
+                cur.value("secndp_serve_batches"));
+
+    const auto hist =
+        cur.buckets.find("secndp_serve_latency_ns_bucket");
+    if (hist != cur.buckets.end()) {
+        std::printf("%-22s %9.0f ns\n", "latency p50",
+                    promHistogramQuantile(hist->second, 0.50));
+        std::printf("%-22s %9.0f ns\n", "latency p95",
+                    promHistogramQuantile(hist->second, 0.95));
+        std::printf("%-22s %9.0f ns\n", "latency p99",
+                    promHistogramQuantile(hist->second, 0.99));
+    }
+
+    if (cur.values.count("secndp_telemetry_slo_latency_burn_fast")) {
+        const double fast =
+            cur.value("secndp_telemetry_slo_latency_burn_fast");
+        const double slow =
+            cur.value("secndp_telemetry_slo_latency_burn_slow");
+        const bool alerting =
+            cur.value("secndp_telemetry_slo_alerting") >= 1.0;
+        std::printf("%-22s %6.2f / %.2f%s\n",
+                    "slo burn fast/slow", fast, slow,
+                    alerting ? "  ** ALERTING **" : "");
+        std::printf("%-22s %6.2f / %.2f\n", "avail burn fast/slow",
+                    cur.value(
+                        "secndp_telemetry_slo_availability_burn_fast"),
+                    cur.value(
+                        "secndp_telemetry_slo_availability_burn_"
+                        "slow"));
+    }
+    if (cur.values.count("secndp_faults_injected_total")) {
+        std::printf("%-22s %12.0f\n", "faults injected",
+                    cur.value("secndp_faults_injected_total"));
+        std::printf("%-22s %12.0f\n", "tamper detected",
+                    cur.value("secndp_verify_detected"));
+    }
+    std::fflush(stdout);
+}
+
+int
+cmdTop(const std::vector<std::string> &args, const char *argv0)
+{
+    std::string host = "127.0.0.1";
+    int port = -1;
+    int intervalMs = 500;
+    bool once = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--port" && i + 1 < args.size())
+            port = std::atoi(args[++i].c_str());
+        else if (args[i] == "--host" && i + 1 < args.size())
+            host = args[++i];
+        else if (args[i] == "--interval-ms" && i + 1 < args.size())
+            intervalMs = std::atoi(args[++i].c_str());
+        else if (args[i] == "--once")
+            once = true;
+        else {
+            std::cerr << "error: unknown top option '" << args[i]
+                      << "'\n";
+            printUsage(stderr, argv0);
+            return 2;
+        }
+    }
+    if (port <= 0 || port > 65535 || intervalMs <= 0) {
+        std::cerr << "error: top needs --port in [1, 65535]\n";
+        printUsage(stderr, argv0);
+        return 2;
+    }
+
+    bool everScraped = false;
+    TopFrame prev;
+    int failures = 0;
+    for (;;) {
+        TopFrame frame;
+        std::string err;
+        if (scrapeFrame(host, static_cast<std::uint16_t>(port), frame,
+                        &err)) {
+            failures = 0;
+            printTopFrame(frame, everScraped ? &prev : nullptr,
+                          !once);
+            prev = std::move(frame);
+            everScraped = true;
+            if (once)
+                return 0;
+        } else {
+            ++failures;
+            if (everScraped) {
+                // The run ended and closed the endpoint: clean exit.
+                std::printf("endpoint closed (%s)\n", err.c_str());
+                return 0;
+            }
+            // Give a slow-starting run a few seconds to bind.
+            if (failures * intervalMs > 5000) {
+                std::cerr << "error: cannot scrape " << host << ":"
+                          << port << ": " << err << "\n";
+                return 3;
+            }
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+}
+
 } // namespace
 
 int
@@ -230,6 +564,10 @@ main(int argc, char **argv)
         printUsage(stdout, argv[0]);
         return 0;
     }
+    if (args[0] == "--version") {
+        std::printf("secndp_report %s\n", secndp::buildVersion());
+        return 0;
+    }
     const std::string cmd = args[0];
     args.erase(args.begin());
     if (cmd == "summary")
@@ -238,6 +576,8 @@ main(int argc, char **argv)
         return cmdDiff(args, argv[0]);
     if (cmd == "explain")
         return cmdExplain(args, argv[0]);
+    if (cmd == "top")
+        return cmdTop(args, argv[0]);
     std::cerr << "error: unknown subcommand '" << cmd << "'\n";
     printUsage(stderr, argv[0]);
     return 2;

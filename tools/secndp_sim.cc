@@ -94,7 +94,7 @@ printUsage(std::FILE *to, const char *argv0)
                  "[--sample-interval CYCLES]\n"
                  "          [--save-trace FILE] [--load-trace FILE]\n"
                  "          [--log-level debug|info|warn|error] "
-                 "[--help]\n"
+                 "[--help] [--version]\n"
                  "\n"
                  "  --stats-json FILE      stats report (JSON schema "
                  "v2; see secndp_report)\n"
@@ -173,6 +173,10 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h") {
             printUsage(stdout, argv[0]);
+            return 0;
+        }
+        else if (arg == "--version") {
+            std::printf("secndp_sim %s\n", secndp::buildVersion());
             return 0;
         }
         else if (arg == "--workload") opt.workload = next();
