@@ -42,6 +42,38 @@ run_serve() {
         --timeseries-out "$OUT/$name.ts.csv" > /dev/null
 }
 
+# TCP front-end config: one closed-loop socket session over loopback
+# (server --listen + client --connect). The conservative virtual-time
+# bridge keeps serve.* and net.* a pure function of the session
+# parameters; net_wall.* is wall clock and unwatched. The server's
+# sidecar is the gated artifact.
+run_serve_net() {
+    local name=$1
+    shift
+    echo "perf-gate: $name"
+    "$LOADGEN" --listen 127.0.0.1:0 --seed 7 --sample-interval 500 \
+        "$@" \
+        --stats-json "$OUT/$name.stats.json" \
+        --timeseries-out "$OUT/$name.ts.csv" \
+        > "$OUT/$name.listen.log" 2>&1 &
+    local srv=$!
+    local port=""
+    for _ in $(seq 100); do
+        port=$(sed -n 's/^listening  *127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            "$OUT/$name.listen.log")
+        [[ -n "$port" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+        echo "perf-gate: $name server never listened" >&2
+        cat "$OUT/$name.listen.log" >&2
+        exit 1
+    fi
+    "$LOADGEN" --connect "127.0.0.1:$port" --mode closed \
+        --concurrency 16 --requests 96 --seed 7 > /dev/null
+    wait "$srv"
+}
+
 # Adversary sweep: detection-rate counters are a pure function of the
 # redteam seed (no time series; the sweep has no simulated timeline).
 REDTEAM="$(dirname "$SIM")/secndp_redteam"
@@ -93,6 +125,11 @@ run_serve serve_trace --mode open --qps 2000000 --requests 96 \
 run_serve serve_metrics --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
     --metrics-port 0
+# Closed-loop socket session: closed-loop id assignment differs from
+# the in-process generator by design (ids stripe across connections),
+# so this config carries its own baseline with net.* thresholds.
+run_serve_net serve_net \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8
 run_redteam redteam_smoke --queries 100
 run_micro micro_crypto
 

@@ -1,0 +1,412 @@
+#include "net/net_client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "net/socket_util.hh"
+#include "net/wire.hh"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <unistd.h>
+#endif
+
+namespace secndp {
+
+#ifdef __linux__
+
+namespace {
+
+/** Soft cap on a connection's buffered-but-unsent bytes; open-loop
+ *  streaming refills once the flush drains below it. */
+constexpr std::size_t kSendBacklog = 64 * 1024;
+
+struct ClientConn
+{
+    int fd = -1;
+    std::uint32_t slot = 0;
+    net::FrameDecoder decoder;
+    std::string out;
+    std::size_t outPos = 0;
+    bool wantWrite = false;
+    bool helloAcked = false;
+    std::uint64_t quota = 0; ///< ids this connection owns
+    std::uint64_t sent = 0;  ///< queries sent so far
+    std::uint64_t gotten = 0; ///< terminal outcomes received
+    bool finSent = false;
+    bool finAcked = false;
+    bool done = false; ///< server closed us after FinAck
+};
+
+} // namespace
+
+NetClientReport
+runNetClient(const NetClientConfig &cfg)
+{
+    NetClientReport rep;
+    const std::uint32_t C = cfg.connections ? cfg.connections : 1;
+    const std::uint64_t R = cfg.requests;
+    if (R == 0 || R > net::kMaxSessionRequests) {
+        rep.error = "requests must be in [1, 2^20]";
+        return rep;
+    }
+
+    net::ignoreSigpipe();
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    // Deterministic virtual arrival stream (open loop only): id i is
+    // the i-th arrival, carried by connection i mod C -- the same
+    // stream the in-process generator replays.
+    std::vector<double> arrivals;
+    if (cfg.mode == LoadMode::Open)
+        arrivals = openLoopArrivalsNs(R, cfg.qps, cfg.seed);
+
+    // Deterministic client-side stats (latencies are server-stamped
+    // virtual values, so this group is a pure function of the seed).
+    StatGroup stats("net_client", StatGroup::noRegister);
+    StatGroup wall("net_wall", StatGroup::noRegister);
+
+    /** 0 = none, 1 = ok, 2 = overload, 3 = aborted. */
+    std::vector<std::uint8_t> outcome(R, 0);
+    /** Per-id virtual latency; folded into the histogram in id order
+     *  at session end so the running mean is independent of the racy
+     *  response-arrival interleaving across connections. */
+    std::vector<double> latencyById(R, -1.0);
+
+    const int epfd = ::epoll_create1(0);
+    if (epfd < 0) {
+        rep.error = "epoll_create1 failed";
+        return rep;
+    }
+
+    std::vector<std::unique_ptr<ClientConn>> conns;
+    conns.reserve(C);
+
+    auto interest = [&](int op, ClientConn *c) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        if (c->wantWrite)
+            ev.events |= EPOLLOUT;
+        ev.data.ptr = c;
+        ::epoll_ctl(epfd, op, c->fd, &ev);
+    };
+
+    auto fail = [&](ClientConn *c, const std::string &why) {
+        if (rep.error.empty()) {
+            rep.error = "conn " + std::to_string(c ? c->slot : 0) +
+                        ": " + why;
+        }
+    };
+
+    auto quotaOf = [&](std::uint32_t slot) -> std::uint64_t {
+        return R > slot ? (R - slot - 1) / C + 1 : 0;
+    };
+
+    auto deadlineOf = [&](double arrival) {
+        return cfg.deadlineNs > 0 ? arrival + cfg.deadlineNs : 0.0;
+    };
+
+    auto sendQuery = [&](ClientConn *c, double arrival) {
+        net::QueryFrame q;
+        q.id = c->slot + c->sent * std::uint64_t{C};
+        q.queryIndex = 0; // advisory; the server derives it from id
+        q.arrivalNs = arrival;
+        q.deadlineNs = deadlineOf(arrival);
+        net::encodeQuery(c->out, q);
+        ++c->sent;
+        ++rep.offered;
+        ++stats.counter("queries_sent");
+    };
+
+    auto sendFin = [&](ClientConn *c) {
+        if (!c->finSent) {
+            net::encodeFin(c->out);
+            c->finSent = true;
+        }
+    };
+
+    /** Top up the send buffer (open loop streams; closed loop's
+     *  queries are echoed from the response handler) and flush. */
+    auto pumpOut = [&](ClientConn *c) {
+        if (c->done || c->fd < 0)
+            return;
+        for (;;) {
+            if (c->helloAcked && cfg.mode == LoadMode::Open) {
+                // Stream queries up to the backlog cap; pacing is
+                // virtual so wall-clock send times do not matter.
+                while (c->sent < c->quota &&
+                       c->out.size() - c->outPos < kSendBacklog) {
+                    sendQuery(
+                        c, arrivals[c->slot +
+                                    c->sent * std::uint64_t{C}]);
+                }
+                if (c->sent == c->quota)
+                    sendFin(c);
+            }
+            if (c->outPos >= c->out.size())
+                break;
+            const net::IoResult w =
+                net::writeSome(c->fd, c->out, c->outPos);
+            if (w.error) {
+                fail(c, "write failed");
+                return;
+            }
+            if (c->outPos < c->out.size())
+                break; // socket full: EPOLLOUT resumes the flush
+            c->out.clear();
+            c->outPos = 0;
+            if (!(c->helloAcked && cfg.mode == LoadMode::Open &&
+                  c->sent < c->quota))
+                break; // nothing more to generate
+        }
+        const bool backlog = c->outPos < c->out.size();
+        if (backlog != c->wantWrite) {
+            c->wantWrite = backlog;
+            interest(EPOLL_CTL_MOD, c);
+        }
+    };
+
+    auto recordOutcome = [&](ClientConn *c, std::uint64_t id,
+                             std::uint8_t kind, double when) {
+        if (id >= R || id % C != c->slot) {
+            fail(c, "outcome for an id this connection does not own");
+            return false;
+        }
+        if (outcome[id] != 0) {
+            ++rep.duplicates;
+            ++stats.counter("duplicates");
+            return true; // counted, not fatal: the report gates on it
+        }
+        outcome[id] = kind;
+        ++c->gotten;
+        rep.makespanNs = std::max(rep.makespanNs, when);
+        if (cfg.mode == LoadMode::Closed) {
+            // The echo: our next request arrives exactly when the
+            // previous one left the system.
+            if (c->sent < c->quota)
+                sendQuery(c, when);
+            else if (c->gotten == c->quota)
+                sendFin(c);
+        }
+        return true;
+    };
+
+    auto onFrame = [&](ClientConn *c, const net::Frame &f) {
+        switch (f.type) {
+        case net::FrameType::HelloAck:
+            if (c->helloAcked) {
+                fail(c, "duplicate HelloAck");
+                break;
+            }
+            c->helloAcked = true;
+            if (cfg.mode == LoadMode::Closed) {
+                if (c->quota > 0)
+                    sendQuery(c, 0.0);
+                else
+                    sendFin(c);
+            } else if (c->quota == 0) {
+                sendFin(c);
+            }
+            break;
+        case net::FrameType::Response:
+            if (recordOutcome(c, f.response.id,
+                              f.response.status ==
+                                      net::ResponseStatus::Ok
+                                  ? 1
+                                  : 3,
+                              f.response.completionNs)) {
+                if (f.response.status == net::ResponseStatus::Ok) {
+                    ++rep.completed;
+                    ++stats.counter("responses_ok");
+                    latencyById[f.response.id] = f.response.latencyNs;
+                } else {
+                    ++rep.aborted;
+                    ++stats.counter("responses_aborted");
+                }
+            }
+            break;
+        case net::FrameType::Overload:
+            if (recordOutcome(c, f.overload.id, 2, f.overload.shedNs)) {
+                ++rep.rejected;
+                ++stats.counter("overloads");
+            }
+            break;
+        case net::FrameType::FinAck:
+            c->finAcked = true;
+            break;
+        case net::FrameType::Error:
+            fail(c, std::string("server error frame: ") +
+                        net::wireErrorName(static_cast<net::WireError>(
+                            f.error.code)));
+            break;
+        default:
+            fail(c, "unexpected frame type from server");
+            break;
+        }
+    };
+
+    // Connect the fan-in, one Hello per connection.
+    for (std::uint32_t i = 0; i < C && rep.error.empty(); ++i) {
+        std::string err;
+        const int fd = net::connectTcp(cfg.host, cfg.port, &err);
+        if (fd < 0) {
+            rep.error = err;
+            break;
+        }
+        net::setNonBlocking(fd);
+        auto c = std::make_unique<ClientConn>();
+        c->fd = fd;
+        c->slot = i;
+        c->quota = quotaOf(i);
+        net::HelloFrame h;
+        h.mode = cfg.mode == LoadMode::Closed
+                     ? net::WireLoadMode::Closed
+                     : net::WireLoadMode::Open;
+        h.connIndex = i;
+        h.connections = C;
+        h.totalRequests = R;
+        h.seed = cfg.seed;
+        net::encodeHello(c->out, h);
+        interest(EPOLL_CTL_ADD, c.get());
+        pumpOut(c.get());
+        conns.push_back(std::move(c));
+    }
+    stats.counter("conns") = static_cast<double>(conns.size());
+
+    auto lastByte = std::chrono::steady_clock::now();
+    std::size_t doneCount = 0;
+
+    epoll_event events[64];
+    while (rep.error.empty() && doneCount < conns.size()) {
+        const int n = ::epoll_wait(epfd, events, 64, 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            rep.error = "epoll_wait failed";
+            break;
+        }
+        if (n == 0) {
+            const double quiet =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - lastByte)
+                    .count();
+            if (quiet > cfg.timeoutS) {
+                rep.error = "stalled: no server traffic within the "
+                            "timeout";
+                break;
+            }
+            continue;
+        }
+        for (int i = 0; i < n && rep.error.empty(); ++i) {
+            auto *c = static_cast<ClientConn *>(events[i].data.ptr);
+            if (c->done || c->fd < 0)
+                continue;
+            if (events[i].events & EPOLLIN) {
+                std::string chunk;
+                const net::IoResult r =
+                    net::readSome(c->fd, chunk, 4096, 1 << 20);
+                if (!chunk.empty())
+                    lastByte = std::chrono::steady_clock::now();
+                c->decoder.feed(chunk.data(), chunk.size());
+                net::Frame f;
+                while (rep.error.empty() && c->decoder.next(f))
+                    onFrame(c, f);
+                if (c->decoder.error() != net::WireError::None) {
+                    fail(c, std::string("protocol error: ") +
+                                net::wireErrorName(
+                                    c->decoder.error()));
+                    break;
+                }
+                if (r.eof) {
+                    if (c->finAcked &&
+                        c->decoder.pending() == 0) {
+                        // Orderly teardown: FinAck then close.
+                        ::epoll_ctl(epfd, EPOLL_CTL_DEL, c->fd,
+                                    nullptr);
+                        ::close(c->fd);
+                        c->fd = -1;
+                        c->done = true;
+                        ++doneCount;
+                    } else {
+                        fail(c, "server closed the connection "
+                                "early");
+                    }
+                    continue;
+                }
+                if (r.error) {
+                    fail(c, "read failed");
+                    continue;
+                }
+            }
+            if ((events[i].events & (EPOLLOUT | EPOLLIN)) &&
+                !c->done && c->fd >= 0)
+                pumpOut(c);
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                if (!c->done)
+                    fail(c, "connection reset");
+            }
+        }
+    }
+
+    for (auto &c : conns) {
+        if (c->fd >= 0) {
+            ::close(c->fd);
+            c->fd = -1;
+        }
+    }
+    ::close(epfd);
+
+    for (std::uint64_t id = 0; id < R; ++id) {
+        if (outcome[id] == 0)
+            ++rep.lost;
+        if (latencyById[id] >= 0.0)
+            stats.histogram("latency_ns").sample(latencyById[id]);
+    }
+    stats.counter("lost") = static_cast<double>(rep.lost);
+    rep.sustainedQps = rep.makespanNs > 0
+                           ? rep.completed / (rep.makespanNs / 1e9)
+                           : 0.0;
+    rep.p50LatencyNs = stats.histogram("latency_ns").percentile(0.50);
+    rep.p95LatencyNs = stats.histogram("latency_ns").percentile(0.95);
+    rep.p99LatencyNs = stats.histogram("latency_ns").percentile(0.99);
+    stats.scalar("makespan_ns") = rep.makespanNs;
+    stats.scalar("sustained_qps") = rep.sustainedQps;
+    wall.scalar("run_wall_ms") =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+
+    rep.ok = rep.error.empty() && rep.lost == 0 &&
+             rep.duplicates == 0;
+
+    // Fold into the registry so the standard sidecars carry them.
+    {
+        StatGroup g("net_client");
+        g.mergeFrom(stats);
+    }
+    {
+        StatGroup w("net_wall");
+        w.markSharedWriter();
+        w.mergeFrom(wall);
+    }
+    return rep;
+}
+
+#else // !__linux__
+
+NetClientReport
+runNetClient(const NetClientConfig &)
+{
+    NetClientReport rep;
+    rep.error = "socket mode requires Linux (epoll)";
+    return rep;
+}
+
+#endif // __linux__
+
+} // namespace secndp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Socket-mode load generator: drives a SecNDP TCP front-end
+ * (net/net_server.hh) over `connections` concurrent sockets from one
+ * epoll thread, speaking the wire protocol of net/wire.hh.
+ *
+ * The client is the *deterministic half* of the virtual-time bridge:
+ * it stamps every Query with its virtual arrival time --
+ *
+ *   open loop   -- the same Poisson stream the in-process generator
+ *                  uses (serve/loadgen.hh), id i = i-th arrival,
+ *                  connection i % C carries it; queries stream as
+ *                  fast as the sockets accept (pacing is virtual, so
+ *                  wall-clock send times are irrelevant);
+ *   closed loop -- one outstanding request per connection; the next
+ *                  arrival is exactly the completionNs (or Overload
+ *                  shedNs) echoed from the server's response.
+ *
+ * Every id gets exactly one terminal outcome (Response Ok/Aborted or
+ * Overload); the report counts lost and duplicated ids so the CI
+ * closed-loop burst can assert zero of both. Latency statistics come
+ * from the server-stamped virtual values, so the "net_client" stat
+ * group is byte-deterministic in the seed; wall-clock observations
+ * land in "net_wall" (stripped by determinism diffs).
+ */
+
+#ifndef SECNDP_NET_NET_CLIENT_HH
+#define SECNDP_NET_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/loadgen.hh"
+
+namespace secndp {
+
+/** Socket-mode load parameters. */
+struct NetClientConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    LoadMode mode = LoadMode::Closed;
+    /** Concurrent TCP connections (the session's fan-in width C). */
+    std::uint32_t connections = 16;
+    /** Total requests across the whole session. */
+    std::uint64_t requests = 256;
+    /** Open loop: mean arrival rate (virtual QPS). */
+    double qps = 500000.0;
+    /** Relative completion deadline per request, ns (0 = none). */
+    double deadlineNs = 0.0;
+    std::uint64_t seed = Rng::defaultSeed;
+    /** Wall-clock seconds without any server byte before the run is
+     *  declared stalled. */
+    double timeoutS = 60.0;
+};
+
+/** Outcome of one socket-mode load run. */
+struct NetClientReport
+{
+    std::uint64_t offered = 0;   ///< queries sent
+    std::uint64_t completed = 0; ///< Response(Ok) received
+    std::uint64_t rejected = 0;  ///< Overload frames (shed)
+    std::uint64_t aborted = 0;   ///< Response(Aborted) received
+    /** Ids that never got a terminal outcome (must be 0). */
+    std::uint64_t lost = 0;
+    /** Ids that got more than one outcome (must be 0). */
+    std::uint64_t duplicates = 0;
+    double makespanNs = 0.0;   ///< max virtual completion/shed time
+    double sustainedQps = 0.0; ///< completed / makespan
+    double p50LatencyNs = 0.0;
+    double p95LatencyNs = 0.0;
+    double p99LatencyNs = 0.0;
+    bool ok = false;
+    std::string error;
+};
+
+/**
+ * Run one full session against `host:port`: connect, Hello handshake
+ * on every connection, stream/echo queries per the load model, Fin /
+ * FinAck teardown. Blocks until every id has an outcome (ok=true) or
+ * the session fails (ok=false + error). Folds "net_client" /
+ * "net_wall" stat groups into the registry before returning.
+ */
+NetClientReport runNetClient(const NetClientConfig &cfg);
+
+} // namespace secndp
+
+#endif // SECNDP_NET_NET_CLIENT_HH

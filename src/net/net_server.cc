@@ -1,0 +1,952 @@
+#include "net/net_server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/phase_profiler.hh"
+#include "common/request_trace.hh"
+#include "common/sampler.hh"
+#include "common/stats.hh"
+#include "crypto/aes.hh"
+#include "crypto/counter_mode.hh"
+#include "net/tcp_server.hh"
+#include "net/wire.hh"
+#include "serve/host_crypto.hh"
+#include "serve/worker_pool.hh"
+#include "telemetry/metrics_exporter.hh"
+#include "telemetry/slo_tracker.hh"
+#include "telemetry/snapshot.hh"
+
+namespace secndp {
+
+namespace {
+
+/** Same admission epsilon the in-process loop uses. */
+constexpr double kEps = 1e-9;
+
+/** One client-stamped arrival waiting to be replayed. */
+struct NetArrival
+{
+    double t = 0.0;
+    std::uint64_t id = 0;
+    double deadlineNs = 0.0;
+};
+
+/** Min-heap order: (arrival time, id) -- the replay order. */
+struct ArrivalAfter
+{
+    bool operator()(const NetArrival &a, const NetArrival &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.id > b.id;
+    }
+};
+
+/**
+ * The conservative virtual-time bridge between the TcpServer event
+ * loop and the serving simulation (see net_server.hh for the model).
+ *
+ * Threading: onFrame/onDisconnect run on the event-loop thread and
+ * only append raw events under `m_`. ALL session state (slots, the
+ * arrival heap, watermarks, counters) is owned by the serving thread,
+ * which drains the raw-event queue via pump()/pumpBlocking() -- so no
+ * session field ever needs a lock and the StatGroup single-writer
+ * contract holds.
+ */
+class SessionBridge : public net::TcpServer::Handler
+{
+  public:
+    SessionBridge(net::TcpServer &srv, std::size_t queueCapacity,
+                  double idleTimeoutS)
+        : srv_(srv), queueCapacity_(queueCapacity),
+          idleTimeoutS_(idleTimeoutS)
+    {
+    }
+
+    // ---- event-loop thread ----
+
+    void onFrame(std::uint64_t connId, const net::Frame &f) override
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        events_.push_back(RawEvent{connId, false, false, f});
+        cv_.notify_all();
+    }
+
+    void onDisconnect(std::uint64_t connId, bool clean) override
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        events_.push_back(RawEvent{connId, true, clean, net::Frame{}});
+        cv_.notify_all();
+    }
+
+    // ---- serving thread ----
+
+    /** Block until every announced connection said Hello (or fail). */
+    bool waitSession()
+    {
+        for (;;) {
+            pump();
+            if (failed_)
+                return false;
+            if (started_ && helloed_ == connections_)
+                return true;
+            if (!pumpBlocking())
+                return false;
+        }
+    }
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    net::WireLoadMode mode() const { return mode_; }
+    std::uint32_t connections() const { return connections_; }
+    std::uint64_t totalRequests() const { return total_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Replay every arrival with t <= now + eps through `fn`, in
+     * (t, id) order, blocking until the watermarks prove the set is
+     * complete. `fn` may shed (sendOverload), which in closed loop
+     * re-arms an expectation at the shed time that this same call
+     * then waits for -- mirroring the in-process immediate reissue.
+     */
+    template <typename Fn>
+    bool admitUpTo(double now, Fn &&fn)
+    {
+        for (;;) {
+            pump();
+            for (;;) {
+                if (failed_)
+                    return false;
+                if (heap_.empty() || heap_.top().t > now + kEps)
+                    break;
+                const NetArrival top = heap_.top();
+                if (!certainBefore(top))
+                    break;
+                heap_.pop();
+                fn(top);
+            }
+            if (failed_)
+                return false;
+            const bool heapReady =
+                heap_.empty() || heap_.top().t > now + kEps;
+            if (heapReady && certainBeyond(now + kEps))
+                return true;
+            if (!pumpBlocking())
+                return false;
+        }
+    }
+
+    /**
+     * Exact min(cap, earliest pending-or-future arrival), blocking
+     * until the watermarks make it exact. RequestQueue::noArrival
+     * when nothing will ever arrive (or the session failed -- check
+     * failed()).
+     */
+    double nextEventTime(double cap)
+    {
+        for (;;) {
+            pump();
+            if (failed_)
+                return RequestQueue::noArrival;
+            double cand = cap;
+            if (!heap_.empty())
+                cand = std::min(cand, heap_.top().t);
+            bool uncertain = false;
+            for (const Slot &s : slots_) {
+                if (s.received >= s.quota || s.gone)
+                    continue;
+                if (mode_ == net::WireLoadMode::Closed) {
+                    if (s.expecting)
+                        cand = std::min(cand, s.expectedT);
+                } else if (s.lastSeen < cand) {
+                    // An unseen arrival from this connection could
+                    // still land below the candidate.
+                    uncertain = true;
+                }
+            }
+            if (!uncertain)
+                return cand;
+            if (!pumpBlocking())
+                return RequestQueue::noArrival;
+        }
+    }
+
+    /** True iff no buffered and no future arrivals remain (the
+     *  scheduler's force-drain flag, = in-process arrivals.empty()). */
+    bool drained() const
+    {
+        if (!heap_.empty())
+            return false;
+        for (const Slot &s : slots_)
+            if (s.received < s.quota && !s.gone)
+                return false;
+        return true;
+    }
+
+    void sendResponse(std::uint64_t id, net::ResponseStatus status,
+                      double completionNs, double latencyNs)
+    {
+        Slot &s = slots_[id % connections_];
+        ++s.responded;
+        armNext(s, completionNs);
+        net::ResponseFrame f;
+        f.id = id;
+        f.status = status;
+        f.completionNs = completionNs;
+        f.latencyNs = latencyNs;
+        std::string bytes;
+        net::encodeResponse(bytes, f);
+        srv_.post(s.connId, std::move(bytes));
+        maybeFinAck(s);
+    }
+
+    void sendOverload(std::uint64_t id, double shedNs)
+    {
+        Slot &s = slots_[id % connections_];
+        ++s.responded;
+        armNext(s, shedNs);
+        net::OverloadFrame f;
+        f.id = id;
+        f.shedNs = shedNs;
+        std::string bytes;
+        net::encodeOverload(bytes, f);
+        srv_.post(s.connId, std::move(bytes));
+        maybeFinAck(s);
+    }
+
+    /** After the last response: pump until every session connection
+     *  has been FinAck'd and closed (false on stall/failure). */
+    bool drainConnections()
+    {
+        for (;;) {
+            pump();
+            if (failed_)
+                return false;
+            bool all = true;
+            for (const Slot &s : slots_)
+                if (!s.gone)
+                    all = false;
+            if (all)
+                return true;
+            if (!pumpBlocking())
+                return false;
+        }
+    }
+
+    /** One-shot fold of the session counters into the registry's
+     *  "net" group (joins the TcpServer's transport counters). */
+    void foldStats()
+    {
+        if (folded_)
+            return;
+        folded_ = true;
+        StatGroup g("net");
+        g.mergeFrom(bnet_);
+    }
+
+  private:
+    struct RawEvent
+    {
+        std::uint64_t connId;
+        bool disconnect;
+        bool clean;
+        net::Frame frame;
+    };
+
+    /** Per-connection session state (serving thread only). */
+    struct Slot
+    {
+        std::uint64_t connId = 0;
+        bool helloed = false;
+        std::uint64_t quota = 0;    ///< ids this connection owns
+        std::uint64_t received = 0; ///< queries received
+        std::uint64_t responded = 0;
+        /** Closed loop: exact next-arrival expectation. */
+        bool expecting = false;
+        double expectedT = 0.0;
+        /** Open loop: exclusive watermark (arrivals are strictly
+         *  increasing per connection); -1 = nothing seen yet. */
+        double lastSeen = -1.0;
+        bool finReceived = false;
+        bool finAcked = false;
+        bool gone = false;
+    };
+
+    std::uint64_t quotaOf(std::uint64_t slot) const
+    {
+        return total_ > slot ? (total_ - slot - 1) / connections_ + 1
+                             : 0;
+    }
+
+    std::uint64_t nextIdOf(std::uint64_t slot) const
+    {
+        return slot + slots_[slot].received * connections_;
+    }
+
+    /** Would the (exactly known) pending arrival of any connection
+     *  replay BEFORE `top` in (t, id) order? */
+    bool certainBefore(const NetArrival &top) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            const Slot &s = slots_[i];
+            if (s.received >= s.quota || s.gone)
+                continue;
+            if (mode_ == net::WireLoadMode::Closed) {
+                if (!s.expecting)
+                    continue; // awaiting our response: silent
+                if (s.expectedT < top.t ||
+                    (s.expectedT == top.t && nextIdOf(i) < top.id))
+                    return false;
+            } else if (s.lastSeen < top.t) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** No arrival with t <= T can still be produced. */
+    bool certainBeyond(double T) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.received >= s.quota || s.gone)
+                continue;
+            if (mode_ == net::WireLoadMode::Closed) {
+                if (s.expecting && s.expectedT <= T)
+                    return false;
+            } else if (s.lastSeen < T) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void armNext(Slot &s, double t)
+    {
+        if (mode_ == net::WireLoadMode::Closed &&
+            s.received < s.quota && !s.gone) {
+            s.expecting = true;
+            s.expectedT = t;
+        }
+    }
+
+    void maybeFinAck(Slot &s)
+    {
+        if (s.finReceived && !s.finAcked && s.responded == s.quota) {
+            std::string bytes;
+            net::encodeFinAck(bytes);
+            srv_.post(s.connId, std::move(bytes),
+                      /*closeAfterFlush=*/true);
+            s.finAcked = true;
+        }
+    }
+
+    void failSession(const std::string &why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = why;
+        }
+    }
+
+    /** Protocol violation on one connection: Error frame + close. */
+    void poison(std::uint64_t connId, const char *counter)
+    {
+        ++bnet_.counter(counter);
+        std::string bytes;
+        net::encodeError(bytes, net::WireError::BadPayload);
+        srv_.post(connId, std::move(bytes), /*closeAfterFlush=*/true);
+    }
+
+    bool inSession(std::uint64_t connId) const
+    {
+        return connSlot_.find(connId) != connSlot_.end();
+    }
+
+    void handleHello(std::uint64_t connId, const net::HelloFrame &h)
+    {
+        const bool modeOk =
+            h.mode == net::WireLoadMode::Open ||
+            h.mode == net::WireLoadMode::Closed;
+        if (!modeOk || h.connections == 0 ||
+            h.connIndex >= h.connections || h.totalRequests == 0 ||
+            h.totalRequests > net::kMaxSessionRequests) {
+            poison(connId, "bad_hello");
+            if (inSession(connId))
+                failSession("malformed Hello on a session connection");
+            return;
+        }
+        if (!started_) {
+            if (h.mode == net::WireLoadMode::Closed &&
+                h.connections > queueCapacity_) {
+                poison(connId, "bad_hello");
+                failSession("closed-loop connections exceed queue "
+                            "capacity (every request would be shed)");
+                return;
+            }
+            started_ = true;
+            mode_ = h.mode;
+            connections_ = h.connections;
+            total_ = h.totalRequests;
+            seed_ = h.seed;
+            slots_.assign(connections_, Slot{});
+            bnet_.counter("session_conns") =
+                static_cast<double>(connections_);
+            bnet_.counter("session_requests") =
+                static_cast<double>(total_);
+        } else if (h.mode != mode_ || h.connections != connections_ ||
+                   h.totalRequests != total_ || h.seed != seed_) {
+            poison(connId, "bad_hello");
+            failSession("Hello session parameters mismatch");
+            return;
+        }
+        Slot &s = slots_[h.connIndex];
+        if (s.helloed) {
+            poison(connId, "bad_hello");
+            failSession("duplicate Hello for connection slot");
+            return;
+        }
+        s.helloed = true;
+        s.connId = connId;
+        s.quota = quotaOf(h.connIndex);
+        if (mode_ == net::WireLoadMode::Closed && s.quota > 0) {
+            s.expecting = true; // first arrival is exactly t = 0
+            s.expectedT = 0.0;
+        }
+        connSlot_[connId] = h.connIndex;
+        ++helloed_;
+        std::string bytes;
+        net::encodeHelloAck(bytes);
+        srv_.post(connId, std::move(bytes));
+    }
+
+    void handleQuery(std::uint64_t connId, const net::QueryFrame &q)
+    {
+        auto it = connSlot_.find(connId);
+        if (it == connSlot_.end()) {
+            poison(connId, "bad_query");
+            return; // query before Hello on a stray connection
+        }
+        const std::uint64_t slot = it->second;
+        Slot &s = slots_[slot];
+        const bool arrivalOk =
+            q.arrivalNs >= 0.0 &&
+            q.arrivalNs <= 1e18 && // ~30 virtual years: sane bound
+            (mode_ == net::WireLoadMode::Closed
+                 ? (s.expecting && q.arrivalNs == s.expectedT)
+                 : q.arrivalNs > s.lastSeen);
+        if (s.received >= s.quota || q.id != nextIdOf(slot) ||
+            !arrivalOk) {
+            poison(connId, "bad_query");
+            failSession("out-of-protocol Query frame");
+            return;
+        }
+        heap_.push(NetArrival{q.arrivalNs, q.id, q.deadlineNs});
+        ++s.received;
+        if (mode_ == net::WireLoadMode::Closed)
+            s.expecting = false;
+        else
+            s.lastSeen = q.arrivalNs;
+    }
+
+    void handleFin(std::uint64_t connId)
+    {
+        auto it = connSlot_.find(connId);
+        if (it == connSlot_.end()) {
+            poison(connId, "unexpected_frame");
+            return;
+        }
+        Slot &s = slots_[it->second];
+        s.finReceived = true;
+        maybeFinAck(s);
+    }
+
+    void handleDisconnect(std::uint64_t connId)
+    {
+        auto it = connSlot_.find(connId);
+        if (it == connSlot_.end())
+            return; // never joined the session
+        Slot &s = slots_[it->second];
+        s.gone = true;
+        if (!s.finAcked) {
+            ++bnet_.counter("conn_lost_midsession");
+            failSession("connection lost mid-session");
+        }
+    }
+
+    void apply(const RawEvent &ev)
+    {
+        if (ev.disconnect) {
+            handleDisconnect(ev.connId);
+            return;
+        }
+        switch (ev.frame.type) {
+        case net::FrameType::Hello:
+            handleHello(ev.connId, ev.frame.hello);
+            break;
+        case net::FrameType::Query:
+            handleQuery(ev.connId, ev.frame.query);
+            break;
+        case net::FrameType::Fin:
+            handleFin(ev.connId);
+            break;
+        default:
+            poison(ev.connId, "unexpected_frame");
+            if (inSession(ev.connId))
+                failSession("unexpected frame type from client");
+            break;
+        }
+    }
+
+    /** Apply everything queued (never blocks). */
+    void pump()
+    {
+        std::deque<RawEvent> evs;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            evs.swap(events_);
+        }
+        for (const RawEvent &e : evs)
+            apply(e);
+    }
+
+    /** Block for at least one new raw event; idle timeout fails the
+     *  session (a wedged client must not hang the server). */
+    bool pumpBlocking()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        if (events_.empty() &&
+            !cv_.wait_for(lock,
+                          std::chrono::duration<double>(idleTimeoutS_),
+                          [&] { return !events_.empty(); })) {
+            lock.unlock();
+            failSession("session stalled: no client traffic within "
+                        "the idle timeout");
+            return false;
+        }
+        std::deque<RawEvent> evs;
+        evs.swap(events_);
+        lock.unlock();
+        for (const RawEvent &e : evs)
+            apply(e);
+        return true;
+    }
+
+    net::TcpServer &srv_;
+    const std::size_t queueCapacity_;
+    const double idleTimeoutS_;
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<RawEvent> events_;
+
+    // Session state: serving thread only.
+    bool started_ = false;
+    bool failed_ = false;
+    bool folded_ = false;
+    std::string error_;
+    net::WireLoadMode mode_ = net::WireLoadMode::Closed;
+    std::uint32_t connections_ = 0;
+    std::uint32_t helloed_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t seed_ = 0;
+    std::vector<Slot> slots_;
+    std::map<std::uint64_t, std::uint64_t> connSlot_;
+    std::priority_queue<NetArrival, std::vector<NetArrival>,
+                        ArrivalAfter>
+        heap_;
+    StatGroup bnet_{"net", StatGroup::noRegister};
+};
+
+} // namespace
+
+NetServeReport
+runNetServe(const NetServeConfig &cfg, const WorkloadTrace &pool,
+            void (*onListen)(std::uint16_t))
+{
+    if (pool.queries.empty())
+        fatal("serving request pool has no queries");
+
+    NetServeReport nrep;
+    ServeReport &rep = nrep.serve;
+
+    net::TcpServer tcp;
+    SessionBridge bridge(tcp, cfg.serve.queueCapacity,
+                         cfg.idleTimeoutS);
+    net::TcpServer::Config tcfg;
+    tcfg.bindAddr = cfg.bindAddr;
+    tcfg.port = cfg.port;
+    tcfg.maxConnections = cfg.maxConnections;
+    std::string err;
+    if (!tcp.start(tcfg, &bridge, &err)) {
+        nrep.error = "listen failed: " + err;
+        return nrep;
+    }
+    nrep.port = tcp.port();
+
+    telemetry::MetricsExporter *exporter = cfg.serve.telemetry.exporter;
+    telemetry::SloTracker *slo = cfg.serve.telemetry.slo;
+    std::uint64_t pub_seq = 0;
+
+    // The serving machinery below is the runServe() loop with the
+    // in-process arrival generator swapped for the bridge; every
+    // simulated-side stat keeps identical semantics.
+    RequestQueue queue(cfg.serve.policy, cfg.serve.queueCapacity);
+    BatchScheduler sched(queue, cfg.serve.batch, cfg.serve.shards);
+
+    SystemConfig shard_cfg = cfg.serve.sys;
+    shard_cfg.dram.geometry.channels = 1;
+    std::vector<PageMapper> mappers;
+    mappers.reserve(cfg.serve.shards ? cfg.serve.shards : 1);
+    for (unsigned s = 0; s < std::max(cfg.serve.shards, 1u); ++s) {
+        mappers.emplace_back(shard_cfg.dram.geometry.totalBytes(),
+                             4096, cfg.serve.sys.pageSeed + s);
+    }
+
+    const Aes128::Key host_key{0x5e, 0xc0, 0xd9, 0x01, 0x5e, 0xc0,
+                               0xd9, 0x02, 0x5e, 0xc0, 0xd9, 0x03,
+                               0x5e, 0xc0, 0xd9, 0x04};
+    Aes128 host_aes(host_key);
+    CounterModeEncryptor host_enc(host_aes);
+    StatGroup serve("serve");
+    WorkerPool workers(cfg.serve.workers);
+
+    std::unique_ptr<IntegrityShadow> shadow;
+    if (cfg.serve.faults.enabled()) {
+        shadow = std::make_unique<IntegrityShadow>(
+            cfg.serve.faults, cfg.serve.faultSeed, cfg.serve.recovery);
+    }
+
+    auto publishSnapshot = [&](double sim_now, bool complete) {
+        if (!exporter)
+            return;
+        auto snap = std::make_shared<telemetry::TelemetrySnapshot>(
+            telemetry::captureOwnedSnapshot());
+        snap->seq = ++pub_seq;
+        snap->simNowNs = sim_now;
+        snap->complete = complete;
+        snap->fold(workers.statsSnapshot());
+        for (const auto &kv : Sampler::instance().latestValues())
+            snap->gauges["sampler." + kv.first] = kv.second;
+        snap->gauges["serve.queue_depth"] =
+            static_cast<double>(queue.size());
+        snap->gauges["net.active_connections"] =
+            static_cast<double>(tcp.activeConnections());
+        if (slo) {
+            slo->advanceTo(sim_now);
+            for (const auto &kv : slo->gauges())
+                snap->gauges[kv.first] = kv.second;
+        }
+        exporter->publish(std::move(snap));
+    };
+    // Ready before the handshake: clients (and CI) poll /readyz to
+    // learn the server is accepting before they connect. The port is
+    // announced only after /readyz flips, so seeing the listen line
+    // already implies readiness.
+    if (exporter) {
+        publishSnapshot(0.0, false);
+        exporter->setReady(true);
+    }
+    if (onListen)
+        onListen(tcp.port());
+
+    auto finish = [&](bool ok, const std::string &why) {
+        if (exporter)
+            exporter->setReady(false);
+        tcp.beginDrain();
+        if (ok)
+            ok = bridge.drainConnections();
+        {
+            ScopedPhase phase("verify_drain");
+            workers.drain();
+        }
+        tcp.stop();
+        bridge.foldStats();
+        nrep.ok = ok;
+        if (!ok)
+            nrep.error = !bridge.error().empty() ? bridge.error()
+                                                 : why;
+    };
+
+    if (!bridge.waitSession()) {
+        finish(false, "session handshake failed");
+        publishSnapshot(0.0, true);
+        return nrep;
+    }
+    nrep.mode = bridge.mode() == net::WireLoadMode::Closed
+                    ? LoadMode::Closed
+                    : LoadMode::Open;
+    nrep.connections = bridge.connections();
+    nrep.totalRequests = bridge.totalRequests();
+    nrep.seed = bridge.seed();
+    const std::size_t total = bridge.totalRequests();
+
+    double now = 0.0;
+    double busy_until = 0.0;
+    auto &sampler = Sampler::instance();
+    const auto cycle_of = [&](double ns) {
+        return static_cast<std::int64_t>(
+            cfg.serve.sys.dram.clock.cyclesFromNs(ns));
+    };
+
+    // One replayed arrival: identical admission semantics to the
+    // in-process admit() except the closed-loop reissue lives on the
+    // client side of the wire (the Overload frame carries the time).
+    auto admitOne = [&](const NetArrival &a) {
+        ++rep.offered;
+        ServeRequest r;
+        r.id = a.id;
+        r.queryIndex = a.id % pool.queries.size();
+        r.arrivalNs = a.t;
+        r.deadlineNs = a.deadlineNs;
+        if (queue.push(r)) {
+            ++rep.admitted;
+            ++serve.counter("requests_admitted");
+        } else {
+            ++rep.rejected;
+            ++serve.counter("requests_rejected");
+            if (slo)
+                slo->recordShed(a.t);
+            SECNDP_RQSPAN(r.id, SpanKind::Shed, a.t, 0.0, 0,
+                          queue.size());
+            SECNDP_RQANOMALY(AnomalyKind::Shed, r.id, a.t);
+            bridge.sendOverload(a.id, a.t);
+        }
+    };
+
+    while (rep.completed + rep.rejected + rep.aborted < total) {
+        if (!bridge.admitUpTo(now, admitOne))
+            break;
+        const bool idle = now >= busy_until - kEps;
+        if (idle) {
+            double wake = RequestQueue::noArrival;
+            auto batch = sched.poll(now, bridge.drained(), &wake);
+            if (!batch.empty()) {
+                const double start = now;
+                const auto exec = runShardedBatch(
+                    shard_cfg, cfg.serve.mode, pool, batch, mappers);
+                busy_until = start + exec.batchServiceNs;
+                ++rep.batches;
+                ++serve.counter("batches");
+                serve.histogram("batch_occupancy")
+                    .sample(static_cast<double>(batch.size()));
+                serve.histogram("batch_service_ns")
+                    .sample(exec.batchServiceNs);
+
+                std::vector<HostCryptoWork> host_work;
+                host_work.reserve(batch.size());
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    const ServeRequest &r = batch[i];
+                    double completion =
+                        start + exec.requestServiceNs[i];
+#if SECNDP_TRACING
+                    if (SECNDP_RQTRACE_ACTIVE()) {
+                        auto &rq = RequestTracer::instance();
+                        const QueryTiming &qt = exec.requestTiming[i];
+                        const unsigned s = exec.requestShard[i];
+                        rq.record(r.id, SpanKind::QueueWait,
+                                  r.arrivalNs, start - r.arrivalNs,
+                                  s, 0);
+                        rq.record(r.id, SpanKind::BatchForm, start,
+                                  0.0, s, batch.size());
+                        if (qt.otpDurNs > 0.0) {
+                            rq.record(r.id, SpanKind::OtpGen,
+                                      start + qt.otpStartNs,
+                                      qt.otpDurNs, s, qt.otpBlocks);
+                        }
+                        rq.record(r.id, SpanKind::SimDrain, start,
+                                  exec.requestServiceNs[i], s,
+                                  qt.decryptBound);
+                        if (qt.verifyDurNs > 0.0) {
+                            rq.record(r.id, SpanKind::Verify,
+                                      start + qt.verifyStartNs,
+                                      qt.verifyDurNs, s, 0);
+                        }
+                    }
+#endif
+                    bool abort_req = false;
+                    if (shadow) {
+                        RequestTracer::setCurrent(r.id);
+                        RequestTracer::setNow(completion);
+                        const auto rec = shadow->recovery().run(
+                            [&] { return shadow->verifyOnce(r.id); },
+                            exec.requestServiceNs[i]);
+                        RequestTracer::clearCurrent();
+                        completion += rec.penaltyNs;
+                        switch (rec.outcome) {
+                        case RecoveryOutcome::Clean:
+                            break;
+                        case RecoveryOutcome::RecoveredRetry:
+                            ++rep.recoveredRetry;
+                            break;
+                        case RecoveryOutcome::RecoveredFallback:
+                            ++rep.recoveredFallback;
+                            break;
+                        case RecoveryOutcome::Aborted:
+                            abort_req = true;
+                            break;
+                        }
+                    }
+                    if (abort_req) {
+                        ++rep.aborted;
+                        ++serve.counter("requests_aborted");
+                        if (slo)
+                            slo->recordAbort(completion);
+                        SECNDP_RQSPAN(r.id, SpanKind::Abort,
+                                      completion, 0.0,
+                                      exec.requestShard[i], 0);
+                        SECNDP_RQANOMALY(AnomalyKind::Abort, r.id,
+                                         completion);
+                        bridge.sendResponse(
+                            r.id, net::ResponseStatus::Aborted,
+                            completion, 0.0);
+                    } else {
+                        const double latency =
+                            completion - r.arrivalNs;
+                        if (slo)
+                            slo->recordLatency(completion, latency);
+                        serve.histogram("latency_ns").sample(latency);
+                        serve.histogram("queue_wait_ns")
+                            .sample(start - r.arrivalNs);
+                        serve.histogram("service_ns")
+                            .sample(exec.requestServiceNs[i]);
+                        if (r.deadlineNs > 0 &&
+                            completion > r.deadlineNs) {
+                            ++rep.deadlineMisses;
+                            ++serve.counter("deadline_misses");
+                        }
+#if SECNDP_TRACING
+                        {
+                            auto &rq = RequestTracer::instance();
+                            if (rq.active() && rq.sloNs() > 0.0 &&
+                                latency > rq.sloNs()) {
+                                rq.anomaly(AnomalyKind::SloBreach,
+                                           r.id, completion);
+                            }
+                        }
+#endif
+                        ++rep.completed;
+                        ++serve.counter("requests_completed");
+                        bridge.sendResponse(r.id,
+                                            net::ResponseStatus::Ok,
+                                            completion, latency);
+                    }
+
+                    const TraceQuery &q = pool.queries[r.queryIndex];
+                    HostCryptoWork w;
+                    w.addr = (q.ranges.empty() ? r.id * 4096
+                                               : q.ranges[0].vaddr) &
+                             ~std::uint64_t{15};
+                    w.dataOtpBlocks =
+                        std::min(q.engineWork.dataOtpBlocks,
+                                 cfg.serve.hostOtpBlockCap);
+                    w.tagOtpBlocks =
+                        std::min(q.engineWork.tagOtpBlocks,
+                                 cfg.serve.hostOtpBlockCap);
+                    w.verifyOps = q.engineWork.verifyOps;
+                    host_work.push_back(w);
+                }
+                workers.submit([&host_enc,
+                                work = std::move(host_work)](
+                                   StatGroup &g) {
+                    runHostCrypto(host_enc, work, g);
+                });
+
+                sampler.tick(cycle_of(busy_until));
+                sampler.gauge("serve_queue_depth", cycle_of(start),
+                              static_cast<double>(queue.size()));
+                sampler.gauge("serve_batch_fill", cycle_of(start),
+                              static_cast<double>(batch.size()) /
+                                  cfg.serve.batch.maxBatch);
+                publishSnapshot(busy_until, false);
+                continue; // re-evaluate at the same instant
+            }
+            const double next = bridge.nextEventTime(wake);
+            if (bridge.failed())
+                break;
+            if (next == RequestQueue::noArrival)
+                break; // no queued work, no future arrivals
+            now = std::max(now, next);
+        } else {
+            const double next = bridge.nextEventTime(busy_until);
+            if (bridge.failed())
+                break;
+            now = std::max(now, next);
+        }
+    }
+
+    const bool sessionOk =
+        !bridge.failed() &&
+        rep.completed + rep.rejected + rep.aborted == total;
+
+    // Optional wall-clock hold before the drain flips /readyz to 503
+    // (same observability window the in-process loop offers).
+    if (exporter && sessionOk &&
+        cfg.serve.telemetry.holdBeforeDrainMs > 0) {
+        publishSnapshot(std::max(busy_until, now), false);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                cfg.serve.telemetry.holdBeforeDrainMs));
+    }
+
+    finish(sessionOk, "serving loop ended before the session "
+                      "completed");
+
+#if SECNDP_TRACING
+    if (RequestTracer::instance().active()) {
+        auto &rq = RequestTracer::instance();
+        StatGroup trace("trace");
+        trace.counter("spans") = rq.spansRecorded();
+        trace.counter("spans_dropped") = rq.droppedSpans();
+        trace.counter("anomalies") = rq.anomalyCount();
+        trace.counter("flight_dumps") = rq.flightDumps();
+        trace.counter("slo_breaches") =
+            rq.anomalyCountOf(AnomalyKind::SloBreach);
+        trace.counter("sheds") = rq.anomalyCountOf(AnomalyKind::Shed);
+        trace.counter("aborts") =
+            rq.anomalyCountOf(AnomalyKind::Abort);
+    }
+#endif
+
+    rep.makespanNs = std::max(busy_until, now);
+    rep.sustainedQps = rep.makespanNs > 0
+                           ? rep.completed / (rep.makespanNs / 1e9)
+                           : 0.0;
+    serve.scalar("sustained_qps") = rep.sustainedQps;
+    serve.scalar("makespan_ns") = rep.makespanNs;
+    serve.counter("flush_full") = sched.fullFlushes();
+    serve.counter("flush_timeout") = sched.timeoutFlushes();
+    serve.counter("flush_drain") = sched.drainFlushes();
+    rep.p50LatencyNs = serve.histogram("latency_ns").percentile(0.50);
+    rep.p95LatencyNs = serve.histogram("latency_ns").percentile(0.95);
+    rep.p99LatencyNs = serve.histogram("latency_ns").percentile(0.99);
+    if (shadow) {
+        rep.tamperDetected = shadow->injector().detectedQueries();
+        rep.faultsInjected = shadow->injector().injectedTotal();
+    }
+
+    if (slo) {
+        slo->advanceTo(rep.makespanNs);
+        StatGroup tg("telemetry");
+        slo->publish(tg);
+    }
+    // Final complete snapshot; the net/net_wall groups folded at
+    // finish() are part of the retired aggregate it captures.
+    publishSnapshot(rep.makespanNs, true);
+
+    return nrep;
+}
+
+} // namespace secndp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * TCP serving front-end: the SecNDP virtual-time serving loop
+ * (serve/server.cc) driven by real sockets instead of an in-process
+ * arrival generator.
+ *
+ * Determinism over real TCP -- the conservative virtual-time bridge:
+ *
+ * The serving layer is a discrete-event simulation on a virtual
+ * nanosecond timeline, and its stats sidecars must stay
+ * byte-deterministic in the seed even though wall-clock socket
+ * interleaving is inherently racy. The bridge achieves this the way
+ * conservative parallel discrete-event simulators do: every Query
+ * frame carries a client-stamped *virtual* arrival time, and the
+ * server only acts at virtual time T once per-connection watermarks
+ * prove that no frame stamped <= T can still arrive:
+ *
+ *   - closed loop: a connection has exactly one request outstanding
+ *     and its next arrival is, by protocol, the completionNs (or
+ *     Overload shedNs) of the response the server itself issued -- an
+ *     *exact, inclusive* bound. Between receiving a query and posting
+ *     its response the connection can produce nothing at all.
+ *   - open loop: arrivals are client-stamped from the deterministic
+ *     Poisson stream (serve/loadgen.hh) and strictly increase per
+ *     connection, so the last-seen arrival is an *exclusive* bound.
+ *   - a connection whose request quota is exhausted (or that sent
+ *     Fin) bounds at +infinity.
+ *
+ * Requests are id-striped across the session's C connections:
+ * connection c owns ids c, c+C, c+2C, ... < R, so the server can
+ * compute every connection's quota from the Hello alone and the heap
+ * replay order (arrival time, id) is a pure function of the frames.
+ * Open-loop ids in global arrival order are round-robin across
+ * connections, which makes the replayed stream identical to the
+ * in-process generator: open-loop serve.* groups are byte-identical
+ * to `runServe` for the same (workload, load, seed). Closed-loop id
+ * assignment differs from in-process (which assigns ids in completion
+ * order), so closed-loop socket runs are self-deterministic but get
+ * their own perf-gate baseline.
+ *
+ * Wall-clock-dependent metrics never contaminate the deterministic
+ * groups: they live in "net_wall" (stripped by CI determinism diffs,
+ * like host_phases), while "net" and "serve" carry only counters that
+ * are pure functions of the session.
+ *
+ * Drain: after the last response the server stops accepting
+ * (TcpServer::beginDrain), FinAcks + flushes every connection, flips
+ * /readyz to 503 via the exporter, drains the host-crypto workers,
+ * and returns -- one session per server run, which is what lets CI
+ * run the same session twice and diff sidecars.
+ */
+
+#ifndef SECNDP_NET_NET_SERVER_HH
+#define SECNDP_NET_NET_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hh"
+
+namespace secndp {
+
+/** TCP front-end configuration (wraps the serving-system config). */
+struct NetServeConfig
+{
+    /** The serving system itself (queue, batching, shards, faults,
+     *  telemetry) -- identical semantics to runServe. */
+    ServeConfig serve;
+
+    std::string bindAddr = "127.0.0.1";
+    /** 0 picks an ephemeral port; read it back from the report. */
+    std::uint16_t port = 0;
+    /** Concurrent-connection cap passed to the TcpServer. */
+    int maxConnections = 4096;
+    /**
+     * Wall-clock seconds without any socket event while the bridge is
+     * blocked on a watermark before the session is declared stalled
+     * and the run fails (guards CI against wedged clients).
+     */
+    double idleTimeoutS = 30.0;
+};
+
+/** Outcome of one TCP serving session. */
+struct NetServeReport
+{
+    /** The serving-loop report, same semantics as runServe. */
+    ServeReport serve;
+    /** Port actually bound (resolves port=0). */
+    std::uint16_t port = 0;
+    /** Session parameters learned from the Hello handshake. */
+    LoadMode mode = LoadMode::Closed;
+    std::uint32_t connections = 0;
+    std::uint64_t totalRequests = 0;
+    std::uint64_t seed = 0;
+    /** True iff the whole session ran to completion cleanly. */
+    bool ok = false;
+    /** First failure reason when !ok. */
+    std::string error;
+};
+
+/**
+ * Bind, serve exactly one client session (announced by Hello frames)
+ * to completion, drain, and return. Request payloads are drawn from
+ * `pool` (query id uses pool entry id mod pool size; the wire
+ * queryIndex is advisory). Blocks the calling thread. fatal()s on an
+ * empty pool; client misbehavior fails the session in the report
+ * instead of killing the process.
+ *
+ * `onListen`, when non-null, is invoked with the resolved port once
+ * the socket is accepting (before the session starts) -- loadgen uses
+ * it to print the port a client should connect to.
+ */
+NetServeReport runNetServe(const NetServeConfig &cfg,
+                           const WorkloadTrace &pool,
+                           void (*onListen)(std::uint16_t) = nullptr);
+
+} // namespace secndp
+
+#endif // SECNDP_NET_NET_SERVER_HH

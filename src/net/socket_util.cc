@@ -1,0 +1,286 @@
+#include "net/socket_util.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <csignal>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace secndp::net {
+
+#ifdef __linux__
+
+void
+ignoreSigpipe()
+{
+    // All our own writes already pass MSG_NOSIGNAL; this covers any
+    // remaining write(2)-on-socket path. Never un-done: a serving
+    // process has no use for the default terminate-on-SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int
+listenTcp(const std::string &bindAddr, std::uint16_t port,
+          int backlog, std::uint16_t *boundPort, std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bindAddr.c_str(), &addr.sin_addr) != 1) {
+        if (err)
+            *err = "bad bind address: " + bindAddr;
+        ::close(fd);
+        return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, backlog) != 0 || !setNonBlocking(fd)) {
+        if (err)
+            *err = std::string("bind/listen ") + bindAddr + ":" +
+                   std::to_string(port) + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (boundPort) {
+        sockaddr_in bound{};
+        socklen_t blen = sizeof(bound);
+        *boundPort = port;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0)
+            *boundPort = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (err)
+            *err = "bad host address: " + host;
+        ::close(fd);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        if (err)
+            *err = "connect " + host + ":" + std::to_string(port) +
+                   ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+IoResult
+readSome(int fd, std::string &buf, std::size_t chunk,
+         std::size_t maxBytes)
+{
+    IoResult res;
+    char tmp[4096];
+    while (buf.size() < maxBytes) {
+        const std::size_t want =
+            std::min({chunk, sizeof(tmp), maxBytes - buf.size()});
+        const ssize_t r = ::recv(fd, tmp, want, 0);
+        if (r > 0) {
+            buf.append(tmp, static_cast<std::size_t>(r));
+            res.n += static_cast<std::size_t>(r);
+        } else if (r == 0) {
+            res.eof = true;
+            return res;
+        } else if (errno == EINTR) {
+            continue;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            res.wouldBlock = true;
+            return res;
+        } else {
+            res.error = true;
+            return res;
+        }
+    }
+    return res; // buffer full: caller applies its bounded-buffer rule
+}
+
+IoResult
+writeSome(int fd, const std::string &buf, std::size_t &pos)
+{
+    IoResult res;
+    while (pos < buf.size()) {
+        const ssize_t w = ::send(fd, buf.data() + pos,
+                                 buf.size() - pos, MSG_NOSIGNAL);
+        if (w > 0) {
+            pos += static_cast<std::size_t>(w);
+            res.n += static_cast<std::size_t>(w);
+        } else if (w < 0 && errno == EINTR) {
+            continue;
+        } else if (w < 0 &&
+                   (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            res.wouldBlock = true;
+            return res;
+        } else {
+            res.error = true;
+            return res;
+        }
+    }
+    return res;
+}
+
+bool
+WakePipe::open(std::string *err)
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        if (err)
+            *err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    rd = fds[0];
+    wr = fds[1];
+    setNonBlocking(rd);
+    setNonBlocking(wr);
+    return true;
+}
+
+void
+WakePipe::close()
+{
+    if (rd >= 0)
+        ::close(rd);
+    if (wr >= 0)
+        ::close(wr);
+    rd = wr = -1;
+}
+
+void
+WakePipe::notify() const
+{
+    if (wr < 0)
+        return;
+    const char b = 'x';
+    ssize_t n;
+    do {
+        n = ::write(wr, &b, 1);
+    } while (n < 0 && errno == EINTR);
+    // A full pipe is fine: a wakeup is already pending.
+}
+
+void
+WakePipe::drain() const
+{
+    if (rd < 0)
+        return;
+    char buf[64];
+    while (::read(rd, buf, sizeof(buf)) > 0) {
+    }
+}
+
+#else // !__linux__
+
+void
+ignoreSigpipe()
+{
+}
+
+bool
+setNonBlocking(int)
+{
+    return false;
+}
+
+int
+listenTcp(const std::string &, std::uint16_t, int, std::uint16_t *,
+          std::string *err)
+{
+    if (err)
+        *err = "TCP front-end requires Linux sockets";
+    return -1;
+}
+
+int
+connectTcp(const std::string &, std::uint16_t, std::string *err)
+{
+    if (err)
+        *err = "TCP front-end requires Linux sockets";
+    return -1;
+}
+
+IoResult
+readSome(int, std::string &, std::size_t, std::size_t)
+{
+    IoResult r;
+    r.error = true;
+    return r;
+}
+
+IoResult
+writeSome(int, const std::string &, std::size_t &)
+{
+    IoResult r;
+    r.error = true;
+    return r;
+}
+
+bool
+WakePipe::open(std::string *err)
+{
+    if (err)
+        *err = "wake pipe requires Linux";
+    return false;
+}
+
+void
+WakePipe::close()
+{
+}
+
+void
+WakePipe::notify() const
+{
+}
+
+void
+WakePipe::drain() const
+{
+}
+
+#endif // __linux__
+
+} // namespace secndp::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared non-blocking socket plumbing for every TCP front-end in the
+ * repo (the src/net query server and the src/telemetry metrics
+ * exporter): one event-loop idiom, not two.
+ *
+ * Everything here is Linux-only (epoll readiness is the serving
+ * model); on other platforms the callers degrade gracefully at their
+ * own start() entry points. All helpers are EINTR-safe and all writes
+ * go through send(MSG_NOSIGNAL), so a peer that disconnects mid-write
+ * can never deliver SIGPIPE and kill the process -- belt and braces,
+ * ignoreSigpipe() additionally installs SIG_IGN for third-party code
+ * paths that still call write(2) on sockets.
+ */
+
+#ifndef SECNDP_NET_SOCKET_UTIL_HH
+#define SECNDP_NET_SOCKET_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secndp::net {
+
+/** Put SIGPIPE out of business process-wide (idempotent). */
+void ignoreSigpipe();
+
+/** O_NONBLOCK on, false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Bind + listen a non-blocking TCP socket on `bindAddr:port`
+ * (SO_REUSEADDR; port 0 selects an ephemeral port). Returns the
+ * listening fd, or -1 with `err` set. `boundPort` (when non-null)
+ * receives the resolved port via getsockname -- the only way to learn
+ * an ephemeral bind.
+ */
+int listenTcp(const std::string &bindAddr, std::uint16_t port,
+              int backlog, std::uint16_t *boundPort,
+              std::string *err);
+
+/**
+ * Blocking TCP connect to `host:port` (numeric IPv4 host). Returns
+ * the connected fd (still in blocking mode -- callers flip it with
+ * setNonBlocking for event loops), or -1 with `err` set.
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               std::string *err);
+
+/** Outcome of one readSome/writeSome call. */
+struct IoResult
+{
+    /** Bytes moved (0 is legal for writeSome on an empty span). */
+    std::size_t n = 0;
+    /** Kernel buffer empty/full: try again on the next readiness. */
+    bool wouldBlock = false;
+    /** Peer closed its end (readSome only). */
+    bool eof = false;
+    /** Hard error (errno-backed); the connection is dead. */
+    bool error = false;
+};
+
+/**
+ * Drain as much as possible from `fd` into `buf` (append), in
+ * `chunk`-byte reads, stopping at EAGAIN/EOF/error or once `maxBytes`
+ * total buffered bytes is reached (bounded per-connection buffers).
+ * EINTR is retried internally.
+ */
+IoResult readSome(int fd, std::string &buf, std::size_t chunk,
+                  std::size_t maxBytes);
+
+/**
+ * Write as much of buf[pos..) as the kernel accepts
+ * (send + MSG_NOSIGNAL, EINTR retried); advances `pos`.
+ */
+IoResult writeSome(int fd, const std::string &buf, std::size_t &pos);
+
+/**
+ * A self-pipe for waking an epoll loop from another thread. Both ends
+ * are non-blocking.
+ */
+struct WakePipe
+{
+    int rd = -1;
+    int wr = -1;
+
+    bool open(std::string *err = nullptr);
+    void close();
+    /** Poke the read end awake (safe from any thread; lossy by
+     *  design -- one pending byte is enough). */
+    void notify() const;
+    /** Drain every pending notification (call from the loop). */
+    void drain() const;
+};
+
+} // namespace secndp::net
+
+#endif // SECNDP_NET_SOCKET_UTIL_HH

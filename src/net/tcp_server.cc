@@ -1,0 +1,491 @@
+#include "net/tcp_server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "net/socket_util.hh"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace secndp::net {
+
+/** One live connection (owned by the event-loop thread). */
+struct TcpServer::Conn
+{
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string out;
+    std::size_t outPos = 0;
+    bool wantWrite = false;
+    bool readPaused = false;
+    /** Poisoned or server-done: close once `out` fully flushes. */
+    bool closeAfterFlush = false;
+    std::chrono::steady_clock::time_point openedAt;
+};
+
+#ifdef __linux__
+
+namespace {
+
+/** Count complete frames (and interesting types) in encoded bytes. */
+void
+countOutFrames(StatGroup &net, const std::string &bytes)
+{
+    std::size_t pos = 0;
+    while (pos + kHeaderBytes <= bytes.size()) {
+        const std::uint8_t type =
+            static_cast<std::uint8_t>(bytes[pos + 5]);
+        std::uint32_t len = 0;
+        for (int i = 3; i >= 0; --i)
+            len = (len << 8) |
+                  static_cast<std::uint8_t>(bytes[pos + 8 + i]);
+        ++net.counter("frames_out");
+        if (type == static_cast<std::uint8_t>(FrameType::Overload))
+            ++net.counter("overload_frames");
+        else if (type == static_cast<std::uint8_t>(FrameType::Error))
+            ++net.counter("error_frames");
+        pos += kHeaderBytes + len;
+    }
+}
+
+} // namespace
+
+TcpServer::~TcpServer()
+{
+    stop();
+}
+
+bool
+TcpServer::start(const Config &cfg, Handler *handler,
+                 std::string *err)
+{
+    if (running_.load()) {
+        if (err)
+            *err = "server already running";
+        return false;
+    }
+    cfg_ = cfg;
+    handler_ = handler;
+    ignoreSigpipe();
+
+    listenFd_ = listenTcp(cfg_.bindAddr, cfg_.port, cfg_.backlog,
+                          &port_, err);
+    if (listenFd_ < 0)
+        return false;
+    if (!wake_.open(err)) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    stopRequested_.store(false);
+    draining_.store(false);
+    running_.store(true);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+TcpServer::stop()
+{
+    if (!running_.load() && !thread_.joinable())
+        return;
+    stopRequested_.store(true);
+    wake_.notify();
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    listenFd_ = -1;
+    wake_.close();
+    running_.store(false);
+    port_ = 0;
+
+    if (cfg_.registerStats) {
+        // One-shot fold into the process registry so the sidecar
+        // carries net.* / net_wall.* exactly once per server run.
+        std::lock_guard<std::mutex> lock(mutex_);
+        cfg_.registerStats = false;
+        {
+            StatGroup g("net");
+            g.mergeFrom(net_);
+        }
+        if (!wall_.empty()) {
+            StatGroup w("net_wall");
+            w.markSharedWriter();
+            w.mergeFrom(wall_);
+        }
+    }
+}
+
+void
+TcpServer::post(std::uint64_t connId, std::string bytes,
+                bool closeAfterFlush)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        outbox_.push_back(
+            Outbox{connId, std::move(bytes), closeAfterFlush});
+    }
+    wake_.notify();
+}
+
+void
+TcpServer::beginDrain()
+{
+    draining_.store(true);
+    wake_.notify();
+}
+
+void
+TcpServer::snapshotStats(StatGroup &net, StatGroup &wall) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    net.mergeFrom(net_);
+    wall.mergeFrom(wall_);
+}
+
+void
+TcpServer::serveLoop()
+{
+    const int epfd = ::epoll_create1(0);
+    if (epfd < 0) {
+        running_.store(false);
+        return;
+    }
+
+    auto interest = [&](int op, int fd, std::uint32_t events,
+                        void *ptr) {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.ptr = ptr;
+        ::epoll_ctl(epfd, op, fd, &ev);
+    };
+
+    Conn listenSentinel, wakeSentinel;
+    listenSentinel.fd = listenFd_;
+    wakeSentinel.fd = wake_.rd;
+    interest(EPOLL_CTL_ADD, listenFd_, EPOLLIN, &listenSentinel);
+    interest(EPOLL_CTL_ADD, wake_.rd, EPOLLIN, &wakeSentinel);
+    bool listening = true;
+
+    std::map<std::uint64_t, Conn *> conns;
+    std::uint64_t nextId = 1;
+    // Conns closed mid-batch: the events array may still hold their
+    // pointers, so deletion is deferred to the end of each loop
+    // iteration and closed conns are flagged with fd = -1.
+    std::vector<Conn *> dead;
+
+    auto connEvents = [&](const Conn *c) -> std::uint32_t {
+        std::uint32_t ev = 0;
+        if (!c->readPaused && !c->closeAfterFlush)
+            ev |= EPOLLIN;
+        if (c->wantWrite)
+            ev |= EPOLLOUT;
+        return ev;
+    };
+    auto rearm = [&](Conn *c) {
+        interest(EPOLL_CTL_MOD, c->fd, connEvents(c), c);
+    };
+
+    auto closeConn = [&](Conn *c, bool clean) {
+        interest(EPOLL_CTL_DEL, c->fd, 0, nullptr);
+        ::close(c->fd);
+        c->fd = -1;
+        conns.erase(c->id);
+        dead.push_back(c);
+        active_.store(conns.size());
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++net_.counter("conns_closed");
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - c->openedAt)
+                    .count();
+            wall_.histogram("conn_lifetime_ms").sample(ms);
+        }
+        if (handler_)
+            handler_->onDisconnect(c->id, clean);
+    };
+
+    /** Queue bytes on a connection and arm the flush. */
+    auto enqueue = [&](Conn *c, const std::string &bytes,
+                       bool thenClose) {
+        c->out.append(bytes);
+        if (thenClose)
+            c->closeAfterFlush = true;
+        c->wantWrite = c->outPos < c->out.size();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            countOutFrames(net_, bytes);
+            const double depth =
+                static_cast<double>(c->out.size() - c->outPos);
+            double &hw = wall_.scalar("write_buf_high_water");
+            hw = std::max(hw, depth);
+            // Slow reader: stop reading this socket until the flush
+            // catches up (bounded buffers, not unbounded queueing).
+            if (!c->readPaused &&
+                c->out.size() - c->outPos > cfg_.writeHighWater) {
+                c->readPaused = true;
+                ++wall_.counter("read_pauses");
+            }
+        }
+        rearm(c);
+    };
+
+    auto poisonConn = [&](Conn *c, WireError werr) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++net_.counter(std::string("err_") +
+                           wireErrorName(werr));
+        }
+        std::string frame;
+        encodeError(frame, werr);
+        enqueue(c, frame, /*thenClose=*/true);
+    };
+
+    auto flushConn = [&](Conn *c) -> bool {
+        const IoResult w = writeSome(c->fd, c->out, c->outPos);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            net_.counter("bytes_out") += w.n;
+        }
+        if (w.error) {
+            closeConn(c, false);
+            return false;
+        }
+        if (c->outPos >= c->out.size()) {
+            c->out.clear();
+            c->outPos = 0;
+            c->wantWrite = false;
+            if (c->closeAfterFlush) {
+                closeConn(c, true);
+                return false;
+            }
+        } else {
+            c->wantWrite = true;
+        }
+        if (c->readPaused &&
+            c->out.size() - c->outPos < cfg_.writeLowWater) {
+            c->readPaused = false;
+        }
+        rearm(c);
+        return true;
+    };
+
+    epoll_event events[64];
+    while (!stopRequested_.load()) {
+        if (listening && draining_.load()) {
+            // Drain: stop accepting; in-flight connections finish.
+            interest(EPOLL_CTL_DEL, listenFd_, 0, nullptr);
+            listening = false;
+        }
+
+        const int n = ::epoll_wait(epfd, events, 64, 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++wall_.counter("epoll_wakeups");
+        }
+
+        // Completion path first: frames posted by the serve thread
+        // land in connection buffers before this round's writability
+        // events are handled.
+        std::vector<Outbox> posted;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            posted.swap(outbox_);
+        }
+        for (Outbox &ob : posted) {
+            auto it = conns.find(ob.connId);
+            if (it == conns.end()) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++net_.counter("post_drops");
+                continue;
+            }
+            enqueue(it->second, ob.bytes, ob.closeAfterFlush);
+            // Try an eager flush: most responses fit the socket
+            // buffer and never need an EPOLLOUT round-trip.
+            flushConn(it->second);
+        }
+
+        for (int i = 0; i < n; ++i) {
+            auto *c = static_cast<Conn *>(events[i].data.ptr);
+
+            if (c == &wakeSentinel) {
+                wake_.drain();
+                continue;
+            }
+
+            if (c == &listenSentinel) {
+                if (!listening)
+                    continue;
+                for (;;) {
+                    const int fd =
+                        ::accept(listenFd_, nullptr, nullptr);
+                    if (fd < 0)
+                        break;
+                    if (static_cast<int>(conns.size()) >=
+                            cfg_.maxConnections ||
+                        !setNonBlocking(fd)) {
+                        ::close(fd);
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++net_.counter("conns_refused");
+                        continue;
+                    }
+                    auto *nc = new Conn;
+                    nc->fd = fd;
+                    nc->id = nextId++;
+                    nc->openedAt = std::chrono::steady_clock::now();
+                    conns.emplace(nc->id, nc);
+                    active_.store(conns.size());
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++net_.counter("conns_accepted");
+                    }
+                    interest(EPOLL_CTL_ADD, fd, connEvents(nc), nc);
+                }
+                continue;
+            }
+
+            // The conn may already be closed (earlier event this
+            // batch, or the completion pass above); its object is
+            // kept alive until the end of the iteration.
+            if (c->fd < 0)
+                continue;
+
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeConn(c, c->decoder.pending() == 0);
+                continue;
+            }
+
+            if (events[i].events & EPOLLIN) {
+                std::string chunk;
+                const std::size_t cap =
+                    cfg_.maxDecoderBacklog > c->decoder.pending()
+                        ? cfg_.maxDecoderBacklog -
+                              c->decoder.pending()
+                        : 0;
+                const IoResult r = readSome(c->fd, chunk, 4096, cap);
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    net_.counter("bytes_in") += chunk.size();
+                }
+                c->decoder.feed(chunk.data(), chunk.size());
+                Frame f;
+                while (c->decoder.next(f)) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++net_.counter("frames_in");
+                        ++net_.counter(
+                            std::string("frames_in_") +
+                            frameTypeName(f.type));
+                    }
+                    if (handler_)
+                        handler_->onFrame(c->id, f);
+                    // The handler may have posted a poisoning close.
+                    if (c->closeAfterFlush)
+                        break;
+                }
+                if (c->decoder.error() != WireError::None) {
+                    poisonConn(c, c->decoder.error());
+                    flushConn(c);
+                    continue;
+                }
+                if (c->decoder.pending() >= cfg_.maxDecoderBacklog) {
+                    // Undecodable flood (cap-sized partial frame).
+                    poisonConn(c, WireError::Oversize);
+                    flushConn(c);
+                    continue;
+                }
+                if (r.eof) {
+                    const bool midFrame = c->decoder.pending() > 0;
+                    if (midFrame) {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++net_.counter("disconnect_midframe");
+                    }
+                    closeConn(c, !midFrame);
+                    continue;
+                }
+                if (r.error) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++net_.counter("err_read");
+                    }
+                    closeConn(c, false);
+                    continue;
+                }
+                rearm(c);
+            }
+
+            if (c->fd >= 0 && (events[i].events & EPOLLOUT))
+                flushConn(c);
+        }
+
+        for (Conn *c : dead)
+            delete c;
+        dead.clear();
+    }
+
+    // Teardown: anything still open goes away unceremoniously (the
+    // graceful path drains via FinAck + closeAfterFlush first).
+    while (!conns.empty())
+        closeConn(conns.begin()->second, false);
+    for (Conn *c : dead)
+        delete c;
+    dead.clear();
+    active_.store(0);
+    ::close(epfd);
+    running_.store(false);
+}
+
+#else // !__linux__
+
+TcpServer::~TcpServer() = default;
+
+bool
+TcpServer::start(const Config &, Handler *, std::string *err)
+{
+    if (err)
+        *err = "TCP front-end requires Linux (epoll)";
+    return false;
+}
+
+void
+TcpServer::stop()
+{
+}
+
+void
+TcpServer::post(std::uint64_t, std::string, bool)
+{
+}
+
+void
+TcpServer::beginDrain()
+{
+}
+
+void
+TcpServer::snapshotStats(StatGroup &, StatGroup &) const
+{
+}
+
+void
+TcpServer::serveLoop()
+{
+}
+
+#endif // __linux__
+
+} // namespace secndp::net

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Epoll-based non-blocking TCP front-end for the SecNDP query
+ * protocol (src/net/wire.hh).
+ *
+ * One event-loop thread owns every socket: it accepts connections,
+ * drains reads into per-connection FrameDecoders, dispatches decoded
+ * frames to a Handler (called on the loop thread), and flushes
+ * per-connection write buffers. Other threads never touch a socket;
+ * they hand completed response frames to post(), which queues the
+ * bytes and pokes the loop awake through a self-pipe -- the
+ * completion path the batch scheduler uses so simulation workers stay
+ * socket-free.
+ *
+ * Bounded buffers and backpressure:
+ *   - reads are bounded by the decoder backlog cap; a connection
+ *     whose buffered-but-undecodable bytes exceed it is closed as a
+ *     protocol violation (with kMaxPayload-sized frames this only
+ *     fires on hostile streams);
+ *   - writes are bounded by a high/low watermark pair: when a
+ *     connection's outgoing buffer passes the high watermark the
+ *     server STOPS READING from that socket (EPOLLIN off) until the
+ *     flush drains it below the low watermark, so a slow or stalled
+ *     reader can neither balloon server memory nor starve other
+ *     connections. Queue-level shedding is separate and explicit:
+ *     the serving bridge answers shed admissions with an Overload
+ *     frame (see net_server.cc).
+ *
+ * Any malformed frame (bad magic/version/flags, oversized or
+ * mismatched length, unknown type) poisons the connection: the server
+ * bumps the matching net.* error counter, sends one Error frame, and
+ * closes after flushing. Mid-frame disconnects are counted
+ * separately.
+ *
+ * Statistics: the loop thread owns two groups -- "net" (counters that
+ * are deterministic for a fixed session: frames, bytes, connection
+ * and error counts) and "net_wall" (wall-clock values: connection
+ * lifetimes, write-buffer high-water, backpressure pauses, epoll
+ * wakeups). Both are mutex-copied for live snapshots and folded into
+ * the StatRegistry at stop() so they ride the standard sidecars;
+ * determinism diffs strip net_wall exactly like host_phases.
+ */
+
+#ifndef SECNDP_NET_TCP_SERVER_HH
+#define SECNDP_NET_TCP_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "net/socket_util.hh"
+#include "net/wire.hh"
+
+namespace secndp::net {
+
+class TcpServer
+{
+  public:
+    struct Config
+    {
+        std::string bindAddr = "127.0.0.1";
+        /** 0 picks an ephemeral port (read back via port()). */
+        std::uint16_t port = 0;
+        int backlog = 512;
+        /** Concurrent connection cap; excess accepts are closed. */
+        int maxConnections = 4096;
+        /** Undecodable-bytes cap per connection (protocol abuse). */
+        std::size_t maxDecoderBacklog = 64 * 1024;
+        /** Stop reading a connection whose write buffer passes this. */
+        std::size_t writeHighWater = 256 * 1024;
+        /** Resume reading once the flush drains below this. */
+        std::size_t writeLowWater = 64 * 1024;
+        /** Fold net/net_wall into the StatRegistry at stop(). */
+        bool registerStats = true;
+    };
+
+    /** Frame sink; every method runs on the event-loop thread. */
+    class Handler
+    {
+      public:
+        virtual ~Handler() = default;
+        virtual void onFrame(std::uint64_t connId, const Frame &f) = 0;
+        /** Peer gone (clean = no partial frame left behind). */
+        virtual void onDisconnect(std::uint64_t connId, bool clean) = 0;
+    };
+
+    TcpServer() = default;
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** Bind, listen, launch the loop thread. False + err on failure. */
+    bool start(const Config &cfg, Handler *handler,
+               std::string *err = nullptr);
+
+    /** Close every socket and join the loop. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Queue encoded frame bytes for `connId` and wake the loop
+     * (thread-safe; the loop thread does the actual socket write).
+     * closeAfterFlush closes the connection once everything queued so
+     * far has been written.
+     */
+    void post(std::uint64_t connId, std::string bytes,
+              bool closeAfterFlush = false);
+
+    /** Stop accepting new connections (drain mode); existing
+     *  connections keep flowing. Thread-safe, idempotent. */
+    void beginDrain();
+
+    /** Currently open connections. */
+    std::size_t activeConnections() const
+    {
+        return active_.load();
+    }
+
+    /** Locked point-in-time copies of the two stat groups. */
+    void snapshotStats(StatGroup &net, StatGroup &wall) const;
+
+  private:
+    struct Conn;
+    struct Outbox
+    {
+        std::uint64_t connId;
+        std::string bytes;
+        bool closeAfterFlush;
+    };
+
+    void serveLoop();
+
+    Config cfg_;
+    Handler *handler_ = nullptr;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::size_t> active_{0};
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+    WakePipe wake_;
+    std::thread thread_;
+
+    mutable std::mutex mutex_; ///< guards outbox_ + stats groups
+    std::vector<Outbox> outbox_;
+    StatGroup net_{"net", StatGroup::noRegister};
+    StatGroup wall_{"net_wall", StatGroup::noRegister};
+};
+
+} // namespace secndp::net
+
+#endif // SECNDP_NET_TCP_SERVER_HH

@@ -1,0 +1,309 @@
+#include "net/wire.hh"
+
+#include <cstring>
+
+namespace secndp::net {
+
+namespace {
+
+/** Fixed payload size per frame type (v1: every type is fixed). */
+std::size_t
+payloadBytes(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello:    return 1 + 4 + 4 + 8 + 8;
+      case FrameType::HelloAck: return 0;
+      case FrameType::Query:    return 8 + 8 + 8 + 8;
+      case FrameType::Response: return 8 + 1 + 8 + 8;
+      case FrameType::Overload: return 8 + 8;
+      case FrameType::Fin:      return 0;
+      case FrameType::FinAck:   return 0;
+      case FrameType::Error:    return 1;
+    }
+    return SIZE_MAX; // unknown type: never matches a real length
+}
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+std::uint8_t
+getU8(const char *p)
+{
+    return static_cast<std::uint8_t>(*p);
+}
+
+std::uint16_t
+getU16(const char *p)
+{
+    std::uint16_t v = 0;
+    for (int i = 1; i >= 0; --i)
+        v = static_cast<std::uint16_t>(
+            (v << 8) | static_cast<std::uint8_t>(p[i]));
+    return v;
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+}
+
+double
+getF64(const char *p)
+{
+    const std::uint64_t bits = getU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+putHeader(std::string &out, FrameType type, std::size_t payload)
+{
+    for (std::uint8_t b : kMagic)
+        out.push_back(static_cast<char>(b));
+    putU8(out, kWireVersion);
+    putU8(out, static_cast<std::uint8_t>(type));
+    putU16(out, 0); // flags
+    putU32(out, static_cast<std::uint32_t>(payload));
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello:    return "hello";
+      case FrameType::HelloAck: return "hello_ack";
+      case FrameType::Query:    return "query";
+      case FrameType::Response: return "response";
+      case FrameType::Overload: return "overload";
+      case FrameType::Fin:      return "fin";
+      case FrameType::FinAck:   return "fin_ack";
+      case FrameType::Error:    return "error";
+    }
+    return "?";
+}
+
+const char *
+wireErrorName(WireError e)
+{
+    switch (e) {
+      case WireError::None:        return "none";
+      case WireError::BadMagic:    return "bad_magic";
+      case WireError::BadVersion:  return "bad_version";
+      case WireError::BadFlags:    return "bad_flags";
+      case WireError::Oversize:    return "oversize";
+      case WireError::BadPayload:  return "bad_payload";
+      case WireError::UnknownType: return "unknown_type";
+    }
+    return "?";
+}
+
+void
+encodeHello(std::string &out, const HelloFrame &f)
+{
+    putHeader(out, FrameType::Hello, payloadBytes(FrameType::Hello));
+    putU8(out, static_cast<std::uint8_t>(f.mode));
+    putU32(out, f.connIndex);
+    putU32(out, f.connections);
+    putU64(out, f.totalRequests);
+    putU64(out, f.seed);
+}
+
+void
+encodeHelloAck(std::string &out)
+{
+    putHeader(out, FrameType::HelloAck, 0);
+}
+
+void
+encodeQuery(std::string &out, const QueryFrame &f)
+{
+    putHeader(out, FrameType::Query, payloadBytes(FrameType::Query));
+    putU64(out, f.id);
+    putU64(out, f.queryIndex);
+    putF64(out, f.arrivalNs);
+    putF64(out, f.deadlineNs);
+}
+
+void
+encodeResponse(std::string &out, const ResponseFrame &f)
+{
+    putHeader(out, FrameType::Response,
+              payloadBytes(FrameType::Response));
+    putU64(out, f.id);
+    putU8(out, static_cast<std::uint8_t>(f.status));
+    putF64(out, f.completionNs);
+    putF64(out, f.latencyNs);
+}
+
+void
+encodeOverload(std::string &out, const OverloadFrame &f)
+{
+    putHeader(out, FrameType::Overload,
+              payloadBytes(FrameType::Overload));
+    putU64(out, f.id);
+    putF64(out, f.shedNs);
+}
+
+void
+encodeFin(std::string &out)
+{
+    putHeader(out, FrameType::Fin, 0);
+}
+
+void
+encodeFinAck(std::string &out)
+{
+    putHeader(out, FrameType::FinAck, 0);
+}
+
+void
+encodeError(std::string &out, WireError code)
+{
+    putHeader(out, FrameType::Error, payloadBytes(FrameType::Error));
+    putU8(out, static_cast<std::uint8_t>(code));
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    // Compact consumed bytes before growing: pending() stays the true
+    // buffered amount and the buffer never creeps.
+    if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameDecoder::next(Frame &out)
+{
+    if (error_ != WireError::None)
+        return false;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kHeaderBytes)
+        return false;
+    const char *h = buf_.data() + pos_;
+
+    for (int i = 0; i < 4; ++i) {
+        if (static_cast<std::uint8_t>(h[i]) != kMagic[i]) {
+            error_ = WireError::BadMagic;
+            return false;
+        }
+    }
+    if (getU8(h + 4) != kWireVersion) {
+        error_ = WireError::BadVersion;
+        return false;
+    }
+    const std::uint8_t rawType = getU8(h + 5);
+    if (getU16(h + 6) != 0) {
+        error_ = WireError::BadFlags;
+        return false;
+    }
+    const std::uint32_t len = getU32(h + 8);
+    if (len > kMaxPayload) {
+        error_ = WireError::Oversize;
+        return false;
+    }
+    if (rawType < static_cast<std::uint8_t>(FrameType::Hello) ||
+        rawType > static_cast<std::uint8_t>(FrameType::Error)) {
+        error_ = WireError::UnknownType;
+        return false;
+    }
+    const FrameType type = static_cast<FrameType>(rawType);
+    if (len != payloadBytes(type)) {
+        error_ = WireError::BadPayload;
+        return false;
+    }
+    if (avail < kHeaderBytes + len)
+        return false; // wait for the rest of the payload
+
+    const char *p = h + kHeaderBytes;
+    out = Frame{};
+    out.type = type;
+    switch (type) {
+      case FrameType::Hello:
+        out.hello.mode = static_cast<WireLoadMode>(getU8(p));
+        out.hello.connIndex = getU32(p + 1);
+        out.hello.connections = getU32(p + 5);
+        out.hello.totalRequests = getU64(p + 9);
+        out.hello.seed = getU64(p + 17);
+        break;
+      case FrameType::Query:
+        out.query.id = getU64(p);
+        out.query.queryIndex = getU64(p + 8);
+        out.query.arrivalNs = getF64(p + 16);
+        out.query.deadlineNs = getF64(p + 24);
+        break;
+      case FrameType::Response:
+        out.response.id = getU64(p);
+        out.response.status =
+            static_cast<ResponseStatus>(getU8(p + 8));
+        out.response.completionNs = getF64(p + 9);
+        out.response.latencyNs = getF64(p + 17);
+        break;
+      case FrameType::Overload:
+        out.overload.id = getU64(p);
+        out.overload.shedNs = getF64(p + 8);
+        break;
+      case FrameType::Error:
+        out.error.code = getU8(p);
+        break;
+      case FrameType::HelloAck:
+      case FrameType::Fin:
+      case FrameType::FinAck:
+        break;
+    }
+    pos_ += kHeaderBytes + len;
+    return true;
+}
+
+} // namespace secndp::net

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The SecNDP binary query protocol (wire format v1).
+ *
+ * Every frame is a fixed 12-byte header followed by a type-specific
+ * fixed-size payload, all little-endian:
+ *
+ *   offset  size  field
+ *   0       4     magic "SNDP" (0x53 0x4e 0x44 0x50 on the wire)
+ *   4       1     version (kWireVersion)
+ *   5       1     type (FrameType)
+ *   6       2     flags (reserved, must be 0)
+ *   8       4     payload length in bytes
+ *
+ * Frame types (client = loadgen socket mode, server = --listen):
+ *
+ *   Hello     c->s  session announce: load mode, connection index /
+ *                   count, total requests, seed. The first Hello
+ *                   fixes the session; mismatching Hellos are
+ *                   protocol errors.
+ *   HelloAck  s->c  session accepted.
+ *   Query     c->s  one request: id, pool query index, virtual
+ *                   arrival ns, absolute deadline ns.
+ *   Response  s->c  completion: id, status (Ok/Aborted), virtual
+ *                   completion ns, latency ns.
+ *   Overload  s->c  admission shed this id (explicit backpressure --
+ *                   never silently dropped).
+ *   Fin       c->s  no more queries on this connection.
+ *   FinAck    s->c  every response for this connection has been
+ *                   queued; the server closes after flushing.
+ *   Error     s->c  protocol violation (code); the server closes.
+ *
+ * Payload sizes are fixed per type and lengths above kMaxPayload are
+ * rejected before any allocation, so a hostile length field can never
+ * balloon a connection buffer. The incremental FrameDecoder consumes
+ * a byte stream (any fragmentation, down to one byte per read) and
+ * yields frames or a terminal WireError.
+ */
+
+#ifndef SECNDP_NET_WIRE_HH
+#define SECNDP_NET_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secndp::net {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kHeaderBytes = 12;
+/** Largest legal payload; all v1 payloads are tiny and fixed. */
+constexpr std::size_t kMaxPayload = 256;
+/** Largest session a Hello may announce (bounds server-side state). */
+constexpr std::uint64_t kMaxSessionRequests = 1ull << 20;
+
+/** Wire magic, byte order as transmitted. */
+constexpr std::uint8_t kMagic[4] = {0x53, 0x4e, 0x44, 0x50}; // "SNDP"
+
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,
+    HelloAck = 2,
+    Query = 3,
+    Response = 4,
+    Overload = 5,
+    Fin = 6,
+    FinAck = 7,
+    Error = 8,
+};
+
+const char *frameTypeName(FrameType t);
+
+/** Terminal protocol violations (the connection is closed). */
+enum class WireError : std::uint8_t
+{
+    None = 0,
+    BadMagic,
+    BadVersion,
+    BadFlags,
+    Oversize,     ///< length > kMaxPayload
+    BadPayload,   ///< length does not match the type's fixed size
+    UnknownType,
+};
+
+const char *wireErrorName(WireError e);
+
+/** Load models on the wire (mirrors serve LoadMode). */
+enum class WireLoadMode : std::uint8_t
+{
+    Open = 0,
+    Closed = 1,
+};
+
+struct HelloFrame
+{
+    WireLoadMode mode = WireLoadMode::Closed;
+    std::uint32_t connIndex = 0;   ///< this connection's slot [0, n)
+    std::uint32_t connections = 1; ///< session fan-in width
+    std::uint64_t totalRequests = 0;
+    std::uint64_t seed = 0;
+};
+
+enum class ResponseStatus : std::uint8_t
+{
+    Ok = 0,
+    Aborted = 1, ///< verification never passed, fallback unavailable
+};
+
+struct QueryFrame
+{
+    std::uint64_t id = 0;
+    std::uint64_t queryIndex = 0;
+    double arrivalNs = 0.0;
+    double deadlineNs = 0.0;
+};
+
+struct ResponseFrame
+{
+    std::uint64_t id = 0;
+    ResponseStatus status = ResponseStatus::Ok;
+    double completionNs = 0.0;
+    double latencyNs = 0.0;
+};
+
+struct OverloadFrame
+{
+    std::uint64_t id = 0;
+    double shedNs = 0.0;
+};
+
+struct ErrorFrame
+{
+    std::uint8_t code = 0; ///< a WireError value
+};
+
+/** One decoded frame (the union member named by `type` is valid). */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    HelloFrame hello;
+    QueryFrame query;
+    ResponseFrame response;
+    OverloadFrame overload;
+    ErrorFrame error;
+};
+
+/** @name Frame encoders (append header + payload to `out`) */
+/// @{
+void encodeHello(std::string &out, const HelloFrame &f);
+void encodeHelloAck(std::string &out);
+void encodeQuery(std::string &out, const QueryFrame &f);
+void encodeResponse(std::string &out, const ResponseFrame &f);
+void encodeOverload(std::string &out, const OverloadFrame &f);
+void encodeFin(std::string &out);
+void encodeFinAck(std::string &out);
+void encodeError(std::string &out, WireError code);
+/// @}
+
+/**
+ * Incremental frame parser over a connection's read buffer. Feed
+ * bytes with feed(); then call next() until it returns false. Once
+ * error() != None the decoder is poisoned and the connection must be
+ * closed (the stream cannot be resynchronized).
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes from the socket. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Decode the next complete frame into `out`. Returns false when
+     * no complete frame is buffered (more bytes needed) or the
+     * decoder is poisoned -- check error() to tell the two apart.
+     */
+    bool next(Frame &out);
+
+    WireError error() const { return error_; }
+
+    /** Bytes currently buffered (bounded-buffer accounting). */
+    std::size_t pending() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+    WireError error_ = WireError::None;
+};
+
+} // namespace secndp::net
+
+#endif // SECNDP_NET_WIRE_HH

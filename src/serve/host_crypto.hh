@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host-side SecNDP work shared by every serving front-end (the
+ * in-process loop in serve/server.cc and the TCP front-end in
+ * src/net/net_server.cc): the per-batch counter-mode OTP + C_Tres
+ * verification jobs that run on the WorkerPool, and the functional
+ * integrity shadow the fault injector plays against.
+ *
+ * Moved verbatim out of server.cc so both front-ends execute the
+ * exact same host-crypto path -- in-process sidecars stay
+ * byte-identical to the pre-net serving layer.
+ */
+
+#ifndef SECNDP_SERVE_HOST_CRYPTO_HH
+#define SECNDP_SERVE_HOST_CRYPTO_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "crypto/counter_mode.hh"
+#include "faults/fault_spec.hh"
+#include "faults/injector.hh"
+#include "faults/recovery.hh"
+#include "secndp/protocol.hh"
+
+namespace secndp {
+
+/** Host-side SecNDP work of one request (captured into pool jobs). */
+struct HostCryptoWork
+{
+    std::uint64_t addr = 0;
+    std::uint64_t dataOtpBlocks = 0;
+    std::uint64_t tagOtpBlocks = 0;
+    std::uint64_t verifyOps = 0;
+};
+
+/**
+ * Perform the (capped) host crypto of one batch: counter-mode OTP
+ * blocks for the data share, tag pads, and a C_Tres-style linear
+ * checksum recombination in F_q. This is real CPU work -- the whole
+ * point is that it runs on a worker thread while the main loop
+ * simulates the next batch.
+ */
+void runHostCrypto(const CounterModeEncryptor &enc,
+                   const std::vector<HostCryptoWork> &work,
+                   StatGroup &g);
+
+/**
+ * Functional integrity shadow. The serving loop itself is a
+ * performance simulation (memsim carries no data values), so the
+ * adversary is played against a small *real* client/device pair whose
+ * device runs the configured FaultInjector. Every completed request
+ * maps deterministically onto one verified weighted row sum against
+ * the shadow; a failed tag check there drives the recovery ladder and
+ * its virtual-time penalty is charged to that request's latency
+ * (busy_until is untouched -- recovery re-reads are modeled as
+ * pipelined with later batches, a documented approximation).
+ */
+class IntegrityShadow
+{
+  public:
+    IntegrityShadow(const FaultSpec &spec, std::uint64_t seed,
+                    const RecoveryPolicy &policy);
+
+    /** One read + verify of the request's shadow query. */
+    bool verifyOnce(std::uint64_t id);
+
+    RecoveryLoop &recovery() { return recovery_; }
+    const FaultInjector &injector() const { return injector_; }
+
+  private:
+    static constexpr std::size_t shadowRows = 64;
+    static constexpr std::size_t shadowCols = 16;
+    static constexpr std::size_t shadowLookups = 4;
+    static constexpr std::uint64_t shadowBase = 0x200000;
+
+    FaultInjector injector_;
+    SecNdpClient client_;
+    UntrustedNdpDevice device_;
+    RecoveryLoop recovery_;
+};
+
+} // namespace secndp
+
+#endif // SECNDP_SERVE_HOST_CRYPTO_HH

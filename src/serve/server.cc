@@ -20,175 +20,13 @@
 #include "crypto/counter_mode.hh"
 #include "faults/injector.hh"
 #include "secndp/protocol.hh"
+#include "serve/host_crypto.hh"
 #include "serve/worker_pool.hh"
 #include "telemetry/metrics_exporter.hh"
 #include "telemetry/slo_tracker.hh"
 #include "telemetry/snapshot.hh"
 
 namespace secndp {
-
-namespace {
-
-/** Host-side SecNDP work of one request (captured into pool jobs). */
-struct HostCryptoWork
-{
-    std::uint64_t addr = 0;
-    std::uint64_t dataOtpBlocks = 0;
-    std::uint64_t tagOtpBlocks = 0;
-    std::uint64_t verifyOps = 0;
-};
-
-/** Field ops one tag check performs at most (keeps jobs bounded). */
-constexpr std::uint64_t verifyOpCap = 4096;
-
-/**
- * Perform the (capped) host crypto of one batch: counter-mode OTP
- * blocks for the data share, tag pads, and a C_Tres-style linear
- * checksum recombination in F_q. This is real CPU work -- the whole
- * point is that it runs on a worker thread while the main loop
- * simulates the next batch.
- */
-void
-runHostCrypto(const CounterModeEncryptor &enc,
-              const std::vector<HostCryptoWork> &work, StatGroup &g)
-{
-    ScopedPhase phase("host_crypto");
-    constexpr std::size_t bb = CounterModeEncryptor::batchBlocks;
-    std::uint8_t sink = 0;
-    for (const auto &w : work) {
-        // Data-share OTPs: consecutive chunks pipelined through the
-        // batched cipher entry point (the backend decides how many
-        // blocks fly per instruction group).
-        Block128 otp[bb];
-        for (std::uint64_t b = 0; b < w.dataOtpBlocks;) {
-            const std::size_t n = std::min<std::uint64_t>(
-                bb, w.dataOtpBlocks - b);
-            enc.otpBlocks(w.addr + 16 * b, 1, std::span(otp, n));
-            for (std::size_t k = 0; k < n; ++k)
-                sink ^= otp[k][0];
-            b += n;
-        }
-        g.counter("otp_blocks") += w.dataOtpBlocks;
-        Fq127 tag_pads[bb];
-        std::uint64_t tag_addrs[bb];
-        for (std::uint64_t b = 0; b < w.tagOtpBlocks;) {
-            const std::size_t n = std::min<std::uint64_t>(
-                bb, w.tagOtpBlocks - b);
-            for (std::size_t k = 0; k < n; ++k)
-                tag_addrs[k] = w.addr + 16 * (b + k);
-            enc.tagOtps(std::span(tag_addrs, n), 1,
-                        std::span(tag_pads, n));
-            for (std::size_t k = 0; k < n; ++k)
-                sink ^= static_cast<std::uint8_t>(tag_pads[k].lo64());
-            b += n;
-        }
-        g.counter("tag_otp_blocks") += w.tagOtpBlocks;
-        if (w.verifyOps > 0) {
-            // E_Tres recombination: Horner-style fold of the checksum
-            // secret across the combined weights (Alg. 5 lines 11-14,
-            // capped -- counters reflect work actually performed).
-            // Lazy reduction: the accumulator stays weakly reduced
-            // across the fold and reduces canonically once.
-            const std::uint64_t ops =
-                std::min(w.verifyOps, verifyOpCap);
-            Fq127 s = enc.checksumSecret(w.addr, 1);
-            Fq127Horner acc(s);
-            for (std::uint64_t k = 0; k < ops; ++k)
-                acc.mulAdd(s, k + 1);
-            g.counter("field_ops") += ops;
-            ++g.counter("tag_checks");
-            if (acc.reduced().isZero())
-                ++g.counter("degenerate_tags");
-        }
-    }
-    // The cipher is an opaque virtual call so the loops cannot fold
-    // away; this branch just pins `sink` as observable.
-    if (sink == 0)
-        ++g.counter("zero_sink");
-    ++g.counter("jobs");
-}
-
-/**
- * Functional integrity shadow. The serving loop itself is a
- * performance simulation (memsim carries no data values), so the
- * adversary is played against a small *real* client/device pair whose
- * device runs the configured FaultInjector. Every completed request
- * maps deterministically onto one verified weighted row sum against
- * the shadow; a failed tag check there drives the recovery ladder and
- * its virtual-time penalty is charged to that request's latency
- * (busy_until is untouched -- recovery re-reads are modeled as
- * pipelined with later batches, a documented approximation).
- */
-class IntegrityShadow
-{
-  public:
-    IntegrityShadow(const FaultSpec &spec, std::uint64_t seed,
-                    const RecoveryPolicy &policy)
-        : injector_(spec, seed),
-          client_(Aes128::Key{0xad, 0x7e, 0x25, 0xa9, 0xad, 0x7e,
-                              0x25, 0xaa, 0xad, 0x7e, 0x25, 0xab,
-                              0xad, 0x7e, 0x25, 0xac}),
-          recovery_(policy)
-    {
-        // Values < 2^20 with weights <= 8 keep every honest weighted
-        // sum far below 2^32, so a clean run always verifies (paper
-        // footnote 1: overflow is indistinguishable from tampering).
-        Matrix plain(shadowRows, shadowCols, ElemWidth::W32,
-                     shadowBase);
-        Rng fill(seed ^ 0x9e3779b97f4a7c15ULL);
-        for (std::size_t r = 0; r < shadowRows; ++r)
-            for (std::size_t c = 0; c < shadowCols; ++c)
-                plain.set(r, c, fill.next() & 0xfffff);
-        // Provision twice: the first image becomes the device's stale
-        // snapshot, so replay rules have real ammunition.
-        client_.provision(plain, device_);
-        client_.provision(plain, device_);
-        device_.attachTamperHook(&injector_);
-    }
-
-    /** One read + verify of the request's shadow query. */
-    bool verifyOnce(std::uint64_t id)
-    {
-        std::array<std::size_t, shadowLookups> rows;
-        std::array<std::uint64_t, shadowLookups> weights;
-        for (std::size_t k = 0; k < shadowLookups; ++k) {
-            rows[k] = (id * 7 + k * 13) % shadowRows;
-            weights[k] = 1 + ((id >> (3 * k)) & 7);
-        }
-        injector_.beginQuery();
-        const VerifiedResult res =
-            client_.weightedSumRows(device_, rows, weights, true);
-        // Distinguish a true forgery from an injection that
-        // annihilated mod 2^we (the delivered result is correct, so
-        // verification rightly passed -- benign, not missed).
-        bool intact = false;
-        if (res.verified && injector_.queryInjections() > 0) {
-            device_.attachTamperHook(nullptr);
-            const VerifiedResult honest = client_.weightedSumRows(
-                device_, rows, weights, false);
-            device_.attachTamperHook(&injector_);
-            intact = honest.values == res.values;
-        }
-        injector_.recordOutcome(res.verified, intact);
-        return res.verified;
-    }
-
-    RecoveryLoop &recovery() { return recovery_; }
-    const FaultInjector &injector() const { return injector_; }
-
-  private:
-    static constexpr std::size_t shadowRows = 64;
-    static constexpr std::size_t shadowCols = 16;
-    static constexpr std::size_t shadowLookups = 4;
-    static constexpr std::uint64_t shadowBase = 0x200000;
-
-    FaultInjector injector_;
-    SecNdpClient client_;
-    UntrustedNdpDevice device_;
-    RecoveryLoop recovery_;
-};
-
-} // namespace
 
 ServeReport
 runServe(const ServeConfig &cfg, const LoadConfig &load,

@@ -56,8 +56,12 @@ httpGet(const std::string &host, std::uint16_t port,
                             "\r\nConnection: close\r\n\r\n";
     std::size_t sent = 0;
     while (sent < req.size()) {
-        const ssize_t w =
-            ::send(fd, req.data() + sent, req.size() - sent, 0);
+        // MSG_NOSIGNAL: a server that resets mid-request must surface
+        // as EPIPE here, not kill the process with SIGPIPE.
+        const ssize_t w = ::send(fd, req.data() + sent,
+                                 req.size() - sent, MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR)
+            continue;
         if (w <= 0) {
             ::close(fd);
             return fail(std::string("send: ") + std::strerror(errno));
@@ -73,6 +77,8 @@ httpGet(const std::string &host, std::uint16_t port,
             raw.append(buf, static_cast<std::size_t>(r));
         } else if (r == 0) {
             break;
+        } else if (errno == EINTR) {
+            continue;
         } else {
             ::close(fd);
             return fail(std::string("recv: ") + std::strerror(errno));

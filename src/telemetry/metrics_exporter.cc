@@ -2,17 +2,13 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <vector>
 
+#include "net/socket_util.hh"
 #include "telemetry/prom_text.hh"
 
 #ifdef __linux__
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -23,13 +19,6 @@ namespace secndp::telemetry {
 #ifdef __linux__
 
 namespace {
-
-bool
-setNonBlocking(int fd)
-{
-    const int flags = fcntl(fd, F_GETFL, 0);
-    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
 
 /** One in-flight connection: request bytes in, response bytes out. */
 struct Conn
@@ -83,55 +72,18 @@ MetricsExporter::start(const Config &cfg, std::string *err)
         return false;
     }
     cfg_ = cfg;
+    net::ignoreSigpipe();
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        if (err)
-            *err = std::string("socket: ") + std::strerror(errno);
+    listenFd_ = net::listenTcp(cfg_.bindAddr, cfg_.port, 16, &port_,
+                               err);
+    if (listenFd_ < 0)
         return false;
-    }
-    const int one = 1;
-    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(cfg_.port);
-    if (::inet_pton(AF_INET, cfg_.bindAddr.c_str(),
-                    &addr.sin_addr) != 1) {
-        if (err)
-            *err = "bad bind address: " + cfg_.bindAddr;
+    if (!wake_.open(err)) {
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
     }
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listenFd_, 16) != 0 || !setNonBlocking(listenFd_)) {
-        if (err)
-            *err = std::string("bind/listen ") + cfg_.bindAddr + ":" +
-                   std::to_string(cfg_.port) + ": " +
-                   std::strerror(errno);
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-
-    sockaddr_in bound{};
-    socklen_t blen = sizeof(bound);
-    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
-                      &blen) == 0)
-        port_ = ntohs(bound.sin_port);
-
-    if (::pipe(wakePipe_) != 0) {
-        if (err)
-            *err = std::string("pipe: ") + std::strerror(errno);
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-    setNonBlocking(wakePipe_[0]);
-    setNonBlocking(wakePipe_[1]);
 
     stopRequested_.store(false);
     running_.store(true);
@@ -145,17 +97,13 @@ MetricsExporter::stop()
     if (!running_.load() && !thread_.joinable())
         return;
     stopRequested_.store(true);
-    if (wakePipe_[1] >= 0) {
-        const char b = 'x';
-        [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &b, 1);
-    }
+    wake_.notify();
     if (thread_.joinable())
         thread_.join();
-    for (int *fd : {&listenFd_, &wakePipe_[0], &wakePipe_[1]}) {
-        if (*fd >= 0)
-            ::close(*fd);
-        *fd = -1;
-    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    listenFd_ = -1;
+    wake_.close();
     running_.store(false);
     port_ = 0;
 }
@@ -204,9 +152,9 @@ MetricsExporter::serveLoop()
     // Sentinel ptr values for the two non-connection fds.
     Conn listenSentinel, wakeSentinel;
     listenSentinel.fd = listenFd_;
-    wakeSentinel.fd = wakePipe_[0];
+    wakeSentinel.fd = wake_.rd;
     watch(listenFd_, EPOLLIN, &listenSentinel);
-    watch(wakePipe_[0], EPOLLIN, &wakeSentinel);
+    watch(wake_.rd, EPOLLIN, &wakeSentinel);
 
     std::vector<Conn *> conns;
     auto closeConn = [&](Conn *c) {
@@ -255,9 +203,7 @@ MetricsExporter::serveLoop()
             auto *c = static_cast<Conn *>(events[i].data.ptr);
 
             if (c == &wakeSentinel) {
-                char buf[64];
-                while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
-                }
+                wake_.drain();
                 continue;
             }
 
@@ -269,7 +215,7 @@ MetricsExporter::serveLoop()
                         break;
                     if (static_cast<int>(conns.size()) >=
                             cfg_.maxConnections ||
-                        !setNonBlocking(fd)) {
+                        !net::setNonBlocking(fd)) {
                         ::close(fd);
                         continue;
                     }
@@ -287,28 +233,18 @@ MetricsExporter::serveLoop()
             }
 
             if (!c->responding && (events[i].events & EPOLLIN)) {
-                char buf[2048];
-                bool dead = false;
-                for (;;) {
-                    const ssize_t r = ::read(c->fd, buf, sizeof(buf));
-                    if (r > 0) {
-                        c->in.append(buf, static_cast<std::size_t>(r));
-                        if (c->in.size() > kMaxRequestBytes) {
-                            dead = true;
-                            break;
-                        }
-                    } else if (r == 0) {
-                        dead = true;
-                        break;
-                    } else {
-                        break; // EAGAIN (or a real error on write)
-                    }
-                }
-                if (dead) {
+                const net::IoResult r = net::readSome(
+                    c->fd, c->in, 2048, kMaxRequestBytes);
+                const std::string path = requestPath(c->in);
+                // An oversized request that still has no complete
+                // header is abuse; EOF/error before one is a dead
+                // peer either way.
+                if (path.empty() &&
+                    (r.eof || r.error ||
+                     c->in.size() >= kMaxRequestBytes)) {
                     closeConn(c);
                     continue;
                 }
-                const std::string path = requestPath(c->in);
                 if (!path.empty()) {
                     c->out = buildResponse(path);
                     c->responding = true;
@@ -318,20 +254,10 @@ MetricsExporter::serveLoop()
             }
 
             if (c->responding && (events[i].events & EPOLLOUT)) {
-                while (c->outPos < c->out.size()) {
-                    const ssize_t w =
-                        ::write(c->fd, c->out.data() + c->outPos,
-                                c->out.size() - c->outPos);
-                    if (w > 0) {
-                        c->outPos += static_cast<std::size_t>(w);
-                    } else if (w < 0 && (errno == EAGAIN ||
-                                         errno == EWOULDBLOCK)) {
-                        break;
-                    } else {
-                        c->outPos = c->out.size();
-                        break;
-                    }
-                }
+                const net::IoResult w =
+                    net::writeSome(c->fd, c->out, c->outPos);
+                if (w.error)
+                    c->outPos = c->out.size();
                 if (c->outPos >= c->out.size())
                     closeConn(c);
             }

@@ -33,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "net/socket_util.hh"
 #include "telemetry/snapshot.hh"
 
 namespace secndp::telemetry {
@@ -97,7 +98,7 @@ class MetricsExporter
     std::atomic<std::uint64_t> scrapes_{0};
     std::uint16_t port_ = 0;
     int listenFd_ = -1;
-    int wakePipe_[2] = {-1, -1};
+    net::WakePipe wake_;
     std::thread thread_;
 
     mutable std::mutex snapMutex_;

@@ -1,0 +1,737 @@
+/**
+ * @file
+ * Tests for the TCP front-end: wire-format round-trips, the
+ * malformed-frame corpus against the incremental decoder and the live
+ * server (asserting the right net.* error counters), the shared
+ * socket helpers, and full client/server sessions over loopback
+ * (open + closed loop, overload path, determinism, zero lost or
+ * duplicated responses).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "net/net_client.hh"
+#include "net/net_server.hh"
+#include "net/socket_util.hh"
+#include "net/tcp_server.hh"
+#include "net/wire.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+
+#ifdef __linux__
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace secndp {
+namespace {
+
+// -------------------------------------------------------------------
+// Wire format
+
+TEST(Wire, RoundTripEveryFrameType)
+{
+    std::string buf;
+    net::HelloFrame h;
+    h.mode = net::WireLoadMode::Open;
+    h.connIndex = 3;
+    h.connections = 8;
+    h.totalRequests = 1000;
+    h.seed = 0xdeadbeef;
+    net::encodeHello(buf, h);
+    net::encodeHelloAck(buf);
+    net::QueryFrame q;
+    q.id = 42;
+    q.queryIndex = 7;
+    q.arrivalNs = 1234.5;
+    q.deadlineNs = 99999.0;
+    net::encodeQuery(buf, q);
+    net::ResponseFrame r;
+    r.id = 42;
+    r.status = net::ResponseStatus::Aborted;
+    r.completionNs = 2222.25;
+    r.latencyNs = 987.75;
+    net::encodeResponse(buf, r);
+    net::OverloadFrame o;
+    o.id = 43;
+    o.shedNs = 555.5;
+    net::encodeOverload(buf, o);
+    net::encodeFin(buf);
+    net::encodeFinAck(buf);
+    net::encodeError(buf, net::WireError::Oversize);
+
+    net::FrameDecoder dec;
+    dec.feed(buf.data(), buf.size());
+    net::Frame f;
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Hello);
+    EXPECT_EQ(f.hello.mode, net::WireLoadMode::Open);
+    EXPECT_EQ(f.hello.connIndex, 3u);
+    EXPECT_EQ(f.hello.connections, 8u);
+    EXPECT_EQ(f.hello.totalRequests, 1000u);
+    EXPECT_EQ(f.hello.seed, 0xdeadbeefu);
+
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, net::FrameType::HelloAck);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Query);
+    EXPECT_EQ(f.query.id, 42u);
+    EXPECT_EQ(f.query.queryIndex, 7u);
+    EXPECT_DOUBLE_EQ(f.query.arrivalNs, 1234.5);
+    EXPECT_DOUBLE_EQ(f.query.deadlineNs, 99999.0);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Response);
+    EXPECT_EQ(f.response.id, 42u);
+    EXPECT_EQ(f.response.status, net::ResponseStatus::Aborted);
+    EXPECT_DOUBLE_EQ(f.response.completionNs, 2222.25);
+    EXPECT_DOUBLE_EQ(f.response.latencyNs, 987.75);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Overload);
+    EXPECT_EQ(f.overload.id, 43u);
+    EXPECT_DOUBLE_EQ(f.overload.shedNs, 555.5);
+
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, net::FrameType::Fin);
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, net::FrameType::FinAck);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Error);
+    EXPECT_EQ(f.error.code,
+              static_cast<std::uint8_t>(net::WireError::Oversize));
+
+    EXPECT_FALSE(dec.next(f));
+    EXPECT_EQ(dec.error(), net::WireError::None);
+    EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(Wire, DecoderHandlesOneBytePerFeed)
+{
+    // Any fragmentation must decode identically -- this is the
+    // slow-loris drip at the parser level.
+    std::string buf;
+    net::HelloFrame h;
+    h.totalRequests = 5;
+    net::encodeHello(buf, h);
+    net::QueryFrame q;
+    q.id = 1;
+    q.arrivalNs = 10.0;
+    net::encodeQuery(buf, q);
+
+    net::FrameDecoder dec;
+    net::Frame f;
+    std::vector<net::FrameType> seen;
+    for (char c : buf) {
+        dec.feed(&c, 1);
+        while (dec.next(f))
+            seen.push_back(f.type);
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], net::FrameType::Hello);
+    EXPECT_EQ(seen[1], net::FrameType::Query);
+    EXPECT_EQ(dec.error(), net::WireError::None);
+}
+
+/** A raw 12-byte header with every field under test control. */
+std::string
+rawHeader(const std::uint8_t magic[4], std::uint8_t version,
+          std::uint8_t type, std::uint16_t flags, std::uint32_t len)
+{
+    std::string out;
+    out.append(reinterpret_cast<const char *>(magic), 4);
+    out.push_back(static_cast<char>(version));
+    out.push_back(static_cast<char>(type));
+    out.push_back(static_cast<char>(flags & 0xff));
+    out.push_back(static_cast<char>(flags >> 8));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    return out;
+}
+
+struct MalformedCase
+{
+    const char *name;
+    std::string bytes;
+    net::WireError want;
+};
+
+std::vector<MalformedCase>
+malformedCorpus()
+{
+    const std::uint8_t badMagic[4] = {'H', 'T', 'T', 'P'};
+    const std::uint8_t query =
+        static_cast<std::uint8_t>(net::FrameType::Query);
+    std::vector<MalformedCase> cases;
+    cases.push_back({"bad_magic",
+                     rawHeader(badMagic, net::kWireVersion, query, 0,
+                               32),
+                     net::WireError::BadMagic});
+    cases.push_back({"bad_version",
+                     rawHeader(net::kMagic, 99, query, 0, 32),
+                     net::WireError::BadVersion});
+    cases.push_back({"bad_flags",
+                     rawHeader(net::kMagic, net::kWireVersion, query,
+                               0xbeef, 32),
+                     net::WireError::BadFlags});
+    cases.push_back(
+        {"oversize",
+         rawHeader(net::kMagic, net::kWireVersion, query, 0,
+                   static_cast<std::uint32_t>(net::kMaxPayload) + 1),
+         net::WireError::Oversize});
+    cases.push_back({"bad_payload",
+                     rawHeader(net::kMagic, net::kWireVersion, query,
+                               0, 31),
+                     net::WireError::BadPayload});
+    cases.push_back({"unknown_type",
+                     rawHeader(net::kMagic, net::kWireVersion, 200, 0,
+                               0),
+                     net::WireError::UnknownType});
+    return cases;
+}
+
+TEST(Wire, DecoderRejectsMalformedCorpus)
+{
+    for (const auto &mc : malformedCorpus()) {
+        net::FrameDecoder dec;
+        dec.feed(mc.bytes.data(), mc.bytes.size());
+        net::Frame f;
+        EXPECT_FALSE(dec.next(f)) << mc.name;
+        EXPECT_EQ(dec.error(), mc.want) << mc.name;
+        // Poisoned decoders stay poisoned even with more bytes.
+        std::string good;
+        net::encodeFin(good);
+        dec.feed(good.data(), good.size());
+        EXPECT_FALSE(dec.next(f)) << mc.name;
+        EXPECT_EQ(dec.error(), mc.want) << mc.name;
+    }
+}
+
+TEST(Wire, DecoderWaitsOnTruncatedHeader)
+{
+    std::string full;
+    net::encodeFin(full);
+    net::FrameDecoder dec;
+    dec.feed(full.data(), 5); // half a header
+    net::Frame f;
+    EXPECT_FALSE(dec.next(f));
+    EXPECT_EQ(dec.error(), net::WireError::None);
+    EXPECT_EQ(dec.pending(), 5u);
+    dec.feed(full.data() + 5, full.size() - 5);
+    EXPECT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, net::FrameType::Fin);
+}
+
+#ifdef __linux__
+
+// -------------------------------------------------------------------
+// Socket helpers
+
+TEST(SocketUtil, ListenConnectReadWriteRoundTrip)
+{
+    std::uint16_t port = 0;
+    std::string err;
+    const int lfd = net::listenTcp("127.0.0.1", 0, 8, &port, &err);
+    ASSERT_GE(lfd, 0) << err;
+    ASSERT_NE(port, 0u);
+
+    const int cfd = net::connectTcp("127.0.0.1", port, &err);
+    ASSERT_GE(cfd, 0) << err;
+
+    pollfd pl{lfd, POLLIN, 0};
+    ASSERT_GT(::poll(&pl, 1, 2000), 0);
+    const int sfd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(sfd, 0);
+    // Accepted fds do not inherit O_NONBLOCK; readSome's drain-until-
+    // EAGAIN contract needs it.
+    ASSERT_TRUE(net::setNonBlocking(sfd));
+
+    const std::string msg = "secndp over tcp";
+    std::size_t pos = 0;
+    const net::IoResult w = net::writeSome(cfd, msg, pos);
+    EXPECT_FALSE(w.error);
+    EXPECT_EQ(pos, msg.size());
+
+    std::string got;
+    pollfd pr{sfd, POLLIN, 0};
+    ASSERT_GT(::poll(&pr, 1, 2000), 0);
+    const net::IoResult r = net::readSome(sfd, got, 64, 1 << 16);
+    EXPECT_FALSE(r.error);
+    EXPECT_EQ(got, msg);
+
+    ::close(cfd);
+    ::close(sfd);
+    ::close(lfd);
+}
+
+TEST(SocketUtil, WakePipeNotifyAndDrain)
+{
+    net::WakePipe wp;
+    std::string err;
+    ASSERT_TRUE(wp.open(&err)) << err;
+    wp.notify();
+    wp.notify(); // coalesces; both must be drained without blocking
+    pollfd p{wp.rd, POLLIN, 0};
+    EXPECT_GT(::poll(&p, 1, 1000), 0);
+    wp.drain();
+    p.revents = 0;
+    EXPECT_EQ(::poll(&p, 1, 0), 0); // nothing pending after drain
+    wp.close();
+    EXPECT_EQ(wp.rd, -1);
+    EXPECT_EQ(wp.wr, -1);
+}
+
+// -------------------------------------------------------------------
+// TcpServer
+
+/** Acks Hellos, counts frames and disconnects. */
+struct CollectHandler : net::TcpServer::Handler
+{
+    net::TcpServer *srv = nullptr;
+    std::atomic<int> hellos{0};
+    std::atomic<int> disconnects{0};
+
+    void onFrame(std::uint64_t connId, const net::Frame &f) override
+    {
+        if (f.type == net::FrameType::Hello) {
+            ++hellos;
+            std::string out;
+            net::encodeHelloAck(out);
+            srv->post(connId, std::move(out));
+        }
+    }
+    void onDisconnect(std::uint64_t, bool) override
+    {
+        ++disconnects;
+    }
+};
+
+/** Blocking read of one frame off a raw client socket. */
+bool
+readFrame(int fd, net::Frame &f, int timeoutMs = 3000)
+{
+    net::FrameDecoder dec;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        if (dec.next(f))
+            return true;
+        if (dec.error() != net::WireError::None ||
+            std::chrono::steady_clock::now() > deadline)
+            return false;
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, 100) <= 0)
+            continue;
+        char buf[512];
+        const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+        if (r <= 0)
+            return false;
+        dec.feed(buf, static_cast<std::size_t>(r));
+    }
+}
+
+/** True once the peer has closed (recv returns 0). */
+bool
+awaitEof(int fd, int timeoutMs = 3000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    char buf[512];
+    while (std::chrono::steady_clock::now() < deadline) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, 100) <= 0)
+            continue;
+        const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+        if (r == 0)
+            return true;
+        if (r < 0)
+            return false;
+    }
+    return false;
+}
+
+double
+netCounter(const net::TcpServer &srv, const std::string &name)
+{
+    StatGroup net("net", StatGroup::noRegister);
+    StatGroup wall("net_wall", StatGroup::noRegister);
+    srv.snapshotStats(net, wall);
+    return net.counterValue(name);
+}
+
+TEST(TcpServer, HelloAckAndCounters)
+{
+    net::TcpServer srv;
+    CollectHandler h;
+    h.srv = &srv;
+    net::TcpServer::Config cfg;
+    cfg.registerStats = false;
+    std::string err;
+    ASSERT_TRUE(srv.start(cfg, &h, &err)) << err;
+
+    const int fd = net::connectTcp("127.0.0.1", srv.port(), &err);
+    ASSERT_GE(fd, 0) << err;
+    std::string hello;
+    net::encodeHello(hello, net::HelloFrame{});
+    std::size_t pos = 0;
+    ASSERT_FALSE(net::writeSome(fd, hello, pos).error);
+
+    net::Frame f;
+    ASSERT_TRUE(readFrame(fd, f));
+    EXPECT_EQ(f.type, net::FrameType::HelloAck);
+    ::close(fd);
+
+    // Disconnect is observed by the loop asynchronously.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(3);
+    while (h.disconnects.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    EXPECT_EQ(h.hellos.load(), 1);
+    EXPECT_EQ(h.disconnects.load(), 1);
+    EXPECT_EQ(netCounter(srv, "conns_accepted"), 1.0);
+    EXPECT_EQ(netCounter(srv, "frames_in"), 1.0);
+    EXPECT_EQ(netCounter(srv, "frames_in_hello"), 1.0);
+    EXPECT_EQ(netCounter(srv, "frames_out"), 1.0);
+    EXPECT_EQ(netCounter(srv, "disconnect_midframe"), 0.0);
+    srv.stop();
+}
+
+TEST(TcpServer, MalformedCorpusBumpsTheRightErrorCounters)
+{
+    net::TcpServer srv;
+    CollectHandler h;
+    h.srv = &srv;
+    net::TcpServer::Config cfg;
+    cfg.registerStats = false;
+    std::string err;
+    ASSERT_TRUE(srv.start(cfg, &h, &err)) << err;
+
+    for (const auto &mc : malformedCorpus()) {
+        const int fd = net::connectTcp("127.0.0.1", srv.port(), &err);
+        ASSERT_GE(fd, 0) << mc.name << ": " << err;
+        std::size_t pos = 0;
+        ASSERT_FALSE(net::writeSome(fd, mc.bytes, pos).error)
+            << mc.name;
+
+        // The server answers with one Error frame naming the
+        // violation, then closes.
+        net::Frame f;
+        ASSERT_TRUE(readFrame(fd, f)) << mc.name;
+        ASSERT_EQ(f.type, net::FrameType::Error) << mc.name;
+        EXPECT_EQ(f.error.code, static_cast<std::uint8_t>(mc.want))
+            << mc.name;
+        EXPECT_TRUE(awaitEof(fd)) << mc.name;
+        ::close(fd);
+
+        EXPECT_EQ(netCounter(srv, std::string("err_") +
+                                      net::wireErrorName(mc.want)),
+                  1.0)
+            << mc.name;
+    }
+    EXPECT_EQ(netCounter(srv, "error_frames"),
+              static_cast<double>(malformedCorpus().size()));
+    srv.stop();
+}
+
+TEST(TcpServer, MidFrameDisconnectIsCounted)
+{
+    net::TcpServer srv;
+    CollectHandler h;
+    h.srv = &srv;
+    net::TcpServer::Config cfg;
+    cfg.registerStats = false;
+    std::string err;
+    ASSERT_TRUE(srv.start(cfg, &h, &err)) << err;
+
+    const int fd = net::connectTcp("127.0.0.1", srv.port(), &err);
+    ASSERT_GE(fd, 0) << err;
+    std::string hello;
+    net::encodeHello(hello, net::HelloFrame{});
+    hello.resize(7); // half a header, then vanish
+    std::size_t pos = 0;
+    ASSERT_FALSE(net::writeSome(fd, hello, pos).error);
+    ::close(fd);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(3);
+    while (netCounter(srv, "disconnect_midframe") < 1.0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(netCounter(srv, "disconnect_midframe"), 1.0);
+    EXPECT_EQ(h.hellos.load(), 0);
+    srv.stop();
+}
+
+TEST(TcpServer, SlowLorisDripStillDecodes)
+{
+    net::TcpServer srv;
+    CollectHandler h;
+    h.srv = &srv;
+    net::TcpServer::Config cfg;
+    cfg.registerStats = false;
+    std::string err;
+    ASSERT_TRUE(srv.start(cfg, &h, &err)) << err;
+
+    const int fd = net::connectTcp("127.0.0.1", srv.port(), &err);
+    ASSERT_GE(fd, 0) << err;
+    std::string hello;
+    net::encodeHello(hello, net::HelloFrame{});
+    for (std::size_t i = 0; i < hello.size(); ++i) {
+        ASSERT_EQ(::send(fd, hello.data() + i, 1, MSG_NOSIGNAL), 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    net::Frame f;
+    ASSERT_TRUE(readFrame(fd, f));
+    EXPECT_EQ(f.type, net::FrameType::HelloAck);
+    EXPECT_EQ(netCounter(srv, "frames_in_hello"), 1.0);
+    ::close(fd);
+    srv.stop();
+}
+
+// -------------------------------------------------------------------
+// Full client/server sessions over loopback
+
+ServeConfig
+smallServeConfig()
+{
+    ServeConfig cfg;
+    cfg.sys.dram.geometry.ranks = 2;
+    cfg.sys.dram.geometry.rankBytes = 1ULL << 24;
+    cfg.sys.engine.nAesEngines = 4;
+    cfg.shards = 2;
+    cfg.batch.maxBatch = 4;
+    cfg.batch.flushTimeoutNs = 2000.0;
+    cfg.workers = 2;
+    cfg.hostOtpBlockCap = 16;
+    return cfg;
+}
+
+/** Small synthetic gather pool (SLS-shaped). */
+WorkloadTrace
+smallPool(unsigned queries)
+{
+    Rng rng(11);
+    WorkloadTrace pool;
+    const unsigned row = 128;
+    const std::uint64_t rows = (1ULL << 20) / row;
+    for (unsigned q = 0; q < queries; ++q) {
+        TraceQuery tq;
+        for (unsigned k = 0; k < 4; ++k)
+            tq.ranges.push_back({rng.nextBounded(rows) * row, row});
+        tq.engineWork.dataOtpBlocks = 4 * (row / 16);
+        tq.engineWork.otpPuOps = 4 * 32;
+        tq.engineWork.tagOtpBlocks = 5;
+        tq.engineWork.verifyOps = 36;
+        tq.resultBytes = 128;
+        pool.queries.push_back(std::move(tq));
+    }
+    return pool;
+}
+
+std::atomic<std::uint16_t> g_listenPort{0};
+
+void
+capturePort(std::uint16_t port)
+{
+    g_listenPort.store(port);
+}
+
+/** Serve one session on an ephemeral port in a background thread. */
+struct SessionServer
+{
+    NetServeReport report;
+    std::thread thread;
+    std::uint16_t port = 0;
+
+    explicit SessionServer(const NetServeConfig &cfg,
+                           const WorkloadTrace &pool)
+    {
+        g_listenPort.store(0);
+        thread = std::thread([this, cfg, pool] {
+            report = runNetServe(cfg, pool, &capturePort);
+        });
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5);
+        while ((port = g_listenPort.load()) == 0 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ~SessionServer()
+    {
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+TEST(NetSession, ClosedLoopZeroLostZeroDuplicated)
+{
+    NetServeConfig scfg;
+    scfg.serve = smallServeConfig();
+    scfg.idleTimeoutS = 10.0;
+    const WorkloadTrace pool = smallPool(6);
+
+    SessionServer server(scfg, pool);
+    ASSERT_NE(server.port, 0u);
+
+    NetClientConfig ccfg;
+    ccfg.port = server.port;
+    ccfg.mode = LoadMode::Closed;
+    ccfg.connections = 4;
+    ccfg.requests = 64;
+    ccfg.seed = 42;
+    ccfg.timeoutS = 10.0;
+    const NetClientReport crep = runNetClient(ccfg);
+    server.thread.join();
+
+    EXPECT_TRUE(crep.ok) << crep.error;
+    EXPECT_EQ(crep.offered, 64u);
+    EXPECT_EQ(crep.completed, 64u);
+    EXPECT_EQ(crep.lost, 0u);
+    EXPECT_EQ(crep.duplicates, 0u);
+    EXPECT_GT(crep.makespanNs, 0.0);
+
+    EXPECT_TRUE(server.report.ok) << server.report.error;
+    EXPECT_EQ(server.report.mode, LoadMode::Closed);
+    EXPECT_EQ(server.report.connections, 4u);
+    EXPECT_EQ(server.report.totalRequests, 64u);
+    EXPECT_EQ(server.report.seed, 42u);
+    EXPECT_EQ(server.report.serve.completed, 64u);
+    EXPECT_EQ(server.report.serve.rejected, 0u);
+    // Virtual time is shared end to end: the client's makespan is the
+    // server's.
+    EXPECT_DOUBLE_EQ(crep.makespanNs, server.report.serve.makespanNs);
+}
+
+TEST(NetSession, ClosedLoopIsDeterministicAcrossRuns)
+{
+    NetServeConfig scfg;
+    scfg.serve = smallServeConfig();
+    scfg.idleTimeoutS = 10.0;
+    const WorkloadTrace pool = smallPool(5);
+
+    NetClientConfig ccfg;
+    ccfg.mode = LoadMode::Closed;
+    ccfg.connections = 3;
+    ccfg.requests = 48;
+    ccfg.seed = 7;
+    ccfg.timeoutS = 10.0;
+
+    NetClientReport creps[2];
+    NetServeReport sreps[2];
+    for (int i = 0; i < 2; ++i) {
+        SessionServer server(scfg, pool);
+        ASSERT_NE(server.port, 0u);
+        ccfg.port = server.port;
+        creps[i] = runNetClient(ccfg);
+        server.thread.join();
+        sreps[i] = server.report;
+        ASSERT_TRUE(creps[i].ok) << creps[i].error;
+    }
+    EXPECT_DOUBLE_EQ(creps[0].makespanNs, creps[1].makespanNs);
+    EXPECT_DOUBLE_EQ(creps[0].p50LatencyNs, creps[1].p50LatencyNs);
+    EXPECT_DOUBLE_EQ(creps[0].p99LatencyNs, creps[1].p99LatencyNs);
+    EXPECT_EQ(sreps[0].serve.batches, sreps[1].serve.batches);
+    EXPECT_DOUBLE_EQ(sreps[0].serve.makespanNs,
+                     sreps[1].serve.makespanNs);
+    EXPECT_DOUBLE_EQ(sreps[0].serve.p95LatencyNs,
+                     sreps[1].serve.p95LatencyNs);
+}
+
+TEST(NetSession, OpenLoopMatchesInProcessServing)
+{
+    // The open-loop socket replay must be byte-equivalent to the
+    // in-process generator: same (workload, load, seed) -> same
+    // serve-side report, bit for bit.
+    const ServeConfig cfg = smallServeConfig();
+    const WorkloadTrace pool = smallPool(6);
+
+    LoadConfig load;
+    load.mode = LoadMode::Open;
+    load.qps = 1e6;
+    load.requests = 40;
+    load.seed = 42;
+    const ServeReport inproc = runServe(cfg, load, pool);
+
+    NetServeConfig scfg;
+    scfg.serve = cfg;
+    scfg.idleTimeoutS = 10.0;
+    SessionServer server(scfg, pool);
+    ASSERT_NE(server.port, 0u);
+
+    NetClientConfig ccfg;
+    ccfg.port = server.port;
+    ccfg.mode = LoadMode::Open;
+    ccfg.connections = 4;
+    ccfg.requests = 40;
+    ccfg.qps = 1e6;
+    ccfg.seed = 42;
+    ccfg.timeoutS = 10.0;
+    const NetClientReport crep = runNetClient(ccfg);
+    server.thread.join();
+
+    ASSERT_TRUE(crep.ok) << crep.error;
+    ASSERT_TRUE(server.report.ok) << server.report.error;
+    const ServeReport &net = server.report.serve;
+    EXPECT_EQ(net.offered, inproc.offered);
+    EXPECT_EQ(net.admitted, inproc.admitted);
+    EXPECT_EQ(net.completed, inproc.completed);
+    EXPECT_EQ(net.batches, inproc.batches);
+    EXPECT_DOUBLE_EQ(net.makespanNs, inproc.makespanNs);
+    EXPECT_DOUBLE_EQ(net.p50LatencyNs, inproc.p50LatencyNs);
+    EXPECT_DOUBLE_EQ(net.p95LatencyNs, inproc.p95LatencyNs);
+    EXPECT_DOUBLE_EQ(net.p99LatencyNs, inproc.p99LatencyNs);
+    EXPECT_DOUBLE_EQ(net.sustainedQps, inproc.sustainedQps);
+}
+
+TEST(NetSession, OverloadShedsExplicitlyAndLosesNothing)
+{
+    // A queue the size of a thimble under a firehose: shed requests
+    // must come back as Overload frames, never silence.
+    NetServeConfig scfg;
+    scfg.serve = smallServeConfig();
+    scfg.serve.queueCapacity = 2;
+    scfg.idleTimeoutS = 10.0;
+    const WorkloadTrace pool = smallPool(4);
+    SessionServer server(scfg, pool);
+    ASSERT_NE(server.port, 0u);
+
+    NetClientConfig ccfg;
+    ccfg.port = server.port;
+    ccfg.mode = LoadMode::Open;
+    ccfg.connections = 4;
+    ccfg.requests = 64;
+    ccfg.qps = 5e7; // far beyond sustainable
+    ccfg.seed = 9;
+    ccfg.timeoutS = 10.0;
+    const NetClientReport crep = runNetClient(ccfg);
+    server.thread.join();
+
+    ASSERT_TRUE(crep.ok) << crep.error;
+    ASSERT_TRUE(server.report.ok) << server.report.error;
+    EXPECT_GT(crep.rejected, 0u);
+    EXPECT_EQ(crep.lost, 0u);
+    EXPECT_EQ(crep.duplicates, 0u);
+    EXPECT_EQ(crep.completed + crep.rejected + crep.aborted, 64u);
+    EXPECT_EQ(server.report.serve.rejected, crep.rejected);
+    EXPECT_EQ(server.report.serve.completed, crep.completed);
+}
+
+#endif // __linux__
+
+} // namespace
+} // namespace secndp

@@ -34,6 +34,8 @@
 #include "common/request_trace.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
+#include "net/net_client.hh"
+#include "net/net_server.hh"
 #include "serve/server.hh"
 #include "telemetry/metrics_exporter.hh"
 #include "telemetry/slo_tracker.hh"
@@ -92,11 +94,44 @@ struct Options
     bool sloGate = false;
     double sloObjective = 0.999;
     double sloFastWindowUs = 10.0;
+    // Socket mode (off when both empty: in-process serving).
+    std::string listen;  ///< server: "[addr:]port" (port 0 ephemeral)
+    std::string connect; ///< client: "host:port"
+    unsigned connections = 0; ///< client fan-in (0 = derive)
+    double netTimeoutS = 0.0; ///< 0 = mode default
     // Outputs.
     std::string statsJson;
     std::string timeseriesOut;
     std::int64_t sampleInterval = Sampler::defaultInterval;
 };
+
+/**
+ * Parse a decimal port string, fataling on anything that is not a
+ * pure number in [0, 65535] -- stoul would otherwise escape as an
+ * uncaught exception on "--listen bogus".
+ */
+std::uint16_t
+parsePort(const std::string &s, const char *flag)
+{
+    if (s.empty() || s.size() > 5 ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        fatal("%s: bad port '%s'", flag, s.c_str());
+    const unsigned long n = std::stoul(s);
+    if (n > 65535)
+        fatal("%s: port %lu out of [0, 65535]", flag, n);
+    return static_cast<std::uint16_t>(n);
+}
+
+/** Bind address echoed by the --listen announcement callback. */
+std::string listenAddr = "127.0.0.1";
+
+void
+printListenPort(std::uint16_t port)
+{
+    std::printf("listening       %s:%u\n", listenAddr.c_str(),
+                static_cast<unsigned>(port));
+    std::fflush(stdout);
+}
 
 /**
  * Abort-path output flush (registered with atexit): fatal() exits the
@@ -168,6 +203,8 @@ printUsage(std::FILE *to, const char *argv0)
         "          [--metrics-hold-ms F] [--slo-gate] "
         "[--slo-objective F]\n"
         "          [--slo-fast-window-us F]\n"
+        "          [--listen [ADDR:]PORT] [--connect HOST:PORT]\n"
+        "          [--connections N] [--net-timeout SECONDS]\n"
         "          [--stats-json FILE] [--timeseries-out FILE]\n"
         "          [--sample-interval CYCLES] "
         "[--log-level debug|info|warn|error]\n"
@@ -218,6 +255,25 @@ printUsage(std::FILE *to, const char *argv0)
         "0.999)\n"
         "  --stats-json FILE  schema-v2 stats report "
         "(serve.* / serve_worker.* groups)\n"
+        "  --listen [ADDR:]PORT  serve one session over TCP instead "
+        "of in-process\n"
+        "                     load (PORT 0 = ephemeral; the resolved "
+        "port is printed\n"
+        "                     as 'listening ADDR:PORT'). Load flags "
+        "come from the\n"
+        "                     client's Hello; serving/workload flags "
+        "apply as usual.\n"
+        "  --connect HOST:PORT  drive a --listen server over TCP "
+        "using the load\n"
+        "                     flags (--mode/--qps/--requests/--seed "
+        "...); workload\n"
+        "                     and serving flags are server-side\n"
+        "  --connections N    client TCP connections (default: "
+        "--concurrency for\n"
+        "                     closed loop, 16 for open loop)\n"
+        "  --net-timeout SECONDS  socket-mode stall watchdog "
+        "(defaults: server 30,\n"
+        "                     client 60)\n"
         "\n"
         "exit codes: 0 success; 1 SLO gate failed (--slo-gate); "
         "2 usage error;\n"
@@ -351,6 +407,15 @@ main(int argc, char **argv)
         }
         else if (arg == "--slo-fast-window-us")
             opt.sloFastWindowUs = std::stod(next());
+        else if (arg == "--listen") opt.listen = next();
+        else if (arg == "--connect") opt.connect = next();
+        else if (arg == "--connections")
+            opt.connections = std::stoul(next());
+        else if (arg == "--net-timeout") {
+            opt.netTimeoutS = std::stod(next());
+            if (opt.netTimeoutS <= 0)
+                fatal("--net-timeout must be positive");
+        }
         else if (arg == "--stats-json") opt.statsJson = next();
         else if (arg == "--timeseries-out") opt.timeseriesOut = next();
         else if (arg == "--sample-interval") {
@@ -371,6 +436,24 @@ main(int argc, char **argv)
         fatal("--requests must be positive");
     if (opt.maxBatch == 0)
         fatal("--max-batch must be positive");
+    if (!opt.listen.empty() && !opt.connect.empty())
+        fatal("--listen and --connect are mutually exclusive");
+    if (!opt.connect.empty()) {
+        // Client mode drives a remote serving process; every
+        // server-side knob belongs on the --listen command line.
+        if (opt.metricsPort >= 0 || opt.sloGate)
+            fatal("--metrics-port/--slo-gate are server-side; pass "
+                  "them to the --listen process");
+        if (!opt.inject.empty())
+            fatal("--inject is server-side; pass it to the --listen "
+                  "process");
+        if (!opt.traceRequests.empty() || !opt.flightOut.empty())
+            fatal("--trace-requests/--flight-out are server-side; "
+                  "pass them to the --listen process");
+        if (!opt.timeseriesOut.empty())
+            fatal("--timeseries-out is server-side; pass it to the "
+                  "--listen process");
+    }
 
     const bool tracing = !opt.traceRequests.empty() ||
                          !opt.flightOut.empty() || opt.sloUs > 0.0;
@@ -396,6 +479,15 @@ main(int argc, char **argv)
     load.requests = opt.requests;
     load.deadlineNs = opt.deadlineUs * 1000.0;
     load.seed = opt.seed;
+
+    // Socket-mode fan-in: closed loop maps one outstanding request to
+    // one connection, so --concurrency is the natural default.
+    const unsigned netConns =
+        opt.connections ? opt.connections
+        : load.mode == LoadMode::Closed ? opt.concurrency
+                                        : 16u;
+    if ((!opt.listen.empty() || !opt.connect.empty()) && netConns == 0)
+        fatal("--connections must be positive");
 
     ServeConfig cfg;
     cfg.mode = parseExecMode(opt.execMode);
@@ -505,6 +597,16 @@ main(int argc, char **argv)
                           opt.sloUs);
             reg.setMeta("trace", tr);
         }
+        // Socket-mode runs carry a net key (never an address or a
+        // port: sidecars must byte-compare across ephemeral binds).
+        if (!opt.listen.empty()) {
+            reg.setMeta("net", "listen");
+        } else if (!opt.connect.empty()) {
+            char nm[48];
+            std::snprintf(nm, sizeof(nm), "connect conns=%u",
+                          netConns);
+            reg.setMeta("net", nm);
+        }
         // Telemetry-armed runs carry their SLO parameters (never the
         // port: sidecars must byte-compare across ephemeral binds).
         if (telemetryOn) {
@@ -521,6 +623,98 @@ main(int argc, char **argv)
     pending.traceRequests = opt.traceRequests;
     pending.armed = true;
     std::atexit(flushPendingOutputs);
+
+    // --connect: socket-mode client. The workload pool, fault
+    // injection, and batching all live on the server side; this
+    // process only speaks the load model over the wire.
+    if (!opt.connect.empty()) {
+        const auto sep = opt.connect.rfind(':');
+        if (sep == std::string::npos || sep == 0 ||
+            sep + 1 == opt.connect.size())
+            fatal("--connect expects HOST:PORT");
+        const std::uint16_t portNum =
+            parsePort(opt.connect.substr(sep + 1), "--connect");
+        if (portNum == 0)
+            fatal("--connect port must be in [1, 65535]");
+
+        NetClientConfig ncfg;
+        ncfg.host = opt.connect.substr(0, sep);
+        ncfg.port = portNum;
+        ncfg.mode = load.mode;
+        ncfg.connections = netConns;
+        ncfg.requests = opt.requests;
+        ncfg.qps = opt.qps;
+        ncfg.deadlineNs = load.deadlineNs;
+        ncfg.seed = opt.seed;
+        if (opt.netTimeoutS > 0)
+            ncfg.timeoutS = opt.netTimeoutS;
+
+        std::printf("connect         tcp://%s:%u (%u connection(s), "
+                    "%s)\n",
+                    ncfg.host.c_str(), static_cast<unsigned>(ncfg.port),
+                    netConns,
+                    load.mode == LoadMode::Open ? "open loop"
+                                                : "closed loop");
+        std::fflush(stdout);
+
+        const NetClientReport crep = runNetClient(ncfg);
+
+        if (!opt.statsJson.empty()) {
+            pending.statsWritten = true;
+            std::ofstream os(opt.statsJson);
+            if (!os)
+                fatal("cannot open --stats-json file '%s'",
+                      opt.statsJson.c_str());
+            StatRegistry::instance().dumpJson(os);
+            std::printf("stats           %s\n", opt.statsJson.c_str());
+        }
+
+        std::printf("load            %s (%s)\n", opt.mode.c_str(),
+                    load.mode == LoadMode::Open
+                        ? "Poisson arrivals"
+                        : "fixed concurrency");
+        if (load.mode == LoadMode::Open)
+            std::printf("target qps      %.0f\n", opt.qps);
+        std::printf("requests        %llu offered, %llu completed, "
+                    "%llu rejected, %llu aborted\n",
+                    static_cast<unsigned long long>(crep.offered),
+                    static_cast<unsigned long long>(crep.completed),
+                    static_cast<unsigned long long>(crep.rejected),
+                    static_cast<unsigned long long>(crep.aborted));
+        std::printf("delivery        %llu lost, %llu duplicated\n",
+                    static_cast<unsigned long long>(crep.lost),
+                    static_cast<unsigned long long>(crep.duplicates));
+        std::printf("latency         p50 %.0f ns, p95 %.0f ns, "
+                    "p99 %.0f ns\n",
+                    crep.p50LatencyNs, crep.p95LatencyNs,
+                    crep.p99LatencyNs);
+        std::printf("makespan        %.3f us\n",
+                    crep.makespanNs / 1000.0);
+        std::printf("sustained qps   %.0f\n", crep.sustainedQps);
+
+        if (!crep.ok) {
+            std::printf("FAILED: %s\n",
+                        crep.error.empty()
+                            ? "session did not complete cleanly"
+                            : crep.error.c_str());
+            return 3;
+        }
+        bool netFailed = false;
+        if (crep.aborted > 0) {
+            std::printf("FAILED: %llu request(s) aborted on the "
+                        "server\n",
+                        static_cast<unsigned long long>(crep.aborted));
+            netFailed = true;
+        }
+        if (crep.rejected > 0 && !opt.allowShed) {
+            std::printf("FAILED: %llu request(s) shed at admission "
+                        "(pass --allow-shed to tolerate load "
+                        "shedding)\n",
+                        static_cast<unsigned long long>(crep.rejected));
+            netFailed = true;
+        }
+        return netFailed ? 3 : 0;
+    }
 
     // Build the request pool: `pool` distinct queries requests cycle
     // through round-robin.
@@ -549,7 +743,32 @@ main(int argc, char **argv)
     if (!opt.timeseriesOut.empty())
         Sampler::instance().start(opt.sampleInterval);
 
-    const ServeReport rep = runServe(cfg, load, pool);
+    // --listen: serve one TCP session; the load model (mode,
+    // request count, seed) arrives in the client's Hello, so the
+    // local load flags are unused. Otherwise run in-process.
+    const bool serverMode = !opt.listen.empty();
+    ServeReport rep;
+    NetServeReport nrep;
+    if (serverMode) {
+        NetServeConfig scfg;
+        scfg.serve = cfg;
+        std::string portStr = opt.listen;
+        const auto sep = opt.listen.rfind(':');
+        if (sep != std::string::npos) {
+            if (sep == 0 || sep + 1 == opt.listen.size())
+                fatal("--listen expects [ADDR:]PORT");
+            scfg.bindAddr = opt.listen.substr(0, sep);
+            portStr = opt.listen.substr(sep + 1);
+        }
+        scfg.port = parsePort(portStr, "--listen");
+        if (opt.netTimeoutS > 0)
+            scfg.idleTimeoutS = opt.netTimeoutS;
+        listenAddr = scfg.bindAddr;
+        nrep = runNetServe(scfg, pool, &printListenPort);
+        rep = nrep.serve;
+    } else {
+        rep = runServe(cfg, load, pool);
+    }
 
     if (!opt.timeseriesOut.empty()) {
         pending.timeseriesWritten = true;
@@ -601,13 +820,24 @@ main(int argc, char **argv)
     }
 #endif
 
-    std::printf("load            %s (%s)\n", opt.mode.c_str(),
-                load.mode == LoadMode::Open ? "Poisson arrivals"
-                                            : "fixed concurrency");
-    if (load.mode == LoadMode::Open)
-        std::printf("target qps      %.0f\n", opt.qps);
-    else
-        std::printf("concurrency     %u\n", opt.concurrency);
+    if (serverMode) {
+        // Session parameters come from the client's Hello, not the
+        // local load flags.
+        std::printf("load            tcp session (%s, %u "
+                    "connection(s), seed %llu)\n",
+                    nrep.mode == LoadMode::Open ? "open loop"
+                                                : "closed loop",
+                    nrep.connections,
+                    static_cast<unsigned long long>(nrep.seed));
+    } else {
+        std::printf("load            %s (%s)\n", opt.mode.c_str(),
+                    load.mode == LoadMode::Open ? "Poisson arrivals"
+                                                : "fixed concurrency");
+        if (load.mode == LoadMode::Open)
+            std::printf("target qps      %.0f\n", opt.qps);
+        else
+            std::printf("concurrency     %u\n", opt.concurrency);
+    }
     std::printf("serving         mode=%s policy=%s max_batch=%u "
                 "timeout=%.1fus shards=%u workers=%u\n",
                 execModeName(cfg.mode), queuePolicyName(cfg.policy),
@@ -640,7 +870,13 @@ main(int argc, char **argv)
     std::printf("latency         p50 %.0f ns, p95 %.0f ns, p99 %.0f "
                 "ns\n",
                 rep.p50LatencyNs, rep.p95LatencyNs, rep.p99LatencyNs);
-    if (load.deadlineNs > 0) {
+    if (serverMode) {
+        // Deadlines are client-stamped per query in socket mode.
+        if (rep.deadlineMisses > 0)
+            std::printf("deadline        %llu misses\n",
+                        static_cast<unsigned long long>(
+                            rep.deadlineMisses));
+    } else if (load.deadlineNs > 0) {
         std::printf("deadline        %.1f us, %llu misses\n",
                     opt.deadlineUs,
                     static_cast<unsigned long long>(
@@ -677,6 +913,13 @@ main(int argc, char **argv)
     // a hard failure unless explicitly tolerated. Attack runs can
     // assert availability by exit code alone.
     bool failed = false;
+    if (serverMode && !nrep.ok) {
+        std::printf("FAILED: tcp session -- %s\n",
+                    nrep.error.empty()
+                        ? "session did not complete cleanly"
+                        : nrep.error.c_str());
+        failed = true;
+    }
     if (rep.aborted > 0) {
         std::printf("FAILED: %zu request(s) aborted -- verification "
                     "never passed and host fallback was unavailable\n",
