@@ -1,0 +1,120 @@
+/**
+ * @file
+ * EXPERIMENT: trusted-side pad cache hit rate vs capacity.
+ *
+ * Plays the SLS chunk-address stream (the exact stream the serving
+ * loop's admission pass sees) through a ShardedPadCache across a
+ * capacity sweep, for a uniform trace and a production-skewed one
+ * (Zipf 0.9 / 1.1), under both eviction policies. The cache only ever
+ * sees addresses -- the hit rate is a pure function of the request
+ * stream -- so no cipher runs here and the whole table is
+ * deterministic in the trace seed.
+ *
+ * Expected shape: uniform traces need capacity ~ the full footprint
+ * before the hit rate moves, while skewed traces hit >60% at a small
+ * fraction of it (hot rows dominate) -- the premise of the serve_cache
+ * perf-gate config. TinyLFU tracks LRU on skew and pulls ahead when
+ * capacity is scarce (admission filters one-hit wonders).
+ */
+
+#include "bench_common.hh"
+#include "cache/pad_cache.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+/** Rounds the request stream replays the trace (cold + warm). */
+constexpr int kRounds = 3;
+
+/** One config's replay: returns the hit rate over all rounds. */
+ShardedPadCache::Counters
+replay(const WorkloadTrace &trace, std::size_t capacity_bytes,
+       CachePolicy policy)
+{
+    PadCacheConfig cfg;
+    cfg.capacityBytes = capacity_bytes;
+    cfg.shards = 8;
+    cfg.policy = policy;
+    ShardedPadCache cache(cfg);
+    Block128 pad{};
+    const Block128 zero{};
+    for (int round = 0; round < kRounds; ++round) {
+        for (const auto &q : trace.queries) {
+            for (const auto &r : q.ranges) {
+                const std::uint64_t end = r.vaddr + r.bytes;
+                for (std::uint64_t chunk =
+                         r.vaddr & ~std::uint64_t{15};
+                     chunk < end; chunk += 16) {
+                    if (!cache.lookup(chunk, 1, &pad))
+                        cache.insert(chunk, 1, zero);
+                }
+            }
+        }
+    }
+    return cache.counters();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Pad-cache hit rate vs capacity (RMC1-small, PF=80, "
+           "64-query pool, 3 rounds)");
+
+    const auto model = rmc1Small();
+    struct TraceCase
+    {
+        const char *name;
+        double alpha;
+    };
+    const TraceCase cases[] = {
+        {"uniform", 0.0}, {"zipf09", 0.9}, {"zipf11", 1.1}};
+
+    StatGroup sweep("cache_sweep");
+    std::printf("  %-8s %-8s %-10s %10s %10s %10s\n", "trace",
+                "policy", "capacity", "hit-rate", "evictions",
+                "entries");
+    for (const TraceCase &tcase : cases) {
+        SlsTraceConfig tc;
+        tc.batch = 64;
+        tc.pf = 80;
+        tc.zipfAlpha = tcase.alpha;
+        const auto trace = buildSlsTrace(model, tc);
+        for (CachePolicy policy :
+             {CachePolicy::Lru, CachePolicy::Lfu}) {
+            for (std::size_t kb : {64u, 256u, 1024u, 4096u, 16384u}) {
+                const auto c =
+                    replay(trace, kb * 1024, policy);
+                const double rate =
+                    c.lookups ? static_cast<double>(c.hits) /
+                                    static_cast<double>(c.lookups)
+                              : 0.0;
+                std::printf("  %-8s %-8s %7zu kB %9.2f%% %10llu "
+                            "%10llu\n",
+                            tcase.name, cachePolicyName(policy), kb,
+                            100.0 * rate,
+                            static_cast<unsigned long long>(
+                                c.evictions),
+                            static_cast<unsigned long long>(
+                                c.insertions - c.evictions));
+                char key[64];
+                std::snprintf(key, sizeof(key), "hit_rate_%s_%s_%zukb",
+                              tcase.name, cachePolicyName(policy),
+                              kb);
+                sweep.scalar(key) = rate;
+            }
+        }
+    }
+
+    std::printf("\nshape: the uniform stream needs the full footprint "
+                "cached before reuse\nappears; Zipf-skewed streams "
+                "cross 60%% at a fraction of it, and TinyLFU\n"
+                "admission beats plain LRU exactly where capacity is "
+                "scarce.\n");
+    writeStatsSidecar("bench_cache_sweep");
+    return 0;
+}

@@ -26,6 +26,9 @@ secndp_bench(bench_ablation_latency)
 secndp_bench(bench_ablation_channels)
 secndp_bench(bench_ablation_provisioning)
 
+secndp_bench(bench_cache_sweep)
+target_link_libraries(bench_cache_sweep PRIVATE secndp_cache)
+
 secndp_bench(bench_ext_storage)
 target_link_libraries(bench_ext_storage PRIVATE secndp_storage)
 

@@ -125,6 +125,37 @@ run_serve serve_trace --mode open --qps 2000000 --requests 96 \
 run_serve serve_metrics --mode open --qps 2000000 --requests 96 \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
     --metrics-port 0
+# Skewed closed-loop twins: identical Zipf-0.9 load with the
+# trusted-side pad cache off (serve_skew) and on (serve_cache). The
+# small pool keeps the hot set resident, so the cached run must clear
+# a 60% pad hit rate and beat the uncached twin's p99 -- both asserted
+# right here, because thresholds.tsv only compares a config against
+# its *own* baseline, never across configs. Zero evictions at this
+# capacity keeps cache.* byte-deterministic.
+run_serve serve_skew --mode closed --concurrency 16 --requests 384 \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
+    --pool 2 --pf 40 --zipf 0.9 --aes 2
+run_serve serve_cache --mode closed --concurrency 16 --requests 384 \
+    --exec-mode enc --shards 2 --workers 2 --max-batch 8 \
+    --pool 2 --pf 40 --zipf 0.9 --aes 2 \
+    --cache-mb 2 --cache-policy lru --cache-shards 8
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+skew = json.load(open(f"{out}/serve_skew.stats.json"))["groups"]
+cache = json.load(open(f"{out}/serve_cache.stats.json"))["groups"]
+rate = cache["cache"]["hit_rate"]
+p99_off = skew["serve"]["latency_ns"]["p99"]
+p99_on = cache["serve"]["latency_ns"]["p99"]
+if rate < 0.60:
+    sys.exit(f"perf-gate: serve_cache pad hit rate {rate:.3f} < 0.60")
+if p99_on >= p99_off:
+    sys.exit(f"perf-gate: serve_cache p99 {p99_on:.0f}ns not below "
+             f"serve_skew p99 {p99_off:.0f}ns")
+print(f"perf-gate: serve_cache hit rate {rate:.3f}, "
+      f"p99 {p99_off:.0f} -> {p99_on:.0f} ns "
+      f"({100 * (p99_off - p99_on) / p99_off:.1f}% win)")
+EOF
 # Closed-loop socket session: closed-loop id assignment differs from
 # the in-process generator by design (ids stripe across connections),
 # so this config carries its own baseline with net.* thresholds.

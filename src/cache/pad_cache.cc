@@ -1,0 +1,389 @@
+#include "cache/pad_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace secndp {
+
+namespace {
+
+/** splitmix64 finalizer: shard + sketch index hashing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::size_t
+ceilPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CachePolicy
+parseCachePolicy(const std::string &s)
+{
+    if (s == "lru")
+        return CachePolicy::Lru;
+    if (s == "lfu")
+        return CachePolicy::Lfu;
+    fatal("unknown cache policy '%s' (expected lru|lfu)", s.c_str());
+}
+
+const char *
+cachePolicyName(CachePolicy p)
+{
+    return p == CachePolicy::Lru ? "lru" : "lfu";
+}
+
+void
+ShardedPadCache::FreqSketch::init(std::size_t entry_capacity)
+{
+    const std::size_t width =
+        ceilPow2(std::max<std::size_t>(64, entry_capacity * 4));
+    table_.assign(width * 4, 0);
+    mask_ = width - 1;
+    ops_ = 0;
+    sampleLimit_ = static_cast<std::uint64_t>(width) * 10;
+}
+
+void
+ShardedPadCache::FreqSketch::record(std::uint64_t key)
+{
+    static constexpr std::uint64_t seeds[4] = {
+        0xc3a5c85c97cb3127ULL, 0xb492b66fbe98f273ULL,
+        0x9ae16a3b2f90404fULL, 0x85ebca6b27d4eb2fULL};
+    const std::size_t width = mask_ + 1;
+    for (unsigned r = 0; r < 4; ++r) {
+        std::uint8_t &c =
+            table_[r * width + (mix64(key ^ seeds[r]) & mask_)];
+        if (c < 15)
+            ++c;
+    }
+    if (++ops_ >= sampleLimit_)
+        age();
+}
+
+unsigned
+ShardedPadCache::FreqSketch::estimate(std::uint64_t key) const
+{
+    static constexpr std::uint64_t seeds[4] = {
+        0xc3a5c85c97cb3127ULL, 0xb492b66fbe98f273ULL,
+        0x9ae16a3b2f90404fULL, 0x85ebca6b27d4eb2fULL};
+    const std::size_t width = mask_ + 1;
+    unsigned est = 15;
+    for (unsigned r = 0; r < 4; ++r) {
+        est = std::min<unsigned>(
+            est, table_[r * width + (mix64(key ^ seeds[r]) & mask_)]);
+    }
+    return est;
+}
+
+void
+ShardedPadCache::FreqSketch::age()
+{
+    for (auto &c : table_)
+        c = static_cast<std::uint8_t>(c >> 1);
+    ops_ = 0;
+}
+
+ShardedPadCache::ShardedPadCache(const PadCacheConfig &cfg) : cfg_(cfg)
+{
+    SECNDP_ASSERT(cfg.capacityBytes > 0,
+                  "ShardedPadCache constructed with zero capacity");
+    capacityEntries_ =
+        std::max<std::size_t>(1, cfg.capacityBytes / kEntryBytes);
+    std::size_t nshards = ceilPow2(std::max(1u, cfg.shards));
+    nshards = std::min<std::size_t>(nshards, 1024);
+    // Never hand a shard zero entries of budget.
+    while (nshards > 1 && capacityEntries_ / nshards == 0)
+        nshards >>= 1;
+    shardCapacity_ =
+        std::max<std::size_t>(1, capacityEntries_ / nshards);
+    shardShift_ = 0;
+    while ((std::size_t{1} << shardShift_) < nshards)
+        ++shardShift_;
+    shards_.reserve(nshards);
+    for (std::size_t i = 0; i < nshards; ++i) {
+        auto s = std::make_unique<Shard>();
+        if (cfg_.policy == CachePolicy::Lfu)
+            s->sketch.init(shardCapacity_);
+        shards_.push_back(std::move(s));
+    }
+}
+
+unsigned
+ShardedPadCache::shardOf(std::uint64_t chunkAddr) const
+{
+    return static_cast<unsigned>(
+        mix64(chunkAddr >> 4) & (shards_.size() - 1));
+}
+
+void
+ShardedPadCache::eraseLocked(
+    Shard &s, std::unordered_map<std::uint64_t, Entry>::iterator it)
+{
+    s.recency.erase(it->second.lruIt);
+    s.map.erase(it);
+}
+
+bool
+ShardedPadCache::emplaceLocked(Shard &s, std::uint64_t chunkAddr,
+                               std::uint64_t version,
+                               const Block128 *pad)
+{
+    if (s.map.size() >= shardCapacity_) {
+        const std::uint64_t victim = s.recency.back();
+        if (cfg_.policy == CachePolicy::Lfu &&
+            s.sketch.estimate(mix64(chunkAddr)) <=
+                s.sketch.estimate(mix64(victim))) {
+            // TinyLFU admission: the candidate has not proven itself
+            // hotter than the coldest resident -- keep the resident.
+            admissionRejects_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        auto vit = s.map.find(victim);
+        SECNDP_ASSERT(vit != s.map.end(),
+                      "recency list / map out of sync");
+        eraseLocked(s, vit);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.recency.push_front(chunkAddr);
+    Entry e;
+    e.version = version;
+    e.lruIt = s.recency.begin();
+    if (pad != nullptr) {
+        e.pad = *pad;
+        e.filled = true;
+    }
+    s.map.emplace(chunkAddr, e);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ShardedPadCache::lookup(std::uint64_t chunkAddr, std::uint64_t version,
+                        Block128 *pad)
+{
+    Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.policy == CachePolicy::Lfu)
+        s.sketch.record(mix64(chunkAddr));
+    auto it = s.map.find(chunkAddr);
+    if (it == s.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (it->second.version != version) {
+        // Lazy version-safety: the tag check rejects and reaps any
+        // entry that outlived its (address, version).
+        staleRejects_.fetch_add(1, std::memory_order_relaxed);
+        eraseLocked(s, it);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!it->second.filled) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    s.recency.splice(s.recency.begin(), s.recency, it->second.lruIt);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *pad = it->second.pad;
+    return true;
+}
+
+bool
+ShardedPadCache::admit(std::uint64_t chunkAddr, std::uint64_t version)
+{
+    Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.policy == CachePolicy::Lfu)
+        s.sketch.record(mix64(chunkAddr));
+    auto it = s.map.find(chunkAddr);
+    if (it != s.map.end()) {
+        if (it->second.version == version) {
+            s.recency.splice(s.recency.begin(), s.recency,
+                             it->second.lruIt);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        staleRejects_.fetch_add(1, std::memory_order_relaxed);
+        eraseLocked(s, it);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    emplaceLocked(s, chunkAddr, version, nullptr);
+    return false;
+}
+
+void
+ShardedPadCache::insert(std::uint64_t chunkAddr, std::uint64_t version,
+                        const Block128 &pad)
+{
+    Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (cfg_.policy == CachePolicy::Lfu)
+        s.sketch.record(mix64(chunkAddr));
+    auto it = s.map.find(chunkAddr);
+    if (it != s.map.end()) {
+        // Refresh in place; a differing version is a bump-by-write
+        // and simply overwrites the tag (eager invalidation).
+        it->second.version = version;
+        it->second.pad = pad;
+        it->second.filled = true;
+        s.recency.splice(s.recency.begin(), s.recency,
+                         it->second.lruIt);
+        return;
+    }
+    emplaceLocked(s, chunkAddr, version, &pad);
+}
+
+bool
+ShardedPadCache::fill(std::uint64_t chunkAddr, std::uint64_t version,
+                      const Block128 &pad)
+{
+    Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(chunkAddr);
+    if (it == s.map.end() || it->second.version != version)
+        return false;
+    it->second.pad = pad;
+    it->second.filled = true;
+    return true;
+}
+
+bool
+ShardedPadCache::peek(std::uint64_t chunkAddr, std::uint64_t version,
+                      Block128 *pad) const
+{
+    const Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(chunkAddr);
+    if (it == s.map.end() || it->second.version != version ||
+        !it->second.filled)
+        return false;
+    *pad = it->second.pad;
+    return true;
+}
+
+void
+ShardedPadCache::invalidate(std::uint64_t chunkAddr)
+{
+    Shard &s = *shards_[shardOf(chunkAddr)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(chunkAddr);
+    if (it == s.map.end())
+        return;
+    eraseLocked(s, it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+ShardedPadCache::invalidateRange(std::uint64_t lo, std::uint64_t hi)
+{
+    std::size_t n = 0;
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (auto it = s.map.begin(); it != s.map.end();) {
+            if (it->first >= lo && it->first < hi) {
+                auto victim = it++;
+                eraseLocked(s, victim);
+                ++n;
+            } else {
+                ++it;
+            }
+        }
+    }
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+    return n;
+}
+
+std::size_t
+ShardedPadCache::invalidateAll()
+{
+    std::size_t n = 0;
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        std::lock_guard<std::mutex> lk(s.mu);
+        n += s.map.size();
+        s.map.clear();
+        s.recency.clear();
+    }
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+    return n;
+}
+
+ShardedPadCache::Counters
+ShardedPadCache::counters() const
+{
+    Counters c;
+    c.lookups = lookups_.load(std::memory_order_relaxed);
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.insertions = insertions_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.admissionRejects =
+        admissionRejects_.load(std::memory_order_relaxed);
+    c.invalidations = invalidations_.load(std::memory_order_relaxed);
+    c.staleRejects = staleRejects_.load(std::memory_order_relaxed);
+    return c;
+}
+
+std::size_t
+ShardedPadCache::entries() const
+{
+    std::size_t n = 0;
+    for (const auto &sp : shards_) {
+        std::lock_guard<std::mutex> lk(sp->mu);
+        n += sp->map.size();
+    }
+    return n;
+}
+
+std::size_t
+ShardedPadCache::shardEntries(unsigned shard) const
+{
+    const Shard &s = *shards_.at(shard);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.map.size();
+}
+
+double
+ShardedPadCache::hitRate() const
+{
+    const std::uint64_t l = lookups_.load(std::memory_order_relaxed);
+    const std::uint64_t h = hits_.load(std::memory_order_relaxed);
+    return l ? static_cast<double>(h) / static_cast<double>(l) : 0.0;
+}
+
+void
+ShardedPadCache::publish(StatGroup &g) const
+{
+    const Counters c = counters();
+    g.counter("lookups") += c.lookups;
+    g.counter("hits") += c.hits;
+    g.counter("misses") += c.misses;
+    g.counter("insertions") += c.insertions;
+    g.counter("evictions") += c.evictions;
+    g.counter("admission_rejects") += c.admissionRejects;
+    g.counter("invalidations") += c.invalidations;
+    g.counter("stale_version_rejects") += c.staleRejects;
+    g.counter("occupancy_entries") += entries();
+    g.counter("capacity_entries") += capacityEntries_;
+    g.counter("shards") += shardCount();
+    g.scalar("hit_rate") = hitRate();
+}
+
+} // namespace secndp

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Skew-aware trusted-side cache of counter-mode OTP pads.
+ *
+ * Production DLRM traces are heavily skewed (PF 50-100 over hot
+ * rows), yet the trusted engine regenerates every pad from scratch --
+ * the host-side OTP bottleneck of paper Fig. 8. This subsystem caches
+ * per-chunk pads E(K, 00 || chunk || v) (Def. A.2) keyed by the
+ * 16-byte-aligned chunk address, with the pad's version number stored
+ * as a tag inside the entry.
+ *
+ * Version safety (paper section V-A): a hit is only returned when the
+ * entry's stored version equals the version the caller is encrypting
+ * under. Any (address, version) bump -- a write re-provision, a
+ * replay-recovery re-read, or a wraparound re-key -- either
+ * invalidates the entry eagerly (the invalidate entry points / the
+ * VersionManager bump listener) or is caught lazily at lookup time:
+ * a version-tag
+ * mismatch counts a stale_version_reject, erases the entry, and
+ * misses. Under no interleaving can a pad outlive its
+ * (address, version).
+ *
+ * Sharding/locking contract (DESIGN.md section 14): entries hash to
+ * one of a power-of-two number of shards; each shard owns a mutex,
+ * an open hash map, and an intrusive recency list. Every operation
+ * takes exactly one shard lock (invalidateRange/publish walk the
+ * shards one at a time), so there is no lock ordering and no
+ * deadlock. Statistics counters are relaxed atomics: exact totals,
+ * no ordering claims between them.
+ *
+ * Determinism contract: policy state (recency order, frequency
+ * sketch, evictions) is mutated only by lookup/insert/admit/
+ * invalidate*. peek() and fill() never touch policy state or the
+ * stat counters, so a single-threaded admission pass plus concurrent
+ * worker peek/fill traffic (the src/serve arrangement) keeps every
+ * cache.* counter a pure function of the request stream.
+ */
+
+#ifndef SECNDP_CACHE_PAD_CACHE_HH
+#define SECNDP_CACHE_PAD_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/block_cipher.hh"
+
+namespace secndp {
+
+class StatGroup;
+
+/** Eviction policy of one ShardedPadCache. */
+enum class CachePolicy
+{
+    Lru, ///< evict the least-recently-used entry
+    Lfu, ///< TinyLFU: frequency-sketch admission over LRU eviction
+};
+
+/** "lru" / "lfu" (fatal on anything else). */
+CachePolicy parseCachePolicy(const std::string &s);
+const char *cachePolicyName(CachePolicy p);
+
+/** Construction knobs; capacityBytes == 0 means "no cache". */
+struct PadCacheConfig
+{
+    /** Total budget across shards; entries are 64-byte accounted. */
+    std::size_t capacityBytes = 0;
+    unsigned shards = 8;
+    CachePolicy policy = CachePolicy::Lru;
+
+    bool enabled() const { return capacityBytes > 0; }
+};
+
+/**
+ * Sharded, thread-safe cache of (chunk address, version) -> pad.
+ * See the file comment for the locking and determinism contracts.
+ */
+class ShardedPadCache
+{
+  public:
+    /** Accounting weight per entry (key + tag + pad + links). */
+    static constexpr std::size_t kEntryBytes = 64;
+
+    explicit ShardedPadCache(const PadCacheConfig &cfg);
+    ShardedPadCache(const ShardedPadCache &) = delete;
+    ShardedPadCache &operator=(const ShardedPadCache &) = delete;
+
+    /**
+     * Promoting lookup. Returns true and copies the pad only when an
+     * entry for `chunkAddr` exists, carries exactly `version`, and
+     * has its pad bytes filled. A version-tag mismatch erases the
+     * stale entry, counts a stale_version_reject, and misses.
+     */
+    bool lookup(std::uint64_t chunkAddr, std::uint64_t version,
+                Block128 *pad);
+
+    /** Insert (or refresh) a filled entry; may evict. */
+    void insert(std::uint64_t chunkAddr, std::uint64_t version,
+                const Block128 &pad);
+
+    /**
+     * Metadata-only lookup-or-reserve for deferred pad generation
+     * (the src/serve admission pass): a hit promotes and returns
+     * true; a miss reserves an *unfilled* entry (running the same
+     * admission/eviction policy as insert) and returns false. The
+     * reserved entry misses in lookup() until fill() lands.
+     */
+    bool admit(std::uint64_t chunkAddr, std::uint64_t version);
+
+    /**
+     * Payload-only write: set the pad bytes of an entry previously
+     * reserved by admit(). No policy mutation, no counters. Returns
+     * false when the entry is gone or the version no longer matches
+     * (the pad is then simply not cached).
+     */
+    bool fill(std::uint64_t chunkAddr, std::uint64_t version,
+              const Block128 &pad);
+
+    /**
+     * Non-promoting read for worker threads: no policy mutation, no
+     * counters. Same version-tag and filled checks as lookup(), but
+     * a stale entry is left for the owning thread to reap.
+     */
+    bool peek(std::uint64_t chunkAddr, std::uint64_t version,
+              Block128 *pad) const;
+
+    /** Erase one chunk's entry (no-op when absent). */
+    void invalidate(std::uint64_t chunkAddr);
+
+    /** Erase every entry with lo <= chunkAddr < hi; returns count. */
+    std::size_t invalidateRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Erase everything (wraparound re-key); returns count. */
+    std::size_t invalidateAll();
+
+    /** Exact relaxed-atomic totals since construction. */
+    struct Counters
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t admissionRejects = 0;
+        std::uint64_t invalidations = 0;
+        std::uint64_t staleRejects = 0;
+    };
+    Counters counters() const;
+
+    /** Live entries across all shards (locks each in turn). */
+    std::size_t entries() const;
+    /** Live entries in one shard. */
+    std::size_t shardEntries(unsigned shard) const;
+
+    std::size_t capacityEntries() const { return capacityEntries_; }
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    /** Shard a chunk address hashes to (tests pin distribution). */
+    unsigned shardOf(std::uint64_t chunkAddr) const;
+
+    /** hits / lookups (0 when no lookups yet). */
+    double hitRate() const;
+
+    const PadCacheConfig &config() const { return cfg_; }
+
+    /**
+     * Publish the cache.* stats group: counters, hit_rate scalar,
+     * occupancy/capacity gauges. Call from the group's owning thread
+     * at end of run (the SloTracker::publish pattern).
+     */
+    void publish(StatGroup &g) const;
+
+  private:
+    /**
+     * TinyLFU-style frequency sketch: 4-row count-min of 4-bit
+     * saturating counters with periodic halving, sized to the shard's
+     * entry capacity. Guarded by the owning shard's mutex.
+     */
+    class FreqSketch
+    {
+      public:
+        void init(std::size_t entry_capacity);
+        void record(std::uint64_t key);
+        unsigned estimate(std::uint64_t key) const;
+
+      private:
+        void age();
+        std::vector<std::uint8_t> table_;
+        std::size_t mask_ = 0;
+        std::uint64_t ops_ = 0;
+        std::uint64_t sampleLimit_ = 0;
+    };
+
+    struct Entry
+    {
+        std::uint64_t version = 0;
+        bool filled = false;
+        Block128 pad{};
+        /** Position in Shard::recency (front = most recent). */
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::uint64_t, Entry> map;
+        /** Chunk addresses, most-recently-used first. */
+        std::list<std::uint64_t> recency;
+        FreqSketch sketch;
+    };
+
+    /** Under shard lock: place-or-refresh an entry, policy applied. */
+    bool emplaceLocked(Shard &s, std::uint64_t chunkAddr,
+                       std::uint64_t version, const Block128 *pad);
+    void eraseLocked(Shard &s,
+                     std::unordered_map<std::uint64_t, Entry>::iterator it);
+
+    PadCacheConfig cfg_;
+    std::size_t capacityEntries_ = 0;
+    std::size_t shardCapacity_ = 0;
+    unsigned shardShift_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::atomic<std::uint64_t> lookups_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> insertions_{0};
+    mutable std::atomic<std::uint64_t> evictions_{0};
+    mutable std::atomic<std::uint64_t> admissionRejects_{0};
+    mutable std::atomic<std::uint64_t> invalidations_{0};
+    mutable std::atomic<std::uint64_t> staleRejects_{0};
+};
+
+/**
+ * One-entry pad cache for tight scalar streaming loops: the thin
+ * adapter that replaced the old CounterModeEncryptor::PadCache. It
+ * satisfies the same lookup/insert concept the cached
+ * CounterModeEncryptor template APIs use, so there is exactly one
+ * caching code path whether the backing store is this register-sized
+ * value or the sharded cache above.
+ */
+class InlinePadCache
+{
+  public:
+    bool lookup(std::uint64_t chunkAddr, std::uint64_t version,
+                Block128 *pad)
+    {
+        if (!valid_ || chunkAddr_ != chunkAddr || version_ != version)
+            return false;
+        *pad = pad_;
+        return true;
+    }
+
+    void insert(std::uint64_t chunkAddr, std::uint64_t version,
+                const Block128 &pad)
+    {
+        chunkAddr_ = chunkAddr;
+        version_ = version;
+        pad_ = pad;
+        valid_ = true;
+    }
+
+  private:
+    std::uint64_t chunkAddr_ = ~std::uint64_t{0};
+    std::uint64_t version_ = 0;
+    bool valid_ = false;
+    Block128 pad_{};
+};
+
+} // namespace secndp
+
+#endif // SECNDP_CACHE_PAD_CACHE_HH

@@ -50,6 +50,30 @@ CounterModeEncryptor::otpBlocks(std::uint64_t addr,
     cipher_.encryptBlocks(out.data(), out.data(), out.size());
 }
 
+void
+CounterModeEncryptor::otpBlocksAt(std::span<const std::uint64_t> addrs,
+                                  std::uint64_t version,
+                                  std::span<Block128> out) const
+{
+    SECNDP_ASSERT(addrs.size() == out.size(),
+                  "pad output size %zu != address count %zu",
+                  out.size(), addrs.size());
+    std::size_t i = 0;
+    while (i < addrs.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(addrs.size() - i, batchBlocks);
+        for (std::size_t k = 0; k < n; ++k) {
+            SECNDP_ASSERT(addrs[i + k] % BlockCipher::blockBytes == 0,
+                          "OTP chunk address %lu not block aligned",
+                          addrs[i + k]);
+            out[i + k] = buildCounterBlock(TweakDomain::Data,
+                                           addrs[i + k], version);
+        }
+        cipher_.encryptBlocks(out.data() + i, out.data() + i, n);
+        i += n;
+    }
+}
+
 std::uint64_t
 CounterModeEncryptor::otpElement(std::uint64_t paddr, ElemWidth we,
                                  std::uint64_t version) const
@@ -64,29 +88,6 @@ CounterModeEncryptor::otpElement(std::uint64_t paddr, ElemWidth we,
                   paddr, bits(we));
     std::uint64_t v = 0;
     std::memcpy(&v, pad.data() + offset, bytes(we));
-    return v;
-}
-
-std::uint64_t
-CounterModeEncryptor::otpElementCached(PadCache &cache,
-                                       std::uint64_t paddr, ElemWidth we,
-                                       std::uint64_t version) const
-{
-    const std::uint64_t chunk_addr =
-        paddr & ~std::uint64_t{BlockCipher::blockBytes - 1};
-    if (!cache.valid || cache.chunkAddr != chunk_addr ||
-        cache.version != version) {
-        cache.pad = otpBlock(chunk_addr, version);
-        cache.chunkAddr = chunk_addr;
-        cache.version = version;
-        cache.valid = true;
-    }
-    const unsigned offset = static_cast<unsigned>(paddr - chunk_addr);
-    SECNDP_ASSERT(offset % bytes(we) == 0,
-                  "element address %lu not aligned to %u-bit width",
-                  paddr, bits(we));
-    std::uint64_t v = 0;
-    std::memcpy(&v, cache.pad.data() + offset, bytes(we));
     return v;
 }
 

@@ -19,9 +19,12 @@
 #ifndef SECNDP_CRYPTO_COUNTER_MODE_HH
 #define SECNDP_CRYPTO_COUNTER_MODE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
+#include "common/logging.hh"
 #include "crypto/block_cipher.hh"
 #include "ring/mersenne.hh"
 #include "ring/ring_buffer.hh"
@@ -76,6 +79,16 @@ class CounterModeEncryptor
                    std::span<Block128> out) const;
 
     /**
+     * OTP blocks for *scattered* 16-byte-aligned chunk addresses:
+     * out[i] covers addrs[i]. Pipelined through the cipher in groups
+     * of up to batchBlocks (the gather form of otpBlocks; cache-miss
+     * lists are the typical caller).
+     */
+    void otpBlocksAt(std::span<const std::uint64_t> addrs,
+                     std::uint64_t version,
+                     std::span<Block128> out) const;
+
+    /**
      * OTP for the single w_e-bit element located at byte address
      * `paddr` (Alg. 4 lines 9-11): encrypt the containing chunk and
      * slice out this element's substring.
@@ -84,24 +97,41 @@ class CounterModeEncryptor
                              std::uint64_t version) const;
 
     /**
-     * Cache of the last OTP chunk pad, for scalar-friendly streaming
-     * loops: consecutive elements inside one 16-byte chunk cost a
-     * single cipher call regardless of backend. Value-type; callers
-     * own one per (stream, version) and may reuse it across versions
-     * (the key includes the version).
+     * @name Cache-backed pad generation
+     *
+     * Each variant consults a pad store before invoking the cipher
+     * and inserts every freshly generated chunk pad back. `Cache` is
+     * any type with the (chunkAddr, version) keyed pair
+     *   bool lookup(std::uint64_t, std::uint64_t, Block128 *)
+     *   void insert(std::uint64_t, std::uint64_t, const Block128 &)
+     * -- in practice secndp::ShardedPadCache (the trusted-side shared
+     * cache, src/cache) or secndp::InlinePadCache (the one-entry
+     * adapter for scalar streaming loops). The store owns version
+     * safety: a lookup only hits on an exact (address, version)
+     * match, so these methods never see a stale pad.
      */
-    struct PadCache
-    {
-        std::uint64_t chunkAddr = ~std::uint64_t{0};
-        std::uint64_t version = 0;
-        bool valid = false;
-        Block128 pad{};
-    };
+    /// @{
 
-    /** otpElement through a chunk-pad cache (Alg. 4 amortized). */
-    std::uint64_t otpElementCached(PadCache &cache, std::uint64_t paddr,
+    /** otpElement through a chunk-pad store (Alg. 4 amortized). */
+    template <typename Cache>
+    std::uint64_t otpElementCached(Cache &cache, std::uint64_t paddr,
                                    ElemWidth we,
                                    std::uint64_t version) const;
+
+    /** otpBlocks with per-chunk store probes; misses are pipelined
+     *  through the cipher in groups of up to batchBlocks. */
+    template <typename Cache>
+    void otpBlocksCached(Cache &cache, std::uint64_t addr,
+                         std::uint64_t version,
+                         std::span<Block128> out) const;
+
+    /** otpFillBatch through a chunk-pad store. */
+    template <typename Cache>
+    void otpFillCached(Cache &cache, std::uint64_t addr,
+                       std::uint64_t version,
+                       std::span<std::uint8_t> out) const;
+
+    /// @}
 
     /**
      * Batch form of otpElement: out[k] is the pad for the element at
@@ -159,6 +189,96 @@ class CounterModeEncryptor
 
     const BlockCipher &cipher_;
 };
+
+template <typename Cache>
+std::uint64_t
+CounterModeEncryptor::otpElementCached(Cache &cache,
+                                       std::uint64_t paddr,
+                                       ElemWidth we,
+                                       std::uint64_t version) const
+{
+    const std::uint64_t chunk_addr =
+        paddr & ~std::uint64_t{BlockCipher::blockBytes - 1};
+    Block128 pad;
+    if (!cache.lookup(chunk_addr, version, &pad)) {
+        pad = otpBlock(chunk_addr, version);
+        cache.insert(chunk_addr, version, pad);
+    }
+    const unsigned offset = static_cast<unsigned>(paddr - chunk_addr);
+    SECNDP_ASSERT(offset % bytes(we) == 0,
+                  "element address %lu not aligned to %u-bit width",
+                  paddr, bits(we));
+    std::uint64_t v = 0;
+    std::memcpy(&v, pad.data() + offset, bytes(we));
+    return v;
+}
+
+template <typename Cache>
+void
+CounterModeEncryptor::otpBlocksCached(Cache &cache, std::uint64_t addr,
+                                      std::uint64_t version,
+                                      std::span<Block128> out) const
+{
+    std::size_t i = 0;
+    while (i < out.size()) {
+        // Probe the store chunk by chunk; gather up to batchBlocks
+        // misses and pipeline them through one cipher call.
+        Block128 miss[batchBlocks];
+        std::size_t miss_at[batchBlocks];
+        std::size_t nmiss = 0;
+        std::size_t j = i;
+        for (; j < out.size() && nmiss < batchBlocks; ++j) {
+            const std::uint64_t chunk =
+                addr + j * BlockCipher::blockBytes;
+            if (!cache.lookup(chunk, version, &out[j])) {
+                miss[nmiss] = buildCounterBlock(TweakDomain::Data,
+                                                chunk, version);
+                miss_at[nmiss] = j;
+                ++nmiss;
+            }
+        }
+        if (nmiss > 0) {
+            cipher_.encryptBlocks(miss, miss, nmiss);
+            for (std::size_t k = 0; k < nmiss; ++k) {
+                out[miss_at[k]] = miss[k];
+                cache.insert(addr +
+                                 miss_at[k] * BlockCipher::blockBytes,
+                             version, miss[k]);
+            }
+        }
+        i = j;
+    }
+}
+
+template <typename Cache>
+void
+CounterModeEncryptor::otpFillCached(Cache &cache, std::uint64_t addr,
+                                    std::uint64_t version,
+                                    std::span<std::uint8_t> out) const
+{
+    constexpr std::size_t bb = BlockCipher::blockBytes;
+    std::size_t done = 0;
+    while (out.size() - done >= bb) {
+        const std::size_t nblk =
+            std::min<std::size_t>((out.size() - done) / bb,
+                                  batchBlocks);
+        Block128 blocks[batchBlocks];
+        otpBlocksCached(cache, addr + done, version,
+                        std::span<Block128>(blocks, nblk));
+        std::memcpy(out.data() + done, blocks, nblk * bb);
+        done += nblk * bb;
+    }
+    if (done < out.size()) {
+        const std::uint64_t chunk = addr + done;
+        Block128 pad;
+        if (!cache.lookup(chunk, version, &pad)) {
+            pad = otpBlock(chunk, version);
+            cache.insert(chunk, version, pad);
+        }
+        std::memcpy(out.data() + done, pad.data(),
+                    out.size() - done);
+    }
+}
 
 } // namespace secndp
 

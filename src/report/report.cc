@@ -338,6 +338,7 @@ printSummary(std::ostream &os, const StatsReport &r)
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, double>> integrity;
     std::vector<std::pair<std::string, double>> crypto;
+    std::map<std::string, double> cache; // suffix -> value
     std::map<std::string, bool> objects; // prefix -> has p50
     std::vector<std::pair<std::string, double>> phases;
     const auto isIntegrity = [](const std::string &name) {
@@ -352,6 +353,10 @@ printSummary(std::ostream &os, const StatsReport &r)
         if (kv.first.rfind("host_phases.", 0) == 0) {
             if (hasSuffix(kv.first, "_ms"))
                 phases.push_back(kv);
+            continue;
+        }
+        if (kv.first.rfind("cache.", 0) == 0) {
+            cache[kv.first.substr(6)] = kv.second;
             continue;
         }
         const std::string prefix = objectPrefix(kv.first);
@@ -377,6 +382,25 @@ printSummary(std::ostream &os, const StatsReport &r)
                           kv.first.c_str(), fmtNum(kv.second).c_str());
             os << line;
         }
+    }
+    // Trusted-side pad cache: one line when the run published a
+    // cache.* group, silent otherwise (cache-off runs carry none).
+    if (!cache.empty()) {
+        const auto get = [&](const char *k) {
+            auto it = cache.find(k);
+            return it == cache.end() ? 0.0 : it->second;
+        };
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "  pad cache: hit rate %.3f (%s/%s lookups), "
+                      "%s evictions, %s stale-version rejects, "
+                      "%s invalidations\n",
+                      get("hit_rate"), fmtNum(get("hits")).c_str(),
+                      fmtNum(get("lookups")).c_str(),
+                      fmtNum(get("evictions")).c_str(),
+                      fmtNum(get("stale_version_rejects")).c_str(),
+                      fmtNum(get("invalidations")).c_str());
+        os << line;
     }
     if (!integrity.empty()) {
         os << "  integrity (fault injection / verification)\n";

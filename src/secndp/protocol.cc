@@ -144,6 +144,15 @@ SecNdpClient::provision(const Matrix &plain, UntrustedNdpDevice &device,
         versions_->freshVersion(region_id.value_or(plain.baseAddr()));
     withTags_ = with_tags;
 
+    // Version bump: every pad cached for this region's previous
+    // version is now stale. Eager invalidation here; the cache's
+    // version tag would reject any survivor at lookup time anyway.
+    if (padCache_ != nullptr) {
+        padCache_->invalidateRange(geometry_.baseAddr,
+                                   geometry_.baseAddr +
+                                       geometry_.sizeBytes());
+    }
+
     Matrix cipher = arithEncrypt(encryptor_, plain, version_);
     std::vector<Fq127> tags;
     if (with_tags) {
@@ -200,15 +209,22 @@ SecNdpClient::otpRowShare(std::span<const std::size_t> rows,
 
     std::vector<std::uint64_t> e_res(geometry_.cols, 0);
     std::vector<std::uint8_t> row_pad(geometry_.rowBytes());
-    CounterModeEncryptor::PadCache cache;
+    InlinePadCache local;
     for (std::size_t k = 0; k < rows.size(); ++k) {
         // One pass of the encryption engine over the row's OTP. The
         // row address is block aligned whenever rowBytes % 16 == 0;
         // otherwise fall back to per-element pads through the chunk
-        // cache (one AES call per 16 bytes even on the scalar path).
+        // store (one AES call per 16 bytes even on the scalar path).
+        // With a shared pad cache attached, both paths probe it
+        // before the cipher; hot rows then cost zero AES calls.
         const std::uint64_t row_addr = geometry_.rowAddr(rows[k]);
         if (row_addr % 16 == 0 && geometry_.rowBytes() % 16 == 0) {
-            encryptor_.otpFillBatch(row_addr, version_, row_pad);
+            if (padCache_ != nullptr) {
+                encryptor_.otpFillCached(*padCache_, row_addr,
+                                         version_, row_pad);
+            } else {
+                encryptor_.otpFillBatch(row_addr, version_, row_pad);
+            }
             for (std::size_t j = 0; j < geometry_.cols; ++j) {
                 std::uint64_t pad = 0;
                 std::memcpy(&pad, row_pad.data() + j * nb, nb);
@@ -216,14 +232,30 @@ SecNdpClient::otpRowShare(std::span<const std::size_t> rows,
             }
         } else {
             for (std::size_t j = 0; j < geometry_.cols; ++j) {
-                const std::uint64_t pad = encryptor_.otpElementCached(
-                    cache, geometry_.elemAddr(rows[k], j),
-                    geometry_.we, version_);
+                const std::uint64_t addr =
+                    geometry_.elemAddr(rows[k], j);
+                const std::uint64_t pad =
+                    padCache_ != nullptr
+                        ? encryptor_.otpElementCached(
+                              *padCache_, addr, geometry_.we,
+                              version_)
+                        : encryptor_.otpElementCached(
+                              local, addr, geometry_.we, version_);
                 e_res[j] = (e_res[j] + weights[k] * pad) & mask;
             }
         }
     }
     return e_res;
+}
+
+std::size_t
+SecNdpClient::flushPadCache() const
+{
+    if (padCache_ == nullptr || !provisioned_)
+        return 0;
+    return padCache_->invalidateRange(geometry_.baseAddr,
+                                      geometry_.baseAddr +
+                                          geometry_.sizeBytes());
 }
 
 Fq127

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/pad_cache.hh"
 #include "crypto/aes.hh"
 #include "crypto/counter_mode.hh"
 #include "ring/mersenne.hh"
@@ -189,6 +190,28 @@ class SecNdpClient
     std::uint64_t version() const { return version_; }
     const CounterModeEncryptor &encryptor() const { return encryptor_; }
 
+    /**
+     * Attach a shared trusted-side pad cache (src/cache): the OTP hot
+     * loops then consult it before the AES backends. Only Data-domain
+     * chunk pads are cached (tag and checksum pads never are, keeping
+     * the cache key a plain chunk address). Version safety is
+     * enforced twice: provision() eagerly invalidates the region's
+     * address range on every version bump, and the cache's own
+     * version tag rejects any survivor at lookup time. Pass nullptr
+     * to detach; the client never owns the cache.
+     */
+    void attachPadCache(ShardedPadCache *cache) { padCache_ = cache; }
+    ShardedPadCache *padCache() const { return padCache_; }
+
+    /**
+     * Drop every cached pad of the currently provisioned region --
+     * the replay-recovery re-read path: after a failed verification
+     * the trusted side distrusts everything it derived for this data
+     * and regenerates pads from the cipher on the next query.
+     * Returns the number of entries invalidated (0 when no cache).
+     */
+    std::size_t flushPadCache() const;
+
   private:
     /** E_Tres = sum_k a_k * E_Tk mod q (Alg. 5 lines 11-14). */
     Fq127 otpTagShare(std::span<const std::size_t> rows,
@@ -206,6 +229,7 @@ class SecNdpClient
     unsigned checksumSecretCount_ = 1;
     bool provisioned_ = false;
     bool withTags_ = false;
+    ShardedPadCache *padCache_ = nullptr;
 };
 
 } // namespace secndp

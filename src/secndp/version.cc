@@ -27,7 +27,25 @@ VersionManager::freshVersion(std::uint64_t region_id)
     }
     it->second = nextVersion_++;
     ++drawCount_;
+    // Fire before returning: whoever derived state from this
+    // region's previous version must drop it before anything can be
+    // encrypted (or served) under the new one.
+    if (bumpListener_)
+        bumpListener_(region_id, it->second);
     return it->second;
+}
+
+void
+VersionManager::rekey(std::uint64_t first_version)
+{
+    SECNDP_ASSERT(first_version != 0,
+                  "version 0 is reserved (never versioned)");
+    versions_.clear();
+    nextVersion_ = first_version;
+    // (0, 0): the whole version space was re-opened under a new key;
+    // every cached derivation of the old one is stale.
+    if (bumpListener_)
+        bumpListener_(0, 0);
 }
 
 std::uint64_t

@@ -27,6 +27,7 @@
 #define SECNDP_SECNDP_VERSION_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 namespace secndp {
@@ -35,6 +36,17 @@ namespace secndp {
 class VersionManager
 {
   public:
+    /**
+     * Invalidation hook fired on every version bump, *before*
+     * freshVersion/rekey returns: any trusted-side state derived from
+     * the region's previous version (cached counter-mode pads, src/
+     * cache) must be dropped or re-tagged. `new_version == 0` means
+     * "the whole version space was re-opened" (rekey): everything
+     * derived from this manager is stale, whatever its region.
+     */
+    using BumpListener =
+        std::function<void(std::uint64_t region_id,
+                           std::uint64_t new_version)>;
     /**
      * @param capacity maximum number of live regions (paper: 64).
      * @param first_version first version number to draw (>= 1; 0 is
@@ -56,6 +68,22 @@ class VersionManager
      */
     std::uint64_t freshVersion(std::uint64_t region_id);
 
+    /**
+     * Re-key: a fresh cipher key K re-opens the whole version space
+     * (the only sound continuation of wraparound, see the file
+     * comment). Every live region is released and the draw counter
+     * restarts at `first_version`; the bump listener fires once with
+     * (0, 0) so every cached derivation of the old key is dropped.
+     * The caller owns actually rotating K and re-provisioning.
+     */
+    void rekey(std::uint64_t first_version = 1);
+
+    /** Observe every version bump (pass nullptr to detach). */
+    void setBumpListener(BumpListener listener)
+    {
+        bumpListener_ = std::move(listener);
+    }
+
     /** Current version of a region; panics if unknown. */
     std::uint64_t currentVersion(std::uint64_t region_id) const;
 
@@ -73,6 +101,7 @@ class VersionManager
     std::uint64_t nextVersion_ = 1; // 0 reserved as "never versioned"
     std::uint64_t drawCount_ = 0;
     std::map<std::uint64_t, std::uint64_t> versions_;
+    BumpListener bumpListener_;
 };
 
 } // namespace secndp

@@ -46,9 +46,15 @@ BatchExecution
 runShardedBatch(const SystemConfig &cfg, ExecMode mode,
                 const WorkloadTrace &pool,
                 const std::vector<ServeRequest> &batch,
-                std::vector<PageMapper> &mappers)
+                std::vector<PageMapper> &mappers,
+                const std::vector<std::uint64_t> *otp_block_discount)
 {
     SECNDP_ASSERT(!mappers.empty(), "need at least one shard mapper");
+    SECNDP_ASSERT(otp_block_discount == nullptr ||
+                      otp_block_discount->size() == batch.size(),
+                  "discount size %zu != batch size %zu",
+                  otp_block_discount ? otp_block_discount->size() : 0,
+                  batch.size());
     const unsigned shards = static_cast<unsigned>(mappers.size());
 
     SystemConfig shard_cfg = cfg;
@@ -70,8 +76,16 @@ runShardedBatch(const SystemConfig &cfg, ExecMode mode,
                       "pool",
                       static_cast<unsigned long long>(batch[i].id),
                       batch[i].queryIndex, pool.queries.size());
-        shard_traces[s].queries.push_back(
-            pool.queries[batch[i].queryIndex]);
+        TraceQuery q = pool.queries[batch[i].queryIndex];
+        if (otp_block_discount != nullptr) {
+            // Pads the trusted-side cache already holds: the engine
+            // skips their AES regeneration (the simulated OTP window
+            // shrinks; memory traffic is unchanged).
+            q.engineWork.dataOtpBlocks -=
+                std::min(q.engineWork.dataOtpBlocks,
+                         (*otp_block_discount)[i]);
+        }
+        shard_traces[s].queries.push_back(std::move(q));
         shard_members[s].push_back(i);
         exec.requestShard[i] = s;
     }

@@ -108,11 +108,20 @@ class BatchScheduler
  *
  * `cfg` describes ONE channel (geometry.channels is forced to 1);
  * `pool` is the request pool the batch's queryIndex values refer to.
+ *
+ * `otp_block_discount`, when non-null, is index-aligned with `batch`:
+ * entry i is the number of data OTP blocks of request i already held
+ * by the trusted-side pad cache, which the on-chip engine therefore
+ * does not regenerate. The discount is clamped to the query's own
+ * dataOtpBlocks; the pool itself is never mutated. Null (the only
+ * caller state when no cache is configured) leaves the simulated
+ * engine work byte-identical to the pre-cache serving layer.
  */
-BatchExecution runShardedBatch(const SystemConfig &cfg, ExecMode mode,
-                               const WorkloadTrace &pool,
-                               const std::vector<ServeRequest> &batch,
-                               std::vector<PageMapper> &mappers);
+BatchExecution runShardedBatch(
+    const SystemConfig &cfg, ExecMode mode, const WorkloadTrace &pool,
+    const std::vector<ServeRequest> &batch,
+    std::vector<PageMapper> &mappers,
+    const std::vector<std::uint64_t> *otp_block_discount = nullptr);
 
 } // namespace secndp
 

@@ -18,25 +18,58 @@ constexpr std::uint64_t verifyOpCap = 4096;
 
 void
 runHostCrypto(const CounterModeEncryptor &enc,
-              const std::vector<HostCryptoWork> &work, StatGroup &g)
+              const std::vector<HostCryptoWork> &work, StatGroup &g,
+              ShardedPadCache *cache)
 {
     ScopedPhase phase("host_crypto");
     constexpr std::size_t bb = CounterModeEncryptor::batchBlocks;
     std::uint8_t sink = 0;
     for (const auto &w : work) {
-        // Data-share OTPs: consecutive chunks pipelined through the
-        // batched cipher entry point (the backend decides how many
-        // blocks fly per instruction group).
-        Block128 otp[bb];
-        for (std::uint64_t b = 0; b < w.dataOtpBlocks;) {
-            const std::size_t n = std::min<std::uint64_t>(
-                bb, w.dataOtpBlocks - b);
-            enc.otpBlocks(w.addr + 16 * b, 1, std::span(otp, n));
-            for (std::size_t k = 0; k < n; ++k)
-                sink ^= otp[k][0];
-            b += n;
+        if (cache != nullptr &&
+            (!w.genChunks.empty() || !w.fetchChunks.empty())) {
+            // Cache-aware split (decided on the serve thread): only
+            // the admission misses run the cipher; their pads land
+            // in the shared cache for every later batch.
+            Block128 otp[bb];
+            for (std::size_t i = 0; i < w.genChunks.size();) {
+                const std::size_t n = std::min<std::size_t>(
+                    bb, w.genChunks.size() - i);
+                enc.otpBlocksAt(
+                    std::span(w.genChunks.data() + i, n), 1,
+                    std::span(otp, n));
+                for (std::size_t k = 0; k < n; ++k) {
+                    cache->fill(w.genChunks[i + k], 1, otp[k]);
+                    sink ^= otp[k][0];
+                }
+                i += n;
+            }
+            g.counter("otp_blocks") += w.genChunks.size();
+            for (const std::uint64_t chunk : w.fetchChunks) {
+                Block128 pad;
+                // A peek can lose the race against the filling
+                // worker; regenerate locally then (uncounted -- the
+                // counters stay interleaving-independent).
+                if (!cache->peek(chunk, 1, &pad))
+                    pad = enc.otpBlock(chunk, 1);
+                sink ^= pad[0];
+            }
+            g.counter("cache_fetched_blocks") +=
+                w.fetchChunks.size();
+        } else {
+            // Data-share OTPs: consecutive chunks pipelined through
+            // the batched cipher entry point (the backend decides how
+            // many blocks fly per instruction group).
+            Block128 otp[bb];
+            for (std::uint64_t b = 0; b < w.dataOtpBlocks;) {
+                const std::size_t n = std::min<std::uint64_t>(
+                    bb, w.dataOtpBlocks - b);
+                enc.otpBlocks(w.addr + 16 * b, 1, std::span(otp, n));
+                for (std::size_t k = 0; k < n; ++k)
+                    sink ^= otp[k][0];
+                b += n;
+            }
+            g.counter("otp_blocks") += w.dataOtpBlocks;
         }
-        g.counter("otp_blocks") += w.dataOtpBlocks;
         Fq127 tag_pads[bb];
         std::uint64_t tag_addrs[bb];
         for (std::uint64_t b = 0; b < w.tagOtpBlocks;) {
@@ -78,13 +111,15 @@ runHostCrypto(const CounterModeEncryptor &enc,
 
 IntegrityShadow::IntegrityShadow(const FaultSpec &spec,
                                  std::uint64_t seed,
-                                 const RecoveryPolicy &policy)
+                                 const RecoveryPolicy &policy,
+                                 ShardedPadCache *cache)
     : injector_(spec, seed),
       client_(Aes128::Key{0xad, 0x7e, 0x25, 0xa9, 0xad, 0x7e,
                           0x25, 0xaa, 0xad, 0x7e, 0x25, 0xab,
                           0xad, 0x7e, 0x25, 0xac}),
       recovery_(policy)
 {
+    client_.attachPadCache(cache);
     // Values < 2^20 with weights <= 8 keep every honest weighted
     // sum far below 2^32, so a clean run always verifies (paper
     // footnote 1: overflow is indistinguishable from tampering).
@@ -94,7 +129,9 @@ IntegrityShadow::IntegrityShadow(const FaultSpec &spec,
         for (std::size_t c = 0; c < shadowCols; ++c)
             plain.set(r, c, fill.next() & 0xfffff);
     // Provision twice: the first image becomes the device's stale
-    // snapshot, so replay rules have real ammunition.
+    // snapshot, so replay rules have real ammunition. (Each
+    // provision bumps the version and invalidates any attached
+    // cache's view of the region.)
     client_.provision(plain, device_);
     client_.provision(plain, device_);
     device_.attachTamperHook(&injector_);
@@ -112,6 +149,12 @@ IntegrityShadow::verifyOnce(std::uint64_t id)
     injector_.beginQuery();
     const VerifiedResult res =
         client_.weightedSumRows(device_, rows, weights, true);
+    if (!res.verified) {
+        // Replay/WrongResult caught: drop every pad cached for this
+        // region before any recovery re-read, so the retry derives
+        // everything fresh (see the constructor comment).
+        client_.flushPadCache();
+    }
     // Distinguish a true forgery from an injection that
     // annihilated mod 2^we (the delivered result is correct, so
     // verification rightly passed -- benign, not missed).

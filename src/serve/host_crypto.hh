@@ -34,6 +34,21 @@ struct HostCryptoWork
     std::uint64_t dataOtpBlocks = 0;
     std::uint64_t tagOtpBlocks = 0;
     std::uint64_t verifyOps = 0;
+    /**
+     * @name Pad-cache split (populated only when the serve loop owns
+     * a ShardedPadCache). The serve thread's admission pass replaces
+     * `dataOtpBlocks` with an explicit chunk-address split: misses
+     * the worker must generate (and fill() into the cache) and hits
+     * it fetches with a lock-held peek(). Both lists are decided on
+     * the serve thread in deterministic batch order, so the
+     * serve_worker.otp_blocks counter stays a pure function of the
+     * request stream even though fills race peeks (a peek that loses
+     * the race regenerates the pad locally, uncounted).
+     */
+    /// @{
+    std::vector<std::uint64_t> genChunks;
+    std::vector<std::uint64_t> fetchChunks;
+    /// @}
 };
 
 /**
@@ -41,11 +56,14 @@ struct HostCryptoWork
  * blocks for the data share, tag pads, and a C_Tres-style linear
  * checksum recombination in F_q. This is real CPU work -- the whole
  * point is that it runs on a worker thread while the main loop
- * simulates the next batch.
+ * simulates the next batch. With `cache` non-null, work items
+ * carrying a genChunks/fetchChunks split take the cache-aware path:
+ * misses run the cipher and fill the shared cache, hits are served
+ * from it (the AES calls the cache exists to elide).
  */
 void runHostCrypto(const CounterModeEncryptor &enc,
                    const std::vector<HostCryptoWork> &work,
-                   StatGroup &g);
+                   StatGroup &g, ShardedPadCache *cache = nullptr);
 
 /**
  * Functional integrity shadow. The serving loop itself is a
@@ -61,14 +79,26 @@ void runHostCrypto(const CounterModeEncryptor &enc,
 class IntegrityShadow
 {
   public:
+    /**
+     * @param cache optional trusted-side pad cache for the shadow
+     *        client (never shared with another key's client -- pads
+     *        are key-dependent). On every failed verification the
+     *        shadow flushes the region's cached pads before the
+     *        recovery re-read: the trusted side distrusts everything
+     *        it derived for data it just caught being tampered with,
+     *        so a replayed/forged query can never be re-checked
+     *        against a previously cached pad.
+     */
     IntegrityShadow(const FaultSpec &spec, std::uint64_t seed,
-                    const RecoveryPolicy &policy);
+                    const RecoveryPolicy &policy,
+                    ShardedPadCache *cache = nullptr);
 
     /** One read + verify of the request's shadow query. */
     bool verifyOnce(std::uint64_t id);
 
     RecoveryLoop &recovery() { return recovery_; }
     const FaultInjector &injector() const { return injector_; }
+    const SecNdpClient &client() const { return client_; }
 
   private:
     static constexpr std::size_t shadowRows = 64;

@@ -70,14 +70,30 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
     StatGroup serve("serve");
     WorkerPool workers(cfg.workers);
 
+    // Trusted-side pad cache: one instance, owned here, shared with
+    // every worker thread. The shadow client gets its own small cache
+    // (pads are key-dependent; sharing across keys would serve wrong
+    // bytes) so the recovery-flush path is live under serving too.
+    std::unique_ptr<ShardedPadCache> cache;
+    if (cfg.cache.enabled())
+        cache = std::make_unique<ShardedPadCache>(cfg.cache);
+    std::unique_ptr<ShardedPadCache> shadow_cache;
+
     // Adversary + recovery machinery exists only when configured, so
     // a clean run stays byte-identical to the pre-adversary layer: no
     // faults/verify stat groups, no shadow work, no extra branches
     // with observable effects.
     std::unique_ptr<IntegrityShadow> shadow;
     if (cfg.faults.enabled()) {
+        if (cfg.cache.enabled()) {
+            PadCacheConfig scc = cfg.cache;
+            scc.capacityBytes = std::min<std::size_t>(
+                scc.capacityBytes, std::size_t{64} << 10);
+            shadow_cache = std::make_unique<ShardedPadCache>(scc);
+        }
         shadow = std::make_unique<IntegrityShadow>(
-            cfg.faults, cfg.faultSeed, cfg.recovery);
+            cfg.faults, cfg.faultSeed, cfg.recovery,
+            shadow_cache.get());
     }
 
     // Pending arrivals: (time, id) min-heap, id as the deterministic
@@ -124,6 +140,11 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             snap->gauges["sampler." + kv.first] = kv.second;
         snap->gauges["serve.queue_depth"] =
             static_cast<double>(queue.size());
+        if (cache) {
+            snap->gauges["cache.hit_rate"] = cache->hitRate();
+            snap->gauges["cache.occupancy_entries"] =
+                static_cast<double>(cache->entries());
+        }
         if (slo) {
             slo->advanceTo(sim_now);
             for (const auto &kv : slo->gauges())
@@ -187,8 +208,47 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
             auto batch = sched.poll(now, arrivals.empty(), &wake);
             if (!batch.empty()) {
                 const double start = now;
+                // Pad-cache admission pass: the serve thread (sole
+                // policy-mutating writer) walks each request's chunk
+                // addresses in deterministic batch order. Hits
+                // discount the simulated on-chip OTP window below;
+                // the first hostOtpBlockCap chunks also become the
+                // worker's generate/fetch split. All pads here are
+                // the serving layer's synthetic version-1 stream.
+                std::vector<std::uint64_t> discount;
+                std::vector<std::vector<std::uint64_t>> gen_chunks;
+                std::vector<std::vector<std::uint64_t>> fetch_chunks;
+                if (cache) {
+                    discount.assign(batch.size(), 0);
+                    gen_chunks.resize(batch.size());
+                    fetch_chunks.resize(batch.size());
+                    for (std::size_t i = 0; i < batch.size(); ++i) {
+                        const TraceQuery &bq =
+                            pool.queries[batch[i].queryIndex];
+                        std::uint64_t budget = cfg.hostOtpBlockCap;
+                        for (const auto &range : bq.ranges) {
+                            const std::uint64_t end_addr =
+                                range.vaddr + range.bytes;
+                            for (std::uint64_t chunk =
+                                     range.vaddr & ~std::uint64_t{15};
+                                 chunk < end_addr; chunk += 16) {
+                                const bool hit =
+                                    cache->admit(chunk, 1);
+                                if (hit)
+                                    ++discount[i];
+                                if (budget > 0) {
+                                    (hit ? fetch_chunks[i]
+                                         : gen_chunks[i])
+                                        .push_back(chunk);
+                                    --budget;
+                                }
+                            }
+                        }
+                    }
+                }
                 const auto exec = runShardedBatch(
-                    shard_cfg, cfg.mode, pool, batch, mappers);
+                    shard_cfg, cfg.mode, pool, batch, mappers,
+                    cache ? &discount : nullptr);
                 busy_until = start + exec.batchServiceNs;
                 ++rep.batches;
                 ++serve.counter("batches");
@@ -318,12 +378,16 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                         std::min(q.engineWork.tagOtpBlocks,
                                  cfg.hostOtpBlockCap);
                     w.verifyOps = q.engineWork.verifyOps;
-                    host_work.push_back(w);
+                    if (cache) {
+                        w.genChunks = std::move(gen_chunks[i]);
+                        w.fetchChunks = std::move(fetch_chunks[i]);
+                    }
+                    host_work.push_back(std::move(w));
                 }
-                workers.submit([&host_enc,
+                workers.submit([&host_enc, cache_ptr = cache.get(),
                                 work = std::move(host_work)](
                                    StatGroup &g) {
-                    runHostCrypto(host_enc, work, g);
+                    runHostCrypto(host_enc, work, g, cache_ptr);
                 });
 
                 // Serving-level time series on the global timeline.
@@ -333,6 +397,15 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
                 sampler.gauge("serve_batch_fill", cycle_of(start),
                               static_cast<double>(batch.size()) /
                                   cfg.batch.maxBatch);
+                if (cache) {
+                    // Hit-rate / occupancy time series (cumulative
+                    // hit rate; armed samplers only).
+                    sampler.gauge("cache_hit_rate", cycle_of(start),
+                                  cache->hitRate());
+                    sampler.gauge(
+                        "cache_occupancy", cycle_of(start),
+                        static_cast<double>(cache->entries()));
+                }
                 publishSnapshot(busy_until, false);
                 continue; // re-evaluate at the same instant
             }
@@ -411,6 +484,15 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
         slo->advanceTo(rep.makespanNs);
         StatGroup tg("telemetry");
         slo->publish(tg);
+    }
+    if (cache) {
+        // Whole-run cache accounting as its own sidecar group;
+        // scoped so the complete snapshot below sees it. The shadow
+        // verifier's private cache is intentionally not published --
+        // it serves a different key and would pollute the serving
+        // cache's hit-rate story.
+        StatGroup cg("cache");
+        cache->publish(cg);
     }
     // Final complete snapshot: counters are whole-run totals, so a
     // post-drain scrape agrees with the stats sidecar exactly.

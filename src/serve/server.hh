@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "arch/system.hh"
+#include "cache/pad_cache.hh"
 #include "faults/fault_spec.hh"
 #include "faults/recovery.hh"
 #include "serve/batch_scheduler.hh"
@@ -112,6 +113,20 @@ struct ServeConfig
 
     /** Live telemetry hookup (all-null defaults = disabled). */
     ServeTelemetry telemetry;
+
+    /**
+     * Trusted-side pad cache (src/cache). capacityBytes == 0 (the
+     * default) disables it entirely: no cache object, no admission
+     * pass, no cache.* stats group -- the run is byte-identical to
+     * the pre-cache serving layer. When enabled, the serve loop owns
+     * ONE ShardedPadCache shared across worker threads; the serve
+     * thread alone runs the policy-mutating admission pass (in
+     * deterministic batch order), workers only peek()/fill(), so
+     * every cache.* counter is a pure function of the request
+     * stream. Cache hits shrink both the simulated on-chip OTP
+     * window (the p99 win) and the real host AES work.
+     */
+    PadCacheConfig cache;
 };
 
 /** Aggregate outcome of one serving run. */

@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the trusted-side pad cache subsystem (src/cache):
+ * eviction-policy oracles, shard distribution, version-safe
+ * invalidation (no interleaving may ever surface a stale pad), the
+ * VersionManager bump-listener hookup, a concurrent hammer for the
+ * sharded locking (run under TSan in CI), and protocol-level
+ * equivalence: a client with an attached cache returns bit-identical
+ * results to one without.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cache/pad_cache.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/counter_mode.hh"
+#include "secndp/protocol.hh"
+#include "secndp/version.hh"
+
+namespace secndp {
+namespace {
+
+constexpr Aes128::Key testKey{0x10, 0x32, 0x54, 0x76, 0x98, 0xba,
+                              0xdc, 0xfe, 0x01, 0x23, 0x45, 0x67,
+                              0x89, 0xab, 0xcd, 0xef};
+
+Block128
+padOf(std::uint8_t tag)
+{
+    Block128 b{};
+    b.fill(tag);
+    return b;
+}
+
+PadCacheConfig
+smallConfig(std::size_t entries, unsigned shards,
+            CachePolicy policy = CachePolicy::Lru)
+{
+    PadCacheConfig cfg;
+    cfg.capacityBytes = entries * ShardedPadCache::kEntryBytes;
+    cfg.shards = shards;
+    cfg.policy = policy;
+    return cfg;
+}
+
+TEST(PadCacheConfigTest, ParsePolicy)
+{
+    EXPECT_EQ(parseCachePolicy("lru"), CachePolicy::Lru);
+    EXPECT_EQ(parseCachePolicy("lfu"), CachePolicy::Lfu);
+    EXPECT_STREQ(cachePolicyName(CachePolicy::Lru), "lru");
+    EXPECT_STREQ(cachePolicyName(CachePolicy::Lfu), "lfu");
+    EXPECT_EXIT(parseCachePolicy("arc"),
+                ::testing::ExitedWithCode(1), "cache policy");
+    PadCacheConfig off;
+    EXPECT_FALSE(off.enabled());
+    off.capacityBytes = 64;
+    EXPECT_TRUE(off.enabled());
+}
+
+TEST(PadCacheTest, InsertLookupRoundTrip)
+{
+    ShardedPadCache cache(smallConfig(16, 1));
+    cache.insert(0x100, 3, padOf(0xaa));
+    Block128 pad{};
+    ASSERT_TRUE(cache.lookup(0x100, 3, &pad));
+    EXPECT_EQ(pad, padOf(0xaa));
+    EXPECT_FALSE(cache.lookup(0x110, 3, &pad)); // absent chunk
+    const auto c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.insertions, 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+/** LRU oracle: a single shard evicts exactly in recency order. */
+TEST(PadCacheTest, LruEvictionOrderOracle)
+{
+    ShardedPadCache cache(smallConfig(4, 1));
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.insert(0x1000 + 16 * k, 1, padOf(std::uint8_t(k)));
+    // Touch chunk 0: recency is now [0, 3, 2, 1].
+    Block128 pad{};
+    ASSERT_TRUE(cache.lookup(0x1000, 1, &pad));
+    // Each new insert evicts the current LRU victim: 1, then 2,
+    // then 3, then 0.
+    const std::uint64_t expected_victims[] = {0x1010, 0x1020, 0x1030,
+                                              0x1000};
+    for (std::size_t k = 0; k < 4; ++k) {
+        cache.insert(0x2000 + 16 * k, 1, padOf(0x40));
+        EXPECT_FALSE(
+            cache.peek(expected_victims[k], 1, &pad))
+            << "victim " << k << " survived";
+        EXPECT_EQ(cache.counters().evictions, k + 1);
+        EXPECT_EQ(cache.entries(), 4u);
+    }
+}
+
+/**
+ * TinyLFU admission oracle: at capacity, a never-seen candidate must
+ * not displace a resident with recorded frequency; once the
+ * candidate's sketch estimate exceeds the victim's, it gets in.
+ */
+TEST(PadCacheTest, LfuAdmissionOracle)
+{
+    ShardedPadCache cache(smallConfig(2, 1, CachePolicy::Lfu));
+    cache.insert(0x100, 1, padOf(1));
+    cache.insert(0x200, 1, padOf(2));
+    // Build frequency for both residents.
+    Block128 pad{};
+    for (int k = 0; k < 4; ++k) {
+        ASSERT_TRUE(cache.lookup(0x100, 1, &pad));
+        ASSERT_TRUE(cache.lookup(0x200, 1, &pad));
+    }
+    // A cold candidate (single sketch recording via this insert) must
+    // be rejected: both residents stay, nothing is evicted.
+    cache.insert(0x300, 1, padOf(3));
+    EXPECT_EQ(cache.counters().admissionRejects, 1u);
+    EXPECT_EQ(cache.counters().evictions, 0u);
+    EXPECT_FALSE(cache.peek(0x300, 1, &pad));
+    EXPECT_TRUE(cache.peek(0x100, 1, &pad));
+    EXPECT_TRUE(cache.peek(0x200, 1, &pad));
+    // Heat the candidate past the victim's estimate; admission then
+    // evicts the LRU resident (0x100 -- 0x200 was touched last).
+    for (int k = 0; k < 8; ++k)
+        cache.lookup(0x300, 1, &pad); // misses, but records frequency
+    cache.lookup(0x100, 1, &pad);
+    cache.lookup(0x200, 1, &pad);
+    cache.insert(0x300, 1, padOf(3));
+    EXPECT_TRUE(cache.peek(0x300, 1, &pad));
+    EXPECT_EQ(cache.counters().evictions, 1u);
+    EXPECT_FALSE(cache.peek(0x100, 1, &pad));
+    EXPECT_TRUE(cache.peek(0x200, 1, &pad));
+}
+
+TEST(PadCacheTest, ShardDistributionAndRouting)
+{
+    ShardedPadCache cache(smallConfig(1024, 8));
+    EXPECT_EQ(cache.shardCount(), 8u);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        cache.insert(0x4000 + 16 * k, 1, padOf(std::uint8_t(k)));
+    std::size_t total = 0;
+    for (unsigned s = 0; s < cache.shardCount(); ++s) {
+        const std::size_t n = cache.shardEntries(s);
+        // splitmix64 over sequential chunks: every shard should see a
+        // healthy share (64 expected; allow wide slack).
+        EXPECT_GT(n, 16u) << "shard " << s << " starved";
+        total += n;
+    }
+    EXPECT_EQ(total, 512u);
+    // shardOf() is the routing actually used by the entry points.
+    const unsigned s = cache.shardOf(0x4000);
+    const std::size_t before = cache.shardEntries(s);
+    cache.invalidate(0x4000);
+    EXPECT_EQ(cache.shardEntries(s), before - 1);
+}
+
+TEST(PadCacheTest, NonPowerOfTwoShardCountIsRounded)
+{
+    ShardedPadCache cache(smallConfig(64, 3));
+    EXPECT_EQ(cache.shardCount(), 4u);
+    // Tiny capacity collapses the shard count rather than handing a
+    // shard zero budget.
+    ShardedPadCache tiny(smallConfig(2, 16));
+    EXPECT_LE(tiny.shardCount(), 2u);
+}
+
+/** A version bump must never let the old pad surface again. */
+TEST(PadCacheTest, VersionBumpRejectsStaleEntry)
+{
+    ShardedPadCache cache(smallConfig(16, 2));
+    cache.insert(0x100, 1, padOf(0x11));
+    Block128 pad{};
+    ASSERT_TRUE(cache.lookup(0x100, 1, &pad));
+    // The writer bumped the version: the v1 pad is now stale. The
+    // v2 lookup must miss, count a stale reject, and reap the entry.
+    EXPECT_FALSE(cache.lookup(0x100, 2, &pad));
+    EXPECT_EQ(cache.counters().staleRejects, 1u);
+    EXPECT_EQ(cache.entries(), 0u);
+    // Even a lookup back at v1 misses now -- the entry is gone, not
+    // hiding behind its old tag.
+    EXPECT_FALSE(cache.lookup(0x100, 1, &pad));
+    // insert() at the new version is an eager refresh.
+    cache.insert(0x100, 2, padOf(0x22));
+    ASSERT_TRUE(cache.lookup(0x100, 2, &pad));
+    EXPECT_EQ(pad, padOf(0x22));
+}
+
+TEST(PadCacheTest, AdmitFillPeekProtocol)
+{
+    ShardedPadCache cache(smallConfig(8, 1));
+    // First admit reserves an unfilled entry and reports a miss.
+    EXPECT_FALSE(cache.admit(0x500, 1));
+    EXPECT_EQ(cache.entries(), 1u);
+    Block128 pad{};
+    // Unfilled entries satisfy neither lookup nor peek.
+    EXPECT_FALSE(cache.peek(0x500, 1, &pad));
+    EXPECT_FALSE(cache.lookup(0x500, 1, &pad));
+    // Re-admitting the reserved entry is a hit (the serve admission
+    // pass counts presence, not payload).
+    EXPECT_TRUE(cache.admit(0x500, 1));
+    // The worker fills it; both read forms now return the pad.
+    EXPECT_TRUE(cache.fill(0x500, 1, padOf(0x55)));
+    ASSERT_TRUE(cache.peek(0x500, 1, &pad));
+    EXPECT_EQ(pad, padOf(0x55));
+    ASSERT_TRUE(cache.lookup(0x500, 1, &pad));
+    EXPECT_EQ(pad, padOf(0x55));
+    // fill() for an entry that is gone (or re-versioned) reports
+    // failure and caches nothing.
+    EXPECT_FALSE(cache.fill(0x600, 1, padOf(0x66)));
+    EXPECT_FALSE(cache.peek(0x600, 1, &pad));
+    cache.invalidate(0x500);
+    EXPECT_FALSE(cache.fill(0x500, 1, padOf(0x57)));
+    // A version bump between admit and fill drops the payload.
+    EXPECT_FALSE(cache.admit(0x700, 1));
+    EXPECT_FALSE(cache.admit(0x700, 2)); // stale reject + re-reserve
+    EXPECT_FALSE(cache.fill(0x700, 1, padOf(0x77)));
+    EXPECT_FALSE(cache.peek(0x700, 1, &pad));
+    EXPECT_FALSE(cache.peek(0x700, 2, &pad));
+}
+
+TEST(PadCacheTest, InvalidateRangeAndAll)
+{
+    ShardedPadCache cache(smallConfig(64, 4));
+    for (std::uint64_t k = 0; k < 32; ++k)
+        cache.insert(0x8000 + 16 * k, 1, padOf(std::uint8_t(k)));
+    // Half-open range [0x8000, 0x8100): the first 16 chunks.
+    EXPECT_EQ(cache.invalidateRange(0x8000, 0x8100), 16u);
+    EXPECT_EQ(cache.entries(), 16u);
+    Block128 pad{};
+    EXPECT_FALSE(cache.peek(0x80f0, 1, &pad));
+    EXPECT_TRUE(cache.peek(0x8100, 1, &pad));
+    EXPECT_EQ(cache.invalidateAll(), 16u);
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.counters().invalidations, 32u);
+}
+
+/**
+ * VersionManager hookup: every freshVersion() bump reaches the
+ * listener before the caller can encrypt under the new version, and
+ * rekey() (the only sound wraparound continuation) signals a
+ * whole-space reset that must clear the cache.
+ */
+TEST(PadCacheTest, VersionManagerBumpListenerInvalidates)
+{
+    ShardedPadCache cache(smallConfig(16, 2));
+    VersionManager vm;
+    constexpr std::uint64_t regionBytes = 0x100;
+    vm.setBumpListener([&](std::uint64_t region,
+                           std::uint64_t new_version) {
+        if (region == 0 && new_version == 0) {
+            cache.invalidateAll(); // re-key: all pads dead
+            return;
+        }
+        cache.invalidateRange(region * regionBytes,
+                              (region + 1) * regionBytes);
+    });
+
+    cache.insert(0x100, 1, padOf(0x01)); // region 1
+    cache.insert(0x200, 1, padOf(0x02)); // region 2
+    vm.freshVersion(1);
+    Block128 pad{};
+    EXPECT_FALSE(cache.peek(0x100, 1, &pad)) << "stale pad survived";
+    EXPECT_TRUE(cache.peek(0x200, 1, &pad));
+    // Wraparound re-key: the whole version space re-opens, every
+    // cached pad (any region, any version) is dead.
+    cache.insert(0x100, vm.currentVersion(1), padOf(0x03));
+    vm.rekey();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_FALSE(cache.peek(0x100, 2, &pad));
+    EXPECT_FALSE(cache.peek(0x200, 1, &pad));
+    // Post-rekey versions restart from 1 and are usable again.
+    EXPECT_EQ(vm.freshVersion(7), 1u);
+}
+
+/**
+ * Concurrent hammer for the sharded locking (the CI TSan leg runs
+ * this): racing workers peek/fill while an owner thread runs the
+ * policy-mutating surface, including cross-shard invalidation.
+ * Correctness bar: no data race, no crash, and any pad a reader
+ * observes is bit-exact for its (address, version) -- never stale.
+ */
+TEST(PadCacheTest, ConcurrentHammerNeverReturnsWrongPad)
+{
+    ShardedPadCache cache(smallConfig(256, 8));
+    constexpr std::uint64_t chunks = 512;
+    constexpr std::uint64_t versions = 4;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> mismatches{0};
+
+    auto padFor = [](std::uint64_t chunk, std::uint64_t version) {
+        Block128 b{};
+        for (std::size_t i = 0; i < b.size(); ++i)
+            b[i] = static_cast<std::uint8_t>(
+                (chunk >> (8 * (i % 8))) ^ (version * 0x9d) ^ i);
+        return b;
+    };
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < 4; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng(0xc0ffee + t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::uint64_t chunk =
+                    16 * rng.nextBounded(chunks);
+                const std::uint64_t v =
+                    1 + rng.nextBounded(versions);
+                Block128 pad{};
+                if (cache.peek(chunk, v, &pad)) {
+                    if (pad != padFor(chunk, v))
+                        mismatches.fetch_add(1);
+                }
+                cache.fill(chunk, v, padFor(chunk, v));
+            }
+        });
+    }
+    // Owner thread: the policy-mutating surface.
+    Rng rng(0xfeed);
+    for (int iter = 0; iter < 20000; ++iter) {
+        const std::uint64_t chunk = 16 * rng.nextBounded(chunks);
+        const std::uint64_t v = 1 + rng.nextBounded(versions);
+        switch (rng.nextBounded(5)) {
+        case 0: {
+            Block128 pad{};
+            if (cache.lookup(chunk, v, &pad) &&
+                pad != padFor(chunk, v))
+                mismatches.fetch_add(1);
+            break;
+        }
+        case 1:
+            cache.insert(chunk, v, padFor(chunk, v));
+            break;
+        case 2:
+            cache.admit(chunk, v);
+            break;
+        case 3:
+            cache.invalidate(chunk);
+            break;
+        default:
+            cache.invalidateRange(chunk, chunk + 16 * 8);
+            break;
+        }
+    }
+    stop.store(true);
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_LE(cache.entries(), cache.capacityEntries());
+}
+
+/**
+ * The cached CounterModeEncryptor entry points must be bit-identical
+ * to the uncached batch APIs, through both the sharded cache and the
+ * one-entry InlinePadCache (the single caching code path).
+ */
+TEST(CachedOtpTest, CachedApisMatchUncachedBatch)
+{
+    Aes128 aes(testKey);
+    CounterModeEncryptor enc(aes);
+    constexpr std::uint64_t base = 0x9000;
+    constexpr std::size_t nblocks = 37;
+    std::vector<Block128> ref(nblocks);
+    enc.otpBlocks(base, 5, ref);
+
+    ShardedPadCache cache(smallConfig(64, 2));
+    std::vector<Block128> got(nblocks);
+    for (int pass = 0; pass < 2; ++pass) { // cold then warm
+        enc.otpBlocksCached(cache, base, 5, got);
+        EXPECT_EQ(got, ref) << "pass " << pass;
+    }
+    EXPECT_GT(cache.counters().hits, 0u); // warm pass actually hit
+
+    // Fill form (byte-granular, partial tail) through the store.
+    std::vector<std::uint8_t> fill_ref(nblocks * 16 - 7);
+    enc.otpFillBatch(base, 5, fill_ref);
+    std::vector<std::uint8_t> fill_got(fill_ref.size());
+    enc.otpFillCached(cache, base, 5, fill_got);
+    EXPECT_EQ(fill_got, fill_ref);
+
+    // Element form against the uncached element API, through both
+    // store types (the single caching code path).
+    InlinePadCache inl;
+    for (std::size_t k = 0; k < nblocks; ++k) {
+        const std::uint64_t paddr = base + 16 * k + 8;
+        const std::uint64_t expect =
+            enc.otpElement(paddr, ElemWidth::W64, 5);
+        EXPECT_EQ(enc.otpElementCached(inl, paddr, ElemWidth::W64, 5),
+                  expect);
+        EXPECT_EQ(
+            enc.otpElementCached(cache, paddr, ElemWidth::W64, 5),
+            expect);
+    }
+
+    // Scattered-chunk gather form against the contiguous reference.
+    std::vector<std::uint64_t> addrs{base + 16 * 5, base,
+                                     base + 16 * 20, base + 16 * 5};
+    std::vector<Block128> scattered(addrs.size());
+    enc.otpBlocksAt(addrs, 5, scattered);
+    EXPECT_EQ(scattered[0], ref[5]);
+    EXPECT_EQ(scattered[1], ref[0]);
+    EXPECT_EQ(scattered[2], ref[20]);
+    EXPECT_EQ(scattered[3], ref[5]);
+}
+
+/**
+ * Protocol-level equivalence: attaching a ShardedPadCache to a
+ * SecNdpClient changes no observable result -- same values, same
+ * verification verdicts -- across queries and re-provisions (version
+ * bumps); and the re-provision invalidates eagerly, so no stale
+ * rejects fire.
+ */
+TEST(CachedProtocolTest, CachedClientBitIdenticalAcrossReprovision)
+{
+    constexpr std::size_t n = 32, m = 8;
+    Rng rng(1234);
+    Matrix plain(n, m, ElemWidth::W32, 0x10000);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            plain.set(i, j, rng.nextBounded(0xfffff));
+
+    SecNdpClient plainClient(testKey);
+    UntrustedNdpDevice plainDevice;
+    SecNdpClient cachedClient(testKey);
+    UntrustedNdpDevice cachedDevice;
+    ShardedPadCache cache(smallConfig(4096, 4));
+    cachedClient.attachPadCache(&cache);
+    ASSERT_EQ(cachedClient.padCache(), &cache);
+
+    for (int round = 0; round < 3; ++round) {
+        // Every round re-provisions: a version bump on the whole
+        // region that must eagerly flush the cache.
+        plainClient.provision(plain, plainDevice);
+        cachedClient.provision(plain, cachedDevice);
+        for (std::uint64_t q = 0; q < 16; ++q) {
+            std::vector<std::size_t> rows;
+            std::vector<std::uint64_t> weights;
+            for (std::size_t k = 0; k < 4; ++k) {
+                rows.push_back((q * 5 + k * 11) % n);
+                weights.push_back(1 + ((q >> k) & 7));
+            }
+            const auto a =
+                plainClient.weightedSumRows(plainDevice, rows,
+                                            weights);
+            const auto b =
+                cachedClient.weightedSumRows(cachedDevice, rows,
+                                             weights);
+            EXPECT_EQ(a.values, b.values);
+            EXPECT_EQ(a.verified, b.verified);
+            EXPECT_TRUE(b.verified);
+        }
+    }
+    const auto c = cache.counters();
+    EXPECT_GT(c.hits, 0u) << "cache never engaged";
+    EXPECT_EQ(c.staleRejects, 0u)
+        << "eager provision invalidation missed a version bump";
+    EXPECT_GT(c.invalidations, 0u);
+    // flushPadCache() (the replay-recovery re-read path) empties the
+    // provisioned region; a second flush finds nothing.
+    EXPECT_GT(cachedClient.flushPadCache(), 0u);
+    EXPECT_EQ(cachedClient.flushPadCache(), 0u);
+}
+
+} // namespace
+} // namespace secndp

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/pad_cache.hh"
 #include "crypto/aes.hh"
 #include "crypto/aes_backend.hh"
 #include "crypto/counter_mode.hh"
@@ -202,7 +203,7 @@ TEST_F(BatchOtpTest, OtpElementsMatchesOtpElement)
 
 TEST_F(BatchOtpTest, OtpElementCachedMatchesAndReuses)
 {
-    CounterModeEncryptor::PadCache cache;
+    InlinePadCache cache;
     for (std::uint64_t paddr : {0x100u, 0x104u, 0x108u, 0x10Cu, // 1 chunk
                                 0x200u, 0x100u}) {
         EXPECT_EQ(

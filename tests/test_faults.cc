@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/pad_cache.hh"
 #include "common/request_trace.hh"
 #include "common/rng.hh"
 #include "faults/fault_spec.hh"
@@ -266,6 +267,47 @@ TEST_F(FaultInjectorTest, StaleSnapshotReplayIsDetected)
     EXPECT_FALSE(res.verified);
     EXPECT_EQ(inj.injectedOf(FaultKind::Replay), 1u);
     EXPECT_EQ(inj.detectedQueries(), 1u);
+}
+
+TEST_F(FaultInjectorTest, RecoveryFlushDropsVictimCachedPads)
+{
+    // Regression for the trusted-side pad cache x fault recovery
+    // interaction: after a detected Replay/WrongResult, the recovery
+    // re-read must never consume a pad cached before the fault. The
+    // IntegrityShadow flushes the region on any failed verify; this
+    // pins that the flush actually empties the victim's entries and
+    // that the honest re-read derives everything fresh.
+    PadCacheConfig ccfg;
+    ccfg.capacityBytes = std::size_t{64} << 10;
+    ccfg.shards = 4;
+    ShardedPadCache cache(ccfg);
+    client.attachPadCache(&cache);
+
+    FaultSpec spec = specOf("replay:rate=1");
+    FaultInjector inj(spec, 7, /*register_stats=*/false);
+    // Warm pass (hook detached): the victim rows' pads get cached.
+    const VerifiedResult warm = query(inj);
+    ASSERT_TRUE(warm.verified);
+    ASSERT_GT(cache.entries(), 0u);
+
+    device.attachTamperHook(&inj);
+    const VerifiedResult res = query(inj, 1);
+    device.attachTamperHook(nullptr);
+    ASSERT_FALSE(res.verified);
+
+    // The recovery path's flush: every pad cached for the region is
+    // gone, and a second flush finds nothing left behind.
+    EXPECT_GT(client.flushPadCache(), 0u);
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(client.flushPadCache(), 0u);
+
+    // Honest re-read of the same query: zero cache hits (all pads
+    // regenerated) and a passing check.
+    const auto before = cache.counters();
+    const VerifiedResult reread = query(inj, 1);
+    EXPECT_TRUE(reread.verified);
+    EXPECT_EQ(cache.counters().hits, before.hits)
+        << "a pad cached before the fault survived recovery";
 }
 
 TEST_F(FaultInjectorTest, DroppedTagIsNeverTrusted)

@@ -66,6 +66,10 @@ struct Options
     unsigned ranks = 8;
     unsigned regs = 8;
     unsigned aes = 12;
+    // Trusted-side pad cache (0 MB = off, byte-identical sidecars).
+    double cacheMb = 0.0;
+    std::string cachePolicy = "lru";
+    unsigned cacheShards = 8;
     // Request pool.
     std::string workload = "sls";
     std::string model = "rmc1-small";
@@ -189,6 +193,8 @@ printUsage(std::FILE *to, const char *argv0)
         "[--shards N]\n"
         "          [--workers N] [--queue-cap N] [--ranks N] "
         "[--regs N] [--aes N]\n"
+        "          [--cache-mb F] [--cache-policy lru|lfu] "
+        "[--cache-shards N]\n"
         "          [--workload sls|medical] [--model M] "
         "[--quant Q] [--layout L]\n"
         "          [--pool N] [--pf N] [--zipf A] "
@@ -219,6 +225,14 @@ printUsage(std::FILE *to, const char *argv0)
         "  --shards N         memory channels a batch shards "
         "across\n"
         "  --workers N        host OTP/verify worker threads\n"
+        "  --cache-mb F       trusted-side pad cache capacity in MiB "
+        "(0 = off,\n"
+        "                     the default; sidecars stay "
+        "byte-identical)\n"
+        "  --cache-policy P   eviction policy: lru | lfu "
+        "(TinyLFU admission)\n"
+        "  --cache-shards N   cache lock shards (rounded to a power "
+        "of two)\n"
         "  --inject SPEC      fault-injection rules, e.g. "
         "'flip:rate=1e-4;replay:rate=0.1'\n"
         "                     (kinds: flip|burst|tag|replay|wrong|"
@@ -369,6 +383,17 @@ main(int argc, char **argv)
         else if (arg == "--ranks") opt.ranks = std::stoul(next());
         else if (arg == "--regs") opt.regs = std::stoul(next());
         else if (arg == "--aes") opt.aes = std::stoul(next());
+        else if (arg == "--cache-mb") {
+            opt.cacheMb = std::stod(next());
+            if (opt.cacheMb < 0)
+                fatal("--cache-mb must be non-negative");
+        }
+        else if (arg == "--cache-policy") opt.cachePolicy = next();
+        else if (arg == "--cache-shards") {
+            opt.cacheShards = std::stoul(next());
+            if (opt.cacheShards == 0)
+                fatal("--cache-shards must be positive");
+        }
         else if (arg == "--workload") opt.workload = next();
         else if (arg == "--model") opt.model = next();
         else if (arg == "--quant") opt.quant = next();
@@ -453,6 +478,9 @@ main(int argc, char **argv)
         if (!opt.timeseriesOut.empty())
             fatal("--timeseries-out is server-side; pass it to the "
                   "--listen process");
+        if (opt.cacheMb > 0)
+            fatal("--cache-mb is server-side; pass it to the "
+                  "--listen process");
     }
 
     const bool tracing = !opt.traceRequests.empty() ||
@@ -503,6 +531,12 @@ main(int argc, char **argv)
     else fatal("unknown policy '%s'", opt.policy.c_str());
     cfg.queueCapacity = opt.queueCap;
     cfg.workers = opt.workers;
+    if (opt.cacheMb > 0) {
+        cfg.cache.capacityBytes = static_cast<std::size_t>(
+            opt.cacheMb * 1024.0 * 1024.0);
+        cfg.cache.policy = parseCachePolicy(opt.cachePolicy);
+        cfg.cache.shards = opt.cacheShards;
+    }
 
     if (!opt.inject.empty()) {
         std::string err;
@@ -587,6 +621,16 @@ main(int argc, char **argv)
                           opt.retryMax, opt.retryBackoffUs,
                           opt.noFallback ? 0 : 1);
             reg.setMeta("recovery", rec);
+        }
+        // Only cache-armed runs carry the cache key, so cache-off
+        // sidecars stay byte-identical to the pre-cache baselines.
+        if (cfg.cache.enabled()) {
+            char cm[96];
+            std::snprintf(cm, sizeof(cm),
+                          "mb=%.2f policy=%s shards=%u", opt.cacheMb,
+                          cachePolicyName(cfg.cache.policy),
+                          opt.cacheShards);
+            reg.setMeta("cache", cm);
         }
         // Traced runs carry a trace key (no file paths: sidecars must
         // byte-compare across output directories); untraced runs have
@@ -843,6 +887,12 @@ main(int argc, char **argv)
                 execModeName(cfg.mode), queuePolicyName(cfg.policy),
                 opt.maxBatch, opt.batchTimeoutUs, cfg.shards,
                 opt.workers);
+    if (cfg.cache.enabled()) {
+        std::printf("pad cache       %.2f MiB, policy=%s, %u "
+                    "shard(s)\n",
+                    opt.cacheMb, cachePolicyName(cfg.cache.policy),
+                    opt.cacheShards);
+    }
     std::printf("pool            %zu queries (%s)\n",
                 pool.queries.size(), opt.workload.c_str());
     std::printf("requests        %zu offered, %zu admitted, %zu "

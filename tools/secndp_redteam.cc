@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/pad_cache.hh"
 #include "common/logging.hh"
 #include "common/request_trace.hh"
 #include "common/rng.hh"
@@ -59,6 +60,10 @@ struct Options
     double sloUs = 0.0;
     int metricsPort = -1; ///< -1 off, 0 ephemeral, else fixed port
     double metricsLingerS = 0.0;
+    // Trusted-side pad cache (0 MB = off, byte-identical sidecars).
+    double cacheMb = 0.0;
+    std::string cachePolicy = "lru";
+    unsigned cacheShards = 8;
 };
 
 void
@@ -71,6 +76,8 @@ printUsage(std::FILE *to, const char *argv0)
         "[--flight-out FILE]\n"
         "          [--slo-us F] [--metrics-port N] "
         "[--metrics-linger SECONDS]\n"
+        "          [--cache-mb F] [--cache-policy lru|lfu] "
+        "[--cache-shards N]\n"
         "          [--log-level debug|info|warn|error] "
         "[--version] [--help]\n"
         "\n"
@@ -93,10 +100,21 @@ printUsage(std::FILE *to, const char *argv0)
         "unaffected)\n"
         "  --metrics-linger SECONDS  keep the endpoint up after the "
         "sweep completes\n"
+        "  --cache-mb F      attach a trusted-side pad cache to every "
+        "sweep client\n"
+        "                    (0 = off, the default) and assert that a "
+        "detected fault's\n"
+        "                    recovery flush leaves no cached pad for "
+        "the victim region\n"
+        "  --cache-policy P  eviction policy: lru | lfu\n"
+        "  --cache-shards N  cache lock shards\n"
         "\n"
         "exit status: 0 all injected faults detected and linked; "
-        "4 any missed or\n"
-        "             any fault without exactly one victim trace\n",
+        "4 any missed,\n"
+        "             any fault without exactly one victim trace, or "
+        "any stale\n"
+        "             cached pad surviving a recovery flush "
+        "(--cache-mb)\n",
         argv0);
 }
 
@@ -139,6 +157,9 @@ struct SweepRow
     double detectionRate = 1.0;
     /** Events whose victimTrace is not its query's trace ID. */
     std::uint64_t traceLinkViolations = 0;
+    /** Re-reads after a recovery flush that still hit the cache (or
+     *  failed to verify honestly) -- each one is a detection bug. */
+    std::uint64_t staleCacheSurvivals = 0;
 };
 
 /**
@@ -149,7 +170,8 @@ struct SweepRow
  */
 SweepRow
 runConfig(const FaultSpec &spec, std::uint64_t seed,
-          std::size_t queries, std::uint64_t trace_base)
+          std::size_t queries, std::uint64_t trace_base,
+          ShardedPadCache *cache)
 {
     constexpr std::size_t nRows = 64;
     constexpr std::size_t nCols = 16;
@@ -160,6 +182,12 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
                                     0x01, 0x5f, 0x4e, 0xd9, 0x01, 0x60,
                                     0x4e, 0xd9, 0x01, 0x61});
     UntrustedNdpDevice device;
+    // One cache is shared across every sweep configuration: all
+    // clients use the same key, base address, and (fresh
+    // VersionManager) version sequence, so their pad streams agree;
+    // each provision below bumps the version and invalidates the
+    // prior config's entries anyway.
+    client.attachPadCache(cache);
 
     Matrix plain(nRows, nCols, ElemWidth::W32, 0x200000);
     Rng fill(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -170,6 +198,7 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
     client.provision(plain, device); // stale snapshot for replay rules
     device.attachTamperHook(&injector);
 
+    std::uint64_t row_stale_survivals = 0;
     for (std::size_t q = 0; q < queries; ++q) {
         std::size_t rows[lookups];
         std::uint64_t weights[lookups];
@@ -201,6 +230,23 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
             intact = honest.values == res.values;
         }
         injector.recordOutcome(res.verified, intact);
+        if (cache != nullptr && !res.verified) {
+            // Detected tamper: recovery drops every pad cached for
+            // the victim region, then an honest re-read must (a)
+            // derive everything fresh -- zero cache hits -- and (b)
+            // verify. A surviving hit means a pad cached during the
+            // tampered era could feed the retry: a detection bug.
+            client.flushPadCache();
+            const auto before = cache->counters();
+            device.attachTamperHook(nullptr);
+            const VerifiedResult reread = client.weightedSumRows(
+                device, std::span(rows, lookups),
+                std::span(weights, lookups), true);
+            device.attachTamperHook(&injector);
+            const auto after = cache->counters();
+            if (after.hits != before.hits || !reread.verified)
+                ++row_stale_survivals;
+        }
         SECNDP_RQSPAN(trace_base + q, SpanKind::Verify,
                       static_cast<double>(q), 1.0, 0,
                       res.verified ? 1 : 0);
@@ -226,6 +272,7 @@ runConfig(const FaultSpec &spec, std::uint64_t seed,
     row.missed = injector.missedQueries();
     row.falseAlarms = injector.falseAlarms();
     row.detectionRate = injector.detectionRate();
+    row.staleCacheSurvivals = row_stale_survivals;
     return row;
 }
 
@@ -265,6 +312,17 @@ main(int argc, char **argv)
         }
         else if (arg == "--metrics-linger")
             opt.metricsLingerS = std::stod(next());
+        else if (arg == "--cache-mb") {
+            opt.cacheMb = std::stod(next());
+            if (opt.cacheMb < 0)
+                fatal("--cache-mb must be non-negative");
+        }
+        else if (arg == "--cache-policy") opt.cachePolicy = next();
+        else if (arg == "--cache-shards") {
+            opt.cacheShards = std::stoul(next());
+            if (opt.cacheShards == 0)
+                fatal("--cache-shards must be positive");
+        }
         else if (arg == "--log-level") {
             LogLevel level;
             if (!parseLogLevel(next(), level))
@@ -318,6 +376,25 @@ main(int argc, char **argv)
         reg.setMeta("config", knobs);
     }
 
+    // Optional trusted-side pad cache shared across every sweep
+    // client (same key / versions everywhere, see runConfig). Only
+    // cache-armed runs carry the meta key or the cache.* group, so
+    // plain sweeps stay byte-identical to the existing baselines.
+    std::unique_ptr<ShardedPadCache> cache;
+    if (opt.cacheMb > 0) {
+        PadCacheConfig ccfg;
+        ccfg.capacityBytes = static_cast<std::size_t>(
+            opt.cacheMb * 1024.0 * 1024.0);
+        ccfg.policy = parseCachePolicy(opt.cachePolicy);
+        ccfg.shards = opt.cacheShards;
+        cache = std::make_unique<ShardedPadCache>(ccfg);
+        char cm[96];
+        std::snprintf(cm, sizeof(cm), "mb=%.2f policy=%s shards=%u",
+                      opt.cacheMb, cachePolicyName(ccfg.policy),
+                      opt.cacheShards);
+        StatRegistry::instance().setMeta("cache", cm);
+    }
+
     // Live progress endpoint: the sweep thread owns every aggregate
     // group, so captureOwnedSnapshot() is race-free by construction.
     telemetry::MetricsExporter exporter;
@@ -356,6 +433,7 @@ main(int argc, char **argv)
                 "benign", "missed", "false+", "det-rate");
     std::uint64_t totalMissed = 0;
     std::uint64_t totalLinkViolations = 0;
+    std::uint64_t totalStaleSurvivals = 0;
     unsigned config = 0;
     for (FaultKind kind : kinds) {
         std::uint64_t kindDetected = 0;
@@ -372,8 +450,8 @@ main(int argc, char **argv)
                 opt.seed + 0x100000001ULL * (config + 1);
             const std::uint64_t trace_base = config * opt.queries;
             ++config;
-            const SweepRow row =
-                runConfig(spec, seed, opt.queries, trace_base);
+            const SweepRow row = runConfig(spec, seed, opt.queries,
+                                           trace_base, cache.get());
 
             std::printf("%-7s %-9.1e %8zu %8llu %9llu %9llu %7llu "
                         "%7llu %7llu %9.4f\n",
@@ -404,6 +482,7 @@ main(int argc, char **argv)
             kindMissed += row.missed;
             totalMissed += row.missed;
             totalLinkViolations += row.traceLinkViolations;
+            totalStaleSurvivals += row.staleCacheSurvivals;
             publishSnapshot(static_cast<double>(config), false);
         }
         redteam.scalar(std::string("detection_") +
@@ -416,6 +495,12 @@ main(int argc, char **argv)
     redteam.counter("configs") = config;
     redteam.counter("queries_per_config") = opt.queries;
     redteam.counter("trace_link_violations") = totalLinkViolations;
+    if (cache) {
+        redteam.counter("stale_cache_survivals") =
+            totalStaleSurvivals;
+        StatGroup cg("cache");
+        cache->publish(cg);
+    }
     const std::uint64_t det = verify.counterValue("detected");
     verify.scalar("detection_rate") =
         det + totalMissed == 0
@@ -471,8 +556,28 @@ main(int argc, char **argv)
                         totalLinkViolations));
         failed = true;
     }
+    if (totalStaleSurvivals > 0) {
+        std::printf("FAILED: %llu recovery flush(es) left a stale "
+                    "cached pad (or an honest re-read failed to "
+                    "verify)\n",
+                    static_cast<unsigned long long>(
+                        totalStaleSurvivals));
+        failed = true;
+    }
     if (failed)
         return 4;
+    if (cache) {
+        std::printf("pad cache       %llu lookups, %.4f hit rate, "
+                    "%llu invalidations, %llu stale-version "
+                    "rejects, 0 stale survivals\n",
+                    static_cast<unsigned long long>(
+                        cache->counters().lookups),
+                    cache->hitRate(),
+                    static_cast<unsigned long long>(
+                        cache->counters().invalidations),
+                    static_cast<unsigned long long>(
+                        cache->counters().staleRejects));
+    }
     std::printf("all injected faults detected and victim-linked "
                 "(%u configs x %zu queries)\n",
                 config, opt.queries);
