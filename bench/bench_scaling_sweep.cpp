@@ -1,0 +1,237 @@
+/**
+ * @file
+ * SCALING SWEEP: device generation x channels x ranks.
+ *
+ * Not a paper figure: the paper evaluates one DDR4-2400 channel
+ * (Table II). This sweep asks what the same rank-NDP design gains
+ * from newer device generations -- DDR5's faster clock and, in the
+ * pseudo-channel configuration, two independent 32-bit sub-channels
+ * per channel, each with its own per-rank PU (2x the PU count at the
+ * same pin cost). Every cell runs the identical seeded SLS batch in
+ * NDP mode and reports sustained query throughput in *time* (QPS),
+ * so generations with different memory clocks compare fairly.
+ *
+ * The scaling.* sidecar group carries the full matrix plus per-cell
+ * DDR5-pch-vs-DDR4 speedups and the headline
+ * scaling.speedup_ddr5_pch_vs_ddr4 (largest common cell), which
+ * bench/run_perf_gate.sh gates against an absolute floor.
+ *
+ * Flags (all optional; defaults are the committed gate matrix):
+ *   --gens A,B,C     device generations to sweep
+ *   --channels LIST  comma-separated channel counts
+ *   --ranks LIST     comma-separated ranks-per-channel counts
+ *   --batch N        SLS queries per run
+ *   --pf N           pooling factor
+ * CI's scaling-smoke job runs a tiny matrix twice and byte-diffs the
+ * sidecars; keep every counter seed-deterministic.
+ */
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "memsim/dram_spec.hh"
+
+using namespace secndp;
+using namespace secndp::bench;
+
+namespace {
+
+std::vector<unsigned>
+parseUnsignedList(const std::string &s, const char *flag)
+{
+    std::vector<unsigned> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string tok =
+            s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos)
+            fatal("%s: bad list element '%s'", flag, tok.c_str());
+        out.push_back(static_cast<unsigned>(std::stoul(tok)));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+parseNameList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        out.push_back(s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Generation name as a stats-scalar key fragment: '-'/'.' -> '_'. */
+std::string
+keyOf(const std::string &gen)
+{
+    std::string k = gen;
+    for (auto &c : k)
+        if (c == '-' || c == '.')
+            c = '_';
+    return k;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    std::vector<std::string> gens = dramGenerationNames();
+    std::vector<unsigned> channels = {1u, 2u};
+    std::vector<unsigned> ranks = {2u, 4u, 8u};
+    unsigned batch = 8;
+    unsigned pf = 40;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("%s needs a value", arg.c_str());
+            return argv[i];
+        };
+        if (arg == "--gens") gens = parseNameList(next());
+        else if (arg == "--channels")
+            channels = parseUnsignedList(next(), "--channels");
+        else if (arg == "--ranks")
+            ranks = parseUnsignedList(next(), "--ranks");
+        else if (arg == "--batch") batch = std::stoul(next());
+        else if (arg == "--pf") pf = std::stoul(next());
+        else fatal("unknown flag '%s'", arg.c_str());
+    }
+    if (gens.empty() || channels.empty() || ranks.empty() ||
+        batch == 0 || pf == 0)
+        fatal("empty sweep axis");
+
+    banner("Scaling sweep: DRAM generation x channels x ranks "
+           "(SLS NDP throughput)");
+    std::printf("  matrix: batch=%u pf=%u, %zu generation(s) x %zu "
+                "channel count(s) x %zu rank count(s)\n\n",
+                batch, pf, gens.size(), channels.size(), ranks.size());
+    std::printf("  %-16s %-9s %-7s %-14s %-12s\n", "generation",
+                "channels", "ranks", "NDP cycles", "QPS");
+
+    // (gen, channels, ranks) -> sustained QPS, on the time axis so
+    // the 1.2 GHz and 2.4 GHz clocks compare fairly.
+    std::map<std::string, std::map<std::pair<unsigned, unsigned>,
+                                   double>> qps;
+    for (const auto &gen : gens) {
+        const DramConfig dram = makeDramConfig(gen);
+        for (const unsigned c : channels) {
+            for (const unsigned r : ranks) {
+                SystemConfig sys = defaultSystem(r, 8);
+                sys.dram = dram;
+                sys.dram.geometry.channels = c;
+                sys.dram.geometry.ranks = r;
+                SlsTraceConfig tc;
+                tc.batch = batch;
+                tc.pf = pf;
+                const auto trace = buildSlsTrace(rmc1Small(), tc);
+                const auto m = runWorkload(sys, trace,
+                                           ExecMode::NdpUnprotected);
+                const double q =
+                    trace.queries.size() * 1e9 / m.ns;
+                qps[gen][{c, r}] = q;
+                std::printf("  %-16s %-9u %-7u %-14lld %12.0f\n",
+                            gen.c_str(), c, r,
+                            static_cast<long long>(m.cycles), q);
+            }
+        }
+    }
+
+    // Sidecar group: the matrix, per-cell DDR5-pch speedups, and the
+    // gated headline. Scoped so it retires before the sidecar dump.
+    std::string best_name;
+    {
+        StatGroup scaling("scaling");
+        double best = 0.0;
+        for (const auto &gen : gens) {
+            const std::string gk = keyOf(gen);
+            for (const auto &[cell, q] : qps[gen]) {
+                char key[96];
+                std::snprintf(key, sizeof(key), "qps_%s_c%u_r%u",
+                              gk.c_str(), cell.first, cell.second);
+                scaling.scalar(key) = q;
+                if (q > best) {
+                    best = q;
+                    char nm[96];
+                    std::snprintf(nm, sizeof(nm), "%s c%u r%u",
+                                  gen.c_str(), cell.first,
+                                  cell.second);
+                    best_name = nm;
+                }
+            }
+        }
+        scaling.scalar("best_qps") = best;
+
+        // Equal-pin speedup: DDR5 pseudo-channels vs the paper's
+        // DDR4-2400 at the same (channels, ranks) cell. The headline
+        // is the largest cell both generations ran.
+        const auto d4 = qps.find("ddr4-2400");
+        const auto d5 = qps.find("ddr5-4800-pch");
+        if (d4 != qps.end() && d5 != qps.end()) {
+            double headline = 0.0;
+            std::pair<unsigned, unsigned> headline_cell{0, 0};
+            for (const auto &[cell, q5] : d5->second) {
+                const auto base = d4->second.find(cell);
+                if (base == d4->second.end() || base->second <= 0)
+                    continue;
+                const double sp = q5 / base->second;
+                char key[96];
+                std::snprintf(key, sizeof(key),
+                              "speedup_ddr5_pch_vs_ddr4_c%u_r%u",
+                              cell.first, cell.second);
+                scaling.scalar(key) = sp;
+                if (cell >= headline_cell) {
+                    headline_cell = cell;
+                    headline = sp;
+                }
+            }
+            if (headline > 0) {
+                scaling.scalar("speedup_ddr5_pch_vs_ddr4") = headline;
+                std::printf("\n  DDR5-pch vs DDR4-2400 (equal "
+                            "channels=%u, ranks=%u): %.2fx\n",
+                            headline_cell.first, headline_cell.second,
+                            headline);
+            }
+        }
+    }
+    std::printf("  best: %s\n", best_name.c_str());
+
+    {
+        auto &reg = StatRegistry::instance();
+        reg.setMeta("tool", "bench_scaling_sweep");
+        reg.setMeta("scaling_best", best_name);
+        char knobs[64];
+        std::snprintf(knobs, sizeof(knobs), "batch=%u pf=%u", batch,
+                      pf);
+        reg.setMeta("config", knobs);
+    }
+
+    std::printf("\nshape: DDR5 pseudo-channels double the per-rank PU "
+                "count at equal pins;\nthe per-pseudo-channel line "
+                "rate matches the DDR4 bus (BL16 at 2x clock on\nhalf "
+                "the width), so NDP throughput scales with channels x "
+                "ranks x pseudo-\nchannels minus shared-command-bus "
+                "and refresh overheads.\n");
+    writeStatsSidecar("scaling_sweep");
+    return 0;
+}

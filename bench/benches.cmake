@@ -25,6 +25,7 @@ secndp_bench(bench_ablation_skew)
 secndp_bench(bench_ablation_latency)
 secndp_bench(bench_ablation_channels)
 secndp_bench(bench_ablation_provisioning)
+secndp_bench(bench_scaling_sweep)
 
 secndp_bench(bench_cache_sweep)
 target_link_libraries(bench_cache_sweep PRIVATE secndp_cache)

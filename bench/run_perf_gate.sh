@@ -163,5 +163,32 @@ run_serve_net serve_net \
     --exec-mode enc --shards 2 --workers 2 --max-batch 8
 run_redteam redteam_smoke --queries 100
 run_micro micro_crypto
+# Device-generation scaling sweep: the committed matrix (all three
+# generations x {1,2} channels x {2,4,8} ranks) in NDP mode. Every
+# scaling.* scalar is a pure function of the fixed trace seed. The
+# absolute floor below asserts the headline claim -- DDR5
+# pseudo-channels beat DDR4-2400 NDP throughput at equal channel and
+# rank count -- because thresholds.tsv only compares a config against
+# its *own* baseline, never across generations.
+SCALING="$(dirname "$SIM")/../bench/bench_scaling_sweep"
+run_scaling() {
+    local name=$1
+    echo "perf-gate: $name"
+    SECNDP_STATS_DIR="$OUT" "$SCALING" > /dev/null
+}
+run_scaling scaling_sweep
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+s = json.load(open(f"{out}/scaling_sweep.stats.json"))
+scaling = s["groups"]["scaling"]
+sp = scaling["speedup_ddr5_pch_vs_ddr4"]
+FLOOR = 1.25
+if sp < FLOOR:
+    sys.exit(f"perf-gate: scaling speedup ddr5-pch/ddr4 {sp:.2f}x "
+             f"< {FLOOR:.2f}x floor")
+print(f"perf-gate: scaling ddr5-pch vs ddr4 {sp:.2f}x "
+      f"(floor {FLOOR:.2f}x), best '{s['meta']['scaling_best']}'")
+EOF
 
 echo "perf-gate: wrote $(ls "$OUT"/*.stats.json | wc -l) sidecars to $OUT"

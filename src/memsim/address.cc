@@ -12,11 +12,13 @@ AddressMapper::AddressMapper(const DramGeometry &geo) : geo_(geo)
                       isPowerOfTwo(geo.bankGroups) &&
                       isPowerOfTwo(geo.banksPerGroup) &&
                       isPowerOfTwo(geo.ranks) &&
+                      isPowerOfTwo(geo.pseudoChannels) &&
                       isPowerOfTwo(geo.channels) &&
                       isPowerOfTwo(geo.rankBytes),
                   "DRAM geometry fields must be powers of two");
     offsetBits_ = floorLog2(geo.lineBytes);
     channelBits_ = floorLog2(geo.channels);
+    pchBits_ = floorLog2(geo.pseudoChannels);
     columnBits_ = floorLog2(geo.linesPerRow());
     bgBits_ = floorLog2(geo.bankGroups);
     bankBits_ = floorLog2(geo.banksPerGroup);
@@ -41,12 +43,13 @@ AddressMapper::decode(std::uint64_t addr) const
         bitSlice(addr, shift, shift + bankBits_));
     shift += bankBits_;
     c.rank = static_cast<unsigned>(
-        rankBits_ == 0 ? 0 : bitSlice(addr, shift, shift + rankBits_));
+        bitSlice(addr, shift, shift + rankBits_));
     shift += rankBits_;
+    c.pseudoChannel = static_cast<unsigned>(
+        bitSlice(addr, shift, shift + pchBits_));
+    shift += pchBits_;
     c.channel = static_cast<unsigned>(
-        channelBits_ == 0
-            ? 0
-            : bitSlice(addr, shift, shift + channelBits_));
+        bitSlice(addr, shift, shift + channelBits_));
     shift += channelBits_;
     c.row = bitSlice(addr, shift, shift + rowBits_);
     return c;
@@ -55,19 +58,26 @@ AddressMapper::decode(std::uint64_t addr) const
 std::uint64_t
 AddressMapper::encode(const DramCoord &coord) const
 {
+    // Mask every field to its slice width so encode() is the exact
+    // inverse of decode() even for zero-width fields (encoding a
+    // nonzero coordinate into a zero-bit slice used to smear the
+    // value into the field above -- the asymmetry the round-trip
+    // tests guard against).
     std::uint64_t addr = 0;
     unsigned shift = offsetBits_;
-    addr |= static_cast<std::uint64_t>(coord.column) << shift;
+    addr |= (coord.column & lowMask(columnBits_)) << shift;
     shift += columnBits_;
-    addr |= static_cast<std::uint64_t>(coord.bankGroup) << shift;
+    addr |= (coord.bankGroup & lowMask(bgBits_)) << shift;
     shift += bgBits_;
-    addr |= static_cast<std::uint64_t>(coord.bank) << shift;
+    addr |= (coord.bank & lowMask(bankBits_)) << shift;
     shift += bankBits_;
-    addr |= static_cast<std::uint64_t>(coord.rank) << shift;
+    addr |= (coord.rank & lowMask(rankBits_)) << shift;
     shift += rankBits_;
-    addr |= static_cast<std::uint64_t>(coord.channel) << shift;
+    addr |= (coord.pseudoChannel & lowMask(pchBits_)) << shift;
+    shift += pchBits_;
+    addr |= (coord.channel & lowMask(channelBits_)) << shift;
     shift += channelBits_;
-    addr |= coord.row << shift;
+    addr |= (coord.row & lowMask(rowBits_)) << shift;
     return addr;
 }
 

@@ -8,17 +8,20 @@
  *   [.., +lg(bankGroups))       bank group
  *   [.., +lg(banksPerGroup))    bank
  *   [.., +lg(ranks))            rank
+ *   [.., +lg(pseudoChannels))   pseudo-channel
  *   [.., +lg(channels))         channel
  *   [.., +lg(rowsPerBank))      row
  *
- * Rank and channel bits sit above the 4 KB page offset, so each OS
- * page lives entirely in one (channel, rank): that is what gives
- * rank-NDP PUs page-local work and makes the OS page mapper
- * (memsim/page_mapper) the source of rank-level load (im)balance, as
- * in the paper's methodology. (Coarse channel striping also keeps
- * multi-line rows on one channel; fine per-line channel interleave
- * would split every 128 B embedding row across channels and double
- * its activations.)
+ * Rank, pseudo-channel, and channel bits sit above the 4 KB page
+ * offset, so each OS page lives entirely in one (channel,
+ * pseudo-channel, rank): that is what gives rank-NDP PUs page-local
+ * work and makes the OS page mapper (memsim/page_mapper) the source
+ * of PU-level load (im)balance, as in the paper's methodology -- and
+ * it is also what interleaves pages across DDR5 pseudo-channels so
+ * per-pseudo-channel NDP controllers get parallel work. (Coarse
+ * channel striping also keeps multi-line rows on one sub-channel;
+ * fine per-line interleave would split every 128 B embedding row and
+ * double its activations.)
  */
 
 #ifndef SECNDP_MEMSIM_ADDRESS_HH
@@ -34,13 +37,14 @@ namespace secndp {
 struct DramCoord
 {
     unsigned channel = 0;
+    unsigned pseudoChannel = 0;
     unsigned rank = 0;
     unsigned bankGroup = 0;
     unsigned bank = 0;      ///< within the bank group
     std::uint64_t row = 0;
     unsigned column = 0;    ///< line index within the row
 
-    /** Flat bank index within the rank. */
+    /** Flat bank index within the (pseudo-channel, rank). */
     unsigned
     flatBank(const DramGeometry &geo) const
     {
@@ -74,6 +78,7 @@ class AddressMapper
     DramGeometry geo_;
     unsigned offsetBits_;
     unsigned channelBits_;
+    unsigned pchBits_;
     unsigned columnBits_;
     unsigned bgBits_;
     unsigned bankBits_;

@@ -10,29 +10,85 @@ DramChannel::DramChannel(const DramConfig &cfg)
     : cfg_(cfg), stats_("dram")
 {
     const auto &geo = cfg_.geometry;
-    ranks_.resize(geo.ranks);
+    const bool same_bank =
+        cfg_.timings.refresh == RefreshMode::SameBank;
+    SECNDP_ASSERT(!same_bank ||
+                      (cfg_.timings.tREFIsb > 0 &&
+                       cfg_.timings.tRFCsb > 0),
+                  "SameBank refresh needs tREFIsb/tRFCsb");
+    ranks_.resize(static_cast<std::size_t>(geo.pseudoChannels) *
+                  geo.ranks);
     for (auto &r : ranks_) {
         r.lastActByBg.assign(geo.bankGroups, kFarPast);
         r.lastRdByBg.assign(geo.bankGroups, kFarPast);
         r.lastWrByBg.assign(geo.bankGroups, kFarPast);
-        r.refreshDue = cfg_.timings.tREFI;
+        r.refreshDue =
+            same_bank ? cfg_.timings.tREFIsb : cfg_.timings.tREFI;
     }
-    banks_.resize(static_cast<std::size_t>(geo.ranks) *
-                  geo.banksPerRank());
+    banks_.resize(static_cast<std::size_t>(geo.pseudoChannels) *
+                  geo.ranks * geo.banksPerRank());
 }
 
 DramChannel::BankState &
 DramChannel::bank(const DramCoord &c)
 {
-    return banks_[c.rank * cfg_.geometry.banksPerRank() +
-                  c.flatBank(cfg_.geometry)];
+    const auto &geo = cfg_.geometry;
+    return banks_[(static_cast<std::size_t>(c.pseudoChannel) *
+                       geo.ranks +
+                   c.rank) *
+                      geo.banksPerRank() +
+                  c.flatBank(geo)];
 }
 
 const DramChannel::BankState &
 DramChannel::bank(const DramCoord &c) const
 {
-    return banks_[c.rank * cfg_.geometry.banksPerRank() +
-                  c.flatBank(cfg_.geometry)];
+    const auto &geo = cfg_.geometry;
+    return banks_[(static_cast<std::size_t>(c.pseudoChannel) *
+                       geo.ranks +
+                   c.rank) *
+                      geo.banksPerRank() +
+                  c.flatBank(geo)];
+}
+
+DramChannel::RankState &
+DramChannel::rankState(unsigned pch, unsigned rank)
+{
+    return ranks_[static_cast<std::size_t>(pch) *
+                      cfg_.geometry.ranks +
+                  rank];
+}
+
+const DramChannel::RankState &
+DramChannel::rankState(unsigned pch, unsigned rank) const
+{
+    return ranks_[static_cast<std::size_t>(pch) *
+                      cfg_.geometry.ranks +
+                  rank];
+}
+
+Cycle
+DramChannel::cmdBusReady(unsigned pch, Cycle now) const
+{
+    // One command per cycle on the channel's shared command bus, but
+    // only *across* pseudo-channels: same-pseudo-channel commands
+    // keep the pre-DDR5 model's leniency (rank PUs generate their
+    // own commands after a packet dispatch), and single-
+    // pseudo-channel generations never take this path at all.
+    if (cfg_.geometry.pseudoChannels <= 1)
+        return now;
+    if (lastCmdAt_ == now && lastCmdPch_ != pch)
+        return now + 1;
+    return now;
+}
+
+void
+DramChannel::takeCmdBus(unsigned pch, Cycle at)
+{
+    if (cfg_.geometry.pseudoChannels <= 1)
+        return;
+    lastCmdAt_ = at;
+    lastCmdPch_ = pch;
 }
 
 bool
@@ -54,7 +110,7 @@ DramChannel::earliestAct(const DramCoord &c, Cycle now) const
     const auto &t = cfg_.timings;
     const auto &b = bank(c);
     SECNDP_ASSERT(!b.open, "ACT to open bank");
-    const auto &r = ranks_[c.rank];
+    const auto &r = rankState(c.pseudoChannel, c.rank);
 
     Cycle ready = now;
     ready = std::max(ready, b.lastAct + t.tRC);
@@ -62,10 +118,11 @@ DramChannel::earliestAct(const DramCoord &c, Cycle now) const
     ready = std::max(ready, r.lastActByBg[c.bankGroup] + t.tRRD_L);
     ready = std::max(ready, r.lastActAny + t.tRRD_S);
     ready = std::max(ready, r.refreshUntil);
+    ready = std::max(ready, b.refreshUntil); // REFsb in flight
     // FAW: at most 4 ACTs per rank in any tFAW window.
     if (r.actWindow.size() >= 4)
         ready = std::max(ready, r.actWindow.front() + t.tFAW);
-    return ready;
+    return cmdBusReady(c.pseudoChannel, ready);
 }
 
 Cycle
@@ -79,7 +136,7 @@ DramChannel::earliestPre(const DramCoord &c, Cycle now) const
     ready = std::max(ready, b.lastAct + t.tRAS);
     ready = std::max(ready, b.lastRd + t.tRTP);
     ready = std::max(ready, b.lastWrDataEnd + t.tWR);
-    return ready;
+    return cmdBusReady(c.pseudoChannel, ready);
 }
 
 Cycle
@@ -88,7 +145,7 @@ DramChannel::earliestRd(const DramCoord &c, Cycle now) const
     const auto &t = cfg_.timings;
     const auto &b = bank(c);
     SECNDP_ASSERT(rowOpen(c), "RD to wrong/closed row");
-    const auto &r = ranks_[c.rank];
+    const auto &r = rankState(c.pseudoChannel, c.rank);
 
     Cycle ready = now;
     ready = std::max(ready, b.lastAct + t.tRCD);
@@ -97,7 +154,7 @@ DramChannel::earliestRd(const DramCoord &c, Cycle now) const
     ready = std::max(ready, r.lastWrByBg[c.bankGroup] + t.tCCD_L);
     ready = std::max(ready, r.lastWrAny + t.tCCD_S);
     ready = std::max(ready, r.lastWrDataEnd + t.tWTR);
-    return ready;
+    return cmdBusReady(c.pseudoChannel, ready);
 }
 
 Cycle
@@ -106,7 +163,7 @@ DramChannel::earliestWr(const DramCoord &c, Cycle now) const
     const auto &t = cfg_.timings;
     const auto &b = bank(c);
     SECNDP_ASSERT(rowOpen(c), "WR to wrong/closed row");
-    const auto &r = ranks_[c.rank];
+    const auto &r = rankState(c.pseudoChannel, c.rank);
 
     Cycle ready = now;
     ready = std::max(ready, b.lastAct + t.tRCD);
@@ -114,7 +171,7 @@ DramChannel::earliestWr(const DramCoord &c, Cycle now) const
     ready = std::max(ready, r.lastWrAny + t.tCCD_S);
     ready = std::max(ready, r.lastRdByBg[c.bankGroup] + t.tCCD_L);
     ready = std::max(ready, r.lastRdAny + t.tCCD_S);
-    return ready;
+    return cmdBusReady(c.pseudoChannel, ready);
 }
 
 void
@@ -122,7 +179,7 @@ DramChannel::issueAct(const DramCoord &c, Cycle at)
 {
     SECNDP_ASSERT(at >= earliestAct(c, at), "illegal ACT at %ld", at);
     auto &b = bank(c);
-    auto &r = ranks_[c.rank];
+    auto &r = rankState(c.pseudoChannel, c.rank);
     b.open = true;
     b.openRow = c.row;
     b.lastAct = at;
@@ -131,6 +188,7 @@ DramChannel::issueAct(const DramCoord &c, Cycle at)
     r.actWindow.push_back(at);
     if (r.actWindow.size() > 4)
         r.actWindow.pop_front();
+    takeCmdBus(c.pseudoChannel, at);
     // `acts` / `reads` / `writes` are Sampler probes (row_hit_rate
     // series): renaming them breaks the time-series contract.
     ++stats_.counter("acts");
@@ -143,6 +201,7 @@ DramChannel::issuePre(const DramCoord &c, Cycle at)
     auto &b = bank(c);
     b.open = false;
     b.lastPre = at;
+    takeCmdBus(c.pseudoChannel, at);
     ++stats_.counter("pres");
     // Row-buffer residency: how long the row stayed open. Long tails
     // here mean the open-page policy is paying off (or rows linger).
@@ -156,28 +215,33 @@ DramChannel::issueRd(const DramCoord &c, Cycle at)
     SECNDP_ASSERT(at >= earliestRd(c, at), "illegal RD at %ld", at);
     const auto &t = cfg_.timings;
     auto &b = bank(c);
-    auto &r = ranks_[c.rank];
+    auto &r = rankState(c.pseudoChannel, c.rank);
     b.lastRd = at;
     r.lastRdAny = at;
     r.lastRdByBg[c.bankGroup] = at;
+    takeCmdBus(c.pseudoChannel, at);
     ++stats_.counter("reads");
     return at + t.tCL + t.tBL;
 }
 
 bool
-DramChannel::refreshDue(unsigned rank, Cycle now) const
+DramChannel::refreshDue(unsigned pch, unsigned rank, Cycle now) const
 {
-    return now >= ranks_[rank].refreshDue;
+    return now >= rankState(pch, rank).refreshDue;
 }
 
 std::optional<DramCoord>
-DramChannel::openBankIn(unsigned rank) const
+DramChannel::openBankIn(unsigned pch, unsigned rank) const
 {
     const auto &geo = cfg_.geometry;
+    const std::size_t base =
+        (static_cast<std::size_t>(pch) * geo.ranks + rank) *
+        geo.banksPerRank();
     for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
-        const auto &b = banks_[rank * geo.banksPerRank() + fb];
+        const auto &b = banks_[base + fb];
         if (b.open) {
             DramCoord c;
+            c.pseudoChannel = pch;
             c.rank = rank;
             c.bankGroup = fb / geo.banksPerGroup;
             c.bank = fb % geo.banksPerGroup;
@@ -188,37 +252,106 @@ DramChannel::openBankIn(unsigned rank) const
     return std::nullopt;
 }
 
-Cycle
-DramChannel::earliestRefresh(unsigned rank, Cycle now) const
+std::optional<DramCoord>
+DramChannel::refreshBlockingBank(unsigned pch, unsigned rank) const
 {
-    const auto &t = cfg_.timings;
+    if (cfg_.timings.refresh == RefreshMode::AllBank)
+        return openBankIn(pch, rank);
+    // SameBank: only banks at the next refresh's bank address (one
+    // per bank group) must close.
     const auto &geo = cfg_.geometry;
-    Cycle ready = now;
-    for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
-        const auto &b = banks_[rank * geo.banksPerRank() + fb];
-        ready = std::max(ready, b.lastPre + t.tRP);
-        // RAS/RTP/WR constraints end in PRE; banks must be closed.
+    const unsigned target = rankState(pch, rank).sbNextBank;
+    const std::size_t base =
+        (static_cast<std::size_t>(pch) * geo.ranks + rank) *
+        geo.banksPerRank();
+    for (unsigned bg = 0; bg < geo.bankGroups; ++bg) {
+        const unsigned fb = bg * geo.banksPerGroup + target;
+        const auto &b = banks_[base + fb];
+        if (b.open) {
+            DramCoord c;
+            c.pseudoChannel = pch;
+            c.rank = rank;
+            c.bankGroup = bg;
+            c.bank = target;
+            c.row = b.openRow;
+            return c;
+        }
     }
-    return ready;
+    return std::nullopt;
 }
 
-void
-DramChannel::issueRefresh(unsigned rank, Cycle at)
+Cycle
+DramChannel::earliestRefresh(unsigned pch, unsigned rank,
+                             Cycle now) const
 {
     const auto &t = cfg_.timings;
-    SECNDP_ASSERT(!openBankIn(rank).has_value(),
-                  "REF with open banks in rank %u", rank);
-    auto &r = ranks_[rank];
-    // Respect precharge recovery of every bank in the rank.
     const auto &geo = cfg_.geometry;
-    for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
-        const auto &b = banks_[rank * geo.banksPerRank() + fb];
-        SECNDP_ASSERT(at >= b.lastPre + t.tRP,
-                      "REF inside tRP of bank %u", fb);
+    const std::size_t base =
+        (static_cast<std::size_t>(pch) * geo.ranks + rank) *
+        geo.banksPerRank();
+    Cycle ready = now;
+    if (t.refresh == RefreshMode::AllBank) {
+        for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
+            const auto &b = banks_[base + fb];
+            ready = std::max(ready, b.lastPre + t.tRP);
+            // RAS/RTP/WR constraints end in PRE; banks are closed.
+        }
+    } else {
+        const unsigned target = rankState(pch, rank).sbNextBank;
+        for (unsigned bg = 0; bg < geo.bankGroups; ++bg) {
+            const auto &b =
+                banks_[base + bg * geo.banksPerGroup + target];
+            ready = std::max(ready, b.lastPre + t.tRP);
+            ready = std::max(ready, b.refreshUntil);
+        }
     }
-    r.refreshUntil = at + t.tRFC;
-    r.refreshDue = at + t.tREFI;
+    return cmdBusReady(pch, ready);
+}
+
+unsigned
+DramChannel::issueRefresh(unsigned pch, unsigned rank, Cycle at)
+{
+    const auto &t = cfg_.timings;
+    const auto &geo = cfg_.geometry;
+    auto &r = rankState(pch, rank);
+    const std::size_t base =
+        (static_cast<std::size_t>(pch) * geo.ranks + rank) *
+        geo.banksPerRank();
+
+    if (t.refresh == RefreshMode::AllBank) {
+        SECNDP_ASSERT(!openBankIn(pch, rank).has_value(),
+                      "REF with open banks in rank %u", rank);
+        // Respect precharge recovery of every bank in the rank.
+        for (unsigned fb = 0; fb < geo.banksPerRank(); ++fb) {
+            const auto &b = banks_[base + fb];
+            SECNDP_ASSERT(at >= b.lastPre + t.tRP,
+                          "REF inside tRP of bank %u", fb);
+        }
+        r.refreshUntil = at + t.tRFC;
+        r.refreshDue = at + t.tREFI;
+        takeCmdBus(pch, at);
+        ++stats_.counter("refreshes");
+        return 0;
+    }
+
+    // SameBank: block only the target bank address, in every bank
+    // group, for tRFCsb; the rest of the rank keeps serving.
+    const unsigned target = r.sbNextBank;
+    SECNDP_ASSERT(!refreshBlockingBank(pch, rank).has_value(),
+                  "REFsb with open target bank %u in rank %u", target,
+                  rank);
+    for (unsigned bg = 0; bg < geo.bankGroups; ++bg) {
+        auto &b = banks_[base + bg * geo.banksPerGroup + target];
+        SECNDP_ASSERT(at >= b.lastPre + t.tRP,
+                      "REFsb inside tRP of bank %u", target);
+        b.refreshUntil = at + t.tRFCsb;
+    }
+    r.sbNextBank = (target + 1) % geo.banksPerGroup;
+    r.refreshDue = at + t.tREFIsb;
+    takeCmdBus(pch, at);
     ++stats_.counter("refreshes");
+    ++stats_.counter("refreshes_sb");
+    return target;
 }
 
 Cycle
@@ -227,12 +360,13 @@ DramChannel::issueWr(const DramCoord &c, Cycle at)
     SECNDP_ASSERT(at >= earliestWr(c, at), "illegal WR at %ld", at);
     const auto &t = cfg_.timings;
     auto &b = bank(c);
-    auto &r = ranks_[c.rank];
+    auto &r = rankState(c.pseudoChannel, c.rank);
     const Cycle data_end = at + t.tCWL + t.tBL;
     b.lastWrDataEnd = data_end;
     r.lastWrAny = at;
     r.lastWrByBg[c.bankGroup] = at;
     r.lastWrDataEnd = data_end;
+    takeCmdBus(c.pseudoChannel, at);
     ++stats_.counter("writes");
     return data_end;
 }

@@ -1,8 +1,23 @@
 /**
  * @file
- * Cycle-level DDR4 channel state: per-bank FSMs plus rank-level
- * constraint tracking (tCCD, tRRD, tFAW). This class owns *device*
- * legality; bus scheduling and request queues live in the controller.
+ * Cycle-level DRAM channel state: per-bank FSMs plus rank-level
+ * constraint tracking (tCCD, tRRD, tFAW), replicated per
+ * pseudo-channel for DDR5. This class owns *device* legality; bus
+ * scheduling and request queues live in the controller.
+ *
+ * Pseudo-channels (geometry.pseudoChannels > 1) are independent
+ * timing domains -- separate bank FSMs, separate rank windows,
+ * separate data buses -- EXCEPT for the channel's single command
+ * bus: at most one pseudo-channel may receive a command in any given
+ * cycle (commands to the *same* pseudo-channel keep the pre-existing
+ * model's leniency, since rank-NDP PUs generate their own commands
+ * internally). Single-pseudo-channel generations take none of these
+ * paths, so DDR4 schedules are bit-identical to the pre-DDR5 model.
+ *
+ * Refresh follows the generation's RefreshMode: AllBank (DDR4 REFab,
+ * the rank blocks for tRFC) or SameBank (DDR5 REFsb, one bank
+ * address across all bank groups blocks for tRFCsb while the rest of
+ * the rank keeps serving).
  *
  * All methods take/return absolute cycle numbers. The `earliest*`
  * queries are side-effect free; `issue*` asserts legality and updates
@@ -35,10 +50,11 @@ enum class DramCmd
     Pre,
     Rd,
     Wr,
-    Ref, ///< per-rank auto-refresh
+    Ref,   ///< per-rank all-bank auto-refresh (DDR4 REFab)
+    RefSb, ///< same-bank refresh of one bank address (DDR5 REFsb)
 };
 
-/** Cycle-level DDR4 channel device model. */
+/** Cycle-level DRAM channel device model. */
 class DramChannel
 {
   public:
@@ -75,20 +91,33 @@ class DramChannel
     /// @}
 
     /**
-     * @name Refresh (per-rank auto-refresh every tREFI; the rank is
-     * unavailable for tRFC). Controllers refresh the ranks they
-     * serve; ranks nobody touches are skipped, which cannot change
-     * any result.
+     * @name Refresh. Controllers refresh the (pseudo-channel, rank)
+     * pairs they serve; pairs nobody touches are skipped, which
+     * cannot change any result. AllBank mode refreshes the whole
+     * rank every tREFI; SameBank mode refreshes one bank address
+     * (cycling round-robin) every tREFIsb.
      */
     /// @{
-    /** Is this rank's refresh interval due at `now`? */
-    bool refreshDue(unsigned rank, Cycle now) const;
-    /** Coordinates of some open bank in the rank, if any. */
-    std::optional<DramCoord> openBankIn(unsigned rank) const;
-    /** Earliest legal REF cycle >= now (all banks must be closed). */
-    Cycle earliestRefresh(unsigned rank, Cycle now) const;
-    /** Issue REF (all banks must be closed; respects tRP). */
-    void issueRefresh(unsigned rank, Cycle at);
+    /** Is this pair's refresh interval due at `now`? */
+    bool refreshDue(unsigned pch, unsigned rank, Cycle now) const;
+    /** Coordinates of some open bank in the pair, if any. */
+    std::optional<DramCoord> openBankIn(unsigned pch,
+                                        unsigned rank) const;
+    /**
+     * Some open bank the pending refresh needs closed, if any
+     * (AllBank: any open bank; SameBank: an open bank at the next
+     * refresh's bank address).
+     */
+    std::optional<DramCoord> refreshBlockingBank(unsigned pch,
+                                                 unsigned rank) const;
+    /** Earliest legal REF cycle >= now (target banks closed). */
+    Cycle earliestRefresh(unsigned pch, unsigned rank,
+                          Cycle now) const;
+    /**
+     * Issue the refresh (target banks must be closed and past tRP).
+     * @return the refreshed bank address (SameBank) or 0 (AllBank).
+     */
+    unsigned issueRefresh(unsigned pch, unsigned rank, Cycle at);
     /// @}
 
     StatGroup &stats() { return stats_; }
@@ -103,6 +132,7 @@ class DramChannel
         Cycle lastPre = kFarPast;
         Cycle lastRd = kFarPast;
         Cycle lastWrDataEnd = kFarPast;
+        Cycle refreshUntil = kFarPast; ///< REFsb blocks this bank
     };
 
     struct RankState
@@ -117,16 +147,30 @@ class DramChannel
         Cycle lastWrDataEnd = kFarPast;
         Cycle refreshDue = 0;           ///< next REF deadline
         Cycle refreshUntil = kFarPast;  ///< rank blocked during tRFC
+        unsigned sbNextBank = 0;        ///< next REFsb bank address
     };
 
     static constexpr Cycle kFarPast = -(Cycle{1} << 40);
 
     BankState &bank(const DramCoord &c);
     const BankState &bank(const DramCoord &c) const;
+    RankState &rankState(unsigned pch, unsigned rank);
+    const RankState &rankState(unsigned pch, unsigned rank) const;
+
+    /**
+     * Earliest cycle >= now the shared command bus accepts a command
+     * for pseudo-channel `pch` (== now unless another pseudo-channel
+     * already took the bus this cycle).
+     */
+    Cycle cmdBusReady(unsigned pch, Cycle now) const;
+    /** Record a command-bus slot use at `at` by `pch`. */
+    void takeCmdBus(unsigned pch, Cycle at);
 
     DramConfig cfg_;
-    std::vector<RankState> ranks_;
-    std::vector<BankState> banks_; ///< [rank][flatBank] flattened
+    std::vector<RankState> ranks_; ///< [pch][rank] flattened
+    std::vector<BankState> banks_; ///< [pch][rank][flatBank] flattened
+    Cycle lastCmdAt_ = kFarPast;   ///< shared-command-bus arbitration
+    unsigned lastCmdPch_ = 0;
     StatGroup stats_;
 };
 

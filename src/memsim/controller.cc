@@ -13,7 +13,15 @@ MemoryController::MemoryController(DramChannel &channel, unsigned window)
 {
     SECNDP_ASSERT(window > 0, "zero scheduling window");
     mapper_ = std::make_unique<AddressMapper>(channel.config().geometry);
-    servedRanks_.assign(channel.config().geometry.ranks, 0);
+    const auto &geo = channel.config().geometry;
+    servedRanks_.assign(
+        static_cast<std::size_t>(geo.pseudoChannels) * geo.ranks, 0);
+}
+
+unsigned
+MemoryController::puIndex(const DramCoord &c) const
+{
+    return c.pseudoChannel * channel_.config().geometry.ranks + c.rank;
 }
 
 std::uint32_t
@@ -33,7 +41,7 @@ MemoryController::enqueue(const MemRequest &req, Cycle now)
     e.req = req;
     e.coord = mapper_->decode(mapper_->lineAddr(req.addr));
     e.arrived = now;
-    servedRanks_[e.coord.rank] = 1;
+    servedRanks_[puIndex(e.coord)] = 1;
     if (queue_.size() < window_)
         queue_.push_back(e);
     else
@@ -63,8 +71,8 @@ MemoryController::busReadyFor(const DramCoord &c, Cycle cmd_cycle,
     const Cycle data_lat = write ? t.tCWL : t.tCL;
     Cycle data_start = cmd_cycle + data_lat;
     Cycle bus_ok = busFreeAt_;
-    if (lastBurstRank_ >= 0 &&
-        lastBurstRank_ != static_cast<int>(c.rank))
+    if (lastBurstPu_ >= 0 &&
+        lastBurstPu_ != static_cast<int>(puIndex(c)))
         bus_ok += t.tRTRS;
     if (data_start >= bus_ok)
         return cmd_cycle;
@@ -92,7 +100,7 @@ MemoryController::tryIssue(Entry &e, Cycle now, Cycle &next_hint)
         const Cycle done = e.req.write ? channel_.issueWr(e.coord, now)
                                        : channel_.issueRd(e.coord, now);
         busFreeAt_ = done;
-        lastBurstRank_ = static_cast<int>(e.coord.rank);
+        lastBurstPu_ = static_cast<int>(puIndex(e.coord));
         stats_.counter(e.req.write ? "wr_bursts" : "rd_bursts") += 1;
         // `bus_busy_cycles` is a Sampler probe (bus_util series):
         // renaming it breaks the time-series contract.
@@ -142,11 +150,11 @@ MemoryController::tryIssue(Entry &e, Cycle now, Cycle &next_hint)
 }
 
 bool
-MemoryController::serviceRefresh(unsigned rank, Cycle now,
-                                 Cycle &next_hint)
+MemoryController::serviceRefresh(unsigned pch, unsigned rank,
+                                 Cycle now, Cycle &next_hint)
 {
-    if (const auto open = channel_.openBankIn(rank)) {
-        // Close the rank first (one PRE per tick).
+    if (const auto open = channel_.refreshBlockingBank(pch, rank)) {
+        // Close the banks the refresh needs (one PRE per tick).
         const Cycle ready = channel_.earliestPre(*open, now);
         if (ready > now) {
             next_hint = std::min(next_hint, ready);
@@ -157,18 +165,24 @@ MemoryController::serviceRefresh(unsigned rank, Cycle now,
             trace_->push_back({DramCmd::Pre, *open, now});
         return true;
     }
-    const Cycle ready = channel_.earliestRefresh(rank, now);
+    const Cycle ready = channel_.earliestRefresh(pch, rank, now);
     if (ready > now) {
         next_hint = std::min(next_hint, ready);
         return false;
     }
-    channel_.issueRefresh(rank, now);
-    debugLog("REF rank %u", rank);
+    const bool same_bank = channel_.config().timings.refresh ==
+                           RefreshMode::SameBank;
+    const unsigned target = channel_.issueRefresh(pch, rank, now);
+    debugLog("REF%s pch %u rank %u bank %u", same_bank ? "sb" : "",
+             pch, rank, target);
     ++stats_.counter("refreshes");
     if (trace_) {
         DramCoord c;
+        c.pseudoChannel = pch;
         c.rank = rank;
-        trace_->push_back({DramCmd::Ref, c, now});
+        c.bank = target; ///< REFsb bank address (0 for REFab)
+        trace_->push_back(
+            {same_bank ? DramCmd::RefSb : DramCmd::Ref, c, now});
     }
     return true;
 }
@@ -183,12 +197,15 @@ MemoryController::tick(Cycle now)
     Cycle next_hint = idleForever;
     issuedColumn_ = false;
 
-    // Refresh duty comes first: an overdue rank blocks new work until
-    // its REF is in flight.
-    for (unsigned r = 0; r < servedRanks_.size(); ++r) {
-        if (!servedRanks_[r] || !channel_.refreshDue(r, now))
+    // Refresh duty comes first: an overdue (pseudo-channel, rank)
+    // blocks new work until its REF is in flight.
+    const unsigned n_ranks = channel_.config().geometry.ranks;
+    for (unsigned pu = 0; pu < servedRanks_.size(); ++pu) {
+        const unsigned pch = pu / n_ranks;
+        const unsigned rank = pu % n_ranks;
+        if (!servedRanks_[pu] || !channel_.refreshDue(pch, rank, now))
             continue;
-        if (serviceRefresh(r, now, next_hint))
+        if (serviceRefresh(pch, rank, now, next_hint))
             return now + 1;
         return next_hint == idleForever ? now + 1 : next_hint;
     }
@@ -214,7 +231,9 @@ MemoryController::tick(Cycle now)
         // precharge/activate.
         bool oldest_for_bank = true;
         for (std::size_t k = 0; k < i; ++k) {
-            if (queue_[k].coord.rank == queue_[i].coord.rank &&
+            if (queue_[k].coord.pseudoChannel ==
+                    queue_[i].coord.pseudoChannel &&
+                queue_[k].coord.rank == queue_[i].coord.rank &&
                 queue_[k].coord.flatBank(channel_.config().geometry) ==
                     queue_[i].coord.flatBank(channel_.config().geometry)) {
                 oldest_for_bank = false;

@@ -5,12 +5,14 @@
  * One controller owns one command bus and one data bus and serves the
  * requests routed to it:
  *
- *  - CPU (non-NDP) mode: a single controller serves all ranks of the
- *    channel -- the shared 64-bit channel bus is the bottleneck, with
- *    a tRTRS turnaround between bursts from different ranks.
- *  - Rank-NDP mode: one controller per rank (each NDP PU accesses its
- *    own rank internally), giving the aggregate bandwidth that makes
- *    NDP win (paper section V, Figure 5).
+ *  - CPU (non-NDP) mode: a single controller serves all ranks of one
+ *    (channel, pseudo-channel) -- the shared channel bus is the
+ *    bottleneck, with a tRTRS turnaround between bursts from
+ *    different ranks.
+ *  - Rank-NDP mode: one controller per (pseudo-channel, rank) -- each
+ *    NDP PU accesses its own rank slice internally, giving the
+ *    aggregate bandwidth that makes NDP win (paper section V,
+ *    Figure 5); DDR5 pseudo-channels double the PU count per rank.
  *
  * Scheduling: FR-FCFS over a bounded transaction window (row hits
  * first, then oldest), open-page row policy with precharge on
@@ -122,14 +124,19 @@ class MemoryController
     CompletionFn complete_;
     std::vector<CmdTraceEntry> *trace_ = nullptr;
 
-    /** Refresh housekeeping for one served rank; true if a command
-     *  was issued (caller must stop for this cycle). */
-    bool serviceRefresh(unsigned rank, Cycle now, Cycle &next_hint);
+    /** Refresh housekeeping for one served (pseudo-channel, rank);
+     *  true if a command was issued (caller must stop this cycle). */
+    bool serviceRefresh(unsigned pch, unsigned rank, Cycle now,
+                        Cycle &next_hint);
+
+    /** Flat (pseudo-channel, rank) index. */
+    unsigned puIndex(const DramCoord &c) const;
 
     std::unique_ptr<AddressMapper> mapper_;
-    std::vector<std::uint8_t> servedRanks_; ///< ranks we refresh
-    Cycle busFreeAt_ = 0;    ///< end of last burst on this data bus
-    int lastBurstRank_ = -1; ///< for tRTRS
+    /** (pseudo-channel, rank) pairs we refresh, flat-indexed. */
+    std::vector<std::uint8_t> servedRanks_;
+    Cycle busFreeAt_ = 0;  ///< end of last burst on this data bus
+    int lastBurstPu_ = -1; ///< (pch, rank) of last burst, for tRTRS
     bool issuedColumn_ = false;
 
     /** Lazily-allocated tracer track for this controller's data bus. */

@@ -1,21 +1,44 @@
 /**
  * @file
- * DDR4 device timing and geometry parameters.
+ * Data-driven DRAM device timing and geometry parameters.
+ *
+ * The structs here are a *spec*, not a generation: every field is
+ * plain data, and the channel/controller FSMs consult only the spec,
+ * so a new device generation is a new table, not new code. Named
+ * generation tables (`ddr4-2400`, `ddr5-4800`, `ddr5-4800-pch`) live
+ * in memsim/dram_spec.*.
  *
  * Defaults reproduce paper Table II: DDR4-2400, 8 GB ranks, and the
  * listed timing constraints (all in memory-clock cycles at 1200 MHz,
  * tCK = 0.8333 ns; the data bus moves 8 bytes per beat, 2 beats per
- * cycle, so one 64-byte line takes tBL = 4 cycles).
+ * cycle, so one 64-byte line takes tBL = 4 cycles). A
+ * default-constructed DramConfig IS the paper's configuration --
+ * tests assert it stays equal to the named `ddr4-2400` table.
  */
 
 #ifndef SECNDP_MEMSIM_DRAM_PARAMS_HH
 #define SECNDP_MEMSIM_DRAM_PARAMS_HH
 
 #include <cstdint>
+#include <string>
 
 namespace secndp {
 
-/** Timing constraints, in memory-clock cycles (Table II). */
+/**
+ * Refresh scheme of the generation.
+ *
+ * AllBank: DDR4 REFab -- one REF blocks the whole rank for tRFC.
+ * SameBank: DDR5 REFsb -- a REF names one bank address and blocks
+ * only that bank in every bank group for tRFCsb, issued every
+ * tREFIsb per bank address (banks keep serving in between).
+ */
+enum class RefreshMode
+{
+    AllBank,
+    SameBank,
+};
+
+/** Timing constraints, in memory-clock cycles (Table II defaults). */
 struct DramTimings
 {
     unsigned tRC = 55;   ///< ACT -> ACT, same bank
@@ -41,9 +64,14 @@ struct DramTimings
     // Refresh (DDR4 8 Gb devices at 1200 MHz memory clock).
     unsigned tREFI = 9360; ///< average refresh interval (7.8 us)
     unsigned tRFC = 420;   ///< refresh cycle time (~350 ns)
+
+    /** Refresh scheme; SameBank generations use the *sb values. */
+    RefreshMode refresh = RefreshMode::AllBank;
+    unsigned tREFIsb = 0; ///< per-bank-address REFsb interval
+    unsigned tRFCsb = 0;  ///< same-bank refresh cycle time
 };
 
-/** Channel / rank / bank organization. */
+/** Channel / pseudo-channel / rank / bank organization. */
 struct DramGeometry
 {
     unsigned channels = 1;     ///< memory channels (Table II uses 1)
@@ -54,11 +82,28 @@ struct DramGeometry
     unsigned lineBytes = 64;   ///< cache line / burst size
     std::uint64_t rankBytes = 8ULL << 30; ///< 8 GB per rank
 
+    /**
+     * Independent sub-channels per channel (DDR5: 2). Each
+     * pseudo-channel has its own data bus and its own per-bank FSMs,
+     * but all pseudo-channels of a channel share one command bus.
+     * A rank's capacity (rankBytes) is split evenly across them.
+     */
+    unsigned pseudoChannels = 1;
+    /** Data-bus width of ONE pseudo-channel, bytes per beat
+     *  (DDR4 unified channel: 8; DDR5 pseudo-channel: 4). */
+    unsigned busBytes = 8;
+    /** Physical DIMMs sharing the channel (NDP controllers are
+     *  instantiated per DIMM x pseudo-channel x rank-per-DIMM, which
+     *  flattens to per pseudo-channel x rank). */
+    unsigned dimmsPerChannel = 1;
+
     unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
     unsigned linesPerRow() const { return rowBytes / lineBytes; }
+    unsigned ranksPerDimm() const { return ranks / dimmsPerChannel; }
+    /** Rows per bank of one pseudo-channel's slice of a rank. */
     std::uint64_t rowsPerBank() const
     {
-        return rankBytes / banksPerRank() / rowBytes;
+        return rankBytes / pseudoChannels / banksPerRank() / rowBytes;
     }
     /** Capacity of one channel. */
     std::uint64_t channelBytes() const { return rankBytes * ranks; }
@@ -76,8 +121,11 @@ struct DramClock
     double nsPerCycle() const { return 1.0 / freqGhz; }
     double cyclesFromNs(double ns) const { return ns * freqGhz; }
 
-    /** Peak data bandwidth of one 64-bit bus, in GB/s. */
-    double peakGBps() const { return freqGhz * 2.0 * 8.0; }
+    /** Peak data bandwidth of one `busBytes`-wide DDR bus, GB/s. */
+    double peakGBps(unsigned busBytes = 8) const
+    {
+        return freqGhz * 2.0 * busBytes;
+    }
 };
 
 /** Everything a channel model needs. */
@@ -86,6 +134,8 @@ struct DramConfig
     DramTimings timings;
     DramGeometry geometry;
     DramClock clock;
+    /** Generation table this config came from (run metadata). */
+    std::string generation = "ddr4-2400";
 };
 
 } // namespace secndp

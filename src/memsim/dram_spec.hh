@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Named DRAM generation tables.
+ *
+ * Three generations ship today:
+ *
+ *   ddr4-2400      paper Table II, byte-for-byte the default
+ *                  DramConfig (the baseline every golden sidecar was
+ *                  recorded under);
+ *   ddr5-4800      DDR5-4800 timings at a 2400 MHz memory clock,
+ *                  modeled as one unified 64-bit channel (no
+ *                  pseudo-channel split) -- isolates the clock/timing
+ *                  generation jump from the topology change;
+ *   ddr5-4800-pch  the same device with the real DDR5 topology: two
+ *                  32-bit pseudo-channels per channel sharing a
+ *                  command bus, burst length 16 (tBL = 8 on the
+ *                  half-width bus), same-bank refresh, and one NDP
+ *                  controller per DIMM x pseudo-channel.
+ *
+ * Timing values are JEDEC-plausible shape targets, consistent with
+ * the repo's convention that paper values are shape targets rather
+ * than absolute-number targets.
+ */
+
+#ifndef SECNDP_MEMSIM_DRAM_SPEC_HH
+#define SECNDP_MEMSIM_DRAM_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "memsim/dram_params.hh"
+
+namespace secndp {
+
+/**
+ * Look up a generation table by name. Returns false (leaving `out`
+ * untouched) for unknown names.
+ */
+bool lookupDramConfig(const std::string &name, DramConfig &out);
+
+/** As above, but fatal() on unknown names (CLI entry points). */
+DramConfig makeDramConfig(const std::string &name);
+
+/** All registered generation names, for usage/error messages. */
+const std::vector<std::string> &dramGenerationNames();
+
+/** Comma-separated generation names, for usage strings. */
+std::string dramGenerationList();
+
+/**
+ * The config of ONE pseudo-channel of one channel of `cfg`, used by
+ * the serving layer to shard work over channels x pseudo-channels:
+ * channels and pseudoChannels collapse to 1 and the rank capacity is
+ * divided by the pseudo-channel count. Timings, bus width, and bank
+ * topology are already per pseudo-channel, so they pass through. For
+ * single-pseudo-channel generations this only forces channels = 1,
+ * leaving the serving layer's pre-refactor behavior untouched.
+ */
+DramConfig perPseudoChannelConfig(const DramConfig &cfg);
+
+} // namespace secndp
+
+#endif // SECNDP_MEMSIM_DRAM_SPEC_HH

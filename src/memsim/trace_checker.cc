@@ -9,21 +9,38 @@ namespace {
 
 struct Key
 {
-    unsigned rank, bank; // flat bank
+    unsigned pch, rank, bank; // flat bank
     bool operator<(const Key &o) const
     {
+        if (pch != o.pch)
+            return pch < o.pch;
         return rank != o.rank ? rank < o.rank : bank < o.bank;
+    }
+};
+
+/** (pseudo-channel, rank) pair key. */
+using RankKey = std::pair<unsigned, unsigned>;
+/** (pseudo-channel, rank, bank group) key. */
+struct BgKey
+{
+    unsigned pch, rank, bg;
+    bool operator<(const BgKey &o) const
+    {
+        if (pch != o.pch)
+            return pch < o.pch;
+        return rank != o.rank ? rank < o.rank : bg < o.bg;
     }
 };
 
 std::string
 fmt(const char *rule, const CmdTraceEntry &e, Cycle prev, unsigned need)
 {
-    char buf[160];
+    char buf[176];
     std::snprintf(buf, sizeof(buf),
-                  "%s violated at cycle %lld (rank %u bg %u bank %u "
-                  "row %llu): prev %lld, need +%u",
-                  rule, static_cast<long long>(e.cycle), e.coord.rank,
+                  "%s violated at cycle %lld (pch %u rank %u bg %u "
+                  "bank %u row %llu): prev %lld, need +%u",
+                  rule, static_cast<long long>(e.cycle),
+                  e.coord.pseudoChannel, e.coord.rank,
                   e.coord.bankGroup, e.coord.bank,
                   static_cast<unsigned long long>(e.coord.row),
                   static_cast<long long>(prev), need);
@@ -39,6 +56,7 @@ checkCommandTrace(const DramConfig &cfg,
 {
     const auto &t = cfg.timings;
     const auto &geo = cfg.geometry;
+    const bool same_bank_ref = t.refresh == RefreshMode::SameBank;
     std::vector<std::string> bad;
 
     struct BankHist
@@ -47,20 +65,27 @@ checkCommandTrace(const DramConfig &cfg,
         std::vector<Cycle> wrDataEnds;
         bool open = false;
         std::uint64_t row = 0;
+        Cycle refreshUntil = -(Cycle{1} << 40); ///< REFsb block
     };
     std::map<Key, BankHist> banks;
-    // Per (rank, bg) and per rank command histories.
-    std::map<std::pair<unsigned, unsigned>, std::vector<Cycle>> actsByBg,
-        colByBg;
-    std::map<unsigned, std::vector<Cycle>> actsByRank, colByRank;
-    std::map<unsigned, Cycle> refreshUntil; ///< rank -> REF end
-    // Data bus bursts: (start, end, rank).
+    // Per (pch, rank, bg) and per (pch, rank) command histories.
+    std::map<BgKey, std::vector<Cycle>> actsByBg, colByBg;
+    std::map<RankKey, std::vector<Cycle>> actsByRank, colByRank;
+    std::map<RankKey, Cycle> refreshUntil; ///< REFab: rank -> end
+    // Data bus bursts: one independent data bus per pseudo-channel;
+    // tRTRS applies between bursts of different (pch, rank) pairs on
+    // the same bus.
     struct Burst
     {
         Cycle start, end;
         unsigned rank;
     };
-    std::vector<Burst> bursts;
+    std::map<unsigned, Burst> lastBurst; ///< pch -> last burst
+    // Shared command bus: at most one pseudo-channel may receive a
+    // command per cycle (only constrained when the generation splits
+    // the channel).
+    Cycle lastCmdAt = -(Cycle{1} << 40);
+    unsigned lastCmdPch = 0;
 
     Cycle prev_cycle = -(Cycle{1} << 40);
     auto checkGap = [&](const char *rule, const std::vector<Cycle> &hist,
@@ -75,24 +100,38 @@ checkCommandTrace(const DramConfig &cfg,
             bad.push_back(fmt("cycle-order", e, prev_cycle, 0));
         prev_cycle = e.cycle;
 
-        const Key key{e.coord.rank, e.coord.flatBank(geo)};
+        if (geo.pseudoChannels > 1) {
+            if (e.cycle == lastCmdAt &&
+                e.coord.pseudoChannel != lastCmdPch)
+                bad.push_back(
+                    fmt("cmd-bus-overlap", e, lastCmdAt, 1));
+            lastCmdAt = e.cycle;
+            lastCmdPch = e.coord.pseudoChannel;
+        }
+
+        const Key key{e.coord.pseudoChannel, e.coord.rank,
+                      e.coord.flatBank(geo)};
         auto &b = banks[key];
-        const auto bg_key = std::make_pair(e.coord.rank,
-                                           e.coord.bankGroup);
+        const RankKey rank_key{e.coord.pseudoChannel, e.coord.rank};
+        const BgKey bg_key{e.coord.pseudoChannel, e.coord.rank,
+                           e.coord.bankGroup};
 
         switch (e.cmd) {
           case DramCmd::Act: {
             if (b.open)
                 bad.push_back(fmt("ACT-on-open-bank", e, 0, 0));
-            if (auto it = refreshUntil.find(e.coord.rank);
+            if (auto it = refreshUntil.find(rank_key);
                 it != refreshUntil.end() && e.cycle < it->second)
                 bad.push_back(fmt("tRFC", e, it->second, t.tRFC));
+            if (e.cycle < b.refreshUntil)
+                bad.push_back(
+                    fmt("tRFCsb", e, b.refreshUntil, t.tRFCsb));
             checkGap("tRC", b.acts, e.cycle, t.tRC, e);
             checkGap("tRP", b.pres, e.cycle, t.tRP, e);
             checkGap("tRRD_L", actsByBg[bg_key], e.cycle, t.tRRD_L, e);
-            checkGap("tRRD_S", actsByRank[e.coord.rank], e.cycle,
+            checkGap("tRRD_S", actsByRank[rank_key], e.cycle,
                      t.tRRD_S, e);
-            auto &ra = actsByRank[e.coord.rank];
+            auto &ra = actsByRank[rank_key];
             if (ra.size() >= 4 &&
                 e.cycle - ra[ra.size() - 4] < static_cast<Cycle>(t.tFAW))
                 bad.push_back(fmt("tFAW", e, ra[ra.size() - 4], t.tFAW));
@@ -123,23 +162,27 @@ checkCommandTrace(const DramConfig &cfg,
                 bad.push_back(fmt("COL-on-wrong-row", e, 0, 0));
             checkGap("tRCD", b.acts, e.cycle, t.tRCD, e);
             checkGap("tCCD_L", colByBg[bg_key], e.cycle, t.tCCD_L, e);
-            checkGap("tCCD_S", colByRank[e.coord.rank], e.cycle,
+            checkGap("tCCD_S", colByRank[rank_key], e.cycle,
                      t.tCCD_S, e);
             const Cycle data_start =
                 e.cycle + (is_wr ? t.tCWL : t.tCL);
             const Cycle data_end = data_start + t.tBL;
-            if (shared_bus && !bursts.empty()) {
-                const auto &last = bursts.back();
-                Cycle need = last.end;
-                if (last.rank != e.coord.rank)
-                    need += t.tRTRS;
-                if (data_start < need)
-                    bad.push_back(fmt("data-bus-overlap", e, last.end,
-                                      t.tRTRS));
+            if (shared_bus) {
+                auto it = lastBurst.find(e.coord.pseudoChannel);
+                if (it != lastBurst.end()) {
+                    const auto &last = it->second;
+                    Cycle need = last.end;
+                    if (last.rank != e.coord.rank)
+                        need += t.tRTRS;
+                    if (data_start < need)
+                        bad.push_back(fmt("data-bus-overlap", e,
+                                          last.end, t.tRTRS));
+                }
             }
-            bursts.push_back({data_start, data_end, e.coord.rank});
+            lastBurst[e.coord.pseudoChannel] = {data_start, data_end,
+                                                e.coord.rank};
             colByBg[bg_key].push_back(e.cycle);
-            colByRank[e.coord.rank].push_back(e.cycle);
+            colByRank[rank_key].push_back(e.cycle);
             if (is_wr)
                 b.wrDataEnds.push_back(data_end);
             else
@@ -147,10 +190,11 @@ checkCommandTrace(const DramConfig &cfg,
             break;
           }
           case DramCmd::Ref: {
-            // Every bank in the rank must be precharged (and past
-            // its tRP recovery).
+            // REFab: every bank in the rank must be precharged (and
+            // past its tRP recovery).
             for (const auto &kv : banks) {
-                if (kv.first.rank != e.coord.rank)
+                if (kv.first.pch != e.coord.pseudoChannel ||
+                    kv.first.rank != e.coord.rank)
                     continue;
                 if (kv.second.open)
                     bad.push_back(fmt("REF-with-open-bank", e, 0, 0));
@@ -161,7 +205,31 @@ checkCommandTrace(const DramConfig &cfg,
                         fmt("REF-inside-tRP", e,
                             kv.second.pres.back(), t.tRP));
             }
-            refreshUntil[e.coord.rank] = e.cycle + t.tRFC;
+            refreshUntil[rank_key] = e.cycle + t.tRFC;
+            break;
+          }
+          case DramCmd::RefSb: {
+            // REFsb: e.coord.bank is the refreshed bank address --
+            // that bank in EVERY bank group of the (pch, rank) must
+            // be precharged and past tRP, and is then blocked for
+            // tRFCsb (other banks keep serving).
+            if (!same_bank_ref)
+                bad.push_back(
+                    fmt("REFsb-in-allbank-generation", e, 0, 0));
+            for (unsigned bg = 0; bg < geo.bankGroups; ++bg) {
+                const Key k{e.coord.pseudoChannel, e.coord.rank,
+                            bg * geo.banksPerGroup + e.coord.bank};
+                auto &tb = banks[k];
+                if (tb.open)
+                    bad.push_back(
+                        fmt("REFsb-with-open-bank", e, 0, 0));
+                if (!tb.pres.empty() &&
+                    e.cycle - tb.pres.back() <
+                        static_cast<Cycle>(t.tRP))
+                    bad.push_back(fmt("REFsb-inside-tRP", e,
+                                      tb.pres.back(), t.tRP));
+                tb.refreshUntil = e.cycle + t.tRFCsb;
+            }
             break;
           }
         }

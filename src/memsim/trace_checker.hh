@@ -1,12 +1,18 @@
 /**
  * @file
- * Independent DDR4 command-trace validator.
+ * Independent, generation-parameterized command-trace validator.
  *
- * Re-checks a recorded command stream against every timing rule using
- * a deliberately separate (brute-force) implementation from
- * DramChannel, so scheduler bugs cannot hide behind a shared legality
- * routine. Used by tests to certify that the controller emits only
- * legal schedules under random workloads.
+ * Re-checks a recorded command stream against every timing rule of
+ * the *active* DramConfig -- the timing table (tCCD_S/L and tRRD_S/L
+ * keyed by the generation's bank-group topology), the refresh scheme
+ * (DDR4 REFab rank blocking vs DDR5 REFsb per-bank-address
+ * blocking), per-pseudo-channel data buses, and the one-command-per-
+ * cycle shared command bus of multi-pseudo-channel generations --
+ * using a deliberately separate (brute-force) implementation from
+ * DramChannel, so scheduler bugs cannot hide behind a shared
+ * legality routine. Used by tests to certify that the controller
+ * emits only legal schedules under random workloads, for DDR4 and
+ * DDR5 command streams alike.
  */
 
 #ifndef SECNDP_MEMSIM_TRACE_CHECKER_HH
@@ -24,8 +30,9 @@ namespace secndp {
  *
  * @param cfg the DRAM configuration the trace was generated under
  * @param trace commands in non-decreasing cycle order
- * @param shared_bus whether all commands share one data bus (CPU
- *        mode); per-rank (NDP) traces should be checked per rank
+ * @param shared_bus whether the commands of each pseudo-channel
+ *        share that pseudo-channel's data bus (CPU mode); per-rank
+ *        (NDP) traces should be checked per rank
  * @return human-readable violations (empty == legal trace)
  */
 std::vector<std::string> checkCommandTrace(

@@ -21,23 +21,31 @@ NdpSimulation::run(const std::vector<NdpQuery> &queries)
 {
     const unsigned n_ranks = dramCfg_.geometry.ranks;
     const unsigned n_channels = dramCfg_.geometry.channels;
-    const unsigned n_pus = n_ranks * n_channels;
+    const unsigned n_pch = dramCfg_.geometry.pseudoChannels;
+    const unsigned n_pus = n_ranks * n_pch * n_channels;
 
-    // Fresh device + per-(channel, rank) controller state per batch.
+    // Fresh device + per-(channel, pseudo-channel, rank) controller
+    // state per batch: DDR5 pseudo-channels multiply the PU count,
+    // and their NDP command streams drain in parallel (subject to
+    // the channel's shared command bus, enforced by DramChannel).
     channels_.clear();
     for (unsigned c = 0; c < n_channels; ++c)
         channels_.push_back(std::make_unique<DramChannel>(dramCfg_));
     mapper_ = std::make_unique<AddressMapper>(dramCfg_.geometry);
     rankCtrls_.clear();
     for (unsigned c = 0; c < n_channels; ++c) {
-        for (unsigned r = 0; r < n_ranks; ++r) {
-            (void)r;
-            rankCtrls_.push_back(
-                std::make_unique<MemoryController>(*channels_[c]));
+        for (unsigned p = 0; p < n_pch; ++p) {
+            for (unsigned r = 0; r < n_ranks; ++r) {
+                (void)p;
+                (void)r;
+                rankCtrls_.push_back(
+                    std::make_unique<MemoryController>(*channels_[c]));
+            }
         }
     }
     auto pu_of = [&](const DramCoord &coord) {
-        return coord.channel * n_ranks + coord.rank;
+        return (coord.channel * n_pch + coord.pseudoChannel) * n_ranks +
+               coord.rank;
     };
 
     struct QState
@@ -202,15 +210,21 @@ runCpuBatch(const DramConfig &dram_cfg,
             const std::vector<NdpQuery> &queries)
 {
     const unsigned n_channels = dram_cfg.geometry.channels;
+    const unsigned n_pch = dram_cfg.geometry.pseudoChannels;
     AddressMapper mapper(dram_cfg.geometry);
 
-    // One shared-bus controller per channel (as in a real CPU).
+    // One shared-bus controller per (channel, pseudo-channel), as in
+    // a real CPU: each pseudo-channel has its own data bus, so it
+    // gets its own FR-FCFS bus scheduler.
     std::vector<std::unique_ptr<DramChannel>> channels;
     std::vector<std::unique_ptr<MemoryController>> ctrls;
     for (unsigned c = 0; c < n_channels; ++c) {
         channels.push_back(std::make_unique<DramChannel>(dram_cfg));
-        ctrls.push_back(
-            std::make_unique<MemoryController>(*channels[c]));
+        for (unsigned p = 0; p < n_pch; ++p) {
+            (void)p;
+            ctrls.push_back(
+                std::make_unique<MemoryController>(*channels[c]));
+        }
     }
 
     BatchResult result;
@@ -233,13 +247,45 @@ runCpuBatch(const DramConfig &dram_cfg,
         result.packets[q].issued = 0;
         result.totalLines += queries[q].lineAddrs.size();
         for (const auto addr : queries[q].lineAddrs) {
-            ctrls[mapper.decode(addr).channel]->enqueue(
-                {addr, false, q});
+            const auto coord = mapper.decode(addr);
+            ctrls[coord.channel * n_pch + coord.pseudoChannel]
+                ->enqueue({addr, false, q});
         }
     }
-    for (auto &ctrl : ctrls) {
-        result.totalCycles =
-            std::max(result.totalCycles, ctrl->drain(0));
+    if (n_pch <= 1) {
+        // Disjoint channels: sequential per-controller drains are
+        // exact (kept verbatim for DDR4 sidecar byte-identity).
+        for (auto &ctrl : ctrls) {
+            result.totalCycles =
+                std::max(result.totalCycles, ctrl->drain(0));
+        }
+    } else {
+        // Pseudo-channels share a channel's command bus, so their
+        // controllers must advance in lockstep, not one after the
+        // other.
+        auto &sampler = Sampler::instance();
+        Cycle now = 0;
+        for (;;) {
+            logSetCycle(now);
+            sampler.tick(now);
+            Cycle next = MemoryController::idleForever;
+            bool busy = false;
+            for (auto &ctrl : ctrls) {
+                if (!ctrl->busy())
+                    continue;
+                busy = true;
+                next = std::min(next, ctrl->tick(now));
+            }
+            if (!busy)
+                break;
+            now = (next == MemoryController::idleForever) ? now + 1
+                                                          : next;
+        }
+        logClearCycle();
+        result.totalCycles = now;
+        for (const auto &p : result.packets)
+            result.totalCycles =
+                std::max(result.totalCycles, p.finished);
     }
     // Short-lived group: folds into the registry's retired aggregate
     // when this function returns, so end-of-run reports see it.

@@ -10,8 +10,9 @@
  * (paper: a lightweight integer ALU suffices), so packet latency is
  * read-stream-bound:
  *
- *   - every rank serves its own lines through a private controller
- *     (rank-internal bandwidth),
+ *   - every (pseudo-channel, rank) slice serves its own lines through
+ *     a private controller (rank-internal bandwidth; DDR5
+ *     pseudo-channels double the PU count per rank),
  *   - a packet finishes when its slowest rank finishes (+ NDPLd),
  *   - a packet may only start when every PU has a free register
  *     (NDP_reg bounds in-flight packets).
@@ -87,7 +88,7 @@ class NdpSimulation
     StatGroup stats_{"ndp"};
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::unique_ptr<AddressMapper> mapper_;
-    /** One controller per (channel, rank) PU. */
+    /** One controller per (channel, pseudo-channel, rank) PU. */
     std::vector<std::unique_ptr<MemoryController>> rankCtrls_;
 };
 

@@ -338,8 +338,9 @@ printSummary(std::ostream &os, const StatsReport &r)
     std::vector<std::pair<std::string, double>> scalars;
     std::vector<std::pair<std::string, double>> integrity;
     std::vector<std::pair<std::string, double>> crypto;
-    std::map<std::string, double> cache; // suffix -> value
-    std::map<std::string, bool> objects; // prefix -> has p50
+    std::map<std::string, double> cache;   // suffix -> value
+    std::map<std::string, double> scaling; // suffix -> value
+    std::map<std::string, bool> objects;   // prefix -> has p50
     std::vector<std::pair<std::string, double>> phases;
     const auto isIntegrity = [](const std::string &name) {
         return name.rfind("faults.", 0) == 0 ||
@@ -357,6 +358,10 @@ printSummary(std::ostream &os, const StatsReport &r)
         }
         if (kv.first.rfind("cache.", 0) == 0) {
             cache[kv.first.substr(6)] = kv.second;
+            continue;
+        }
+        if (kv.first.rfind("scaling.", 0) == 0) {
+            scaling[kv.first.substr(8)] = kv.second;
             continue;
         }
         const std::string prefix = objectPrefix(kv.first);
@@ -400,6 +405,33 @@ printSummary(std::ostream &os, const StatsReport &r)
                       fmtNum(get("evictions")).c_str(),
                       fmtNum(get("stale_version_rejects")).c_str(),
                       fmtNum(get("invalidations")).c_str());
+        os << line;
+    }
+    // Device-generation scaling sweep: one line when the run
+    // published a scaling.* group (bench_scaling_sweep), silent
+    // otherwise.
+    if (!scaling.empty()) {
+        std::size_t cells = 0;
+        for (const auto &kv : scaling)
+            if (kv.first.rfind("qps_", 0) == 0)
+                ++cells;
+        const auto best = r.meta.find("scaling_best");
+        const auto sp = scaling.find("speedup_ddr5_pch_vs_ddr4");
+        char line[256];
+        if (sp != scaling.end()) {
+            std::snprintf(line, sizeof(line),
+                          "  scaling: %zu cell(s), best %s, "
+                          "ddr5-pch vs ddr4 %.2fx\n",
+                          cells,
+                          best != r.meta.end() ? best->second.c_str()
+                                               : "?",
+                          sp->second);
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "  scaling: %zu cell(s), best %s\n", cells,
+                          best != r.meta.end() ? best->second.c_str()
+                                               : "?");
+        }
         os << line;
     }
     if (!integrity.empty()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "memsim/dram_spec.hh"
 
 namespace secndp {
 
@@ -57,8 +58,10 @@ runShardedBatch(const SystemConfig &cfg, ExecMode mode,
                   batch.size());
     const unsigned shards = static_cast<unsigned>(mappers.size());
 
+    // Normalize to one (channel, pseudo-channel) slice; identity when
+    // the caller already passed a per-slice config.
     SystemConfig shard_cfg = cfg;
-    shard_cfg.dram.geometry.channels = 1;
+    shard_cfg.dram = perPseudoChannelConfig(cfg.dram);
 
     BatchExecution exec;
     exec.requestServiceNs.resize(batch.size(), 0.0);

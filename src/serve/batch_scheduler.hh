@@ -14,10 +14,14 @@
  *                    remainder out.
  *
  * A flushed batch is sharded round-robin across `shards` simulated
- * memory channels; each shard drives the existing arch::System
- * (memsim + ndp + engine pipeline) for its sub-batch, and the batch
- * occupies the serving system until its slowest shard finishes --
- * exactly how a multi-channel NDP DIMM pool behaves.
+ * (channel, pseudo-channel) slices; each shard drives the existing
+ * arch::System (memsim + ndp + engine pipeline) for its sub-batch,
+ * and the batch occupies the serving system until its slowest shard
+ * finishes -- exactly how a multi-channel NDP DIMM pool behaves. On
+ * DDR5 pseudo-channel generations the serving layer treats each
+ * pseudo-channel as an extra independent shard (command-bus
+ * contention between pseudo-channels is modeled by the cycle-level
+ * benches, not here).
  */
 
 #ifndef SECNDP_SERVE_BATCH_SCHEDULER_HH
@@ -106,8 +110,9 @@ class BatchScheduler
  * `mappers.size()` channels (each mapper is that channel's persistent
  * demand-paging state) and run the arch::System pipeline per shard.
  *
- * `cfg` describes ONE channel (geometry.channels is forced to 1);
- * `pool` is the request pool the batch's queryIndex values refer to.
+ * `cfg` describes ONE (channel, pseudo-channel) slice (the dram
+ * config is normalized through perPseudoChannelConfig); `pool` is the
+ * request pool the batch's queryIndex values refer to.
  *
  * `otp_block_discount`, when non-null, is index-aligned with `batch`:
  * entry i is the number of data OTP blocks of request i already held

@@ -19,6 +19,7 @@
 #include "crypto/aes.hh"
 #include "crypto/counter_mode.hh"
 #include "faults/injector.hh"
+#include "memsim/dram_spec.hh"
 #include "secndp/protocol.hh"
 #include "serve/host_crypto.hh"
 #include "serve/worker_pool.hh"
@@ -44,16 +45,25 @@ runServe(const ServeConfig &cfg, const LoadConfig &load,
     const std::size_t total = load.requests;
     ServeReport rep;
 
+    // DDR5 pseudo-channels multiply the shard count: each (channel,
+    // pseudo-channel) slice is an independent serving lane with its
+    // own NDP controllers. Approximation: serve shards do not model
+    // cross-pseudo-channel command-bus contention (the cycle-level
+    // benches do); for pseudoChannels == 1 this degenerates to the
+    // original per-channel sharding byte-for-byte.
+    const unsigned eff_shards =
+        std::max(cfg.shards, 1u) *
+        std::max(cfg.sys.dram.geometry.pseudoChannels, 1u);
     RequestQueue queue(cfg.policy, cfg.queueCapacity);
-    BatchScheduler sched(queue, cfg.batch, cfg.shards);
+    BatchScheduler sched(queue, cfg.batch, eff_shards);
 
-    // One persistent demand-paging mapper per channel: rows keep their
+    // One persistent demand-paging mapper per shard: rows keep their
     // physical placement across the whole serving run.
     SystemConfig shard_cfg = cfg.sys;
-    shard_cfg.dram.geometry.channels = 1;
+    shard_cfg.dram = perPseudoChannelConfig(cfg.sys.dram);
     std::vector<PageMapper> mappers;
-    mappers.reserve(cfg.shards ? cfg.shards : 1);
-    for (unsigned s = 0; s < std::max(cfg.shards, 1u); ++s) {
+    mappers.reserve(eff_shards);
+    for (unsigned s = 0; s < eff_shards; ++s) {
         mappers.emplace_back(shard_cfg.dram.geometry.totalBytes(), 4096,
                              cfg.sys.pageSeed + s);
     }

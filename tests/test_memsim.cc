@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/rng.hh"
 #include "memsim/controller.hh"
+#include "memsim/dram_spec.hh"
 #include "memsim/page_mapper.hh"
 #include "memsim/trace_checker.hh"
 
@@ -23,6 +26,16 @@ smallConfig(unsigned ranks = 2)
     DramConfig cfg;
     cfg.geometry.ranks = ranks;
     cfg.geometry.rankBytes = 1ULL << 26; // 64 MB ranks for fast tests
+    return cfg;
+}
+
+/** DDR5 pseudo-channel generation, shrunk for fast tests. */
+DramConfig
+ddr5Small(unsigned ranks = 2)
+{
+    DramConfig cfg = makeDramConfig("ddr5-4800-pch");
+    cfg.geometry.ranks = ranks;
+    cfg.geometry.rankBytes = 1ULL << 26;
     return cfg;
 }
 
@@ -476,7 +489,7 @@ TEST(Refresh, RefBlocksRankForTrfc)
     DramChannel ch(cfg);
     AddressMapper mapper(cfg.geometry);
     const DramCoord c = mapper.decode(0);
-    ch.issueRefresh(0, 100);
+    ch.issueRefresh(0, 0, 100);
     EXPECT_EQ(ch.earliestAct(c, 100), 100 + cfg.timings.tRFC);
 }
 
@@ -486,7 +499,7 @@ TEST(Refresh, RefWithOpenBankDies)
     DramChannel ch(cfg);
     AddressMapper mapper(cfg.geometry);
     ch.issueAct(mapper.decode(0), 0);
-    EXPECT_DEATH(ch.issueRefresh(0, 50), "open banks");
+    EXPECT_DEATH(ch.issueRefresh(0, 0, 50), "open banks");
 }
 
 TEST(TraceChecker, CatchesRefreshViolations)
@@ -529,6 +542,423 @@ TEST(TraceChecker, CatchesViolations)
     bad = checkCommandTrace(cfg, trace);
     EXPECT_FALSE(bad.empty());
 }
+
+// ---------------------------------------------------------------
+// Device-generation tables (memsim/dram_spec).
+// ---------------------------------------------------------------
+
+TEST(DramSpec, NamedDdr4EqualsDefaults)
+{
+    // The golden perf baselines were recorded under default-
+    // constructed configs; `--dram ddr4-2400` is documented to be
+    // byte-identical to them, which requires field equality here.
+    const DramConfig def;
+    const DramConfig named = makeDramConfig("ddr4-2400");
+    EXPECT_EQ(named.generation, "ddr4-2400");
+    EXPECT_EQ(named.timings.tRC, def.timings.tRC);
+    EXPECT_EQ(named.timings.tRCD, def.timings.tRCD);
+    EXPECT_EQ(named.timings.tCL, def.timings.tCL);
+    EXPECT_EQ(named.timings.tRP, def.timings.tRP);
+    EXPECT_EQ(named.timings.tBL, def.timings.tBL);
+    EXPECT_EQ(named.timings.tCCD_S, def.timings.tCCD_S);
+    EXPECT_EQ(named.timings.tCCD_L, def.timings.tCCD_L);
+    EXPECT_EQ(named.timings.tRRD_S, def.timings.tRRD_S);
+    EXPECT_EQ(named.timings.tRRD_L, def.timings.tRRD_L);
+    EXPECT_EQ(named.timings.tFAW, def.timings.tFAW);
+    EXPECT_EQ(named.timings.tRAS, def.timings.tRAS);
+    EXPECT_EQ(named.timings.tRTP, def.timings.tRTP);
+    EXPECT_EQ(named.timings.tRTRS, def.timings.tRTRS);
+    EXPECT_EQ(named.timings.tCWL, def.timings.tCWL);
+    EXPECT_EQ(named.timings.tWR, def.timings.tWR);
+    EXPECT_EQ(named.timings.tWTR, def.timings.tWTR);
+    EXPECT_EQ(named.timings.tREFI, def.timings.tREFI);
+    EXPECT_EQ(named.timings.tRFC, def.timings.tRFC);
+    EXPECT_EQ(named.timings.refresh, def.timings.refresh);
+    EXPECT_EQ(named.geometry.channels, def.geometry.channels);
+    EXPECT_EQ(named.geometry.ranks, def.geometry.ranks);
+    EXPECT_EQ(named.geometry.bankGroups, def.geometry.bankGroups);
+    EXPECT_EQ(named.geometry.banksPerGroup,
+              def.geometry.banksPerGroup);
+    EXPECT_EQ(named.geometry.rowBytes, def.geometry.rowBytes);
+    EXPECT_EQ(named.geometry.lineBytes, def.geometry.lineBytes);
+    EXPECT_EQ(named.geometry.rankBytes, def.geometry.rankBytes);
+    EXPECT_EQ(named.geometry.pseudoChannels,
+              def.geometry.pseudoChannels);
+    EXPECT_EQ(named.geometry.busBytes, def.geometry.busBytes);
+    EXPECT_EQ(named.geometry.dimmsPerChannel,
+              def.geometry.dimmsPerChannel);
+    EXPECT_DOUBLE_EQ(named.clock.freqGhz, def.clock.freqGhz);
+}
+
+TEST(DramSpec, EveryListedGenerationResolves)
+{
+    for (const auto &name : dramGenerationNames()) {
+        DramConfig cfg;
+        ASSERT_TRUE(lookupDramConfig(name, cfg)) << name;
+        EXPECT_EQ(cfg.generation, name);
+        EXPECT_GT(cfg.clock.peakGBps(cfg.geometry.busBytes), 0.0);
+        if (cfg.timings.refresh == RefreshMode::SameBank) {
+            EXPECT_GT(cfg.timings.tREFIsb, 0u) << name;
+            EXPECT_GT(cfg.timings.tRFCsb, 0u) << name;
+        }
+    }
+    DramConfig cfg;
+    EXPECT_FALSE(lookupDramConfig("ddr3-1600", cfg));
+}
+
+TEST(DramSpec, UnknownGenerationDies)
+{
+    EXPECT_DEATH(makeDramConfig("ddr9-9999"),
+                 "unknown DRAM generation");
+}
+
+TEST(DramSpec, PerPseudoChannelConfigSplitsCapacity)
+{
+    const DramConfig pch = makeDramConfig("ddr5-4800-pch");
+    const DramConfig shard = perPseudoChannelConfig(pch);
+    EXPECT_EQ(shard.geometry.channels, 1u);
+    EXPECT_EQ(shard.geometry.pseudoChannels, 1u);
+    EXPECT_EQ(shard.geometry.rankBytes,
+              pch.geometry.rankBytes / pch.geometry.pseudoChannels);
+    // One pseudo-channel's slice keeps the same bank shape.
+    EXPECT_EQ(shard.geometry.rowsPerBank(), pch.geometry.rowsPerBank());
+
+    // Identity on single-pseudo-channel generations (byte-identity of
+    // the serving layer's DDR4 shard path depends on this).
+    const DramConfig d4 = makeDramConfig("ddr4-2400");
+    const DramConfig d4s = perPseudoChannelConfig(d4);
+    EXPECT_EQ(d4s.geometry.rankBytes, d4.geometry.rankBytes);
+    EXPECT_EQ(d4s.geometry.pseudoChannels, 1u);
+    EXPECT_EQ(d4s.geometry.channels, 1u);
+}
+
+// ---------------------------------------------------------------
+// Address mapping across generations (pseudo-channel bit slice).
+// ---------------------------------------------------------------
+
+TEST(AddressMapper, RoundtripAllGenerationsAndInterleaves)
+{
+    for (const auto &name : dramGenerationNames()) {
+        for (unsigned channels : {1u, 2u}) {
+            DramConfig cfg = makeDramConfig(name);
+            cfg.geometry.ranks = 4;
+            cfg.geometry.rankBytes = 1ULL << 26;
+            cfg.geometry.channels = channels;
+            AddressMapper mapper(cfg.geometry);
+            Rng rng(11);
+            for (int i = 0; i < 1500; ++i) {
+                const std::uint64_t addr = mapper.lineAddr(
+                    rng.nextBounded(cfg.geometry.totalBytes()));
+                const DramCoord c = mapper.decode(addr);
+                EXPECT_EQ(mapper.encode(c), addr)
+                    << name << " channels=" << channels;
+                EXPECT_LT(c.channel, channels);
+                EXPECT_LT(c.pseudoChannel,
+                          cfg.geometry.pseudoChannels);
+                EXPECT_LT(c.rank, 4u);
+                EXPECT_LT(c.bankGroup, cfg.geometry.bankGroups);
+                EXPECT_LT(c.bank, cfg.geometry.banksPerGroup);
+                EXPECT_LT(c.row, cfg.geometry.rowsPerBank());
+                EXPECT_LT(c.column, cfg.geometry.linesPerRow());
+            }
+        }
+    }
+}
+
+TEST(AddressMapper, PseudoChannelBitsSitAbovePageOffset)
+{
+    // A 4 KB page stays inside one pseudo-channel (so PageMapper can
+    // scatter pages across pseudo-channels), and enough pages land on
+    // both pseudo-channels.
+    const DramConfig cfg = ddr5Small(2);
+    AddressMapper mapper(cfg.geometry);
+    std::map<unsigned, int> per_pch;
+    for (std::uint64_t page = 0; page < 256; ++page) {
+        const unsigned pch =
+            mapper.decode(page * 4096).pseudoChannel;
+        ++per_pch[pch];
+        for (std::uint64_t off = 0; off < 4096; off += 64)
+            EXPECT_EQ(mapper.decode(page * 4096 + off).pseudoChannel,
+                      pch);
+    }
+    ASSERT_EQ(per_pch.size(), cfg.geometry.pseudoChannels);
+    for (const auto &kv : per_pch)
+        EXPECT_GT(kv.second, 32);
+}
+
+TEST(AddressMapper, EncodeMasksEveryField)
+{
+    // encode() must mask every coordinate to its field width (the
+    // historical code masked only some fields, so an out-of-range
+    // bank silently corrupted the rank bits above it).
+    const DramConfig cfg = smallConfig(2); // 1 rank bit
+    AddressMapper mapper(cfg.geometry);
+    const DramCoord c = mapper.decode(mapper.lineAddr(12345 * 64));
+
+    DramCoord rank_wild = c;
+    rank_wild.rank = c.rank | 2; // beyond the 1-bit field
+    EXPECT_EQ(mapper.encode(rank_wild), mapper.encode(c));
+
+    DramCoord pch_wild = c;
+    pch_wild.pseudoChannel = 5; // zero-width field on DDR4
+    EXPECT_EQ(mapper.encode(pch_wild), mapper.encode(c));
+
+    DramCoord ch_wild = c;
+    ch_wild.channel = 4; // zero-width field (1 channel)
+    EXPECT_EQ(mapper.encode(ch_wild), mapper.encode(c));
+}
+
+// ---------------------------------------------------------------
+// DDR5 pseudo-channel FSM semantics.
+// ---------------------------------------------------------------
+
+TEST(DramChannel, CmdBusSerializesAcrossPseudoChannels)
+{
+    const DramConfig cfg = ddr5Small(1);
+    DramChannel ch(cfg);
+    DramCoord c0{};
+    DramCoord c1{};
+    c1.pseudoChannel = 1;
+
+    EXPECT_EQ(ch.earliestAct(c0, 10), 10);
+    ch.issueAct(c0, 10);
+    // Same cycle, other pseudo-channel: the shared command bus is
+    // taken, so the ACT slips one cycle...
+    EXPECT_EQ(ch.earliestAct(c1, 10), 11);
+    ch.issueAct(c1, 11);
+    // ...and per-pseudo-channel bank state stays independent: both
+    // rows are open, each readable after its own tRCD.
+    EXPECT_TRUE(ch.rowOpen(c0));
+    EXPECT_TRUE(ch.rowOpen(c1));
+    EXPECT_EQ(ch.earliestRd(c0, 10), 10 + cfg.timings.tRCD);
+    EXPECT_EQ(ch.earliestRd(c1, 11), 11 + cfg.timings.tRCD);
+}
+
+TEST(DramChannel, SingleGenerationCmdBusIsFree)
+{
+    // pseudoChannels == 1 must add no command-bus cycles anywhere
+    // (DDR4 byte-identity depends on it): two different-rank ACTs may
+    // share a cycle exactly as before the refactor.
+    const DramConfig cfg = smallConfig(2);
+    DramChannel ch(cfg);
+    DramCoord a{};
+    DramCoord b{};
+    b.rank = 1;
+    ch.issueAct(a, 10);
+    EXPECT_EQ(ch.earliestAct(b, 10), 10);
+}
+
+TEST(Refresh, SameBankRefreshBlocksOnlyTargetBank)
+{
+    const DramConfig cfg = ddr5Small(1);
+    DramChannel ch(cfg);
+
+    // First REFsb targets bank address 0 in every bank group.
+    const unsigned target = ch.issueRefresh(0, 0, 100);
+    EXPECT_EQ(target, 0u);
+    EXPECT_EQ(ch.stats().counterValue("refreshes_sb"), 1u);
+
+    DramCoord blocked{};
+    blocked.bank = target;
+    EXPECT_EQ(ch.earliestAct(blocked, 100),
+              100 + cfg.timings.tRFCsb);
+    // Same bank address in the last bank group is blocked too.
+    DramCoord blocked2 = blocked;
+    blocked2.bankGroup = cfg.geometry.bankGroups - 1;
+    EXPECT_EQ(ch.earliestAct(blocked2, 100),
+              100 + cfg.timings.tRFCsb);
+    // Any other bank address keeps serving through the refresh.
+    DramCoord open = blocked;
+    open.bank = target + 1;
+    EXPECT_EQ(ch.earliestAct(open, 100), 100);
+
+    // The next REFsb advances to the next bank address.
+    const Cycle later = 100 + cfg.timings.tREFIsb;
+    EXPECT_EQ(ch.issueRefresh(0, 0, later), 1u);
+    EXPECT_EQ(ch.stats().counterValue("refreshes_sb"), 2u);
+}
+
+TEST(Refresh, SameBankLongStreamLegalAndAccounted)
+{
+    // A long random stream on the DDR5-pch generation must include
+    // REFsb commands and the full trace (ACT/RD/PRE/REFsb, both
+    // pseudo-channels) must re-check clean under the generation's own
+    // timing table.
+    const DramConfig cfg = ddr5Small(1);
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+
+    // One controller per pseudo-channel (CPU shape), lockstep, as the
+    // shared command bus requires.
+    std::vector<std::unique_ptr<MemoryController>> ctrls;
+    std::vector<std::vector<CmdTraceEntry>> traces(
+        cfg.geometry.pseudoChannels);
+    for (unsigned p = 0; p < cfg.geometry.pseudoChannels; ++p) {
+        ctrls.push_back(std::make_unique<MemoryController>(ch));
+        ctrls[p]->recordTrace(&traces[p]);
+    }
+    std::size_t completed = 0;
+    for (auto &c : ctrls)
+        c->onComplete([&](const MemRequest &, Cycle) { ++completed; });
+
+    Rng rng(23);
+    const unsigned n = 3000;
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t addr =
+            rng.nextBounded(cfg.geometry.totalBytes()) & ~63ull;
+        ctrls[mapper.decode(addr).pseudoChannel]->enqueue(
+            {addr, false, i});
+    }
+    Cycle now = 0;
+    for (;;) {
+        Cycle next = MemoryController::idleForever;
+        bool busy = false;
+        for (auto &c : ctrls) {
+            if (!c->busy())
+                continue;
+            busy = true;
+            next = std::min(next, c->tick(now));
+        }
+        if (!busy)
+            break;
+        now = (next == MemoryController::idleForever) ? now + 1 : next;
+    }
+    EXPECT_EQ(completed, n);
+    EXPECT_GT(now, cfg.timings.tREFIsb);
+    EXPECT_GE(ch.stats().counterValue("refreshes_sb"), 1u);
+
+    // Merge the per-controller traces into one channel-order stream
+    // and re-check it: cross-pseudo-channel command-bus conflicts
+    // would surface here.
+    std::vector<CmdTraceEntry> merged;
+    for (const auto &t : traces)
+        merged.insert(merged.end(), t.begin(), t.end());
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const CmdTraceEntry &a, const CmdTraceEntry &b) {
+                         return a.cycle < b.cycle;
+                     });
+    const auto bad = checkCommandTrace(cfg, merged);
+    for (std::size_t i = 0; i < bad.size() && i < 5; ++i)
+        ADD_FAILURE() << bad[i];
+}
+
+TEST(TraceChecker, CatchesCmdBusOverlap)
+{
+    const DramConfig cfg = ddr5Small(1);
+    DramCoord c0{};
+    DramCoord c1{};
+    c1.pseudoChannel = 1;
+    const std::vector<CmdTraceEntry> trace{
+        {DramCmd::Act, c0, 0},
+        {DramCmd::Act, c1, 0},
+    };
+    const auto bad = checkCommandTrace(cfg, trace);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("cmd-bus"), std::string::npos);
+}
+
+TEST(TraceChecker, CatchesRefSbViolations)
+{
+    const DramConfig d5 = ddr5Small(1);
+    DramCoord target{}; // REFsb names bank address 0
+    DramCoord act{};    // ACT on the refreshing bank address
+
+    // ACT inside tRFCsb of the refreshed bank address.
+    std::vector<CmdTraceEntry> trace{
+        {DramCmd::RefSb, target, 0},
+        {DramCmd::Act, act, 10},
+    };
+    auto bad = checkCommandTrace(d5, trace);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("tRFCsb"), std::string::npos);
+
+    // The same bank address in ANOTHER bank group is equally blocked.
+    DramCoord act_bg = act;
+    act_bg.bankGroup = d5.geometry.bankGroups - 1;
+    trace = {{DramCmd::RefSb, target, 0}, {DramCmd::Act, act_bg, 10}};
+    bad = checkCommandTrace(d5, trace);
+    EXPECT_FALSE(bad.empty());
+
+    // A different bank address is NOT blocked.
+    DramCoord act_other = act;
+    act_other.bank = 1;
+    trace = {{DramCmd::RefSb, target, 0},
+             {DramCmd::Act, act_other, 10}};
+    EXPECT_TRUE(checkCommandTrace(d5, trace).empty());
+
+    // REFsb is not a DDR4 command.
+    const DramConfig d4 = smallConfig(1);
+    trace = {{DramCmd::RefSb, target, 0}};
+    bad = checkCommandTrace(d4, trace);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("REFsb"), std::string::npos);
+}
+
+/** DDR5 property sweep: random dual-pseudo-channel streams stay
+ *  legal under the generation's own timing table. */
+class Ddr5ControllerRandom
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(Ddr5ControllerRandom, MergedTraceLegalAndAllComplete)
+{
+    const DramConfig cfg = ddr5Small(2);
+    DramChannel ch(cfg);
+    AddressMapper mapper(cfg.geometry);
+    std::vector<std::unique_ptr<MemoryController>> ctrls;
+    std::vector<std::vector<CmdTraceEntry>> traces(
+        cfg.geometry.pseudoChannels);
+    for (unsigned p = 0; p < cfg.geometry.pseudoChannels; ++p) {
+        ctrls.push_back(std::make_unique<MemoryController>(ch));
+        ctrls[p]->recordTrace(&traces[p]);
+    }
+    std::size_t completed = 0;
+    for (auto &c : ctrls)
+        c->onComplete([&](const MemRequest &, Cycle) { ++completed; });
+
+    Rng rng(GetParam());
+    const unsigned n = 300;
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t addr;
+        if (rng.nextBounded(2) == 0)
+            addr = rng.nextBounded(8192); // hot region
+        else
+            addr = rng.nextBounded(cfg.geometry.totalBytes());
+        addr &= ~63ull;
+        ctrls[mapper.decode(addr).pseudoChannel]->enqueue(
+            {addr, rng.nextBounded(8) == 0, i});
+    }
+    Cycle now = 0;
+    for (;;) {
+        Cycle next = MemoryController::idleForever;
+        bool busy = false;
+        for (auto &c : ctrls) {
+            if (!c->busy())
+                continue;
+            busy = true;
+            next = std::min(next, c->tick(now));
+        }
+        if (!busy)
+            break;
+        now = (next == MemoryController::idleForever) ? now + 1 : next;
+    }
+    EXPECT_EQ(completed, n);
+
+    std::vector<CmdTraceEntry> merged;
+    for (const auto &t : traces)
+        merged.insert(merged.end(), t.begin(), t.end());
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const CmdTraceEntry &a, const CmdTraceEntry &b) {
+                         return a.cycle < b.cycle;
+                     });
+    const auto bad = checkCommandTrace(cfg, merged);
+    EXPECT_TRUE(bad.empty());
+    for (std::size_t i = 0; i < bad.size() && i < 5; ++i)
+        ADD_FAILURE() << bad[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ddr5ControllerRandom,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 } // namespace
 } // namespace secndp

@@ -7,6 +7,7 @@
 
 #include "common/rng.hh"
 #include "memsim/address.hh"
+#include "memsim/dram_spec.hh"
 #include "ndp/ndp_system.hh"
 #include "ndp/packet_gen.hh"
 
@@ -162,6 +163,58 @@ TEST(NdpSystem, EmptyPacketStillFlowsThrough)
     EXPECT_EQ(res.packets.size(), 3u);
     for (const auto &p : res.packets)
         EXPECT_GT(p.finished, 0);
+}
+
+TEST(NdpSystem, NamedDdr4IdenticalToDefaults)
+{
+    // Cross-generation determinism: selecting the generation by name
+    // must be cycle-identical to the default-constructed config (the
+    // golden baselines were recorded under the defaults).
+    const DramConfig def = testDram(4);
+    DramConfig named = makeDramConfig("ddr4-2400");
+    named.geometry.ranks = 4;
+    named.geometry.rankBytes = 1ULL << 26;
+    const auto queries = randomQueries(def, 32, 24, 6);
+
+    NdpConfig ndp;
+    NdpSimulation sim_def(def, ndp), sim_named(named, ndp);
+    const auto a = sim_def.run(queries);
+    const auto b = sim_named.run(queries);
+    ASSERT_EQ(a.packets.size(), b.packets.size());
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.reads, b.reads);
+    for (std::size_t q = 0; q < a.packets.size(); ++q) {
+        EXPECT_EQ(a.packets[q].issued, b.packets[q].issued);
+        EXPECT_EQ(a.packets[q].finished, b.packets[q].finished);
+    }
+
+    const auto ca = runCpuBatch(def, queries);
+    const auto cb = runCpuBatch(named, queries);
+    EXPECT_EQ(ca.totalCycles, cb.totalCycles);
+    EXPECT_EQ(ca.totalLines, cb.totalLines);
+}
+
+TEST(NdpSystem, PseudoChannelsBeatDdr4InTime)
+{
+    // The scaling-sweep headline at unit scale: DDR5 pseudo-channels
+    // double the PU count per rank, so NDP wall time (cycles x tCK,
+    // NOT raw cycles -- the clocks differ) must beat DDR4-2400 on the
+    // same capacity and query stream.
+    DramConfig d4 = testDram(8);
+    DramConfig d5 = makeDramConfig("ddr5-4800-pch");
+    d5.geometry.ranks = 8;
+    d5.geometry.rankBytes = 1ULL << 26;
+    ASSERT_EQ(d4.geometry.totalBytes(), d5.geometry.totalBytes());
+    const auto queries = randomQueries(d4, 48, 32, 7);
+
+    NdpConfig ndp;
+    NdpSimulation s4(d4, ndp), s5(d5, ndp);
+    const double ns4 = static_cast<double>(s4.run(queries).totalCycles) *
+                       d4.clock.nsPerCycle();
+    const double ns5 = static_cast<double>(s5.run(queries).totalCycles) *
+                       d5.clock.nsPerCycle();
+    EXPECT_LT(ns5, ns4);
+    EXPECT_GT(ns4 / ns5, 1.1);
 }
 
 TEST(PacketGen, DedupsSharedLines)

@@ -16,6 +16,7 @@
 #include "common/request_trace.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "memsim/dram_spec.hh"
 #include "serve/batch_scheduler.hh"
 #include "serve/loadgen.hh"
 #include "serve/request_queue.hh"
@@ -353,6 +354,34 @@ TEST(Serve, ClosedLoopWithMultipleWorkersCompletes)
     EXPECT_EQ(rep.completed, 18u);
     EXPECT_EQ(rep.rejected, 0u); // closed loop never overflows
     EXPECT_GT(rep.batches, 0u);
+}
+
+TEST(Serve, Ddr5PseudoChannelsCompleteAndStayDeterministic)
+{
+    // The DDR5-pch generation doubles the effective shard count (one
+    // per channel x pseudo-channel); the serving loop must still
+    // complete every request and stay deterministic in the seed.
+    ServeConfig cfg = smallServeConfig();
+    cfg.sys.dram = makeDramConfig("ddr5-4800-pch");
+    cfg.sys.dram.geometry.ranks = 2;
+    cfg.sys.dram.geometry.rankBytes = 1ULL << 24;
+    cfg.mode = ExecMode::SecNdpEncVer;
+    LoadConfig load;
+    load.mode = LoadMode::Closed;
+    load.concurrency = 6;
+    load.requests = 18;
+    load.seed = 9;
+
+    const auto pool = smallPool(5);
+    const auto rep = runServe(cfg, load, pool);
+    EXPECT_EQ(rep.completed, 18u);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_GT(rep.batches, 0u);
+
+    const auto rep2 = runServe(cfg, load, pool);
+    EXPECT_EQ(rep2.completed, rep.completed);
+    EXPECT_DOUBLE_EQ(rep2.p99LatencyNs, rep.p99LatencyNs);
+    EXPECT_DOUBLE_EQ(rep2.makespanNs, rep.makespanNs);
 }
 
 TEST(Serve, TightDeadlinesAreCountedAsMisses)

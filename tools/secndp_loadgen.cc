@@ -34,6 +34,7 @@
 #include "common/request_trace.hh"
 #include "common/sampler.hh"
 #include "common/stats.hh"
+#include "memsim/dram_spec.hh"
 #include "net/net_client.hh"
 #include "net/net_server.hh"
 #include "serve/server.hh"
@@ -63,6 +64,7 @@ struct Options
     unsigned shards = 2;
     unsigned workers = 2;
     std::size_t queueCap = 1024;
+    std::string dram = "ddr4-2400"; ///< device generation name
     unsigned ranks = 8;
     unsigned regs = 8;
     unsigned aes = 12;
@@ -191,8 +193,9 @@ printUsage(std::FILE *to, const char *argv0)
         "[--policy fifo|deadline]\n"
         "          [--max-batch N] [--batch-timeout-us F] "
         "[--shards N]\n"
-        "          [--workers N] [--queue-cap N] [--ranks N] "
-        "[--regs N] [--aes N]\n"
+        "          [--workers N] [--queue-cap N] [--dram NAME] "
+        "[--ranks N]\n"
+        "          [--regs N] [--aes N]\n"
         "          [--cache-mb F] [--cache-policy lru|lfu] "
         "[--cache-shards N]\n"
         "          [--workload sls|medical] [--model M] "
@@ -223,7 +226,13 @@ printUsage(std::FILE *to, const char *argv0)
         "  --pool N           distinct queries in the request pool "
         "(requests cycle it)\n"
         "  --shards N         memory channels a batch shards "
-        "across\n"
+        "across (DDR5\n"
+        "                     pseudo-channel generations multiply "
+        "this by the\n"
+        "                     pseudo-channel count)\n"
+        "  --dram NAME        device generation: %s\n"
+        "                     (default ddr4-2400, the paper's "
+        "Table II)\n"
         "  --workers N        host OTP/verify worker threads\n"
         "  --cache-mb F       trusted-side pad cache capacity in MiB "
         "(0 = off,\n"
@@ -293,7 +302,7 @@ printUsage(std::FILE *to, const char *argv0)
         "2 usage error;\n"
         "            3 requests shed or aborted (unless "
         "--allow-shed covers the shed)\n",
-        argv0);
+        argv0, dramGenerationList().c_str());
 }
 
 [[noreturn]] void
@@ -380,6 +389,7 @@ main(int argc, char **argv)
         else if (arg == "--shards") opt.shards = std::stoul(next());
         else if (arg == "--workers") opt.workers = std::stoul(next());
         else if (arg == "--queue-cap") opt.queueCap = std::stoul(next());
+        else if (arg == "--dram") opt.dram = next();
         else if (arg == "--ranks") opt.ranks = std::stoul(next());
         else if (arg == "--regs") opt.regs = std::stoul(next());
         else if (arg == "--aes") opt.aes = std::stoul(next());
@@ -519,6 +529,7 @@ main(int argc, char **argv)
 
     ServeConfig cfg;
     cfg.mode = parseExecMode(opt.execMode);
+    cfg.sys.dram = makeDramConfig(opt.dram);
     cfg.sys.dram.geometry.ranks = opt.ranks;
     cfg.sys.ndp.ndpReg = opt.regs;
     cfg.sys.engine.nAesEngines = opt.aes;
@@ -608,6 +619,11 @@ main(int argc, char **argv)
                       opt.pool, opt.pf, opt.zipf,
                       static_cast<unsigned long long>(opt.seed));
         reg.setMeta("config", knobs);
+        // The default generation adds no meta key: pre-refactor
+        // golden baselines carry no "dram" entry and `report diff`
+        // hard-fails on any meta asymmetry.
+        if (opt.dram != "ddr4-2400")
+            reg.setMeta("dram", opt.dram);
         // Only attack runs carry the inject keys, so clean-run
         // sidecars stay byte-identical to the pre-adversary baselines.
         if (cfg.faults.enabled()) {

@@ -13,6 +13,7 @@
  *              [--mode cpu|tee|ndp|enc|ver]
  *              [--layout none|coloc|sep|ecc]
  *              [--quant fp32|row|col|table]
+ *              [--dram ddr4-2400|ddr5-4800|ddr5-4800-pch]
  *              [--ranks N] [--regs N] [--aes N]
  *              [--batch N] [--pf N] [--zipf A] [--seed S]
  *              [--stats-json FILE] [--trace-out FILE]
@@ -49,6 +50,7 @@
 #include "common/stats.hh"
 #include "common/trace_event.hh"
 #include "energy/energy_model.hh"
+#include "memsim/dram_spec.hh"
 #include "workloads/dlrm.hh"
 #include "workloads/medical.hh"
 #include "workloads/trace_io.hh"
@@ -64,6 +66,7 @@ struct Options
     std::string mode = "enc";
     std::string layout = "none";
     std::string quant = "fp32";
+    std::string dram = "ddr4-2400"; ///< device generation name
     unsigned ranks = 8;
     unsigned regs = 8;
     unsigned aes = 12;
@@ -87,6 +90,7 @@ printUsage(std::FILE *to, const char *argv0)
                  "[--mode cpu|tee|ndp|enc|ver]\n"
                  "          [--layout none|coloc|sep|ecc] "
                  "[--quant fp32|row|col|table]\n"
+                 "          [--dram %s]\n"
                  "          [--ranks N] [--regs N] [--aes N] "
                  "[--batch N] [--pf N] [--zipf A] [--seed S]\n"
                  "          [--stats-json FILE] [--trace-out FILE]\n"
@@ -105,8 +109,10 @@ printUsage(std::FILE *to, const char *argv0)
                  "                         ndp_backlog, aes_busy_frac,"
                  " verify_queue_depth\n"
                  "  --sample-interval N    sampling interval in "
-                 "simulated cycles (default %lld)\n",
-                 argv0,
+                 "simulated cycles (default %lld)\n"
+                 "  --dram NAME            device generation "
+                 "(default ddr4-2400, the paper's Table II)\n",
+                 argv0, dramGenerationList().c_str(),
                  static_cast<long long>(Sampler::defaultInterval));
 }
 
@@ -184,6 +190,7 @@ main(int argc, char **argv)
         else if (arg == "--mode") opt.mode = next();
         else if (arg == "--layout") opt.layout = next();
         else if (arg == "--quant") opt.quant = next();
+        else if (arg == "--dram") opt.dram = next();
         else if (arg == "--ranks") opt.ranks = std::stoul(next());
         else if (arg == "--regs") opt.regs = std::stoul(next());
         else if (arg == "--aes") opt.aes = std::stoul(next());
@@ -217,6 +224,7 @@ main(int argc, char **argv)
             : parseLayout(opt.layout);
 
     SystemConfig sys;
+    sys.dram = makeDramConfig(opt.dram);
     sys.dram.geometry.ranks = opt.ranks;
     sys.ndp.ndpReg = opt.regs;
     sys.engine.nAesEngines = opt.aes;
@@ -231,6 +239,11 @@ main(int argc, char **argv)
         reg.setMeta("mode", opt.mode);
         reg.setMeta("quant", opt.quant);
         reg.setMeta("layout", opt.layout);
+        // The default generation adds no meta key: pre-refactor golden
+        // baselines carry no "dram" entry and `report diff` hard-fails
+        // on any meta asymmetry.
+        if (opt.dram != "ddr4-2400")
+            reg.setMeta("dram", opt.dram);
         char knobs[160];
         std::snprintf(knobs, sizeof(knobs),
                       "ranks=%u regs=%u aes=%u batch=%u pf=%u "
@@ -316,10 +329,10 @@ main(int argc, char **argv)
     std::printf("workload        %s (%s, quant=%s, layout=%s)\n",
                 opt.workload.c_str(), opt.model.c_str(),
                 opt.quant.c_str(), opt.layout.c_str());
-    std::printf("config          ranks=%u regs=%u aes=%u batch=%u "
-                "pf=%u zipf=%.2f\n",
-                opt.ranks, opt.regs, opt.aes, opt.batch, opt.pf,
-                opt.zipf);
+    std::printf("config          dram=%s ranks=%u regs=%u aes=%u "
+                "batch=%u pf=%u zipf=%.2f\n",
+                opt.dram.c_str(), opt.ranks, opt.regs, opt.aes,
+                opt.batch, opt.pf, opt.zipf);
     std::printf("mode            %s\n", execModeName(mode));
     std::printf("queries         %zu\n", trace.queries.size());
     std::printf("cycles          %lld (%.3f us)\n",
